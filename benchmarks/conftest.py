@@ -1,0 +1,25 @@
+"""Benchmark fixtures shared across the Figure 4 reproductions."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from support import bench_schema, dataset  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def schema():
+    return bench_schema()
+
+
+@pytest.fixture(scope="session")
+def records_60k(schema):
+    return dataset(60_000)
+
+
+@pytest.fixture(scope="session")
+def records_30k(schema):
+    return dataset(30_000)

@@ -1,0 +1,60 @@
+"""Ablation: Section I's naive multi-phase plan vs the one-round scheme.
+
+The paper motivates the whole design by arguing that evaluating measure
+components one at a time -- repartitioning the raw data for every basic
+measure and joining intermediate results -- is far more expensive than a
+single redistribution with per-block local evaluation.  This benchmark
+quantifies that claim on the weblog query (M1..M4) and on Q6.
+"""
+
+from repro.parallel import NaiveEvaluator
+from repro.workload import (
+    all_queries,
+    generate_sessions,
+    weblog_query,
+    weblog_schema,
+)
+
+from support import make_cluster, print_table, run_query
+
+
+def run_comparison(schema, records_60k):
+    results = {}
+
+    weblog = weblog_schema(days=2)
+    sessions = generate_sessions(weblog, 30_000, seed=9)
+    workflows = {
+        "weblog M1-M4": (weblog_query(weblog), sessions),
+        "Q6": (all_queries(schema)["Q6"], records_60k),
+    }
+    for name, (workflow, records) in workflows.items():
+        one_round = run_query(workflow, records, cluster=make_cluster(50))
+        naive = NaiveEvaluator(make_cluster(50)).evaluate(workflow, records)
+        assert naive.result == one_round.result
+        results[name] = (
+            one_round.response_time,
+            naive.response_time,
+            len(naive.jobs),
+            naive.total_shuffled_bytes,
+            one_round.job.counters.shuffle_bytes,
+        )
+    return results
+
+
+def test_ablation_naive_vs_onepass(schema, records_60k, benchmark):
+    results = benchmark.pedantic(
+        lambda: run_comparison(schema, records_60k), rounds=1, iterations=1
+    )
+    print_table(
+        "Ablation: one-round overlapping scheme vs naive per-measure jobs",
+        ["query", "one-round (s)", "naive (s)", "naive jobs",
+         "naive shuffle B", "one-round shuffle B"],
+        [[name, *values] for name, values in sorted(results.items())],
+    )
+
+    for name, (one_round, naive, jobs, *_bytes) in results.items():
+        # The one-round plan wins decisively on both queries.
+        assert naive > 1.5 * one_round, (
+            f"{name}: naive {naive:.4f}s vs one-round {one_round:.4f}s"
+        )
+        assert jobs >= 4

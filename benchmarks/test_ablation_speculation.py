@@ -1,0 +1,69 @@
+"""Ablation: stragglers and speculative execution.
+
+The paper's Hadoop substrate shipped speculative execution; our
+simulator models it so its effect on composite-query response time is
+quantifiable.  Response time is a *max* over reducers, so even a small
+straggler probability inflates it badly -- and backups claw most of
+that back.
+"""
+
+from repro.local import evaluate_centralized
+from repro.mapreduce import ClusterConfig, InMemoryDFS, SimulatedCluster
+from repro.parallel import ParallelEvaluator
+from repro.workload import all_queries
+
+from support import print_table
+
+SCENARIOS = {
+    "clean": {},
+    "stragglers": {"straggler_probability": 0.05, "straggler_slowdown": 8.0},
+    "stragglers+speculation": {
+        "straggler_probability": 0.05,
+        "straggler_slowdown": 8.0,
+        "speculative_execution": True,
+    },
+}
+
+
+def run_matrix(schema, records):
+    workflow = all_queries(schema)["Q3"]
+    oracle = evaluate_centralized(workflow, records)
+    results = {}
+    for name, overrides in SCENARIOS.items():
+        config = ClusterConfig(machines=50, **overrides)
+        cluster = SimulatedCluster(
+            config,
+            dfs=InMemoryDFS(machines=50, block_records=256,
+                            replication=config.replication),
+        )
+        outcome = ParallelEvaluator(cluster).evaluate(workflow, records)
+        assert outcome.result == oracle
+        results[name] = (
+            outcome.response_time,
+            outcome.job.counters.extra["stragglers"],
+            outcome.job.counters.extra["speculated"],
+        )
+    return results
+
+
+def test_ablation_speculation(schema, records_30k, benchmark):
+    results = benchmark.pedantic(
+        lambda: run_matrix(schema, records_30k), rounds=1, iterations=1
+    )
+    print_table(
+        "Ablation: stragglers and speculative execution (Q3, 50 machines, "
+        "5% straggler rate, 8x slowdown)",
+        ["scenario", "time (s)", "stragglers", "speculated"],
+        [[name, *values] for name, values in results.items()],
+    )
+
+    clean, _s0, _b0 = results["clean"]
+    straggling, stragglers, _b1 = results["stragglers"]
+    speculated, _s2, backups = results["stragglers+speculation"]
+
+    assert stragglers > 0 and backups > 0
+    # Stragglers hurt response time noticeably (it is a max statistic).
+    assert straggling > 1.5 * clean
+    # Speculation recovers most of the loss.
+    assert clean < speculated < straggling
+    assert (straggling - speculated) > 0.5 * (straggling - clean)

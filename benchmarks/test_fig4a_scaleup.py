@@ -1,0 +1,53 @@
+"""Figure 4(a): system scale-up.
+
+Paper: with 50 mappers and 50 reducers, the response time of every query
+Q1..Q6 grows close to linearly in the dataset size, and Q6 is
+consistently the slowest because its sibling range forces an overlapping
+distribution key (more data shipped, bigger blocks to sort).
+"""
+
+from repro.workload import all_queries
+
+from support import SCALEUP_SIZES, dataset, make_cluster, print_table, run_query
+
+
+def run_sweep(schema):
+    queries = all_queries(schema)
+    datasets = {size: dataset(size) for size in SCALEUP_SIZES}
+    return {
+        name: [
+            run_query(
+                workflow, datasets[size], cluster=make_cluster(50)
+            ).response_time
+            for size in SCALEUP_SIZES
+        ]
+        for name, workflow in queries.items()
+    }
+
+
+def test_fig4a_scaleup(schema, benchmark):
+    times = benchmark.pedantic(
+        lambda: run_sweep(schema), rounds=1, iterations=1
+    )
+    rows = [[name] + list(series) for name, series in sorted(times.items())]
+    print_table(
+        "Figure 4(a) scale-up: simulated response time (s) vs records",
+        ["query"] + [f"{size // 1000}k" for size in SCALEUP_SIZES],
+        rows,
+    )
+
+    for name, series in times.items():
+        # Monotone growth with data size.
+        assert all(
+            later > earlier for earlier, later in zip(series, series[1:])
+        ), f"{name} not monotone: {series}"
+        # Close-to-linear: 4x data gives between 2x and 8x time.
+        growth = series[-1] / series[0]
+        assert 2.0 <= growth <= 8.0, f"{name} growth {growth:.2f} not ~linear"
+
+    # Q6 is consistently the slowest (overlapping key, Section VI).
+    for index, size in enumerate(SCALEUP_SIZES):
+        slowest = max(times, key=lambda name: times[name][index])
+        assert slowest == "Q6", (
+            f"at {size} records: expected Q6 slowest, got {slowest}"
+        )

@@ -1,0 +1,55 @@
+"""Figure 4(b): system speed-up.
+
+Paper: with the dataset fixed, adding machines grows the processing rate
+(records per second) close to linearly for Q1 and Q2 (Q3..Q5 behave like
+them); Q6 scales worse because its large coarse sliding window forces a
+small clustering factor and heavy overlap among blocks.
+"""
+
+from repro.workload import all_queries
+
+from support import SPEEDUP_MACHINES, make_cluster, print_table, run_query
+
+
+def run_sweep(schema, records):
+    queries = all_queries(schema)
+    rates = {}
+    for name in ("Q1", "Q2", "Q6"):
+        workflow = queries[name]
+        rates[name] = [
+            len(records)
+            / run_query(
+                workflow, records, cluster=make_cluster(machines)
+            ).response_time
+            for machines in SPEEDUP_MACHINES
+        ]
+    return rates
+
+
+def test_fig4b_speedup(schema, records_60k, benchmark):
+    rates = benchmark.pedantic(
+        lambda: run_sweep(schema, records_60k), rounds=1, iterations=1
+    )
+    rows = [[name] + list(series) for name, series in sorted(rates.items())]
+    print_table(
+        "Figure 4(b) speed-up: processing rate (records/sim-second) "
+        "vs machine count",
+        ["query"] + [str(m) for m in SPEEDUP_MACHINES],
+        rows,
+    )
+
+    span = SPEEDUP_MACHINES[-1] / SPEEDUP_MACHINES[0]
+    scaling = {name: series[-1] / series[0] for name, series in rates.items()}
+    for name, series in rates.items():
+        assert all(b > a for a, b in zip(series, series[1:])), (
+            f"{name} rate not increasing: {series}"
+        )
+    # Q1 and Q2 scale near-linearly (>= 70% parallel efficiency).
+    for name in ("Q1", "Q2"):
+        assert scaling[name] >= 0.7 * span, (
+            f"{name} scaled only {scaling[name]:.1f}x over {span:.0f}x "
+            "machines"
+        )
+    # Q6's coarse wide window limits its speed-up well below Q1/Q2's.
+    assert scaling["Q6"] < 0.75 * scaling["Q1"]
+    assert scaling["Q6"] < 0.75 * scaling["Q2"]

@@ -1,0 +1,100 @@
+"""Figure 4(c): impact of the clustering factor, with model overlay.
+
+Paper: for a sliding-window query, the naive cf=1 is about twice as slow
+as the optimum (cf=10 on their workload); an excessive factor (cf=25)
+degrades again because parallelism collapses.  The analytical Formula 4
+prediction tracks the measured curve closely, so the model can be used
+to pick the factor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distribution import BlockScheme, minimal_feasible_key
+from repro.optimizer import Plan, expected_max_load_overlap
+from repro.query import WorkflowBuilder
+
+from support import make_cluster, print_table, run_query
+
+#: Sweep values, bracketing the expected optimum from both sides.
+CF_VALUES = (1, 2, 3, 5, 8, 12, 16, 24, 40, 80, 160)
+
+
+@pytest.fixture(scope="module")
+def window_query(schema):
+    """A ten-hour trailing window -- the d ~ 10 regime of the paper."""
+    builder = WorkflowBuilder(schema)
+    builder.basic(
+        "hourly", over={"t1": "hour"}, field="a2", aggregate="sum",
+    )
+    (
+        builder.composite("moving", over={"t1": "hour"})
+        .window("hourly", attribute="t1", low=-9, high=0, aggregate="avg")
+    )
+    return builder.build()
+
+
+def run_sweep(window_query, records):
+    key = minimal_feasible_key(window_query)
+    (attr,) = key.annotated_attributes()
+    span = key.component(attr).span
+    n_regions = key.granularity.region_count()
+    machines = 50
+
+    measured, predicted = [], []
+    for cf in CF_VALUES:
+        plan = Plan(
+            scheme=BlockScheme(key, {attr: cf}),
+            num_reducers=machines,
+            predicted_max_load=0.0,
+            strategy="manual",
+        )
+        outcome = run_query(
+            window_query, records, cluster=make_cluster(machines), plan=plan
+        )
+        measured.append(outcome.response_time)
+        predicted.append(
+            expected_max_load_overlap(
+                len(records), n_regions, machines, span, cf
+            )
+        )
+    return measured, predicted, span
+
+
+def test_fig4c_clustering_factor(window_query, records_60k, benchmark):
+    measured, predicted, span = benchmark.pedantic(
+        lambda: run_sweep(window_query, records_60k), rounds=1, iterations=1
+    )
+    scale = measured[0] / predicted[0]
+    print_table(
+        f"Figure 4(c) clustering factor (window span d={span}): measured "
+        "vs model-predicted time (s)",
+        ["cf", "measured", "model (scaled)"],
+        [
+            [cf, m, p * scale]
+            for cf, m, p in zip(CF_VALUES, measured, predicted)
+        ],
+    )
+
+    best = min(range(len(CF_VALUES)), key=lambda i: measured[i])
+    # The optimum is interior: not the naive cf=1, not the largest.
+    assert 0 < best < len(CF_VALUES) - 1
+    # cf=1 pays heavy duplication: noticeably slower than the optimum.
+    assert measured[0] > 1.4 * measured[best]
+    # Oversized cf collapses parallelism: slower than the optimum too.
+    assert measured[-1] > 1.5 * measured[best]
+
+    # The analytical model tracks the measured curve (Fig 4(c) overlay).
+    # (The normal approximation behind Formula 4 is weakest once blocks
+    # drop near the reducer count, exactly as in the paper's overlay.)
+    correlation = np.corrcoef(measured, predicted)[0, 1]
+    assert correlation > 0.75, f"model/measurement correlation {correlation}"
+    # Picking the factor by model lands near the measured optimum.
+    best_model = min(range(len(CF_VALUES)), key=lambda i: predicted[i])
+    assert measured[best_model] <= 1.25 * measured[best]
+
+    # The planner lands near the measured sweet spot too.
+    planned = run_query(
+        window_query, records_60k, cluster=make_cluster(50)
+    )
+    assert planned.response_time <= min(measured) * 1.3

@@ -1,0 +1,43 @@
+"""Figure 4(d): evaluation cost breakdown.
+
+Paper: the staged costs of one evaluation -- Map-Only (fetch data via
+mappers), MR (shuffle + framework sort by the distribution key), Sort
+(the local algorithm's re-sort inside each group), Sort+Eval (the scan
+producing results) -- show that (1) map-only cost is low, making the
+run-time sampling of Section V affordable; (2) the MR -> Sort gap is
+significant, motivating the combined-sort optimization of Section III-D;
+(3) scan evaluation on top of sorted data is nearly free.
+"""
+
+from repro.workload import all_queries
+
+from support import make_cluster, print_table, run_query
+
+
+def test_fig4d_breakdown(schema, records_60k, benchmark):
+    workflow = all_queries(schema)["Q5"]
+    outcome = benchmark.pedantic(
+        lambda: run_query(workflow, records_60k, cluster=make_cluster(50)),
+        rounds=1,
+        iterations=1,
+    )
+    bars = outcome.breakdown.cumulative()
+    print_table(
+        "Figure 4(d) cost breakdown: cumulative simulated time (s)",
+        ["stage", "time"],
+        [[stage, value] for stage, value in bars.items()],
+    )
+
+    # Stages accumulate.
+    assert bars["Map-Only"] < bars["MR"] < bars["Sort"] <= bars["Sort+Eval"]
+
+    # (1) Mapper-only data fetching is a small fraction of the job:
+    # run-time sampling/simulated dispatch is cheap.
+    assert bars["Map-Only"] < 0.45 * bars["Sort+Eval"]
+
+    # (2) MR -> Sort: the in-group re-sort the combined-sort optimization
+    # would eliminate is a significant share.
+    assert bars["Sort"] - bars["MR"] > 0.1 * bars["Sort+Eval"]
+
+    # (3) Sort -> Sort+Eval: the scan itself adds little.
+    assert bars["Sort+Eval"] - bars["Sort"] < 0.35 * bars["Sort+Eval"]

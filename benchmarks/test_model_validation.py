@@ -1,0 +1,48 @@
+"""Model validation: Formula 4 against Monte-Carlo simulation.
+
+Not a figure in the paper, but the foundation under Figure 4(c): the
+analytical heaviest-load model must track reality across the parameter
+grid the optimizer searches.  Each cell compares the closed form with a
+Monte-Carlo random block assignment.
+"""
+
+from repro.tools import model_validation_table
+
+from support import print_table
+
+
+def test_model_validation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: model_validation_table(
+            n_records=1_000_000,
+            num_reducers=50,
+            span=9,
+            region_counts=(240, 480, 960, 1920),
+            cf_values=(1, 4, 16, 64),
+            trials=200,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Cost-model validation: Formula 4 vs Monte-Carlo "
+        "(N=1e6, m=50, d=9)",
+        ["n_regions", "cf", "model", "monte-carlo", "ratio"],
+        [
+            [n_regions, cf, model, empirical, model / empirical]
+            for n_regions, cf, model, empirical in rows
+        ],
+    )
+
+    for n_regions, cf, model, empirical in rows:
+        ratio = model / empirical
+        assert 0.7 < ratio < 1.5, (
+            f"model off by {ratio:.2f}x at n_regions={n_regions}, cf={cf}"
+        )
+    # In the many-blocks regime the model is tight (within 10%).
+    tight = [
+        abs(model / empirical - 1)
+        for n_regions, cf, model, empirical in rows
+        if n_regions // cf >= 4 * 50
+    ]
+    assert tight and max(tight) < 0.10

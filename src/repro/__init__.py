@@ -1,0 +1,154 @@
+"""repro: parallel evaluation of composite aggregate queries (ICDE 2008).
+
+A from-scratch reproduction of Chen, Olston & Ramakrishnan's system for
+evaluating composite subset measure queries on a shared-nothing cluster:
+cube-space query model, local sort/scan evaluation, overlapping block
+distribution with a clustering-factor optimizer, and a simulated
+MapReduce substrate.
+
+Quickstart::
+
+    from repro import (
+        ParallelEvaluator, SimulatedCluster, ClusterConfig,
+        weblog_schema, weblog_query, generate_sessions,
+    )
+
+    schema = weblog_schema(days=1)
+    records = generate_sessions(schema, 50_000)
+    cluster = SimulatedCluster(ClusterConfig(machines=10))
+    outcome = ParallelEvaluator(cluster).evaluate(weblog_query(schema), records)
+    print(outcome.describe())
+"""
+
+from repro.cube import (
+    ALL,
+    Attribute,
+    Granularity,
+    IrregularHierarchy,
+    MappingHierarchy,
+    Schema,
+    UniformHierarchy,
+    banded_hierarchy,
+    calendar_hierarchy,
+    least_common_ancestor,
+    temporal_hierarchy,
+    week_hierarchy,
+)
+from repro.distribution import (
+    BlockScheme,
+    DistributionKey,
+    KeyComponent,
+    candidate_keys,
+    is_feasible,
+    minimal_feasible_key,
+    non_overlapping_key,
+)
+from repro.local import (
+    BlockEvaluator,
+    MeasureTable,
+    ResultSet,
+    evaluate_centralized,
+)
+from repro.mapreduce import (
+    ClusterConfig,
+    InMemoryDFS,
+    MapReduceJob,
+    SimulatedCluster,
+)
+from repro.optimizer import (
+    KeyCache,
+    Optimizer,
+    OptimizerConfig,
+    Plan,
+    expected_max_load,
+    expected_max_load_overlap,
+    optimal_clustering_factor,
+)
+from repro.parallel import (
+    AdaptiveEvaluator,
+    AdaptiveResult,
+    ExecutionConfig,
+    NaiveEvaluator,
+    ParallelEvaluator,
+    ParallelResult,
+)
+from repro.query import (
+    QueryParseError,
+    RATIO,
+    SiblingWindow,
+    Workflow,
+    WorkflowBuilder,
+    parse_workflow,
+)
+from repro.session import Session, SessionError
+from repro.workload import (
+    all_queries,
+    ds_query,
+    generate_sessions,
+    generate_skewed,
+    generate_uniform,
+    paper_schema,
+    weblog_query,
+    weblog_schema,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL",
+    "AdaptiveEvaluator",
+    "AdaptiveResult",
+    "Attribute",
+    "BlockEvaluator",
+    "BlockScheme",
+    "ClusterConfig",
+    "DistributionKey",
+    "ExecutionConfig",
+    "Granularity",
+    "InMemoryDFS",
+    "IrregularHierarchy",
+    "KeyCache",
+    "KeyComponent",
+    "MapReduceJob",
+    "MappingHierarchy",
+    "MeasureTable",
+    "NaiveEvaluator",
+    "Optimizer",
+    "OptimizerConfig",
+    "ParallelEvaluator",
+    "ParallelResult",
+    "Plan",
+    "QueryParseError",
+    "RATIO",
+    "ResultSet",
+    "Schema",
+    "Session",
+    "SessionError",
+    "SiblingWindow",
+    "SimulatedCluster",
+    "UniformHierarchy",
+    "Workflow",
+    "WorkflowBuilder",
+    "all_queries",
+    "banded_hierarchy",
+    "calendar_hierarchy",
+    "candidate_keys",
+    "ds_query",
+    "evaluate_centralized",
+    "expected_max_load",
+    "expected_max_load_overlap",
+    "generate_sessions",
+    "generate_skewed",
+    "generate_uniform",
+    "is_feasible",
+    "least_common_ancestor",
+    "minimal_feasible_key",
+    "non_overlapping_key",
+    "optimal_clustering_factor",
+    "paper_schema",
+    "parse_workflow",
+    "temporal_hierarchy",
+    "weblog_query",
+    "weblog_schema",
+    "week_hierarchy",
+]

@@ -1,0 +1,279 @@
+"""Command-line interface.
+
+Three subcommands, all operating on workflow scripts in the textual
+query language (see :mod:`repro.query.parser`):
+
+* ``repro demo`` -- run the paper's weblog example end to end;
+* ``repro plan QUERY.cq`` -- show the derived distribution keys, the
+  candidate schemes and the optimizer's choice, without evaluating;
+* ``repro run QUERY.cq`` -- evaluate the query over generated data on
+  the simulated cluster, printing the execution report (optionally
+  exporting results to CSV).
+
+Built-in schemas: ``weblog`` (Keyword/PageCount/AdCount/Time, Table I)
+and ``paper`` (the Section VI synthetic schema).  Invoke as
+``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.cube.records import Schema
+from repro.distribution.derive import candidate_keys, minimal_feasible_key
+from repro.io.serialize import write_result_csv
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.timing import ClusterConfig
+from repro.optimizer.optimizer import Optimizer, OptimizerConfig
+from repro.parallel.executor import ExecutionConfig, ParallelEvaluator
+from repro.parallel.naive import NaiveEvaluator
+from repro.query.parser import QueryParseError, parse_workflow
+from repro.query.workflow import Workflow, connected_components
+
+
+def _build_schema(name: str, days: int) -> Schema:
+    if name == "weblog":
+        from repro.workload.weblog import weblog_schema
+
+        return weblog_schema(days=days)
+    if name == "paper":
+        from repro.workload.generator import paper_schema
+
+        return paper_schema(days=days, temporal_base="minute")
+    raise SystemExit(f"unknown schema {name!r}; choose 'weblog' or 'paper'")
+
+
+def _generate_records(schema_name: str, schema: Schema, n: int, seed: int,
+                      skew: bool):
+    if schema_name == "weblog":
+        from repro.workload.weblog import generate_sessions
+
+        if skew:
+            print(
+                "note: --skew only applies to the 'paper' schema; "
+                "generating regular weblog sessions",
+                file=sys.stderr,
+            )
+        return generate_sessions(schema, n, seed=seed)
+    from repro.workload.generator import generate_skewed, generate_uniform
+
+    if skew:
+        return generate_skewed(schema, n, seed=seed)
+    return generate_uniform(schema, n, seed=seed)
+
+
+def _load_workflow(path: str, schema: Schema) -> Workflow:
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise SystemExit(f"cannot read query file: {exc}")
+    try:
+        return parse_workflow(text, schema)
+    except QueryParseError as exc:
+        raise SystemExit(f"{path}: {exc}")
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("query", help="workflow script file (.cq)")
+    parser.add_argument(
+        "--schema", default="weblog", choices=("weblog", "paper"),
+        help="built-in schema to parse the query against",
+    )
+    parser.add_argument(
+        "--days", type=int, default=2,
+        help="temporal range of the schema, in days",
+    )
+    parser.add_argument(
+        "--records", type=int, default=50_000,
+        help="number of synthetic records to generate",
+    )
+    parser.add_argument(
+        "--machines", type=int, default=20,
+        help="machines in the simulated cluster",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--skew", action="store_true",
+        help="use the skewed data distribution (paper schema only)",
+    )
+
+
+def _cmd_plan(args) -> int:
+    schema = _build_schema(args.schema, args.days)
+    workflow = _load_workflow(args.query, schema)
+    print("Workflow:")
+    print(workflow.describe())
+
+    if args.tree:
+        from repro.query.render import to_ascii
+
+        print("\nDependency tree:")
+        print(to_ascii(workflow))
+    if args.dot:
+        from repro.query.render import to_dot
+
+        with open(args.dot, "w") as handle:
+            handle.write(to_dot(workflow))
+        print(f"\nwrote Graphviz source to {args.dot}")
+    if args.explain:
+        from repro.query.render import explain_derivation
+
+        print()
+        print(explain_derivation(workflow))
+
+    components = connected_components(workflow)
+    optimizer = Optimizer(OptimizerConfig())
+    for index, component in enumerate(components):
+        if len(components) > 1:
+            print(f"\nComponent {index}: {list(component.names)}")
+        minimal = minimal_feasible_key(component)
+        print(f"\nminimal feasible key: {minimal!r}")
+        print("candidates:")
+        for key in candidate_keys(component):
+            scheme, load = optimizer.cost_candidate(
+                key, args.records, args.machines
+            )
+            factors = scheme.clustering_factors or "-"
+            print(
+                f"  {key!r}: cf={factors} blocks={scheme.num_blocks()} "
+                f"predicted max load={load:.0f}"
+            )
+        plan = optimizer.plan(component, args.records, args.machines)
+        print("chosen:", plan.describe())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    if args.machines < 1:
+        raise SystemExit("--machines must be at least 1")
+    if args.records < 0:
+        raise SystemExit("--records must be non-negative")
+    schema = _build_schema(args.schema, args.days)
+    workflow = _load_workflow(args.query, schema)
+    records = _generate_records(
+        args.schema, schema, args.records, args.seed, args.skew
+    )
+    cluster = SimulatedCluster(ClusterConfig(machines=args.machines))
+
+    if args.naive:
+        outcome = NaiveEvaluator(cluster).evaluate(workflow, records)
+        print(outcome.describe())
+        result = outcome.result
+    else:
+        config = ExecutionConfig(
+            early_aggregation=args.early_aggregation,
+            optimizer=OptimizerConfig(use_sampling=args.sampling),
+        )
+        outcome = ParallelEvaluator(cluster, config).evaluate(
+            workflow, records
+        )
+        print(outcome.describe())
+        bars = outcome.breakdown.cumulative()
+        print(
+            "breakdown:",
+            "  ".join(f"{stage}={value:.4f}s" for stage, value in bars.items()),
+        )
+        if args.gantt:
+            from repro.mapreduce.trace import render_gantt
+
+            print()
+            print(render_gantt(
+                outcome.job.map_trace, cluster.map_slots,
+                title="map phase:",
+            ))
+            print()
+            print(render_gantt(
+                outcome.job.reduce_trace, cluster.reduce_slots,
+                title="reduce phase:",
+            ))
+        result = outcome.result
+
+    if args.csv:
+        with open(args.csv, "w", newline="") as handle:
+            rows = write_result_csv(result, handle)
+        print(f"wrote {rows} rows to {args.csv}")
+    return 0
+
+
+def _run_demo() -> int:
+    """The quickstart weblog run, inline (no dependency on examples/)."""
+    from repro.workload.weblog import (
+        generate_sessions,
+        weblog_query,
+        weblog_schema,
+    )
+
+    schema = weblog_schema(days=1)
+    workflow = weblog_query(schema)
+    records = generate_sessions(schema, 50_000, seed=42)
+    cluster = SimulatedCluster(ClusterConfig(machines=10))
+    outcome = ParallelEvaluator(cluster).evaluate(workflow, records)
+    print(workflow.describe())
+    print()
+    print(outcome.describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Parallel evaluation of composite aggregate queries "
+            "(ICDE 2008 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="derive and cost distribution schemes")
+    _add_common_arguments(plan)
+    plan.add_argument(
+        "--explain", action="store_true",
+        help="show the per-measure key derivation steps",
+    )
+    plan.add_argument(
+        "--tree", action="store_true",
+        help="print the workflow as a dependency tree",
+    )
+    plan.add_argument(
+        "--dot", metavar="FILE",
+        help="write Graphviz source of the workflow to FILE",
+    )
+    plan.set_defaults(handler=_cmd_plan)
+
+    run = sub.add_parser("run", help="evaluate a query on the simulator")
+    _add_common_arguments(run)
+    run.add_argument(
+        "--naive", action="store_true",
+        help="use the Section I per-measure baseline",
+    )
+    run.add_argument(
+        "--early-aggregation", action="store_true",
+        help="pre-aggregate basic measures in the mappers",
+    )
+    run.add_argument(
+        "--sampling", action="store_true",
+        help="pick the plan by sampled simulated dispatch",
+    )
+    run.add_argument("--csv", help="export results to this CSV file")
+    run.add_argument(
+        "--gantt", action="store_true",
+        help="draw slot-utilization charts of the map and reduce phases",
+    )
+    run.set_defaults(handler=_cmd_run)
+
+    demo = sub.add_parser("demo", help="run the paper's weblog example")
+    demo.set_defaults(handler=lambda _args: _run_demo())
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Cube-space substrate: hierarchies, schemas, records, regions."""
+
+from repro.cube.calendar import (
+    IrregularHierarchy,
+    calendar_hierarchy,
+    week_hierarchy,
+)
+from repro.cube.domains import (
+    ALL,
+    ALL_VALUE,
+    DomainError,
+    Hierarchy,
+    Level,
+    MappingHierarchy,
+    UniformHierarchy,
+    banded_hierarchy,
+    temporal_hierarchy,
+)
+from repro.cube.lattice import (
+    chain_distance,
+    generalizations_of,
+    greatest_common_descendant,
+    is_feasible_order,
+    least_common_ancestor,
+)
+from repro.cube.records import (
+    Attribute,
+    Record,
+    Schema,
+    SchemaError,
+    estimated_record_bytes,
+    make_records,
+)
+from repro.cube.regions import Granularity, Region, all_granularity
+
+__all__ = [
+    "ALL",
+    "ALL_VALUE",
+    "Attribute",
+    "DomainError",
+    "Granularity",
+    "Hierarchy",
+    "IrregularHierarchy",
+    "Level",
+    "MappingHierarchy",
+    "Record",
+    "Region",
+    "Schema",
+    "SchemaError",
+    "UniformHierarchy",
+    "all_granularity",
+    "banded_hierarchy",
+    "calendar_hierarchy",
+    "chain_distance",
+    "estimated_record_bytes",
+    "generalizations_of",
+    "greatest_common_descendant",
+    "is_feasible_order",
+    "least_common_ancestor",
+    "make_records",
+    "temporal_hierarchy",
+    "week_hierarchy",
+]

@@ -1,0 +1,96 @@
+"""The generalization lattice over granularities.
+
+Granularities of one schema form a product of chains (one chain per
+attribute), hence a lattice.  The *least common ancestor* of a set of
+granularities -- per attribute, the most general of the named levels --
+is the cornerstone of the paper's Theorem 2: it is the minimal feasible
+non-overlapping distribution key.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Iterator, Sequence
+
+from repro.cube.records import SchemaError
+from repro.cube.regions import Granularity
+
+
+def least_common_ancestor(granularities: Sequence[Granularity]) -> Granularity:
+    """Per-attribute most general level among *granularities*.
+
+    This is the finest granularity that is a generalization of every
+    input, i.e. their join in the generalization lattice.
+    """
+    if not granularities:
+        raise SchemaError("least_common_ancestor of an empty set")
+    schema = granularities[0].schema
+    if any(g.schema != schema for g in granularities):
+        raise SchemaError("granularities belong to different schemas")
+    levels = []
+    for index, attr in enumerate(schema.attributes):
+        hierarchy = attr.hierarchy
+        deepest = max(
+            (g.levels[index] for g in granularities),
+            key=lambda name: hierarchy.level(name).depth,
+        )
+        levels.append(deepest)
+    return Granularity(schema, tuple(levels))
+
+
+def greatest_common_descendant(
+    granularities: Sequence[Granularity],
+) -> Granularity:
+    """Per-attribute most specific level: the lattice meet."""
+    if not granularities:
+        raise SchemaError("greatest_common_descendant of an empty set")
+    schema = granularities[0].schema
+    levels = []
+    for index, attr in enumerate(schema.attributes):
+        hierarchy = attr.hierarchy
+        shallowest = min(
+            (g.levels[index] for g in granularities),
+            key=lambda name: hierarchy.level(name).depth,
+        )
+        levels.append(shallowest)
+    return Granularity(schema, tuple(levels))
+
+
+def generalizations_of(granularity: Granularity) -> Iterator[Granularity]:
+    """Enumerate every generalization of *granularity* (including itself).
+
+    The count is the product of remaining chain lengths per attribute, so
+    callers should only use this on the shallow hierarchies typical of
+    OLAP schemas.
+    """
+    schema = granularity.schema
+    choices = []
+    for attr, level in zip(schema.attributes, granularity.levels):
+        choices.append(
+            [lvl.name for lvl in attr.hierarchy.generalizations(level)]
+        )
+    for combo in product(*choices):
+        yield Granularity(schema, tuple(combo))
+
+
+def chain_distance(a: Granularity, b: Granularity) -> int:
+    """Total per-attribute depth difference; 0 iff equal granularities."""
+    if a.schema != b.schema:
+        raise SchemaError("granularities belong to different schemas")
+    distance = 0
+    for attr, la, lb in zip(a.schema.attributes, a.levels, b.levels):
+        hierarchy = attr.hierarchy
+        distance += abs(hierarchy.level(la).depth - hierarchy.level(lb).depth)
+    return distance
+
+
+def is_feasible_order(
+    granularities: Iterable[Granularity],
+) -> bool:
+    """True when the granularities form a chain (each pair comparable)."""
+    items = list(granularities)
+    for i, a in enumerate(items):
+        for b in items[i + 1 :]:
+            if not (a.is_generalization_of(b) or b.is_generalization_of(a)):
+                return False
+    return True

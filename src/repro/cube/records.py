@@ -1,0 +1,132 @@
+"""Schemas and records.
+
+A record is a plain tuple of base-level values, one slot per schema
+attribute (dimension attributes first, in schema order), followed by any
+purely-numeric *fact* fields that measures aggregate but that never act as
+grouping dimensions.  Keeping records as tuples keeps the MapReduce
+substrate simple and cheap to serialize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.cube.domains import DomainError, Hierarchy
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A dimension attribute: a name bound to a hierarchy."""
+
+    name: str
+    hierarchy: Hierarchy
+
+    @property
+    def supports_ranges(self) -> bool:
+        return self.hierarchy.supports_ranges
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Attribute({self.name!r})"
+
+
+class SchemaError(ValueError):
+    """Raised for invalid schema definitions or unknown attribute names."""
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered set of dimension attributes plus named fact fields.
+
+    Args:
+        attributes: Dimension attributes, in record-slot order.
+        facts: Names of trailing numeric fields carried by each record
+            (may be empty; dimension values can be aggregated directly).
+    """
+
+    attributes: tuple[Attribute, ...]
+    facts: tuple[str, ...] = ()
+    _index: dict = field(init=False, repr=False, compare=False, hash=False)
+
+    def __init__(
+        self, attributes: Sequence[Attribute], facts: Sequence[str] = ()
+    ):
+        object.__setattr__(self, "attributes", tuple(attributes))
+        object.__setattr__(self, "facts", tuple(facts))
+        names = [attr.name for attr in self.attributes] + list(self.facts)
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate field names in schema: {names}")
+        object.__setattr__(
+            self, "_index", {name: i for i, name in enumerate(names)}
+        )
+
+    # -- lookup ------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Number of slots in each record tuple."""
+        return len(self.attributes) + len(self.facts)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(attr.name for attr in self.attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise SchemaError(f"schema has no dimension attribute {name!r}")
+
+    def attribute_index(self, name: str) -> int:
+        """Slot index of dimension attribute *name*."""
+        index = self._index.get(name)
+        if index is None or index >= len(self.attributes):
+            raise SchemaError(f"schema has no dimension attribute {name!r}")
+        return index
+
+    def field_index(self, name: str) -> int:
+        """Slot index of any field (dimension or fact)."""
+        index = self._index.get(name)
+        if index is None:
+            raise SchemaError(f"schema has no field {name!r}")
+        return index
+
+    def has_field(self, name: str) -> bool:
+        return name in self._index
+
+    def validate_record(self, record: Sequence) -> None:
+        """Raise :class:`SchemaError` when *record* has the wrong arity."""
+        if len(record) != self.width:
+            raise SchemaError(
+                f"record {record!r} has {len(record)} fields, schema "
+                f"expects {self.width}"
+            )
+
+    def level(self, attr_name: str, level_name: str):
+        """Resolve ``attr.level`` with uniform error reporting."""
+        try:
+            return self.attribute(attr_name).hierarchy.level(level_name)
+        except DomainError as exc:
+            raise SchemaError(str(exc)) from exc
+
+
+Record = tuple
+"""Type alias: records are plain tuples (see module docstring)."""
+
+
+def make_records(schema: Schema, rows: Iterable[Sequence]) -> list[Record]:
+    """Validate and normalize an iterable of rows into record tuples."""
+    records = []
+    for row in rows:
+        schema.validate_record(row)
+        records.append(tuple(row))
+    return records
+
+
+def estimated_record_bytes(schema: Schema) -> int:
+    """Deterministic per-record size estimate used by the timing model.
+
+    Eight bytes per slot plus tuple overhead; the exact constant only
+    scales simulated times, it never changes which plan wins.
+    """
+    return 8 * schema.width + 16

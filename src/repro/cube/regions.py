@@ -1,0 +1,194 @@
+"""Granularities, regions and coordinate mapping in cube space.
+
+A *granularity* names one hierarchy level per schema attribute (the
+paper's ``<K:keyword, T:minute>`` notation; attributes left at ``ALL`` may
+be omitted).  A *region* is one concrete cell at a granularity, identified
+by its coordinate tuple.  Records map to regions by rolling their base
+values up to the granularity's levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Mapping, Sequence
+
+from repro.cube.domains import ALL, ALL_VALUE
+from repro.cube.records import Record, Schema, SchemaError
+
+
+@dataclass(frozen=True)
+class Granularity:
+    """One hierarchy level per attribute of a schema.
+
+    Instances are created through :meth:`of`, which accepts the sparse
+    ``{attr: level}`` notation used throughout the paper and fills the
+    remaining attributes with ``ALL``.
+    """
+
+    schema: Schema
+    levels: tuple[str, ...]
+
+    @classmethod
+    def of(cls, schema: Schema, levels: Mapping[str, str]) -> "Granularity":
+        """Build a granularity from a sparse ``{attribute: level}`` map."""
+        unknown = set(levels) - set(schema.attribute_names)
+        if unknown:
+            raise SchemaError(
+                f"granularity names unknown attributes {sorted(unknown)}"
+            )
+        resolved = []
+        for attr in schema.attributes:
+            level_name = levels.get(attr.name, ALL)
+            attr.hierarchy.level(level_name)  # validate
+            resolved.append(level_name)
+        return cls(schema, tuple(resolved))
+
+    # -- accessors ----------------------------------------------------------
+
+    def level_of(self, attr_name: str) -> str:
+        return self.levels[self.schema.attribute_index(attr_name)]
+
+    def non_all_attributes(self) -> tuple[str, ...]:
+        """Names of attributes not rolled up to ``ALL``."""
+        return tuple(
+            attr.name
+            for attr, level in zip(self.schema.attributes, self.levels)
+            if level != ALL
+        )
+
+    def replace(self, **levels: str) -> "Granularity":
+        """A copy with some attributes moved to different levels."""
+        updated = dict(zip(self.schema.attribute_names, self.levels))
+        updated.update(levels)
+        return Granularity.of(self.schema, updated)
+
+    # -- ordering in the generalization lattice ------------------------------
+
+    def is_generalization_of(self, other: "Granularity") -> bool:
+        """True when every attribute level is at least as general.
+
+        A generalization describes *larger* regions: any region of *other*
+        is contained in exactly one region of ``self``.
+        """
+        if self.schema is not other.schema and self.schema != other.schema:
+            raise SchemaError("granularities belong to different schemas")
+        for attr, mine, theirs in zip(
+            self.schema.attributes, self.levels, other.levels
+        ):
+            hierarchy = attr.hierarchy
+            if hierarchy.level(mine).depth < hierarchy.level(theirs).depth:
+                return False
+        return True
+
+    def is_specialization_of(self, other: "Granularity") -> bool:
+        return other.is_generalization_of(self)
+
+    # -- coordinates ----------------------------------------------------------
+
+    def coordinates_of(self, record: Record) -> tuple[int, ...]:
+        """Map a record to its region coordinates at this granularity."""
+        coords = []
+        for i, (attr, level) in enumerate(
+            zip(self.schema.attributes, self.levels)
+        ):
+            if level == ALL:
+                coords.append(ALL_VALUE)
+            else:
+                hierarchy = attr.hierarchy
+                coords.append(
+                    hierarchy.map_value(record[i], hierarchy.base.name, level)
+                )
+        return tuple(coords)
+
+    def coordinate_mapper(self):
+        """A fast ``record -> coords`` callable with levels pre-resolved.
+
+        Each attribute contributes a pre-built base mapper (a plain
+        divide or table lookup), so the per-record cost is a handful of
+        arithmetic operations rather than level resolution.
+        """
+        steps = [
+            attr.hierarchy.base_mapper(level)
+            for attr, level in zip(self.schema.attributes, self.levels)
+        ]
+
+        def mapper(record: Record) -> tuple[int, ...]:
+            return tuple(
+                step(record[i]) for i, step in enumerate(steps)
+            )
+
+        return mapper
+
+    def map_coords(
+        self, coords: Sequence[int], target: "Granularity"
+    ) -> tuple[int, ...]:
+        """Roll region coordinates up to a more general granularity."""
+        if not target.is_generalization_of(self):
+            raise SchemaError(
+                f"{target} is not a generalization of {self}; cannot map "
+                "coordinates downward"
+            )
+        result = []
+        for attr, value, src, dst in zip(
+            self.schema.attributes, coords, self.levels, target.levels
+        ):
+            if dst == ALL:
+                result.append(ALL_VALUE)
+            elif src == dst:
+                result.append(value)
+            else:
+                result.append(attr.hierarchy.map_value(value, src, dst))
+        return tuple(result)
+
+    def region_count(self) -> int:
+        """Number of regions with this granularity in cube space (n_G)."""
+        count = 1
+        for attr, level in zip(self.schema.attributes, self.levels):
+            count *= attr.hierarchy.level(level).cardinality
+        return count
+
+    def __repr__(self) -> str:
+        parts = [
+            f"{attr.name}:{level}"
+            for attr, level in zip(self.schema.attributes, self.levels)
+            if level != ALL
+        ]
+        return "<" + ", ".join(parts) + ">" if parts else "<ALL>"
+
+
+@dataclass(frozen=True)
+class Region:
+    """A single cell of cube space: a granularity plus coordinates."""
+
+    granularity: Granularity
+    coords: tuple[int, ...]
+
+    def contains_record(self, record: Record) -> bool:
+        return self.granularity.coordinates_of(record) == self.coords
+
+    def parent(self, target: Granularity) -> "Region":
+        """The unique containing region at a more general granularity."""
+        return Region(target, self.granularity.map_coords(self.coords, target))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        pairs = [
+            f"{attr.name}={value}"
+            for attr, value, level in zip(
+                self.granularity.schema.attributes,
+                self.coords,
+                self.granularity.levels,
+            )
+            if level != ALL
+        ]
+        return "Region[" + ", ".join(pairs) + "]"
+
+
+@lru_cache(maxsize=None)
+def _all_granularity_cached(schema: Schema) -> Granularity:
+    return Granularity.of(schema, {})
+
+
+def all_granularity(schema: Schema) -> Granularity:
+    """The coarsest granularity: every attribute at ``ALL``."""
+    return _all_granularity_cached(schema)

@@ -1,0 +1,47 @@
+"""Distribution schemes: feasible keys, overlap, clustering factors."""
+
+from repro.distribution.clustering import BlockScheme
+from repro.distribution.derive import (
+    candidate_keys,
+    feasible_parallelism,
+    is_feasible,
+    key_of_granularity,
+    lca_key,
+    measure_keys,
+    minimal_feasible_key,
+    non_overlapping_key,
+    op_combine,
+    op_convert,
+)
+from repro.distribution.keys import (
+    DistributionError,
+    DistributionKey,
+    KeyComponent,
+)
+from repro.distribution.layout import (
+    LayoutSummary,
+    iter_blocks,
+    layout_summary,
+    render_blocks,
+)
+
+__all__ = [
+    "BlockScheme",
+    "DistributionError",
+    "DistributionKey",
+    "KeyComponent",
+    "LayoutSummary",
+    "candidate_keys",
+    "feasible_parallelism",
+    "is_feasible",
+    "iter_blocks",
+    "key_of_granularity",
+    "layout_summary",
+    "lca_key",
+    "measure_keys",
+    "minimal_feasible_key",
+    "non_overlapping_key",
+    "op_combine",
+    "op_convert",
+    "render_blocks",
+]

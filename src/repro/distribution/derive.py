@@ -1,0 +1,199 @@
+"""Deriving feasible distribution keys from a workflow.
+
+Implements the paper's Section III-B algorithm:
+
+* ``opConvert`` (Table III) widens a source measure's key by a sibling
+  window, expressed in the key's own level via exact range conversion;
+* ``opCombine`` (Table IV) merges the keys of several source measures:
+  per attribute, the coarsest common level, and the hull of the
+  annotation intervals converted into it;
+* :func:`minimal_feasible_key` walks the workflow in topological order,
+  computing one key per measure and combining them all.  For queries
+  without sibling edges the result degenerates to the least common
+  ancestor of all measure granularities (Theorem 2).
+
+Sign convention: a sibling window ``(l, h)`` means the measure at
+coordinate ``t`` reads source values at ``t+l .. t+h``; a key annotation
+``(l, h)`` means the block owning ``t`` also holds data of ``t+l .. t+h``.
+Composition is therefore plain interval addition, and because every
+measure's own granularity joins the combination with interval ``(0, 0)``,
+derived keys always have ``low <= 0 <= high``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cube.domains import ALL
+from repro.cube.lattice import least_common_ancestor
+from repro.cube.regions import Granularity
+from repro.query.measures import Relationship, SiblingWindow
+from repro.query.workflow import Workflow
+from repro.distribution.keys import (
+    DistributionError,
+    DistributionKey,
+    KeyComponent,
+)
+
+
+def key_of_granularity(granularity: Granularity) -> DistributionKey:
+    """The granularity itself as an annotation-free key."""
+    return DistributionKey(
+        granularity.schema,
+        tuple(KeyComponent(level) for level in granularity.levels),
+    )
+
+
+def op_convert(
+    key: DistributionKey,
+    window: SiblingWindow,
+    window_level: str,
+) -> DistributionKey:
+    """Widen *key* to cover a sibling window (the paper's ``opConvert``).
+
+    *window_level* is the level the window offsets are expressed in (the
+    sibling measures' granularity at the window attribute).  The offsets
+    are converted into the key's own level for that attribute and added
+    to the existing annotation interval.
+
+    A key whose component is ``ALL`` on the window attribute already
+    covers every sibling and is returned unchanged.
+    """
+    schema = key.schema
+    attr = schema.attribute(window.attribute)
+    component = key.component(attr.name)
+    if component.level == ALL:
+        return key
+    low, high = attr.hierarchy.convert_range(
+        window.low, window.high, window_level, component.level
+    )
+    widened = KeyComponent(
+        component.level, component.low + low, component.high + high
+    )
+    return key.replace_component(attr.name, widened)
+
+
+def op_combine(keys: Sequence[DistributionKey]) -> DistributionKey:
+    """Merge several feasible keys into one feasible for all of them.
+
+    Per attribute: pick the coarsest level appearing in any key (``ALL``
+    dominates), convert every annotation interval into it, and take the
+    interval hull (the paper's ``opCombine``).
+    """
+    if not keys:
+        raise DistributionError("op_combine of an empty key list")
+    schema = keys[0].schema
+    if any(key.schema != schema for key in keys):
+        raise DistributionError("keys belong to different schemas")
+
+    components = []
+    for index, attr in enumerate(schema.attributes):
+        hierarchy = attr.hierarchy
+        levels = [key.components[index].level for key in keys]
+        coarsest = max(levels, key=lambda name: hierarchy.level(name).depth)
+        if coarsest == ALL:
+            components.append(KeyComponent(ALL))
+            continue
+        low = high = 0
+        for key in keys:
+            component = key.components[index]
+            if component.level == coarsest:
+                clow, chigh = component.low, component.high
+            elif not component.annotated:
+                # Nothing to convert -- and nominal hierarchies (which
+                # can never be annotated) have no range arithmetic.
+                clow, chigh = 0, 0
+            else:
+                clow, chigh = hierarchy.convert_range(
+                    component.low, component.high, component.level, coarsest
+                )
+            low = min(low, clow)
+            high = max(high, chigh)
+        components.append(KeyComponent(coarsest, low, high))
+    return DistributionKey(schema, tuple(components))
+
+
+def measure_keys(workflow: Workflow) -> dict[str, DistributionKey]:
+    """Per-measure feasible keys, computed in topological order.
+
+    A basic measure's key is its own granularity.  A composite measure
+    combines its sources' keys -- each widened by its edge's sibling
+    window if any -- together with its own granularity (its value is
+    anchored at its own region, which therefore must live in the block).
+    """
+    keys: dict[str, DistributionKey] = {}
+    for measure in workflow.topological_order():
+        if measure.is_basic:
+            keys[measure.name] = key_of_granularity(measure.granularity)
+            continue
+        parts = [key_of_granularity(measure.granularity)]
+        for edge in measure.inputs:
+            source_key = keys[edge.source.name]
+            if edge.relationship is Relationship.SIBLING:
+                window_level = measure.granularity.level_of(
+                    edge.window.attribute
+                )
+                source_key = op_convert(source_key, edge.window, window_level)
+            parts.append(source_key)
+        keys[measure.name] = op_combine(parts)
+    return keys
+
+
+def minimal_feasible_key(workflow: Workflow) -> DistributionKey:
+    """The minimal feasible distribution key of the whole query.
+
+    Every other feasible key covers this one (Theorem 2 for queries
+    without sibling edges; the annotated analogue of Section III-B.2
+    otherwise).
+    """
+    return op_combine(list(measure_keys(workflow).values()))
+
+
+def non_overlapping_key(workflow: Workflow) -> DistributionKey:
+    """The minimal feasible key with no annotations.
+
+    Obtained by rolling every annotated attribute of the minimal key up
+    to ``ALL`` -- always feasible, at the price of coarser parallelism.
+    For sibling-free queries this equals the least common ancestor of all
+    measure granularities.
+    """
+    return minimal_feasible_key(workflow).drop_annotations()
+
+
+def lca_key(workflow: Workflow) -> DistributionKey:
+    """Theorem 2's key: the LCA of all measure granularities."""
+    return key_of_granularity(
+        least_common_ancestor([m.granularity for m in workflow.measures])
+    )
+
+
+def candidate_keys(workflow: Workflow) -> list[DistributionKey]:
+    """The optimizer's candidate set (Section IV-B).
+
+    The minimal key may annotate several attributes; execution keeps one
+    annotated attribute at a time, so the candidates are: for each
+    annotated attribute, the minimal key with all *other* annotated
+    attributes rolled up to ``ALL``; plus the fully non-overlapping
+    fallback.  For sibling-free queries this is just the minimal key.
+    """
+    minimal = minimal_feasible_key(workflow)
+    annotated = minimal.annotated_attributes()
+    if not annotated:
+        return [minimal]
+    candidates = [minimal.drop_annotations(keep=name) for name in annotated]
+    candidates.append(minimal.drop_annotations())
+    return candidates
+
+
+def is_feasible(key: DistributionKey, workflow: Workflow) -> bool:
+    """Whether *key* is a feasible distribution key for *workflow*.
+
+    Checked against the derived minimal key via the covering relation;
+    conservative (a ``True`` is always correct).
+    """
+    return key.covers(minimal_feasible_key(workflow))
+
+
+def feasible_parallelism(key: DistributionKey) -> int:
+    """Number of distinct regions the key can split the data into."""
+    return key.granularity.region_count()

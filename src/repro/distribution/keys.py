@@ -1,0 +1,197 @@
+"""Distribution keys, possibly with range annotations.
+
+A distribution key names one hierarchy level per attribute -- the
+granularity that records are grouped by for redistribution -- and may
+attach a *range annotation* ``(low, high)`` to numeric attributes.  An
+annotated component means: the block responsible for outputting results
+anchored at coordinate ``t`` (at the component's level) must also hold
+the data of coordinates ``t + low`` through ``t + high``.  Annotations
+are what let one block serve a sliding window locally; they also force
+records to be replicated into neighbouring blocks (overlapping
+distribution, Section III-B.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.cube.domains import ALL
+from repro.cube.records import Schema, SchemaError
+from repro.cube.regions import Granularity
+
+
+class DistributionError(ValueError):
+    """Raised for invalid distribution keys or infeasible schemes."""
+
+
+@dataclass(frozen=True)
+class KeyComponent:
+    """One attribute's slot in a distribution key."""
+
+    level: str
+    low: int = 0
+    high: int = 0
+
+    def __post_init__(self):
+        if self.low > self.high:
+            raise DistributionError(
+                f"annotation ({self.low}, {self.high}) has low > high"
+            )
+        if self.level == ALL and self.annotated:
+            raise DistributionError("the ALL level cannot carry an annotation")
+
+    @property
+    def annotated(self) -> bool:
+        return self.low != 0 or self.high != 0
+
+    @property
+    def span(self) -> int:
+        """The paper's ``d``: width of the annotation interval."""
+        return self.high - self.low
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.annotated:
+            return f"{self.level}({self.low},{self.high})"
+        return self.level
+
+
+@dataclass(frozen=True)
+class DistributionKey:
+    """A full distribution key: one :class:`KeyComponent` per attribute."""
+
+    schema: Schema
+    components: tuple[KeyComponent, ...]
+
+    def __post_init__(self):
+        if len(self.components) != len(self.schema.attributes):
+            raise DistributionError(
+                f"key has {len(self.components)} components for "
+                f"{len(self.schema.attributes)} attributes"
+            )
+        for attr, component in zip(self.schema.attributes, self.components):
+            attr.hierarchy.level(component.level)  # validate the level name
+            if component.annotated and not attr.supports_ranges:
+                raise DistributionError(
+                    f"attribute {attr.name!r} is nominal and cannot carry "
+                    "a range annotation"
+                )
+
+    @classmethod
+    def of(
+        cls, schema: Schema, spec: Mapping[str, object]
+    ) -> "DistributionKey":
+        """Build a key from ``{attr: level}`` or ``{attr: (level, lo, hi)}``.
+
+        Attributes not mentioned default to ``ALL``.
+        """
+        unknown = set(spec) - set(schema.attribute_names)
+        if unknown:
+            raise SchemaError(
+                f"distribution key names unknown attributes {sorted(unknown)}"
+            )
+        components = []
+        for attr in schema.attributes:
+            entry = spec.get(attr.name, ALL)
+            if isinstance(entry, str):
+                components.append(KeyComponent(entry))
+            else:
+                level, low, high = entry
+                components.append(KeyComponent(level, low, high))
+        return cls(schema, tuple(components))
+
+    # -- accessors ----------------------------------------------------------------
+
+    def component(self, attr_name: str) -> KeyComponent:
+        return self.components[self.schema.attribute_index(attr_name)]
+
+    @property
+    def granularity(self) -> Granularity:
+        """The key's region granularity, annotations dropped."""
+        return Granularity(
+            self.schema, tuple(c.level for c in self.components)
+        )
+
+    def annotated_attributes(self) -> tuple[str, ...]:
+        return tuple(
+            attr.name
+            for attr, component in zip(self.schema.attributes, self.components)
+            if component.annotated
+        )
+
+    @property
+    def is_overlapping(self) -> bool:
+        """Whether blocks under this key share records."""
+        return any(component.annotated for component in self.components)
+
+    def max_span(self) -> int:
+        """Largest annotation width across attributes (the model's d)."""
+        return max((c.span for c in self.components), default=0)
+
+    # -- transformations --------------------------------------------------------------
+
+    def replace_component(
+        self, attr_name: str, component: KeyComponent
+    ) -> "DistributionKey":
+        index = self.schema.attribute_index(attr_name)
+        components = list(self.components)
+        components[index] = component
+        return DistributionKey(self.schema, tuple(components))
+
+    def drop_annotations(
+        self, keep: str | None = None
+    ) -> "DistributionKey":
+        """Roll every annotated attribute except *keep* up to ``ALL``.
+
+        This is the optimizer's single-annotated-attribute normalization
+        (Section IV-B): the search keeps one attribute annotated at a time
+        and generalizes the rest of the annotated attributes away.
+        """
+        components = []
+        for attr, component in zip(self.schema.attributes, self.components):
+            if component.annotated and attr.name != keep:
+                components.append(KeyComponent(ALL))
+            else:
+                components.append(component)
+        return DistributionKey(self.schema, tuple(components))
+
+    def covers(self, other: "DistributionKey") -> bool:
+        """Whether this key is feasible whenever *other* is (Theorem 1).
+
+        Component-wise: this key's level must generalize *other*'s, and
+        *other*'s annotation interval, converted up to this key's level,
+        must fit inside this key's interval.  ``ALL`` components cover
+        everything.  The conversion is conservative, so ``True`` always
+        implies feasibility.
+        """
+        if self.schema != other.schema:
+            raise DistributionError("keys belong to different schemas")
+        for attr, mine, theirs in zip(
+            self.schema.attributes, self.components, other.components
+        ):
+            if mine.level == ALL:
+                continue
+            hierarchy = attr.hierarchy
+            if theirs.level == ALL:
+                return False
+            if hierarchy.is_more_general(theirs.level, mine.level):
+                return False
+            if not theirs.annotated:
+                low, high = 0, 0
+            elif theirs.level == mine.level:
+                low, high = theirs.low, theirs.high
+            else:
+                low, high = hierarchy.convert_range(
+                    theirs.low, theirs.high, theirs.level, mine.level
+                )
+            if low < mine.low or high > mine.high:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        parts = [
+            f"{attr.name}:{component!r}"
+            for attr, component in zip(self.schema.attributes, self.components)
+            if component.level != ALL
+        ]
+        return "<" + ", ".join(parts) + ">" if parts else "<ALL>"

@@ -1,0 +1,125 @@
+"""Rendering block layouts (the paper's Figure 3, as text).
+
+For an annotated attribute of a :class:`~repro.distribution.clustering.
+BlockScheme`, :func:`render_blocks` draws one row per distribution block
+showing which coordinates the block *owns* (``#``, the gray regions of
+Figure 3) and which it merely holds as fringe input for windows (``.``,
+the white regions).  Comparing the clustering factor's effect becomes a
+matter of looking at two pictures:
+
+    cf=1   |#.|                 cf=2   |##.|
+           |.#.|                       |..##.|
+           | .#.|                      |    ..##|
+           ...
+
+:func:`layout_summary` reports the duplication the picture implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distribution.clustering import BlockScheme
+from repro.distribution.keys import DistributionError
+
+
+@dataclass(frozen=True)
+class LayoutSummary:
+    """Aggregate geometry of one annotated axis under a scheme."""
+
+    blocks: int
+    coordinates: int
+    owned_cells: int
+    fringe_cells: int
+
+    @property
+    def duplication(self) -> float:
+        """Stored cells per coordinate (1.0 means no overlap)."""
+        return (self.owned_cells + self.fringe_cells) / self.coordinates
+
+
+def _axis_geometry(scheme: BlockScheme, attr_name: str):
+    component = scheme.key.component(attr_name)
+    if not component.annotated:
+        raise DistributionError(
+            f"attribute {attr_name!r} is not annotated in this key; only "
+            "annotated axes have overlapping layouts to draw"
+        )
+    attr = scheme.schema.attribute(attr_name)
+    cardinality = attr.hierarchy.level(component.level).cardinality
+    return component, cardinality
+
+
+def iter_blocks(scheme: BlockScheme, attr_name: str):
+    """Yield ``(block, (own_lo, own_hi), (hold_lo, hold_hi))`` per block."""
+    component, cardinality = _axis_geometry(scheme, attr_name)
+    for block in range(scheme.max_block_index(attr_name) + 1):
+        own_lo, own_hi = scheme.owned_range(attr_name, block)
+        hold_lo = max(0, own_lo + component.low)
+        hold_hi = min(cardinality - 1, own_hi + component.high)
+        yield block, (own_lo, own_hi), (hold_lo, hold_hi)
+
+
+def layout_summary(scheme: BlockScheme, attr_name: str) -> LayoutSummary:
+    """Count owned and fringe cells across all blocks of one axis."""
+    _component, cardinality = _axis_geometry(scheme, attr_name)
+    owned = fringe = 0
+    blocks = 0
+    for _block, (own_lo, own_hi), (hold_lo, hold_hi) in iter_blocks(
+        scheme, attr_name
+    ):
+        blocks += 1
+        owned += own_hi - own_lo + 1
+        fringe += (hold_hi - hold_lo + 1) - (own_hi - own_lo + 1)
+    return LayoutSummary(
+        blocks=blocks,
+        coordinates=cardinality,
+        owned_cells=owned,
+        fringe_cells=fringe,
+    )
+
+
+def render_blocks(
+    scheme: BlockScheme,
+    attr_name: str,
+    max_blocks: int = 12,
+    max_width: int = 72,
+) -> str:
+    """Draw the axis layout: ``#`` owned, ``.`` fringe, per block.
+
+    Long axes are clipped to *max_blocks* rows and *max_width* columns;
+    a trailing summary line always reports the exact totals.
+    """
+    component, cardinality = _axis_geometry(scheme, attr_name)
+    width = min(cardinality, max_width)
+    lines = [
+        f"axis {attr_name!r} at level {component.level!r}: "
+        f"{cardinality} coordinates, annotation "
+        f"({component.low},{component.high}), cf={scheme.factor(attr_name)}"
+    ]
+    shown = 0
+    for block, (own_lo, own_hi), (hold_lo, hold_hi) in iter_blocks(
+        scheme, attr_name
+    ):
+        if shown >= max_blocks:
+            lines.append(f"... {scheme.max_block_index(attr_name) + 1 - shown} "
+                         "more blocks")
+            break
+        cells = []
+        for coordinate in range(width):
+            if own_lo <= coordinate <= own_hi:
+                cells.append("#")
+            elif hold_lo <= coordinate <= hold_hi:
+                cells.append(".")
+            else:
+                cells.append(" ")
+        clipped = "+" if cardinality > width else "|"
+        lines.append(f"block {block:>3} |{''.join(cells)}{clipped}")
+        shown += 1
+    summary = layout_summary(scheme, attr_name)
+    lines.append(
+        f"{summary.blocks} blocks, {summary.owned_cells} owned + "
+        f"{summary.fringe_cells} fringe cells over {summary.coordinates} "
+        f"coordinates (x{summary.duplication:.2f} duplication)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Serialization of workflows and results; CSV data loading."""
+
+from repro.io.csv_loader import (
+    CsvFormatError,
+    LoadReport,
+    dump_csv,
+    load_csv,
+)
+from repro.io.serialize import (
+    SerializationError,
+    result_from_dict,
+    result_to_dict,
+    workflow_from_dict,
+    workflow_from_json,
+    workflow_to_dict,
+    workflow_to_json,
+    workflow_to_script,
+    write_result_csv,
+)
+
+__all__ = [
+    "CsvFormatError",
+    "LoadReport",
+    "SerializationError",
+    "dump_csv",
+    "load_csv",
+    "result_from_dict",
+    "result_to_dict",
+    "workflow_from_dict",
+    "workflow_from_json",
+    "workflow_to_dict",
+    "workflow_to_json",
+    "workflow_to_script",
+    "write_result_csv",
+]

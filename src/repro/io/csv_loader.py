@@ -1,0 +1,161 @@
+"""Loading record bags from CSV files.
+
+Real deployments read fact tables, not synthetic generators.  The loader
+maps each CSV column onto a schema field: numeric dimensions and facts
+parse as numbers; nominal dimensions (mapping hierarchies) are encoded
+through the hierarchy's value table, so the CSV can carry the original
+strings (``java``, ``store-03``) rather than integer codes.
+
+Rejected rows (wrong arity, unknown nominal values, out-of-range
+numerics) raise by default or are counted and skipped with
+``on_error="skip"``.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from typing import IO, Callable
+
+from repro.cube.domains import MappingHierarchy
+from repro.cube.records import Record, Schema
+
+
+class CsvFormatError(ValueError):
+    """A CSV row cannot be mapped onto the schema."""
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one CSV load."""
+
+    loaded: int
+    skipped: int
+    errors: list[str]
+
+
+def _column_decoder(schema: Schema, name: str) -> Callable[[str], object]:
+    """Decoder for one schema field, by name."""
+    for index, attr in enumerate(schema.attributes):
+        if attr.name != name:
+            continue
+        hierarchy = attr.hierarchy
+        if isinstance(hierarchy, MappingHierarchy):
+            encode = hierarchy.encode
+
+            def decode_nominal(text: str, encode=encode, name=name):
+                try:
+                    return encode[text]
+                except KeyError:
+                    raise CsvFormatError(
+                        f"unknown {name} value {text!r}"
+                    ) from None
+
+            return decode_nominal
+        cardinality = hierarchy.base.cardinality
+
+        def decode_numeric(text: str, cardinality=cardinality, name=name):
+            try:
+                value = int(text)
+            except ValueError:
+                raise CsvFormatError(
+                    f"{name} value {text!r} is not an integer"
+                ) from None
+            if not 0 <= value < cardinality:
+                raise CsvFormatError(
+                    f"{name} value {value} outside [0, {cardinality})"
+                )
+            return value
+
+        return decode_numeric
+
+    if name in schema.facts:
+
+        def decode_fact(text: str, name=name):
+            try:
+                return int(text)
+            except ValueError:
+                pass
+            try:
+                return float(text)  # covers 1.5, 1e5, +2E3, inf
+            except ValueError:
+                raise CsvFormatError(
+                    f"fact {name} value {text!r} is not numeric"
+                ) from None
+
+        return decode_fact
+    raise CsvFormatError(f"schema has no field {name!r}")
+
+
+def load_csv(
+    stream: IO[str],
+    schema: Schema,
+    on_error: str = "raise",
+) -> tuple[list[Record], LoadReport]:
+    """Read records from a CSV with a header row naming schema fields.
+
+    Columns may appear in any order but must cover every schema field.
+    ``on_error="skip"`` drops bad rows (recorded in the report) instead
+    of raising.
+    """
+    if on_error not in ("raise", "skip"):
+        raise ValueError("on_error must be 'raise' or 'skip'")
+    reader = csv.reader(stream)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise CsvFormatError("empty CSV: no header row") from None
+
+    field_order = [attr.name for attr in schema.attributes] + list(
+        schema.facts
+    )
+    missing = set(field_order) - set(header)
+    if missing:
+        raise CsvFormatError(f"CSV header is missing fields {sorted(missing)}")
+    decoders = [
+        (header.index(name), _column_decoder(schema, name))
+        for name in field_order
+    ]
+
+    records: list[Record] = []
+    skipped = 0
+    errors: list[str] = []
+    for line_number, row in enumerate(reader, start=2):
+        try:
+            if len(row) != len(header):
+                raise CsvFormatError(
+                    f"expected {len(header)} columns, got {len(row)}"
+                )
+            records.append(
+                tuple(decode(row[index]) for index, decode in decoders)
+            )
+        except CsvFormatError as exc:
+            if on_error == "raise":
+                raise CsvFormatError(f"line {line_number}: {exc}") from None
+            skipped += 1
+            if len(errors) < 20:
+                errors.append(f"line {line_number}: {exc}")
+    return records, LoadReport(
+        loaded=len(records), skipped=skipped, errors=errors
+    )
+
+
+def dump_csv(records, schema: Schema, stream: IO[str]) -> int:
+    """Write records as CSV (nominal dimensions decoded to strings)."""
+    writer = csv.writer(stream)
+    names = [attr.name for attr in schema.attributes] + list(schema.facts)
+    writer.writerow(names)
+    decoders = []
+    for attr in schema.attributes:
+        hierarchy = attr.hierarchy
+        if isinstance(hierarchy, MappingHierarchy):
+            table = hierarchy.decode[0]
+            decoders.append(lambda value, table=table: table[value])
+        else:
+            decoders.append(lambda value: value)
+    decoders.extend([lambda value: value] * len(schema.facts))
+    for record in records:
+        writer.writerow(
+            [decode(value) for decode, value in zip(decoders, record)]
+        )
+    return len(records) if isinstance(records, list) else -1

@@ -1,0 +1,34 @@
+"""Local (single-node) evaluation of composite subset measure queries."""
+
+from repro.local.measure_table import MeasureTable, ResultSet
+from repro.local.operators import (
+    align_candidates,
+    rollup,
+    rollup_partials,
+    sibling_window,
+)
+from repro.local.sortscan import (
+    BlockEvaluator,
+    LocalStats,
+    choose_attribute_order,
+    compute_composite,
+    evaluate_centralized,
+    is_prefix_compatible,
+    make_sort_key,
+)
+
+__all__ = [
+    "BlockEvaluator",
+    "LocalStats",
+    "MeasureTable",
+    "ResultSet",
+    "align_candidates",
+    "choose_attribute_order",
+    "compute_composite",
+    "evaluate_centralized",
+    "is_prefix_compatible",
+    "make_sort_key",
+    "rollup",
+    "rollup_partials",
+    "sibling_window",
+]

@@ -1,0 +1,227 @@
+"""Relationship operators over measure tables.
+
+These implement the value flow along workflow edges: roll-up of child
+regions, alignment to a parent region, and sibling sliding windows.  They
+are pure functions from measure tables to measure tables, shared by the
+centralized evaluator and the per-block reducers.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections import defaultdict
+
+from repro.cube.regions import Granularity
+from repro.query.functions import AggregateFunction
+from repro.query.measures import SiblingWindow
+from repro.local.measure_table import MeasureTable
+
+
+def rollup(
+    source: MeasureTable,
+    target: Granularity,
+    aggregate: AggregateFunction,
+) -> MeasureTable:
+    """Aggregate child-region values into their parent regions.
+
+    Implements the child/parent relationship: the value of each target
+    region is ``aggregate`` over the values of its child regions present
+    in *source*.
+    """
+    if not target.is_generalization_of(source.granularity):
+        raise ValueError(
+            f"rollup target {target} is not a generalization of "
+            f"{source.granularity}"
+        )
+    groups: dict[tuple, object] = {}
+    add = aggregate.add
+    create = aggregate.create
+    source_granularity = source.granularity
+    for coords, value in source.items():
+        parent = source_granularity.map_coords(coords, target)
+        acc = groups.get(parent)
+        if acc is None:
+            acc = create()
+        groups[parent] = add(acc, value)
+    finalize = aggregate.finalize
+    return MeasureTable(
+        target, {coords: finalize(acc) for coords, acc in groups.items()}
+    )
+
+
+def rollup_partials(
+    source_granularity: Granularity,
+    partials: dict[tuple, object],
+    target: Granularity,
+    aggregate: AggregateFunction,
+) -> dict[tuple, object]:
+    """Merge partial accumulator states up to a coarser granularity.
+
+    A building block for pipelines that ship accumulator states instead
+    of raw records and need to re-aggregate them at a coarser level (the
+    same-granularity merge the executor's early-aggregation path does is
+    the degenerate case).
+    """
+    merged: dict[tuple, object] = {}
+    merge = aggregate.merge
+    # Sorted iteration keeps float accumulator merges deterministic no
+    # matter what order the partial states were collected in.
+    for coords, state in sorted(partials.items()):
+        parent = source_granularity.map_coords(coords, target)
+        existing = merged.get(parent)
+        merged[parent] = state if existing is None else merge(existing, state)
+    return merged
+
+
+def sibling_window(
+    source: MeasureTable,
+    window: SiblingWindow,
+    aggregate: AggregateFunction,
+) -> MeasureTable:
+    """Sliding-window aggregation over one numeric attribute.
+
+    For every region present in *source*, aggregates the source values of
+    sibling regions whose coordinate along ``window.attribute`` lies in
+    ``[t + window.low, t + window.high]`` (other coordinates equal).
+    Anchors are the regions present in *source*; windows shrink at data
+    boundaries (they aggregate whatever siblings exist), and an anchor
+    whose window is completely empty -- possible when the window
+    excludes offset 0, e.g. a strictly-previous ``(-1, -1)`` -- produces
+    no output row, consistent with group-by semantics.
+    """
+    granularity = source.granularity
+    axis = granularity.schema.attribute_index(window.attribute)
+
+    # Bucket values by the non-window coordinates, sorted along the axis.
+    groups: dict[tuple, list[tuple[int, object]]] = defaultdict(list)
+    for coords, value in source.items():
+        key = coords[:axis] + coords[axis + 1 :]
+        groups[key].append((coords[axis], value))
+
+    fast = _PREFIX_WINDOWS.get(aggregate.name)
+    result: dict[tuple, object] = {}
+    for key, entries in groups.items():
+        entries.sort()
+        positions = [position for position, _ in entries]
+        values = [value for _, value in entries]
+        if fast is not None and _prefix_safe(values, aggregate.name):
+            windowed = fast(positions, values, window)
+        else:
+            windowed = _window_generic(positions, values, window, aggregate)
+        for position, value in windowed:
+            result[key[:axis] + (position,) + key[axis:]] = value
+    return MeasureTable(granularity, result)
+
+
+#: Largest magnitude exactly representable in a float64 mantissa.
+_EXACT_FLOAT_BOUND = 2**53
+
+
+def _prefix_safe(values, aggregate_name: str) -> bool:
+    """Whether prefix-sum differencing is *exact* for *values*.
+
+    The library guarantees bit-identical results for every evaluation
+    plan, and float prefix sums round differently depending on the
+    values preceding a window -- so the fast path only applies to
+    integers whose running totals stay within float64's exact range
+    (beyond 2**53 even the scalar fold and an integer prefix would
+    round differently).  ``count`` never reads the values.
+    """
+    if aggregate_name == "count":
+        return True
+    total = 0
+    for value in values:
+        if not isinstance(value, int) or isinstance(value, bool):
+            return False
+        total += abs(value)
+    return total <= _EXACT_FLOAT_BOUND
+
+
+def _window_generic(positions, values, window, aggregate):
+    """Re-aggregate each window slice: O(w) per anchor, any function."""
+    out = []
+    for position in positions:
+        start = bisect_left(positions, position + window.low)
+        stop = bisect_right(positions, position + window.high)
+        if start >= stop:
+            continue
+        out.append((position, aggregate.aggregate(values[start:stop])))
+    return out
+
+
+def _window_ranges(positions, window):
+    """(anchor, start, stop) per anchor with a non-empty window slice."""
+    for position in positions:
+        start = bisect_left(positions, position + window.low)
+        stop = bisect_right(positions, position + window.high)
+        if start < stop:
+            yield position, start, stop
+
+
+def _window_sum(positions, values, window):
+    """O(1) per anchor via prefix sums (sum is invertible)."""
+    prefix = [0]
+    for value in values:
+        prefix.append(prefix[-1] + value)
+    return [
+        (position, prefix[stop] - prefix[start])
+        for position, start, stop in _window_ranges(positions, window)
+    ]
+
+
+def _window_count(positions, values, window):
+    return [
+        (position, stop - start)
+        for position, start, stop in _window_ranges(positions, window)
+    ]
+
+
+def _window_avg(positions, values, window):
+    # Integer prefix sums (exact; _prefix_safe bounds the totals) with a
+    # single float division per anchor, matching the scalar fold bitwise.
+    prefix = [0]
+    for value in values:
+        prefix.append(prefix[-1] + value)
+    return [
+        (position, (prefix[stop] - prefix[start]) / (stop - start))
+        for position, start, stop in _window_ranges(positions, window)
+    ]
+
+
+#: Sliding-window fast paths for functions with an inverse: instead of
+#: re-aggregating every O(w) slice, one prefix pass answers each anchor
+#: in O(1).  (min/max would need a sparse table; they stay generic.)
+_PREFIX_WINDOWS = {
+    "sum": _window_sum,
+    "count": _window_count,
+    "avg": _window_avg,
+}
+
+
+def align_candidates(
+    target: Granularity,
+    edge_tables: list[tuple[MeasureTable, bool]],
+    fallback_coords=None,
+) -> set[tuple] | None:
+    """Candidate target coordinates for an expression-form measure.
+
+    *edge_tables* pairs each edge's table with a flag telling whether the
+    edge is an ALIGN (parent/child) edge.  Non-ALIGN edges constrain the
+    candidates to the intersection of their coordinate sets; ALIGN edges
+    cannot (a parent value fans out to unboundedly many children), so a
+    measure with only ALIGN edges falls back to *fallback_coords* (the
+    regions occupied by raw data at the target granularity).
+
+    Returns ``None`` when no candidate source is available.
+    """
+    candidates: set[tuple] | None = None
+    for table, is_align in edge_tables:
+        if is_align:
+            continue
+        coords = set(table.coords())
+        candidates = coords if candidates is None else candidates & coords
+    if candidates is not None:
+        return candidates
+    if fallback_coords is not None:
+        return set(fallback_coords)
+    return None

@@ -1,0 +1,182 @@
+"""NumPy-accelerated basic-measure aggregation.
+
+The pure-Python scan in :mod:`repro.local.sortscan` processes a few
+hundred thousand records per second; for bulk re-evaluation that is the
+bottleneck.  This module vectorizes the *basic measure* phase: records
+become a 2-D integer array, region coordinates are computed by
+vectorized level mapping, and grouped aggregation runs through
+``np.unique`` + ``np.bincount`` / ``np.add.reduceat``.
+
+Composite measures reuse the ordinary operators (their inputs -- measure
+tables -- are orders of magnitude smaller than the raw records, so
+vectorizing them buys little).
+
+Supported basic aggregates: ``sum``, ``count``, ``min``, ``max``,
+``avg``.  Other functions make :func:`vectorized_supports` return
+``False``, and non-integer record values are detected per block; in
+both cases :class:`VectorizedBlockEvaluator` falls back to the scalar
+:class:`~repro.local.sortscan.BlockEvaluator` automatically.
+
+Results are bit-identical to the scalar path for integer inputs (sums
+of ints are exact in both), which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cube.domains import ALL, ALL_VALUE
+from repro.cube.records import Record
+from repro.cube.regions import Granularity
+from repro.query.workflow import Workflow
+from repro.local.measure_table import MeasureTable, ResultSet
+from repro.local.sortscan import BlockEvaluator, LocalStats
+
+#: Basic aggregates with a vectorized grouped implementation.
+VECTORIZED_AGGREGATES = frozenset({"sum", "count", "min", "max", "avg"})
+
+
+def vectorized_supports(workflow: Workflow) -> bool:
+    """Whether every basic measure has a vectorized implementation."""
+    return all(
+        measure.aggregate.name in VECTORIZED_AGGREGATES
+        for measure in workflow.basic_measures()
+    )
+
+
+def _coordinate_columns(
+    granularity: Granularity, matrix: np.ndarray
+) -> np.ndarray:
+    """Region coordinates for every record row, vectorized per attribute.
+
+    Uniform hierarchies map by integer division; nominal and irregular
+    hierarchies map through a lookup table indexed by base value.
+    """
+    schema = granularity.schema
+    columns = []
+    for index, (attr, level) in enumerate(
+        zip(schema.attributes, granularity.levels)
+    ):
+        base_column = matrix[:, index]
+        if level == ALL:
+            columns.append(np.full(len(matrix), ALL_VALUE, dtype=np.int64))
+            continue
+        hierarchy = attr.hierarchy
+        if level == hierarchy.base.name:
+            columns.append(base_column)
+            continue
+        unit = getattr(hierarchy.level(level), "unit", None)
+        if unit:
+            columns.append(base_column // unit)
+        else:
+            base_name = hierarchy.base.name
+            table = np.fromiter(
+                (
+                    hierarchy.map_value(value, base_name, level)
+                    for value in range(
+                        hierarchy.level(base_name).cardinality
+                    )
+                ),
+                dtype=np.int64,
+            )
+            columns.append(table[base_column])
+    return np.column_stack(columns)
+
+
+def _grouped_aggregate(
+    coords: np.ndarray, values: np.ndarray, name: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """(unique coords, aggregated values) for one basic measure."""
+    order = np.lexsort(coords.T[::-1])
+    sorted_coords = coords[order]
+    sorted_values = values[order]
+    boundary = np.ones(len(sorted_coords), dtype=bool)
+    boundary[1:] = (sorted_coords[1:] != sorted_coords[:-1]).any(axis=1)
+    starts = np.flatnonzero(boundary)
+    unique = sorted_coords[starts]
+
+    if name == "count":
+        counts = np.diff(np.append(starts, len(sorted_values)))
+        return unique, counts
+    if name == "sum":
+        return unique, np.add.reduceat(sorted_values, starts)
+    if name == "avg":
+        sums = np.add.reduceat(sorted_values.astype(np.float64), starts)
+        counts = np.diff(np.append(starts, len(sorted_values)))
+        return unique, sums / counts
+    if name == "min":
+        return unique, np.minimum.reduceat(sorted_values, starts)
+    if name == "max":
+        return unique, np.maximum.reduceat(sorted_values, starts)
+    raise ValueError(f"no vectorized implementation for {name!r}")
+
+
+class VectorizedBlockEvaluator:
+    """Drop-in accelerated evaluator for supported workflows.
+
+    Falls back to the scalar :class:`BlockEvaluator` whenever the
+    workflow uses unsupported basic aggregates; composite measures
+    always run through the shared operators, so results are identical
+    either way.
+    """
+
+    def __init__(self, workflow: Workflow):
+        self.workflow = workflow
+        self._scalar = BlockEvaluator(workflow)
+        self.accelerated = vectorized_supports(workflow)
+
+    def evaluate(
+        self,
+        records,
+        stats: LocalStats | None = None,
+    ) -> ResultSet:
+        if not self.accelerated:
+            return self._scalar.evaluate(records, stats=stats)
+        block = records if isinstance(records, list) else list(records)
+        if stats is None:
+            stats = LocalStats()
+        if not block:
+            return self._scalar.evaluate([], stats=stats)
+
+        matrix = np.asarray(block)
+        if not np.issubdtype(matrix.dtype, np.integer):
+            # Float (or object) fact values: casting to int64 would
+            # silently truncate them, so take the scalar path instead.
+            return self._scalar.evaluate(block, stats=stats)
+        if matrix.size and int(np.abs(matrix).max()) > (2**62) // max(
+            1, len(block)
+        ):
+            # Conservative overflow guard: int64 reductions wrap
+            # silently; huge values go through arbitrary-precision
+            # Python ints on the scalar path instead.
+            return self._scalar.evaluate(block, stats=stats)
+        stats.records += len(block)
+        tables: dict[str, MeasureTable] = {}
+        schema = self.workflow.schema
+        for measure in self.workflow.basic_measures():
+            coords = _coordinate_columns(measure.granularity, matrix)
+            values = matrix[:, schema.field_index(measure.field)]
+            unique, aggregated = _grouped_aggregate(
+                coords, values, measure.aggregate.name
+            )
+            tables[measure.name] = MeasureTable(
+                measure.granularity,
+                {
+                    tuple(int(c) for c in row): value.item()
+                    for row, value in zip(unique, aggregated)
+                },
+            )
+        # Composite phase: identical code path to the scalar evaluator;
+        # records ride along so pure-ALIGN measures can anchor regions.
+        return self._scalar.evaluate(
+            records=block, basic_tables=tables, stats=stats
+        )
+
+
+def evaluate_vectorized(
+    workflow: Workflow,
+    records: list[Record],
+    stats: LocalStats | None = None,
+) -> ResultSet:
+    """Convenience wrapper mirroring :func:`evaluate_centralized`."""
+    return VectorizedBlockEvaluator(workflow).evaluate(records, stats=stats)

@@ -1,0 +1,157 @@
+"""The simulated shared-nothing cluster.
+
+Holds the machine pool, its failure state, the DFS namespace, and the
+virtual-clock slot scheduler that turns per-task durations into phase
+makespans (greedy list scheduling, exactly how a MapReduce master hands
+tasks to free slots).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Iterable, Sequence
+
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.timing import ClusterConfig, TimingModel
+
+
+def makespan(durations: Iterable[float], slots: int) -> float:
+    """Finish time of greedily scheduling *durations* onto *slots* slots.
+
+    Tasks are assigned in the given order to whichever slot frees first,
+    which is how a MapReduce master dispatches work.
+    """
+    if slots <= 0:
+        raise ValueError("need at least one slot")
+    finish_times = [0.0] * slots
+    heapq.heapify(finish_times)
+    latest = 0.0
+    for duration in durations:
+        if duration < 0:
+            raise ValueError(f"negative task duration {duration}")
+        start = heapq.heappop(finish_times)
+        end = start + duration
+        latest = max(latest, end)
+        heapq.heappush(finish_times, end)
+    return latest
+
+
+class SimulatedCluster:
+    """A fixed machine pool with failure injection and a timing model."""
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        dfs: InMemoryDFS | None = None,
+    ):
+        self.config = config or ClusterConfig()
+        self.timing = TimingModel(self.config)
+        self.dfs = dfs or InMemoryDFS(
+            machines=self.config.machines,
+            replication=self.config.replication,
+        )
+        if self.dfs.machines != self.config.machines:
+            raise ValueError(
+                f"DFS spans {self.dfs.machines} machines but the cluster "
+                f"has {self.config.machines}"
+            )
+        self._failed: set[int] = set()
+
+    # -- failure injection ------------------------------------------------------
+
+    @property
+    def failed_machines(self) -> frozenset[int]:
+        return frozenset(self._failed)
+
+    def fail_machine(self, machine: int) -> None:
+        """Mark a machine as dead; its replicas and slots become unusable."""
+        if not 0 <= machine < self.config.machines:
+            raise ValueError(f"no machine {machine}")
+        self._failed.add(machine)
+        if len(self._failed) >= self.config.machines:
+            raise RuntimeError("cannot fail every machine in the cluster")
+
+    def restore_machine(self, machine: int) -> None:
+        self._failed.discard(machine)
+
+    @property
+    def live_machines(self) -> int:
+        return self.config.machines - len(self._failed)
+
+    # -- slots ----------------------------------------------------------------------
+
+    @property
+    def map_slots(self) -> int:
+        return self.live_machines * self.config.map_slots_per_machine
+
+    @property
+    def reduce_slots(self) -> int:
+        return self.live_machines * self.config.reduce_slots_per_machine
+
+    def reducer_machine(self, reducer_index: int) -> int:
+        """Deterministic placement of reducer tasks on live machines."""
+        live = sorted(set(range(self.config.machines)) - self._failed)
+        return live[reducer_index % len(live)]
+
+    def reducer_retry_needed(self, reducer_index: int) -> bool:
+        """Whether a reducer's *nominal* machine died, forcing a retry.
+
+        The scheduler first places reducer ``i`` on machine ``i mod M``
+        (oblivious to failures, as a just-failed machine looks healthy
+        when the task is dispatched); when that machine is down the task
+        fails and reruns on a live one -- paying roughly double.
+        """
+        return (reducer_index % self.config.machines) in self._failed
+
+    # -- convenience -----------------------------------------------------------------
+
+    def write_file(self, name: str, records: Sequence) -> None:
+        self.dfs.write(name, records)
+
+    def schedule_maps(self, durations: Iterable[float]) -> float:
+        return makespan(durations, self.map_slots)
+
+    def schedule_reduces(self, durations: Iterable[float]) -> float:
+        return makespan(durations, self.reduce_slots)
+
+    # -- stragglers ------------------------------------------------------------------
+
+    def straggler_factors(self, n_tasks: int, salt: str) -> tuple[list[float], int, int]:
+        """Per-task slowdown factors for one phase of one job.
+
+        Each task independently straggles with the configured
+        probability (deterministic from *salt*, so reruns reproduce).
+        Without speculative execution a straggler runs
+        ``straggler_slowdown`` times longer; with it, a backup copy caps
+        the damage at ``speculation_overhead`` times the nominal
+        duration.  Returns ``(factors, stragglers, speculated)``.
+        """
+        config = self.config
+        if config.straggler_probability <= 0.0 or n_tasks == 0:
+            return [1.0] * n_tasks, 0, 0
+        rng = random.Random(f"stragglers:{salt}:{n_tasks}")
+        factors = []
+        stragglers = speculated = 0
+        for _ in range(n_tasks):
+            if rng.random() < config.straggler_probability:
+                stragglers += 1
+                if config.speculative_execution:
+                    speculated += 1
+                    factors.append(
+                        min(
+                            config.straggler_slowdown,
+                            config.speculation_overhead,
+                        )
+                    )
+                else:
+                    factors.append(config.straggler_slowdown)
+            else:
+                factors.append(1.0)
+        return factors, stragglers, speculated
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimulatedCluster({self.config.machines} machines, "
+            f"{len(self._failed)} failed)"
+        )

@@ -1,0 +1,147 @@
+"""Job counters and per-phase cost breakdowns.
+
+The engine counts *work* (records, bytes, sort passes) while executing
+jobs for real; the timing model converts work into simulated seconds.
+Keeping the two separate makes every experiment deterministic and lets
+tests assert on work done rather than on wall-clock noise.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PhaseBreakdown:
+    """Simulated seconds per evaluation phase (Figure 4(d) categories).
+
+    ``map`` covers reading input splits and running the map function;
+    ``shuffle`` is transferring map output to reducers; ``framework_sort``
+    is the MapReduce sort grouping pairs by distribution key;
+    ``group_sort`` is the local algorithm's re-sort inside each group;
+    ``evaluate`` is the scan producing results.
+    """
+
+    map: float = 0.0
+    shuffle: float = 0.0
+    framework_sort: float = 0.0
+    group_sort: float = 0.0
+    evaluate: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.map
+            + self.shuffle
+            + self.framework_sort
+            + self.group_sort
+            + self.evaluate
+        )
+
+    def cumulative(self) -> dict[str, float]:
+        """The paper's cumulative bars: Map-Only, MR, Sort, Sort+Eval."""
+        map_only = self.map
+        mr = map_only + self.shuffle + self.framework_sort
+        sort = mr + self.group_sort
+        return {
+            "Map-Only": map_only,
+            "MR": mr,
+            "Sort": sort,
+            "Sort+Eval": sort + self.evaluate,
+        }
+
+    def add(self, other: "PhaseBreakdown") -> None:
+        self.map += other.map
+        self.shuffle += other.shuffle
+        self.framework_sort += other.framework_sort
+        self.group_sort += other.group_sort
+        self.evaluate += other.evaluate
+
+
+@dataclass
+class JobCounters:
+    """Raw work counters collected while a job executes."""
+
+    map_input_records: int = 0
+    map_output_records: int = 0
+    map_output_bytes: int = 0
+    combine_input_records: int = 0
+    combine_output_records: int = 0
+    shuffle_bytes: int = 0
+    reduce_input_records: int = 0
+    reduce_output_records: int = 0
+    spilled_records: int = 0
+    sort_passes: int = 0
+    map_tasks: int = 0
+    reduce_tasks: int = 0
+    remote_block_reads: int = 0
+    task_retries: int = 0
+    extra: Counter = field(default_factory=Counter)
+
+    @property
+    def replication_factor(self) -> float:
+        """Map output amplification: duplicated data shows up here."""
+        if self.map_input_records == 0:
+            return 0.0
+        return self.map_output_records / self.map_input_records
+
+    def add(self, other: "JobCounters") -> None:
+        self.map_input_records += other.map_input_records
+        self.map_output_records += other.map_output_records
+        self.map_output_bytes += other.map_output_bytes
+        self.combine_input_records += other.combine_input_records
+        self.combine_output_records += other.combine_output_records
+        self.shuffle_bytes += other.shuffle_bytes
+        self.reduce_input_records += other.reduce_input_records
+        self.reduce_output_records += other.reduce_output_records
+        self.spilled_records += other.spilled_records
+        self.sort_passes += other.sort_passes
+        self.map_tasks += other.map_tasks
+        self.reduce_tasks += other.reduce_tasks
+        self.remote_block_reads += other.remote_block_reads
+        self.task_retries += other.task_retries
+        self.extra.update(other.extra)
+
+
+@dataclass
+class JobReport:
+    """Everything the harness needs to know about one executed job."""
+
+    name: str
+    counters: JobCounters
+    breakdown: PhaseBreakdown
+    map_makespan: float
+    reduce_makespan: float
+    reducer_loads: list[int] = field(default_factory=list)
+    reducer_times: list[float] = field(default_factory=list)
+    map_trace: list = field(default_factory=list)
+    reduce_trace: list = field(default_factory=list)
+
+    @property
+    def response_time(self) -> float:
+        """Simulated end-to-end response time of the job."""
+        return self.map_makespan + self.reduce_makespan
+
+    @property
+    def max_reducer_load(self) -> int:
+        return max(self.reducer_loads, default=0)
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max over mean reducer load; 1.0 is perfectly balanced."""
+        busy = [load for load in self.reducer_loads if load]
+        if not busy:
+            return 1.0
+        mean = sum(self.reducer_loads) / len(self.reducer_loads)
+        return self.max_reducer_load / mean if mean else 1.0
+
+    def summary(self) -> str:
+        counters = self.counters
+        return (
+            f"{self.name}: {self.response_time:.3f}s simulated "
+            f"(map {self.map_makespan:.3f}s + reduce {self.reduce_makespan:.3f}s), "
+            f"{counters.map_input_records} records in, "
+            f"replication x{counters.replication_factor:.2f}, "
+            f"max reducer load {self.max_reducer_load}"
+        )

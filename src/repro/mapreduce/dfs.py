@@ -1,0 +1,108 @@
+"""A miniature distributed file system.
+
+Files are bags of records split into fixed-size blocks; each block is
+replicated on ``replication`` distinct machines (chosen deterministically
+from a seeded RNG, round-robin style for even spread).  Mappers prefer a
+local replica and fall back to remote reads -- or fail with
+:class:`DataUnavailableError` -- when machines are down.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.cube.records import Record
+
+
+class DataUnavailableError(RuntimeError):
+    """All replicas of a block live on failed machines."""
+
+
+@dataclass(frozen=True)
+class Block:
+    """One replicated chunk of a distributed file."""
+
+    index: int
+    records: tuple[Record, ...]
+    replicas: tuple[int, ...]
+
+    def readable_replicas(self, failed: frozenset[int]) -> tuple[int, ...]:
+        return tuple(m for m in self.replicas if m not in failed)
+
+
+@dataclass
+class DistributedFile:
+    """A record bag stored as replicated blocks across a cluster."""
+
+    name: str
+    blocks: tuple[Block, ...]
+    machines: int
+
+    @property
+    def num_records(self) -> int:
+        return sum(len(block.records) for block in self.blocks)
+
+    def records(self) -> Iterable[Record]:
+        for block in self.blocks:
+            yield from block.records
+
+    def read_block(
+        self, block: Block, failed: frozenset[int] = frozenset()
+    ) -> tuple[Sequence[Record], int]:
+        """Return the block's records and the machine serving them.
+
+        Raises :class:`DataUnavailableError` when no replica survives.
+        """
+        replicas = block.readable_replicas(failed)
+        if not replicas:
+            raise DataUnavailableError(
+                f"block {block.index} of {self.name!r}: all replicas "
+                f"{block.replicas} are on failed machines"
+            )
+        return block.records, replicas[0]
+
+
+@dataclass
+class InMemoryDFS:
+    """Namespace of distributed files over a fixed machine pool."""
+
+    machines: int
+    block_records: int = 4096
+    replication: int = 3
+    seed: int = 7
+    files: dict[str, DistributedFile] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.machines <= 0:
+            raise ValueError("DFS needs at least one machine")
+        if self.block_records <= 0:
+            raise ValueError("block_records must be positive")
+
+    def write(self, name: str, records: Sequence[Record]) -> DistributedFile:
+        """Store *records* as a new file, replacing any previous version."""
+        rng = random.Random(f"{self.seed}:{name}")
+        replication = min(self.replication, self.machines)
+        blocks = []
+        start_machine = rng.randrange(self.machines)
+        for index in range(0, max(1, len(records)), self.block_records):
+            chunk = tuple(records[index : index + self.block_records])
+            primary = (start_machine + len(blocks)) % self.machines
+            replicas = tuple(
+                (primary + offset) % self.machines
+                for offset in range(replication)
+            )
+            blocks.append(Block(len(blocks), chunk, replicas))
+        handle = DistributedFile(name, tuple(blocks), self.machines)
+        self.files[name] = handle
+        return handle
+
+    def open(self, name: str) -> DistributedFile:
+        try:
+            return self.files[name]
+        except KeyError:
+            raise FileNotFoundError(f"no DFS file named {name!r}") from None
+
+    def delete(self, name: str) -> None:
+        self.files.pop(name, None)

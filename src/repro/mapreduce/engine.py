@@ -1,0 +1,298 @@
+"""The MapReduce job engine.
+
+Executes jobs for real -- mappers emit key/value pairs, pairs shuffle to
+reducers by partitioned key, reducers group and reduce -- while charging
+every byte and record to the simulated cluster's timing model.  One call
+to :meth:`MapReduceJob.run` therefore yields both the exact job output
+and a deterministic simulated response time with the paper's Figure 4(d)
+phase breakdown.
+
+The scatter/gather contract mirrors Hadoop's:
+
+* ``mapper(record) -> iterable[(key, value)]`` -- may emit several pairs
+  per record, which is what enables overlapped data redistribution;
+* ``combiner(key, values) -> iterable[(key, value)]`` -- optional
+  mapper-side pre-aggregation (the early-aggregation optimization);
+* ``reducer(key, values, ctx) -> iterable[output]`` -- sees each group
+  once, with pairs of equal key guaranteed to meet in the same task, and
+  charges its internal sort/scan work through *ctx*.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.mapreduce.cluster import SimulatedCluster, makespan
+from repro.mapreduce.counters import JobCounters, JobReport, PhaseBreakdown
+from repro.mapreduce.dfs import DistributedFile
+from repro.mapreduce.sorter import external_sort, group_sorted
+from repro.mapreduce.timing import TimingModel
+from repro.mapreduce.trace import schedule
+
+#: Serialized size charged per key in a key/value pair.
+KEY_BYTES = 16
+
+#: Extra per-record key width when the framework sorts on a composite
+#: (distribution + local) key, Section III-D's combined-sort variant.
+COMBINED_SORT_KEY_OVERHEAD = 1.1
+
+
+class TaskContext:
+    """Lets reduce functions charge their internal work to the clock."""
+
+    def __init__(self, timing: TimingModel):
+        self._timing = timing
+        self.group_sort_seconds = 0.0
+        self.eval_seconds = 0.0
+
+    def charge_sort(self, records: int, nbytes: int) -> None:
+        """Charge an in-group sort (the local algorithm's re-sort)."""
+        self.group_sort_seconds += self._timing.sort(records, nbytes)
+
+    def charge_eval(self, records: int) -> None:
+        """Charge scan/evaluation CPU for *records* processed."""
+        self.eval_seconds += self._timing.eval_cpu(records)
+
+
+@dataclass
+class JobResult:
+    """Outputs plus the execution report of one job run."""
+
+    outputs: list
+    report: JobReport
+
+
+def stable_hash(key) -> int:
+    """A process-independent hash (``hash()`` is randomized for strings)."""
+    return zlib.crc32(repr(key).encode())
+
+
+def default_partitioner(key, num_reducers: int) -> int:
+    """Hash partitioning: the scheme the cost model's randomness assumes."""
+    return stable_hash(key) % num_reducers
+
+
+@dataclass
+class MapReduceJob:
+    """A configured job; call :meth:`run` against a cluster and a file.
+
+    Args:
+        mapper: Map function (see module docstring).
+        reducer: Reduce function.
+        num_reducers: Number of reduce tasks (the paper's ``m``).
+        combiner: Optional mapper-side pre-aggregation.
+        partitioner: ``(key, m) -> reducer index``; defaults to hashing.
+        record_bytes: Serialized size of one map *input* record.
+        value_bytes: Size function for map output values; defaults to
+            ``record_bytes`` (values are copies of input records in the
+            paper's scheme).
+        combined_sort: Model Section III-D's combined framework/local
+            sort: group re-sorts become free, the framework sort pays a
+            slightly wider key.
+        name: Label used in reports.
+    """
+
+    mapper: Callable
+    reducer: Callable
+    num_reducers: int
+    combiner: Optional[Callable] = None
+    partitioner: Callable = default_partitioner
+    record_bytes: int = 64
+    value_bytes: Optional[Callable] = None
+    combined_sort: bool = False
+    name: str = "job"
+
+    def __post_init__(self):
+        if self.num_reducers <= 0:
+            raise ValueError("num_reducers must be positive")
+
+    # -- map side ----------------------------------------------------------------
+
+    def _run_map_task(
+        self,
+        records: Sequence,
+        remote: bool,
+        timing: TimingModel,
+        counters: JobCounters,
+        buckets: list[list],
+    ) -> float:
+        value_size = self.value_bytes or (lambda _value: self.record_bytes)
+        pairs = []
+        for record in records:
+            pairs.extend(self.mapper(record))
+        counters.map_input_records += len(records)
+        emitted_pairs = len(pairs)
+
+        combine_seconds = 0.0
+        if self.combiner is not None and pairs:
+            counters.combine_input_records += len(pairs)
+            pair_bytes = sum(KEY_BYTES + value_size(v) for _k, v in pairs)
+            # Mapper-side grouping costs a sort (or hash) of the map
+            # output -- the overhead Figure 4(e) shows dominating at fine
+            # granularities.
+            combine_seconds = timing.sort(len(pairs), pair_bytes)
+            pairs.sort(key=lambda pair: pair[0])
+            combined = []
+            for key, values in group_sorted(pairs):
+                combined.extend(self.combiner(key, values))
+            pairs = combined
+            counters.combine_output_records += len(pairs)
+
+        out_bytes = 0
+        for key, value in pairs:
+            index = self.partitioner(key, self.num_reducers)
+            buckets[index].append((key, value))
+            out_bytes += KEY_BYTES + value_size(value)
+        counters.map_output_records += len(pairs)
+        counters.map_output_bytes += out_bytes
+
+        read_bytes = len(records) * self.record_bytes
+        # Emission CPU is paid per pair the map function produced; the
+        # combiner may shrink `pairs` afterwards but the work happened.
+        return (
+            timing.disk_read(read_bytes, remote=remote)
+            + timing.map_cpu(len(records) + emitted_pairs)
+            + combine_seconds
+        )
+
+    # -- reduce side --------------------------------------------------------------
+
+    def _run_reduce_task(
+        self,
+        pairs: list,
+        cluster: SimulatedCluster,
+        counters: JobCounters,
+        outputs: list,
+    ) -> tuple[float, float, float, float, int]:
+        """Execute one reducer; returns its phase durations and load."""
+        timing = cluster.timing
+        value_size = self.value_bytes or (lambda _value: self.record_bytes)
+        in_bytes = sum(KEY_BYTES + value_size(v) for _k, v in pairs)
+        shuffle_seconds = timing.network_transfer(in_bytes)
+
+        sorted_pairs, sort_stats = external_sort(
+            pairs,
+            key=lambda pair: pair[0],
+            record_bytes=max(1, in_bytes // max(1, len(pairs))),
+            memory_bytes=cluster.config.memory_per_task,
+        )
+        counters.spilled_records += sort_stats.spilled_records
+        counters.sort_passes += sort_stats.passes
+        fsort_bytes = in_bytes
+        if self.combined_sort:
+            fsort_bytes = int(in_bytes * COMBINED_SORT_KEY_OVERHEAD)
+        fsort_seconds = timing.sort(len(sorted_pairs), fsort_bytes)
+
+        context = TaskContext(timing)
+        for key, values in group_sorted(sorted_pairs):
+            counters.reduce_input_records += len(values)
+            produced = self.reducer(key, values, context)
+            if produced:
+                outputs.extend(produced)
+        if self.combined_sort:
+            # The local re-sort is subsumed by the composite framework key.
+            context.group_sort_seconds = 0.0
+        return (
+            shuffle_seconds,
+            fsort_seconds,
+            context.group_sort_seconds,
+            context.eval_seconds,
+            len(pairs),
+        )
+
+    # -- whole job -----------------------------------------------------------------
+
+    def run(
+        self, input_file: DistributedFile, cluster: SimulatedCluster
+    ) -> JobResult:
+        """Execute the job and return outputs plus the execution report."""
+        timing = cluster.timing
+        counters = JobCounters()
+        failed = cluster.failed_machines
+        buckets: list[list] = [[] for _ in range(self.num_reducers)]
+
+        map_durations = []
+        for block in input_file.blocks:
+            records, served_by = input_file.read_block(block, failed)
+            remote = served_by != block.replicas[0]
+            if remote:
+                counters.remote_block_reads += 1
+            map_durations.append(
+                self._run_map_task(records, remote, timing, counters, buckets)
+            )
+        counters.map_tasks = len(map_durations)
+        map_factors, map_stragglers, map_speculated = (
+            cluster.straggler_factors(len(map_durations), f"{self.name}:map")
+        )
+        map_durations = [
+            duration * factor
+            for duration, factor in zip(map_durations, map_factors)
+        ]
+        counters.extra["stragglers"] += map_stragglers
+        counters.extra["speculated"] += map_speculated
+        map_makespan, map_trace = schedule(map_durations, cluster.map_slots)
+
+        outputs: list = []
+        shuffle, fsort, gsort, evaluate, loads = [], [], [], [], []
+        for index, pairs in enumerate(buckets):
+            counters.reduce_tasks += 1
+            durations = self._run_reduce_task(pairs, cluster, counters, outputs)
+            retry = 2.0 if cluster.reducer_retry_needed(index) else 1.0
+            if retry > 1.0:
+                counters.task_retries += 1
+            shuffle.append(durations[0] * retry)
+            fsort.append(durations[1] * retry)
+            gsort.append(durations[2] * retry)
+            evaluate.append(durations[3] * retry)
+            loads.append(durations[4])
+        counters.shuffle_bytes = counters.map_output_bytes
+        counters.reduce_output_records = len(outputs)
+
+        reduce_factors, reduce_stragglers, reduce_speculated = (
+            cluster.straggler_factors(
+                self.num_reducers, f"{self.name}:reduce"
+            )
+        )
+        counters.extra["stragglers"] += reduce_stragglers
+        counters.extra["speculated"] += reduce_speculated
+        for stage in (shuffle, fsort, gsort, evaluate):
+            for index, factor in enumerate(reduce_factors):
+                stage[index] *= factor
+
+        slots = cluster.reduce_slots
+        stages = [shuffle, fsort, gsort, evaluate]
+        cumulative = [0.0] * (len(stages) + 1)
+        for depth in range(1, len(stages) + 1):
+            partial = [
+                sum(stage[j] for stage in stages[:depth])
+                for j in range(self.num_reducers)
+            ]
+            cumulative[depth] = makespan(partial, slots)
+        breakdown = PhaseBreakdown(
+            map=map_makespan,
+            shuffle=cumulative[1] - cumulative[0],
+            framework_sort=cumulative[2] - cumulative[1],
+            group_sort=cumulative[3] - cumulative[2],
+            evaluate=cumulative[4] - cumulative[3],
+        )
+        reduce_makespan = cumulative[4]
+        reducer_times = [
+            shuffle[j] + fsort[j] + gsort[j] + evaluate[j]
+            for j in range(self.num_reducers)
+        ]
+        _finish, reduce_trace = schedule(reducer_times, slots)
+
+        report = JobReport(
+            name=self.name,
+            counters=counters,
+            breakdown=breakdown,
+            map_makespan=map_makespan,
+            reduce_makespan=reduce_makespan,
+            reducer_loads=loads,
+            reducer_times=reducer_times,
+            map_trace=map_trace,
+            reduce_trace=reduce_trace,
+        )
+        return JobResult(outputs=outputs, report=report)

@@ -1,0 +1,45 @@
+"""Cost model, plan search, and run-time skew handling."""
+
+from repro.optimizer.costmodel import (
+    EULER_GAMMA,
+    exhaustive_clustering_factor,
+    expected_max_load,
+    expected_max_load_overlap,
+    expected_normal_max,
+    optimal_clustering_factor,
+)
+from repro.optimizer.optimizer import (
+    Optimizer,
+    OptimizerConfig,
+    Plan,
+    QueryPlan,
+)
+from repro.optimizer.skew import (
+    KeyCache,
+    detect_skew,
+    diversify_schemes,
+    pick_by_sampling,
+    sample_records,
+    scale_loads,
+    simulate_dispatch,
+)
+
+__all__ = [
+    "EULER_GAMMA",
+    "KeyCache",
+    "Optimizer",
+    "OptimizerConfig",
+    "Plan",
+    "QueryPlan",
+    "detect_skew",
+    "diversify_schemes",
+    "exhaustive_clustering_factor",
+    "expected_max_load",
+    "expected_max_load_overlap",
+    "expected_normal_max",
+    "optimal_clustering_factor",
+    "pick_by_sampling",
+    "sample_records",
+    "scale_loads",
+    "simulate_dispatch",
+]

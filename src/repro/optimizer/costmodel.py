@@ -1,0 +1,184 @@
+"""The analytical cost model (Section IV).
+
+Response time is dominated by the heaviest reducer: transferring and
+processing the records of every block assigned to it.  With blocks
+assigned to ``m`` reducers uniformly at random and records spread evenly
+over ``n_G`` regions, the heaviest load is the maximum of a multinomial
+-- approximated through the first moment of the largest order statistic
+of ``m`` (near-)normal variables (Owen & Steck; the paper's Formula 2):
+
+    E[max load] ~ N/m + N * sqrt((1 - 1/m) / (n_G * m)) * e(m)
+
+    e(m) = sqrt(2 ln m) - (ln ln m + ln 4*pi - 2*alpha) / (2 sqrt(2 ln m))
+
+with ``alpha`` Euler's constant.  The overlapping variant (Formula 4)
+substitutes the replicated data volume ``N (d + cf) / cf`` for ``N`` and
+the merged block count ``n_G / cf`` for ``n_G``.  Its minimizer in ``cf``
+solves a cubic equation; :func:`optimal_clustering_factor` finds the real
+positive root and rounds to the better of floor/ceiling, exactly as the
+paper prescribes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Euler-Mascheroni constant (the paper's alpha = 0.5772).
+EULER_GAMMA = 0.5772156649015329
+
+
+def expected_normal_max(m: int) -> float:
+    """First moment of the max of *m* independent standard normals.
+
+    Uses the classic extreme-value expansion for ``m >= 3`` and exact
+    values for the tiny cases the expansion cannot handle.
+    """
+    if m <= 1:
+        return 0.0
+    if m == 2:
+        return 1.0 / math.sqrt(math.pi)
+    root = math.sqrt(2.0 * math.log(m))
+    correction = (
+        math.log(math.log(m)) + math.log(4.0 * math.pi) - 2.0 * EULER_GAMMA
+    ) / (2.0 * root)
+    return root - correction
+
+
+def expected_max_load(n_records: float, n_regions: float, m: int) -> float:
+    """Formula 2: expected heaviest reducer load, in records.
+
+    *n_records* records spread evenly over *n_regions* regions, regions
+    assigned uniformly at random to *m* reducers.  Monotonically
+    decreasing in *n_regions*: finer keys balance better.
+    """
+    if n_records <= 0:
+        return 0.0
+    if m <= 1:
+        return float(n_records)
+    if n_regions <= 0:
+        raise ValueError("n_regions must be positive")
+    mean = n_records / m
+    sigma = n_records * math.sqrt((1.0 - 1.0 / m) / (n_regions * m))
+    # Regions are atomic: whichever reducer draws a region gets all of
+    # it, so the heaviest load is never below one region's size.  The
+    # normal approximation loses this once n_regions drops near (or
+    # below) m; the floor keeps the model honest in that regime.
+    return max(mean + sigma * expected_normal_max(m), n_records / n_regions)
+
+
+def expected_max_load_overlap(
+    n_records: float,
+    n_regions: float,
+    m: int,
+    span: int,
+    cf: float,
+) -> float:
+    """Formula 4: heaviest load under an overlapping key with factor *cf*.
+
+    *span* is ``d``, the annotation width (``high - low``); each merged
+    block holds ``span + cf`` regions of which it owns ``cf``, so the
+    shipped volume inflates by ``(span + cf) / cf`` while the block count
+    shrinks to ``n_regions / cf``.
+    """
+    if cf < 1:
+        raise ValueError("clustering factor must be >= 1")
+    if span < 0:
+        raise ValueError("annotation span must be >= 0")
+    inflated = n_records * (span + cf) / cf
+    blocks = max(1.0, n_regions / cf)
+    return expected_max_load(inflated, blocks, m)
+
+
+def _cubic_root_cf(n_records: float, n_regions: float, m: int, span: int):
+    """Real positive root of the derivative cubic, in sqrt(cf) space.
+
+    Writing Formula 4 as ``c1 (d + cf)/cf + c2 (d + cf)/sqrt(cf)`` with
+    ``c1 = N/m`` and ``c2 = N e(m) sqrt((1-1/m)/(n_G m))`` and setting
+    the derivative to zero yields, for ``u = sqrt(cf)``:
+
+        (c2/2) u^3 - (c2 d / 2) u - c1 d = 0
+    """
+    if m <= 1:
+        return None
+    c1 = n_records / m
+    c2 = (
+        n_records
+        * expected_normal_max(m)
+        * math.sqrt((1.0 - 1.0 / m) / (n_regions * m))
+    )
+    if c2 <= 0 or span == 0:
+        return None
+    roots = np.roots([c2 / 2.0, 0.0, -c2 * span / 2.0, -c1 * span])
+    real = [
+        float(r.real)
+        for r in roots
+        if abs(r.imag) < 1e-9 and r.real > 0
+    ]
+    if not real:
+        return None
+    return max(real) ** 2
+
+
+def optimal_clustering_factor(
+    n_records: float,
+    n_regions: float,
+    m: int,
+    span: int,
+    max_cf: int | None = None,
+) -> int:
+    """The integer *cf* minimizing Formula 4.
+
+    Solves the derivative cubic and compares floor/ceiling plus a coarse
+    geometric scan -- the scan covers the regime where the atomic-block
+    floor of :func:`expected_max_load` (not the smooth formula) is
+    binding.  *max_cf* caps the factor (e.g. the skew handler's
+    minimum-blocks-per-reducer rule).
+    """
+    upper = int(max(1, n_regions))
+    if max_cf is not None:
+        upper = min(upper, max(1, max_cf))
+    if span == 0 or upper == 1:
+        return 1
+
+    def cost(cf: int) -> float:
+        return expected_max_load_overlap(n_records, n_regions, m, span, cf)
+
+    candidates = {1, upper}
+    root = _cubic_root_cf(n_records, n_regions, m, span)
+    if root is not None:
+        for value in (math.floor(root), math.ceil(root)):
+            if 1 <= value <= upper:
+                candidates.add(int(value))
+    # The objective is max(smooth unimodal, increasing floor), which is
+    # unimodal, so integer ternary search nails the optimum exactly.
+    lo, hi = 1, upper
+    while hi - lo > 3:
+        m1 = lo + (hi - lo) // 3
+        m2 = hi - (hi - lo) // 3
+        if cost(m1) < cost(m2):
+            hi = m2
+        else:
+            lo = m1
+    candidates.update(range(lo, hi + 1))
+    return min(candidates, key=cost)
+
+
+def exhaustive_clustering_factor(
+    n_records: float,
+    n_regions: float,
+    m: int,
+    span: int,
+    max_cf: int | None = None,
+) -> int:
+    """Integer-scan minimizer of Formula 4 (test oracle for the cubic)."""
+    upper = int(max(1, n_regions))
+    if max_cf is not None:
+        upper = min(upper, max(1, max_cf))
+    best_cf, best_cost = 1, math.inf
+    for cf in range(1, upper + 1):
+        cost = expected_max_load_overlap(n_records, n_regions, m, span, cf)
+        if cost < best_cost:
+            best_cf, best_cost = cf, cost
+    return best_cf

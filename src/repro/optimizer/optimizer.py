@@ -1,0 +1,348 @@
+"""The distribution-scheme optimizer (Section IV).
+
+Given a workflow, the optimizer derives the minimal feasible key,
+enumerates the candidate keys (one annotated attribute kept at a time,
+plus the non-overlapping fallback), picks each candidate's clustering
+factor from the analytical model, and returns the plan minimizing the
+predicted heaviest reducer load.  Optional run-time refinements:
+
+* ``min_blocks_per_reducer`` -- the skew heuristic capping ``cf`` so that
+  every reducer is expected to receive at least X blocks;
+* sampling -- when a record sample is supplied and sampling is enabled,
+  the diversified candidates are judged by simulated dispatch instead of
+  the model (Section V);
+* a :class:`~repro.optimizer.skew.KeyCache` -- previously good keys are
+  reused when still feasible.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.cube.records import Record
+from repro.query.workflow import Workflow, connected_components
+from repro.distribution.clustering import BlockScheme
+from repro.distribution.derive import candidate_keys
+from repro.distribution.keys import DistributionKey
+from repro.optimizer.costmodel import (
+    expected_max_load,
+    expected_max_load_overlap,
+    optimal_clustering_factor,
+)
+from repro.optimizer.skew import (
+    KeyCache,
+    diversify_schemes,
+    pick_by_sampling,
+    sample_records,
+    scale_loads,
+)
+
+
+logger = logging.getLogger("repro.optimizer")
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Tunables of the plan search.
+
+    *objective* selects what the search minimizes: ``"response_time"``
+    (the paper's target -- the heaviest reducer's load, Formulae 2/4) or
+    ``"total_work"`` (bytes shipped and processed across the cluster --
+    batch-oriented; picks the largest clustering factor that still gives
+    every reducer at least ``max(1, min_blocks_per_reducer)`` blocks).
+    """
+
+    min_blocks_per_reducer: int = 0
+    use_sampling: bool = False
+    sample_size: int = 2000
+    sample_seed: int = 13
+    objective: str = "response_time"
+
+    def __post_init__(self):
+        if self.objective not in ("response_time", "total_work"):
+            raise ValueError(
+                f"unknown objective {self.objective!r}; choose "
+                "'response_time' or 'total_work'"
+            )
+        if self.objective == "total_work" and self.use_sampling:
+            # Sampled dispatch ranks candidates by max reducer load --
+            # the response-time criterion -- which would silently
+            # override the total-work objective.
+            raise ValueError(
+                "objective='total_work' cannot be combined with "
+                "use_sampling (sampling ranks by max load)"
+            )
+
+
+@dataclass
+class Plan:
+    """A chosen distribution scheme plus the optimizer's expectations."""
+
+    scheme: BlockScheme
+    num_reducers: int
+    predicted_max_load: float
+    strategy: str
+    candidates_considered: int = 0
+    sampled_loads: Optional[list[float]] = None
+    alternatives: list[tuple[BlockScheme, float]] = field(default_factory=list)
+
+    @property
+    def key(self) -> DistributionKey:
+        return self.scheme.key
+
+    def describe(self) -> str:
+        factors = self.scheme.clustering_factors
+        cf_text = (
+            ", ".join(f"{attr}: cf={cf}" for attr, cf in sorted(factors.items()))
+            or "non-overlapping"
+        )
+        return (
+            f"key {self.scheme.key!r} ({cf_text}), "
+            f"{self.scheme.num_blocks()} blocks over "
+            f"{self.num_reducers} reducers, predicted max load "
+            f"{self.predicted_max_load:.0f} records [{self.strategy}]"
+        )
+
+
+@dataclass
+class QueryPlan:
+    """One plan per weakly connected component of the query workflow.
+
+    Independent measure families do not constrain each other's keys, so
+    the evaluator redistributes each component under its own scheme
+    within a single job; records are shipped once per component.
+    """
+
+    subplans: list[tuple[Workflow, Plan]]
+
+    def __post_init__(self):
+        if not self.subplans:
+            raise ValueError("a query plan needs at least one component")
+
+    @property
+    def num_reducers(self) -> int:
+        return self.subplans[0][1].num_reducers
+
+    @property
+    def predicted_max_load(self) -> float:
+        """Loads add up: every reducer serves blocks of every component."""
+        return sum(plan.predicted_max_load for _wf, plan in self.subplans)
+
+    @property
+    def single(self) -> Plan:
+        """The sole component's plan; errors for multi-component queries."""
+        if len(self.subplans) != 1:
+            raise ValueError(
+                f"query has {len(self.subplans)} components; inspect "
+                ".subplans instead"
+            )
+        return self.subplans[0][1]
+
+    @property
+    def scheme(self):
+        return self.single.scheme
+
+    @property
+    def key(self):
+        return self.single.scheme.key
+
+    def describe(self) -> str:
+        if len(self.subplans) == 1:
+            return self.single.describe()
+        lines = [f"{len(self.subplans)} independent components:"]
+        for component, plan in self.subplans:
+            lines.append(f"  {list(component.names)}: {plan.describe()}")
+        return "\n".join(lines)
+
+
+class Optimizer:
+    """Searches for the scheme minimizing the heaviest reducer load."""
+
+    def __init__(self, config: OptimizerConfig | None = None):
+        self.config = config or OptimizerConfig()
+
+    # -- per-candidate costing ---------------------------------------------------
+
+    def _max_cf(self, n_regions: int, num_reducers: int) -> Optional[int]:
+        """Cap on cf from the minimum-blocks-per-reducer heuristic."""
+        floor_blocks = self.config.min_blocks_per_reducer
+        if floor_blocks <= 0:
+            return None
+        return max(1, n_regions // (num_reducers * floor_blocks))
+
+    def cost_candidate(
+        self,
+        key: DistributionKey,
+        n_records: int,
+        num_reducers: int,
+    ) -> tuple[BlockScheme, float]:
+        """Best scheme for one candidate key and its predicted max load."""
+        n_regions = key.granularity.region_count()
+        annotated = key.annotated_attributes()
+        if not annotated:
+            if self.config.objective == "total_work":
+                load = float(n_records)  # no duplication at all
+            else:
+                load = expected_max_load(n_records, n_regions, num_reducers)
+            return BlockScheme(key), load
+        if len(annotated) != 1:
+            raise ValueError(
+                "candidate keys must have at most one annotated attribute; "
+                f"got {annotated}"
+            )
+        attr = annotated[0]
+        span = key.component(attr).span
+        if self.config.objective == "total_work":
+            # Duplication is (span + cf) / cf: monotone decreasing in cf,
+            # so take the largest cf keeping every reducer supplied.
+            floor_blocks = max(1, self.config.min_blocks_per_reducer)
+            cf = max(1, n_regions // (num_reducers * floor_blocks))
+            load = n_records * (span + cf) / cf  # total shipped records
+            return BlockScheme(key, {attr: cf}), load
+        cf = optimal_clustering_factor(
+            n_records,
+            n_regions,
+            num_reducers,
+            span,
+            max_cf=self._max_cf(n_regions, num_reducers),
+        )
+        load = expected_max_load_overlap(
+            n_records, n_regions, num_reducers, span, cf
+        )
+        return BlockScheme(key, {attr: cf}), load
+
+    # -- whole-plan search ------------------------------------------------------------
+
+    def plan(
+        self,
+        workflow: Workflow,
+        n_records: int,
+        num_reducers: int,
+        records: Optional[Sequence[Record]] = None,
+        key_cache: Optional[KeyCache] = None,
+        component_index: int = 0,
+    ) -> Plan:
+        """Choose the distribution scheme for *workflow*.
+
+        *records* is only consulted when sampling is enabled; *key_cache*
+        short-circuits the search when it holds a feasible key.
+        *component_index* is the position of this workflow among the
+        query's connected components -- the executor prefixes block keys
+        with it, and simulated dispatch must hash the same keys.
+        """
+        if num_reducers <= 0:
+            raise ValueError("num_reducers must be positive")
+
+        cached = key_cache.find(workflow) if key_cache else None
+        if cached is not None:
+            scheme, load = self.cost_candidate(
+                cached, n_records, num_reducers
+            )
+            return Plan(
+                scheme,
+                num_reducers,
+                load,
+                strategy="cache",
+                candidates_considered=1,
+            )
+
+        scored = [
+            self.cost_candidate(key, n_records, num_reducers)
+            for key in candidate_keys(workflow)
+        ]
+        if self.config.min_blocks_per_reducer > 0:
+            # Prefer candidates meeting the minimum-blocks rule; only
+            # when none does may the rule be violated.
+            floor_blocks = self.config.min_blocks_per_reducer * num_reducers
+            satisfying = [
+                (scheme, load)
+                for scheme, load in scored
+                if scheme.num_blocks() >= floor_blocks
+            ]
+            if satisfying:
+                scored = satisfying
+
+        if self.config.use_sampling and records is not None:
+            sample = sample_records(
+                records, self.config.sample_size, self.config.sample_seed
+            )
+            diversified = diversify_schemes(scheme for scheme, _ in scored)
+            if self.config.min_blocks_per_reducer > 0:
+                # cf variants must not sidestep the minimum-blocks rule
+                # the model-based candidates were filtered by.
+                floor_blocks = (
+                    self.config.min_blocks_per_reducer * num_reducers
+                )
+                bounded = [
+                    scheme
+                    for scheme in diversified
+                    if scheme.num_blocks() >= floor_blocks
+                ]
+                if bounded:
+                    diversified = bounded
+            chosen, loads = pick_by_sampling(
+                diversified, sample, num_reducers,
+                key_prefix=(component_index,),
+            )
+            scaled = scale_loads(loads, len(sample), n_records)
+            plan = Plan(
+                chosen,
+                num_reducers,
+                max(scaled, default=0.0),
+                strategy="sampling",
+                candidates_considered=len(diversified),
+                sampled_loads=scaled,
+                alternatives=scored,
+            )
+        else:
+            scheme, load = min(scored, key=lambda pair: pair[1])
+            plan = Plan(
+                scheme,
+                num_reducers,
+                load,
+                strategy="model",
+                candidates_considered=len(scored),
+                alternatives=scored,
+            )
+
+        if key_cache is not None:
+            key_cache.store(plan.scheme.key)
+        logger.debug(
+            "planned %s over %d candidates: %s",
+            list(workflow.names),
+            plan.candidates_considered,
+            plan.describe(),
+        )
+        return plan
+
+
+    def plan_query(
+        self,
+        workflow: Workflow,
+        n_records: int,
+        num_reducers: int,
+        records: Optional[Sequence[Record]] = None,
+        key_cache: Optional[KeyCache] = None,
+    ) -> QueryPlan:
+        """Plan a whole query: one scheme per connected component."""
+        return QueryPlan(
+            [
+                (
+                    component,
+                    self.plan(
+                        component,
+                        n_records,
+                        num_reducers,
+                        records=records,
+                        key_cache=key_cache,
+                        component_index=index,
+                    ),
+                )
+                for index, component in enumerate(
+                    connected_components(workflow)
+                )
+            ]
+        )
+

@@ -1,0 +1,32 @@
+"""Parallel evaluation: one-round executor, baselines, adaptivity."""
+
+from repro.parallel.adaptive import (
+    AdaptiveDecision,
+    AdaptiveEvaluator,
+    AdaptiveResult,
+)
+from repro.parallel.executor import (
+    DuplicateResultError,
+    ExecutionConfig,
+    ParallelEvaluator,
+)
+from repro.parallel.multiprocess import (
+    MultiprocessEvaluator,
+    MultiprocessReport,
+)
+from repro.parallel.naive import NaiveEvaluator
+from repro.parallel.report import MultiJobResult, ParallelResult
+
+__all__ = [
+    "AdaptiveDecision",
+    "AdaptiveEvaluator",
+    "AdaptiveResult",
+    "DuplicateResultError",
+    "ExecutionConfig",
+    "MultiJobResult",
+    "MultiprocessEvaluator",
+    "MultiprocessReport",
+    "NaiveEvaluator",
+    "ParallelEvaluator",
+    "ParallelResult",
+]

@@ -1,0 +1,419 @@
+"""The one-round parallel evaluator (Section III).
+
+One MapReduce job evaluates the whole composite query:
+
+1. the workflow is split into weakly connected components (independent
+   measure families need not share a key) and the optimizer picks a
+   feasible distribution key and clustering factor per component;
+2. mappers replicate each record into every block whose extended range
+   needs it, once per component (overlapping redistribution);
+3. each reducer runs the local sort/scan algorithm per block and filters
+   its outputs to the block's owned region range, so
+4. the final answer is the plain union of local results -- no combination
+   step, and any duplicate is a hard error.
+
+With ``early_aggregation`` enabled (and every basic measure distributive
+or algebraic), mappers pre-aggregate their share of each block into
+partial accumulator states and ship those instead of raw records
+(Section III-D); reducers merge states and evaluate composites on top.
+Partial aggregation folds values in a different order than the
+centralized scan, so float-valued aggregates may differ from the
+non-early run by floating-point rounding; integer aggregates stay
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.cube.records import Record, estimated_record_bytes
+from repro.local.measure_table import MeasureTable, ResultSet
+from repro.local.sortscan import BlockEvaluator, LocalStats
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.dfs import DistributedFile
+from repro.mapreduce.engine import MapReduceJob
+from repro.optimizer.optimizer import (
+    Optimizer,
+    OptimizerConfig,
+    Plan,
+    QueryPlan,
+)
+from repro.optimizer.skew import KeyCache
+from repro.query.workflow import Workflow, connected_components
+from repro.parallel.report import ParallelResult
+
+#: Tag marking early-aggregation partial states in the value stream.
+_PARTIAL = "__partial__"
+
+#: Charged size of one partial accumulator state: the region coordinates
+#: plus a fixed-size accumulator come out at about one record's width.
+_PARTIAL_STATE_BYTES = 64
+
+
+logger = logging.getLogger("repro.parallel")
+
+
+class DuplicateResultError(RuntimeError):
+    """Two blocks output the same measure region: the scheme is broken."""
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Knobs of the parallel evaluation.
+
+    *partitioner* assigns blocks to reducers: ``"hash"`` (the random
+    assignment the paper's cost model assumes) or ``"round_robin"``
+    (consecutive blocks to consecutive reducers -- better balanced when
+    block sizes are uniform, which the hash/model view treats as the
+    pessimistic random case).
+    """
+
+    num_reducers: Optional[int] = None
+    early_aggregation: bool = False
+    combined_sort: bool = False
+    partitioner: str = "hash"
+    optimizer: OptimizerConfig = field(default_factory=OptimizerConfig)
+
+    def __post_init__(self):
+        if self.partitioner not in ("hash", "round_robin"):
+            raise ValueError(
+                f"unknown partitioner {self.partitioner!r}; choose "
+                "'hash' or 'round_robin'"
+            )
+        if self.partitioner != "hash" and self.optimizer.use_sampling:
+            # Simulated dispatch predicts loads under hash assignment;
+            # letting it pick a plan that will execute under a different
+            # partitioner would measure the wrong thing.
+            raise ValueError(
+                "sampling-based planning assumes the hash partitioner; "
+                "use partitioner='hash' together with sampling"
+            )
+
+
+class ParallelEvaluator:
+    """Evaluates workflows on a simulated cluster, one job per query."""
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        config: ExecutionConfig | None = None,
+    ):
+        self.cluster = cluster
+        self.config = config or ExecutionConfig()
+        self.optimizer = Optimizer(self.config.optimizer)
+
+    # -- input handling -------------------------------------------------------------
+
+    def _resolve_input(
+        self, data: Sequence[Record] | DistributedFile
+    ) -> DistributedFile:
+        if isinstance(data, DistributedFile):
+            return data
+        return self.cluster.dfs.write("query-input", list(data))
+
+    def _resolve_plan(
+        self,
+        workflow: Workflow,
+        input_file: DistributedFile,
+        plan: QueryPlan | Plan | None,
+        key_cache: KeyCache | None,
+    ) -> QueryPlan:
+        components = connected_components(workflow)
+        if isinstance(plan, QueryPlan):
+            if len(plan.subplans) != len(components):
+                raise ValueError(
+                    f"plan has {len(plan.subplans)} components, query has "
+                    f"{len(components)}"
+                )
+            return plan
+        if isinstance(plan, Plan):
+            if len(components) != 1:
+                raise ValueError(
+                    "a bare Plan only fits a single-component query; "
+                    "pass a QueryPlan"
+                )
+            return QueryPlan([(components[0], plan)])
+        num_reducers = self.config.num_reducers or self.cluster.reduce_slots
+        sample_source = None
+        if self.config.optimizer.use_sampling:
+            from repro.optimizer.skew import sample_file_records
+
+            # Draw only the sample, not a full copy of the dataset; the
+            # optimizer samples from this pre-drawn pool.
+            sample_source = sample_file_records(
+                input_file,
+                self.config.optimizer.sample_size,
+                self.config.optimizer.sample_seed,
+            )
+        return self.optimizer.plan_query(
+            workflow,
+            n_records=input_file.num_records,
+            num_reducers=num_reducers,
+            records=sample_source,
+            key_cache=key_cache,
+        )
+
+    # -- map/reduce closures -----------------------------------------------------------
+
+    @staticmethod
+    def _make_mapper(plan: QueryPlan):
+        """Record -> tagged block keys, one family per component."""
+        component_mappers = [
+            (index, subplan.scheme.make_mapper())
+            for index, (_wf, subplan) in enumerate(plan.subplans)
+        ]
+
+        def mapper(record: Record):
+            pairs = []
+            for index, blocks_of in component_mappers:
+                pairs.extend(
+                    ((index,) + block_key, record)
+                    for block_key in blocks_of(record)
+                )
+            return pairs
+
+        return mapper
+
+    @staticmethod
+    def _component_basics(component: Workflow):
+        schema = component.schema
+        return [
+            (
+                local_index,
+                measure,
+                measure.granularity.coordinate_mapper(),
+                schema.field_index(measure.field),
+            )
+            for local_index, measure in enumerate(component.basic_measures())
+        ]
+
+    def _make_combiner(self, plan: QueryPlan):
+        """Early aggregation: records -> per-region partial states."""
+        basics_by_component = [
+            self._component_basics(component)
+            for component, _plan in plan.subplans
+        ]
+
+        def combiner(block_key, records):
+            basics = basics_by_component[block_key[0]]
+            states: dict[tuple[int, tuple], object] = {}
+            for record in records:
+                for local_index, measure, mapper, field_index in basics:
+                    slot = (local_index, mapper(record))
+                    acc = states.get(slot)
+                    if acc is None:
+                        acc = measure.aggregate.create()
+                    states[slot] = measure.aggregate.add(
+                        acc, record[field_index]
+                    )
+            for (local_index, coords), state in states.items():
+                yield (block_key, (_PARTIAL, local_index, coords, state))
+
+        return combiner
+
+    def _make_partitioner(self, plan: QueryPlan):
+        """Block -> reducer assignment per ExecutionConfig.partitioner."""
+        if self.config.partitioner == "hash":
+            from repro.mapreduce.engine import default_partitioner
+
+            return default_partitioner
+
+        # Round-robin over the per-component linearized block grids;
+        # components are offset so their blocks interleave fairly.
+        schemes = [subplan.scheme for _wf, subplan in plan.subplans]
+        offsets = []
+        total = 0
+        for scheme in schemes:
+            offsets.append(total)
+            total += scheme.num_blocks()
+
+        def partitioner(block_key, num_reducers: int) -> int:
+            component_index = block_key[0]
+            scheme = schemes[component_index]
+            linear = scheme.linear_index(block_key[1:])
+            return (offsets[component_index] + linear) % num_reducers
+
+        return partitioner
+
+    def _make_reducer(
+        self,
+        plan: QueryPlan,
+        record_bytes: int,
+        local_stats: LocalStats,
+    ):
+        evaluators = []
+        filters = []
+        basics_by_component = []
+        for component, subplan in plan.subplans:
+            evaluators.append(BlockEvaluator(component))
+            filters.append(
+                {
+                    measure.name: subplan.scheme.make_result_filter(
+                        measure.granularity
+                    )
+                    for measure in component.measures
+                }
+            )
+            basics_by_component.append(list(component.basic_measures()))
+        early = self.config.early_aggregation
+
+        def reducer(block_key, values, ctx):
+            component_index = block_key[0]
+            component_block = block_key[1:]
+            evaluator = evaluators[component_index]
+            stats = LocalStats()
+            if early:
+                tables = _merge_partials(
+                    basics_by_component[component_index], values
+                )
+                ctx.charge_sort(
+                    len(values), len(values) * _PARTIAL_STATE_BYTES
+                )
+                result = evaluator.evaluate(basic_tables=tables, stats=stats)
+                ctx.charge_eval(len(values))
+            else:
+                ctx.charge_sort(len(values), len(values) * record_bytes)
+                result = evaluator.evaluate(values, stats=stats)
+                ctx.charge_eval(stats.records + stats.output_rows)
+            local_stats.merge(stats)
+
+            component_filters = filters[component_index]
+            for name, table in result.items():
+                keep = component_filters[name](component_block)
+                for coords, value in table.items():
+                    if keep(coords):
+                        yield (name, coords, value)
+
+        return reducer
+
+    # -- whole query ----------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        workflow: Workflow,
+        data: Sequence[Record] | DistributedFile,
+        plan: QueryPlan | Plan | None = None,
+        key_cache: KeyCache | None = None,
+    ) -> ParallelResult:
+        """Evaluate *workflow* over *data*; returns results and the trace.
+
+        A pre-built *plan* bypasses the optimizer (used by benchmarks to
+        sweep clustering factors); otherwise the optimizer plans with the
+        configured strategy, consulting *key_cache* when given.
+        """
+        if self.config.early_aggregation and not (
+            workflow.supports_early_aggregation()
+        ):
+            raise ValueError(
+                "this workflow does not support early aggregation: every "
+                "basic measure must be distributive or algebraic, and "
+                "every parent/child-only composite needs a finer basic "
+                "measure in its component to anchor its regions"
+            )
+
+        input_file = self._resolve_input(data)
+        query_plan = self._resolve_plan(workflow, input_file, plan, key_cache)
+
+        record_bytes = estimated_record_bytes(workflow.schema)
+        local_stats = LocalStats()
+        job = MapReduceJob(
+            mapper=self._make_mapper(query_plan),
+            reducer=self._make_reducer(query_plan, record_bytes, local_stats),
+            num_reducers=query_plan.num_reducers,
+            combiner=(
+                self._make_combiner(query_plan)
+                if self.config.early_aggregation
+                else None
+            ),
+            partitioner=self._make_partitioner(query_plan),
+            record_bytes=record_bytes,
+            value_bytes=_value_bytes(record_bytes),
+            combined_sort=self.config.combined_sort,
+            name="composite-query",
+        )
+        logger.info(
+            "evaluating %d measures over %d records: %s",
+            len(workflow),
+            input_file.num_records,
+            query_plan.describe(),
+        )
+        job_result = job.run(input_file, self.cluster)
+        logger.info("job finished: %s", job_result.report.summary())
+
+        result = union_outputs(workflow, job_result.outputs)
+        return ParallelResult(
+            result=result,
+            plan=query_plan,
+            job=job_result.report,
+            local_stats=local_stats,
+        )
+
+
+def _merge_partials(basics, values) -> dict[str, MeasureTable]:
+    """Merge shipped accumulator states into basic measure tables.
+
+    States merge in sorted (measure, region) order so results are
+    deterministic regardless of shuffle arrival order.  For float-valued
+    algebraic aggregates the merge order still differs from the
+    centralized per-record fold, so values may differ from a non-early
+    run by floating-point rounding -- an inherent property of partial
+    aggregation, not of this implementation.
+    """
+    merged: list[dict[tuple, object]] = [{} for _ in basics]
+    for value in sorted(values, key=lambda v: (v[1], v[2])):
+        tag, index, coords, state = value
+        if tag != _PARTIAL:
+            raise ValueError(
+                "early aggregation reducer received a raw record; "
+                "the combiner did not run"
+            )
+        measure = basics[index]
+        existing = merged[index].get(coords)
+        merged[index][coords] = (
+            state
+            if existing is None
+            else measure.aggregate.merge(existing, state)
+        )
+    return {
+        measure.name: MeasureTable(
+            measure.granularity,
+            {
+                coords: measure.aggregate.finalize(state)
+                for coords, state in merged[index].items()
+            },
+        )
+        for index, measure in enumerate(basics)
+    }
+
+
+def _value_bytes(record_bytes: int):
+    def size(value) -> int:
+        if isinstance(value, tuple) and value and value[0] == _PARTIAL:
+            return _PARTIAL_STATE_BYTES
+        return record_bytes
+
+    return size
+
+
+def union_outputs(workflow: Workflow, outputs) -> ResultSet:
+    """Union per-block ``(measure, coords, value)`` rows.
+
+    Fails loudly on any duplicated region -- the invariant a feasible
+    distribution scheme guarantees.  Shared by every backend that
+    gathers per-block results.
+    """
+    tables = {
+        measure.name: MeasureTable(measure.granularity)
+        for measure in workflow.measures
+    }
+    for name, coords, value in outputs:
+        table = tables[name]
+        if coords in table:
+            raise DuplicateResultError(
+                f"measure {name!r} produced region {coords!r} from two "
+                "different blocks; the distribution scheme is not feasible"
+            )
+        table[coords] = value
+    return ResultSet(tables)

@@ -1,0 +1,215 @@
+"""The naive measure-at-a-time baseline (Section I).
+
+Evaluates a composite query as a *sequence* of MapReduce jobs, one per
+measure, exactly as the paper's introductory strawman: repartition the
+raw data for every basic measure, then join/repartition intermediate
+measure tables for every composite measure.  Sliding-window measures
+force a repartition with the window attribute rolled up to ``ALL``,
+collapsing parallelism -- the behaviour the one-round overlapping scheme
+is designed to avoid.
+
+Outputs match the one-round evaluator's (both are tested against the
+centralized oracle); only the cost differs.  For exact (integer)
+aggregates the match is bit-identical; float aggregates fold in shuffle
+arrival order here versus sorted-scan order there, so they agree only
+up to floating-point rounding.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cube.domains import ALL
+from repro.cube.lattice import least_common_ancestor
+from repro.cube.records import Record, estimated_record_bytes
+from repro.cube.regions import Granularity
+from repro.local.measure_table import MeasureTable, ResultSet
+from repro.local.sortscan import compute_composite
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.dfs import DistributedFile
+from repro.mapreduce.engine import MapReduceJob
+from repro.query.measures import Measure, Relationship
+from repro.query.workflow import Workflow
+from repro.parallel.report import MultiJobResult
+
+#: Tag for anchor rows shipped alongside source rows in join jobs.
+_ANCHOR = -1
+
+
+def _row_bytes(granularity: Granularity) -> int:
+    """Charged size of one (coords, value) measure row."""
+    return 8 * len(granularity.levels) + 24
+
+
+class NaiveEvaluator:
+    """Runs one MapReduce job per measure, in dependency order."""
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        num_reducers: int | None = None,
+    ):
+        self.cluster = cluster
+        self.num_reducers = num_reducers or cluster.reduce_slots
+
+    # -- per-measure jobs ----------------------------------------------------------
+
+    def _basic_job(
+        self, measure: Measure, input_file: DistributedFile
+    ) -> MapReduceJob:
+        mapper_coords = measure.granularity.coordinate_mapper()
+        field_index = measure.schema.field_index(measure.field)
+        aggregate = measure.aggregate
+
+        def mapper(record: Record):
+            yield (mapper_coords(record), record[field_index])
+
+        def reducer(coords, values, ctx):
+            ctx.charge_eval(len(values))
+            yield (coords, aggregate.aggregate(values))
+
+        return MapReduceJob(
+            mapper,
+            reducer,
+            num_reducers=self.num_reducers,
+            record_bytes=estimated_record_bytes(measure.schema),
+            value_bytes=lambda _value: 8,
+            name=f"naive:{measure.name}",
+        )
+
+    @staticmethod
+    def _join_granularity(measure: Measure) -> Granularity:
+        """The repartition granularity of a composite measure's job.
+
+        The least common ancestor of the target and all source
+        granularities co-locates every value a target region needs --
+        except across sibling windows, whose attribute must be rolled up
+        to ``ALL`` so that all window positions meet in one group.
+        """
+        parts = [measure.granularity]
+        parts.extend(edge.source.granularity for edge in measure.inputs)
+        join = least_common_ancestor(parts)
+        for edge in measure.inputs:
+            if edge.relationship is Relationship.SIBLING:
+                join = join.replace(**{edge.window.attribute: ALL})
+        return join
+
+    def _composite_job_input(
+        self,
+        measure: Measure,
+        tables: dict[str, MeasureTable],
+        records: Sequence[Record],
+        join: Granularity,
+        anchor_cache: dict[Granularity, set],
+    ) -> list[tuple]:
+        """Tagged rows: every edge's source table, plus anchors if needed."""
+        rows: list[tuple] = []
+        for index, edge in enumerate(measure.inputs):
+            source = tables[edge.source.name]
+            rows.extend(
+                (index, coords, value) for coords, value in source.items()
+            )
+        if all(
+            edge.relationship is Relationship.ALIGN for edge in measure.inputs
+        ):
+            anchors = anchor_cache.get(measure.granularity)
+            if anchors is None:
+                # One O(N) pass per distinct target granularity, cached
+                # for any further pure-ALIGN measures sharing it.
+                mapper_coords = measure.granularity.coordinate_mapper()
+                anchors = {mapper_coords(record) for record in records}
+                anchor_cache[measure.granularity] = anchors
+            rows.extend((_ANCHOR, coords, None) for coords in anchors)
+        return rows
+
+    def _composite_job(
+        self, measure: Measure, join: Granularity
+    ) -> MapReduceJob:
+        source_granularities = [
+            edge.source.granularity for edge in measure.inputs
+        ]
+        target = measure.granularity
+
+        def mapper(row):
+            index, coords, value = row
+            granularity = (
+                target if index == _ANCHOR else source_granularities[index]
+            )
+            yield (granularity.map_coords(coords, join), row)
+
+        def reducer(_join_coords, rows, ctx):
+            # Pre-seed every source with an empty table: a join group may
+            # hold rows from only some edges (e.g. a strictly-previous
+            # window has no row at the first coordinate), and the
+            # composite evaluation must see "no value" rather than crash.
+            tables: dict[str, MeasureTable] = {
+                edge.source.name: MeasureTable(edge.source.granularity)
+                for edge in measure.inputs
+            }
+            anchors: set | None = None
+            for index, coords, value in rows:
+                if index == _ANCHOR:
+                    if anchors is None:
+                        anchors = set()
+                    anchors.add(coords)
+                    continue
+                edge = measure.inputs[index]
+                tables[edge.source.name][coords] = value
+            ctx.charge_sort(len(rows), len(rows) * _row_bytes(target))
+            ctx.charge_eval(len(rows))
+            result = compute_composite(measure, tables, anchors)
+            yield from result.items()
+
+        return MapReduceJob(
+            mapper,
+            reducer,
+            num_reducers=self.num_reducers,
+            record_bytes=_row_bytes(target),
+            value_bytes=lambda _value: _row_bytes(target),
+            name=f"naive:{measure.name}",
+        )
+
+    # -- whole query ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        workflow: Workflow,
+        data: Sequence[Record] | DistributedFile,
+    ) -> MultiJobResult:
+        """Evaluate measure by measure; response time is the jobs' sum."""
+        if isinstance(data, DistributedFile):
+            input_file = data
+            records = list(data.records())
+        else:
+            records = list(data)
+            input_file = self.cluster.dfs.write("naive-input", records)
+
+        tables: dict[str, MeasureTable] = {}
+        anchor_cache: dict[Granularity, set] = {}
+        reports = []
+        for measure in workflow.topological_order():
+            if measure.is_basic:
+                job = self._basic_job(measure, input_file)
+                job_input = input_file
+            else:
+                join = self._join_granularity(measure)
+                rows = self._composite_job_input(
+                    measure, tables, records, join, anchor_cache
+                )
+                job_input = self.cluster.dfs.write(
+                    f"naive-tmp:{measure.name}", rows
+                )
+                job = self._composite_job(measure, join)
+            outcome = job.run(job_input, self.cluster)
+            table = MeasureTable(measure.granularity)
+            for coords, value in outcome.outputs:
+                table[coords] = value
+            tables[measure.name] = table
+            reports.append(outcome.report)
+            if not measure.is_basic:
+                self.cluster.dfs.delete(f"naive-tmp:{measure.name}")
+
+        result = ResultSet(
+            {m.name: tables[m.name] for m in workflow.measures}
+        )
+        return MultiJobResult(result=result, jobs=reports)

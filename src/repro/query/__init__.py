@@ -1,0 +1,65 @@
+"""Query model: aggregate functions, measures, aggregation workflows."""
+
+from repro.query.builder import MeasureDraft, WorkflowBuilder
+from repro.query.functions import (
+    DIFFERENCE,
+    IDENTITY,
+    PRODUCT,
+    RATIO,
+    TOTAL,
+    AggregateFunction,
+    Expression,
+    FunctionKind,
+    UnknownFunctionError,
+    expression,
+    get_function,
+    quantile_function,
+    register,
+    registered_functions,
+    resolve,
+)
+from repro.query.parser import (
+    BUILTIN_EXPRESSIONS,
+    QueryParseError,
+    parse_workflow,
+)
+from repro.query.measures import (
+    Edge,
+    Measure,
+    Relationship,
+    SiblingWindow,
+    WorkflowError,
+    basic_measure,
+)
+from repro.query.workflow import Workflow, subworkflow
+
+__all__ = [
+    "AggregateFunction",
+    "BUILTIN_EXPRESSIONS",
+    "QueryParseError",
+    "parse_workflow",
+    "DIFFERENCE",
+    "Edge",
+    "Expression",
+    "FunctionKind",
+    "IDENTITY",
+    "Measure",
+    "MeasureDraft",
+    "PRODUCT",
+    "RATIO",
+    "Relationship",
+    "SiblingWindow",
+    "TOTAL",
+    "UnknownFunctionError",
+    "Workflow",
+    "WorkflowBuilder",
+    "WorkflowError",
+    "basic_measure",
+    "expression",
+    "get_function",
+    "quantile_function",
+    "register",
+    "registered_functions",
+    "resolve",
+    "subworkflow",
+]

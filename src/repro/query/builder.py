@@ -1,0 +1,206 @@
+"""Fluent builder for aggregation workflows.
+
+Example (the paper's running weblog query, Section I)::
+
+    builder = WorkflowBuilder(schema)
+    builder.basic("M1", over={"keyword": "word", "time": "minute"},
+                  field="page_count", aggregate="median")
+    builder.basic("M2", over={"keyword": "word", "time": "hour"},
+                  field="ad_count", aggregate="median")
+    (builder.composite("M3", over={"keyword": "word", "time": "minute"})
+        .from_self("M1")
+        .from_parent("M2")
+        .combine(RATIO))
+    (builder.composite("M4", over={"keyword": "word", "time": "minute"})
+        .window("M3", attribute="time", low=-9, high=0, aggregate="avg"))
+    workflow = builder.build()
+
+Drafts reference sources by name, so measures can be declared in any
+order; :meth:`WorkflowBuilder.build` resolves them and returns a fully
+validated :class:`~repro.query.workflow.Workflow`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from graphlib import CycleError, TopologicalSorter
+from typing import Mapping, Optional
+
+from repro.cube.records import Schema
+from repro.cube.regions import Granularity
+from repro.query.functions import Expression, expression, resolve
+from repro.query.measures import (
+    Edge,
+    Measure,
+    Relationship,
+    SiblingWindow,
+    WorkflowError,
+)
+from repro.query.workflow import Workflow
+
+
+@dataclass
+class _EdgeSpec:
+    source: str
+    relationship: Relationship
+    window: Optional[SiblingWindow] = None
+    aggregate_name: Optional[object] = None
+
+
+@dataclass
+class MeasureDraft:
+    """A composite measure under construction; see module docstring."""
+
+    builder: "WorkflowBuilder"
+    name: str
+    granularity: Granularity
+    edges: list[_EdgeSpec] = field(default_factory=list)
+    combine_expression: Optional[Expression] = None
+
+    # -- edge declarations ---------------------------------------------------
+
+    def from_self(self, source: str) -> "MeasureDraft":
+        """Depend on *source* at the same granularity (self relationship)."""
+        self.edges.append(_EdgeSpec(_name_of(source), Relationship.SELF))
+        return self
+
+    def from_children(self, source: str, aggregate) -> "MeasureDraft":
+        """Aggregate the child regions of *source* (child/parent)."""
+        self.edges.append(
+            _EdgeSpec(
+                _name_of(source), Relationship.ROLLUP, aggregate_name=aggregate
+            )
+        )
+        return self
+
+    def from_parent(self, source: str) -> "MeasureDraft":
+        """Inherit the containing region's value of *source* (parent/child)."""
+        self.edges.append(_EdgeSpec(_name_of(source), Relationship.ALIGN))
+        return self
+
+    def window(
+        self,
+        source: str,
+        attribute: str,
+        low: int,
+        high: int,
+        aggregate,
+    ) -> "MeasureDraft":
+        """Aggregate a sliding window of sibling regions of *source*.
+
+        The value at coordinate ``t`` of *attribute* (at the measure's
+        level) aggregates source values at ``t+low .. t+high``.
+        """
+        self.edges.append(
+            _EdgeSpec(
+                _name_of(source),
+                Relationship.SIBLING,
+                window=SiblingWindow(attribute, low, high),
+                aggregate_name=aggregate,
+            )
+        )
+        return self
+
+    def combine(self, fn, name: str | None = None) -> "MeasureDraft":
+        """Set the scalar expression merging the per-edge values."""
+        if isinstance(fn, Expression):
+            self.combine_expression = fn
+        else:
+            self.combine_expression = expression(fn, len(self.edges), name)
+        return self
+
+    # -- resolution ------------------------------------------------------------
+
+    def _resolve(self, resolved: Mapping[str, Measure]) -> Measure:
+        edges = []
+        for spec in self.edges:
+            source = resolved.get(spec.source)
+            if source is None:
+                raise WorkflowError(
+                    f"measure {self.name!r} references undeclared source "
+                    f"{spec.source!r}"
+                )
+            aggregate = (
+                resolve(spec.aggregate_name)
+                if spec.aggregate_name is not None
+                else None
+            )
+            edges.append(Edge(source, spec.relationship, spec.window, aggregate))
+        return Measure(
+            self.name,
+            self.granularity,
+            inputs=tuple(edges),
+            combine=self.combine_expression,
+        )
+
+
+def _name_of(source) -> str:
+    """Accept a measure name, a Measure, or a MeasureDraft."""
+    if isinstance(source, str):
+        return source
+    return source.name
+
+
+class WorkflowBuilder:
+    """Collects measure declarations and assembles a validated workflow."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._basic: dict[str, Measure] = {}
+        self._drafts: dict[str, MeasureDraft] = {}
+
+    def _check_fresh(self, name: str):
+        if name in self._basic or name in self._drafts:
+            raise WorkflowError(f"measure {name!r} declared twice")
+
+    def basic(
+        self,
+        name: str,
+        over: Mapping[str, str],
+        field: str,
+        aggregate,
+    ) -> Measure:
+        """Declare a basic measure aggregating a record field."""
+        self._check_fresh(name)
+        measure = Measure(
+            name,
+            Granularity.of(self.schema, over),
+            field=field,
+            aggregate=resolve(aggregate),
+        )
+        self._basic[name] = measure
+        return measure
+
+    def composite(self, name: str, over: Mapping[str, str]) -> MeasureDraft:
+        """Start a composite measure draft; chain edge declarations on it."""
+        self._check_fresh(name)
+        draft = MeasureDraft(self, name, Granularity.of(self.schema, over))
+        self._drafts[name] = draft
+        return draft
+
+    def build(self) -> Workflow:
+        """Resolve all drafts and return the validated workflow."""
+        sorter: TopologicalSorter = TopologicalSorter()
+        for name in self._basic:
+            sorter.add(name)
+        for name, draft in self._drafts.items():
+            sorter.add(name, *(spec.source for spec in draft.edges))
+        try:
+            order = list(sorter.static_order())
+        except CycleError as exc:
+            raise WorkflowError(f"workflow contains a cycle: {exc}") from exc
+
+        resolved: dict[str, Measure] = dict(self._basic)
+        for name in order:
+            if name in self._drafts:
+                resolved[name] = self._drafts[name]._resolve(resolved)
+            elif name not in resolved:
+                raise WorkflowError(
+                    f"measure {name!r} is referenced but never declared"
+                )
+        ordered = [
+            resolved[name]
+            for name in order
+            if name in self._basic or name in self._drafts
+        ]
+        return Workflow(self.schema, ordered)

@@ -1,0 +1,360 @@
+"""A textual language for aggregation workflows.
+
+The paper presents workflows pictorially (Figure 1); for scripts and
+tooling this module provides the equivalent text form.  The running
+weblog example reads::
+
+    # the paper's M1..M4
+    measure M1 over keyword:word, time:minute = median(page_count)
+    measure M2 over keyword:word, time:hour   = median(ad_count)
+    measure M3 over keyword:word, time:minute = ratio(self(M1), parent(M2))
+    measure M4 over keyword:word, time:minute = avg(window(M3, time, -9, 0))
+
+One statement per measure.  The right-hand side is either
+
+* ``agg(field)`` -- a basic measure aggregating a record field,
+* ``agg(children(S))`` -- a child/parent roll-up of source ``S``,
+* ``agg(window(S, attr, low, high))`` -- a sibling sliding window,
+* ``expr(arg, ...)`` -- a combine expression over several edges, where
+  each ``arg`` is ``self(S)``, ``parent(S)``, or a nested roll-up /
+  window call (each edge carries its own aggregate).
+
+Aggregate names resolve against :mod:`repro.query.functions`'s registry;
+expression names against the built-ins (``ratio``, ``difference``,
+``product``, ``total``, ``identity``) plus any user-supplied mapping.
+``#`` starts a comment; whitespace and newlines are free-form.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Optional
+
+from repro.cube.records import Schema
+from repro.query.builder import WorkflowBuilder
+from repro.query.functions import (
+    DIFFERENCE,
+    IDENTITY,
+    PRODUCT,
+    RATIO,
+    TOTAL,
+    Expression,
+    UnknownFunctionError,
+    get_function,
+)
+from repro.query.measures import WorkflowError
+from repro.query.workflow import Workflow
+
+#: Expression names available without user registration.
+BUILTIN_EXPRESSIONS: dict[str, Expression] = {
+    "ratio": RATIO,
+    "difference": DIFFERENCE,
+    "product": PRODUCT,
+    "total": TOTAL,
+    "identity": IDENTITY,
+}
+
+#: Reserved words introducing edge references.
+_EDGE_KEYWORDS = frozenset({"self", "parent", "children", "window"})
+
+
+class QueryParseError(ValueError):
+    """A syntax or semantic error in a workflow script, with location."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # NAME | INT | PUNCT | EOF
+    text: str
+    line: int
+    column: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<ws>\s+)
+  | (?P<int>[+-]?\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>[(),:=])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    line, line_start = 1, 0
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QueryParseError(
+                f"unexpected character {text[position]!r}",
+                line,
+                position - line_start + 1,
+            )
+        column = match.start() - line_start + 1
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "int":
+            yield _Token("INT", value, line, column)
+        elif kind == "name":
+            yield _Token("NAME", value, line, column)
+        elif kind == "punct":
+            yield _Token("PUNCT", value, line, column)
+        # comments and whitespace are skipped, but update line tracking
+        newlines = value.count("\n")
+        if newlines:
+            line += newlines
+            line_start = match.start() + value.rfind("\n") + 1
+        position = match.end()
+    yield _Token("EOF", "", line, position - line_start + 1)
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(
+        self,
+        text: str,
+        schema: Schema,
+        expressions: Mapping[str, Expression],
+    ):
+        self._tokens = list(_tokenize(text))
+        self._index = 0
+        self._schema = schema
+        self._expressions = expressions
+        self._builder = WorkflowBuilder(schema)
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _error(self, message: str, token: Optional[_Token] = None):
+        token = token or self._peek()
+        raise QueryParseError(message, token.line, token.column)
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            got = token.text or "end of input"
+            self._error(f"expected {wanted!r}, got {got!r}")
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> None:
+        token = self._expect("NAME")
+        if token.text != word:
+            self._error(f"expected keyword {word!r}, got {token.text!r}", token)
+
+    # -- grammar -----------------------------------------------------------------
+
+    def parse(self) -> Workflow:
+        statements = 0
+        while self._peek().kind != "EOF":
+            self._parse_measure()
+            statements += 1
+        if statements == 0:
+            self._error("empty query: no measure statements")
+        try:
+            return self._builder.build()
+        except WorkflowError as exc:
+            token = self._tokens[-1]
+            raise QueryParseError(str(exc), token.line, token.column) from exc
+
+    def _parse_measure(self) -> None:
+        self._expect_keyword("measure")
+        name = self._expect("NAME").text
+        self._expect_keyword("over")
+        grain = self._parse_grain()
+        self._expect("PUNCT", "=")
+        self._parse_body(name, grain)
+
+    def _parse_grain(self) -> dict[str, str]:
+        # `over ALL` names the coarsest granularity (every attribute at
+        # the ALL level) -- there is no attribute:level pair to write.
+        if (
+            self._peek().kind == "NAME"
+            and self._peek().text == "ALL"
+            and self._tokens[self._index + 1].text != ":"
+        ):
+            self._advance()
+            return {}
+        grain: dict[str, str] = {}
+        while True:
+            attr = self._expect("NAME").text
+            self._expect("PUNCT", ":")
+            level = self._expect("NAME").text
+            if attr in grain:
+                self._error(f"attribute {attr!r} listed twice in grain")
+            grain[attr] = level
+            if self._peek().text == ",":
+                self._advance()
+                continue
+            return grain
+
+    def _parse_body(self, name: str, grain: dict[str, str]) -> None:
+        head = self._expect("NAME")
+        self._expect("PUNCT", "(")
+
+        if head.text in _EDGE_KEYWORDS:
+            # Bare `self(S)` / `parent(S)`: identity combine.  The edge's
+            # own parentheses are the only ones; _finish_edge consumes
+            # the closing one.
+            draft = self._builder.composite(name, over=grain)
+            self._finish_edge(draft, head)
+            return
+
+        # Lookahead: is the first argument an edge reference or a field?
+        first = self._peek()
+        if first.kind == "NAME" and self._tokens[self._index + 1].text == "(":
+            draft = self._builder.composite(name, over=grain)
+            arity, head_used_as_aggregate = self._parse_edge_arguments(
+                draft, outer=head
+            )
+            if head_used_as_aggregate and arity == 1:
+                return  # agg(children(...)) / agg(window(...)) form
+            # Otherwise the head must be a combine expression; silently
+            # dropping an unknown head would turn a typo into identity.
+            draft.combine(self._resolve_expression(head, arity))
+        else:
+            # Basic measure: agg(field).
+            field = self._expect("NAME").text
+            self._expect("PUNCT", ")")
+            if not self._schema.has_field(field):
+                self._error(f"unknown field {field!r}", first)
+            try:
+                self._builder.basic(
+                    name, over=grain, field=field,
+                    aggregate=get_function(head.text),
+                )
+            except UnknownFunctionError:
+                self._error(f"unknown aggregate {head.text!r}", head)
+            except WorkflowError as exc:
+                raise QueryParseError(str(exc), head.line, head.column)
+
+    def _parse_edge_arguments(self, draft, outer: _Token) -> tuple[int, bool]:
+        """Parse the argument list of an outer call.
+
+        Returns ``(arity, head_used_as_aggregate)``.  Two shapes share
+        this code path: ``agg(children(S))`` / ``agg(window(...))`` --
+        outer is the edge aggregate -- and
+        ``expr(self(A), parent(B), ...)`` -- outer is a combine
+        expression over edge references.
+        """
+        arity = 0
+        head_used_as_aggregate = False
+        while True:
+            inner = self._expect("NAME")
+            self._expect("PUNCT", "(")
+            if inner.text in ("children", "window"):
+                # Aggregated edge; aggregate is `outer` for arity-1 agg
+                # form, or the nested call's own name in expression form.
+                self._finish_aggregated_edge(draft, inner, aggregate=outer)
+                head_used_as_aggregate = True
+            elif inner.text in ("self", "parent"):
+                self._finish_edge(draft, inner)
+            else:
+                # Nested `agg(children(S))` inside an expression.
+                nested_inner = self._expect("NAME")
+                self._expect("PUNCT", "(")
+                if nested_inner.text not in ("children", "window"):
+                    self._error(
+                        "expected children(...) or window(...) inside "
+                        f"{inner.text!r}",
+                        nested_inner,
+                    )
+                self._finish_aggregated_edge(
+                    draft, nested_inner, aggregate=inner
+                )
+                self._expect("PUNCT", ")")
+            arity += 1
+            if self._peek().text == ",":
+                self._advance()
+                continue
+            self._expect("PUNCT", ")")
+            return arity, head_used_as_aggregate
+
+    def _finish_edge(self, draft, keyword: _Token) -> None:
+        """Parse the remainder of `self(S` / `parent(S` up to `)`."""
+        source = self._expect("NAME").text
+        self._expect("PUNCT", ")")
+        if keyword.text == "self":
+            draft.from_self(source)
+        elif keyword.text == "parent":
+            draft.from_parent(source)
+        else:
+            self._error(
+                f"{keyword.text}(...) needs an enclosing aggregate", keyword
+            )
+
+    def _finish_aggregated_edge(self, draft, keyword: _Token, aggregate) -> None:
+        """Parse `children(S)` or `window(S, attr, lo, hi)` up to `)`."""
+        try:
+            aggregate_fn = get_function(aggregate.text)
+        except UnknownFunctionError:
+            self._error(f"unknown aggregate {aggregate.text!r}", aggregate)
+        source = self._expect("NAME").text
+        if keyword.text == "children":
+            self._expect("PUNCT", ")")
+            draft.from_children(source, aggregate=aggregate_fn)
+            return
+        self._expect("PUNCT", ",")
+        attribute = self._expect("NAME").text
+        self._expect("PUNCT", ",")
+        low = int(self._expect("INT").text)
+        self._expect("PUNCT", ",")
+        high = int(self._expect("INT").text)
+        self._expect("PUNCT", ")")
+        try:
+            draft.window(
+                source, attribute=attribute, low=low, high=high,
+                aggregate=aggregate_fn,
+            )
+        except WorkflowError as exc:
+            raise QueryParseError(str(exc), keyword.line, keyword.column)
+
+    def _resolve_expression(self, token: _Token, arity: int) -> Expression:
+        expression = self._expressions.get(token.text)
+        if expression is None:
+            self._error(
+                f"unknown combine expression {token.text!r}; known: "
+                f"{sorted(self._expressions)}",
+                token,
+            )
+        if expression.arity != arity:
+            self._error(
+                f"expression {token.text!r} takes {expression.arity} "
+                f"arguments, got {arity}",
+                token,
+            )
+        return expression
+
+
+def parse_workflow(
+    text: str,
+    schema: Schema,
+    expressions: Mapping[str, Expression] | None = None,
+) -> Workflow:
+    """Parse a workflow script against *schema*.
+
+    *expressions* extends (and may override) the built-in combine
+    expressions.  Raises :class:`QueryParseError` with a line/column on
+    any syntax or semantic problem.
+    """
+    table = dict(BUILTIN_EXPRESSIONS)
+    if expressions:
+        table.update(expressions)
+    return _Parser(text, schema, table).parse()

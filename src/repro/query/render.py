@@ -1,0 +1,122 @@
+"""Rendering aggregation workflows (the paper's Figure 1, as text).
+
+Two renderers:
+
+* :func:`to_dot` -- Graphviz source, one node per measure (label shows
+  the granularity and function), one edge per relationship, styled by
+  relationship type the way the paper's legend distinguishes them;
+* :func:`to_ascii` -- an indented dependency tree for terminals, with
+  shared sub-measures referenced instead of repeated.
+"""
+
+from __future__ import annotations
+
+from repro.query.measures import Measure, Relationship
+from repro.query.workflow import Workflow
+
+#: Graphviz edge styling per relationship, mirroring Figure 1's legend.
+_EDGE_STYLES = {
+    Relationship.SELF: 'style=dotted, label="self"',
+    Relationship.ROLLUP: 'style=solid, label="child/parent"',
+    Relationship.ALIGN: 'style=dashed, label="parent/child"',
+    Relationship.SIBLING: 'style=bold, label="sibling"',
+}
+
+
+def _node_label(measure: Measure) -> str:
+    if measure.is_basic:
+        body = f"{measure.aggregate.name}({measure.field})"
+    else:
+        body = measure.effective_combine.name
+    return f"{measure.name}\\n{body}\\n{measure.granularity}"
+
+
+def to_dot(workflow: Workflow, name: str = "workflow") -> str:
+    """Graphviz source for *workflow* (render with ``dot -Tsvg``)."""
+    lines = [f"digraph {name} {{", "  rankdir=BT;", "  node [shape=box];"]
+    for measure in workflow.topological_order():
+        shape = "box" if measure.is_basic else "ellipse"
+        lines.append(
+            f'  "{measure.name}" [shape={shape}, '
+            f'label="{_node_label(measure)}"];'
+        )
+    for measure in workflow.topological_order():
+        for edge in measure.inputs:
+            style = _EDGE_STYLES[edge.relationship]
+            if edge.window is not None:
+                window = edge.window
+                style = style.replace(
+                    'label="sibling"',
+                    f'label="sibling {window.attribute}'
+                    f'({window.low},{window.high})"',
+                )
+            lines.append(
+                f'  "{edge.source.name}" -> "{measure.name}" [{style}];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_ascii(workflow: Workflow) -> str:
+    """An indented dependency tree of the workflow.
+
+    Roots are the measures nothing depends on; measures feeding several
+    dependents are expanded once and referenced (``...``) afterwards.
+    """
+    dependents: dict[str, int] = {name: 0 for name in workflow.names}
+    for measure in workflow.measures:
+        for source in measure.source_measures():
+            dependents[source.name] += 1
+    roots = [m for m in workflow.measures if dependents[m.name] == 0]
+
+    lines: list[str] = []
+    expanded: set[str] = set()
+
+    def describe(measure: Measure) -> str:
+        if measure.is_basic:
+            return (
+                f"{measure.name} = {measure.aggregate.name}"
+                f"({measure.field}) over {measure.granularity}"
+            )
+        return (
+            f"{measure.name} = {measure.effective_combine.name}(...) "
+            f"over {measure.granularity}"
+        )
+
+    def visit(measure: Measure, prefix: str, tag: str) -> None:
+        title = describe(measure)
+        if measure.name in expanded and measure.inputs:
+            lines.append(f"{prefix}{tag}{measure.name} ...")
+            return
+        expanded.add(measure.name)
+        lines.append(f"{prefix}{tag}{title}")
+        child_prefix = prefix + ("   " if not tag else "|  ")
+        for edge in measure.inputs:
+            label = edge.relationship.value
+            if edge.window is not None:
+                label += f" {edge.window}"
+            if edge.aggregate is not None:
+                label += f" {edge.aggregate.name}"
+            visit(edge.source, child_prefix, f"+- [{label}] ")
+
+    for root in roots:
+        visit(root, "", "")
+    return "\n".join(lines)
+
+
+def explain_derivation(workflow: Workflow) -> str:
+    """A step-by-step account of the feasible-key derivation.
+
+    Lists each measure's individual feasible key (in topological order,
+    as ``opConvert``/``opCombine`` build them) and the combined minimal
+    key -- the paper's Section III-B walk-through, for any workflow.
+    """
+    from repro.distribution.derive import measure_keys, minimal_feasible_key
+
+    keys = measure_keys(workflow)
+    lines = ["per-measure feasible keys (topological order):"]
+    for measure in workflow.topological_order():
+        origin = "granularity" if measure.is_basic else "opCombine"
+        lines.append(f"  {measure.name}: {keys[measure.name]!r}  [{origin}]")
+    lines.append(f"minimal feasible key: {minimal_feasible_key(workflow)!r}")
+    return "\n".join(lines)

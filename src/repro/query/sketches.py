@@ -1,0 +1,288 @@
+"""Sketches and extended aggregates.
+
+The paper's early-aggregation optimization (Section III-D) requires
+basic measures to be distributive or algebraic; exact ``count_distinct``
+and quantiles are holistic and disqualify a workflow.  The sketches here
+restore eligibility by trading exactness for a *fixed-size, mergeable*
+state:
+
+* :func:`approx_count_distinct` -- a HyperLogLog register array.  Its
+  merge is a per-register max, so the estimate is completely insensitive
+  to how records are partitioned: parallel evaluation returns exactly
+  the centralized estimate.
+* :func:`histogram_quantile` -- fixed-bin counting over a declared value
+  range, with linear interpolation inside the quantile's bin.  Also
+  order- and partition-insensitive.
+
+Plus deterministic extended aggregates: ``geometric_mean``,
+``harmonic_mean``, ``value_range`` (max - min), :func:`top_k` and
+``mode``.  Hashing uses CRC-based mixing so results are stable across
+processes (Python's ``hash`` is randomized).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections import Counter
+
+from repro.query.functions import (
+    AggregateFunction,
+    FunctionKind,
+    register,
+)
+
+# ---------------------------------------------------------------------------
+# HyperLogLog approximate distinct counting (algebraic)
+# ---------------------------------------------------------------------------
+
+#: Bias-correction constants per Flajolet et al. for m >= 128 registers.
+def _hll_alpha(m: int) -> float:
+    if m == 16:
+        return 0.673
+    if m == 32:
+        return 0.697
+    if m == 64:
+        return 0.709
+    return 0.7213 / (1.0 + 1.079 / m)
+
+
+def _stable_hash64(value) -> int:
+    """A deterministic 64-bit hash with full 64-bit entropy.
+
+    (Two CRC32 passes would NOT work: CRC is affine in its seed, so the
+    second word would be a length-dependent constant XOR of the first,
+    collapsing the hash to 32 bits and biasing HyperLogLog estimates at
+    large cardinalities.)
+    """
+    digest = hashlib.blake2b(repr(value).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def approx_count_distinct(precision: int = 10) -> AggregateFunction:
+    """A HyperLogLog distinct-count estimate with ``2**precision`` registers.
+
+    Standard error is about ``1.04 / sqrt(2**precision)`` (~3.3% at the
+    default precision).  The accumulator is a fixed-size register list,
+    merged by per-register max -- algebraic, hence compatible with
+    mapper-side early aggregation, unlike exact ``count_distinct``.
+    """
+    if not 4 <= precision <= 16:
+        raise ValueError("precision must be between 4 and 16")
+    m = 1 << precision
+    alpha = _hll_alpha(m)
+    name = f"approx_count_distinct_{precision}"
+
+    def add(registers: list[int], value) -> list[int]:
+        hashed = _stable_hash64(value)
+        index = hashed & (m - 1)
+        remainder = hashed >> precision
+        # Rank: position of the first 1-bit in the remaining 54 bits.
+        rank = (64 - precision) - remainder.bit_length() + 1
+        if rank > registers[index]:
+            registers[index] = rank
+        return registers
+
+    def merge(a: list[int], b: list[int]) -> list[int]:
+        for index, value in enumerate(b):
+            if value > a[index]:
+                a[index] = value
+        return a
+
+    def finalize(registers: list[int]) -> int:
+        estimate = alpha * m * m / sum(2.0 ** -r for r in registers)
+        zeros = registers.count(0)
+        if estimate <= 2.5 * m and zeros:
+            estimate = m * math.log(m / zeros)  # small-range correction
+        return int(round(estimate))
+
+    return register(
+        AggregateFunction(
+            name,
+            FunctionKind.ALGEBRAIC,
+            create=lambda: [0] * m,
+            add=add,
+            merge=merge,
+            finalize=finalize,
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Histogram quantiles (algebraic over a declared range)
+# ---------------------------------------------------------------------------
+
+def histogram_quantile(
+    q: float, low: float, high: float, bins: int = 64
+) -> AggregateFunction:
+    """An approximate q-quantile over values known to lie in [low, high].
+
+    The state is a fixed array of bin counts; the quantile interpolates
+    linearly within its bin, so the error is bounded by one bin width.
+    Values outside the declared range clamp to the boundary bins.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile fraction must be in [0, 1]")
+    if high <= low:
+        raise ValueError("high must exceed low")
+    if bins < 2:
+        raise ValueError("need at least two bins")
+    from repro.query.functions import numeric_suffix
+
+    width = (high - low) / bins
+    name = (
+        f"histogram_quantile_{numeric_suffix(q)}_{numeric_suffix(low)}_"
+        f"{numeric_suffix(high)}_{bins}"
+    )
+
+    def add(counts: list[int], value) -> list[int]:
+        index = int((value - low) / width)
+        counts[min(bins - 1, max(0, index))] += 1
+        return counts
+
+    def merge(a: list[int], b: list[int]) -> list[int]:
+        for index, count in enumerate(b):
+            a[index] += count
+        return a
+
+    def finalize(counts: list[int]) -> float:
+        total = sum(counts)
+        if total == 0:
+            raise ValueError("quantile of an empty input")
+        target = q * total
+        running = 0
+        for index, count in enumerate(counts):
+            if running + count >= target and count:
+                fraction = (target - running) / count
+                return low + (index + fraction) * width
+            running += count
+        return high
+
+    return register(
+        AggregateFunction(
+            name,
+            FunctionKind.ALGEBRAIC,
+            create=lambda: [0] * bins,
+            add=add,
+            merge=merge,
+            finalize=finalize,
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Extended exact aggregates
+# ---------------------------------------------------------------------------
+
+def _geo_add(acc, value):
+    if value <= 0:
+        raise ValueError("geometric mean requires positive values")
+    acc[0] += math.log(value)
+    acc[1] += 1
+    return acc
+
+
+register(
+    AggregateFunction(
+        "geometric_mean",
+        FunctionKind.ALGEBRAIC,
+        create=lambda: [0.0, 0],
+        add=_geo_add,
+        merge=lambda a, b: [a[0] + b[0], a[1] + b[1]],
+        finalize=lambda acc: math.exp(acc[0] / acc[1]),
+    )
+)
+
+
+def _harmonic_add(acc, value):
+    if value == 0:
+        raise ValueError("harmonic mean is undefined with zero values")
+    acc[0] += 1.0 / value
+    acc[1] += 1
+    return acc
+
+
+register(
+    AggregateFunction(
+        "harmonic_mean",
+        FunctionKind.ALGEBRAIC,
+        create=lambda: [0.0, 0],
+        add=_harmonic_add,
+        merge=lambda a, b: [a[0] + b[0], a[1] + b[1]],
+        finalize=lambda acc: acc[1] / acc[0],
+    )
+)
+
+
+def _range_add(acc, value):
+    if acc[0] is None or value < acc[0]:
+        acc[0] = value
+    if acc[1] is None or value > acc[1]:
+        acc[1] = value
+    return acc
+
+
+def _range_merge(a, b):
+    if b[0] is not None:
+        a = _range_add(a, b[0])
+    if b[1] is not None:
+        a = _range_add(a, b[1])
+    return a
+
+
+register(
+    AggregateFunction(
+        "value_range",
+        FunctionKind.ALGEBRAIC,
+        create=lambda: [None, None],
+        add=_range_add,
+        merge=_range_merge,
+        finalize=lambda acc: acc[1] - acc[0],
+    )
+)
+
+
+def top_k(k: int) -> AggregateFunction:
+    """The *k* most frequent values as ``((value, count), ...)``.
+
+    Holistic (the counter grows with distinct values); ties break by
+    value so the result is deterministic under any partitioning.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    name = f"top_{k}"
+
+    def add(counter: Counter, value) -> Counter:
+        counter[value] += 1
+        return counter
+
+    def merge(a: Counter, b: Counter) -> Counter:
+        a.update(b)
+        return a
+
+    def finalize(counter: Counter):
+        ranked = sorted(counter.items(), key=lambda kv: (-kv[1], kv[0]))
+        return tuple(ranked[:k])
+
+    return register(
+        AggregateFunction(
+            name, FunctionKind.HOLISTIC, create=Counter, add=add,
+            merge=merge, finalize=finalize,
+        )
+    )
+
+
+def _mode_finalize(counter: Counter):
+    return min(counter.items(), key=lambda kv: (-kv[1], kv[0]))[0]
+
+
+register(
+    AggregateFunction(
+        "mode",
+        FunctionKind.HOLISTIC,
+        create=Counter,
+        add=lambda counter, value: (counter.update([value]), counter)[1],
+        merge=lambda a, b: (a.update(b), a)[1],
+        finalize=_mode_finalize,
+    )
+)

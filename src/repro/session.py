@@ -1,0 +1,197 @@
+"""Interactive analysis sessions.
+
+The paper optimizes *response time* because the target workload is
+interactive analysis: an analyst firing a sequence of related composite
+queries at the same data.  :class:`Session` packages that workflow:
+
+* datasets are registered once (stored in the cluster's DFS);
+* queries arrive as workflow objects or query-language scripts;
+* plans flow through one shared :class:`~repro.optimizer.skew.KeyCache`,
+  so a distribution key that balanced well for an earlier query is
+  reused when feasible (Section V's key-reuse idea);
+* every run is recorded in a history with its plan and simulated cost.
+
+Example::
+
+    session = Session(machines=20)
+    session.register("logs", weblog_schema(days=1), records)
+    outcome = session.query("logs", WEBLOG_SCRIPT)
+    print(session.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.cube.records import Record, Schema
+from repro.local.measure_table import ResultSet
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.timing import ClusterConfig
+from repro.optimizer.skew import KeyCache
+from repro.query.functions import Expression
+from repro.query.parser import parse_workflow
+from repro.query.workflow import Workflow
+from repro.parallel.executor import ExecutionConfig, ParallelEvaluator
+from repro.parallel.report import ParallelResult
+
+
+__all__ = [
+    "Dataset",
+    "QueryRecord",
+    "Session",
+    "SessionError",
+    "quick_session",
+]
+
+
+class SessionError(ValueError):
+    """Unknown dataset names or mismatched schemas."""
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A registered dataset: name, schema, DFS-backed records."""
+
+    name: str
+    schema: Schema
+    num_records: int
+
+
+@dataclass
+class QueryRecord:
+    """One history entry."""
+
+    index: int
+    dataset: str
+    measures: tuple[str, ...]
+    plan_summary: str
+    strategy: str
+    response_time: float
+    rows: int
+
+    def describe(self) -> str:
+        return (
+            f"#{self.index} on {self.dataset!r}: "
+            f"{', '.join(self.measures)} -> {self.rows} rows in "
+            f"{self.response_time:.4f}s [{self.strategy}] via "
+            f"{self.plan_summary}"
+        )
+
+
+class Session:
+    """A cluster, a dataset catalog, a key cache, and a query history."""
+
+    def __init__(
+        self,
+        machines: int = 20,
+        config: ExecutionConfig | None = None,
+        cluster: SimulatedCluster | None = None,
+        expressions: Optional[dict[str, Expression]] = None,
+    ):
+        self.cluster = cluster or SimulatedCluster(
+            ClusterConfig(machines=machines)
+        )
+        self.evaluator = ParallelEvaluator(self.cluster, config)
+        self.key_cache = KeyCache()
+        self.expressions = expressions or {}
+        self._datasets: dict[str, Dataset] = {}
+        self.history: list[QueryRecord] = []
+
+    # -- dataset catalog ------------------------------------------------------
+
+    def register(
+        self, name: str, schema: Schema, records: Sequence[Record]
+    ) -> Dataset:
+        """Store *records* in the cluster's DFS under *name*."""
+        records = list(records)
+        for record in records[:16]:
+            schema.validate_record(record)
+        self.cluster.write_file(f"dataset:{name}", records)
+        dataset = Dataset(name, schema, len(records))
+        self._datasets[name] = dataset
+        return dataset
+
+    def dataset(self, name: str) -> Dataset:
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise SessionError(
+                f"no dataset {name!r}; registered: {sorted(self._datasets)}"
+            ) from None
+
+    def datasets(self) -> tuple[Dataset, ...]:
+        return tuple(self._datasets.values())
+
+    # -- querying ------------------------------------------------------------------
+
+    def _resolve_workflow(self, dataset: Dataset, query) -> Workflow:
+        if isinstance(query, Workflow):
+            if query.schema != dataset.schema:
+                raise SessionError(
+                    f"workflow schema does not match dataset "
+                    f"{dataset.name!r}"
+                )
+            return query
+        return parse_workflow(
+            query, dataset.schema, expressions=self.expressions
+        )
+
+    def query(self, dataset_name: str, query) -> ParallelResult:
+        """Evaluate *query* (a Workflow or script text) over a dataset.
+
+        Plans consult the session's key cache; the run is appended to
+        the history.
+        """
+        dataset = self.dataset(dataset_name)
+        workflow = self._resolve_workflow(dataset, query)
+        handle = self.cluster.dfs.open(f"dataset:{dataset.name}")
+        outcome = self.evaluator.evaluate(
+            workflow, handle, key_cache=self.key_cache
+        )
+        strategies = {plan.strategy for _wf, plan in outcome.plan.subplans}
+        self.history.append(
+            QueryRecord(
+                index=len(self.history),
+                dataset=dataset.name,
+                measures=workflow.names,
+                plan_summary=repr(
+                    [plan.scheme.key for _wf, plan in outcome.plan.subplans]
+                ),
+                strategy=",".join(sorted(strategies)),
+                response_time=outcome.response_time,
+                rows=outcome.result.total_rows(),
+            )
+        )
+        return outcome
+
+    # -- reporting -------------------------------------------------------------------
+
+    @property
+    def total_simulated_time(self) -> float:
+        return sum(entry.response_time for entry in self.history)
+
+    def summary(self) -> str:
+        lines = [
+            f"session: {self.cluster.config.machines} machines, "
+            f"{len(self._datasets)} datasets, {len(self.history)} queries, "
+            f"{self.total_simulated_time:.4f}s simulated total, "
+            f"{len(self.key_cache)} cached keys"
+        ]
+        lines.extend("  " + entry.describe() for entry in self.history)
+        return "\n".join(lines)
+
+
+def quick_session(machines: int = 10) -> tuple[Session, ResultSet]:
+    """The weblog example wrapped in a session (used by docs and demos)."""
+    from repro.workload.weblog import (
+        generate_sessions,
+        weblog_query,
+        weblog_schema,
+    )
+
+    schema = weblog_schema(days=1)
+    session = Session(machines=machines)
+    session.register("weblog", schema, generate_sessions(schema, 20_000))
+    outcome = session.query("weblog", weblog_query(schema))
+    return session, outcome.result

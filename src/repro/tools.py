@@ -1,0 +1,170 @@
+"""Debugging and validation utilities.
+
+* :func:`verify_scheme` -- empirically check a distribution scheme
+  against the centralized oracle on a (sample of) the data: the
+  ground-truth complement to the analytical
+  :func:`~repro.distribution.derive.is_feasible` check, useful when
+  hand-crafting schemes or extending the derivation rules.
+* :func:`empirical_max_load` -- Monte-Carlo estimate of the heaviest
+  reducer load under random block assignment, for validating the
+  Formula 2/4 cost model on concrete parameters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.cube.records import Record
+from repro.distribution.clustering import BlockScheme
+from repro.distribution.derive import is_feasible
+from repro.local.sortscan import evaluate_centralized
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.timing import ClusterConfig
+from repro.optimizer.costmodel import expected_max_load_overlap
+from repro.optimizer.skew import sample_records
+from repro.optimizer.optimizer import Plan
+from repro.query.workflow import Workflow
+from repro.parallel.executor import ParallelEvaluator
+
+__all__ = [
+    "SchemeVerdict",
+    "empirical_max_load",
+    "verify_scheme",
+]
+
+
+@dataclass
+class SchemeVerdict:
+    """Outcome of one empirical scheme verification."""
+
+    analytic_feasible: bool
+    empirically_correct: bool
+    mismatched_measures: tuple[str, ...]
+    records_checked: int
+    error: Optional[str] = None
+
+    @property
+    def consistent(self) -> bool:
+        """Analytic feasibility never contradicts observed correctness.
+
+        ``is_feasible`` is conservative: it may reject a key that
+        happens to work on this data, but a key it accepts must never
+        produce a wrong answer.
+        """
+        return self.empirically_correct or not self.analytic_feasible
+
+    def describe(self) -> str:
+        if self.empirically_correct:
+            verdict = "correct"
+        elif self.error:
+            verdict = f"FAILED ({self.error})"
+        else:
+            verdict = f"WRONG on {', '.join(self.mismatched_measures)}"
+        analytic = (
+            "feasible" if self.analytic_feasible else "not provably feasible"
+        )
+        return (
+            f"analytic: {analytic}; empirical "
+            f"({self.records_checked} records): {verdict}"
+        )
+
+
+def verify_scheme(
+    workflow: Workflow,
+    scheme: BlockScheme,
+    records: Sequence[Record],
+    num_reducers: int = 4,
+    sample_size: Optional[int] = 2000,
+    seed: int = 13,
+) -> SchemeVerdict:
+    """Run *scheme* on (a sample of) *records* and diff against the oracle."""
+    records = list(records)
+    if sample_size is not None:
+        records = sample_records(records, sample_size, seed)
+
+    oracle = evaluate_centralized(workflow, records)
+    plan = Plan(
+        scheme=scheme,
+        num_reducers=num_reducers,
+        predicted_max_load=0.0,
+        strategy="verify",
+    )
+    cluster = SimulatedCluster(
+        ClusterConfig(machines=max(2, min(num_reducers, 8)))
+    )
+    error = None
+    try:
+        outcome = ParallelEvaluator(cluster).evaluate(
+            workflow, records, plan=plan
+        )
+        mismatched = tuple(
+            name
+            for name in workflow.names
+            if outcome.result[name].values != oracle[name].values
+        )
+    except Exception as exc:  # duplicated regions, unfilterable keys, ...
+        # An infeasible scheme failing loudly is exactly what this tool
+        # exists to diagnose: report it, don't propagate it.
+        error = f"{type(exc).__name__}: {exc}"
+        mismatched = tuple(workflow.names)
+    return SchemeVerdict(
+        analytic_feasible=is_feasible(scheme.key, workflow),
+        empirically_correct=not mismatched,
+        mismatched_measures=mismatched,
+        records_checked=len(records),
+        error=error,
+    )
+
+
+def empirical_max_load(
+    n_records: int,
+    n_regions: int,
+    num_reducers: int,
+    span: int = 0,
+    cf: int = 1,
+    trials: int = 200,
+    seed: int = 7,
+) -> float:
+    """Monte-Carlo mean of the heaviest reducer load (validates Formula 4).
+
+    Blocks of ``span + cf`` regions (each region holding
+    ``n_records / n_regions`` records) are assigned to reducers uniformly
+    at random; returns the mean maximum over *trials* draws.  Compare
+    with :func:`~repro.optimizer.costmodel.expected_max_load_overlap`.
+    """
+    rng = random.Random(seed)
+    n_blocks = max(1, n_regions // cf)
+    block_records = (n_records / n_regions) * (span + cf)
+    total = 0.0
+    for _ in range(trials):
+        loads = [0.0] * num_reducers
+        for _block in range(n_blocks):
+            loads[rng.randrange(num_reducers)] += block_records
+        total += max(loads)
+    return total / trials
+
+
+def model_validation_table(
+    n_records: int = 1_000_000,
+    num_reducers: int = 50,
+    span: int = 9,
+    region_counts: Sequence[int] = (240, 480, 960, 1920),
+    cf_values: Sequence[int] = (1, 4, 16, 64),
+    trials: int = 200,
+) -> list[tuple[int, int, float, float]]:
+    """(n_regions, cf, model, monte-carlo) rows across a parameter grid."""
+    rows = []
+    for n_regions in region_counts:
+        for cf in cf_values:
+            if cf > n_regions:
+                continue
+            model = expected_max_load_overlap(
+                n_records, n_regions, num_reducers, span, cf
+            )
+            empirical = empirical_max_load(
+                n_records, n_regions, num_reducers, span, cf, trials
+            )
+            rows.append((n_regions, cf, model, empirical))
+    return rows

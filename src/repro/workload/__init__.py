@@ -1,0 +1,71 @@
+"""Workloads: the paper's synthetic schema, query suite, and weblog demo."""
+
+from repro.workload.generator import (
+    GENERATORS,
+    INT_CARDINALITY,
+    generate_skewed,
+    generate_uniform,
+    generate_zipf,
+    paper_schema,
+)
+from repro.workload.network import (
+    anomaly_query,
+    generate_flows,
+    network_schema,
+    top_alarms,
+)
+from repro.workload.queries import (
+    QUERIES,
+    all_queries,
+    ds_query,
+    q1,
+    q2,
+    q3,
+    q4,
+    q5,
+    q6,
+)
+from repro.workload.retail import (
+    generate_sales,
+    retail_query,
+    retail_schema,
+)
+from repro.workload.weblog import (
+    KEYWORDS,
+    decode_keyword,
+    encode_keyword,
+    generate_sessions,
+    weblog_query,
+    weblog_schema,
+)
+
+__all__ = [
+    "GENERATORS",
+    "INT_CARDINALITY",
+    "KEYWORDS",
+    "QUERIES",
+    "all_queries",
+    "anomaly_query",
+    "decode_keyword",
+    "ds_query",
+    "encode_keyword",
+    "generate_flows",
+    "generate_sales",
+    "generate_sessions",
+    "generate_skewed",
+    "generate_uniform",
+    "generate_zipf",
+    "network_schema",
+    "paper_schema",
+    "q1",
+    "q2",
+    "q3",
+    "q4",
+    "q5",
+    "q6",
+    "retail_query",
+    "retail_schema",
+    "top_alarms",
+    "weblog_query",
+    "weblog_schema",
+]

@@ -1,0 +1,214 @@
+"""The paper's evaluation query suite (Section VI).
+
+Six composite subset measure queries over the synthetic schema:
+
+* **Q1** -- three independent basic measures at fine granularities.
+* **Q2** -- a basic measure plus a parent measure rolled up from it.
+* **Q3** -- five measures: two basics, two roll-ups, and a top measure
+  combining the two roll-ups.
+* **Q4** -- a measure combining the same region's value with a roll-up
+  of its children.
+* **Q5** -- a sibling relation: each hour summarizes the preceding hours.
+* **Q6** -- a mixture of all four relationship types topped by a large
+  sliding window at a coarse granularity (the query that stresses the
+  overlapping distribution scheme).
+
+Plus **DS0..DS2**, the early-aggregation study's queries, differing only
+in the granularity of their basic measure (coarse, intermediate, fine).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cube.records import Schema
+from repro.query.builder import WorkflowBuilder
+from repro.query.functions import RATIO
+from repro.query.workflow import Workflow
+
+
+def q1(schema: Schema) -> Workflow:
+    """Three independent basic measures over different fine region sets."""
+    builder = WorkflowBuilder(schema)
+    builder.basic(
+        "Q1A", over={"a1": "value", "t1": "minute"}, field="a2",
+        aggregate="sum",
+    )
+    builder.basic(
+        "Q1B", over={"a2": "value", "t1": "minute"}, field="a3",
+        aggregate="count",
+    )
+    builder.basic(
+        "Q1C", over={"a3": "value", "t2": "minute"}, field="a4",
+        aggregate="avg",
+    )
+    return builder.build()
+
+
+def q2(schema: Schema) -> Workflow:
+    """A basic measure and its parent-region aggregation."""
+    builder = WorkflowBuilder(schema)
+    builder.basic(
+        "base", over={"a1": "value", "t1": "minute"}, field="a2",
+        aggregate="sum",
+    )
+    (
+        builder.composite("hourly", over={"a1": "band1", "t1": "hour"})
+        .from_children("base", aggregate="avg")
+    )
+    return builder.build()
+
+
+def q3(schema: Schema) -> Workflow:
+    """Five measures; the top one combines two child-region roll-ups."""
+    builder = WorkflowBuilder(schema)
+    builder.basic(
+        "clicks", over={"a1": "value", "t1": "minute"}, field="a2",
+        aggregate="sum",
+    )
+    builder.basic(
+        "views", over={"a1": "value", "t1": "minute"}, field="a3",
+        aggregate="count",
+    )
+    (
+        builder.composite("clicks_h", over={"a1": "band1", "t1": "hour"})
+        .from_children("clicks", aggregate="sum")
+    )
+    (
+        builder.composite("views_h", over={"a1": "band1", "t1": "hour"})
+        .from_children("views", aggregate="sum")
+    )
+    (
+        builder.composite("ctr", over={"a1": "band1", "t1": "hour"})
+        .from_self("clicks_h")
+        .from_self("views_h")
+        .combine(RATIO)
+    )
+    return builder.build()
+
+
+def q4(schema: Schema) -> Workflow:
+    """Combine a region's own measure with its children's aggregation."""
+    builder = WorkflowBuilder(schema)
+    builder.basic(
+        "detail", over={"a1": "value", "t1": "hour"}, field="a2",
+        aggregate="sum",
+    )
+    builder.basic(
+        "coarse", over={"a1": "band1", "t1": "hour"}, field="a3",
+        aggregate="count",
+    )
+    (
+        builder.composite("share", over={"a1": "band1", "t1": "hour"})
+        .from_children("detail", aggregate="sum")
+        .from_self("coarse")
+        .combine(RATIO)
+    )
+    return builder.build()
+
+
+def q5(schema: Schema) -> Workflow:
+    """Each hour summarizes the measures of the preceding hours."""
+    builder = WorkflowBuilder(schema)
+    builder.basic(
+        "hourly", over={"a1": "band1", "t1": "hour"}, field="a2",
+        aggregate="sum",
+    )
+    (
+        builder.composite("trailing", over={"a1": "band1", "t1": "hour"})
+        .window("hourly", attribute="t1", low=-3, high=0, aggregate="sum")
+    )
+    return builder.build()
+
+
+def q6(schema: Schema) -> Workflow:
+    """All four relationships plus a large coarse sliding window."""
+    builder = WorkflowBuilder(schema)
+    builder.basic(
+        "fine", over={"a1": "value", "t1": "minute"}, field="a2",
+        aggregate="sum",
+    )
+    builder.basic(
+        "coarse", over={"a1": "band1", "t1": "hour"}, field="a3",
+        aggregate="count",
+    )
+    builder.basic(
+        "detail_h", over={"a1": "value", "t1": "hour"}, field="a4",
+        aggregate="sum",
+    )
+    (
+        builder.composite("fine_h", over={"a1": "band1", "t1": "hour"})
+        .from_children("fine", aggregate="sum")
+    )
+    (
+        builder.composite("rate", over={"a1": "band1", "t1": "hour"})
+        .from_self("fine_h")
+        .from_self("coarse")
+        .combine(RATIO)
+    )
+    (
+        builder.composite("lift", over={"a1": "value", "t1": "hour"})
+        .from_self("detail_h")
+        .from_parent("rate")
+        .combine(RATIO)
+    )
+    (
+        builder.composite("trend", over={"a1": "band1", "t1": "hour"})
+        .window("rate", attribute="t1", low=-47, high=0, aggregate="avg")
+    )
+    return builder.build()
+
+
+def ds_query(schema: Schema, fineness: int) -> Workflow:
+    """The early-aggregation study's queries DS0 (coarse) .. DS2 (fine).
+
+    Each pairs one distributive basic measure with a roll-up and a ratio
+    on top; only the basic measure's granularity changes, which is what
+    drives early aggregation's benefit (DS0) or overhead (DS2).
+    """
+    grains = [
+        {"a1": "band2", "t1": "day"},
+        {"a1": "band1", "t1": "hour"},
+        {"a1": "value", "t1": "minute"},
+    ]
+    parents = [
+        {"a1": "band3", "t1": "day"},
+        {"a1": "band2", "t1": "day"},
+        {"a1": "band1", "t1": "hour"},
+    ]
+    if not 0 <= fineness < len(grains):
+        raise ValueError(f"fineness must be 0..{len(grains) - 1}")
+    builder = WorkflowBuilder(schema)
+    builder.basic(
+        "base", over=grains[fineness], field="a2", aggregate="sum"
+    )
+    (
+        builder.composite("rolled", over=parents[fineness])
+        .from_children("base", aggregate="sum")
+    )
+    (
+        builder.composite("weight", over=parents[fineness])
+        .from_children("base", aggregate="count")
+    )
+    (
+        builder.composite("mean", over=parents[fineness])
+        .from_self("rolled")
+        .from_self("weight")
+        .combine(RATIO)
+    )
+    return builder.build()
+
+
+QUERIES: dict[str, Callable[[Schema], Workflow]] = {
+    "Q1": q1,
+    "Q2": q2,
+    "Q3": q3,
+    "Q4": q4,
+    "Q5": q5,
+    "Q6": q6,
+}
+
+
+def all_queries(schema: Schema) -> dict[str, Workflow]:
+    """Q1..Q6 instantiated over *schema*."""
+    return {name: make(schema) for name, make in QUERIES.items()}

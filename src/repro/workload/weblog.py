@@ -1,0 +1,131 @@
+"""The paper's motivating weblog-analysis scenario (Section I).
+
+Schema ``(Keyword, PageCount, AdCount, Time)``: each record is one search
+session -- a keyword query issued at some time, with the number of result
+links and ad links clicked.  The M1..M4 workflow asks, per keyword and
+minute, for the ratio of the median page-click count to the hour's median
+ad-click count, smoothed by a ten-minute moving average.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.cube.domains import (
+    MappingHierarchy,
+    UniformHierarchy,
+    temporal_hierarchy,
+)
+from repro.cube.records import Attribute, Record, Schema
+from repro.query.builder import WorkflowBuilder
+from repro.query.functions import RATIO
+from repro.query.workflow import Workflow
+
+#: Keyword vocabulary: (word, group) pairs in the spirit of Table I.
+KEYWORDS = [
+    ("java", "tech"), ("eclipse", "tech"), ("python", "tech"),
+    ("linux", "tech"), ("hadoop", "tech"),
+    ("baseball", "sport"), ("soccer", "sport"), ("tennis", "sport"),
+    ("golf", "sport"), ("badger", "sport"),
+    ("guitar", "music"), ("piano", "music"), ("violin", "music"),
+    ("flights", "travel"), ("hotels", "travel"), ("beaches", "travel"),
+]
+
+#: Upper bound (exclusive) of click counts, with a low/medium/high level.
+CLICK_CARDINALITY = 21
+
+
+def click_hierarchy(name: str) -> UniformHierarchy:
+    """value -> level(low/medium/high) -> ALL over [0, 20]."""
+    return UniformHierarchy(
+        name, {"value": 1, "level": 7}, base_cardinality=CLICK_CARDINALITY
+    )
+
+
+def weblog_schema(days: int = 1, temporal_base: str = "second") -> Schema:
+    """Keyword / PageCount / AdCount / Time, per Table I."""
+    keyword = MappingHierarchy(
+        "keyword",
+        [word for word, _group in KEYWORDS],
+        {"group": dict(KEYWORDS)},
+        base_level_name="word",
+    )
+    return Schema(
+        [
+            Attribute("keyword", keyword),
+            Attribute("page_count", click_hierarchy("page_count")),
+            Attribute("ad_count", click_hierarchy("ad_count")),
+            Attribute("time", temporal_hierarchy("time", days, temporal_base)),
+        ]
+    )
+
+
+def weblog_query(schema: Schema) -> Workflow:
+    """The running example: M1..M4 exactly as the paper states them.
+
+    M1: per minute and keyword, the median page count.
+    M2: per hour and keyword, the median ad count.
+    M3: per minute and keyword, M1 over the hour's M2.
+    M4: per keyword, the ten-minute moving average of M3.
+    """
+    builder = WorkflowBuilder(schema)
+    builder.basic(
+        "M1", over={"keyword": "word", "time": "minute"},
+        field="page_count", aggregate="median",
+    )
+    builder.basic(
+        "M2", over={"keyword": "word", "time": "hour"},
+        field="ad_count", aggregate="median",
+    )
+    (
+        builder.composite("M3", over={"keyword": "word", "time": "minute"})
+        .from_self("M1")
+        .from_parent("M2")
+        .combine(RATIO)
+    )
+    (
+        builder.composite("M4", over={"keyword": "word", "time": "minute"})
+        .window("M3", attribute="time", low=-9, high=0, aggregate="avg")
+    )
+    return builder.build()
+
+
+def generate_sessions(
+    schema: Schema, n_records: int, seed: int = 42
+) -> list[Record]:
+    """Synthetic search sessions with mildly correlated click counts.
+
+    Keywords follow a Zipf-ish popularity; page and ad clicks are drawn
+    so that popular keywords click more, giving the M3 ratios structure
+    worth looking at in the examples.
+    """
+    rng = random.Random(seed)
+    time_card = schema.attribute("time").hierarchy.base_cardinality
+    n_keywords = len(KEYWORDS)
+    weights = [1.0 / math.sqrt(rank + 1) for rank in range(n_keywords)]
+    keywords = rng.choices(range(n_keywords), weights=weights, k=n_records)
+    records = []
+    for keyword in keywords:
+        popularity = 1.0 / math.sqrt(keyword + 1)
+        pages = min(
+            CLICK_CARDINALITY - 1, int(rng.expovariate(1.0 / (2 + 8 * popularity)))
+        )
+        ads = min(
+            CLICK_CARDINALITY - 1, int(rng.expovariate(1.0 / (1 + 4 * popularity)))
+        )
+        records.append((keyword, pages, ads, rng.randrange(time_card)))
+    return records
+
+
+def encode_keyword(word: str) -> int:
+    """Map a keyword string to its record code."""
+    for code, (known, _group) in enumerate(KEYWORDS):
+        if known == word:
+            return code
+    raise KeyError(f"unknown keyword {word!r}")
+
+
+def decode_keyword(code: int) -> str:
+    """Map a record code back to its keyword string."""
+    return KEYWORDS[code][0]

@@ -1,0 +1,109 @@
+"""Shared fixtures: small schemas, workflows and clusters."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cube import (
+    Attribute,
+    MappingHierarchy,
+    Schema,
+    UniformHierarchy,
+    temporal_hierarchy,
+)
+from repro.mapreduce import ClusterConfig, SimulatedCluster
+from repro.query import RATIO, WorkflowBuilder
+
+
+@pytest.fixture(scope="session")
+def tiny_schema() -> Schema:
+    """Two uniform attributes with short hierarchies; fast to enumerate.
+
+    ``x``: value (16) -> four (4) -> ALL;  ``t``: tick (32) -> span (8)
+    -> ALL.  Records carry one fact field ``v``.
+    """
+    x = UniformHierarchy("x", {"value": 1, "four": 4}, base_cardinality=16)
+    t = UniformHierarchy("t", {"tick": 1, "span": 4}, base_cardinality=32)
+    return Schema([Attribute("x", x), Attribute("t", t)], facts=["v"])
+
+
+@pytest.fixture
+def tiny_records(tiny_schema):
+    rng = random.Random(11)
+    return [
+        (rng.randrange(16), rng.randrange(32), rng.randrange(1, 10))
+        for _ in range(600)
+    ]
+
+
+@pytest.fixture(scope="session")
+def tiny_workflow(tiny_schema):
+    """sum -> rollup -> ratio -> trailing window: all four relationships."""
+    builder = WorkflowBuilder(tiny_schema)
+    builder.basic(
+        "base", over={"x": "value", "t": "tick"}, field="v", aggregate="sum"
+    )
+    builder.basic(
+        "coarse", over={"x": "four", "t": "span"}, field="v", aggregate="count"
+    )
+    (
+        builder.composite("rolled", over={"x": "four", "t": "span"})
+        .from_children("base", aggregate="sum")
+    )
+    (
+        builder.composite("rate", over={"x": "four", "t": "span"})
+        .from_self("rolled")
+        .from_self("coarse")
+        .combine(RATIO)
+    )
+    (
+        builder.composite("aligned", over={"x": "value", "t": "tick"})
+        .from_self("base")
+        .from_parent("rate")
+        .combine(RATIO)
+    )
+    (
+        builder.composite("trailing", over={"x": "value", "t": "tick"})
+        .window("base", attribute="t", low=-3, high=0, aggregate="avg")
+    )
+    return builder.build()
+
+
+@pytest.fixture(scope="session")
+def weblog():
+    """(schema, workflow, records) of the paper's running example."""
+    from repro.workload import generate_sessions, weblog_query, weblog_schema
+
+    schema = weblog_schema(days=1)
+    workflow = weblog_query(schema)
+    records = generate_sessions(schema, 3000, seed=5)
+    return schema, workflow, records
+
+
+@pytest.fixture
+def small_cluster() -> SimulatedCluster:
+    return SimulatedCluster(ClusterConfig(machines=8))
+
+
+@pytest.fixture(scope="session")
+def keyword_hierarchy() -> MappingHierarchy:
+    return MappingHierarchy(
+        "keyword",
+        ["java", "eclipse", "baseball", "soccer"],
+        {
+            "group": {
+                "java": "tech",
+                "eclipse": "tech",
+                "baseball": "sport",
+                "soccer": "sport",
+            }
+        },
+        base_level_name="word",
+    )
+
+
+@pytest.fixture(scope="session")
+def time_hierarchy() -> UniformHierarchy:
+    return temporal_hierarchy("time", days=2, base="second")

@@ -1,0 +1,183 @@
+"""Tests for irregular (calendar) hierarchies."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cube.calendar import (
+    IrregularHierarchy,
+    calendar_hierarchy,
+    week_hierarchy,
+)
+from repro.cube.domains import ALL, ALL_VALUE, DomainError
+
+
+@pytest.fixture(scope="module")
+def year_2007():
+    return calendar_hierarchy(
+        "time", datetime.date(2007, 1, 1), datetime.date(2008, 1, 1)
+    )
+
+
+class TestConstruction:
+    def test_levels(self, year_2007):
+        assert [lvl.name for lvl in year_2007.levels] == [
+            "day", "month", "quarter", "year", ALL,
+        ]
+        assert year_2007.level("day").cardinality == 365
+        assert year_2007.level("month").cardinality == 12
+        assert year_2007.level("quarter").cardinality == 4
+        assert year_2007.level("year").cardinality == 1
+
+    def test_partial_range_clips_buckets(self):
+        # Mid-month start: the first month bucket begins at day 0.
+        h = calendar_hierarchy(
+            "time", datetime.date(2007, 1, 15), datetime.date(2007, 3, 10)
+        )
+        assert h.level("month").cardinality == 3  # Jan 15-31, Feb, Mar 1-9
+        assert h.map_value(0, "day", "month") == 0
+        assert h.map_value(16, "day", "month") == 0   # Jan 31
+        assert h.map_value(17, "day", "month") == 1   # Feb 1
+
+    def test_validation(self):
+        with pytest.raises(DomainError, match="non-empty"):
+            calendar_hierarchy(
+                "t", datetime.date(2007, 1, 1), datetime.date(2007, 1, 1)
+            )
+        with pytest.raises(DomainError, match="start at 0"):
+            IrregularHierarchy("t", 10, {"pair": [1, 3]})
+        with pytest.raises(DomainError, match="increasing"):
+            IrregularHierarchy("t", 10, {"pair": [0, 3, 3]})
+        with pytest.raises(DomainError, match="outside"):
+            IrregularHierarchy("t", 10, {"pair": [0, 12]})
+        with pytest.raises(DomainError, match="nest"):
+            IrregularHierarchy(
+                "t", 12, {"three": [0, 3, 6, 9], "four": [0, 4, 8]}
+            )
+
+
+class TestMapping:
+    def test_day_to_month(self, year_2007):
+        assert year_2007.map_value(0, "day", "month") == 0    # Jan 1
+        assert year_2007.map_value(30, "day", "month") == 0   # Jan 31
+        assert year_2007.map_value(31, "day", "month") == 1   # Feb 1
+        assert year_2007.map_value(364, "day", "month") == 11  # Dec 31
+
+    def test_month_to_quarter(self, year_2007):
+        assert year_2007.map_value(0, "month", "quarter") == 0
+        assert year_2007.map_value(2, "month", "quarter") == 0
+        assert year_2007.map_value(3, "month", "quarter") == 1
+        assert year_2007.map_value(11, "month", "quarter") == 3
+
+    def test_to_all(self, year_2007):
+        assert year_2007.map_value(200, "day", ALL) == ALL_VALUE
+
+    def test_down_mapping_rejected(self, year_2007):
+        with pytest.raises(DomainError):
+            year_2007.map_value(3, "month", "day")
+
+    @given(day=st.integers(0, 364))
+    def test_mapping_matches_datetime(self, year_2007, day):
+        date = datetime.date(2007, 1, 1) + datetime.timedelta(days=day)
+        assert year_2007.map_value(day, "day", "month") == date.month - 1
+        assert year_2007.map_value(day, "day", "quarter") == (
+            (date.month - 1) // 3
+        )
+
+
+class TestRangeConversion:
+    def test_paper_examples(self, year_2007):
+        # A ten-day trailing window reaches at most one month back.
+        assert year_2007.convert_range(-9, 0, "day", "month") == (-1, 0)
+        # A sixty-day forward reach spans at most three months ahead
+        # (the paper's T:day(-10,+60) -> T:month(-1,+3)).
+        low, high = year_2007.convert_range(-10, 60, "day", "month")
+        assert (low, high) == (-1, 3)
+
+    def test_down_conversion_is_wide(self, year_2007):
+        low, high = year_2007.convert_range(-1, 0, "month", "day")
+        # One month back from any day: at most 31 (prev month) + 30
+        # (position inside the anchor month) days.
+        assert low <= -59
+        assert high >= 30  # anchor bucket slack forward
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        anchor=st.integers(0, 364),
+        offset=st.integers(-364, 364),
+        low=st.integers(-30, 0),
+        high=st.integers(0, 30),
+    )
+    def test_up_conversion_conservative(self, year_2007, anchor, offset, low, high):
+        """Any day reachable by the day-window stays reachable after
+        converting the window to months."""
+        target = anchor + offset
+        if not (0 <= target < 365 and low <= offset <= high):
+            return
+        clow, chigh = year_2007.convert_range(low, high, "day", "month")
+        anchor_m = year_2007.map_value(anchor, "day", "month")
+        target_m = year_2007.map_value(target, "day", "month")
+        assert anchor_m + clow <= target_m <= anchor_m + chigh
+
+
+class TestWeeks:
+    def test_week_hierarchy(self):
+        # 2007-01-01 is a Monday.
+        h = week_hierarchy(
+            "time", datetime.date(2007, 1, 1), datetime.date(2007, 2, 1)
+        )
+        assert h.level("week").cardinality == 5
+        assert h.map_value(0, "day", "week") == 0
+        assert h.map_value(6, "day", "week") == 0
+        assert h.map_value(7, "day", "week") == 1
+
+    def test_weeks_in_calendar_rejected(self):
+        with pytest.raises(DomainError, match="nest"):
+            calendar_hierarchy(
+                "t",
+                datetime.date(2007, 1, 1),
+                datetime.date(2008, 1, 1),
+                with_weeks=True,
+            )
+
+
+class TestEndToEnd:
+    def test_monthly_rollup_query(self, year_2007):
+        """A workflow over a calendar hierarchy evaluates correctly in
+        parallel, windows included."""
+        import random
+
+        from repro.cube.records import Attribute, Schema
+        from repro.local import evaluate_centralized
+        from repro.mapreduce import ClusterConfig, SimulatedCluster
+        from repro.parallel import ParallelEvaluator
+        from repro.query import WorkflowBuilder
+
+        schema = Schema([Attribute("time", year_2007)], facts=["amount"])
+        builder = WorkflowBuilder(schema)
+        builder.basic(
+            "daily", over={"time": "day"}, field="amount", aggregate="sum"
+        )
+        (
+            builder.composite("monthly", over={"time": "month"})
+            .from_children("daily", aggregate="sum")
+        )
+        (
+            builder.composite("trailing_week", over={"time": "day"})
+            .window("daily", attribute="time", low=-6, high=0,
+                    aggregate="avg")
+        )
+        workflow = builder.build()
+
+        rng = random.Random(5)
+        records = [
+            (rng.randrange(365), rng.randrange(1, 50)) for _ in range(4000)
+        ]
+        oracle = evaluate_centralized(workflow, records)
+        cluster = SimulatedCluster(ClusterConfig(machines=6))
+        outcome = ParallelEvaluator(cluster).evaluate(workflow, records)
+        assert outcome.result == oracle
+        # The derived key annotates days with the converted window.
+        key = outcome.plan.scheme.key
+        assert key.component("time").annotated

@@ -1,0 +1,252 @@
+"""Unit and property tests for hierarchies and level arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cube.domains import (
+    ALL,
+    ALL_VALUE,
+    DomainError,
+    MappingHierarchy,
+    UniformHierarchy,
+    banded_hierarchy,
+    temporal_hierarchy,
+)
+
+
+@pytest.fixture
+def time():
+    return temporal_hierarchy("time", days=2)
+
+
+class TestUniformHierarchy:
+    def test_levels_in_order(self, time):
+        names = [level.name for level in time.levels]
+        assert names == ["second", "minute", "hour", "day", ALL]
+        assert [level.depth for level in time.levels] == [0, 1, 2, 3, 4]
+
+    def test_cardinalities(self, time):
+        assert time.level("second").cardinality == 2 * 86400
+        assert time.level("minute").cardinality == 2 * 1440
+        assert time.level("hour").cardinality == 48
+        assert time.level("day").cardinality == 2
+        assert time.level(ALL).cardinality == 1
+
+    def test_map_value_up(self, time):
+        assert time.map_value(3725, "second", "minute") == 62
+        assert time.map_value(3725, "second", "hour") == 1
+        assert time.map_value(3725, "second", "day") == 0
+        assert time.map_value(3725, "second", ALL) == ALL_VALUE
+
+    def test_map_between_intermediate_levels(self, time):
+        assert time.map_value(62, "minute", "hour") == 1
+        assert time.map_value(25, "hour", "day") == 1
+
+    def test_map_same_level_is_identity(self, time):
+        assert time.map_value(17, "minute", "minute") == 17
+
+    def test_map_down_is_an_error(self, time):
+        with pytest.raises(DomainError):
+            time.map_value(1, "hour", "minute")
+
+    def test_unknown_level(self, time):
+        with pytest.raises(DomainError, match="no level"):
+            time.level("fortnight")
+
+    def test_base_unit_must_be_one(self):
+        with pytest.raises(DomainError):
+            UniformHierarchy("bad", {"coarse": 2}, base_cardinality=10)
+
+    def test_units_must_nest(self):
+        with pytest.raises(DomainError):
+            UniformHierarchy(
+                "bad", {"value": 1, "a": 6, "b": 8}, base_cardinality=100
+            )
+
+    def test_generalizations(self, time):
+        names = [level.name for level in time.generalizations("hour")]
+        assert names == ["hour", "day", ALL]
+
+    def test_common_generalization(self, time):
+        assert time.common_generalization("minute", "hour").name == "hour"
+        assert time.common_generalization("day", "minute").name == "day"
+
+    def test_is_more_general(self, time):
+        assert time.is_more_general("day", "minute")
+        assert not time.is_more_general("minute", "day")
+        assert not time.is_more_general("hour", "hour")
+
+
+class TestRangeConversion:
+    def test_up_conversion_is_paperlike(self, time):
+        # A trailing 10-minute window reaches at most one hour back.
+        assert time.convert_range(-9, 0, "minute", "hour") == (-1, 0)
+
+    def test_up_conversion_rounds_outward(self, time):
+        assert time.convert_range(-61, 61, "minute", "hour") == (-2, 2)
+        assert time.convert_range(-60, 60, "minute", "hour") == (-1, 1)
+
+    def test_down_conversion_expands(self, time):
+        # One hour back, seen from any second within an hour, can reach
+        # 2*3600 - 1 seconds back; the current hour alone still spans
+        # +-(3600 - 1) seconds around an arbitrary anchor second.
+        assert time.convert_range(-1, 0, "hour", "second") == (-7199, 3599)
+        assert time.convert_range(0, 1, "hour", "second") == (-3599, 7199)
+
+    def test_same_level_unchanged(self, time):
+        assert time.convert_range(-5, 3, "hour", "hour") == (-5, 3)
+
+    def test_invalid_range(self, time):
+        with pytest.raises(DomainError):
+            time.convert_range(3, -3, "minute", "hour")
+
+    def test_all_level_rejected(self, time):
+        with pytest.raises(DomainError):
+            time.convert_range(-1, 0, ALL, "hour")
+
+    @given(
+        low=st.integers(-500, 0),
+        high=st.integers(0, 500),
+        offset=st.integers(0, 10_000),
+        target=st.integers(0, 10_000),
+    )
+    def test_up_conversion_is_conservative(self, low, high, offset, target):
+        """Coordinates reachable at the fine level stay reachable coarse.
+
+        If fine coordinate c is within [t+low, t+high] of anchor t, then
+        coarse(c) must lie within the converted interval around coarse(t).
+        """
+        time = temporal_hierarchy("time", days=60)
+        if not target + low <= offset <= target + high:
+            return
+        clow, chigh = time.convert_range(low, high, "second", "hour")
+        anchor_h = target // 3600
+        coord_h = offset // 3600
+        assert anchor_h + clow <= coord_h <= anchor_h + chigh
+
+    @given(
+        low=st.integers(-5, 0),
+        high=st.integers(0, 5),
+        anchor=st.integers(0, 47),
+    )
+    def test_down_conversion_is_conservative(self, low, high, anchor):
+        """Every second of every reachable hour is inside the interval."""
+        time = temporal_hierarchy("time", days=2)
+        slow, shigh = time.convert_range(low, high, "hour", "second")
+        for hour in range(anchor + low, anchor + high + 1):
+            for second in (hour * 3600, hour * 3600 + 3599):
+                # Anchor can be any second within its hour.
+                for anchor_second in (anchor * 3600, anchor * 3600 + 3599):
+                    assert (
+                        anchor_second + slow
+                        <= second
+                        <= anchor_second + shigh
+                    )
+
+
+class TestMappingHierarchy:
+    def test_encoding_and_mapping(self, keyword_hierarchy):
+        kw = keyword_hierarchy
+        assert kw.encode["java"] == 0
+        assert kw.map_value(0, "word", "group") == kw.map_value(
+            1, "word", "group"
+        )
+        assert kw.map_value(0, "word", "group") != kw.map_value(
+            2, "word", "group"
+        )
+        assert kw.map_value(3, "word", ALL) == ALL_VALUE
+
+    def test_cardinalities(self, keyword_hierarchy):
+        assert keyword_hierarchy.level("word").cardinality == 4
+        assert keyword_hierarchy.level("group").cardinality == 2
+
+    def test_no_ranges(self, keyword_hierarchy):
+        assert not keyword_hierarchy.supports_ranges
+        with pytest.raises(DomainError):
+            keyword_hierarchy.convert_range(-1, 0, "word", "group")
+
+    def test_duplicate_base_values_rejected(self):
+        with pytest.raises(DomainError):
+            MappingHierarchy("bad", ["a", "a"])
+
+    def test_incomplete_mapping_rejected(self):
+        with pytest.raises(DomainError, match="missing"):
+            MappingHierarchy("bad", ["a", "b"], {"g": {"a": "x"}})
+
+    def test_mapping_from_non_base_rejected(self, keyword_hierarchy):
+        with pytest.raises(DomainError):
+            keyword_hierarchy.map_value(0, "group", "group2")
+
+
+class TestFactories:
+    def test_temporal_base_selection(self):
+        h = temporal_hierarchy("t", days=20, base="minute")
+        assert [level.name for level in h.levels] == [
+            "minute", "hour", "day", ALL,
+        ]
+        assert h.level("minute").cardinality == 20 * 1440
+
+    def test_temporal_unknown_base(self):
+        with pytest.raises(DomainError):
+            temporal_hierarchy("t", days=20, base="week")
+
+    def test_banded_hierarchy_shape(self):
+        h = banded_hierarchy("a1")
+        assert [level.name for level in h.levels] == [
+            "value", "band1", "band2", "band3", ALL,
+        ]
+        assert [level.cardinality for level in h.levels] == [
+            256, 64, 16, 4, 1,
+        ]
+
+    @given(value=st.integers(0, 255))
+    def test_banded_mapping_nests(self, value):
+        h = banded_hierarchy("a1")
+        assert h.map_value(value, "value", "band1") == value // 4
+        assert h.map_value(
+            h.map_value(value, "value", "band1"), "band1", "band3"
+        ) == h.map_value(value, "value", "band3")
+
+
+class TestIntermediateNominalMapping:
+    def test_three_level_rollup(self):
+        h = MappingHierarchy(
+            "k",
+            ["a", "b", "c", "d"],
+            {
+                "topic": {"a": "t1", "b": "t1", "c": "t2", "d": "t2"},
+                "section": {"t1": "s1", "t2": "s1"},
+            },
+        )
+        # base -> topic -> section all consistent with base -> section.
+        for code in range(4):
+            topic = h.map_value(code, "value", "topic")
+            assert h.map_value(topic, "topic", "section") == h.map_value(
+                code, "value", "section"
+            )
+
+    def test_intermediate_rollup_evaluates(self):
+        from repro.cube.records import Attribute, Schema
+        from repro.local import evaluate_centralized
+        from repro.query.builder import WorkflowBuilder
+
+        h = MappingHierarchy(
+            "k",
+            ["a", "b", "c", "d"],
+            {
+                "topic": {"a": "t1", "b": "t1", "c": "t2", "d": "t2"},
+                "section": {"t1": "s1", "t2": "s2"},
+            },
+        )
+        schema = Schema([Attribute("k", h)], facts=["v"])
+        builder = WorkflowBuilder(schema)
+        builder.basic("per_topic", over={"k": "topic"}, field="v",
+                      aggregate="sum")
+        (
+            builder.composite("per_section", over={"k": "section"})
+            .from_children("per_topic", aggregate="sum")
+        )
+        workflow = builder.build()
+        records = [(0, 1), (1, 2), (2, 4), (3, 8)]
+        result = evaluate_centralized(workflow, records)
+        assert dict(result["per_section"].items()) == {(0,): 3, (1,): 12}

@@ -1,0 +1,107 @@
+"""Tests for the generalization lattice."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cube.domains import ALL
+from repro.cube.lattice import (
+    chain_distance,
+    generalizations_of,
+    greatest_common_descendant,
+    is_feasible_order,
+    least_common_ancestor,
+)
+from repro.cube.records import SchemaError
+from repro.cube.regions import Granularity
+
+
+def grain(schema, **levels):
+    return Granularity.of(schema, levels)
+
+
+class TestLCA:
+    def test_basic(self, tiny_schema):
+        a = grain(tiny_schema, x="value", t="span")
+        b = grain(tiny_schema, x="four", t="tick")
+        lca = least_common_ancestor([a, b])
+        assert lca.levels == ("four", "span")
+
+    def test_with_all(self, tiny_schema):
+        a = grain(tiny_schema, x="value")
+        b = grain(tiny_schema, t="tick")
+        assert least_common_ancestor([a, b]).levels == (ALL, ALL)
+
+    def test_single_input_is_identity(self, tiny_schema):
+        a = grain(tiny_schema, x="value", t="tick")
+        assert least_common_ancestor([a]) == a
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            least_common_ancestor([])
+
+    @given(data=st.data())
+    def test_lca_is_least_upper_bound(self, tiny_schema, data):
+        levels_x = ["value", "four", ALL]
+        levels_t = ["tick", "span", ALL]
+        grains = [
+            Granularity.of(
+                tiny_schema,
+                {
+                    "x": data.draw(st.sampled_from(levels_x)),
+                    "t": data.draw(st.sampled_from(levels_t)),
+                },
+            )
+            for _ in range(data.draw(st.integers(1, 4)))
+        ]
+        lca = least_common_ancestor(grains)
+        # Upper bound:
+        assert all(lca.is_generalization_of(g) for g in grains)
+        # Least: every other upper bound generalizes the LCA.
+        for candidate in generalizations_of(grains[0]):
+            if all(candidate.is_generalization_of(g) for g in grains):
+                assert candidate.is_generalization_of(lca)
+
+
+class TestGCD:
+    def test_meet(self, tiny_schema):
+        a = grain(tiny_schema, x="value", t="span")
+        b = grain(tiny_schema, x="four", t="tick")
+        assert greatest_common_descendant([a, b]).levels == ("value", "tick")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            greatest_common_descendant([])
+
+
+class TestEnumeration:
+    def test_generalizations_count(self, tiny_schema):
+        fine = grain(tiny_schema, x="value", t="tick")
+        # x has 3 levels >= value, t has 3 levels >= tick.
+        assert len(list(generalizations_of(fine))) == 9
+
+    def test_generalizations_include_self_and_all(self, tiny_schema):
+        fine = grain(tiny_schema, x="four", t="span")
+        gens = list(generalizations_of(fine))
+        assert fine in gens
+        assert grain(tiny_schema) in gens
+
+
+class TestMisc:
+    def test_chain_distance(self, tiny_schema):
+        a = grain(tiny_schema, x="value", t="tick")
+        b = grain(tiny_schema, x="four", t=ALL)
+        assert chain_distance(a, b) == 1 + 2
+        assert chain_distance(a, a) == 0
+
+    def test_is_feasible_order(self, tiny_schema):
+        chain = [
+            grain(tiny_schema, x="value", t="tick"),
+            grain(tiny_schema, x="four", t="span"),
+            grain(tiny_schema),
+        ]
+        assert is_feasible_order(chain)
+        antichain = [
+            grain(tiny_schema, x="value", t=ALL),
+            grain(tiny_schema, x=ALL, t="tick"),
+        ]
+        assert not is_feasible_order(antichain)

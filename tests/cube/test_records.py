@@ -1,0 +1,73 @@
+"""Tests for schemas and record handling."""
+
+import pytest
+
+from repro.cube.records import (
+    Attribute,
+    Schema,
+    SchemaError,
+    estimated_record_bytes,
+    make_records,
+)
+from repro.cube.domains import UniformHierarchy
+
+
+@pytest.fixture
+def schema():
+    x = UniformHierarchy("x", {"value": 1, "ten": 10}, base_cardinality=100)
+    y = UniformHierarchy("y", {"value": 1}, base_cardinality=50)
+    return Schema([Attribute("x", x), Attribute("y", y)], facts=["amount"])
+
+
+class TestSchema:
+    def test_width_and_names(self, schema):
+        assert schema.width == 3
+        assert schema.attribute_names == ("x", "y")
+
+    def test_attribute_lookup(self, schema):
+        assert schema.attribute("x").name == "x"
+        assert schema.attribute_index("y") == 1
+        with pytest.raises(SchemaError):
+            schema.attribute("z")
+        with pytest.raises(SchemaError):
+            schema.attribute_index("amount")  # facts are not dimensions
+
+    def test_field_index_covers_facts(self, schema):
+        assert schema.field_index("amount") == 2
+        assert schema.field_index("x") == 0
+        assert schema.has_field("amount")
+        assert not schema.has_field("bogus")
+        with pytest.raises(SchemaError):
+            schema.field_index("bogus")
+
+    def test_duplicate_names_rejected(self):
+        x = UniformHierarchy("x", {"value": 1}, base_cardinality=4)
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([Attribute("x", x)], facts=["x"])
+
+    def test_level_resolution(self, schema):
+        assert schema.level("x", "ten").cardinality == 10
+        with pytest.raises(SchemaError):
+            schema.level("x", "bogus")
+
+    def test_schemas_hash_and_compare(self, schema):
+        clone = Schema(list(schema.attributes), list(schema.facts))
+        assert clone == schema
+        assert hash(clone) == hash(schema)
+
+
+class TestRecords:
+    def test_validate_record(self, schema):
+        schema.validate_record((1, 2, 3))
+        with pytest.raises(SchemaError, match="fields"):
+            schema.validate_record((1, 2))
+
+    def test_make_records(self, schema):
+        records = make_records(schema, [[1, 2, 3], (4, 5, 6)])
+        assert records == [(1, 2, 3), (4, 5, 6)]
+        with pytest.raises(SchemaError):
+            make_records(schema, [(1,)])
+
+    def test_record_bytes_scale_with_width(self, schema):
+        wider = Schema(list(schema.attributes), facts=["a", "b", "c"])
+        assert estimated_record_bytes(wider) > estimated_record_bytes(schema)

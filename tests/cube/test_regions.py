@@ -1,0 +1,104 @@
+"""Tests for granularities, regions and coordinate mapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cube.domains import ALL, ALL_VALUE
+from repro.cube.records import SchemaError
+from repro.cube.regions import Granularity, Region, all_granularity
+
+
+class TestGranularity:
+    def test_of_fills_all(self, tiny_schema):
+        g = Granularity.of(tiny_schema, {"x": "value"})
+        assert g.levels == ("value", ALL)
+        assert g.level_of("t") == ALL
+
+    def test_of_rejects_unknown(self, tiny_schema):
+        with pytest.raises(SchemaError):
+            Granularity.of(tiny_schema, {"bogus": "value"})
+        with pytest.raises(Exception):
+            Granularity.of(tiny_schema, {"x": "bogus"})
+
+    def test_non_all_attributes(self, tiny_schema):
+        g = Granularity.of(tiny_schema, {"x": "four", "t": "tick"})
+        assert g.non_all_attributes() == ("x", "t")
+        assert all_granularity(tiny_schema).non_all_attributes() == ()
+
+    def test_replace(self, tiny_schema):
+        g = Granularity.of(tiny_schema, {"x": "value", "t": "tick"})
+        coarser = g.replace(t=ALL)
+        assert coarser.level_of("x") == "value"
+        assert coarser.level_of("t") == ALL
+
+    def test_generalization_order(self, tiny_schema):
+        fine = Granularity.of(tiny_schema, {"x": "value", "t": "tick"})
+        mid = Granularity.of(tiny_schema, {"x": "four", "t": "tick"})
+        coarse = Granularity.of(tiny_schema, {"x": "four"})
+        incomparable = Granularity.of(tiny_schema, {"t": "tick"})
+        assert mid.is_generalization_of(fine)
+        assert coarse.is_generalization_of(mid)
+        assert coarse.is_generalization_of(fine)
+        assert not fine.is_generalization_of(mid)
+        assert fine.is_generalization_of(fine)
+        assert not incomparable.is_generalization_of(fine) or True
+        assert fine.is_specialization_of(coarse)
+
+    def test_coordinates_of(self, tiny_schema):
+        g = Granularity.of(tiny_schema, {"x": "four", "t": "span"})
+        assert g.coordinates_of((7, 13, 99)) == (1, 3)
+        assert all_granularity(tiny_schema).coordinates_of((7, 13, 99)) == (
+            ALL_VALUE,
+            ALL_VALUE,
+        )
+
+    def test_coordinate_mapper_matches(self, tiny_schema):
+        g = Granularity.of(tiny_schema, {"x": "four", "t": "tick"})
+        mapper = g.coordinate_mapper()
+        for record in [(0, 0, 1), (15, 31, 2), (8, 17, 3)]:
+            assert mapper(record) == g.coordinates_of(record)
+
+    def test_map_coords(self, tiny_schema):
+        fine = Granularity.of(tiny_schema, {"x": "value", "t": "tick"})
+        coarse = Granularity.of(tiny_schema, {"x": "four", "t": "span"})
+        assert fine.map_coords((7, 13), coarse) == (1, 3)
+        with pytest.raises(SchemaError):
+            coarse.map_coords((1, 3), fine)
+
+    def test_region_count(self, tiny_schema):
+        assert Granularity.of(
+            tiny_schema, {"x": "value", "t": "tick"}
+        ).region_count() == 16 * 32
+        assert Granularity.of(tiny_schema, {"x": "four"}).region_count() == 4
+        assert all_granularity(tiny_schema).region_count() == 1
+
+    def test_repr(self, tiny_schema):
+        g = Granularity.of(tiny_schema, {"x": "four", "t": "tick"})
+        assert repr(g) == "<x:four, t:tick>"
+        assert repr(all_granularity(tiny_schema)) == "<ALL>"
+
+    @given(x=st.integers(0, 15), t=st.integers(0, 31))
+    def test_mapping_commutes_with_rollup(self, tiny_schema, x, t):
+        """record -> fine -> coarse equals record -> coarse directly."""
+        fine = Granularity.of(tiny_schema, {"x": "value", "t": "tick"})
+        coarse = Granularity.of(tiny_schema, {"x": "four", "t": "span"})
+        record = (x, t, 0)
+        assert fine.map_coords(
+            fine.coordinates_of(record), coarse
+        ) == coarse.coordinates_of(record)
+
+
+class TestRegion:
+    def test_contains_record(self, tiny_schema):
+        g = Granularity.of(tiny_schema, {"x": "four", "t": "span"})
+        region = Region(g, (1, 3))
+        assert region.contains_record((7, 13, 0))
+        assert not region.contains_record((0, 13, 0))
+
+    def test_parent(self, tiny_schema):
+        fine = Granularity.of(tiny_schema, {"x": "value", "t": "tick"})
+        coarse = Granularity.of(tiny_schema, {"x": "four"})
+        region = Region(fine, (7, 13))
+        parent = region.parent(coarse)
+        assert parent.granularity == coarse
+        assert parent.coords == (1, ALL_VALUE)

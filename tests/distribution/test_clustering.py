@@ -1,0 +1,152 @@
+"""Tests for block assignment, replication and result filtering."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cube.regions import Granularity
+from repro.distribution.clustering import BlockScheme
+from repro.distribution.keys import DistributionError, DistributionKey
+
+
+@pytest.fixture
+def annotated_key(tiny_schema):
+    return DistributionKey.of(
+        tiny_schema, {"x": "four", "t": ("span", -1, 0)}
+    )
+
+
+class TestSchemeBasics:
+    def test_defaults_cf_one(self, annotated_key):
+        scheme = BlockScheme(annotated_key)
+        assert scheme.factor("t") == 1
+        assert scheme.factor("x") == 1  # non-annotated attrs report 1
+
+    def test_rejects_foreign_cf(self, annotated_key):
+        with pytest.raises(DistributionError, match="non-annotated"):
+            BlockScheme(annotated_key, {"x": 2})
+
+    def test_rejects_cf_below_one(self, annotated_key):
+        with pytest.raises(DistributionError):
+            BlockScheme(annotated_key, {"t": 0})
+
+    def test_owned_range(self, annotated_key):
+        scheme = BlockScheme(annotated_key, {"t": 3})
+        assert scheme.owned_range("t", 0) == (0, 2)
+        assert scheme.owned_range("t", 1) == (3, 5)
+        # t has 8 spans (32 ticks / 4); the last block is clipped.
+        assert scheme.max_block_index("t") == 2
+        assert scheme.owned_range("t", 2) == (6, 7)
+
+    def test_num_blocks(self, tiny_schema, annotated_key):
+        scheme = BlockScheme(annotated_key, {"t": 2})
+        # x: 4 "four"-level values; t: ceil(8 spans / cf 2) = 4 blocks.
+        assert scheme.num_blocks() == 16
+        bare = BlockScheme(DistributionKey.of(tiny_schema, {"x": "four"}))
+        assert bare.num_blocks() == 4
+
+    def test_expected_replication(self, annotated_key):
+        assert BlockScheme(annotated_key, {"t": 1}).expected_replication() == 2.0
+        assert BlockScheme(annotated_key, {"t": 4}).expected_replication() == 1.25
+
+
+class TestMapper:
+    def test_non_overlapping_single_block(self, tiny_schema):
+        key = DistributionKey.of(tiny_schema, {"x": "four", "t": "span"})
+        mapper = BlockScheme(key).make_mapper()
+        assert mapper((7, 13, 0)) == [(1, 3)]
+
+    def test_overlap_replicates_to_future_owners(self, annotated_key):
+        # Annotation (-1, 0): a block needs its preceding span, so a
+        # record is also shipped to the block owning the NEXT span.
+        scheme = BlockScheme(annotated_key, {"t": 1})
+        mapper = scheme.make_mapper()
+        blocks = mapper((0, 4, 0))  # span 1
+        assert blocks == [(0, 1), (0, 2)]
+
+    def test_clustering_merges_destinations(self, annotated_key):
+        scheme = BlockScheme(annotated_key, {"t": 2})
+        mapper = scheme.make_mapper()
+        # span 1 -> home block 0; next owner span 2 is block 1.
+        assert mapper((0, 4, 0)) == [(0, 0), (0, 1)]
+        # span 2 -> home block 1 only (span 3 also in block 1).
+        assert mapper((0, 8, 0)) == [(0, 1)]
+
+    def test_edge_clamping(self, annotated_key):
+        scheme = BlockScheme(annotated_key, {"t": 1})
+        mapper = scheme.make_mapper()
+        last_span_record = (0, 31, 0)  # span 7, the final one
+        assert mapper(last_span_record) == [(0, 7)]
+
+    def test_home_block(self, annotated_key):
+        scheme = BlockScheme(annotated_key, {"t": 2})
+        assert scheme.home_block((7, 13, 0)) == (1, 1)  # span 3 // 2
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        x=st.integers(0, 15),
+        t=st.integers(0, 31),
+        cf=st.integers(1, 8),
+        low=st.integers(-3, 0),
+        high=st.integers(0, 2),
+    )
+    def test_record_reaches_exactly_needed_blocks(
+        self, tiny_schema, x, t, cf, low, high
+    ):
+        """A block receives a record iff the record's coordinate lies in
+        the block's owned-range extended by the annotation interval."""
+        if low == 0 and high == 0:
+            high = 1  # an unannotated component cannot carry a cf
+        key = DistributionKey.of(tiny_schema, {"t": ("span", low, high)})
+        scheme = BlockScheme(key, {"t": cf})
+        mapper = scheme.make_mapper()
+        record = (x, t, 0)
+        coordinate = t // 4  # span level
+        got = {block[1] for block in mapper(record)}
+        expected = set()
+        for block in range(scheme.max_block_index("t") + 1):
+            own_low, own_high = scheme.owned_range("t", block)
+            if own_low + low <= coordinate <= own_high + high:
+                expected.add(block)
+        assert got == expected
+        assert scheme.home_block(record)[1] in got
+
+
+class TestResultFilter:
+    def test_partitions_results(self, tiny_schema, annotated_key):
+        scheme = BlockScheme(annotated_key, {"t": 2})
+        granularity = Granularity.of(tiny_schema, {"x": "value", "t": "tick"})
+        filter_for = scheme.make_result_filter(granularity)
+        # Block (x-four=0, t-block=1) owns spans 2..3, i.e. ticks 8..15.
+        keep = filter_for((0, 1))
+        assert keep((3, 8))
+        assert keep((3, 15))
+        assert not keep((3, 7))
+        assert not keep((3, 16))
+
+    def test_every_region_owned_exactly_once(self, tiny_schema):
+        key = DistributionKey.of(tiny_schema, {"t": ("span", -2, 1)})
+        scheme = BlockScheme(key, {"t": 3})
+        granularity = Granularity.of(tiny_schema, {"t": "tick"})
+        filter_for = scheme.make_result_filter(granularity)
+        filters = [
+            filter_for((0, block))
+            for block in range(scheme.max_block_index("t") + 1)
+        ]
+        for tick in range(32):
+            owners = sum(1 for keep in filters if keep((0, tick)))
+            assert owners == 1
+
+    def test_rejects_measure_coarser_than_key(self, tiny_schema):
+        key = DistributionKey.of(tiny_schema, {"t": ("tick", -1, 0)})
+        scheme = BlockScheme(key)
+        coarse = Granularity.of(tiny_schema, {"x": "four"})  # t at ALL
+        with pytest.raises(DistributionError, match="coarser"):
+            scheme.make_result_filter(coarse)
+
+    def test_no_annotation_keeps_everything(self, tiny_schema):
+        key = DistributionKey.of(tiny_schema, {"x": "four"})
+        scheme = BlockScheme(key)
+        granularity = Granularity.of(tiny_schema, {"x": "value"})
+        keep = scheme.make_result_filter(granularity)((2,))
+        assert keep((11,))
+        assert keep((0,))

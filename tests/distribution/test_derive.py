@@ -1,0 +1,186 @@
+"""Tests for feasible-key derivation: opConvert, opCombine, Theorem 2."""
+
+import pytest
+
+from repro.cube.domains import ALL
+from repro.cube.lattice import least_common_ancestor
+from repro.distribution.derive import (
+    candidate_keys,
+    is_feasible,
+    key_of_granularity,
+    lca_key,
+    measure_keys,
+    minimal_feasible_key,
+    non_overlapping_key,
+    op_combine,
+    op_convert,
+)
+from repro.distribution.keys import DistributionError, DistributionKey
+from repro.query.builder import WorkflowBuilder
+from repro.query.measures import SiblingWindow
+
+
+class TestOpConvert:
+    def test_widens_by_window(self, tiny_schema):
+        key = DistributionKey.of(tiny_schema, {"x": "value", "t": "tick"})
+        widened = op_convert(key, SiblingWindow("t", -3, 0), "tick")
+        assert widened.component("t").low == -3
+        assert widened.component("t").high == 0
+        assert widened.component("x") == key.component("x")
+
+    def test_accumulates_existing_annotation(self, tiny_schema):
+        key = DistributionKey.of(tiny_schema, {"t": ("tick", -2, 1)})
+        widened = op_convert(key, SiblingWindow("t", -3, 0), "tick")
+        assert (widened.component("t").low, widened.component("t").high) == (
+            -5, 1,
+        )
+
+    def test_converts_window_units(self, tiny_schema):
+        # Window in ticks, key at span level (4 ticks per span).
+        key = DistributionKey.of(tiny_schema, {"t": "span"})
+        widened = op_convert(key, SiblingWindow("t", -3, 0), "tick")
+        assert (widened.component("t").low, widened.component("t").high) == (
+            -1, 0,
+        )
+
+    def test_all_component_unchanged(self, tiny_schema):
+        key = DistributionKey.of(tiny_schema, {"x": "value"})
+        assert op_convert(key, SiblingWindow("t", -3, 0), "tick") == key
+
+
+class TestOpCombine:
+    def test_takes_coarsest_level(self, tiny_schema):
+        a = DistributionKey.of(tiny_schema, {"x": "value", "t": "tick"})
+        b = DistributionKey.of(tiny_schema, {"x": "four", "t": "span"})
+        combined = op_combine([a, b])
+        assert combined.component("x").level == "four"
+        assert combined.component("t").level == "span"
+
+    def test_all_dominates(self, tiny_schema):
+        a = DistributionKey.of(tiny_schema, {"x": "value"})
+        b = DistributionKey.of(tiny_schema, {"t": "tick"})
+        combined = op_combine([a, b])
+        assert combined.component("x").level == ALL
+        assert combined.component("t").level == ALL
+
+    def test_interval_hull(self, tiny_schema):
+        a = DistributionKey.of(tiny_schema, {"t": ("tick", -3, 0)})
+        b = DistributionKey.of(tiny_schema, {"t": ("tick", 0, 2)})
+        combined = op_combine([a, b])
+        assert (combined.component("t").low, combined.component("t").high) == (
+            -3, 2,
+        )
+
+    def test_converts_intervals_to_coarsest(self, tiny_schema):
+        a = DistributionKey.of(tiny_schema, {"t": ("tick", -5, 0)})
+        b = DistributionKey.of(tiny_schema, {"t": "span"})
+        combined = op_combine([a, b])
+        assert combined.component("t").level == "span"
+        # -5 ticks = -2 spans (conservative).
+        assert (combined.component("t").low, combined.component("t").high) == (
+            -2, 0,
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(DistributionError):
+            op_combine([])
+
+
+class TestTheorem2:
+    def test_sibling_free_minimal_key_is_lca(self, tiny_schema):
+        """Theorem 2: without siblings the minimal key is the LCA."""
+        builder = WorkflowBuilder(tiny_schema)
+        builder.basic(
+            "a", over={"x": "value", "t": "tick"}, field="v", aggregate="sum"
+        )
+        (
+            builder.composite("rolled", over={"x": "four", "t": "span"})
+            .from_children("a", aggregate="sum")
+        )
+        workflow = builder.build()
+        minimal = minimal_feasible_key(workflow)
+        assert minimal.annotated_attributes() == ()
+        assert minimal == lca_key(workflow)
+        assert minimal.granularity == least_common_ancestor(
+            [m.granularity for m in workflow.measures]
+        )
+
+    def test_generalizations_remain_feasible(self, tiny_schema):
+        """Theorem 1: any cover of a feasible key is feasible."""
+        builder = WorkflowBuilder(tiny_schema)
+        builder.basic(
+            "a", over={"x": "value", "t": "tick"}, field="v", aggregate="sum"
+        )
+        workflow = builder.build()
+        minimal = minimal_feasible_key(workflow)
+        coarser = DistributionKey.of(tiny_schema, {"x": "four"})
+        assert coarser.covers(minimal)
+        assert is_feasible(coarser, workflow)
+        assert is_feasible(minimal, workflow)
+
+
+class TestWeblogDerivation:
+    def test_paper_example_key(self, weblog):
+        """The M1..M4 query derives <keyword:word, time:hour(-1,0)>.
+
+        M2 forces hour granularity on time; M4's ten-minute window over
+        M3 converts to (-1, 0) hours.  This is the exact combined key the
+        paper's Section III walks through.
+        """
+        _schema, workflow, _records = weblog
+        minimal = minimal_feasible_key(workflow)
+        assert repr(minimal) == "<keyword:word, time:hour(-1,0)>"
+
+    def test_per_measure_keys(self, weblog):
+        _schema, workflow, _records = weblog
+        keys = measure_keys(workflow)
+        assert repr(keys["M1"]) == "<keyword:word, time:minute>"
+        assert repr(keys["M2"]) == "<keyword:word, time:hour>"
+        assert repr(keys["M3"]) == "<keyword:word, time:hour>"
+        assert repr(keys["M4"]) == "<keyword:word, time:hour(-1,0)>"
+
+    def test_non_overlapping_fallback(self, weblog):
+        _schema, workflow, _records = weblog
+        fallback = non_overlapping_key(workflow)
+        assert repr(fallback) == "<keyword:word>"
+        assert fallback.covers(minimal_feasible_key(workflow))
+
+    def test_candidates(self, weblog):
+        _schema, workflow, _records = weblog
+        candidates = candidate_keys(workflow)
+        reprs = {repr(key) for key in candidates}
+        assert reprs == {
+            "<keyword:word, time:hour(-1,0)>",
+            "<keyword:word>",
+        }
+
+    def test_candidates_sibling_free_is_singleton(self, tiny_schema):
+        builder = WorkflowBuilder(tiny_schema)
+        builder.basic(
+            "a", over={"x": "value"}, field="v", aggregate="sum"
+        )
+        workflow = builder.build()
+        assert candidate_keys(workflow) == [minimal_feasible_key(workflow)]
+
+
+class TestDerivedAnnotationsContainZero:
+    def test_invariant(self, tiny_workflow, weblog):
+        """Every derived key annotation contains 0: each measure's own
+        region always lives in its home block."""
+        for workflow in (tiny_workflow, weblog[1]):
+            for key in measure_keys(workflow).values():
+                for component in key.components:
+                    assert component.low <= 0 <= component.high
+            minimal = minimal_feasible_key(workflow)
+            for component in minimal.components:
+                assert component.low <= 0 <= component.high
+
+
+class TestKeyOfGranularity:
+    def test_round_trip(self, tiny_schema):
+        from repro.cube.regions import Granularity
+
+        g = Granularity.of(tiny_schema, {"x": "four", "t": "tick"})
+        key = key_of_granularity(g)
+        assert key.granularity == g
+        assert not key.is_overlapping

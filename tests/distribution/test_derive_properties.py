@@ -1,0 +1,105 @@
+"""Algebraic property tests for the key-derivation operators."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cube.domains import ALL
+from repro.distribution.derive import op_combine, op_convert
+from repro.distribution.keys import DistributionKey
+from repro.query.measures import SiblingWindow
+
+
+def key_strategy(schema):
+    """Random distribution keys over the tiny test schema."""
+    x_levels = st.sampled_from(["value", "four", ALL])
+    t_specs = st.one_of(
+        st.just(ALL),
+        st.tuples(
+            st.sampled_from(["tick", "span"]),
+            st.integers(-6, 0),
+            st.integers(0, 4),
+        ),
+    )
+
+    @st.composite
+    def build(draw):
+        spec = {}
+        x = draw(x_levels)
+        if x != ALL:
+            spec["x"] = x
+        t = draw(t_specs)
+        if t != ALL:
+            spec["t"] = t
+        return DistributionKey.of(schema, spec)
+
+    return build()
+
+
+@settings(deadline=None, max_examples=80)
+@given(data=st.data())
+def test_op_combine_is_commutative(tiny_schema, data):
+    a = data.draw(key_strategy(tiny_schema))
+    b = data.draw(key_strategy(tiny_schema))
+    assert op_combine([a, b]) == op_combine([b, a])
+
+
+@settings(deadline=None, max_examples=80)
+@given(data=st.data())
+def test_op_combine_is_associative(tiny_schema, data):
+    a = data.draw(key_strategy(tiny_schema))
+    b = data.draw(key_strategy(tiny_schema))
+    c = data.draw(key_strategy(tiny_schema))
+    left = op_combine([op_combine([a, b]), c])
+    right = op_combine([a, op_combine([b, c])])
+    assert left == right
+
+
+@settings(deadline=None, max_examples=80)
+@given(data=st.data())
+def test_op_combine_result_covers_inputs(tiny_schema, data):
+    """The combined key is feasible whenever any input key was: it must
+    cover every input."""
+    keys = [
+        data.draw(key_strategy(tiny_schema))
+        for _ in range(data.draw(st.integers(1, 4)))
+    ]
+    combined = op_combine(keys)
+    for key in keys:
+        assert combined.covers(key), f"{combined!r} does not cover {key!r}"
+
+
+@settings(deadline=None, max_examples=80)
+@given(data=st.data())
+def test_op_combine_idempotent(tiny_schema, data):
+    key = data.draw(key_strategy(tiny_schema))
+    assert op_combine([key, key]) == key
+
+
+@settings(deadline=None, max_examples=80)
+@given(
+    data=st.data(),
+    low=st.integers(-6, 0),
+    high=st.integers(0, 4),
+)
+def test_op_convert_widens(tiny_schema, data, low, high):
+    """Widening by a window never loses coverage of the original key."""
+    key = data.draw(key_strategy(tiny_schema))
+    window = SiblingWindow("t", low, high)
+    widened = op_convert(key, window, "tick")
+    assert widened.covers(key)
+    # And converting by the empty window is the identity.
+    assert op_convert(key, SiblingWindow("t", 0, 0), "tick") == key
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    data=st.data(),
+    low=st.integers(-4, 0),
+    high=st.integers(0, 3),
+)
+def test_op_convert_composes_monotonically(tiny_schema, data, low, high):
+    """Converting twice reaches at least as far as converting once."""
+    key = data.draw(key_strategy(tiny_schema))
+    window = SiblingWindow("t", low, high)
+    once = op_convert(key, window, "tick")
+    twice = op_convert(once, window, "tick")
+    assert twice.covers(once)

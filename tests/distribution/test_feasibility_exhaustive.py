@@ -1,0 +1,141 @@
+"""Exhaustive empirical validation of the feasibility theory.
+
+For a small schema we can enumerate *every* distribution key in a
+family (all level combinations, a grid of annotations) and check the
+covering relation against ground truth: a key that covers the derived
+minimal key must make the parallel evaluation reproduce the centralized
+oracle exactly.  This pins Theorems 1-2 and the `opConvert`/`opCombine`
+arithmetic to observable behaviour, not just to each other.
+"""
+
+import random
+from itertools import product
+
+import pytest
+
+from repro.cube.domains import ALL
+from repro.distribution.clustering import BlockScheme
+from repro.distribution.derive import minimal_feasible_key
+from repro.distribution.keys import DistributionKey
+from repro.local.sortscan import evaluate_centralized
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.timing import ClusterConfig
+from repro.optimizer.optimizer import Plan
+from repro.parallel.executor import ParallelEvaluator
+from repro.query.builder import WorkflowBuilder
+
+X_LEVELS = ["value", "four", ALL]
+T_OPTIONS = [
+    ("tick", 0, 0), ("tick", -2, 0), ("tick", -4, 0), ("tick", -4, 2),
+    ("span", 0, 0), ("span", -1, 0), ("span", -1, 1), ("span", -2, 1),
+    (ALL, 0, 0),
+]
+
+
+@pytest.fixture(scope="module")
+def workflow(tiny_schema):
+    builder = WorkflowBuilder(tiny_schema)
+    builder.basic(
+        "base", over={"x": "value", "t": "tick"}, field="v", aggregate="sum"
+    )
+    (
+        builder.composite("rolled", over={"x": "four", "t": "span"})
+        .from_children("base", aggregate="sum")
+    )
+    (
+        builder.composite("trailing", over={"x": "value", "t": "tick"})
+        .window("base", attribute="t", low=-3, high=0, aggregate="sum")
+    )
+    return builder.build()
+
+
+@pytest.fixture(scope="module")
+def records():
+    rng = random.Random(77)
+    return [
+        (rng.randrange(16), rng.randrange(32), rng.randrange(1, 8))
+        for _ in range(500)
+    ]
+
+
+def enumerate_keys(schema):
+    for x_level, (t_level, t_low, t_high) in product(X_LEVELS, T_OPTIONS):
+        spec = {}
+        if x_level != ALL:
+            spec["x"] = x_level
+        if t_level != ALL:
+            spec["t"] = (t_level, t_low, t_high)
+        yield DistributionKey.of(schema, spec)
+
+
+def test_every_covering_key_reproduces_the_oracle(
+    tiny_schema, workflow, records
+):
+    """Soundness of `covers`: covering keys are feasible in practice."""
+    minimal = minimal_feasible_key(workflow)
+    assert repr(minimal) == "<x:four, t:span(-1,0)>"
+    oracle = evaluate_centralized(workflow, records)
+    cluster = SimulatedCluster(ClusterConfig(machines=4))
+    evaluator = ParallelEvaluator(cluster)
+
+    covering = 0
+    for key in enumerate_keys(tiny_schema):
+        if not key.covers(minimal):
+            continue
+        covering += 1
+        factors = {attr: 2 for attr in key.annotated_attributes()}
+        plan = Plan(
+            scheme=BlockScheme(key, factors),
+            num_reducers=4,
+            predicted_max_load=0.0,
+            strategy="manual",
+        )
+        outcome = evaluator.evaluate(workflow, records, plan=plan)
+        assert outcome.result == oracle, f"covering key {key!r} mis-answered"
+    # The family contains a meaningful number of feasible keys.
+    assert covering >= 5
+
+
+def test_minimal_key_is_minimal_in_its_family(tiny_schema, workflow):
+    """No enumerated key that the minimal key strictly refines covers it.
+
+    Every key in the family either covers the minimal key or fails to;
+    none that is strictly more specific (finer level or narrower
+    annotation) may cover it -- otherwise the derived key would not be
+    minimal.
+    """
+    minimal = minimal_feasible_key(workflow)
+    for key in enumerate_keys(tiny_schema):
+        if key.covers(minimal) and minimal.covers(key):
+            assert key == minimal  # unique in the family up to equality
+        if key.covers(minimal):
+            # Covering keys are generalizations: every attribute at least
+            # as general, annotations at least as wide (converted).
+            for attr in ("x", "t"):
+                mine = minimal.component(attr)
+                theirs = key.component(attr)
+                hierarchy = tiny_schema.attribute(attr).hierarchy
+                if theirs.level != ALL:
+                    assert not hierarchy.is_more_general(
+                        mine.level, theirs.level
+                    )
+
+
+def test_narrower_annotations_fail_in_practice(
+    tiny_schema, workflow, records
+):
+    """Completeness spot-check: a strictly narrower annotation than the
+    minimal key's loses window data and produces a wrong answer."""
+    oracle = evaluate_centralized(workflow, records)
+    cluster = SimulatedCluster(ClusterConfig(machines=4))
+    narrow = DistributionKey.of(tiny_schema, {"x": "four", "t": ("span", 0, 1)})
+    plan = Plan(
+        scheme=BlockScheme(narrow, {"t": 1}),
+        num_reducers=4,
+        predicted_max_load=0.0,
+        strategy="manual",
+    )
+    outcome = ParallelEvaluator(cluster).evaluate(
+        workflow, records, plan=plan
+    )
+    assert outcome.result != oracle

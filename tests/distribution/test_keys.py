@@ -1,0 +1,112 @@
+"""Tests for distribution keys and the covering relation."""
+
+import pytest
+
+from repro.cube.domains import ALL
+from repro.distribution.keys import (
+    DistributionError,
+    DistributionKey,
+    KeyComponent,
+)
+
+
+class TestKeyComponent:
+    def test_annotation_flags(self):
+        assert not KeyComponent("hour").annotated
+        assert KeyComponent("hour", -1, 0).annotated
+        assert KeyComponent("hour", -2, 3).span == 5
+
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            KeyComponent("hour", 1, -1)
+        with pytest.raises(DistributionError):
+            KeyComponent(ALL, -1, 0)
+
+
+class TestDistributionKey:
+    def test_of_sparse_spec(self, tiny_schema):
+        key = DistributionKey.of(tiny_schema, {"x": "four"})
+        assert key.component("x").level == "four"
+        assert key.component("t").level == ALL
+        assert not key.is_overlapping
+
+    def test_of_with_annotation(self, tiny_schema):
+        key = DistributionKey.of(tiny_schema, {"t": ("span", -1, 0)})
+        assert key.is_overlapping
+        assert key.annotated_attributes() == ("t",)
+        assert key.max_span() == 1
+
+    def test_unknown_attribute(self, tiny_schema):
+        with pytest.raises(Exception):
+            DistributionKey.of(tiny_schema, {"bogus": "four"})
+
+    def test_nominal_annotation_rejected(self, weblog):
+        schema, _wf, _records = weblog
+        with pytest.raises(DistributionError, match="nominal"):
+            DistributionKey.of(schema, {"keyword": ("word", -1, 0)})
+
+    def test_component_count_checked(self, tiny_schema):
+        with pytest.raises(DistributionError, match="components"):
+            DistributionKey(tiny_schema, (KeyComponent("value"),))
+
+    def test_granularity_drops_annotations(self, tiny_schema):
+        key = DistributionKey.of(tiny_schema, {"t": ("span", -1, 0)})
+        assert key.granularity.levels == (ALL, "span")
+
+    def test_drop_annotations(self, tiny_schema):
+        key = DistributionKey.of(
+            tiny_schema, {"x": ("four", -1, 0), "t": ("span", -2, 0)}
+        )
+        bare = key.drop_annotations()
+        assert bare.annotated_attributes() == ()
+        assert bare.component("x").level == ALL
+        kept = key.drop_annotations(keep="t")
+        assert kept.annotated_attributes() == ("t",)
+        assert kept.component("x").level == ALL
+        assert kept.component("t").level == "span"
+
+    def test_repr(self, tiny_schema):
+        key = DistributionKey.of(
+            tiny_schema, {"x": "four", "t": ("span", -1, 0)}
+        )
+        assert repr(key) == "<x:four, t:span(-1,0)>"
+        assert repr(DistributionKey.of(tiny_schema, {})) == "<ALL>"
+
+
+class TestCovers:
+    def test_generalization_covers(self, tiny_schema):
+        fine = DistributionKey.of(tiny_schema, {"x": "value", "t": "tick"})
+        coarse = DistributionKey.of(tiny_schema, {"x": "four"})
+        assert coarse.covers(fine)
+        assert not fine.covers(coarse)
+
+    def test_all_covers_everything(self, tiny_schema):
+        anything = DistributionKey.of(
+            tiny_schema, {"x": "value", "t": ("tick", -5, 5)}
+        )
+        assert DistributionKey.of(tiny_schema, {}).covers(anything)
+
+    def test_wider_annotation_covers(self, tiny_schema):
+        narrow = DistributionKey.of(tiny_schema, {"t": ("tick", -2, 0)})
+        wide = DistributionKey.of(tiny_schema, {"t": ("tick", -4, 1)})
+        assert wide.covers(narrow)
+        assert not narrow.covers(wide)
+
+    def test_coarser_level_covers_converted_annotation(self, tiny_schema):
+        # tick(-3, 0) converts to span(-1, 0): a span-level key with that
+        # annotation covers, one without does not.
+        fine = DistributionKey.of(tiny_schema, {"t": ("tick", -3, 0)})
+        covered = DistributionKey.of(tiny_schema, {"t": ("span", -1, 0)})
+        not_covered = DistributionKey.of(tiny_schema, {"t": "span"})
+        assert covered.covers(fine)
+        assert not not_covered.covers(fine)
+
+    def test_covers_is_reflexive(self, tiny_schema):
+        key = DistributionKey.of(tiny_schema, {"t": ("span", -1, 0)})
+        assert key.covers(key)
+
+    def test_annotation_against_unannotated(self, tiny_schema):
+        bare = DistributionKey.of(tiny_schema, {"t": "tick"})
+        annotated = DistributionKey.of(tiny_schema, {"t": ("tick", -1, 1)})
+        assert annotated.covers(bare)
+        assert not bare.covers(annotated)

@@ -1,0 +1,69 @@
+"""Tests for the block-layout renderer."""
+
+import pytest
+
+from repro.distribution.clustering import BlockScheme
+from repro.distribution.keys import DistributionError, DistributionKey
+from repro.distribution.layout import (
+    iter_blocks,
+    layout_summary,
+    render_blocks,
+)
+
+
+@pytest.fixture
+def scheme(tiny_schema):
+    key = DistributionKey.of(tiny_schema, {"t": ("span", -1, 0)})
+    return BlockScheme(key, {"t": 2})
+
+
+class TestGeometry:
+    def test_iter_blocks(self, scheme):
+        blocks = list(iter_blocks(scheme, "t"))
+        # 8 spans, cf=2 -> 4 blocks.
+        assert [b for b, _o, _h in blocks] == [0, 1, 2, 3]
+        _b, own, hold = blocks[1]
+        assert own == (2, 3)
+        assert hold == (1, 3)  # one span of look-back fringe
+        # First block clamps at the axis start.
+        assert blocks[0][2] == (0, 1)
+
+    def test_summary(self, scheme):
+        summary = layout_summary(scheme, "t")
+        assert summary.blocks == 4
+        assert summary.coordinates == 8
+        assert summary.owned_cells == 8
+        assert summary.fringe_cells == 3  # blocks 1..3 hold one extra span
+        assert summary.duplication == pytest.approx(11 / 8)
+
+    def test_larger_cf_reduces_duplication(self, tiny_schema):
+        key = DistributionKey.of(tiny_schema, {"t": ("tick", -3, 0)})
+        small = layout_summary(BlockScheme(key, {"t": 2}), "t")
+        large = layout_summary(BlockScheme(key, {"t": 8}), "t")
+        assert large.duplication < small.duplication
+        assert large.blocks < small.blocks
+
+    def test_requires_annotation(self, tiny_schema):
+        bare = BlockScheme(DistributionKey.of(tiny_schema, {"x": "four"}))
+        with pytest.raises(DistributionError, match="not annotated"):
+            layout_summary(bare, "x")
+
+
+class TestRendering:
+    def test_picture(self, scheme):
+        text = render_blocks(scheme, "t")
+        lines = text.splitlines()
+        assert "cf=2" in lines[0]
+        assert lines[1] == "block   0 |##      |"
+        assert lines[2] == "block   1 | .##    |"
+        assert lines[3] == "block   2 |   .##  |"
+        assert lines[4] == "block   3 |     .##|"
+        assert "x1.38 duplication" in lines[-1]
+
+    def test_clipping(self, tiny_schema):
+        key = DistributionKey.of(tiny_schema, {"t": ("tick", -1, 0)})
+        text = render_blocks(
+            BlockScheme(key, {"t": 1}), "t", max_blocks=3, max_width=10
+        )
+        assert "more blocks" in text
+        assert "+" in text  # width clipped marker

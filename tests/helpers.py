@@ -1,0 +1,127 @@
+"""Test helpers: an independent brute-force reference evaluator.
+
+Deliberately naive (nested loops, no sorting, no sharing with the library
+internals beyond the data model) so it can serve as an oracle for both
+the centralized sort/scan evaluator and the parallel executors.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.query.measures import Relationship
+
+
+def reference_evaluate(workflow, records):
+    """{measure name: {coords: value}} computed the slow, obvious way."""
+    tables: dict[str, dict] = {}
+    schema = workflow.schema
+    for measure in workflow.topological_order():
+        granularity = measure.granularity
+        if measure.is_basic:
+            field_index = schema.field_index(measure.field)
+            groups = defaultdict(list)
+            for record in records:
+                groups[granularity.coordinates_of(record)].append(
+                    record[field_index]
+                )
+            tables[measure.name] = {
+                coords: measure.aggregate.aggregate(values)
+                for coords, values in groups.items()
+            }
+            continue
+
+        edge_values = []  # per edge: (dict coords -> value, anchors?)
+        for edge in measure.inputs:
+            source = tables[edge.source.name]
+            relationship = edge.relationship
+            if relationship is Relationship.SELF:
+                edge_values.append((dict(source), True))
+            elif relationship is Relationship.ROLLUP:
+                children = defaultdict(list)
+                for coords, value in source.items():
+                    parent = edge.source.granularity.map_coords(
+                        coords, granularity
+                    )
+                    children[parent].append(value)
+                edge_values.append(
+                    (
+                        {
+                            parent: edge.aggregate.aggregate(values)
+                            for parent, values in children.items()
+                        },
+                        True,
+                    )
+                )
+            elif relationship is Relationship.SIBLING:
+                axis = schema.attribute_index(edge.window.attribute)
+                result = {}
+                for coords in source:
+                    values = [
+                        value
+                        for other, value in source.items()
+                        if other[:axis] == coords[:axis]
+                        and other[axis + 1 :] == coords[axis + 1 :]
+                        and coords[axis] + edge.window.low
+                        <= other[axis]
+                        <= coords[axis] + edge.window.high
+                    ]
+                    if values:  # empty windows produce no row
+                        result[coords] = edge.aggregate.aggregate(values)
+                edge_values.append((result, True))
+            else:  # ALIGN: resolved per candidate below.
+                edge_values.append((source, False))
+
+        anchored = [table for table, is_anchor in edge_values if is_anchor]
+        if anchored:
+            candidates = set(anchored[0])
+            for table in anchored[1:]:
+                candidates &= set(table)
+        else:
+            candidates = {
+                granularity.coordinates_of(record) for record in records
+            }
+
+        combine = measure.effective_combine
+        rows = {}
+        for coords in candidates:
+            values = []
+            ok = True
+            for (table, is_anchor), edge in zip(edge_values, measure.inputs):
+                if is_anchor:
+                    value = table.get(coords)
+                else:
+                    parent = granularity.map_coords(
+                        coords, edge.source.granularity
+                    )
+                    value = table.get(parent)
+                if value is None:
+                    ok = False
+                    break
+                values.append(value)
+            if ok:
+                rows[coords] = combine(*values)
+        tables[measure.name] = rows
+    return tables
+
+
+def assert_results_match(result_set, reference, approx=1e-9):
+    """Compare a ResultSet against the reference dict-of-dicts."""
+    assert set(result_set.tables) == set(reference)
+    for name, expected in reference.items():
+        actual = result_set[name].values
+        assert set(actual) == set(expected), (
+            f"{name}: region sets differ "
+            f"(extra={set(actual) - set(expected)}, "
+            f"missing={set(expected) - set(actual)})"
+        )
+        for coords, value in expected.items():
+            got = actual[coords]
+            if isinstance(value, float) or isinstance(got, float):
+                if got == value:  # covers inf == inf and exact floats
+                    continue
+                assert abs(got - value) <= approx * max(1.0, abs(value)), (
+                    f"{name}{coords}: {got} != {value}"
+                )
+            else:
+                assert got == value, f"{name}{coords}: {got} != {value}"

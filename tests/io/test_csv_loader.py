@@ -1,0 +1,98 @@
+"""Tests for the CSV loader."""
+
+import io
+
+import pytest
+
+from repro.io.csv_loader import CsvFormatError, dump_csv, load_csv
+from repro.workload.weblog import generate_sessions, weblog_schema
+
+CSV_TEXT = """keyword,page_count,ad_count,time
+java,3,1,120
+baseball,0,2,7200
+java,5,0,121
+"""
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return weblog_schema(days=1)
+
+
+class TestLoad:
+    def test_basic_load(self, schema):
+        records, report = load_csv(io.StringIO(CSV_TEXT), schema)
+        assert report.loaded == 3
+        assert report.skipped == 0
+        assert records[0] == (0, 3, 1, 120)     # java encodes to 0
+        assert records[1][0] == 5               # baseball's code
+
+    def test_column_order_free(self, schema):
+        shuffled = (
+            "time,ad_count,keyword,page_count\n"
+            "120,1,java,3\n"
+        )
+        records, _report = load_csv(io.StringIO(shuffled), schema)
+        assert records == [(0, 3, 1, 120)]
+
+    def test_unknown_nominal_value(self, schema):
+        bad = CSV_TEXT + "zyzzyva,1,1,5\n"
+        with pytest.raises(CsvFormatError, match="line 5.*zyzzyva"):
+            load_csv(io.StringIO(bad), schema)
+
+    def test_out_of_range_numeric(self, schema):
+        bad = CSV_TEXT + "java,999,1,5\n"
+        with pytest.raises(CsvFormatError, match="outside"):
+            load_csv(io.StringIO(bad), schema)
+
+    def test_skip_mode_counts_errors(self, schema):
+        bad = CSV_TEXT + "zyzzyva,1,1,5\njava,not_a_number,1,5\n"
+        records, report = load_csv(
+            io.StringIO(bad), schema, on_error="skip"
+        )
+        assert report.loaded == 3
+        assert report.skipped == 2
+        assert len(report.errors) == 2
+
+    def test_missing_header_fields(self, schema):
+        with pytest.raises(CsvFormatError, match="missing fields"):
+            load_csv(io.StringIO("keyword,time\njava,5\n"), schema)
+
+    def test_empty_file(self, schema):
+        with pytest.raises(CsvFormatError, match="empty"):
+            load_csv(io.StringIO(""), schema)
+
+    def test_ragged_row(self, schema):
+        bad = CSV_TEXT + "java,1\n"
+        with pytest.raises(CsvFormatError, match="columns"):
+            load_csv(io.StringIO(bad), schema)
+
+    def test_invalid_on_error(self, schema):
+        with pytest.raises(ValueError):
+            load_csv(io.StringIO(CSV_TEXT), schema, on_error="explode")
+
+
+class TestRoundTrip:
+    def test_dump_then_load(self, schema):
+        records = generate_sessions(schema, 200, seed=6)
+        buffer = io.StringIO()
+        written = dump_csv(records, schema, buffer)
+        assert written == 200
+        buffer.seek(0)
+        loaded, report = load_csv(buffer, schema)
+        assert report.skipped == 0
+        assert loaded == records
+
+    def test_loaded_records_evaluate(self, schema):
+        from repro.local import evaluate_centralized
+        from repro.workload.weblog import weblog_query
+
+        records = generate_sessions(schema, 500, seed=6)
+        buffer = io.StringIO()
+        dump_csv(records, schema, buffer)
+        buffer.seek(0)
+        loaded, _report = load_csv(buffer, schema)
+        workflow = weblog_query(schema)
+        assert evaluate_centralized(workflow, loaded) == (
+            evaluate_centralized(workflow, records)
+        )

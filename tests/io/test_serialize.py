@@ -1,0 +1,184 @@
+"""Tests for workflow/result serialization."""
+
+import io
+import json
+
+import pytest
+
+from repro.io.serialize import (
+    SerializationError,
+    result_from_dict,
+    result_to_dict,
+    workflow_from_dict,
+    workflow_from_json,
+    workflow_to_dict,
+    workflow_to_json,
+    workflow_to_script,
+    write_result_csv,
+)
+from repro.local import evaluate_centralized
+from repro.query.builder import WorkflowBuilder
+from repro.query.functions import expression
+from repro.query.parser import parse_workflow
+
+
+class TestWorkflowDictRoundTrip:
+    def test_round_trip_structure(self, weblog):
+        schema, workflow, _records = weblog
+        data = workflow_to_dict(workflow)
+        rebuilt = workflow_from_dict(data, schema)
+        assert rebuilt.describe() == workflow.describe()
+
+    def test_round_trip_results(self, tiny_workflow, tiny_schema,
+                                tiny_records):
+        data = workflow_to_dict(tiny_workflow)
+        rebuilt = workflow_from_dict(data, tiny_schema)
+        assert evaluate_centralized(
+            rebuilt, tiny_records
+        ) == evaluate_centralized(tiny_workflow, tiny_records)
+
+    def test_json_round_trip(self, weblog):
+        schema, workflow, _records = weblog
+        text = workflow_to_json(workflow)
+        json.loads(text)  # valid JSON
+        rebuilt = workflow_from_json(text, schema)
+        assert rebuilt.names == workflow.names
+
+    def test_custom_expressions(self, tiny_schema):
+        blend = expression(lambda a, b: a + 2 * b, 2, "blend")
+        builder = WorkflowBuilder(tiny_schema)
+        builder.basic("a", over={"x": "value"}, field="v", aggregate="sum")
+        builder.basic("b", over={"x": "value"}, field="v", aggregate="count")
+        (
+            builder.composite("c", over={"x": "value"})
+            .from_self("a").from_self("b").combine(blend)
+        )
+        workflow = builder.build()
+        expressions = {"blend": blend}
+        data = workflow_to_dict(workflow, expressions=expressions)
+        rebuilt = workflow_from_dict(data, tiny_schema, expressions)
+        assert rebuilt.measure("c").combine is blend
+
+    def test_anonymous_expression_rejected(self, tiny_schema):
+        builder = WorkflowBuilder(tiny_schema)
+        builder.basic("a", over={"x": "value"}, field="v", aggregate="sum")
+        (
+            builder.composite("c", over={"x": "value"})
+            .from_self("a").from_self("a")
+            .combine(lambda a, b: a - b, name="anonymous_diff")
+        )
+        workflow = builder.build()
+        with pytest.raises(SerializationError, match="anonymous_diff"):
+            workflow_to_dict(workflow)
+
+    def test_unknown_combine_on_load(self, tiny_schema):
+        data = {
+            "measures": [
+                {"name": "a", "over": {"x": "value"}, "field": "v",
+                 "aggregate": "sum"},
+                {"name": "c", "over": {"x": "value"},
+                 "inputs": [
+                     {"source": "a", "relationship": "self"},
+                     {"source": "a", "relationship": "self"},
+                 ],
+                 "combine": "mystery"},
+            ]
+        }
+        with pytest.raises(SerializationError, match="mystery"):
+            workflow_from_dict(data, tiny_schema)
+
+    def test_unknown_relationship_on_load(self, tiny_schema):
+        data = {
+            "measures": [
+                {"name": "a", "over": {"x": "value"}, "field": "v",
+                 "aggregate": "sum"},
+                {"name": "c", "over": {"x": "value"},
+                 "inputs": [{"source": "a", "relationship": "cousin"}]},
+            ]
+        }
+        with pytest.raises(SerializationError, match="cousin"):
+            workflow_from_dict(data, tiny_schema)
+
+
+class TestScriptRoundTrip:
+    def test_weblog_script(self, weblog):
+        schema, workflow, _records = weblog
+        script = workflow_to_script(workflow)
+        assert "measure M1" in script
+        reparsed = parse_workflow(script, schema)
+        assert reparsed.describe() == workflow.describe()
+
+    def test_full_relationship_coverage(self, tiny_workflow, tiny_schema):
+        script = workflow_to_script(tiny_workflow)
+        assert "children(" in script
+        assert "window(" in script
+        assert "parent(" in script
+        reparsed = parse_workflow(script, tiny_schema)
+        assert reparsed.describe() == tiny_workflow.describe()
+
+
+class TestResults:
+    def test_result_round_trip(self, tiny_workflow, tiny_schema,
+                               tiny_records):
+        result = evaluate_centralized(tiny_workflow, tiny_records)
+        data = result_to_dict(result)
+        rebuilt = result_from_dict(data, tiny_schema)
+        assert rebuilt == result
+
+    def test_csv_export(self, tiny_workflow, tiny_records):
+        result = evaluate_centralized(tiny_workflow, tiny_records)
+        stream = io.StringIO()
+        rows = write_result_csv(result, stream)
+        assert rows == result.total_rows()
+        lines = stream.getvalue().splitlines()
+        assert lines[0] == "measure,region,value"
+        assert len(lines) == rows + 1
+        assert any("x=" in line for line in lines[1:])
+
+
+class TestRoundTripProperties:
+    """Serialization round-trips preserve semantics on random workflows."""
+
+    def test_random_workflows_round_trip(self):
+        from hypothesis import given, settings
+
+        from tests.test_integration import (
+            SCHEMA,
+            random_workflow,
+            records_strategy,
+        )
+
+        @settings(deadline=None, max_examples=25)
+        @given(workflow=random_workflow(), records=records_strategy)
+        def check(workflow, records):
+            rebuilt = workflow_from_dict(
+                workflow_to_dict(workflow), SCHEMA
+            )
+            assert rebuilt.describe() == workflow.describe()
+            assert evaluate_centralized(
+                rebuilt, records
+            ) == evaluate_centralized(workflow, records)
+
+            script = workflow_to_script(workflow)
+            reparsed = parse_workflow(script, SCHEMA)
+            assert reparsed.describe() == workflow.describe()
+
+        check()
+
+
+class TestParameterizedAggregateRoundTrip:
+    def test_quantile_names_parse_back(self, weblog):
+        from repro.query.functions import quantile_function
+
+        schema, _wf, _records = weblog
+        quantile_function(0.5)
+        builder = WorkflowBuilder(schema)
+        builder.basic(
+            "q50", over={"keyword": "word"}, field="page_count",
+            aggregate=quantile_function(0.5),
+        )
+        workflow = builder.build()
+        script = workflow_to_script(workflow)
+        assert "quantile_0_5" in script
+        reparsed = parse_workflow(script, schema)
+        assert reparsed.measure("q50").aggregate.name == "quantile_0_5"

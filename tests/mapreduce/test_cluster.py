@@ -1,0 +1,99 @@
+"""Tests for the cluster scheduler and failure state."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mapreduce.cluster import SimulatedCluster, makespan
+from repro.mapreduce.dfs import InMemoryDFS
+from repro.mapreduce.timing import ClusterConfig
+
+
+class TestMakespan:
+    def test_single_slot_is_sum(self):
+        assert makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_enough_slots_is_max(self):
+        assert makespan([1.0, 2.0, 3.0], 3) == pytest.approx(3.0)
+
+    def test_greedy_example(self):
+        # Two slots: (3) | (2, 2) -> 4.
+        assert makespan([3.0, 2.0, 2.0], 2) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert makespan([], 4) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            makespan([1.0], 0)
+        with pytest.raises(ValueError):
+            makespan([-1.0], 1)
+
+    @given(
+        durations=st.lists(st.floats(0, 100), min_size=1, max_size=30),
+        slots=st.integers(1, 8),
+    )
+    def test_bounds(self, durations, slots):
+        """List scheduling sits between the trivial lower bounds and 2x OPT."""
+        result = makespan(durations, slots)
+        lower = max(max(durations), sum(durations) / slots)
+        assert result >= lower - 1e-9
+        assert result <= sum(durations) + 1e-9
+        # Graham's bound for list scheduling.
+        assert result <= lower * 2 + 1e-9
+
+
+class TestCluster:
+    def test_slots(self):
+        cluster = SimulatedCluster(
+            ClusterConfig(machines=5, map_slots_per_machine=2)
+        )
+        assert cluster.map_slots == 10
+        assert cluster.reduce_slots == 5
+
+    def test_failures_shrink_slots(self):
+        cluster = SimulatedCluster(ClusterConfig(machines=4))
+        cluster.fail_machine(0)
+        assert cluster.live_machines == 3
+        assert cluster.map_slots == 3
+        assert 0 in cluster.failed_machines
+        cluster.restore_machine(0)
+        assert cluster.live_machines == 4
+
+    def test_cannot_fail_everything(self):
+        cluster = SimulatedCluster(ClusterConfig(machines=2))
+        cluster.fail_machine(0)
+        with pytest.raises(RuntimeError):
+            cluster.fail_machine(1)
+
+    def test_fail_unknown_machine(self):
+        cluster = SimulatedCluster(ClusterConfig(machines=2))
+        with pytest.raises(ValueError):
+            cluster.fail_machine(7)
+
+    def test_reducer_machine_skips_failed(self):
+        cluster = SimulatedCluster(ClusterConfig(machines=4))
+        cluster.fail_machine(0)
+        machines = {cluster.reducer_machine(i) for i in range(8)}
+        assert 0 not in machines
+        assert machines <= {1, 2, 3}
+
+    def test_dfs_machine_count_must_match(self):
+        with pytest.raises(ValueError, match="machines"):
+            SimulatedCluster(
+                ClusterConfig(machines=4), dfs=InMemoryDFS(machines=2)
+            )
+
+
+class TestReducerRetry:
+    def test_nominal_placement_triggers_retry(self):
+        cluster = SimulatedCluster(ClusterConfig(machines=4))
+        cluster.fail_machine(1)
+        # Reducers 1, 5, 9 ... nominally land on the dead machine.
+        assert cluster.reducer_retry_needed(1)
+        assert cluster.reducer_retry_needed(5)
+        assert not cluster.reducer_retry_needed(0)
+        assert not cluster.reducer_retry_needed(2)
+
+    def test_no_failures_no_retries(self):
+        cluster = SimulatedCluster(ClusterConfig(machines=4))
+        assert not any(cluster.reducer_retry_needed(i) for i in range(8))

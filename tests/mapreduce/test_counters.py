@@ -1,0 +1,82 @@
+"""Tests for counters, breakdowns and job reports."""
+
+import pytest
+
+from repro.local.sortscan import LocalStats
+from repro.mapreduce.counters import JobCounters, JobReport, PhaseBreakdown
+
+
+class TestPhaseBreakdown:
+    def test_total_and_cumulative(self):
+        breakdown = PhaseBreakdown(
+            map=1.0, shuffle=2.0, framework_sort=3.0, group_sort=4.0,
+            evaluate=5.0,
+        )
+        assert breakdown.total == 15.0
+        bars = breakdown.cumulative()
+        assert bars == {
+            "Map-Only": 1.0, "MR": 6.0, "Sort": 10.0, "Sort+Eval": 15.0,
+        }
+
+    def test_add(self):
+        a = PhaseBreakdown(map=1.0, shuffle=1.0)
+        a.add(PhaseBreakdown(map=2.0, evaluate=3.0))
+        assert a.map == 3.0
+        assert a.shuffle == 1.0
+        assert a.evaluate == 3.0
+
+
+class TestJobCounters:
+    def test_replication_factor(self):
+        counters = JobCounters(map_input_records=100, map_output_records=250)
+        assert counters.replication_factor == 2.5
+        assert JobCounters().replication_factor == 0.0
+
+    def test_add_merges_everything(self):
+        a = JobCounters(map_input_records=10, shuffle_bytes=100, map_tasks=1)
+        a.extra["spills"] = 2
+        b = JobCounters(map_input_records=5, shuffle_bytes=50, map_tasks=2)
+        b.extra["spills"] = 3
+        a.add(b)
+        assert a.map_input_records == 15
+        assert a.shuffle_bytes == 150
+        assert a.map_tasks == 3
+        assert a.extra["spills"] == 5
+
+
+class TestJobReport:
+    def make_report(self, loads):
+        return JobReport(
+            name="job",
+            counters=JobCounters(),
+            breakdown=PhaseBreakdown(),
+            map_makespan=1.0,
+            reduce_makespan=2.0,
+            reducer_loads=loads,
+        )
+
+    def test_response_time(self):
+        assert self.make_report([1]).response_time == 3.0
+
+    def test_max_load_and_imbalance(self):
+        report = self.make_report([10, 20, 30, 0])
+        assert report.max_reducer_load == 30
+        assert report.load_imbalance == pytest.approx(30 / 15)
+        assert self.make_report([]).max_reducer_load == 0
+        assert self.make_report([]).load_imbalance == 1.0
+
+    def test_summary_fields(self):
+        text = self.make_report([5]).summary()
+        assert "job" in text and "simulated" in text
+
+
+class TestLocalStats:
+    def test_merge(self):
+        a = LocalStats(records=10, sorted_records=10, basic_rows=3)
+        b = LocalStats(records=5, composite_rows=2, hashed_measures=1)
+        a.merge(b)
+        assert a.records == 15
+        assert a.basic_rows == 3
+        assert a.composite_rows == 2
+        assert a.hashed_measures == 1
+        assert a.output_rows == 5

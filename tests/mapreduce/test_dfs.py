@@ -1,0 +1,94 @@
+"""Tests for the in-memory distributed file system."""
+
+import pytest
+
+from repro.mapreduce.dfs import DataUnavailableError, InMemoryDFS
+
+
+@pytest.fixture
+def dfs():
+    return InMemoryDFS(machines=6, block_records=100, replication=3)
+
+
+class TestWrite:
+    def test_blocks_and_sizes(self, dfs):
+        records = [(i,) for i in range(250)]
+        handle = dfs.write("data", records)
+        assert len(handle.blocks) == 3
+        assert [len(b.records) for b in handle.blocks] == [100, 100, 50]
+        assert handle.num_records == 250
+        assert list(handle.records()) == records
+
+    def test_empty_file_has_one_block(self, dfs):
+        handle = dfs.write("empty", [])
+        assert len(handle.blocks) == 1
+        assert handle.num_records == 0
+
+    def test_replicas_distinct_machines(self, dfs):
+        handle = dfs.write("data", [(i,) for i in range(500)])
+        for block in handle.blocks:
+            assert len(set(block.replicas)) == 3
+            assert all(0 <= m < 6 for m in block.replicas)
+
+    def test_replication_capped_by_machines(self):
+        dfs = InMemoryDFS(machines=2, replication=3)
+        handle = dfs.write("data", [(1,)])
+        assert len(handle.blocks[0].replicas) == 2
+
+    def test_write_is_deterministic(self):
+        a = InMemoryDFS(machines=6, block_records=10).write(
+            "f", [(i,) for i in range(25)]
+        )
+        b = InMemoryDFS(machines=6, block_records=10).write(
+            "f", [(i,) for i in range(25)]
+        )
+        assert [blk.replicas for blk in a.blocks] == [
+            blk.replicas for blk in b.blocks
+        ]
+
+    def test_overwrite(self, dfs):
+        dfs.write("data", [(1,)])
+        handle = dfs.write("data", [(2,), (3,)])
+        assert dfs.open("data") is handle
+        assert handle.num_records == 2
+
+
+class TestRead:
+    def test_prefers_first_replica(self, dfs):
+        handle = dfs.write("data", [(i,) for i in range(10)])
+        block = handle.blocks[0]
+        records, machine = handle.read_block(block)
+        assert machine == block.replicas[0]
+        assert len(records) == 10
+
+    def test_falls_back_on_failure(self, dfs):
+        handle = dfs.write("data", [(i,) for i in range(10)])
+        block = handle.blocks[0]
+        failed = frozenset({block.replicas[0]})
+        _records, machine = handle.read_block(block, failed)
+        assert machine == block.replicas[1]
+
+    def test_all_replicas_dead(self, dfs):
+        handle = dfs.write("data", [(i,) for i in range(10)])
+        block = handle.blocks[0]
+        with pytest.raises(DataUnavailableError):
+            handle.read_block(block, frozenset(block.replicas))
+
+
+class TestNamespace:
+    def test_open_missing(self, dfs):
+        with pytest.raises(FileNotFoundError):
+            dfs.open("ghost")
+
+    def test_delete_is_idempotent(self, dfs):
+        dfs.write("data", [(1,)])
+        dfs.delete("data")
+        dfs.delete("data")
+        with pytest.raises(FileNotFoundError):
+            dfs.open("data")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InMemoryDFS(machines=0)
+        with pytest.raises(ValueError):
+            InMemoryDFS(machines=2, block_records=0)

@@ -1,0 +1,71 @@
+"""Tests for the external sorter and group streaming."""
+
+from hypothesis import given, strategies as st
+
+from repro.mapreduce.sorter import external_sort, group_sorted
+
+
+class TestExternalSort:
+    def test_in_memory(self):
+        items = [3, 1, 2]
+        ordered, stats = external_sort(
+            items, key=None, record_bytes=8, memory_bytes=1024
+        )
+        assert ordered == [1, 2, 3]
+        assert stats.passes == 0
+        assert stats.spilled_records == 0
+        assert stats.records == 3
+
+    def test_spills_when_over_memory(self):
+        items = list(range(100))
+        ordered, stats = external_sort(
+            items, key=None, record_bytes=10, memory_bytes=100
+        )
+        assert ordered == items
+        assert stats.passes >= 1
+        assert stats.spilled_records == 100
+
+    def test_deep_merge_needs_more_passes(self):
+        _ordered, shallow = external_sort(
+            [0] * 100, key=None, record_bytes=10, memory_bytes=100,
+            merge_fan_in=2,
+        )
+        _ordered, wide = external_sort(
+            [0] * 100, key=None, record_bytes=10, memory_bytes=100,
+            merge_fan_in=64,
+        )
+        assert shallow.passes > wide.passes
+
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers())))
+    def test_sorts_by_key(self, pairs):
+        ordered, _stats = external_sort(
+            pairs, key=lambda pair: pair[0], record_bytes=8,
+            memory_bytes=1 << 20,
+        )
+        assert [k for k, _ in ordered] == sorted(k for k, _ in pairs)
+
+
+class TestGroupSorted:
+    def test_grouping(self):
+        pairs = [("a", 1), ("a", 2), ("b", 3)]
+        assert group_sorted(pairs) == [("a", [1, 2]), ("b", [3])]
+
+    def test_empty(self):
+        assert group_sorted([]) == []
+
+    def test_none_key_is_a_valid_key(self):
+        pairs = [(None, 1), (None, 2)]
+        assert group_sorted(pairs) == [(None, [1, 2])]
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 5), st.integers()), max_size=50)
+    )
+    def test_groups_cover_input(self, pairs):
+        pairs = sorted(pairs, key=lambda pair: pair[0])
+        groups = group_sorted(pairs)
+        flattened = [
+            (key, value) for key, values in groups for value in values
+        ]
+        assert flattened == pairs
+        keys = [key for key, _values in groups]
+        assert keys == sorted(set(keys))

@@ -1,0 +1,84 @@
+"""Tests for straggler simulation and speculative execution."""
+
+import pytest
+
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.engine import MapReduceJob
+from repro.mapreduce.timing import ClusterConfig
+
+
+def word_mapper(record):
+    yield (record[0] % 13, 1)
+
+
+def counting_reducer(key, values, ctx):
+    ctx.charge_eval(len(values))
+    yield (key, sum(values))
+
+
+def make_cluster(**overrides):
+    config = ClusterConfig(machines=10, **overrides)
+    cluster = SimulatedCluster(config)
+    cluster.write_file("nums", [(i,) for i in range(5000)])
+    return cluster
+
+
+def run(cluster):
+    job = MapReduceJob(word_mapper, counting_reducer, num_reducers=10,
+                       name="straggle-test")
+    return job.run(cluster.dfs.open("nums"), cluster)
+
+
+class TestStragglers:
+    def test_disabled_by_default(self):
+        result = run(make_cluster())
+        assert result.report.counters.extra["stragglers"] == 0
+
+    def test_factors_are_deterministic(self):
+        a = run(make_cluster(straggler_probability=0.3))
+        b = run(make_cluster(straggler_probability=0.3))
+        assert a.report.response_time == b.report.response_time
+        assert a.report.counters.extra["stragglers"] > 0
+
+    def test_stragglers_slow_the_job(self):
+        clean = run(make_cluster())
+        slowed = run(make_cluster(straggler_probability=0.3,
+                                  straggler_slowdown=10.0))
+        assert sorted(slowed.outputs) == sorted(clean.outputs)
+        assert slowed.report.response_time > clean.report.response_time
+
+    def test_speculation_recovers_most_of_the_loss(self):
+        clean = run(make_cluster())
+        slowed = run(make_cluster(straggler_probability=0.3,
+                                  straggler_slowdown=10.0))
+        backed_up = run(
+            make_cluster(
+                straggler_probability=0.3,
+                straggler_slowdown=10.0,
+                speculative_execution=True,
+            )
+        )
+        assert sorted(backed_up.outputs) == sorted(clean.outputs)
+        assert (
+            clean.report.response_time
+            < backed_up.report.response_time
+            < slowed.report.response_time
+        )
+        assert backed_up.report.counters.extra["speculated"] > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(straggler_probability=1.5)
+        with pytest.raises(ValueError):
+            ClusterConfig(straggler_slowdown=0.5)
+        with pytest.raises(ValueError):
+            ClusterConfig(speculation_overhead=0.5)
+
+    def test_with_machines_preserves_straggler_config(self):
+        config = ClusterConfig(
+            machines=4, straggler_probability=0.2,
+            speculative_execution=True,
+        )
+        scaled = config.with_machines(16)
+        assert scaled.straggler_probability == 0.2
+        assert scaled.speculative_execution

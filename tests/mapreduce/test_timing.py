@@ -1,0 +1,68 @@
+"""Tests for the cluster timing model."""
+
+import pytest
+
+from repro.mapreduce.timing import MB, ClusterConfig, TimingModel
+
+
+@pytest.fixture
+def timing():
+    return TimingModel(ClusterConfig(machines=10))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(machines=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(replication=0)
+
+    def test_slots(self):
+        config = ClusterConfig(
+            machines=7, map_slots_per_machine=2, reduce_slots_per_machine=3
+        )
+        assert config.map_slots == 14
+        assert config.reduce_slots == 21
+
+    def test_with_machines_preserves_everything_else(self):
+        config = ClusterConfig(machines=10, disk_bandwidth=123.0)
+        scaled = config.with_machines(40)
+        assert scaled.machines == 40
+        assert scaled.disk_bandwidth == 123.0
+
+
+class TestCosts:
+    def test_disk_read_scales_linearly(self, timing):
+        assert timing.disk_read(2 * MB) == pytest.approx(
+            2 * timing.disk_read(MB)
+        )
+
+    def test_remote_read_penalty(self, timing):
+        assert timing.disk_read(MB, remote=True) > timing.disk_read(MB)
+
+    def test_network_transfer(self, timing):
+        assert timing.network_transfer(0) == 0.0
+        assert timing.network_transfer(MB) > 0
+
+    def test_sort_trivial_inputs_free(self, timing):
+        assert timing.sort(0, 0) == 0.0
+        assert timing.sort(1, 100) == 0.0
+
+    def test_sort_superlinear_in_records(self, timing):
+        small = timing.sort(1000, 1000 * 64)
+        big = timing.sort(10_000, 10_000 * 64)
+        assert big > 10 * small  # n log n growth
+
+    def test_external_sort_pays_io(self):
+        config = ClusterConfig(memory_per_task=1 * MB)
+        timing = TimingModel(config)
+        in_memory = timing.sort(10_000, MB // 2)
+        spilled = timing.sort(10_000, 4 * MB)
+        assert spilled > in_memory
+        assert timing.external_sort_passes(MB // 2) == 0
+        assert timing.external_sort_passes(4 * MB) >= 1
+
+    def test_eval_and_map_cpu(self, timing):
+        assert timing.map_cpu(1000) > 0
+        assert timing.eval_cpu(1000) > 0
+        assert timing.map_cpu(0) == 0.0

@@ -1,0 +1,106 @@
+"""Tests for execution traces and Gantt rendering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mapreduce.cluster import SimulatedCluster, makespan
+from repro.mapreduce.engine import MapReduceJob
+from repro.mapreduce.timing import ClusterConfig
+from repro.mapreduce.trace import (
+    render_gantt,
+    schedule,
+    slot_utilization,
+)
+
+
+class TestSchedule:
+    def test_matches_makespan(self):
+        durations = [3.0, 2.0, 2.0, 1.0]
+        finish, spans = schedule(durations, 2)
+        assert finish == makespan(durations, 2)
+        assert len(spans) == 4
+
+    def test_spans_are_consistent(self):
+        _finish, spans = schedule([1.0, 2.0, 3.0], 2)
+        for span in spans:
+            assert span.end >= span.start
+        # No two tasks overlap on one slot.
+        by_slot = {}
+        for span in spans:
+            by_slot.setdefault(span.slot, []).append(span)
+        for slot_spans in by_slot.values():
+            slot_spans.sort(key=lambda span: span.start)
+            for a, b in zip(slot_spans, slot_spans[1:]):
+                assert b.start >= a.end
+
+    @given(
+        durations=st.lists(st.floats(0, 50), min_size=1, max_size=25),
+        slots=st.integers(1, 6),
+    )
+    def test_schedule_equals_makespan_property(self, durations, slots):
+        finish, spans = schedule(durations, slots)
+        assert finish == pytest.approx(makespan(durations, slots))
+        assert sum(span.duration for span in spans) == pytest.approx(
+            sum(durations)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            schedule([1.0], 0)
+        with pytest.raises(ValueError):
+            schedule([-1.0], 1)
+
+
+class TestUtilization:
+    def test_perfectly_packed(self):
+        _f, spans = schedule([1.0, 1.0], 2)
+        assert slot_utilization(spans, 2) == pytest.approx(1.0)
+
+    def test_idle_slots_lower_utilization(self):
+        _f, spans = schedule([4.0, 1.0], 2)
+        assert slot_utilization(spans, 2) == pytest.approx(5 / 8)
+
+    def test_empty(self):
+        assert slot_utilization([], 4) == 0.0
+
+
+class TestGantt:
+    def test_rendering(self):
+        _f, spans = schedule([2.0, 2.0, 4.0], 2)
+        text = render_gantt(spans, 2, width=8, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].startswith("slot   0 |")
+        assert "utilization" in lines[-1]
+        assert "2" in text  # task index labels
+
+    def test_row_clipping(self):
+        _f, spans = schedule([1.0] * 30, 30)
+        text = render_gantt(spans, 30, max_rows=4)
+        assert "more slots" in text
+
+    def test_empty_spans(self):
+        assert "(no tasks)" in render_gantt([], 4)
+
+
+class TestEngineIntegration:
+    def test_job_reports_carry_traces(self):
+        cluster = SimulatedCluster(ClusterConfig(machines=4))
+        cluster.write_file("data", [(i % 5,) for i in range(2000)])
+
+        def mapper(record):
+            yield (record[0], 1)
+
+        def reducer(key, values, ctx):
+            ctx.charge_eval(len(values))
+            yield (key, sum(values))
+
+        job = MapReduceJob(mapper, reducer, num_reducers=4)
+        report = job.run(cluster.dfs.open("data"), cluster).report
+        assert len(report.map_trace) == report.counters.map_tasks
+        assert len(report.reduce_trace) == 4
+        assert max(
+            span.end for span in report.map_trace
+        ) == pytest.approx(report.map_makespan)
+        text = render_gantt(report.reduce_trace, cluster.reduce_slots)
+        assert "tasks over" in text

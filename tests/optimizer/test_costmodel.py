@@ -1,0 +1,133 @@
+"""Tests for the analytical cost model (Formulae 2 and 4)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.optimizer.costmodel import (
+    exhaustive_clustering_factor,
+    expected_max_load,
+    expected_max_load_overlap,
+    expected_normal_max,
+    optimal_clustering_factor,
+)
+
+
+class TestNormalMax:
+    def test_small_cases(self):
+        assert expected_normal_max(1) == 0.0
+        assert expected_normal_max(2) == pytest.approx(1 / math.sqrt(math.pi))
+
+    def test_grows_slowly(self):
+        assert expected_normal_max(10) < expected_normal_max(100)
+        assert expected_normal_max(100) < expected_normal_max(10_000)
+        assert expected_normal_max(10_000) < 5.0
+
+    def test_against_monte_carlo(self):
+        rng = random.Random(0)
+        m = 50
+        trials = 3000
+        total = 0.0
+        for _ in range(trials):
+            total += max(rng.gauss(0, 1) for _ in range(m))
+        empirical = total / trials
+        assert expected_normal_max(m) == pytest.approx(empirical, abs=0.1)
+
+
+class TestFormula2:
+    def test_limits(self):
+        assert expected_max_load(0, 100, 10) == 0.0
+        assert expected_max_load(1000, 100, 1) == 1000.0
+
+    def test_more_regions_balance_better(self):
+        loads = [
+            expected_max_load(1_000_000, n, 50)
+            for n in (100, 1_000, 10_000, 100_000)
+        ]
+        assert loads == sorted(loads, reverse=True)
+
+    def test_approaches_perfect_balance(self):
+        load = expected_max_load(1_000_000, 10_000_000, 50)
+        assert load == pytest.approx(1_000_000 / 50, rel=0.01)
+
+    def test_never_below_mean(self):
+        assert expected_max_load(1_000_000, 100, 50) >= 1_000_000 / 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_max_load(1000, 0, 10)
+
+    def test_against_monte_carlo(self):
+        """Formula 2 tracks a simulated random region assignment."""
+        rng = random.Random(1)
+        n_records, n_regions, m = 100_000, 400, 20
+        per_region = n_records / n_regions
+        trials = 300
+        total = 0.0
+        for _ in range(trials):
+            loads = [0.0] * m
+            for _region in range(n_regions):
+                loads[rng.randrange(m)] += per_region
+            total += max(loads)
+        empirical = total / trials
+        predicted = expected_max_load(n_records, n_regions, m)
+        assert predicted == pytest.approx(empirical, rel=0.05)
+
+
+class TestFormula4:
+    def test_reduces_to_formula2_without_span(self):
+        a = expected_max_load_overlap(1_000_000, 1000, 50, span=0, cf=1)
+        b = expected_max_load(1_000_000, 1000, 50)
+        assert a == pytest.approx(b)
+
+    def test_interior_minimum(self):
+        """cf=1 duplicates too much; huge cf kills parallelism."""
+        args = (1_000_000, 2_000, 50, 10)
+        best = exhaustive_clustering_factor(*args)
+        assert 1 < best < 2_000
+        cost_best = expected_max_load_overlap(*args, best)
+        assert cost_best < expected_max_load_overlap(*args, 1)
+        assert cost_best < expected_max_load_overlap(*args, 2_000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_max_load_overlap(1000, 100, 10, span=1, cf=0)
+        with pytest.raises(ValueError):
+            expected_max_load_overlap(1000, 100, 10, span=-1, cf=1)
+
+
+class TestOptimalCF:
+    @settings(deadline=None, max_examples=40)
+    @given(
+        n_records=st.integers(10_000, 10_000_000),
+        n_regions=st.integers(50, 3000),
+        m=st.integers(2, 200),
+        span=st.integers(1, 60),
+    )
+    def test_cubic_matches_exhaustive(self, n_records, n_regions, m, span):
+        """The closed-form root lands on the true integer optimum."""
+        analytic = optimal_clustering_factor(n_records, n_regions, m, span)
+        exhaustive = exhaustive_clustering_factor(
+            n_records, n_regions, m, span
+        )
+        cost = lambda cf: expected_max_load_overlap(
+            n_records, n_regions, m, span, cf
+        )
+        assert cost(analytic) == pytest.approx(cost(exhaustive), rel=1e-9)
+
+    def test_span_zero_means_no_clustering(self):
+        assert optimal_clustering_factor(1_000_000, 1000, 50, 0) == 1
+
+    def test_max_cf_cap(self):
+        uncapped = optimal_clustering_factor(1_000_000, 2000, 50, 10)
+        assert uncapped > 4
+        capped = optimal_clustering_factor(1_000_000, 2000, 50, 10, max_cf=4)
+        assert capped <= 4
+
+    def test_single_reducer_degenerate(self):
+        # With m=1 balance does not matter; only duplication does, so the
+        # optimizer should pick the largest allowed factor.
+        cf = optimal_clustering_factor(1_000_000, 100, 1, 10)
+        assert cf == 100

@@ -1,0 +1,186 @@
+"""Tests for the distribution-scheme optimizer."""
+
+import pytest
+
+from repro.cube.domains import ALL
+from repro.optimizer.costmodel import expected_max_load
+from repro.optimizer.optimizer import (
+    Optimizer,
+    OptimizerConfig,
+    QueryPlan,
+)
+from repro.optimizer.skew import KeyCache
+from repro.query.builder import WorkflowBuilder
+
+
+@pytest.fixture
+def optimizer():
+    return Optimizer()
+
+
+class TestPlanSearch:
+    def test_overlapping_beats_fallback_for_windows(
+        self, optimizer, tiny_workflow
+    ):
+        plan = optimizer.plan(tiny_workflow, n_records=100_000, num_reducers=8)
+        assert plan.scheme.key.is_overlapping
+        assert plan.strategy == "model"
+        assert plan.candidates_considered == 2
+        # The rejected alternative is recorded for inspection.
+        assert len(plan.alternatives) == 2
+        rejected = [
+            load
+            for scheme, load in plan.alternatives
+            if scheme is not plan.scheme
+        ]
+        assert all(load >= plan.predicted_max_load for load in rejected)
+
+    def test_sibling_free_uses_minimal_key(self, optimizer, tiny_schema):
+        builder = WorkflowBuilder(tiny_schema)
+        builder.basic(
+            "m", over={"x": "value", "t": "tick"}, field="v", aggregate="sum"
+        )
+        workflow = builder.build()
+        plan = optimizer.plan(workflow, n_records=10_000, num_reducers=4)
+        assert not plan.scheme.key.is_overlapping
+        assert plan.predicted_max_load == pytest.approx(
+            expected_max_load(10_000, 16 * 32, 4)
+        )
+
+    def test_describe(self, optimizer, tiny_workflow):
+        plan = optimizer.plan(tiny_workflow, 100_000, 8)
+        text = plan.describe()
+        assert "cf=" in text
+        assert "blocks" in text
+
+    def test_validation(self, optimizer, tiny_workflow):
+        with pytest.raises(ValueError):
+            optimizer.plan(tiny_workflow, 1000, num_reducers=0)
+
+
+class TestMinBlocksHeuristic:
+    def test_caps_clustering_factor(self, tiny_workflow):
+        free = Optimizer().plan(tiny_workflow, 1_000_000, 8)
+        constrained = Optimizer(
+            OptimizerConfig(min_blocks_per_reducer=4)
+        ).plan(tiny_workflow, 1_000_000, 8)
+        free_cf = max(free.scheme.clustering_factors.values(), default=1)
+        capped_cf = max(
+            constrained.scheme.clustering_factors.values(), default=1
+        )
+        assert capped_cf <= free_cf
+        assert constrained.scheme.num_blocks() >= 4 * 8
+
+
+class TestSampling:
+    def test_sampling_strategy(self, tiny_workflow, tiny_records):
+        optimizer = Optimizer(
+            OptimizerConfig(use_sampling=True, sample_size=200)
+        )
+        plan = optimizer.plan(
+            tiny_workflow, len(tiny_records), 4, records=tiny_records
+        )
+        assert plan.strategy == "sampling"
+        assert plan.sampled_loads is not None
+        assert len(plan.sampled_loads) == 4
+        assert plan.candidates_considered >= 2
+
+    def test_sampling_needs_records_to_kick_in(self, tiny_workflow):
+        optimizer = Optimizer(OptimizerConfig(use_sampling=True))
+        plan = optimizer.plan(tiny_workflow, 10_000, 4, records=None)
+        assert plan.strategy == "model"
+
+
+class TestKeyCacheIntegration:
+    def test_cache_reuse(self, optimizer, tiny_workflow):
+        cache = KeyCache()
+        first = optimizer.plan(tiny_workflow, 10_000, 4, key_cache=cache)
+        assert first.strategy == "model"
+        assert len(cache) == 1
+        second = optimizer.plan(tiny_workflow, 10_000, 4, key_cache=cache)
+        assert second.strategy == "cache"
+        assert second.scheme.key == first.scheme.key
+
+
+class TestQueryPlan:
+    def test_single_component_accessors(self, optimizer, tiny_workflow):
+        query_plan = optimizer.plan_query(tiny_workflow, 1_000_000, 4)
+        assert len(query_plan.subplans) == 1
+        assert query_plan.scheme is query_plan.single.scheme
+        assert query_plan.num_reducers == 4
+        assert "blocks over 4 reducers" in query_plan.describe()
+
+    def test_multi_component(self, optimizer, tiny_schema):
+        builder = WorkflowBuilder(tiny_schema)
+        builder.basic("a", over={"x": "value"}, field="v", aggregate="sum")
+        builder.basic("b", over={"t": "tick"}, field="v", aggregate="sum")
+        workflow = builder.build()
+        query_plan = optimizer.plan_query(workflow, 10_000, 4)
+        assert len(query_plan.subplans) == 2
+        with pytest.raises(ValueError, match="components"):
+            _ = query_plan.single
+        # Each component keeps its own fine key rather than <ALL>.
+        for _component, plan in query_plan.subplans:
+            assert plan.scheme.key.granularity.levels != (ALL, ALL)
+        assert query_plan.predicted_max_load == pytest.approx(
+            sum(plan.predicted_max_load for _c, plan in query_plan.subplans)
+        )
+        assert "independent components" in query_plan.describe()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            QueryPlan([])
+
+
+class TestTotalWorkObjective:
+    def test_objective_validated(self):
+        with pytest.raises(ValueError, match="objective"):
+            OptimizerConfig(objective="vibes")
+
+    def test_minimizes_duplication(self, tiny_workflow):
+        """Under total_work, a feasible plan ships less data (larger cf
+        or the non-overlapping fallback), at the price of balance."""
+        from repro.parallel import ParallelEvaluator
+        from repro.mapreduce import ClusterConfig, SimulatedCluster
+        from repro.parallel.executor import ExecutionConfig
+
+        records = [(i % 16, i % 32, 1 + i % 7) for i in range(4000)]
+        time_first = ParallelEvaluator(
+            SimulatedCluster(ClusterConfig(machines=8))
+        ).evaluate(tiny_workflow, records)
+        work_first = ParallelEvaluator(
+            SimulatedCluster(ClusterConfig(machines=8)),
+            ExecutionConfig(
+                optimizer=OptimizerConfig(objective="total_work")
+            ),
+        ).evaluate(tiny_workflow, records)
+        assert work_first.result == time_first.result
+        assert (
+            work_first.job.counters.map_output_records
+            <= time_first.job.counters.map_output_records
+        )
+
+    def test_respects_min_blocks(self, tiny_workflow):
+        optimizer = Optimizer(
+            OptimizerConfig(objective="total_work", min_blocks_per_reducer=2)
+        )
+        plan = optimizer.plan(tiny_workflow, 100_000, 4)
+        assert plan.scheme.num_blocks() >= 2 * 4
+
+
+class TestSamplingRespectsMinBlocks:
+    def test_diversified_variants_stay_above_floor(self, tiny_workflow,
+                                                   tiny_records):
+        optimizer = Optimizer(
+            OptimizerConfig(
+                min_blocks_per_reducer=2, use_sampling=True, sample_size=200
+            )
+        )
+        plan = optimizer.plan(
+            tiny_workflow, len(tiny_records), 4, records=tiny_records
+        )
+        assert plan.scheme.num_blocks() >= 2 * 4
+
+    def test_total_work_with_sampling_rejected(self):
+        with pytest.raises(ValueError, match="total_work"):
+            OptimizerConfig(objective="total_work", use_sampling=True)

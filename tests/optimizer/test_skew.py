@@ -1,0 +1,175 @@
+"""Tests for run-time skew handling."""
+
+import pytest
+
+from repro.distribution.clustering import BlockScheme
+from repro.distribution.derive import minimal_feasible_key
+from repro.distribution.keys import DistributionKey
+from repro.optimizer.skew import (
+    KeyCache,
+    detect_skew,
+    diversify_schemes,
+    pick_by_sampling,
+    sample_records,
+    scale_loads,
+    simulate_dispatch,
+)
+
+
+class TestSampling:
+    def test_sample_size(self, tiny_records):
+        sample = sample_records(tiny_records, 50)
+        assert len(sample) == 50
+        assert all(record in tiny_records for record in sample)
+
+    def test_sample_whole_population(self, tiny_records):
+        assert sample_records(tiny_records, 10**6) == list(tiny_records)
+
+    def test_deterministic(self, tiny_records):
+        assert sample_records(tiny_records, 50, seed=3) == sample_records(
+            tiny_records, 50, seed=3
+        )
+
+
+class TestSimulateDispatch:
+    def test_counts_every_replica(self, tiny_schema, tiny_records):
+        key = DistributionKey.of(tiny_schema, {"t": ("span", -1, 0)})
+        scheme = BlockScheme(key, {"t": 1})
+        loads = simulate_dispatch(scheme, tiny_records, 4)
+        mapper = scheme.make_mapper()
+        expected_total = sum(len(mapper(r)) for r in tiny_records)
+        assert sum(loads) == expected_total
+        assert len(loads) == 4
+
+    def test_scale_loads(self):
+        assert scale_loads([10, 20], sample_size=30, population=300) == [
+            100.0, 200.0,
+        ]
+        assert scale_loads([1], 0, 100) == [0.0]
+
+
+class TestDetectSkew:
+    def test_balanced(self):
+        assert not detect_skew([100, 110, 95, 105])
+
+    def test_skewed(self):
+        assert detect_skew([100, 100, 100, 900])
+
+    def test_idle_reducers_count_as_imbalance(self):
+        # Starved reducers are precisely what the check must surface.
+        assert detect_skew([100, 0, 0, 110])
+        assert detect_skew([100, 0, 0, 0])
+
+    def test_degenerate_inputs(self):
+        assert not detect_skew([100])
+        assert not detect_skew([0, 0, 0])
+
+
+class TestPickBySampling:
+    def test_prefers_balanced_scheme(self, tiny_schema, tiny_records):
+        balanced = BlockScheme(
+            DistributionKey.of(tiny_schema, {"x": "value", "t": "tick"})
+        )
+        lumpy = BlockScheme(DistributionKey.of(tiny_schema, {"x": "four"}))
+        chosen, loads = pick_by_sampling(
+            [lumpy, balanced], tiny_records, 8
+        )
+        assert chosen is balanced
+        assert sum(loads) == len(tiny_records)
+
+    def test_empty_rejected(self, tiny_records):
+        with pytest.raises(ValueError):
+            pick_by_sampling([], tiny_records, 4)
+
+
+class TestDiversify:
+    def test_adds_cf_ladder(self, tiny_schema):
+        key = DistributionKey.of(tiny_schema, {"t": ("span", -1, 0)})
+        base = BlockScheme(key, {"t": 4})
+        variants = diversify_schemes([base])
+        factors = sorted(v.clustering_factors["t"] for v in variants)
+        assert factors == [1, 2, 4, 8, 16]
+
+    def test_deduplicates(self, tiny_schema):
+        key = DistributionKey.of(tiny_schema, {"t": ("span", -1, 0)})
+        a = BlockScheme(key, {"t": 4})
+        b = BlockScheme(key, {"t": 4})
+        assert len(diversify_schemes([a, b])) == 5
+
+    def test_non_overlapping_pass_through(self, tiny_schema):
+        bare = BlockScheme(DistributionKey.of(tiny_schema, {"x": "four"}))
+        assert diversify_schemes([bare]) == [bare]
+
+
+class TestKeyCache:
+    def test_stores_and_finds_feasible(self, tiny_workflow):
+        cache = KeyCache()
+        minimal = minimal_feasible_key(tiny_workflow)
+        cache.store(minimal)
+        assert cache.find(tiny_workflow) == minimal
+        assert len(cache) == 1
+
+    def test_ignores_infeasible(self, tiny_schema, tiny_workflow):
+        cache = KeyCache()
+        cache.store(
+            DistributionKey.of(tiny_schema, {"x": "value", "t": "tick"})
+        )
+        assert cache.find(tiny_workflow) is None
+
+    def test_no_duplicates(self, tiny_workflow):
+        cache = KeyCache()
+        minimal = minimal_feasible_key(tiny_workflow)
+        cache.store(minimal)
+        cache.store(minimal)
+        assert len(cache) == 1
+
+    def test_cross_query_reuse(self, tiny_schema, tiny_workflow):
+        """A coarser key learned elsewhere is reusable when feasible."""
+        from repro.query.builder import WorkflowBuilder
+
+        cache = KeyCache()
+        coarse = DistributionKey.of(tiny_schema, {"x": "four"})
+        cache.store(coarse)
+
+        builder = WorkflowBuilder(tiny_schema)
+        builder.basic("m", over={"x": "value"}, field="v", aggregate="sum")
+        other_query = builder.build()
+        assert cache.find(other_query) == coarse
+
+
+class TestNominalSkew:
+    """Section V's negative result: skew on a *nominal* attribute cannot
+    be fixed by region-based redistribution.
+
+    Nominal attributes carry no range annotations and no clustering
+    factor, so every feasible candidate groups the hot value into one
+    block; sampling can only confirm that all candidates are equally
+    imbalanced."""
+
+    def test_all_candidates_stay_imbalanced(self, weblog):
+        import random
+
+        from repro.distribution.derive import candidate_keys
+        from repro.query.builder import WorkflowBuilder
+
+        schema, _wf, _records = weblog
+        builder = WorkflowBuilder(schema)
+        builder.basic(
+            "per_word", over={"keyword": "word"}, field="page_count",
+            aggregate="sum",
+        )
+        workflow = builder.build()
+
+        rng = random.Random(3)
+        time_card = schema.attribute("time").hierarchy.base_cardinality
+        # 80% of sessions hit keyword 0: nominal hot spot.
+        hot = [
+            (0 if rng.random() < 0.8 else rng.randrange(16),
+             rng.randrange(21), rng.randrange(21), rng.randrange(time_card))
+            for _ in range(3000)
+        ]
+        for key in candidate_keys(workflow):
+            loads = simulate_dispatch(BlockScheme(key), hot, 8)
+            assert detect_skew(loads, threshold=2.0), (
+                f"nominal hot spot unexpectedly balanced under {key!r}"
+            )

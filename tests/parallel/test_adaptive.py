@@ -1,0 +1,114 @@
+"""Tests for the adaptive (detect-then-replan) evaluator."""
+
+import pytest
+
+from repro.local.sortscan import evaluate_centralized
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.timing import ClusterConfig
+from repro.optimizer.optimizer import OptimizerConfig
+from repro.parallel.adaptive import AdaptiveEvaluator
+from repro.parallel.executor import ExecutionConfig, ParallelEvaluator
+from repro.query.builder import WorkflowBuilder
+from repro.workload import generate_skewed, generate_uniform, paper_schema
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return paper_schema(days=20, temporal_base="minute")
+
+
+@pytest.fixture(scope="module")
+def coarse_window_query(schema):
+    builder = WorkflowBuilder(schema)
+    builder.basic("hourly", over={"t1": "hour"}, field="a2", aggregate="sum")
+    (
+        builder.composite("moving", over={"t1": "hour"})
+        .window("hourly", attribute="t1", low=-9, high=0, aggregate="avg")
+    )
+    return builder.build()
+
+
+@pytest.fixture(scope="module")
+def uniform_records(schema):
+    return generate_uniform(schema, 20_000, seed=2)
+
+
+@pytest.fixture(scope="module")
+def skewed_records(schema):
+    return generate_skewed(schema, 20_000, seed=2, skew_fraction=0.25)
+
+
+def make_cluster():
+    return SimulatedCluster(ClusterConfig(machines=24))
+
+
+class TestAdaptive:
+    def test_results_match_oracle(self, coarse_window_query, skewed_records):
+        adaptive = AdaptiveEvaluator(make_cluster())
+        outcome = adaptive.evaluate(coarse_window_query, skewed_records)
+        assert outcome.result == evaluate_centralized(
+            coarse_window_query, skewed_records
+        )
+
+    def test_keeps_model_plan_on_benign_data(self, schema, uniform_records):
+        # A fine-granularity key yields thousands of blocks: uniform data
+        # balances well and the model plan must be kept.
+        builder = WorkflowBuilder(schema)
+        builder.basic(
+            "fine", over={"a1": "value", "t1": "minute"}, field="a2",
+            aggregate="sum",
+        )
+        workflow = builder.build()
+        adaptive = AdaptiveEvaluator(make_cluster())
+        outcome = adaptive.evaluate(workflow, uniform_records)
+        assert len(outcome.decisions) == 1
+        assert not outcome.decisions[0].skew_detected
+        assert not outcome.decisions[0].replanned
+        assert "kept model plan" in outcome.describe()
+
+    def test_replans_under_skew(self, coarse_window_query, skewed_records):
+        adaptive = AdaptiveEvaluator(make_cluster())
+        outcome = adaptive.evaluate(coarse_window_query, skewed_records)
+        (decision,) = outcome.decisions
+        assert decision.skew_detected
+        assert decision.replanned
+        assert decision.imbalance > 2.0
+        assert "replanned" in outcome.describe()
+
+    def test_beats_or_matches_model_plan_under_skew(
+        self, coarse_window_query, skewed_records
+    ):
+        model = ParallelEvaluator(make_cluster()).evaluate(
+            coarse_window_query, skewed_records
+        )
+        adaptive = AdaptiveEvaluator(make_cluster()).evaluate(
+            coarse_window_query, skewed_records
+        )
+        assert adaptive.result == model.result
+        assert adaptive.response_time <= model.response_time
+
+    def test_rejects_sampling_config(self):
+        with pytest.raises(ValueError, match="non-sampling"):
+            AdaptiveEvaluator(
+                make_cluster(),
+                ExecutionConfig(
+                    optimizer=OptimizerConfig(use_sampling=True)
+                ),
+            )
+
+    def test_dfs_input(self, coarse_window_query, uniform_records):
+        cluster = make_cluster()
+        cluster.write_file("adaptive-input", uniform_records)
+        adaptive = AdaptiveEvaluator(cluster)
+        outcome = adaptive.evaluate(
+            coarse_window_query, cluster.dfs.open("adaptive-input")
+        )
+        assert outcome.result == evaluate_centralized(
+            coarse_window_query, uniform_records
+        )
+
+    def test_rejects_non_hash_partitioner(self):
+        with pytest.raises(ValueError, match="hash"):
+            AdaptiveEvaluator(
+                make_cluster(), ExecutionConfig(partitioner="round_robin")
+            )

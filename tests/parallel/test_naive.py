@@ -1,0 +1,104 @@
+"""Tests for the naive measure-at-a-time baseline."""
+
+import pytest
+
+from repro.local.sortscan import evaluate_centralized
+from repro.parallel.executor import ParallelEvaluator
+from repro.parallel.naive import NaiveEvaluator
+from repro.query.builder import WorkflowBuilder
+
+
+class TestCorrectness:
+    def test_matches_oracle(self, small_cluster, tiny_workflow, tiny_records):
+        outcome = NaiveEvaluator(small_cluster).evaluate(
+            tiny_workflow, tiny_records
+        )
+        assert outcome.result == evaluate_centralized(
+            tiny_workflow, tiny_records
+        )
+
+    def test_weblog_matches_oracle(self, small_cluster, weblog):
+        _schema, workflow, records = weblog
+        outcome = NaiveEvaluator(small_cluster).evaluate(workflow, records)
+        assert outcome.result == evaluate_centralized(workflow, records)
+
+    def test_pure_align_measure(self, small_cluster, tiny_schema, tiny_records):
+        builder = WorkflowBuilder(tiny_schema)
+        builder.basic("coarse", over={"x": "four"}, field="v", aggregate="sum")
+        builder.composite("spread", over={"x": "value"}).from_parent("coarse")
+        workflow = builder.build()
+        outcome = NaiveEvaluator(small_cluster).evaluate(
+            workflow, tiny_records
+        )
+        assert outcome.result == evaluate_centralized(workflow, tiny_records)
+
+
+class TestCost:
+    def test_one_job_per_measure(self, small_cluster, tiny_workflow,
+                                 tiny_records):
+        outcome = NaiveEvaluator(small_cluster).evaluate(
+            tiny_workflow, tiny_records
+        )
+        assert len(outcome.jobs) == len(tiny_workflow.measures)
+        assert outcome.response_time == pytest.approx(
+            sum(job.response_time for job in outcome.jobs)
+        )
+
+    def test_slower_than_one_round(self, small_cluster, weblog):
+        """The paper's motivating claim, in simulation."""
+        _schema, workflow, records = weblog
+        naive = NaiveEvaluator(small_cluster).evaluate(workflow, records)
+        one_round = ParallelEvaluator(small_cluster).evaluate(
+            workflow, records
+        )
+        assert naive.result == one_round.result
+        assert naive.response_time > one_round.response_time
+
+    def test_raw_data_processed_per_basic_measure(
+        self, small_cluster, tiny_workflow, tiny_records
+    ):
+        """Steps 1-2 of Section I: raw data repartitioned repeatedly."""
+        outcome = NaiveEvaluator(small_cluster).evaluate(
+            tiny_workflow, tiny_records
+        )
+        basic_jobs = [
+            job
+            for job in outcome.jobs
+            if job.counters.map_input_records == len(tiny_records)
+        ]
+        assert len(basic_jobs) >= len(
+            [m for m in tiny_workflow.measures if m.is_basic]
+        )
+
+    def test_describe(self, small_cluster, tiny_workflow, tiny_records):
+        outcome = NaiveEvaluator(small_cluster).evaluate(
+            tiny_workflow, tiny_records
+        )
+        text = outcome.describe()
+        assert "jobs" in text
+        assert str(len(outcome.jobs)) in text
+
+
+class TestSparseJoinGroups:
+    def test_missing_edge_rows_do_not_crash(self, small_cluster, tiny_schema):
+        """A strictly-previous window has no row at the first coordinate;
+        the dependent expression must get an empty table, not a KeyError."""
+        from repro.query.builder import WorkflowBuilder
+        from repro.query.functions import DIFFERENCE
+
+        builder = WorkflowBuilder(tiny_schema)
+        builder.basic(
+            "s", over={"t": "span"}, field="v", aggregate="sum"
+        )
+        (
+            builder.composite("prev", over={"t": "span"})
+            .window("s", attribute="t", low=-1, high=-1, aggregate="sum")
+        )
+        (
+            builder.composite("delta", over={"t": "span"})
+            .from_self("s").from_self("prev").combine(DIFFERENCE)
+        )
+        workflow = builder.build()
+        records = [(i % 16, i % 32, 1) for i in range(400)]
+        outcome = NaiveEvaluator(small_cluster).evaluate(workflow, records)
+        assert outcome.result == evaluate_centralized(workflow, records)

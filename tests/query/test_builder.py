@@ -1,0 +1,105 @@
+"""Tests for the fluent workflow builder."""
+
+import pytest
+
+from repro.query.builder import WorkflowBuilder
+from repro.query.functions import RATIO
+from repro.query.measures import Relationship, WorkflowError
+
+
+class TestBuilder:
+    def test_builds_the_weblog_workflow(self, weblog):
+        _schema, workflow, _records = weblog
+        assert workflow.names == ("M1", "M2", "M3", "M4")
+        m3 = workflow.measure("M3")
+        relationships = [edge.relationship for edge in m3.inputs]
+        assert relationships == [Relationship.SELF, Relationship.ALIGN]
+        m4 = workflow.measure("M4")
+        assert m4.inputs[0].relationship is Relationship.SIBLING
+        assert (m4.inputs[0].window.low, m4.inputs[0].window.high) == (-9, 0)
+
+    def test_declaration_order_is_free(self, tiny_schema):
+        builder = WorkflowBuilder(tiny_schema)
+        # Composite declared before its source.
+        (
+            builder.composite("rolled", over={"x": "four"})
+            .from_children("base", aggregate="sum")
+        )
+        builder.basic(
+            "base", over={"x": "value"}, field="v", aggregate="sum"
+        )
+        workflow = builder.build()
+        assert set(workflow.names) == {"base", "rolled"}
+
+    def test_source_by_object_reference(self, tiny_schema):
+        builder = WorkflowBuilder(tiny_schema)
+        base = builder.basic(
+            "base", over={"x": "value"}, field="v", aggregate="sum"
+        )
+        (
+            builder.composite("rolled", over={"x": "four"})
+            .from_children(base, aggregate="sum")
+        )
+        workflow = builder.build()
+        assert workflow.measure("rolled").inputs[0].source is base
+
+    def test_duplicate_declaration_rejected(self, tiny_schema):
+        builder = WorkflowBuilder(tiny_schema)
+        builder.basic("m", over={"x": "value"}, field="v", aggregate="sum")
+        with pytest.raises(WorkflowError, match="twice"):
+            builder.basic("m", over={"x": "four"}, field="v", aggregate="sum")
+
+    def test_undeclared_source_rejected(self, tiny_schema):
+        builder = WorkflowBuilder(tiny_schema)
+        builder.composite("m", over={"x": "four"}).from_children(
+            "ghost", aggregate="sum"
+        )
+        with pytest.raises(WorkflowError, match="ghost"):
+            builder.build()
+
+    def test_cycle_rejected(self, tiny_schema):
+        builder = WorkflowBuilder(tiny_schema)
+        builder.composite("a", over={"x": "value"}).from_self("b")
+        builder.composite("b", over={"x": "value"}).from_self("a")
+        with pytest.raises(WorkflowError, match="cycle"):
+            builder.build()
+
+    def test_combine_with_callable(self, tiny_schema):
+        builder = WorkflowBuilder(tiny_schema)
+        builder.basic("a", over={"x": "value"}, field="v", aggregate="sum")
+        builder.basic("b", over={"x": "value"}, field="v", aggregate="count")
+        (
+            builder.composite("mix", over={"x": "value"})
+            .from_self("a")
+            .from_self("b")
+            .combine(lambda a, b: a - b, name="diff")
+        )
+        workflow = builder.build()
+        assert workflow.measure("mix").combine.name == "diff"
+        assert workflow.measure("mix").combine(10, 4) == 6
+
+    def test_combine_expression_object(self, tiny_schema):
+        builder = WorkflowBuilder(tiny_schema)
+        builder.basic("a", over={"x": "value"}, field="v", aggregate="sum")
+        builder.basic("b", over={"x": "value"}, field="v", aggregate="count")
+        (
+            builder.composite("mix", over={"x": "value"})
+            .from_self("a")
+            .from_self("b")
+            .combine(RATIO)
+        )
+        assert builder.build().measure("mix").combine is RATIO
+
+    def test_window_shorthand(self, tiny_schema):
+        builder = WorkflowBuilder(tiny_schema)
+        builder.basic(
+            "base", over={"x": "value", "t": "tick"}, field="v",
+            aggregate="sum",
+        )
+        (
+            builder.composite("moving", over={"x": "value", "t": "tick"})
+            .window("base", attribute="t", low=-2, high=2, aggregate="avg")
+        )
+        workflow = builder.build()
+        window = workflow.measure("moving").inputs[0].window
+        assert (window.low, window.high) == (-2, 2)

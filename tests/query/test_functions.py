@@ -1,0 +1,172 @@
+"""Tests for the aggregate function registry and expressions."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.query.functions import (
+    IDENTITY,
+    RATIO,
+    FunctionKind,
+    UnknownFunctionError,
+    all_partial_capable,
+    expression,
+    get_function,
+    quantile_function,
+    registered_functions,
+    resolve,
+)
+
+values_lists = st.lists(
+    st.integers(-1000, 1000) | st.floats(-100, 100, allow_nan=False),
+    min_size=1,
+    max_size=50,
+)
+
+
+REFERENCES = {
+    "sum": sum,
+    "count": len,
+    "min": min,
+    "max": max,
+    "avg": lambda xs: sum(xs) / len(xs),
+    "median": statistics.median,
+    "count_distinct": lambda xs: len(set(xs)),
+}
+
+
+class TestAggregates:
+    @pytest.mark.parametrize("name", sorted(REFERENCES))
+    def test_matches_reference(self, name):
+        fn = get_function(name)
+        data = [3, 1, 4, 1, 5, 9, 2, 6]
+        assert fn.aggregate(data) == pytest.approx(REFERENCES[name](data))
+
+    def test_variance_and_stddev(self):
+        data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        assert get_function("variance").aggregate(data) == pytest.approx(
+            statistics.pvariance(data)
+        )
+        assert get_function("stddev").aggregate(data) == pytest.approx(
+            statistics.pstdev(data)
+        )
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            get_function("sum").aggregate([])
+
+    @pytest.mark.parametrize(
+        "name", ["sum", "count", "min", "max", "avg", "variance", "median",
+                 "count_distinct"]
+    )
+    @given(data=values_lists, split=st.integers(0, 50))
+    def test_merge_equals_whole(self, name, data, split):
+        """Folding two halves then merging equals folding everything.
+
+        This is the exact property early aggregation relies on (for the
+        holistic functions it still holds -- their state is just large).
+        """
+        fn = get_function(name)
+        split = min(split, len(data))
+        left, right = data[:split], data[split:]
+        whole = fn.aggregate(data)
+        acc_l = fn.create()
+        for value in left:
+            acc_l = fn.add(acc_l, value)
+        acc_r = fn.create()
+        for value in right:
+            acc_r = fn.add(acc_r, value)
+        merged = fn.finalize(fn.merge(acc_l, acc_r))
+        if isinstance(whole, float):
+            assert merged == pytest.approx(whole, rel=1e-9, abs=1e-9)
+        else:
+            assert merged == whole
+
+    def test_classification(self):
+        assert get_function("sum").kind is FunctionKind.DISTRIBUTIVE
+        assert get_function("avg").kind is FunctionKind.ALGEBRAIC
+        assert get_function("median").kind is FunctionKind.HOLISTIC
+        assert get_function("sum").supports_partial_aggregation
+        assert not get_function("median").supports_partial_aggregation
+
+    def test_all_partial_capable(self):
+        fns = [get_function("sum"), get_function("avg")]
+        assert all_partial_capable(fns)
+        assert not all_partial_capable(fns + [get_function("median")])
+
+
+class TestQuantiles:
+    def test_quantile_values(self):
+        q50 = quantile_function(0.5)
+        data = list(range(1, 101))
+        assert q50.aggregate(data) == 51
+        q90 = quantile_function(0.9)
+        assert q90.aggregate(data) == 91
+
+    def test_quantile_cached_by_name(self):
+        assert quantile_function(0.25) is quantile_function(0.25)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            quantile_function(1.5)
+
+
+class TestRegistry:
+    def test_unknown_function(self):
+        with pytest.raises(UnknownFunctionError):
+            get_function("mode_of_the_universe")
+
+    def test_resolve_accepts_both(self):
+        fn = get_function("sum")
+        assert resolve(fn) is fn
+        assert resolve("sum") is fn
+
+    def test_core_functions_registered(self):
+        names = registered_functions()
+        for expected in ("sum", "count", "min", "max", "avg", "median"):
+            assert expected in names
+
+
+class TestExpressions:
+    def test_identity(self):
+        assert IDENTITY(42) == 42
+
+    def test_ratio(self):
+        assert RATIO(6, 3) == 2
+        assert RATIO(1, 0) == math.inf
+
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError, match="expects"):
+            RATIO(1)
+
+    def test_custom_expression(self):
+        weighted = expression(lambda a, b: 0.7 * a + 0.3 * b, 2, "weighted")
+        assert weighted(10, 20) == pytest.approx(13.0)
+        assert weighted.name == "weighted"
+
+
+class TestSafeRatio:
+    def test_zero_over_zero_is_zero(self):
+        assert RATIO(0, 0) == 0.0
+
+    def test_sign_preserved_on_zero_denominator(self):
+        assert RATIO(3, 0) == math.inf
+        assert RATIO(-3, 0) == -math.inf
+
+    def test_never_nan(self):
+        for a in (-2, 0, 2):
+            for b in (-2, 0, 2):
+                value = RATIO(a, b)
+                assert value == value  # NaN would fail self-equality
+
+
+class TestNumericSuffix:
+    def test_identifier_safe(self):
+        from repro.query.functions import numeric_suffix
+
+        assert numeric_suffix(0.5) == "0_5"
+        assert numeric_suffix(-1.25) == "m1_25"
+        assert numeric_suffix(64) == "64"
+        assert quantile_function(0.5).name == "quantile_0_5"

@@ -1,0 +1,249 @@
+"""Validation tests for measures, edges and relationships."""
+
+import pytest
+
+from repro.cube.regions import Granularity
+from repro.query.functions import RATIO, get_function
+from repro.query.measures import (
+    Edge,
+    Measure,
+    Relationship,
+    SiblingWindow,
+    WorkflowError,
+    basic_measure,
+)
+
+
+@pytest.fixture(scope="module")
+def grains(request):
+    return None
+
+
+def grain(schema, **levels):
+    return Granularity.of(schema, levels)
+
+
+@pytest.fixture
+def base(tiny_schema):
+    return basic_measure(
+        "base", grain(tiny_schema, x="value", t="tick"), "v", "sum"
+    )
+
+
+class TestBasicMeasures:
+    def test_valid(self, base):
+        assert base.is_basic
+        assert base.aggregate.name == "sum"
+        assert base.source_measures() == ()
+
+    def test_needs_aggregate(self, tiny_schema):
+        with pytest.raises(WorkflowError, match="aggregate"):
+            Measure("m", grain(tiny_schema, x="value"), field="v")
+
+    def test_unknown_field(self, tiny_schema):
+        with pytest.raises(WorkflowError, match="unknown field"):
+            basic_measure("m", grain(tiny_schema, x="value"), "nope", "sum")
+
+    def test_cannot_combine(self, tiny_schema):
+        with pytest.raises(WorkflowError, match="combine"):
+            Measure(
+                "m",
+                grain(tiny_schema, x="value"),
+                field="v",
+                aggregate=get_function("sum"),
+                combine=RATIO,
+            )
+
+    def test_neither_form(self, tiny_schema):
+        with pytest.raises(WorkflowError, match="basic.*composite|either"):
+            Measure("m", grain(tiny_schema, x="value"))
+
+    def test_dimension_fields_are_aggregatable(self, tiny_schema):
+        measure = basic_measure(
+            "m", grain(tiny_schema, x="four"), "t", "max"
+        )
+        assert measure.field == "t"
+
+
+class TestSelfEdges:
+    def test_valid(self, tiny_schema, base):
+        twin = Measure(
+            "twin",
+            base.granularity,
+            inputs=(Edge(base, Relationship.SELF),),
+        )
+        assert twin.effective_combine.name == "identity"
+
+    def test_granularity_mismatch(self, tiny_schema, base):
+        with pytest.raises(WorkflowError, match="identical granularities"):
+            Measure(
+                "m",
+                grain(tiny_schema, x="four"),
+                inputs=(Edge(base, Relationship.SELF),),
+            )
+
+    def test_no_aggregate_allowed(self, base):
+        with pytest.raises(WorkflowError, match="must not carry"):
+            Measure(
+                "m",
+                base.granularity,
+                inputs=(
+                    Edge(base, Relationship.SELF,
+                         aggregate=get_function("sum")),
+                ),
+            )
+
+
+class TestRollupEdges:
+    def test_valid(self, tiny_schema, base):
+        rolled = Measure(
+            "rolled",
+            grain(tiny_schema, x="four", t="span"),
+            inputs=(
+                Edge(base, Relationship.ROLLUP, aggregate=get_function("sum")),
+            ),
+        )
+        assert not rolled.is_basic
+
+    def test_needs_strictly_coarser_target(self, tiny_schema, base):
+        with pytest.raises(WorkflowError, match="strictly coarser"):
+            Measure(
+                "m",
+                base.granularity,
+                inputs=(
+                    Edge(base, Relationship.ROLLUP,
+                         aggregate=get_function("sum")),
+                ),
+            )
+
+    def test_needs_aggregate(self, tiny_schema, base):
+        with pytest.raises(WorkflowError, match="needs an aggregate"):
+            Measure(
+                "m",
+                grain(tiny_schema, x="four"),
+                inputs=(Edge(base, Relationship.ROLLUP),),
+            )
+
+
+class TestAlignEdges:
+    def test_valid(self, tiny_schema, base):
+        coarse = basic_measure(
+            "coarse", grain(tiny_schema, x="four"), "v", "sum"
+        )
+        aligned = Measure(
+            "aligned",
+            grain(tiny_schema, x="value", t="tick"),
+            inputs=(
+                Edge(base, Relationship.SELF),
+                Edge(coarse, Relationship.ALIGN),
+            ),
+            combine=RATIO,
+        )
+        assert len(aligned.inputs) == 2
+
+    def test_source_must_be_coarser(self, tiny_schema, base):
+        with pytest.raises(WorkflowError, match="strictly coarser"):
+            Measure(
+                "m",
+                grain(tiny_schema, x="four"),
+                inputs=(Edge(base, Relationship.ALIGN),),
+            )
+
+
+class TestSiblingEdges:
+    def test_valid(self, tiny_schema, base):
+        window = Measure(
+            "window",
+            base.granularity,
+            inputs=(
+                Edge(
+                    base,
+                    Relationship.SIBLING,
+                    window=SiblingWindow("t", -3, 0),
+                    aggregate=get_function("avg"),
+                ),
+            ),
+        )
+        assert window.inputs[0].window.span == 4
+
+    def test_needs_window(self, base):
+        with pytest.raises(WorkflowError, match="needs a window"):
+            Measure(
+                "m",
+                base.granularity,
+                inputs=(
+                    Edge(base, Relationship.SIBLING,
+                         aggregate=get_function("avg")),
+                ),
+            )
+
+    def test_window_attribute_must_be_grouped(self, tiny_schema):
+        source = basic_measure(
+            "s", grain(tiny_schema, x="value"), "v", "sum"
+        )
+        with pytest.raises(WorkflowError, match="non-ALL"):
+            Measure(
+                "m",
+                source.granularity,
+                inputs=(
+                    Edge(
+                        source,
+                        Relationship.SIBLING,
+                        window=SiblingWindow("t", -1, 0),
+                        aggregate=get_function("avg"),
+                    ),
+                ),
+            )
+
+    def test_window_low_le_high(self):
+        with pytest.raises(WorkflowError, match="low > high"):
+            SiblingWindow("t", 1, -1)
+
+    def test_window_on_non_sibling_edge_rejected(self, tiny_schema, base):
+        with pytest.raises(WorkflowError, match="only sibling"):
+            Measure(
+                "m",
+                base.granularity,
+                inputs=(
+                    Edge(
+                        base,
+                        Relationship.SELF,
+                        window=SiblingWindow("t", -1, 0),
+                    ),
+                ),
+            )
+
+
+class TestCombine:
+    def test_required_for_multiple_edges(self, tiny_schema, base):
+        other = basic_measure("other", base.granularity, "v", "count")
+        with pytest.raises(WorkflowError, match="combine"):
+            Measure(
+                "m",
+                base.granularity,
+                inputs=(
+                    Edge(base, Relationship.SELF),
+                    Edge(other, Relationship.SELF),
+                ),
+            )
+
+    def test_arity_checked(self, tiny_schema, base):
+        with pytest.raises(WorkflowError, match="arity"):
+            Measure(
+                "m",
+                base.granularity,
+                inputs=(Edge(base, Relationship.SELF),),
+                combine=RATIO,
+            )
+
+    def test_identity_semantics(self, base):
+        assert base.effective_combine(7) == 7
+
+
+class TestIdentity:
+    def test_measures_compare_by_identity(self, tiny_schema):
+        a = basic_measure("m", grain(tiny_schema, x="value"), "v", "sum")
+        b = basic_measure("m", grain(tiny_schema, x="value"), "v", "sum")
+        assert a != b
+        assert a == a
+        assert len({a, b}) == 2

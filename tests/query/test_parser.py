@@ -1,0 +1,209 @@
+"""Tests for the textual workflow language."""
+
+import pytest
+
+from repro.query.functions import expression
+from repro.query.measures import Relationship
+from repro.query.parser import QueryParseError, parse_workflow
+
+WEBLOG_SCRIPT = """
+# the paper's M1..M4
+measure M1 over keyword:word, time:minute = median(page_count)
+measure M2 over keyword:word, time:hour   = median(ad_count)
+measure M3 over keyword:word, time:minute = ratio(self(M1), parent(M2))
+measure M4 over keyword:word, time:minute = avg(window(M3, time, -9, 0))
+"""
+
+
+class TestParsing:
+    def test_weblog_script(self, weblog):
+        schema, reference, _records = weblog
+        workflow = parse_workflow(WEBLOG_SCRIPT, schema)
+        assert workflow.names == ("M1", "M2", "M3", "M4")
+        assert workflow.measure("M1").aggregate.name == "median"
+        m3 = workflow.measure("M3")
+        assert [e.relationship for e in m3.inputs] == [
+            Relationship.SELF, Relationship.ALIGN,
+        ]
+        m4 = workflow.measure("M4")
+        window = m4.inputs[0].window
+        assert (window.attribute, window.low, window.high) == ("time", -9, 0)
+        # Same structure as the programmatic builder version.
+        assert workflow.describe() == reference.describe()
+
+    def test_parsed_equals_built_results(self, weblog):
+        from repro.local import evaluate_centralized
+
+        schema, reference, records = weblog
+        workflow = parse_workflow(WEBLOG_SCRIPT, schema)
+        assert evaluate_centralized(
+            workflow, records
+        ) == evaluate_centralized(reference, records)
+
+    def test_rollup(self, tiny_schema):
+        workflow = parse_workflow(
+            """
+            measure base over x:value, t:tick = sum(v)
+            measure rolled over x:four, t:span = avg(children(base))
+            """,
+            tiny_schema,
+        )
+        edge = workflow.measure("rolled").inputs[0]
+        assert edge.relationship is Relationship.ROLLUP
+        assert edge.aggregate.name == "avg"
+
+    def test_nested_rollup_in_expression(self, tiny_schema):
+        workflow = parse_workflow(
+            """
+            measure detail over x:value, t:tick = sum(v)
+            measure coarse over x:four, t:span = count(v)
+            measure share over x:four, t:span =
+                ratio(sum(children(detail)), self(coarse))
+            """,
+            tiny_schema,
+        )
+        share = workflow.measure("share")
+        assert share.combine.name == "ratio"
+        assert share.inputs[0].relationship is Relationship.ROLLUP
+        assert share.inputs[0].aggregate.name == "sum"
+        assert share.inputs[1].relationship is Relationship.SELF
+
+    def test_bare_self_identity(self, tiny_schema):
+        workflow = parse_workflow(
+            """
+            measure a over x:value = sum(v)
+            measure b over x:value = self(a)
+            """,
+            tiny_schema,
+        )
+        assert workflow.measure("b").effective_combine.name == "identity"
+
+    def test_custom_expression(self, tiny_schema):
+        weighted = expression(lambda a, b: 0.9 * a + 0.1 * b, 2, "blend")
+        workflow = parse_workflow(
+            """
+            measure a over x:value = sum(v)
+            measure b over x:value = count(v)
+            measure c over x:value = blend(self(a), self(b))
+            """,
+            tiny_schema,
+            expressions={"blend": weighted},
+        )
+        assert workflow.measure("c").combine is weighted
+
+
+class TestErrors:
+    def test_unknown_field(self, tiny_schema):
+        with pytest.raises(QueryParseError, match="unknown field"):
+            parse_workflow("measure a over x:value = sum(nope)", tiny_schema)
+
+    def test_unknown_aggregate(self, tiny_schema):
+        with pytest.raises(QueryParseError, match="unknown aggregate"):
+            parse_workflow("measure a over x:value = blorp(v)", tiny_schema)
+
+    def test_unknown_expression(self, tiny_schema):
+        with pytest.raises(QueryParseError, match="combine expression"):
+            parse_workflow(
+                """
+                measure a over x:value = sum(v)
+                measure c over x:value = mystery(self(a), self(a))
+                """,
+                tiny_schema,
+            )
+
+    def test_expression_arity(self, tiny_schema):
+        with pytest.raises(QueryParseError, match="takes 2 arguments"):
+            parse_workflow(
+                """
+                measure a over x:value = sum(v)
+                measure c over x:value = ratio(self(a), self(a), self(a))
+                """,
+                tiny_schema,
+            )
+
+    def test_bad_character_reports_position(self, tiny_schema):
+        with pytest.raises(QueryParseError, match="line 2"):
+            parse_workflow("\nmeasure a over x:value = sum(v); x", tiny_schema)
+
+    def test_missing_paren(self, tiny_schema):
+        with pytest.raises(QueryParseError, match="expected"):
+            parse_workflow("measure a over x:value = sum(v", tiny_schema)
+
+    def test_duplicate_grain_attribute(self, tiny_schema):
+        with pytest.raises(QueryParseError, match="twice"):
+            parse_workflow(
+                "measure a over x:value, x:four = sum(v)", tiny_schema
+            )
+
+    def test_empty_script(self, tiny_schema):
+        with pytest.raises(QueryParseError, match="empty query"):
+            parse_workflow("  # nothing here\n", tiny_schema)
+
+    def test_undeclared_source_reported(self, tiny_schema):
+        with pytest.raises(QueryParseError, match="ghost"):
+            parse_workflow(
+                "measure a over x:four = sum(children(ghost))", tiny_schema
+            )
+
+    def test_bare_children_rejected(self, tiny_schema):
+        with pytest.raises(QueryParseError, match="enclosing aggregate"):
+            parse_workflow(
+                """
+                measure a over x:value = sum(v)
+                measure b over x:four = children(a)
+                """,
+                tiny_schema,
+            )
+
+    def test_unknown_level_in_grain(self, tiny_schema):
+        with pytest.raises(Exception):
+            parse_workflow("measure a over x:galaxy = sum(v)", tiny_schema)
+
+    def test_window_semantic_error_located(self, tiny_schema):
+        # Window on an attribute at ALL level: caught with position info.
+        with pytest.raises(QueryParseError, match="line"):
+            parse_workflow(
+                """
+                measure a over x:value = sum(v)
+                measure b over x:value = avg(window(a, t, -3, 0))
+                """,
+                tiny_schema,
+            )
+
+
+class TestAllGrain:
+    def test_over_all(self, tiny_schema):
+        workflow = parse_workflow(
+            """
+            measure fine over x:value = sum(v)
+            measure grand over ALL = sum(children(fine))
+            """,
+            tiny_schema,
+        )
+        grand = workflow.measure("grand")
+        assert grand.granularity.non_all_attributes() == ()
+
+
+class TestUnknownHeadRejected:
+    def test_bogus_head_over_self_edge(self, tiny_schema):
+        """A typo'd head must not silently degrade to identity."""
+        with pytest.raises(QueryParseError, match="combine expression"):
+            parse_workflow(
+                """
+                measure a over x:value = sum(v)
+                measure b over x:value = bogus(self(a))
+                """,
+                tiny_schema,
+            )
+
+    def test_aggregate_heads_still_work(self, tiny_schema):
+        workflow = parse_workflow(
+            """
+            measure a over x:value, t:tick = sum(v)
+            measure b over x:value, t:tick = avg(window(a, t, -1, 0))
+            measure c over x:four = max(children(a))
+            """,
+            tiny_schema,
+        )
+        assert workflow.measure("b").inputs[0].aggregate.name == "avg"
+        assert workflow.measure("c").inputs[0].aggregate.name == "max"

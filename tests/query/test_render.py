@@ -1,0 +1,74 @@
+"""Tests for workflow rendering."""
+
+from repro.query.render import explain_derivation, to_ascii, to_dot
+
+
+class TestDot:
+    def test_nodes_and_edges(self, weblog):
+        _schema, workflow, _records = weblog
+        dot = to_dot(workflow)
+        assert dot.startswith("digraph")
+        for name in workflow.names:
+            assert f'"{name}"' in dot
+        assert '"M1" -> "M3"' in dot
+        assert '"M2" -> "M3"' in dot
+        assert '"M3" -> "M4"' in dot
+        assert "sibling time(-9,0)" in dot
+        assert 'label="parent/child"' in dot
+
+    def test_basic_vs_composite_shapes(self, weblog):
+        _schema, workflow, _records = weblog
+        dot = to_dot(workflow)
+        assert '"M1" [shape=box' in dot
+        assert '"M3" [shape=ellipse' in dot
+
+
+class TestAscii:
+    def test_tree_structure(self, weblog):
+        _schema, workflow, _records = weblog
+        text = to_ascii(workflow)
+        lines = text.splitlines()
+        assert lines[0].startswith("M4 = ")
+        assert any("[sibling" in line for line in lines)
+        assert any("[self]" in line for line in lines)
+        assert any("[parent/child]" in line for line in lines)
+
+    def test_shared_composite_referenced_after_expansion(self, tiny_schema):
+        from repro.query.builder import WorkflowBuilder
+        from repro.query.functions import RATIO
+
+        builder = WorkflowBuilder(tiny_schema)
+        builder.basic("a", over={"x": "value"}, field="v", aggregate="sum")
+        builder.composite("mid", over={"x": "four"}).from_children(
+            "a", aggregate="sum"
+        )
+        (
+            builder.composite("left", over={"x": "four"})
+            .from_self("mid").from_self("mid").combine(RATIO)
+        )
+        text = to_ascii(builder.build())
+        # 'mid' is composite and referenced twice: expanded once,
+        # elided the second time.
+        expansions = [
+            line for line in text.splitlines() if "mid = identity" in line
+        ]
+        references = [
+            line for line in text.splitlines() if line.endswith("mid ...")
+        ]
+        assert len(expansions) == 1
+        assert len(references) == 1
+
+    def test_every_measure_mentioned(self, tiny_workflow):
+        text = to_ascii(tiny_workflow)
+        for name in tiny_workflow.names:
+            assert name in text
+
+
+class TestExplain:
+    def test_weblog_derivation(self, weblog):
+        _schema, workflow, _records = weblog
+        text = explain_derivation(workflow)
+        assert "M1: <keyword:word, time:minute>" in text
+        assert "M4: <keyword:word, time:hour(-1,0)>" in text
+        assert "minimal feasible key: <keyword:word, time:hour(-1,0)>" in text
+        assert "[granularity]" in text and "[opCombine]" in text

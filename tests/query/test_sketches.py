@@ -1,0 +1,174 @@
+"""Tests for sketches and extended aggregates."""
+
+import math
+import random
+import statistics
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.query.functions import FunctionKind, get_function
+from repro.query.sketches import (
+    approx_count_distinct,
+    histogram_quantile,
+    top_k,
+)
+
+
+class TestApproxCountDistinct:
+    def test_accuracy(self):
+        fn = approx_count_distinct(precision=11)
+        rng = random.Random(1)
+        values = [rng.randrange(10**9) for _ in range(20_000)]
+        truth = len(set(values))
+        estimate = fn.aggregate(values)
+        assert abs(estimate - truth) / truth < 0.05
+
+    def test_small_counts_nearly_exact(self):
+        fn = approx_count_distinct(precision=12)
+        values = list(range(50)) * 3
+        assert abs(fn.aggregate(values) - 50) <= 2
+
+    def test_algebraic_and_partition_insensitive(self):
+        fn = approx_count_distinct(precision=10)
+        assert fn.kind is FunctionKind.ALGEBRAIC
+        assert fn.supports_partial_aggregation
+        values = [f"user-{i % 700}" for i in range(5000)]
+        whole = fn.aggregate(values)
+        acc_a, acc_b = fn.create(), fn.create()
+        for value in values[::2]:
+            acc_a = fn.add(acc_a, value)
+        for value in values[1::2]:
+            acc_b = fn.add(acc_b, value)
+        assert fn.finalize(fn.merge(acc_a, acc_b)) == whole
+
+    def test_duplication_insensitive(self):
+        # Records shipped to several blocks must not inflate the count.
+        fn = approx_count_distinct(precision=10)
+        once = fn.aggregate(range(1000))
+        thrice = fn.aggregate(list(range(1000)) * 3)
+        assert once == thrice
+
+    def test_deterministic_across_calls(self):
+        fn = approx_count_distinct(precision=10)
+        assert fn.aggregate(range(123)) == fn.aggregate(range(123))
+
+    def test_precision_validated(self):
+        with pytest.raises(ValueError):
+            approx_count_distinct(precision=2)
+
+    def test_enables_early_aggregation(self, tiny_schema, tiny_records):
+        from repro.local import evaluate_centralized
+        from repro.mapreduce import ClusterConfig, SimulatedCluster
+        from repro.parallel import ExecutionConfig, ParallelEvaluator
+        from repro.query import WorkflowBuilder
+
+        builder = WorkflowBuilder(tiny_schema)
+        builder.basic(
+            "uniques", over={"x": "four"}, field="v",
+            aggregate=approx_count_distinct(precision=8),
+        )
+        workflow = builder.build()
+        assert workflow.supports_early_aggregation()
+
+        cluster = SimulatedCluster(ClusterConfig(machines=6))
+        outcome = ParallelEvaluator(
+            cluster, ExecutionConfig(early_aggregation=True)
+        ).evaluate(workflow, tiny_records)
+        assert outcome.result == evaluate_centralized(workflow, tiny_records)
+
+
+class TestHistogramQuantile:
+    def test_median_accuracy(self):
+        fn = histogram_quantile(0.5, 0.0, 100.0, bins=200)
+        rng = random.Random(2)
+        values = [rng.uniform(0, 100) for _ in range(10_000)]
+        assert fn.aggregate(values) == pytest.approx(
+            statistics.median(values), abs=1.0
+        )
+
+    def test_out_of_range_clamps(self):
+        fn = histogram_quantile(0.5, 0.0, 10.0, bins=10)
+        assert 0 <= fn.aggregate([-5.0, 15.0, 5.0]) <= 10.0
+
+    def test_merge_matches_whole(self):
+        fn = histogram_quantile(0.9, 0.0, 1.0, bins=32)
+        values = [i / 1000 for i in range(1000)]
+        acc_a, acc_b = fn.create(), fn.create()
+        for value in values[:300]:
+            acc_a = fn.add(acc_a, value)
+        for value in values[300:]:
+            acc_b = fn.add(acc_b, value)
+        assert fn.finalize(fn.merge(acc_a, acc_b)) == pytest.approx(
+            fn.aggregate(values)
+        )
+
+    def test_empty_rejected(self):
+        fn = histogram_quantile(0.5, 0.0, 1.0)
+        with pytest.raises(ValueError, match="empty"):
+            fn.finalize(fn.create())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram_quantile(1.5, 0, 1)
+        with pytest.raises(ValueError):
+            histogram_quantile(0.5, 1, 0)
+        with pytest.raises(ValueError):
+            histogram_quantile(0.5, 0, 1, bins=1)
+
+
+class TestExtendedAggregates:
+    def test_geometric_mean(self):
+        fn = get_function("geometric_mean")
+        assert fn.aggregate([1, 10, 100]) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            fn.aggregate([1, -1])
+
+    def test_harmonic_mean(self):
+        fn = get_function("harmonic_mean")
+        assert fn.aggregate([40, 60]) == pytest.approx(48.0)
+        with pytest.raises(ValueError):
+            fn.aggregate([0])
+
+    def test_value_range(self):
+        fn = get_function("value_range")
+        assert fn.aggregate([3, 9, 5]) == 6
+        acc_a = fn.create()
+        acc_a = fn.add(acc_a, 2)
+        acc_b = fn.create()
+        acc_b = fn.add(acc_b, 11)
+        assert fn.finalize(fn.merge(acc_a, acc_b)) == 9
+
+    def test_top_k(self):
+        fn = top_k(2)
+        result = fn.aggregate(["a", "b", "a", "c", "b", "a"])
+        assert result == (("a", 3), ("b", 2))
+
+    def test_top_k_ties_deterministic(self):
+        fn = top_k(1)
+        assert fn.aggregate(["b", "a"]) == (("a", 1),)
+
+    def test_mode(self):
+        fn = get_function("mode")
+        assert fn.aggregate([5, 2, 5, 9]) == 5
+        assert fn.aggregate([2, 5]) == 2  # tie breaks to smaller value
+
+    @given(st.lists(st.integers(1, 100), min_size=1, max_size=60),
+           st.integers(0, 60))
+    @settings(deadline=None)
+    def test_merge_equals_whole_property(self, values, split):
+        for name in ("geometric_mean", "harmonic_mean", "value_range",
+                     "mode"):
+            fn = get_function(name)
+            split_at = min(split, len(values))
+            acc_a, acc_b = fn.create(), fn.create()
+            for value in values[:split_at]:
+                acc_a = fn.add(acc_a, value)
+            for value in values[split_at:]:
+                acc_b = fn.add(acc_b, value)
+            merged = fn.finalize(fn.merge(acc_a, acc_b))
+            whole = fn.aggregate(values)
+            if isinstance(whole, float):
+                assert math.isclose(merged, whole, rel_tol=1e-9)
+            else:
+                assert merged == whole

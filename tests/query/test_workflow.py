@@ -1,0 +1,138 @@
+"""Tests for workflow structure, ordering and decomposition."""
+
+import pytest
+
+from repro.cube.regions import Granularity
+from repro.query.functions import get_function
+from repro.query.measures import Edge, Measure, Relationship, WorkflowError
+from repro.query.measures import basic_measure
+from repro.query.workflow import Workflow, connected_components, subworkflow
+
+
+def grain(schema, **levels):
+    return Granularity.of(schema, levels)
+
+
+class TestConstruction:
+    def test_topological_order(self, tiny_workflow):
+        order = [m.name for m in tiny_workflow.topological_order()]
+        assert order.index("base") < order.index("rolled")
+        assert order.index("rolled") < order.index("rate")
+        assert order.index("rate") < order.index("aligned")
+        assert set(order) == set(tiny_workflow.names)
+
+    def test_duplicate_names_rejected(self, tiny_schema):
+        a = basic_measure("m", grain(tiny_schema, x="value"), "v", "sum")
+        b = basic_measure("m", grain(tiny_schema, x="four"), "v", "sum")
+        with pytest.raises(WorkflowError, match="duplicate"):
+            Workflow(tiny_schema, [a, b])
+
+    def test_missing_source_rejected(self, tiny_schema):
+        base = basic_measure("base", grain(tiny_schema, x="value"), "v", "sum")
+        dependent = Measure(
+            "dep",
+            grain(tiny_schema, x="four"),
+            inputs=(
+                Edge(base, Relationship.ROLLUP, aggregate=get_function("sum")),
+            ),
+        )
+        with pytest.raises(WorkflowError, match="not part of"):
+            Workflow(tiny_schema, [dependent])
+
+    def test_foreign_same_named_source_rejected(self, tiny_schema):
+        base = basic_measure("base", grain(tiny_schema, x="value"), "v", "sum")
+        impostor = basic_measure(
+            "base", grain(tiny_schema, x="value"), "v", "count"
+        )
+        dependent = Measure(
+            "dep",
+            grain(tiny_schema, x="four"),
+            inputs=(
+                Edge(base, Relationship.ROLLUP, aggregate=get_function("sum")),
+            ),
+        )
+        with pytest.raises(WorkflowError, match="foreign"):
+            Workflow(tiny_schema, [impostor, dependent])
+
+    def test_measure_lookup(self, tiny_workflow):
+        assert tiny_workflow.measure("base").name == "base"
+        with pytest.raises(WorkflowError, match="no measure"):
+            tiny_workflow.measure("nope")
+
+
+class TestStructure:
+    def test_basic_and_composite_partition(self, tiny_workflow):
+        basics = {m.name for m in tiny_workflow.basic_measures()}
+        composites = {m.name for m in tiny_workflow.composite_measures()}
+        assert basics == {"base", "coarse"}
+        assert basics | composites == set(tiny_workflow.names)
+        assert not basics & composites
+
+    def test_sibling_detection(self, tiny_workflow, tiny_schema):
+        assert tiny_workflow.has_sibling_edges()
+        windows = tiny_workflow.sibling_windows()
+        assert len(windows) == 1 and windows[0].attribute == "t"
+
+        no_sibling = Workflow(
+            tiny_schema,
+            [basic_measure("m", grain(tiny_schema, x="value"), "v", "sum")],
+        )
+        assert not no_sibling.has_sibling_edges()
+
+    def test_early_aggregation_capability(self, tiny_workflow, weblog):
+        assert tiny_workflow.supports_early_aggregation()
+        _schema, weblog_wf, _records = weblog
+        assert not weblog_wf.supports_early_aggregation()  # medians
+
+    def test_dependents(self, tiny_workflow):
+        base = tiny_workflow.measure("base")
+        dependents = {m.name for m in tiny_workflow.dependents(base)}
+        assert dependents == {"rolled", "aligned", "trailing"}
+
+    def test_describe_mentions_every_measure(self, tiny_workflow):
+        text = tiny_workflow.describe()
+        for name in tiny_workflow.names:
+            assert name in text
+
+
+class TestSubworkflow:
+    def test_transitive_closure(self, tiny_workflow):
+        sub = subworkflow(tiny_workflow, ["rate"])
+        assert set(sub.names) == {"base", "coarse", "rolled", "rate"}
+
+    def test_single_basic(self, tiny_workflow):
+        sub = subworkflow(tiny_workflow, ["base"])
+        assert sub.names == ("base",)
+
+
+class TestConnectedComponents:
+    def test_single_component(self, tiny_workflow):
+        components = connected_components(tiny_workflow)
+        assert len(components) == 1
+        assert set(components[0].names) == set(tiny_workflow.names)
+
+    def test_independent_measures_split(self, tiny_schema):
+        a = basic_measure("a", grain(tiny_schema, x="value"), "v", "sum")
+        b = basic_measure("b", grain(tiny_schema, t="tick"), "v", "count")
+        rolled = Measure(
+            "rolled",
+            grain(tiny_schema, x="four"),
+            inputs=(
+                Edge(a, Relationship.ROLLUP, aggregate=get_function("sum")),
+            ),
+        )
+        workflow = Workflow(tiny_schema, [a, b, rolled])
+        components = connected_components(workflow)
+        families = sorted(sorted(c.names) for c in components)
+        assert families == [["a", "rolled"], ["b"]]
+
+    def test_components_partition_measures(self, tiny_schema):
+        measures = [
+            basic_measure(f"m{i}", grain(tiny_schema, x="value"), "v", "sum")
+            for i in range(4)
+        ]
+        workflow = Workflow(tiny_schema, measures)
+        components = connected_components(workflow)
+        assert len(components) == 4
+        names = sorted(name for c in components for name in c.names)
+        assert names == sorted(workflow.names)

@@ -1,0 +1,153 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+WEBLOG_QUERY = """
+measure M1 over keyword:word, time:minute = median(page_count)
+measure M2 over keyword:word, time:hour = median(ad_count)
+measure M3 over keyword:word, time:minute = ratio(self(M1), parent(M2))
+measure M4 over keyword:word, time:minute = avg(window(M3, time, -9, 0))
+"""
+
+PAPER_QUERY = """
+measure hourly over t1:hour = sum(a2)
+measure moving over t1:hour = avg(window(hourly, t1, -9, 0))
+"""
+
+
+@pytest.fixture
+def weblog_query_file(tmp_path):
+    path = tmp_path / "weblog.cq"
+    path.write_text(WEBLOG_QUERY)
+    return str(path)
+
+
+@pytest.fixture
+def paper_query_file(tmp_path):
+    path = tmp_path / "paper.cq"
+    path.write_text(PAPER_QUERY)
+    return str(path)
+
+
+class TestPlan:
+    def test_plan_weblog(self, weblog_query_file, capsys):
+        code = main(
+            ["plan", weblog_query_file, "--records", "10000",
+             "--machines", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "<keyword:word, time:hour(-1,0)>" in out
+        assert "candidates:" in out
+        assert "chosen:" in out
+
+    def test_plan_paper_schema(self, paper_query_file, capsys):
+        code = main(
+            ["plan", paper_query_file, "--schema", "paper", "--days", "20",
+             "--records", "20000", "--machines", "16"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "t1:hour(-9,0)" in out
+
+
+class TestRun:
+    def test_run_and_export(self, weblog_query_file, tmp_path, capsys):
+        csv_path = tmp_path / "out.csv"
+        code = main(
+            ["run", weblog_query_file, "--records", "5000",
+             "--machines", "6", "--days", "1", "--csv", str(csv_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out and "breakdown:" in out
+        content = csv_path.read_text().splitlines()
+        assert content[0] == "measure,region,value"
+        assert len(content) > 100
+
+    def test_run_naive(self, weblog_query_file, capsys):
+        code = main(
+            ["run", weblog_query_file, "--records", "3000",
+             "--machines", "4", "--days", "1", "--naive"]
+        )
+        assert code == 0
+        assert "jobs" in capsys.readouterr().out
+
+    def test_run_sampling(self, paper_query_file, capsys):
+        code = main(
+            ["run", paper_query_file, "--schema", "paper", "--days", "20",
+             "--records", "8000", "--machines", "8", "--skew", "--sampling"]
+        )
+        assert code == 0
+        assert "sampling" in capsys.readouterr().out
+
+    def test_run_early_aggregation(self, paper_query_file, capsys):
+        code = main(
+            ["run", paper_query_file, "--schema", "paper", "--days", "20",
+             "--records", "5000", "--machines", "4", "--early-aggregation"]
+        )
+        assert code == 0
+
+
+class TestErrors:
+    def test_missing_file(self):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["plan", "/nonexistent/query.cq"])
+
+    def test_parse_error_reported_with_path(self, tmp_path):
+        path = tmp_path / "bad.cq"
+        path.write_text("measure broken over keyword:word = blorp(")
+        with pytest.raises(SystemExit, match="bad.cq"):
+            main(["plan", str(path)])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestDemo:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "M4" in out
+        assert "plan:" in out
+
+
+class TestPlanRenderOptions:
+    def test_explain_and_tree(self, weblog_query_file, capsys, tmp_path):
+        dot_path = tmp_path / "wf.dot"
+        code = main(
+            ["plan", weblog_query_file, "--records", "5000",
+             "--machines", "4", "--explain", "--tree",
+             "--dot", str(dot_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Dependency tree:" in out
+        assert "per-measure feasible keys" in out
+        assert dot_path.read_text().startswith("digraph")
+
+
+class TestGantt:
+    def test_gantt_charts_printed(self, weblog_query_file, capsys):
+        code = main(
+            ["run", weblog_query_file, "--records", "4000",
+             "--machines", "4", "--days", "1", "--gantt"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "map phase:" in out
+        assert "reduce phase:" in out
+        assert "utilization" in out
+
+
+class TestArgumentValidation:
+    def test_zero_machines_rejected_cleanly(self, weblog_query_file):
+        with pytest.raises(SystemExit, match="machines"):
+            main(["run", weblog_query_file, "--machines", "0"])
+
+    def test_negative_records_rejected(self, weblog_query_file):
+        with pytest.raises(SystemExit, match="records"):
+            main(["run", weblog_query_file, "--records", "-5"])

@@ -1,0 +1,247 @@
+"""End-to-end integration tests and the grand oracle property.
+
+The core correctness claim of the paper -- any feasible overlapping
+distribution yields, after home-region filtering, exactly the
+centralized answer as a duplicate-free union -- is checked here over
+randomized workflows, datasets, clustering factors and reducer counts.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cube import Attribute, Schema, UniformHierarchy
+from repro.distribution import BlockScheme, minimal_feasible_key
+from repro.local import evaluate_centralized
+from repro.mapreduce import ClusterConfig, SimulatedCluster
+from repro.optimizer import OptimizerConfig, Plan
+from repro.parallel import ExecutionConfig, NaiveEvaluator, ParallelEvaluator
+from repro.query import WorkflowBuilder
+from repro.query.functions import RATIO
+
+from tests.helpers import assert_results_match, reference_evaluate
+
+
+def make_schema() -> Schema:
+    x = UniformHierarchy("x", {"value": 1, "four": 4}, base_cardinality=16)
+    t = UniformHierarchy(
+        "t", {"tick": 1, "span": 4, "block": 16}, base_cardinality=64
+    )
+    return Schema([Attribute("x", x), Attribute("t", t)], facts=["v"])
+
+
+SCHEMA = make_schema()
+
+# Aggregates safe for ratio denominators (non-zero on positive inputs).
+AGGREGATES = ["sum", "count", "min", "max", "avg", "median"]
+X_LEVELS = ["value", "four", "ALL"]
+T_LEVELS = ["tick", "span", "block", "ALL"]
+
+
+@st.composite
+def random_workflow(draw):
+    """A random valid workflow with 1 basic + up to 3 composite measures."""
+    builder = WorkflowBuilder(SCHEMA)
+    base_x = draw(st.sampled_from(X_LEVELS[:2]))
+    base_t = draw(st.sampled_from(T_LEVELS[:3]))
+    builder.basic(
+        "m0",
+        over={"x": base_x, "t": base_t},
+        field="v",
+        aggregate=draw(st.sampled_from(AGGREGATES)),
+    )
+    grains = {"m0": (base_x, base_t)}
+    names = ["m0"]
+    hierarchy_x = SCHEMA.attribute("x").hierarchy
+    hierarchy_t = SCHEMA.attribute("t").hierarchy
+
+    def depth_x(level):
+        return hierarchy_x.level(level).depth
+
+    def depth_t(level):
+        return hierarchy_t.level(level).depth
+
+    n_extra = draw(st.integers(0, 3))
+    for index in range(1, n_extra + 1):
+        name = f"m{index}"
+        source = draw(st.sampled_from(names))
+        sx, st_level = grains[source]
+        kind = draw(st.sampled_from(["rollup", "self_ratio", "window",
+                                     "align"]))
+        if kind == "rollup":
+            coarser_x = [lv for lv in X_LEVELS if depth_x(lv) >= depth_x(sx)]
+            coarser_t = [
+                lv for lv in T_LEVELS if depth_t(lv) >= depth_t(st_level)
+            ]
+            gx = draw(st.sampled_from(coarser_x))
+            gt = draw(st.sampled_from(coarser_t))
+            if (gx, gt) == (sx, st_level):
+                gx, gt = "ALL", "ALL"
+                if (sx, st_level) == ("ALL", "ALL"):
+                    continue
+            (
+                builder.composite(name, over={"x": gx, "t": gt})
+                .from_children(source, aggregate=draw(
+                    st.sampled_from(AGGREGATES)
+                ))
+            )
+            grains[name] = (gx, gt)
+        elif kind == "self_ratio":
+            (
+                builder.composite(name, over={"x": sx, "t": st_level})
+                .from_self(source)
+                .from_self(source)
+                .combine(RATIO)
+            )
+            grains[name] = (sx, st_level)
+        elif kind == "window":
+            if st_level == "ALL":
+                continue
+            low = draw(st.integers(-4, 0))
+            high = draw(st.integers(0, 2))
+            (
+                builder.composite(name, over={"x": sx, "t": st_level})
+                .window(
+                    source, attribute="t", low=low, high=high,
+                    aggregate=draw(st.sampled_from(["sum", "avg", "median"])),
+                )
+            )
+            grains[name] = (sx, st_level)
+        else:  # align: a strictly finer measure reading the source
+            finer_x = [lv for lv in X_LEVELS if depth_x(lv) < depth_x(sx)]
+            finer_t = [
+                lv for lv in T_LEVELS if depth_t(lv) < depth_t(st_level)
+            ]
+            if not finer_x and not finer_t:
+                continue
+            gx = draw(st.sampled_from(finer_x)) if finer_x else sx
+            gt = draw(st.sampled_from(finer_t)) if finer_t else st_level
+            builder.composite(name, over={"x": gx, "t": gt}).from_parent(
+                source
+            )
+            grains[name] = (gx, gt)
+        names.append(name)
+    return builder.build()
+
+
+records_strategy = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 63), st.integers(1, 9)),
+    min_size=1,
+    max_size=120,
+)
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    workflow=random_workflow(),
+    records=records_strategy,
+    num_reducers=st.integers(1, 9),
+    cf=st.integers(1, 6),
+)
+def test_parallel_equals_centralized_equals_reference(
+    workflow, records, num_reducers, cf
+):
+    """The grand oracle property over random workflows and plans."""
+    reference = reference_evaluate(workflow, records)
+    central = evaluate_centralized(workflow, records)
+    assert_results_match(central, reference)
+
+    cluster = SimulatedCluster(ClusterConfig(machines=4))
+    key = minimal_feasible_key(workflow)
+    annotated = key.annotated_attributes()
+    factors = {attr: cf for attr in annotated}
+    plan = Plan(
+        scheme=BlockScheme(key, factors),
+        num_reducers=num_reducers,
+        predicted_max_load=0.0,
+        strategy="manual",
+    )
+    outcome = ParallelEvaluator(cluster).evaluate(
+        workflow, records, plan=plan
+    )
+    assert outcome.result == central
+
+
+@settings(deadline=None, max_examples=15)
+@given(workflow=random_workflow(), records=records_strategy)
+def test_naive_equals_centralized(workflow, records):
+    central = evaluate_centralized(workflow, records)
+    cluster = SimulatedCluster(ClusterConfig(machines=4))
+    outcome = NaiveEvaluator(cluster).evaluate(workflow, records)
+    assert outcome.result == central
+
+
+@settings(deadline=None, max_examples=15)
+@given(workflow=random_workflow(), records=records_strategy)
+def test_optimizer_plans_are_feasible(workflow, records):
+    """Whatever the optimizer picks must reproduce the oracle."""
+    cluster = SimulatedCluster(ClusterConfig(machines=4))
+    outcome = ParallelEvaluator(cluster).evaluate(workflow, records)
+    assert outcome.result == evaluate_centralized(workflow, records)
+
+
+class TestPipelineScenarios:
+    def test_key_cache_across_queries(self, small_cluster, weblog):
+        from repro.optimizer import KeyCache
+
+        _schema, workflow, records = weblog
+        cache = KeyCache()
+        evaluator = ParallelEvaluator(small_cluster)
+        first = evaluator.evaluate(workflow, records, key_cache=cache)
+        second = evaluator.evaluate(workflow, records, key_cache=cache)
+        assert second.plan.single.strategy == "cache"
+        assert first.result == second.result
+
+    def test_sampling_under_skew(self, tiny_workflow, tiny_schema):
+        """Sampling picks a plan whose realized max load is competitive."""
+        rng = random.Random(23)
+        skewed = [
+            (rng.randrange(16), rng.randrange(4), rng.randrange(1, 9))
+            for _ in range(2000)
+        ]
+        cluster = SimulatedCluster(ClusterConfig(machines=8))
+        normal = ParallelEvaluator(cluster).evaluate(tiny_workflow, skewed)
+        sampled = ParallelEvaluator(
+            cluster,
+            ExecutionConfig(
+                optimizer=OptimizerConfig(use_sampling=True, sample_size=500)
+            ),
+        ).evaluate(tiny_workflow, skewed)
+        assert sampled.result == normal.result
+        assert (
+            sampled.job.max_reducer_load
+            <= normal.job.max_reducer_load * 1.25
+        )
+
+    def test_dfs_input_reuse(self, small_cluster, tiny_workflow, tiny_records):
+        """Evaluating from a pre-written DFS file, twice, is stable."""
+        small_cluster.write_file("shared", tiny_records)
+        handle = small_cluster.dfs.open("shared")
+        evaluator = ParallelEvaluator(small_cluster)
+        a = evaluator.evaluate(tiny_workflow, handle)
+        b = evaluator.evaluate(tiny_workflow, handle)
+        assert a.result == b.result
+        assert a.response_time == pytest.approx(b.response_time)
+
+
+class TestBackendConsistency:
+    """Every execution backend agrees on the same query and data."""
+
+    def test_three_backends_agree(self, tiny_workflow, tiny_records):
+        from repro.local.vectorized import evaluate_vectorized
+        from repro.parallel import MultiprocessEvaluator
+
+        central = evaluate_centralized(tiny_workflow, tiny_records)
+        vectorized = evaluate_vectorized(tiny_workflow, tiny_records)
+        simulated = ParallelEvaluator(
+            SimulatedCluster(ClusterConfig(machines=4))
+        ).evaluate(tiny_workflow, tiny_records)
+        processes, _report = MultiprocessEvaluator(processes=2).evaluate(
+            tiny_workflow, tiny_records
+        )
+        assert vectorized == central
+        assert simulated.result == central
+        assert processes == central

@@ -1,0 +1,115 @@
+"""Tests for interactive analysis sessions."""
+
+import pytest
+
+from repro.local import evaluate_centralized
+from repro.session import Session, SessionError, quick_session
+
+
+SCRIPT = """
+measure per_tick over x:value, t:tick = sum(v)
+measure trailing over x:value, t:tick = avg(window(per_tick, t, -3, 0))
+"""
+
+FOLLOW_UP = """
+measure detail over x:value, t:tick = count(v)
+"""
+
+
+@pytest.fixture
+def session(tiny_schema, tiny_records):
+    session = Session(machines=6)
+    session.register("tiny", tiny_schema, tiny_records)
+    return session
+
+
+class TestCatalog:
+    def test_register_and_lookup(self, session, tiny_schema):
+        dataset = session.dataset("tiny")
+        assert dataset.schema == tiny_schema
+        assert dataset.num_records == 600
+        assert [d.name for d in session.datasets()] == ["tiny"]
+
+    def test_unknown_dataset(self, session):
+        with pytest.raises(SessionError, match="no dataset"):
+            session.dataset("ghost")
+
+    def test_bad_records_rejected(self, tiny_schema):
+        session = Session(machines=4)
+        with pytest.raises(Exception):
+            session.register("bad", tiny_schema, [(1, 2)])  # wrong arity
+
+    def test_reregister_replaces(self, session, tiny_schema, tiny_records):
+        session.register("tiny", tiny_schema, tiny_records[:100])
+        assert session.dataset("tiny").num_records == 100
+
+
+class TestQuerying:
+    def test_script_query_matches_oracle(self, session, tiny_schema,
+                                         tiny_records):
+        from repro.query.parser import parse_workflow
+
+        outcome = session.query("tiny", SCRIPT)
+        workflow = parse_workflow(SCRIPT, tiny_schema)
+        assert outcome.result == evaluate_centralized(workflow, tiny_records)
+
+    def test_workflow_object_query(self, session, tiny_workflow,
+                                   tiny_records):
+        outcome = session.query("tiny", tiny_workflow)
+        assert outcome.result == evaluate_centralized(
+            tiny_workflow, tiny_records
+        )
+
+    def test_schema_mismatch_rejected(self, session, weblog):
+        _schema, workflow, _records = weblog
+        with pytest.raises(SessionError, match="schema"):
+            session.query("tiny", workflow)
+
+    def test_key_reuse_across_queries(self, session):
+        session.query("tiny", SCRIPT)
+        session.query("tiny", FOLLOW_UP)
+        # The first query's chosen key covers the follow-up's minimal
+        # key (the follow-up groups by x alone, at least as coarse), so
+        # the cache serves the second plan directly.
+        strategies = [entry.strategy for entry in session.history]
+        assert strategies[0] == "model"
+        assert strategies[1] == "cache"
+        assert len(session.key_cache) >= 1
+
+    def test_history_and_summary(self, session):
+        session.query("tiny", SCRIPT)
+        session.query("tiny", FOLLOW_UP)
+        assert len(session.history) == 2
+        assert session.history[0].rows > 0
+        assert session.total_simulated_time > 0
+        text = session.summary()
+        assert "2 queries" in text
+        assert "#0 on 'tiny'" in text
+        assert "detail" in text
+
+
+class TestQuickSession:
+    def test_runs_the_weblog_demo(self):
+        session, result = quick_session(machines=4)
+        assert result.total_rows() > 0
+        assert len(session.history) == 1
+        assert "weblog" in session.summary()
+
+
+class TestCrossSchemaCache:
+    def test_second_dataset_with_different_schema(self, tiny_schema,
+                                                  tiny_records):
+        """A shared key cache must skip keys from other schemas."""
+        from repro.workload import generate_sessions, weblog_query, weblog_schema
+
+        session = Session(machines=4)
+        session.register("tiny", tiny_schema, tiny_records)
+        session.query("tiny", SCRIPT)
+
+        other_schema = weblog_schema(days=1)
+        session.register(
+            "logs", other_schema, generate_sessions(other_schema, 800)
+        )
+        outcome = session.query("logs", weblog_query(other_schema))
+        assert outcome.result.total_rows() > 0
+        assert len(session.history) == 2

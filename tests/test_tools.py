@@ -1,0 +1,108 @@
+"""Tests for the validation utilities."""
+
+import pytest
+
+from repro.distribution.clustering import BlockScheme
+from repro.distribution.derive import minimal_feasible_key
+from repro.distribution.keys import DistributionKey
+from repro.optimizer.costmodel import expected_max_load_overlap
+from repro.tools import (
+    empirical_max_load,
+    model_validation_table,
+    verify_scheme,
+)
+
+
+class TestVerifyScheme:
+    def test_feasible_scheme_verifies(self, tiny_workflow, tiny_records):
+        key = minimal_feasible_key(tiny_workflow)
+        factors = {attr: 2 for attr in key.annotated_attributes()}
+        verdict = verify_scheme(
+            tiny_workflow, BlockScheme(key, factors), tiny_records
+        )
+        assert verdict.analytic_feasible
+        assert verdict.empirically_correct
+        assert verdict.consistent
+        assert "correct" in verdict.describe()
+
+    def test_infeasible_scheme_caught(self, tiny_workflow, tiny_records,
+                                      tiny_schema):
+        narrow = DistributionKey.of(
+            tiny_schema, {"x": "four", "t": ("span", 0, 1)}
+        )
+        verdict = verify_scheme(
+            tiny_workflow, BlockScheme(narrow), tiny_records
+        )
+        assert not verdict.analytic_feasible
+        assert not verdict.empirically_correct
+        assert verdict.mismatched_measures
+        assert verdict.consistent  # conservative analysis, wrong scheme
+
+    def test_sampling_caps_work(self, tiny_workflow, tiny_records):
+        key = minimal_feasible_key(tiny_workflow)
+        verdict = verify_scheme(
+            tiny_workflow, BlockScheme(key), tiny_records, sample_size=50
+        )
+        assert verdict.records_checked == 50
+
+
+class TestEmpiricalMaxLoad:
+    def test_tracks_the_model(self):
+        """Formula 4 within 10% of Monte-Carlo in the many-blocks regime."""
+        args = dict(
+            n_records=100_000, n_regions=1000, num_reducers=20, span=4, cf=5
+        )
+        empirical = empirical_max_load(trials=400, **args)
+        model = expected_max_load_overlap(
+            args["n_records"], args["n_regions"], args["num_reducers"],
+            args["span"], args["cf"],
+        )
+        assert model == pytest.approx(empirical, rel=0.10)
+
+    def test_single_reducer(self):
+        load = empirical_max_load(1000, 10, 1, span=0, cf=1, trials=10)
+        assert load == pytest.approx(1000.0)
+
+    def test_validation_table_shape(self):
+        rows = model_validation_table(
+            n_records=10_000,
+            num_reducers=10,
+            span=3,
+            region_counts=(100, 200),
+            cf_values=(1, 4),
+            trials=50,
+        )
+        assert len(rows) == 4
+        for _n_regions, _cf, model, empirical in rows:
+            assert model > 0 and empirical > 0
+            # The two agree within a factor comfortably below 2.
+            assert 0.6 < model / empirical < 1.7
+
+
+class TestVerifySchemeFailures:
+    def test_crashing_scheme_reported_not_raised(self, tiny_schema,
+                                                 tiny_records):
+        """A key finer than a measure's granularity makes evaluation
+        fail; the tool must report that as a verdict."""
+        from repro.query.builder import WorkflowBuilder
+
+        builder = WorkflowBuilder(tiny_schema)
+        builder.basic(
+            "fine", over={"x": "value", "t": "tick"}, field="v",
+            aggregate="sum",
+        )
+        (
+            builder.composite("hourly", over={"x": "four", "t": "span"})
+            .from_children("fine", aggregate="sum")
+        )
+        workflow = builder.build()
+        too_fine = DistributionKey.of(
+            tiny_schema, {"x": "value", "t": "tick"}
+        )
+        verdict = verify_scheme(workflow, BlockScheme(too_fine),
+                                tiny_records)
+        assert not verdict.analytic_feasible
+        assert not verdict.empirically_correct
+        assert verdict.error is not None
+        assert "FAILED" in verdict.describe()
+        assert verdict.consistent

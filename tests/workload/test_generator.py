@@ -1,0 +1,96 @@
+"""Tests for the synthetic data generators."""
+
+import pytest
+
+from repro.cube.domains import ALL
+from repro.workload.generator import (
+    INT_CARDINALITY,
+    generate_skewed,
+    generate_uniform,
+    generate_zipf,
+    paper_schema,
+)
+
+
+class TestPaperSchema:
+    def test_shape(self):
+        schema = paper_schema()
+        assert schema.attribute_names == ("a1", "a2", "a3", "a4", "t1", "t2")
+        assert schema.facts == ()
+
+    def test_integer_hierarchies(self):
+        schema = paper_schema()
+        hierarchy = schema.attribute("a1").hierarchy
+        assert [lvl.name for lvl in hierarchy.levels] == [
+            "value", "band1", "band2", "band3", ALL,
+        ]
+        assert hierarchy.level("value").cardinality == 256
+
+    def test_temporal_hierarchies(self):
+        schema = paper_schema(days=20)
+        hierarchy = schema.attribute("t1").hierarchy
+        assert hierarchy.level("day").cardinality == 20
+        coarse = paper_schema(days=20, temporal_base="minute")
+        assert coarse.attribute("t1").hierarchy.base.name == "minute"
+
+
+class TestUniform:
+    def test_size_and_ranges(self):
+        schema = paper_schema(days=2)
+        records = generate_uniform(schema, 500, seed=1)
+        assert len(records) == 500
+        for record in records:
+            for value in record[:4]:
+                assert 0 <= value < INT_CARDINALITY
+            for value in record[4:]:
+                assert 0 <= value < 2 * 86400
+
+    def test_deterministic(self):
+        schema = paper_schema(days=2)
+        assert generate_uniform(schema, 100, seed=9) == generate_uniform(
+            schema, 100, seed=9
+        )
+        assert generate_uniform(schema, 100, seed=9) != generate_uniform(
+            schema, 100, seed=10
+        )
+
+    def test_roughly_uniform_days(self):
+        schema = paper_schema(days=20, temporal_base="minute")
+        records = generate_uniform(schema, 4000, seed=2)
+        hierarchy = schema.attribute("t1").hierarchy
+        days = [
+            hierarchy.map_value(record[4], "minute", "day")
+            for record in records
+        ]
+        counts = [days.count(day) for day in range(20)]
+        assert min(counts) > 0.5 * (4000 / 20)
+
+
+class TestSkewed:
+    def test_concentrates_in_early_days(self):
+        schema = paper_schema(days=20, temporal_base="minute")
+        records = generate_skewed(schema, 2000, seed=3, skew_fraction=0.25)
+        hierarchy = schema.attribute("t1").hierarchy
+        for record in records:
+            assert hierarchy.map_value(record[4], "minute", "day") < 5
+            assert hierarchy.map_value(record[5], "minute", "day") < 5
+
+    def test_integer_attributes_stay_uniform(self):
+        schema = paper_schema(days=20)
+        records = generate_skewed(schema, 2000, seed=3)
+        values = [record[0] for record in records]
+        assert len(set(values)) > 200  # most of [0, 256) hit
+
+    def test_fraction_validated(self):
+        schema = paper_schema()
+        with pytest.raises(ValueError):
+            generate_skewed(schema, 10, skew_fraction=0.0)
+
+
+class TestZipf:
+    def test_head_dominates(self):
+        schema = paper_schema(days=2)
+        records = generate_zipf(schema, 3000, seed=4, exponent=1.5)
+        values = [record[0] for record in records]
+        head_share = sum(1 for v in values if v < 10) / len(values)
+        assert head_share > 0.4

@@ -1,0 +1,91 @@
+"""Tests for the network telemetry scenario."""
+
+import pytest
+
+from repro.distribution.derive import minimal_feasible_key
+from repro.local.sortscan import evaluate_centralized
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.timing import ClusterConfig
+from repro.parallel.executor import ParallelEvaluator
+from repro.workload.network import (
+    address_hierarchy,
+    anomaly_query,
+    generate_flows,
+    network_schema,
+    top_alarms,
+)
+
+from tests.helpers import assert_results_match, reference_evaluate
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return network_schema(hours=3)
+
+
+@pytest.fixture(scope="module")
+def flows(schema):
+    return generate_flows(
+        schema, 6000, seed=9, attack_prefix=7, attack_minute=90
+    )
+
+
+class TestHierarchies:
+    def test_address_prefixes(self):
+        h = address_hierarchy(hosts_bits=16)
+        assert [lvl.name for lvl in h.levels][:-1] == ["host", "net24"]
+        assert h.level("net24").cardinality == 256
+        assert h.map_value(7 * 256 + 13, "host", "net24") == 7
+
+    def test_wider_space_gets_net16(self):
+        h = address_hierarchy(hosts_bits=24)
+        assert "net16" in h
+        assert h.level("net16").cardinality == 256
+
+    def test_bits_validated(self):
+        with pytest.raises(ValueError):
+            address_hierarchy(hosts_bits=4)
+
+    def test_service_classes(self, schema):
+        h = schema.attribute("service").hierarchy
+        assert h.level("class").cardinality == 5
+        web = h.map_value(h.encode["80"], "port", "class")
+        assert web == h.map_value(h.encode["443"], "port", "class")
+        assert web != h.map_value(h.encode["22"], "port", "class")
+
+
+class TestQuery:
+    def test_key_requires_hour_level_overlap(self, schema):
+        key = minimal_feasible_key(anomaly_query(schema))
+        component = key.component("time")
+        assert component.level == "hour"
+        assert component.annotated
+        assert key.component("src").level == "net24"
+
+    def test_matches_reference(self, schema, flows):
+        workflow = anomaly_query(schema)
+        result = evaluate_centralized(workflow, flows)
+        assert_results_match(result, reference_evaluate(workflow, flows))
+
+    def test_parallel_matches_oracle(self, schema, flows):
+        workflow = anomaly_query(schema)
+        cluster = SimulatedCluster(ClusterConfig(machines=10))
+        outcome = ParallelEvaluator(cluster).evaluate(workflow, flows)
+        assert outcome.result == evaluate_centralized(workflow, flows)
+
+
+class TestDetection:
+    def test_flood_tops_the_alarms(self, schema, flows):
+        """The synthetic flood is the strongest alarm, at its prefix
+        and around its minute."""
+        workflow = anomaly_query(schema)
+        result = evaluate_centralized(workflow, flows)
+        prefix, minute, alarm = top_alarms(result, k=1)[0]
+        assert prefix == 7
+        assert 88 <= minute <= 93
+        assert alarm > 3.0  # several times the smoothed baseline rate
+        # ... and far ahead of the strongest background alarm.
+        background = [
+            row for row in top_alarms(result, k=10) if row[0] != 7
+        ]
+        assert not background or alarm > 3 * background[0][2]

@@ -1,0 +1,95 @@
+"""Tests for the Q1-Q6 / DS0-DS2 query suite."""
+
+import pytest
+
+from repro.distribution.derive import minimal_feasible_key
+from repro.local.sortscan import evaluate_centralized
+from repro.query.workflow import connected_components
+from repro.workload.generator import generate_uniform, paper_schema
+from repro.workload.queries import all_queries, ds_query
+
+from tests.helpers import assert_results_match, reference_evaluate
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return paper_schema(days=4, temporal_base="minute")
+
+
+@pytest.fixture(scope="module")
+def records(schema):
+    return generate_uniform(schema, 1500, seed=17)
+
+
+class TestSuiteShape:
+    def test_all_queries_build(self, schema):
+        queries = all_queries(schema)
+        assert set(queries) == {"Q1", "Q2", "Q3", "Q4", "Q5", "Q6"}
+
+    def test_q1_three_independent_measures(self, schema):
+        q1 = all_queries(schema)["Q1"]
+        assert len(q1.measures) == 3
+        assert all(m.is_basic for m in q1.measures)
+        assert len(connected_components(q1)) == 3
+
+    def test_q3_five_measures(self, schema):
+        assert len(all_queries(schema)["Q3"].measures) == 5
+
+    def test_sibling_usage(self, schema):
+        queries = all_queries(schema)
+        assert not queries["Q1"].has_sibling_edges()
+        assert not queries["Q4"].has_sibling_edges()
+        assert queries["Q5"].has_sibling_edges()
+        assert queries["Q6"].has_sibling_edges()
+
+    def test_q6_uses_all_relationships(self, schema):
+        from repro.query.measures import Relationship
+
+        q6 = all_queries(schema)["Q6"]
+        used = {
+            edge.relationship
+            for measure in q6.measures
+            for edge in measure.inputs
+        }
+        assert used == set(Relationship)
+
+    def test_q6_window_is_large_and_coarse(self, schema):
+        q6 = all_queries(schema)["Q6"]
+        (window,) = q6.sibling_windows()
+        assert window.span >= 24
+        minimal = minimal_feasible_key(q6)
+        assert minimal.component("t1").span >= 24
+
+
+class TestSuiteCorrectness:
+    @pytest.mark.parametrize("name", ["Q1", "Q2", "Q3", "Q4", "Q5", "Q6"])
+    def test_matches_reference(self, schema, records, name):
+        workflow = all_queries(schema)[name]
+        result = evaluate_centralized(workflow, records)
+        assert_results_match(result, reference_evaluate(workflow, records))
+
+
+class TestDSQueries:
+    @pytest.mark.parametrize("fineness", [0, 1, 2])
+    def test_build_and_support_early_aggregation(self, schema, fineness):
+        workflow = ds_query(schema, fineness)
+        assert workflow.supports_early_aggregation()
+        assert not workflow.has_sibling_edges()
+
+    def test_granularities_get_finer(self, schema):
+        region_counts = [
+            ds_query(schema, f).measure("base").granularity.region_count()
+            for f in range(3)
+        ]
+        assert region_counts == sorted(region_counts)
+        assert region_counts[0] < region_counts[2]
+
+    def test_fineness_validated(self, schema):
+        with pytest.raises(ValueError):
+            ds_query(schema, 3)
+
+    @pytest.mark.parametrize("fineness", [0, 2])
+    def test_matches_reference(self, schema, records, fineness):
+        workflow = ds_query(schema, fineness)
+        result = evaluate_centralized(workflow, records)
+        assert_results_match(result, reference_evaluate(workflow, records))

@@ -1,0 +1,107 @@
+"""Tests for the retail calendar scenario."""
+
+import datetime
+
+import pytest
+
+from repro.distribution.derive import minimal_feasible_key
+from repro.local.sortscan import evaluate_centralized
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.timing import ClusterConfig
+from repro.parallel.executor import ParallelEvaluator
+from repro.workload.retail import (
+    PRODUCTS,
+    STORES,
+    decode_region,
+    decode_store,
+    generate_sales,
+    retail_query,
+    retail_schema,
+)
+
+from tests.helpers import assert_results_match, reference_evaluate
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return retail_schema(
+        datetime.date(2007, 1, 1), datetime.date(2007, 7, 1)
+    )
+
+
+@pytest.fixture(scope="module")
+def records(schema):
+    return generate_sales(schema, 4000, seed=11)
+
+
+class TestSchema:
+    def test_hierarchies(self, schema):
+        store = schema.attribute("store").hierarchy
+        assert store.level("outlet").cardinality == len(STORES)
+        assert store.level("region").cardinality == 4
+        product = schema.attribute("product").hierarchy
+        assert product.level("sku").cardinality == len(PRODUCTS)
+        assert product.level("category").cardinality == 6
+        assert product.level("department").cardinality == 2
+        date = schema.attribute("date").hierarchy
+        assert date.level("day").cardinality == 181
+        assert date.level("month").cardinality == 6
+        assert date.level("quarter").cardinality == 2
+
+    def test_decoders(self, schema):
+        assert decode_store(0) == "store-00"
+        regions = {decode_region(c, schema) for c in range(4)}
+        assert regions == {"north", "south", "east", "west"}
+
+
+class TestGenerator:
+    def test_ranges(self, schema, records):
+        n_days = schema.attribute("date").hierarchy.base_cardinality
+        for store, product, day, units, revenue in records:
+            assert 0 <= store < len(STORES)
+            assert 0 <= product < len(PRODUCTS)
+            assert 0 <= day < n_days
+            assert units >= 1
+            assert revenue > 0
+
+    def test_weekend_bump(self, schema, records):
+        weekday = [r[4] for r in records if r[2] % 7 < 5]
+        weekend = [r[4] for r in records if r[2] % 7 >= 5]
+        assert sum(weekend) / len(weekend) > sum(weekday) / len(weekday)
+
+
+class TestQuery:
+    def test_key_annotates_months(self, schema):
+        workflow = retail_query(schema)
+        key = minimal_feasible_key(workflow)
+        component = key.component("date")
+        assert component.level == "month"
+        assert (component.low, component.high) == (-1, 0)
+        # region_month forces the store attribute up to region level.
+        assert key.component("store").level == "region"
+
+    def test_matches_reference(self, schema, records):
+        workflow = retail_query(schema)
+        result = evaluate_centralized(workflow, records)
+        assert_results_match(result, reference_evaluate(workflow, records))
+
+    def test_parallel_matches_oracle(self, schema, records):
+        workflow = retail_query(schema)
+        cluster = SimulatedCluster(ClusterConfig(machines=8))
+        outcome = ParallelEvaluator(cluster).evaluate(workflow, records)
+        # Revenue is float; per-block summation order differs from the
+        # centralized order, so compare with a float tolerance.
+        oracle = evaluate_centralized(workflow, records)
+        assert_results_match(
+            outcome.result,
+            {name: table.values for name, table in oracle.items()},
+        )
+
+    def test_growth_is_plausible(self, schema, records):
+        workflow = retail_query(schema)
+        result = evaluate_centralized(workflow, records)
+        growth = result["region_growth"]
+        # The first month has no predecessor: no growth rows for month 0.
+        months = {coords[2] for coords in growth.coords()}
+        assert 0 not in months
+        assert months  # later months present

@@ -1,0 +1,74 @@
+"""Tests for the weblog scenario."""
+
+import pytest
+
+from repro.workload.weblog import (
+    CLICK_CARDINALITY,
+    KEYWORDS,
+    decode_keyword,
+    encode_keyword,
+    generate_sessions,
+    weblog_query,
+    weblog_schema,
+)
+
+
+class TestSchema:
+    def test_attributes_match_table_one(self):
+        schema = weblog_schema()
+        assert schema.attribute_names == (
+            "keyword", "page_count", "ad_count", "time",
+        )
+
+    def test_keyword_hierarchy(self):
+        schema = weblog_schema()
+        hierarchy = schema.attribute("keyword").hierarchy
+        assert hierarchy.level("word").cardinality == len(KEYWORDS)
+        groups = {group for _word, group in KEYWORDS}
+        assert hierarchy.level("group").cardinality == len(groups)
+
+    def test_click_levels(self):
+        schema = weblog_schema()
+        hierarchy = schema.attribute("page_count").hierarchy
+        assert hierarchy.level("value").cardinality == CLICK_CARDINALITY
+        assert hierarchy.level("level").cardinality == 3
+
+
+class TestQuery:
+    def test_measure_chain(self):
+        workflow = weblog_query(weblog_schema())
+        assert workflow.names == ("M1", "M2", "M3", "M4")
+        assert workflow.measure("M1").aggregate.name == "median"
+        assert not workflow.supports_early_aggregation()
+        assert workflow.has_sibling_edges()
+
+
+class TestGenerator:
+    def test_ranges(self):
+        schema = weblog_schema(days=1)
+        records = generate_sessions(schema, 500, seed=1)
+        assert len(records) == 500
+        for keyword, pages, ads, time in records:
+            assert 0 <= keyword < len(KEYWORDS)
+            assert 0 <= pages < CLICK_CARDINALITY
+            assert 0 <= ads < CLICK_CARDINALITY
+            assert 0 <= time < 86400
+
+    def test_popular_keywords_dominate(self):
+        schema = weblog_schema(days=1)
+        records = generate_sessions(schema, 3000, seed=2)
+        counts = [0] * len(KEYWORDS)
+        for keyword, *_rest in records:
+            counts[keyword] += 1
+        assert counts[0] > counts[-1]
+
+
+class TestCodec:
+    def test_round_trip(self):
+        for code, (word, _group) in enumerate(KEYWORDS):
+            assert encode_keyword(word) == code
+            assert decode_keyword(code) == word
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            encode_keyword("zyzzyva")
