@@ -1,0 +1,90 @@
+"""Wall-clock guard: disabled tracing must cost (almost) nothing.
+
+Instrumented code calls :data:`NULL_TRACER` unconditionally -- there is
+no ``if tracing:`` branch anywhere in the execution stack -- so the
+null path must be cheap enough to ignore.  Rather than an A/B wall-time
+comparison of whole runs (noisy on shared hosts), this measures the
+per-call cost of the null tracer in a tight loop, counts how many
+tracer calls one end-to-end evaluation actually makes (by running it
+with a real tracer), and asserts the product stays under 5% of the
+evaluation's wall time:
+
+    pytest benchmarks/test_perf_obs_overhead.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.mapreduce import ClusterConfig, SimulatedCluster
+from repro.obs import Tracer
+from repro.obs.tracer import NULL_TRACER
+from repro.parallel import ParallelEvaluator
+from repro.query import WorkflowBuilder
+from repro.workload import generate_uniform
+
+#: Disabled tracing may add at most this fraction of the run's time.
+OVERHEAD_BUDGET = 0.05
+
+
+@pytest.fixture(scope="module")
+def workload(schema):
+    builder = WorkflowBuilder(schema)
+    builder.basic(
+        "hourly", over={"a1": "band1", "t1": "hour"}, field="a2",
+        aggregate="sum",
+    )
+    (
+        builder.composite("daily", over={"a1": "band1", "t1": "day"})
+        .from_children("hourly", aggregate="sum")
+    )
+    workflow = builder.build()
+    records = generate_uniform(schema, 20_000, seed=21)
+    return workflow, records
+
+
+def null_span_cost(calls: int = 200_000) -> float:
+    """Average seconds per ``with NULL_TRACER.span(...)`` round trip."""
+    span = NULL_TRACER.span
+    start = time.perf_counter()
+    for index in range(calls):
+        with span("bench", index=index) as handle:
+            handle.set(value=index)
+            handle.set_sim(0.0, 1.0)
+    return (time.perf_counter() - start) / calls
+
+
+def test_disabled_tracer_overhead_under_budget(workload):
+    workflow, records = workload
+
+    # How many spans would an instrumented run emit?  Run once with a
+    # real tracer and count; record_span/add_task_spans calls emit one
+    # event each, so the event count bounds the tracer call count.
+    traced_cluster = SimulatedCluster(ClusterConfig(machines=10))
+    tracer = Tracer()
+    ParallelEvaluator(traced_cluster, tracer=tracer).evaluate(
+        workflow, records
+    )
+    span_count = len(tracer.events)
+    assert span_count > 50  # the instrumentation is actually live
+
+    # How long does the same evaluation take with tracing disabled?
+    cluster = SimulatedCluster(ClusterConfig(machines=10))
+    evaluator = ParallelEvaluator(cluster)  # defaults to NULL_TRACER
+    start = time.perf_counter()
+    evaluator.evaluate(workflow, records)
+    elapsed = time.perf_counter() - start
+
+    projected = span_count * null_span_cost()
+    assert projected < OVERHEAD_BUDGET * elapsed, (
+        f"{span_count} null spans project to {projected * 1e3:.2f}ms, "
+        f"over {OVERHEAD_BUDGET:.0%} of the {elapsed * 1e3:.0f}ms run"
+    )
+
+
+def test_null_span_is_sub_microsecond_scale():
+    # A generous absolute ceiling so a regression (say, allocating a
+    # fresh span per call) fails even on slow CI hosts.
+    assert null_span_cost(50_000) < 5e-6

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands, all operating on workflow scripts in the textual
+Five subcommands, most operating on workflow scripts in the textual
 query language (see :mod:`repro.query.parser`):
 
 * ``repro demo`` -- run the paper's weblog example end to end;
@@ -8,16 +8,25 @@ query language (see :mod:`repro.query.parser`):
   candidate schemes and the optimizer's choice, without evaluating;
 * ``repro run QUERY.cq`` -- evaluate the query over generated data on
   the simulated cluster, printing the execution report (optionally
-  exporting results to CSV).
+  exporting results to CSV);
+* ``repro trace QUERY.cq --out trace.json`` -- evaluate with full
+  tracing: writes a Chrome trace-event file (open in Perfetto or
+  ``chrome://tracing``), a run manifest, and optionally the raw span
+  events as JSONL;
+* ``repro stats MANIFEST.json`` -- summarize a previously written run
+  manifest.
 
-Built-in schemas: ``weblog`` (Keyword/PageCount/AdCount/Time, Table I)
-and ``paper`` (the Section VI synthetic schema).  Invoke as
+Every subcommand takes ``--verbose``/``-v`` (repeatable) and
+``--quiet``/``-q`` to control the ``repro.*`` log level.  Built-in
+schemas: ``weblog`` (Keyword/PageCount/AdCount/Time, Table I) and
+``paper`` (the Section VI synthetic schema).  Invoke as
 ``python -m repro ...``.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Optional, Sequence
 
@@ -26,6 +35,15 @@ from repro.distribution.derive import candidate_keys, minimal_feasible_key
 from repro.io.serialize import write_result_csv
 from repro.mapreduce.cluster import SimulatedCluster
 from repro.mapreduce.timing import ClusterConfig
+from repro.obs import (
+    MetricsRegistry,
+    RunManifest,
+    Tracer,
+    configure_logging,
+    progress_sink,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.optimizer.optimizer import Optimizer, OptimizerConfig
 from repro.parallel.executor import ExecutionConfig, ParallelEvaluator
 from repro.parallel.naive import NaiveEvaluator
@@ -76,7 +94,32 @@ def _load_workflow(path: str, schema: Schema) -> Workflow:
         raise SystemExit(f"{path}: {exc}")
 
 
+def _add_logging_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log progress (-v: info, -vv: debug)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="only log errors",
+    )
+
+
+def _configure_logging(args) -> None:
+    """Apply the ``-v``/``-q`` flags to the ``repro`` logger tree."""
+    if args.quiet:
+        level = logging.ERROR
+    elif args.verbose >= 2:
+        level = logging.DEBUG
+    elif args.verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    configure_logging(level)
+
+
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_logging_arguments(parser)
     parser.add_argument("query", help="workflow script file (.cq)")
     parser.add_argument(
         "--schema", default="weblog", choices=("weblog", "paper"),
@@ -198,6 +241,77 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _default_manifest_path(out: str) -> str:
+    """Derive the manifest path from the trace path.
+
+    ``/tmp/trace.json`` becomes ``/tmp/trace.manifest.json``; paths
+    without a ``.json`` suffix just get ``.manifest.json`` appended.
+    """
+    if out.endswith(".json"):
+        return out[: -len(".json")] + ".manifest.json"
+    return out + ".manifest.json"
+
+
+def _cmd_trace(args) -> int:
+    if args.machines < 1:
+        raise SystemExit("--machines must be at least 1")
+    if args.records < 0:
+        raise SystemExit("--records must be non-negative")
+    schema = _build_schema(args.schema, args.days)
+    workflow = _load_workflow(args.query, schema)
+    records = _generate_records(
+        args.schema, schema, args.records, args.seed, args.skew
+    )
+    cluster = SimulatedCluster(ClusterConfig(machines=args.machines))
+
+    tracer = Tracer(
+        on_event=progress_sink() if args.verbose else None
+    )
+    metrics = MetricsRegistry()
+    config = ExecutionConfig(
+        early_aggregation=args.early_aggregation,
+        optimizer=OptimizerConfig(use_sampling=args.sampling),
+    )
+    evaluator = ParallelEvaluator(
+        cluster, config, tracer=tracer, metrics=metrics
+    )
+    outcome = evaluator.evaluate(workflow, records)
+    print(outcome.describe())
+
+    with open(args.query) as handle:
+        query_text = handle.read()
+    n_events = write_chrome_trace(tracer.events, args.out)
+    print(
+        f"wrote {n_events} trace events to {args.out} "
+        "(open at https://ui.perfetto.dev or chrome://tracing)"
+    )
+    manifest_path = args.manifest or _default_manifest_path(args.out)
+    manifest = RunManifest.from_result(
+        outcome,
+        query=query_text,
+        cluster_config=cluster.config,
+        execution_config=config,
+        metrics=metrics,
+    )
+    manifest.write(manifest_path)
+    print(f"wrote run manifest to {manifest_path}")
+    if args.events:
+        n_spans = write_jsonl(tracer.events, args.events)
+        print(f"wrote {n_spans} span events to {args.events}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    try:
+        manifest = RunManifest.load(args.manifest)
+    except OSError as exc:
+        raise SystemExit(f"cannot read manifest: {exc}")
+    except (ValueError, TypeError, KeyError) as exc:
+        raise SystemExit(f"{args.manifest}: not a run manifest ({exc})")
+    print(manifest.summary())
+    return 0
+
+
 def _run_demo() -> int:
     """The quickstart weblog run, inline (no dependency on examples/)."""
     from repro.workload.weblog import (
@@ -264,7 +378,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.set_defaults(handler=_cmd_run)
 
+    trace = sub.add_parser(
+        "trace", help="evaluate a query with tracing and export the trace"
+    )
+    _add_common_arguments(trace)
+    trace.add_argument(
+        "--out", default="trace.json",
+        help="Chrome trace-event output file (default: trace.json)",
+    )
+    trace.add_argument(
+        "--manifest", metavar="FILE",
+        help="run-manifest output file (default: <out>.manifest.json)",
+    )
+    trace.add_argument(
+        "--events", metavar="FILE",
+        help="also dump the raw span events as JSONL to FILE",
+    )
+    trace.add_argument(
+        "--early-aggregation", action="store_true",
+        help="pre-aggregate basic measures in the mappers",
+    )
+    trace.add_argument(
+        "--sampling", action="store_true",
+        help="pick the plan by sampled simulated dispatch",
+    )
+    trace.set_defaults(handler=_cmd_trace)
+
+    stats = sub.add_parser(
+        "stats", help="summarize a run manifest written by 'trace'"
+    )
+    _add_logging_arguments(stats)
+    stats.add_argument("manifest", help="manifest JSON file to summarize")
+    stats.set_defaults(handler=_cmd_stats)
+
     demo = sub.add_parser("demo", help="run the paper's weblog example")
+    _add_logging_arguments(demo)
     demo.set_defaults(handler=lambda _args: _run_demo())
 
     return parser
@@ -272,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(args)
     return args.handler(args)
 
 

@@ -24,6 +24,7 @@ from typing import Iterable, Mapping, Sequence
 from repro.cube.domains import ALL
 from repro.cube.records import Record
 from repro.cube.regions import Granularity
+from repro.obs.tracer import NULL_TRACER
 from repro.query.measures import Measure, Relationship, WorkflowError
 from repro.query.workflow import Workflow
 from repro.local.measure_table import MeasureTable, ResultSet
@@ -216,8 +217,9 @@ class BlockEvaluator:
     are resolved up front.
     """
 
-    def __init__(self, workflow: Workflow):
+    def __init__(self, workflow: Workflow, tracer=None):
         self.workflow = workflow
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.attribute_order = choose_attribute_order(workflow)
         self._sort_key = make_sort_key(workflow.schema, self.attribute_order)
         # Measures sharing a granularity share one coordinate mapper:
@@ -326,9 +328,17 @@ class BlockEvaluator:
                 )
             block = records if isinstance(records, list) else list(records)
             if not presorted:
-                block = sorted(block, key=self._sort_key)
+                with self.tracer.span("block-sort") as sort_span:
+                    block = sorted(block, key=self._sort_key)
+                    sort_span.set(records=len(block))
                 stats.sorted_records += len(block)
-            tables = dict(self._scan_basic(block, stats))
+            with self.tracer.span("block-scan") as scan_span:
+                tables = dict(self._scan_basic(block, stats))
+                scan_span.set(
+                    records=len(block),
+                    contiguous=stats.contiguous_measures,
+                    hashed=stats.hashed_measures,
+                )
             fallback_coords = block  # resolved lazily per measure below
         else:
             tables = dict(basic_tables)
@@ -349,13 +359,19 @@ class BlockEvaluator:
                     records if isinstance(records, list) else list(records)
                 )
 
-        for measure in self.workflow.topological_order():
-            if measure.is_basic:
-                continue
-            anchors = self._anchor_coords(measure, fallback_coords, tables)
-            table = compute_composite(measure, tables, anchors)
-            tables[measure.name] = table
-            stats.composite_rows += len(table)
+        with self.tracer.span("block-composites") as composite_span:
+            composites = 0
+            for measure in self.workflow.topological_order():
+                if measure.is_basic:
+                    continue
+                anchors = self._anchor_coords(measure, fallback_coords, tables)
+                table = compute_composite(measure, tables, anchors)
+                tables[measure.name] = table
+                stats.composite_rows += len(table)
+                composites += 1
+            composite_span.set(
+                measures=composites, rows=stats.composite_rows
+            )
 
         return ResultSet(
             {m.name: tables[m.name] for m in self.workflow.measures}

@@ -9,7 +9,7 @@ tests assert on work done rather than on wall-clock noise.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
@@ -52,11 +52,14 @@ class PhaseBreakdown:
         }
 
     def add(self, other: "PhaseBreakdown") -> None:
-        self.map += other.map
-        self.shuffle += other.shuffle
-        self.framework_sort += other.framework_sort
-        self.group_sort += other.group_sort
-        self.evaluate += other.evaluate
+        """Accumulate *other* phase by phase.
+
+        The phase list is derived with :func:`dataclasses.fields`, so a
+        phase added to this class can never be silently dropped from
+        aggregation.
+        """
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
 
 @dataclass
@@ -87,21 +90,19 @@ class JobCounters:
         return self.map_output_records / self.map_input_records
 
     def add(self, other: "JobCounters") -> None:
-        self.map_input_records += other.map_input_records
-        self.map_output_records += other.map_output_records
-        self.map_output_bytes += other.map_output_bytes
-        self.combine_input_records += other.combine_input_records
-        self.combine_output_records += other.combine_output_records
-        self.shuffle_bytes += other.shuffle_bytes
-        self.reduce_input_records += other.reduce_input_records
-        self.reduce_output_records += other.reduce_output_records
-        self.spilled_records += other.spilled_records
-        self.sort_passes += other.sort_passes
-        self.map_tasks += other.map_tasks
-        self.reduce_tasks += other.reduce_tasks
-        self.remote_block_reads += other.remote_block_reads
-        self.task_retries += other.task_retries
-        self.extra.update(other.extra)
+        """Accumulate *other* counter by counter.
+
+        The counter list is derived with :func:`dataclasses.fields`
+        (``Counter``-typed fields merge via ``update``), so a counter
+        added to this class can never be silently dropped from
+        aggregation.
+        """
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, Counter):
+                value.update(getattr(other, f.name))
+            else:
+                setattr(self, f.name, value + getattr(other, f.name))
 
 
 @dataclass
@@ -129,12 +130,31 @@ class JobReport:
 
     @property
     def load_imbalance(self) -> float:
-        """Max over mean reducer load; 1.0 is perfectly balanced."""
+        """Max over mean reducer load; 1.0 is perfectly balanced.
+
+        Idle reducers **count toward the mean** (the paper's convention:
+        an idle reducer is wasted parallelism, so a run that leaves
+        reducers empty reads as imbalanced even if the busy ones are
+        even).  Equivalent to ``imbalance(include_idle=True)``.
+        """
+        return self.imbalance(include_idle=True)
+
+    def imbalance(self, include_idle: bool = True) -> float:
+        """Max reducer load over the mean load.
+
+        With ``include_idle=True`` (the default, and what
+        :attr:`load_imbalance` reports) the mean runs over *all*
+        reducers; with ``include_idle=False`` it runs over busy
+        reducers only, measuring spread among the reducers that did
+        work.  Returns 1.0 when every reducer is idle -- a vacuously
+        balanced schedule under either convention.
+        """
         busy = [load for load in self.reducer_loads if load]
         if not busy:
             return 1.0
-        mean = sum(self.reducer_loads) / len(self.reducer_loads)
-        return self.max_reducer_load / mean if mean else 1.0
+        loads = self.reducer_loads if include_idle else busy
+        mean = sum(loads) / len(loads)
+        return self.max_reducer_load / mean
 
     def summary(self) -> str:
         counters = self.counters

@@ -20,6 +20,7 @@ The scatter/gather contract mirrors Hadoop's:
 
 from __future__ import annotations
 
+import logging
 import zlib
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
@@ -30,6 +31,9 @@ from repro.mapreduce.dfs import DistributedFile
 from repro.mapreduce.sorter import external_sort, group_sorted
 from repro.mapreduce.timing import TimingModel
 from repro.mapreduce.trace import schedule
+from repro.obs.tracer import NULL_TRACER
+
+logger = logging.getLogger(__name__)
 
 #: Serialized size charged per key in a key/value pair.
 KEY_BYTES = 16
@@ -205,94 +209,161 @@ class MapReduceJob:
     # -- whole job -----------------------------------------------------------------
 
     def run(
-        self, input_file: DistributedFile, cluster: SimulatedCluster
+        self,
+        input_file: DistributedFile,
+        cluster: SimulatedCluster,
+        tracer=None,
+        sim_origin: float = 0.0,
     ) -> JobResult:
-        """Execute the job and return outputs plus the execution report."""
+        """Execute the job and return outputs plus the execution report.
+
+        *tracer* (a :class:`repro.obs.Tracer`, disabled by default)
+        receives the span tree of the run: a ``job`` span holding the
+        ``map`` phase, per-slot task placements, and the ``reduce``
+        phase with its ``shuffle``/``sort``/``group-sort``/``evaluate``
+        children on the simulated clock.  *sim_origin* offsets every
+        simulated timestamp, letting multi-job evaluations lay jobs
+        end to end on one timeline.
+        """
+        tracer = tracer if tracer is not None else NULL_TRACER
         timing = cluster.timing
         counters = JobCounters()
         failed = cluster.failed_machines
         buckets: list[list] = [[] for _ in range(self.num_reducers)]
 
-        map_durations = []
-        for block in input_file.blocks:
-            records, served_by = input_file.read_block(block, failed)
-            remote = served_by != block.replicas[0]
-            if remote:
-                counters.remote_block_reads += 1
-            map_durations.append(
-                self._run_map_task(records, remote, timing, counters, buckets)
+        with tracer.span("job", job=self.name) as job_span:
+            with tracer.span("map") as map_span:
+                map_durations = []
+                for block in input_file.blocks:
+                    records, served_by = input_file.read_block(block, failed)
+                    remote = served_by != block.replicas[0]
+                    if remote:
+                        counters.remote_block_reads += 1
+                    map_durations.append(
+                        self._run_map_task(
+                            records, remote, timing, counters, buckets
+                        )
+                    )
+                counters.map_tasks = len(map_durations)
+                map_factors, map_stragglers, map_speculated = (
+                    cluster.straggler_factors(
+                        len(map_durations), f"{self.name}:map"
+                    )
+                )
+                map_durations = [
+                    duration * factor
+                    for duration, factor in zip(map_durations, map_factors)
+                ]
+                counters.extra["stragglers"] += map_stragglers
+                counters.extra["speculated"] += map_speculated
+                map_makespan, map_trace = schedule(
+                    map_durations, cluster.map_slots
+                )
+                map_span.set_sim(sim_origin, sim_origin + map_makespan)
+                map_span.set(
+                    tasks=len(map_durations),
+                    input_records=counters.map_input_records,
+                    output_records=counters.map_output_records,
+                    stragglers=map_stragglers,
+                )
+            tracer.add_task_spans(
+                "map", map_trace, sim_offset=sim_origin, name="map"
             )
-        counters.map_tasks = len(map_durations)
-        map_factors, map_stragglers, map_speculated = (
-            cluster.straggler_factors(len(map_durations), f"{self.name}:map")
-        )
-        map_durations = [
-            duration * factor
-            for duration, factor in zip(map_durations, map_factors)
-        ]
-        counters.extra["stragglers"] += map_stragglers
-        counters.extra["speculated"] += map_speculated
-        map_makespan, map_trace = schedule(map_durations, cluster.map_slots)
 
-        outputs: list = []
-        shuffle, fsort, gsort, evaluate, loads = [], [], [], [], []
-        for index, pairs in enumerate(buckets):
-            counters.reduce_tasks += 1
-            durations = self._run_reduce_task(pairs, cluster, counters, outputs)
-            retry = 2.0 if cluster.reducer_retry_needed(index) else 1.0
-            if retry > 1.0:
-                counters.task_retries += 1
-            shuffle.append(durations[0] * retry)
-            fsort.append(durations[1] * retry)
-            gsort.append(durations[2] * retry)
-            evaluate.append(durations[3] * retry)
-            loads.append(durations[4])
-        counters.shuffle_bytes = counters.map_output_bytes
-        counters.reduce_output_records = len(outputs)
+            with tracer.span("reduce") as reduce_span:
+                outputs: list = []
+                shuffle, fsort, gsort, evaluate, loads = [], [], [], [], []
+                for index, pairs in enumerate(buckets):
+                    counters.reduce_tasks += 1
+                    durations = self._run_reduce_task(
+                        pairs, cluster, counters, outputs
+                    )
+                    retry = 2.0 if cluster.reducer_retry_needed(index) else 1.0
+                    if retry > 1.0:
+                        counters.task_retries += 1
+                    shuffle.append(durations[0] * retry)
+                    fsort.append(durations[1] * retry)
+                    gsort.append(durations[2] * retry)
+                    evaluate.append(durations[3] * retry)
+                    loads.append(durations[4])
+                counters.shuffle_bytes = counters.map_output_bytes
+                counters.reduce_output_records = len(outputs)
 
-        reduce_factors, reduce_stragglers, reduce_speculated = (
-            cluster.straggler_factors(
-                self.num_reducers, f"{self.name}:reduce"
+                reduce_factors, reduce_stragglers, reduce_speculated = (
+                    cluster.straggler_factors(
+                        self.num_reducers, f"{self.name}:reduce"
+                    )
+                )
+                counters.extra["stragglers"] += reduce_stragglers
+                counters.extra["speculated"] += reduce_speculated
+                for stage in (shuffle, fsort, gsort, evaluate):
+                    for index, factor in enumerate(reduce_factors):
+                        stage[index] *= factor
+
+                slots = cluster.reduce_slots
+                stages = [shuffle, fsort, gsort, evaluate]
+                cumulative = [0.0] * (len(stages) + 1)
+                for depth in range(1, len(stages) + 1):
+                    partial = [
+                        sum(stage[j] for stage in stages[:depth])
+                        for j in range(self.num_reducers)
+                    ]
+                    cumulative[depth] = makespan(partial, slots)
+                breakdown = PhaseBreakdown(
+                    map=map_makespan,
+                    shuffle=cumulative[1] - cumulative[0],
+                    framework_sort=cumulative[2] - cumulative[1],
+                    group_sort=cumulative[3] - cumulative[2],
+                    evaluate=cumulative[4] - cumulative[3],
+                )
+                reduce_makespan = cumulative[4]
+                reducer_times = [
+                    shuffle[j] + fsort[j] + gsort[j] + evaluate[j]
+                    for j in range(self.num_reducers)
+                ]
+                _finish, reduce_trace = schedule(reducer_times, slots)
+
+                # The reduce phases are derived makespans, not wall-clock
+                # intervals: record them on the simulated timeline only.
+                reduce_base = sim_origin + map_makespan
+                for phase_name, depth in (
+                    ("shuffle", 1),
+                    ("sort", 2),
+                    ("group-sort", 3),
+                    ("evaluate", 4),
+                ):
+                    tracer.record_span(
+                        phase_name,
+                        reduce_base + cumulative[depth - 1],
+                        reduce_base + cumulative[depth],
+                        tasks=self.num_reducers,
+                    )
+                reduce_span.set_sim(reduce_base, reduce_base + reduce_makespan)
+                reduce_span.set(
+                    tasks=self.num_reducers,
+                    input_records=counters.reduce_input_records,
+                    output_records=counters.reduce_output_records,
+                    stragglers=reduce_stragglers,
+                )
+            tracer.add_task_spans(
+                "reduce", reduce_trace, sim_offset=reduce_base, name="reduce"
             )
-        )
-        counters.extra["stragglers"] += reduce_stragglers
-        counters.extra["speculated"] += reduce_speculated
-        for stage in (shuffle, fsort, gsort, evaluate):
-            for index, factor in enumerate(reduce_factors):
-                stage[index] *= factor
 
-        slots = cluster.reduce_slots
-        stages = [shuffle, fsort, gsort, evaluate]
-        cumulative = [0.0] * (len(stages) + 1)
-        for depth in range(1, len(stages) + 1):
-            partial = [
-                sum(stage[j] for stage in stages[:depth])
-                for j in range(self.num_reducers)
-            ]
-            cumulative[depth] = makespan(partial, slots)
-        breakdown = PhaseBreakdown(
-            map=map_makespan,
-            shuffle=cumulative[1] - cumulative[0],
-            framework_sort=cumulative[2] - cumulative[1],
-            group_sort=cumulative[3] - cumulative[2],
-            evaluate=cumulative[4] - cumulative[3],
-        )
-        reduce_makespan = cumulative[4]
-        reducer_times = [
-            shuffle[j] + fsort[j] + gsort[j] + evaluate[j]
-            for j in range(self.num_reducers)
-        ]
-        _finish, reduce_trace = schedule(reducer_times, slots)
-
-        report = JobReport(
-            name=self.name,
-            counters=counters,
-            breakdown=breakdown,
-            map_makespan=map_makespan,
-            reduce_makespan=reduce_makespan,
-            reducer_loads=loads,
-            reducer_times=reducer_times,
-            map_trace=map_trace,
-            reduce_trace=reduce_trace,
-        )
+            report = JobReport(
+                name=self.name,
+                counters=counters,
+                breakdown=breakdown,
+                map_makespan=map_makespan,
+                reduce_makespan=reduce_makespan,
+                reducer_loads=loads,
+                reducer_times=reducer_times,
+                map_trace=map_trace,
+                reduce_trace=reduce_trace,
+            )
+            job_span.set_sim(sim_origin, sim_origin + report.response_time)
+            job_span.set(
+                max_reducer_load=report.max_reducer_load,
+                load_imbalance=report.load_imbalance,
+            )
+        logger.debug("job %s finished: %s", self.name, report.summary())
         return JobResult(outputs=outputs, report=report)

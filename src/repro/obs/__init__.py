@@ -1,0 +1,59 @@
+"""Observability: tracing, metrics, run manifests and exporters.
+
+The paper's argument is about *where time goes* -- per-phase makespans,
+per-reducer loads, optimizer predictions versus reality.  This package
+makes those signals first-class and machine-readable:
+
+* :class:`Tracer` -- nested span events carrying wall-clock *and*
+  simulated-clock timestamps plus structured attributes; disabled code
+  paths use the no-op :data:`NULL_TRACER` at near-zero cost;
+* :class:`MetricsRegistry` -- named counters/gauges/histograms fed by
+  job counters, reducer loads and optimizer decisions;
+* exporters -- JSONL event logs, Chrome trace-event JSON (viewable in
+  Perfetto / ``chrome://tracing`` with per-slot task tracks), and a
+  live ``--verbose`` progress sink;
+* :class:`RunManifest` -- one JSON artifact per evaluation (plan,
+  config, counters, breakdown, environment, git sha) consumed by
+  ``repro stats``;
+* :func:`configure_logging` -- one consistent handler for the whole
+  ``repro.*`` logger hierarchy.
+
+See ``docs/observability.md`` for a walkthrough.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    progress_sink,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.logconfig import configure_logging
+from repro.obs.manifest import (
+    RunManifest,
+    counters_from_dict,
+    counters_to_dict,
+    environment_info,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, SpanEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "RunManifest",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "chrome_trace_events",
+    "configure_logging",
+    "counters_from_dict",
+    "counters_to_dict",
+    "environment_info",
+    "progress_sink",
+    "write_chrome_trace",
+    "write_jsonl",
+]

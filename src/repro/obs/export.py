@@ -1,0 +1,207 @@
+"""Span-event exporters: JSONL, Chrome trace-event JSON, live progress.
+
+Three consumers of the same :class:`~repro.obs.tracer.SpanEvent` stream:
+
+* :func:`write_jsonl` -- one JSON object per event, the stable
+  machine-readable log for ad-hoc analysis;
+* :func:`write_chrome_trace` / :func:`chrome_trace_events` -- the Chrome
+  trace-event format (open ``trace.json`` at https://ui.perfetto.dev or
+  ``chrome://tracing``).  The simulated timeline renders as one process
+  with the phase span tree plus one thread row per (track, slot) pair --
+  map and reduce task placements become per-slot tracks -- and the wall
+  clock renders as a second process for profiling the reproduction
+  itself;
+* :func:`progress_sink` -- a human-readable live sink for ``--verbose``
+  runs, printing each span as it finishes.
+
+All timestamps in the Chrome export are microseconds, as the format
+requires; simulated seconds are scaled by 1e6.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import IO, Iterable, Optional, Sequence
+
+from repro.obs.tracer import SpanEvent
+
+__all__ = [
+    "chrome_trace_events",
+    "progress_sink",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+#: Process ids of the Chrome trace: one per conceptual timeline.
+_PID_SIM = 1
+_PID_WALL = 2
+
+#: Seconds -> trace-event microseconds.
+_US = 1e6
+
+
+def write_jsonl(events: Iterable[SpanEvent], target: str | IO[str]) -> int:
+    """Write one JSON object per span event; returns the event count.
+
+    *target* is a path or an open text stream.
+    """
+    if isinstance(target, str):
+        with open(target, "w") as handle:
+            return write_jsonl(events, handle)
+    count = 0
+    for event in events:
+        target.write(json.dumps(event.to_dict(), sort_keys=True))
+        target.write("\n")
+        count += 1
+    return count
+
+
+def _track_threads(events: Sequence[SpanEvent]) -> dict[tuple[str, int], int]:
+    """Assign one simulated-process thread id per (track, slot) row.
+
+    Thread 0 is the phase tree; task tracks follow, grouped by track
+    name then slot so Perfetto shows ``map slot 0..n`` above
+    ``reduce slot 0..n``.
+    """
+    rows = sorted(
+        {
+            (event.track, event.slot or 0)
+            for event in events
+            if event.track is not None
+        }
+    )
+    return {row: index + 1 for index, row in enumerate(rows)}
+
+
+def chrome_trace_events(events: Sequence[SpanEvent]) -> list[dict]:
+    """Convert span events to a Chrome trace-event list.
+
+    Spans with simulated timestamps land on the "simulated cluster"
+    process; every span also lands on the "wall clock" process with
+    timestamps rebased to the first event, so both timelines start at
+    zero.
+    """
+    out: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _PID_SIM,
+            "tid": 0,
+            "args": {"name": "simulated cluster"},
+        },
+        {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": _PID_SIM,
+            "tid": 0,
+            "args": {"name": "phases"},
+        },
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _PID_WALL,
+            "tid": 0,
+            "args": {"name": "wall clock"},
+        },
+    ]
+    threads = _track_threads(events)
+    for (track, slot), tid in threads.items():
+        out.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _PID_SIM,
+                "tid": tid,
+                "args": {"name": f"{track} slot {slot}"},
+            }
+        )
+
+    wall_base = min((event.wall_start for event in events), default=0.0)
+    for event in events:
+        args = {
+            key: value
+            for key, value in event.attributes.items()
+            if isinstance(value, (str, int, float, bool)) or value is None
+        }
+        if event.sim_start is not None and event.sim_end is not None:
+            tid = 0
+            if event.track is not None:
+                tid = threads[(event.track, event.slot or 0)]
+            out.append(
+                {
+                    "name": event.name,
+                    "cat": event.track or "phase",
+                    "ph": "X",
+                    "ts": event.sim_start * _US,
+                    "dur": (event.sim_end - event.sim_start) * _US,
+                    "pid": _PID_SIM,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+        if event.track is None:
+            # Task placements exist only in simulated time; everything
+            # else is a real nested interval worth profiling.
+            out.append(
+                {
+                    "name": event.name,
+                    "cat": "wall",
+                    "ph": "X",
+                    "ts": (event.wall_start - wall_base) * _US,
+                    "dur": event.wall_duration * _US,
+                    "pid": _PID_WALL,
+                    "tid": 0,
+                    "args": args,
+                }
+            )
+    return out
+
+
+def write_chrome_trace(events: Sequence[SpanEvent],
+                       target: str | IO[str]) -> int:
+    """Write the Chrome trace JSON; returns the trace-event count.
+
+    *target* is a path or an open text stream; the result loads in
+    Perfetto or ``chrome://tracing`` unmodified.
+    """
+    if isinstance(target, str):
+        with open(target, "w") as handle:
+            return write_chrome_trace(events, handle)
+    trace_events = chrome_trace_events(events)
+    json.dump(
+        {"traceEvents": trace_events, "displayTimeUnit": "ms"},
+        target,
+        indent=1,
+    )
+    target.write("\n")
+    return len(trace_events)
+
+
+def progress_sink(stream: Optional[IO[str]] = None, max_depth: int = 3):
+    """A live sink for ``Tracer(on_event=...)``: one line per span.
+
+    Prints indented span completions with wall and simulated durations;
+    spans deeper than *max_depth* (per-task, per-block noise) are
+    suppressed.  Returns the callback.
+    """
+    out = stream if stream is not None else sys.stderr
+
+    def sink(event: SpanEvent) -> None:
+        if event.depth > max_depth or event.track is not None:
+            return
+        clocks = [f"wall {event.wall_duration * 1e3:.1f}ms"]
+        if event.sim_duration is not None:
+            clocks.append(f"sim {event.sim_duration:.4f}s")
+        detail = "".join(
+            f" {key}={value}"
+            for key, value in event.attributes.items()
+            if isinstance(value, (str, int, float, bool))
+        )
+        print(
+            f"{'  ' * event.depth}{event.name} "
+            f"[{', '.join(clocks)}]{detail}",
+            file=out,
+        )
+
+    return sink

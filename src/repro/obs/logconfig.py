@@ -1,0 +1,57 @@
+"""Consistent logging configuration for the ``repro`` package tree.
+
+Every module in the package logs through ``logging.getLogger(__name__)``
+so records carry their true origin (``repro.mapreduce.engine``,
+``repro.parallel.executor``, ...).  :func:`configure_logging` attaches
+one stream handler to the shared ``repro`` parent logger -- idempotent,
+so the CLI's ``--verbose``/``-q`` flags and library callers can call it
+freely without duplicating output.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional
+
+__all__ = ["configure_logging"]
+
+#: The root of the package's logger hierarchy.
+ROOT_LOGGER = "repro"
+
+#: Marker distinguishing our handler from ones callers installed.
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def configure_logging(
+    level: int | str = logging.INFO,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger hierarchy and return its root.
+
+    Installs (or re-levels) a single ``StreamHandler`` on the ``repro``
+    parent logger with a terse ``level name: message`` format.  Calling
+    it again replaces the previous configuration instead of stacking
+    handlers.  *level* accepts either a logging constant or a name like
+    ``"DEBUG"``; *stream* defaults to ``sys.stderr``.
+    """
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown logging level {level!r}")
+        level = resolved
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    setattr(handler, _HANDLER_FLAG, True)
+    logger.addHandler(handler)
+    # Do not bubble into the root logger: ad-hoc basicConfig callers
+    # would otherwise see every record twice.
+    logger.propagate = False
+    return logger

@@ -1,0 +1,252 @@
+"""Run manifests: one JSON artifact per evaluation, fully reproducible.
+
+A :class:`RunManifest` captures everything needed to interpret (and
+re-run) one evaluation after the fact: the query, the chosen plan, the
+cluster and execution configuration, the full
+:class:`~repro.mapreduce.counters.JobCounters` and
+:class:`~repro.mapreduce.counters.PhaseBreakdown`, per-reducer loads,
+the metrics snapshot, and the environment (Python version, platform,
+git commit).  ``repro trace`` writes one next to every exported trace;
+``repro stats`` renders one back into a human summary.
+
+Counters and breakdowns are serialized field-by-field via
+:func:`dataclasses.fields`, so the manifest schema follows the engine's
+counter set automatically and :meth:`RunManifest.job_counters`
+round-trips bit-identically to the original report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import platform
+import subprocess
+import sys
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import IO, Optional
+
+from repro.mapreduce.counters import JobCounters, PhaseBreakdown
+
+__all__ = [
+    "RunManifest",
+    "counters_from_dict",
+    "counters_to_dict",
+    "environment_info",
+]
+
+#: Manifest schema version, bumped on incompatible layout changes.
+SCHEMA_VERSION = 1
+
+
+def counters_to_dict(counters: JobCounters) -> dict:
+    """Serialize counters field-by-field (``extra`` becomes a mapping)."""
+    data = {}
+    for f in dataclasses.fields(counters):
+        value = getattr(counters, f.name)
+        data[f.name] = dict(value) if isinstance(value, Counter) else value
+    return data
+
+
+def counters_from_dict(data: dict) -> JobCounters:
+    """Rebuild :class:`JobCounters`; inverse of :func:`counters_to_dict`."""
+    kwargs = dict(data)
+    kwargs["extra"] = Counter(kwargs.get("extra", {}))
+    return JobCounters(**kwargs)
+
+
+def breakdown_to_dict(breakdown: PhaseBreakdown) -> dict:
+    """Serialize a phase breakdown field-by-field."""
+    return {
+        f.name: getattr(breakdown, f.name)
+        for f in dataclasses.fields(breakdown)
+    }
+
+
+def breakdown_from_dict(data: dict) -> PhaseBreakdown:
+    """Rebuild a :class:`PhaseBreakdown` from its mapping form."""
+    return PhaseBreakdown(**data)
+
+
+def git_revision() -> Optional[str]:
+    """The repository's current commit sha, or ``None`` outside git."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=str(pathlib.Path(__file__).parent),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def environment_info() -> dict:
+    """Python/platform/git facts pinned into every manifest."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "git_sha": git_revision(),
+    }
+
+
+@dataclass
+class RunManifest:
+    """Everything about one evaluation, as a JSON-ready record."""
+
+    query: str
+    plan: str
+    response_time: float
+    map_makespan: float
+    reduce_makespan: float
+    counters: dict
+    breakdown: dict
+    reducer_loads: list
+    load_imbalance: float
+    config: dict = field(default_factory=dict)
+    environment: dict = field(default_factory=environment_info)
+    metrics: dict = field(default_factory=dict)
+    created_at: str = field(
+        default_factory=lambda: time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    )
+    schema_version: int = SCHEMA_VERSION
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_result(
+        cls,
+        outcome,
+        query: str = "",
+        cluster_config=None,
+        execution_config=None,
+        metrics=None,
+    ) -> "RunManifest":
+        """Build a manifest from a parallel evaluation outcome.
+
+        *outcome* is a :class:`~repro.parallel.report.ParallelResult`
+        (anything with ``.plan`` and ``.job``); the configs are the
+        dataclasses used for the run, and *metrics* an optional
+        :class:`~repro.obs.metrics.MetricsRegistry`.
+        """
+        report = outcome.job
+        config: dict = {}
+        if cluster_config is not None:
+            config["cluster"] = dataclasses.asdict(cluster_config)
+        if execution_config is not None:
+            config["execution"] = dataclasses.asdict(execution_config)
+        return cls(
+            query=query,
+            plan=outcome.plan.describe(),
+            response_time=report.response_time,
+            map_makespan=report.map_makespan,
+            reduce_makespan=report.reduce_makespan,
+            counters=counters_to_dict(report.counters),
+            breakdown=breakdown_to_dict(report.breakdown),
+            reducer_loads=list(report.reducer_loads),
+            load_imbalance=report.load_imbalance,
+            config=config,
+            metrics=metrics.to_dict() if metrics is not None else {},
+        )
+
+    # -- round-trips ------------------------------------------------------------
+
+    def job_counters(self) -> JobCounters:
+        """The run's counters, identical to the original report's."""
+        return counters_from_dict(self.counters)
+
+    def phase_breakdown(self) -> PhaseBreakdown:
+        """The run's phase breakdown as a live object."""
+        return breakdown_from_dict(self.breakdown)
+
+    def to_dict(self) -> dict:
+        """The JSON document this manifest serializes to."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunManifest":
+        """Rebuild a manifest from its JSON document."""
+        version = data.get("schema_version", SCHEMA_VERSION)
+        if version > SCHEMA_VERSION:
+            raise ValueError(
+                f"manifest schema v{version} is newer than this "
+                f"reader (v{SCHEMA_VERSION})"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    # -- persistence ------------------------------------------------------------
+
+    def write(self, target: str | IO[str]) -> None:
+        """Write the manifest as indented JSON to a path or stream."""
+        if isinstance(target, str):
+            with open(target, "w") as handle:
+                self.write(handle)
+            return
+        json.dump(self.to_dict(), target, indent=2, sort_keys=True)
+        target.write("\n")
+
+    @classmethod
+    def load(cls, source: str | IO[str]) -> "RunManifest":
+        """Read a manifest back from a path or stream."""
+        if isinstance(source, str):
+            with open(source) as handle:
+                return cls.load(handle)
+        return cls.from_dict(json.load(source))
+
+    # -- presentation -----------------------------------------------------------
+
+    def summary(self) -> str:
+        """A multi-line human summary (what ``repro stats`` prints)."""
+        breakdown = self.phase_breakdown()
+        counters = self.job_counters()
+        lines = [
+            f"run of {self.created_at}  (schema v{self.schema_version})",
+            f"query: {self.query}" if self.query else "query: (unrecorded)",
+            f"plan:  {self.plan}",
+            (
+                f"simulated response time {self.response_time:.4f}s "
+                f"(map {self.map_makespan:.4f}s + "
+                f"reduce {self.reduce_makespan:.4f}s)"
+            ),
+            "phases: "
+            + "  ".join(
+                f"{name}={value:.4f}s"
+                for name, value in self.breakdown.items()
+            ),
+            "cumulative: "
+            + "  ".join(
+                f"{name}={value:.4f}s"
+                for name, value in breakdown.cumulative().items()
+            ),
+            "counters:",
+        ]
+        for name, value in sorted(self.counters.items()):
+            if name == "extra":
+                for key, extra_value in sorted(value.items()):
+                    lines.append(f"  extra.{key:<26} {extra_value}")
+            else:
+                lines.append(f"  {name:<32} {value}")
+        loads = self.reducer_loads
+        if loads:
+            lines.append(
+                f"reducers: {len(loads)} loads, max {max(loads)}, "
+                f"imbalance {self.load_imbalance:.2f} "
+                f"(replication x{counters.replication_factor:.2f})"
+            )
+        env = ", ".join(
+            f"{key}={value}"
+            for key, value in self.environment.items()
+            if value is not None
+        )
+        if env:
+            lines.append(f"environment: {env}")
+        return "\n".join(lines)

@@ -1,0 +1,187 @@
+"""Named counters, gauges and histograms for run-level metrics.
+
+A :class:`MetricsRegistry` is a flat namespace of instruments that the
+execution stack feeds: :class:`~repro.mapreduce.counters.JobCounters`
+flow in wholesale (one counter per dataclass field, derived with
+:func:`dataclasses.fields` so new engine counters can never be silently
+dropped), reducer loads land in a histogram, and the optimizer records
+its decisions (chosen key, clustering factor, predicted vs. actual max
+load) as gauges.
+
+Everything is plain Python and deterministic given deterministic
+inputs; :meth:`MetricsRegistry.to_dict` produces the JSON-ready
+snapshot embedded in every :class:`~repro.obs.manifest.RunManifest`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter as _CollectionsCounter
+from typing import Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add *amount* (must be non-negative) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins observed value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+
+class Histogram:
+    """A distribution of observations with summary statistics.
+
+    Keeps every observation (runs are small and deterministic), so
+    exact percentiles are available without bucketing error.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The *q*-th percentile (0..100, nearest-rank) of observations."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile {q} outside [0, 100]")
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = min(len(ordered) - 1, int(q / 100 * len(ordered)))
+        return ordered[rank]
+
+    def summary(self) -> dict:
+        """Count/min/max/mean/p50/p99 as a JSON-ready mapping."""
+        if not self.values:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "min": min(self.values),
+            "max": max(self.values),
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """A namespace of named instruments, created on first use."""
+
+    def __init__(self):
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- instrument access ------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called *name*."""
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called *name*."""
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram called *name*."""
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(name)
+        return instrument
+
+    # -- convenience recording --------------------------------------------------
+
+    def inc(self, name: str, amount: int | float = 1) -> None:
+        """Increment counter *name* by *amount*."""
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge *name* to *value*."""
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record *value* into histogram *name*."""
+        self.histogram(name).observe(value)
+
+    def record_job_counters(self, counters, prefix: str = "job.") -> None:
+        """Fold a :class:`~repro.mapreduce.counters.JobCounters` in.
+
+        One registry counter per dataclass field -- the field list comes
+        from :func:`dataclasses.fields`, so a counter added to the
+        engine automatically appears here.  The ``extra`` Counter's
+        entries land under ``<prefix>extra.<key>``.
+        """
+        for field in dataclasses.fields(counters):
+            value = getattr(counters, field.name)
+            if isinstance(value, _CollectionsCounter):
+                for key, count in value.items():
+                    self.inc(f"{prefix}extra.{key}", count)
+            else:
+                self.inc(prefix + field.name, value)
+
+    # -- export -----------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-ready snapshot of every instrument."""
+        return {
+            "counters": {
+                name: instrument.value
+                for name, instrument in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: instrument.value
+                for name, instrument in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: instrument.summary()
+                for name, instrument in sorted(self.histograms.items())
+            },
+        }

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.cube.records import Record
+from repro.obs.tracer import NULL_TRACER
 from repro.query.workflow import Workflow, connected_components
 from repro.distribution.clustering import BlockScheme
 from repro.distribution.derive import candidate_keys
@@ -40,7 +41,7 @@ from repro.optimizer.skew import (
 )
 
 
-logger = logging.getLogger("repro.optimizer")
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -158,10 +159,16 @@ class QueryPlan:
 
 
 class Optimizer:
-    """Searches for the scheme minimizing the heaviest reducer load."""
+    """Searches for the scheme minimizing the heaviest reducer load.
 
-    def __init__(self, config: OptimizerConfig | None = None):
+    *tracer* (a :class:`repro.obs.Tracer`, disabled by default) records
+    one ``plan-component`` span per search, carrying every candidate's
+    predicted load and the chosen scheme.
+    """
+
+    def __init__(self, config: OptimizerConfig | None = None, tracer=None):
         self.config = config or OptimizerConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- per-candidate costing ---------------------------------------------------
 
@@ -235,18 +242,47 @@ class Optimizer:
         if num_reducers <= 0:
             raise ValueError("num_reducers must be positive")
 
+        with self.tracer.span(
+            "plan-component",
+            component=component_index,
+            n_records=n_records,
+            num_reducers=num_reducers,
+        ) as span:
+            plan = self._plan_traced(
+                workflow, n_records, num_reducers, records, key_cache,
+                component_index, span,
+            )
+        return plan
+
+    def _plan_traced(
+        self,
+        workflow: Workflow,
+        n_records: int,
+        num_reducers: int,
+        records: Optional[Sequence[Record]],
+        key_cache: Optional[KeyCache],
+        component_index: int,
+        span,
+    ) -> Plan:
+        """The search body of :meth:`plan`, annotating *span* as it goes."""
         cached = key_cache.find(workflow) if key_cache else None
         if cached is not None:
             scheme, load = self.cost_candidate(
                 cached, n_records, num_reducers
             )
-            return Plan(
+            plan = Plan(
                 scheme,
                 num_reducers,
                 load,
                 strategy="cache",
                 candidates_considered=1,
             )
+            span.set(
+                strategy="cache",
+                chosen_key=repr(scheme.key),
+                predicted_max_load=load,
+            )
+            return plan
 
         scored = [
             self.cost_candidate(key, n_records, num_reducers)
@@ -309,6 +345,16 @@ class Optimizer:
 
         if key_cache is not None:
             key_cache.store(plan.scheme.key)
+        span.set(
+            strategy=plan.strategy,
+            chosen_key=repr(plan.scheme.key),
+            clustering_factors=dict(plan.scheme.clustering_factors),
+            predicted_max_load=plan.predicted_max_load,
+            candidates=[
+                {"key": repr(scheme.key), "predicted_max_load": load}
+                for scheme, load in scored
+            ],
+        )
         logger.debug(
             "planned %s over %d candidates: %s",
             list(workflow.names),

@@ -17,12 +17,14 @@ so operators can audit why a plan was chosen.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.cube.records import Record
 from repro.mapreduce.cluster import SimulatedCluster
 from repro.mapreduce.dfs import DistributedFile
+from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.optimizer import Optimizer, QueryPlan
 from repro.optimizer.skew import (
     detect_skew,
@@ -36,6 +38,8 @@ from repro.optimizer.skew import (
 from repro.query.workflow import Workflow
 from repro.parallel.executor import ExecutionConfig, ParallelEvaluator
 from repro.parallel.report import ParallelResult
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -90,6 +94,7 @@ class AdaptiveEvaluator:
         skew_threshold: float = 2.0,
         sample_size: int = 2000,
         sample_seed: int = 13,
+        tracer=None,
     ):
         base = config or ExecutionConfig()
         if base.optimizer.use_sampling:
@@ -107,7 +112,8 @@ class AdaptiveEvaluator:
         self.skew_threshold = skew_threshold
         self.sample_size = sample_size
         self.sample_seed = sample_seed
-        self._executor = ParallelEvaluator(cluster, base)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._executor = ParallelEvaluator(cluster, base, tracer=self.tracer)
 
     def evaluate(
         self,
@@ -152,14 +158,14 @@ class AdaptiveEvaluator:
             else:
                 replanned = False
             subplans.append((component, plan))
-            decisions.append(
-                AdaptiveDecision(
-                    skew_detected=skewed,
-                    sampled_loads=loads,
-                    replanned=replanned,
-                    imbalance=imbalance,
-                )
+            decision = AdaptiveDecision(
+                skew_detected=skewed,
+                sampled_loads=loads,
+                replanned=replanned,
+                imbalance=imbalance,
             )
+            decisions.append(decision)
+            logger.info("component %d: %s", index, decision.describe())
 
         outcome = self._executor.evaluate(
             workflow, source, plan=QueryPlan(subplans)

@@ -40,6 +40,7 @@ from repro.optimizer.optimizer import (
     Plan,
     QueryPlan,
 )
+from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.skew import KeyCache
 from repro.query.workflow import Workflow, connected_components
 from repro.parallel.report import ParallelResult
@@ -52,7 +53,7 @@ _PARTIAL = "__partial__"
 _PARTIAL_STATE_BYTES = 64
 
 
-logger = logging.getLogger("repro.parallel")
+logger = logging.getLogger(__name__)
 
 
 class DuplicateResultError(RuntimeError):
@@ -93,16 +94,28 @@ class ExecutionConfig:
 
 
 class ParallelEvaluator:
-    """Evaluates workflows on a simulated cluster, one job per query."""
+    """Evaluates workflows on a simulated cluster, one job per query.
+
+    *tracer* (a :class:`repro.obs.Tracer`) records the evaluation's
+    span tree -- optimize, map, shuffle, sort, evaluate, per-slot task
+    placements -- and *metrics* (a
+    :class:`repro.obs.MetricsRegistry`) receives job counters, reducer
+    loads, and the optimizer's predicted-versus-actual max load.  Both
+    default to disabled no-ops.
+    """
 
     def __init__(
         self,
         cluster: SimulatedCluster,
         config: ExecutionConfig | None = None,
+        tracer=None,
+        metrics=None,
     ):
         self.cluster = cluster
         self.config = config or ExecutionConfig()
-        self.optimizer = Optimizer(self.config.optimizer)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.optimizer = Optimizer(self.config.optimizer, tracer=self.tracer)
 
     # -- input handling -------------------------------------------------------------
 
@@ -247,7 +260,7 @@ class ParallelEvaluator:
         filters = []
         basics_by_component = []
         for component, subplan in plan.subplans:
-            evaluators.append(BlockEvaluator(component))
+            evaluators.append(BlockEvaluator(component, tracer=self.tracer))
             filters.append(
                 {
                     measure.name: subplan.scheme.make_result_filter(
@@ -313,42 +326,86 @@ class ParallelEvaluator:
                 "measure in its component to anchor its regions"
             )
 
-        input_file = self._resolve_input(data)
-        query_plan = self._resolve_plan(workflow, input_file, plan, key_cache)
+        with self.tracer.span(
+            "evaluate-query", measures=len(workflow)
+        ) as root:
+            input_file = self._resolve_input(data)
+            with self.tracer.span("optimize") as optimize_span:
+                query_plan = self._resolve_plan(
+                    workflow, input_file, plan, key_cache
+                )
+                optimize_span.set(
+                    components=len(query_plan.subplans),
+                    predicted_max_load=query_plan.predicted_max_load,
+                    plan=query_plan.describe(),
+                )
 
-        record_bytes = estimated_record_bytes(workflow.schema)
-        local_stats = LocalStats()
-        job = MapReduceJob(
-            mapper=self._make_mapper(query_plan),
-            reducer=self._make_reducer(query_plan, record_bytes, local_stats),
-            num_reducers=query_plan.num_reducers,
-            combiner=(
-                self._make_combiner(query_plan)
-                if self.config.early_aggregation
-                else None
-            ),
-            partitioner=self._make_partitioner(query_plan),
-            record_bytes=record_bytes,
-            value_bytes=_value_bytes(record_bytes),
-            combined_sort=self.config.combined_sort,
-            name="composite-query",
-        )
-        logger.info(
-            "evaluating %d measures over %d records: %s",
-            len(workflow),
-            input_file.num_records,
-            query_plan.describe(),
-        )
-        job_result = job.run(input_file, self.cluster)
-        logger.info("job finished: %s", job_result.report.summary())
+            record_bytes = estimated_record_bytes(workflow.schema)
+            local_stats = LocalStats()
+            job = MapReduceJob(
+                mapper=self._make_mapper(query_plan),
+                reducer=self._make_reducer(
+                    query_plan, record_bytes, local_stats
+                ),
+                num_reducers=query_plan.num_reducers,
+                combiner=(
+                    self._make_combiner(query_plan)
+                    if self.config.early_aggregation
+                    else None
+                ),
+                partitioner=self._make_partitioner(query_plan),
+                record_bytes=record_bytes,
+                value_bytes=_value_bytes(record_bytes),
+                combined_sort=self.config.combined_sort,
+                name="composite-query",
+            )
+            logger.info(
+                "evaluating %d measures over %d records: %s",
+                len(workflow),
+                input_file.num_records,
+                query_plan.describe(),
+            )
+            job_result = job.run(input_file, self.cluster, tracer=self.tracer)
+            logger.info("job finished: %s", job_result.report.summary())
 
-        result = union_outputs(workflow, job_result.outputs)
+            result = union_outputs(workflow, job_result.outputs)
+            root.set_sim(0.0, job_result.report.response_time)
+            root.set(rows=result.total_rows())
+        if self.metrics is not None:
+            self._record_metrics(query_plan, job_result.report)
         return ParallelResult(
             result=result,
             plan=query_plan,
             job=job_result.report,
             local_stats=local_stats,
         )
+
+    def _record_metrics(self, query_plan: QueryPlan, report) -> None:
+        """Feed one job's outcome into the attached metrics registry."""
+        metrics = self.metrics
+        metrics.record_job_counters(report.counters)
+        for load in report.reducer_loads:
+            metrics.observe("job.reducer_load", load)
+        metrics.set_gauge("job.response_time", report.response_time)
+        metrics.set_gauge("job.map_makespan", report.map_makespan)
+        metrics.set_gauge("job.reduce_makespan", report.reduce_makespan)
+        metrics.set_gauge("job.load_imbalance", report.load_imbalance)
+        metrics.set_gauge("job.actual_max_load", report.max_reducer_load)
+        metrics.set_gauge(
+            "optimizer.predicted_max_load", query_plan.predicted_max_load
+        )
+        for index, (_component, subplan) in enumerate(query_plan.subplans):
+            prefix = f"optimizer.component{index}."
+            metrics.set_gauge(
+                prefix + "predicted_max_load", subplan.predicted_max_load
+            )
+            metrics.set_gauge(prefix + "blocks", subplan.scheme.num_blocks())
+            metrics.inc(
+                prefix + "candidates_considered",
+                subplan.candidates_considered,
+            )
+            for attr, cf in subplan.scheme.clustering_factors.items():
+                metrics.set_gauge(prefix + f"cf.{attr}", cf)
 
 
 def _merge_partials(basics, values) -> dict[str, MeasureTable]:

@@ -20,6 +20,7 @@ with the simulated executor; only the transport differs.
 
 from __future__ import annotations
 
+import logging
 import os
 from collections import defaultdict
 from concurrent.futures import ProcessPoolExecutor
@@ -35,6 +36,8 @@ from repro.optimizer.optimizer import Optimizer, OptimizerConfig
 from repro.query.functions import Expression
 from repro.query.workflow import Workflow, connected_components
 from repro.parallel.executor import union_outputs
+
+logger = logging.getLogger(__name__)
 
 # Worker-process state, set up once per pool by _init_worker.
 _WORKER: dict = {}
@@ -158,6 +161,12 @@ class MultiprocessEvaluator:
             )
         plan = self.optimizer.plan_query(
             workflow, len(records), num_reducers=partitions, records=sample
+        )
+        logger.info(
+            "dispatching %d records over %d processes: %s",
+            len(records),
+            self.processes,
+            plan.describe(),
         )
 
         # Scatter: replicate records into blocks (driver side), then

@@ -17,6 +17,7 @@ up to floating-point rounding.
 
 from __future__ import annotations
 
+import logging
 from typing import Sequence
 
 from repro.cube.domains import ALL
@@ -28,9 +29,12 @@ from repro.local.sortscan import compute_composite
 from repro.mapreduce.cluster import SimulatedCluster
 from repro.mapreduce.dfs import DistributedFile
 from repro.mapreduce.engine import MapReduceJob
+from repro.obs.tracer import NULL_TRACER
 from repro.query.measures import Measure, Relationship
 from repro.query.workflow import Workflow
 from repro.parallel.report import MultiJobResult
+
+logger = logging.getLogger(__name__)
 
 #: Tag for anchor rows shipped alongside source rows in join jobs.
 _ANCHOR = -1
@@ -48,9 +52,11 @@ class NaiveEvaluator:
         self,
         cluster: SimulatedCluster,
         num_reducers: int | None = None,
+        tracer=None,
     ):
         self.cluster = cluster
         self.num_reducers = num_reducers or cluster.reduce_slots
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- per-measure jobs ----------------------------------------------------------
 
@@ -187,27 +193,46 @@ class NaiveEvaluator:
         tables: dict[str, MeasureTable] = {}
         anchor_cache: dict[Granularity, set] = {}
         reports = []
-        for measure in workflow.topological_order():
-            if measure.is_basic:
-                job = self._basic_job(measure, input_file)
-                job_input = input_file
-            else:
-                join = self._join_granularity(measure)
-                rows = self._composite_job_input(
-                    measure, tables, records, join, anchor_cache
+        with self.tracer.span(
+            "evaluate-naive", measures=len(workflow)
+        ) as root:
+            # Jobs run back to back, so each one starts on the simulated
+            # timeline where its predecessor finished.
+            sim_origin = 0.0
+            for measure in workflow.topological_order():
+                if measure.is_basic:
+                    job = self._basic_job(measure, input_file)
+                    job_input = input_file
+                else:
+                    join = self._join_granularity(measure)
+                    rows = self._composite_job_input(
+                        measure, tables, records, join, anchor_cache
+                    )
+                    job_input = self.cluster.dfs.write(
+                        f"naive-tmp:{measure.name}", rows
+                    )
+                    job = self._composite_job(measure, join)
+                outcome = job.run(
+                    job_input,
+                    self.cluster,
+                    tracer=self.tracer,
+                    sim_origin=sim_origin,
                 )
-                job_input = self.cluster.dfs.write(
-                    f"naive-tmp:{measure.name}", rows
+                sim_origin += outcome.report.response_time
+                logger.info(
+                    "naive job for %s: %s",
+                    measure.name,
+                    outcome.report.summary(),
                 )
-                job = self._composite_job(measure, join)
-            outcome = job.run(job_input, self.cluster)
-            table = MeasureTable(measure.granularity)
-            for coords, value in outcome.outputs:
-                table[coords] = value
-            tables[measure.name] = table
-            reports.append(outcome.report)
-            if not measure.is_basic:
-                self.cluster.dfs.delete(f"naive-tmp:{measure.name}")
+                table = MeasureTable(measure.granularity)
+                for coords, value in outcome.outputs:
+                    table[coords] = value
+                tables[measure.name] = table
+                reports.append(outcome.report)
+                if not measure.is_basic:
+                    self.cluster.dfs.delete(f"naive-tmp:{measure.name}")
+            root.set_sim(0.0, sim_origin)
+            root.set(jobs=len(reports))
 
         result = ResultSet(
             {m.name: tables[m.name] for m in workflow.measures}

@@ -21,6 +21,7 @@ Example::
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -43,6 +44,8 @@ __all__ = [
     "SessionError",
     "quick_session",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 class SessionError(ValueError):
@@ -150,6 +153,12 @@ class Session:
             workflow, handle, key_cache=self.key_cache
         )
         strategies = {plan.strategy for _wf, plan in outcome.plan.subplans}
+        logger.info(
+            "query #%d on %r: %s",
+            len(self.history),
+            dataset.name,
+            outcome.job.summary(),
+        )
         self.history.append(
             QueryRecord(
                 index=len(self.history),

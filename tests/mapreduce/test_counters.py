@@ -1,5 +1,8 @@
 """Tests for counters, breakdowns and job reports."""
 
+import dataclasses
+from collections import Counter
+
 import pytest
 
 from repro.local.sortscan import LocalStats
@@ -25,6 +28,16 @@ class TestPhaseBreakdown:
         assert a.shuffle == 1.0
         assert a.evaluate == 3.0
 
+    def test_add_sums_every_field(self):
+        # Distinct value per field: a phase dropped from aggregation
+        # (the old hand-maintained list) shows up immediately.
+        names = [f.name for f in dataclasses.fields(PhaseBreakdown)]
+        a = PhaseBreakdown(**{n: float(i + 1) for i, n in enumerate(names)})
+        b = PhaseBreakdown(**{n: 10.0 * (i + 1) for i, n in enumerate(names)})
+        a.add(b)
+        for index, name in enumerate(names):
+            assert getattr(a, name) == 11.0 * (index + 1), name
+
 
 class TestJobCounters:
     def test_replication_factor(self):
@@ -42,6 +55,30 @@ class TestJobCounters:
         assert a.shuffle_bytes == 150
         assert a.map_tasks == 3
         assert a.extra["spills"] == 5
+
+    def test_add_sums_every_field(self):
+        # Regression for the hand-maintained merge list: set a distinct
+        # value in EVERY dataclass field and assert none is dropped.
+        def filled(offset):
+            counters = JobCounters()
+            for index, f in enumerate(dataclasses.fields(counters)):
+                if f.name == "extra":
+                    counters.extra.update(
+                        {"stragglers": offset, "speculated": offset + 1}
+                    )
+                else:
+                    setattr(counters, f.name, offset * (index + 1))
+            return counters
+
+        a = filled(100)
+        a.add(filled(1))
+        for index, f in enumerate(dataclasses.fields(a)):
+            if f.name == "extra":
+                assert a.extra == Counter(
+                    {"stragglers": 101, "speculated": 103}
+                )
+            else:
+                assert getattr(a, f.name) == 101 * (index + 1), f.name
 
 
 class TestJobReport:
@@ -68,6 +105,33 @@ class TestJobReport:
     def test_summary_fields(self):
         text = self.make_report([5]).summary()
         assert "job" in text and "simulated" in text
+
+    def test_imbalance_conventions(self):
+        # One busy reducer out of four: counting idle reducers toward
+        # the mean (the paper's convention, and what load_imbalance
+        # reports) reads as heavily imbalanced; among busy reducers
+        # alone the single worker is vacuously balanced.
+        report = self.make_report([4, 0, 0, 0])
+        assert report.load_imbalance == pytest.approx(4.0)
+        assert report.imbalance(include_idle=True) == pytest.approx(4.0)
+        assert report.imbalance(include_idle=False) == pytest.approx(1.0)
+
+    def test_imbalance_busy_only_spread(self):
+        report = self.make_report([10, 20, 30, 0])
+        assert report.imbalance(include_idle=True) == pytest.approx(2.0)
+        assert report.imbalance(include_idle=False) == pytest.approx(1.5)
+
+    def test_imbalance_boundaries(self):
+        # All idle (or no reducers at all): vacuously balanced under
+        # either convention.
+        for loads in ([], [0, 0, 0]):
+            report = self.make_report(loads)
+            assert report.imbalance(include_idle=True) == 1.0
+            assert report.imbalance(include_idle=False) == 1.0
+        # Perfectly even loads: exactly 1.0 under either convention.
+        even = self.make_report([7, 7, 7])
+        assert even.imbalance(include_idle=True) == pytest.approx(1.0)
+        assert even.imbalance(include_idle=False) == pytest.approx(1.0)
 
 
 class TestLocalStats:

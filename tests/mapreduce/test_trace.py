@@ -7,6 +7,7 @@ from repro.mapreduce.cluster import SimulatedCluster, makespan
 from repro.mapreduce.engine import MapReduceJob
 from repro.mapreduce.timing import ClusterConfig
 from repro.mapreduce.trace import (
+    TaskSpan,
     render_gantt,
     schedule,
     slot_utilization,
@@ -81,6 +82,57 @@ class TestGantt:
 
     def test_empty_spans(self):
         assert "(no tasks)" in render_gantt([], 4)
+
+    def test_all_zero_duration_tasks(self):
+        spans = [TaskSpan(task=i, slot=i, start=0.0, end=0.0)
+                 for i in range(3)]
+        text = render_gantt(spans, 3)
+        assert "instantaneous" in text
+        assert "slot" not in text  # no rows: nothing to draw
+
+    def test_zero_duration_task_among_real_ones_paints_one_cell(self):
+        spans = [
+            TaskSpan(task=0, slot=0, start=0.0, end=4.0),
+            TaskSpan(task=1, slot=1, start=2.0, end=2.0),
+        ]
+        text = render_gantt(spans, 2, width=8)
+        bars = [
+            line.split("|")[1]
+            for line in text.splitlines()
+            if line.startswith("slot")
+        ]
+        # The instantaneous task still occupies >= 1 cell on its row.
+        assert bars[1].count("1") == 1
+        assert bars[0].count("0") == 8
+
+    def test_elision_reports_exact_hidden_count(self):
+        _f, spans = schedule([1.0] * 30, 30)
+        text = render_gantt(spans, 30, max_rows=4)
+        lines = text.splitlines()
+        assert sum(line.startswith("slot") for line in lines) == 4
+        assert "... 26 more slots" in text
+
+    def test_max_rows_equal_to_slots_shows_everything(self):
+        _f, spans = schedule([1.0] * 4, 4)
+        text = render_gantt(spans, 4, max_rows=4)
+        assert "more slots" not in text
+        assert sum(
+            line.startswith("slot") for line in text.splitlines()
+        ) == 4
+
+    def test_width_one_still_renders(self):
+        _f, spans = schedule([1.0, 2.0], 2)
+        text = render_gantt(spans, 2, width=1)
+        lines = text.splitlines()
+        # Each row collapses to exactly one busy cell between the pipes.
+        assert lines[0] == "slot   0 |0|"
+        assert lines[1] == "slot   1 |1|"
+
+    def test_task_past_width_is_clipped_not_crashing(self):
+        spans = [TaskSpan(task=0, slot=0, start=0.0, end=10.0)]
+        text = render_gantt(spans, 1, width=5)
+        bar = text.splitlines()[0].split("|")[1]
+        assert bar == "00000"
 
 
 class TestEngineIntegration:

@@ -1,0 +1,45 @@
+"""Tests for the shared logging configuration."""
+
+import io
+import logging
+
+from repro.obs.logconfig import configure_logging
+
+
+def repro_logger():
+    return logging.getLogger("repro")
+
+
+class TestConfigureLogging:
+    def teardown_method(self):
+        logger = repro_logger()
+        for handler in list(logger.handlers):
+            if getattr(handler, "_repro_obs_handler", False):
+                logger.removeHandler(handler)
+        logger.propagate = True
+        logger.setLevel(logging.NOTSET)
+
+    def test_installs_one_handler(self):
+        configure_logging(logging.INFO)
+        configure_logging(logging.DEBUG)  # idempotent: replaces, not stacks
+        logger = repro_logger()
+        flagged = [
+            h for h in logger.handlers
+            if getattr(h, "_repro_obs_handler", False)
+        ]
+        assert len(flagged) == 1
+        assert logger.level == logging.DEBUG
+        assert logger.propagate is False
+
+    def test_accepts_level_names(self):
+        configure_logging("warning")
+        assert repro_logger().level == logging.WARNING
+
+    def test_module_loggers_inherit(self):
+        stream = io.StringIO()
+        configure_logging(logging.INFO, stream=stream)
+        logging.getLogger("repro.parallel.executor").info("hello %d", 7)
+        logging.getLogger("repro.parallel.executor").debug("hidden")
+        out = stream.getvalue()
+        assert "INFO repro.parallel.executor: hello 7" in out
+        assert "hidden" not in out

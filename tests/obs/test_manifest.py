@@ -1,0 +1,136 @@
+"""Tests for run manifests and their round-trips."""
+
+import io
+import json
+from collections import Counter
+
+import pytest
+
+from repro.mapreduce.counters import JobCounters, JobReport, PhaseBreakdown
+from repro.obs.manifest import (
+    RunManifest,
+    breakdown_from_dict,
+    breakdown_to_dict,
+    counters_from_dict,
+    counters_to_dict,
+    environment_info,
+)
+
+
+def make_report():
+    counters = JobCounters(
+        map_input_records=1000,
+        map_output_records=1230,
+        map_tasks=4,
+        reduce_tasks=3,
+        shuffle_bytes=9840,
+        extra=Counter({"stragglers": 1}),
+    )
+    breakdown = PhaseBreakdown(
+        map=1.0, shuffle=0.5, framework_sort=0.25, group_sort=0.25,
+        evaluate=1.0,
+    )
+    return JobReport(
+        name="job",
+        counters=counters,
+        breakdown=breakdown,
+        map_makespan=1.0,
+        reduce_makespan=2.0,
+        reducer_loads=[500, 430, 300],
+    )
+
+
+class FakePlan:
+    def describe(self) -> str:
+        return "key <k:word>, 8 blocks over 3 reducers"
+
+
+class FakeOutcome:
+    plan = FakePlan()
+    job = make_report()
+
+
+class TestFieldRoundTrips:
+    def test_counters_round_trip_identically(self):
+        counters = make_report().counters
+        rebuilt = counters_from_dict(counters_to_dict(counters))
+        assert rebuilt == counters
+        assert rebuilt.extra == Counter({"stragglers": 1})
+
+    def test_counters_dict_is_json_ready(self):
+        data = counters_to_dict(make_report().counters)
+        assert isinstance(data["extra"], dict)
+        json.dumps(data)
+
+    def test_breakdown_round_trip(self):
+        breakdown = make_report().breakdown
+        assert breakdown_from_dict(breakdown_to_dict(breakdown)) == breakdown
+
+
+class TestRunManifest:
+    def test_from_result_captures_the_report(self):
+        manifest = RunManifest.from_result(FakeOutcome(), query="q")
+        report = FakeOutcome.job
+        assert manifest.query == "q"
+        assert manifest.plan == FakePlan().describe()
+        assert manifest.response_time == report.response_time
+        assert manifest.reducer_loads == [500, 430, 300]
+        assert manifest.load_imbalance == report.load_imbalance
+        assert manifest.job_counters() == report.counters
+        assert manifest.phase_breakdown() == report.breakdown
+
+    def test_write_load_round_trip(self, tmp_path):
+        manifest = RunManifest.from_result(FakeOutcome(), query="q")
+        path = tmp_path / "run.manifest.json"
+        manifest.write(str(path))
+        loaded = RunManifest.load(str(path))
+        assert loaded == manifest
+        assert loaded.job_counters() == FakeOutcome.job.counters
+
+    def test_stream_round_trip(self):
+        manifest = RunManifest.from_result(FakeOutcome())
+        stream = io.StringIO()
+        manifest.write(stream)
+        stream.seek(0)
+        assert RunManifest.load(stream) == manifest
+
+    def test_rejects_newer_schema(self):
+        data = RunManifest.from_result(FakeOutcome()).to_dict()
+        data["schema_version"] = 99
+        with pytest.raises(ValueError, match="newer"):
+            RunManifest.from_dict(data)
+
+    def test_ignores_unknown_fields(self):
+        data = RunManifest.from_result(FakeOutcome()).to_dict()
+        data["future_field"] = {"anything": 1}
+        manifest = RunManifest.from_dict(data)
+        assert not hasattr(manifest, "future_field")
+
+    def test_config_snapshot(self):
+        from repro.mapreduce.timing import ClusterConfig
+        from repro.parallel.executor import ExecutionConfig
+
+        manifest = RunManifest.from_result(
+            FakeOutcome(),
+            cluster_config=ClusterConfig(machines=7),
+            execution_config=ExecutionConfig(early_aggregation=True),
+        )
+        assert manifest.config["cluster"]["machines"] == 7
+        assert manifest.config["execution"]["early_aggregation"] is True
+        json.dumps(manifest.to_dict())
+
+    def test_summary_mentions_the_essentials(self):
+        manifest = RunManifest.from_result(FakeOutcome(), query="my query")
+        text = manifest.summary()
+        assert "my query" in text
+        assert "map_input_records" in text
+        assert "extra.stragglers" in text
+        assert "imbalance" in text
+        assert "cumulative:" in text
+
+
+class TestEnvironment:
+    def test_environment_info_shape(self):
+        env = environment_info()
+        assert set(env) >= {"python", "platform", "machine", "git_sha"}
+        json.dumps(env)

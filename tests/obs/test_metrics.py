@@ -1,0 +1,101 @@
+"""Tests for the metrics registry and its instruments."""
+
+import dataclasses
+
+import pytest
+
+from repro.mapreduce.counters import JobCounters
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("calls")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        counter = Counter("calls")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge("load")
+        assert gauge.value is None
+        gauge.set(3.0)
+        gauge.set(7.0)
+        assert gauge.value == 7.0
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        histogram = Histogram("loads")
+        for value in (4.0, 1.0, 3.0, 2.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.mean == 2.5
+        summary = histogram.summary()
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["p50"] == 3.0  # nearest-rank on sorted [1,2,3,4]
+
+    def test_empty_summary(self):
+        assert Histogram("empty").summary() == {"count": 0}
+        assert Histogram("empty").percentile(50) == 0.0
+        assert Histogram("empty").mean == 0.0
+
+    def test_percentile_bounds(self):
+        histogram = Histogram("loads")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError, match="outside"):
+            histogram.percentile(101)
+        assert histogram.percentile(0) == 1.0
+        assert histogram.percentile(100) == 1.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_convenience_recorders(self):
+        registry = MetricsRegistry()
+        registry.inc("jobs")
+        registry.inc("jobs", 2)
+        registry.set_gauge("load", 1.5)
+        registry.observe("lat", 10.0)
+        registry.observe("lat", 20.0)
+        snapshot = registry.to_dict()
+        assert snapshot["counters"]["jobs"] == 3
+        assert snapshot["gauges"]["load"] == 1.5
+        assert snapshot["histograms"]["lat"]["count"] == 2
+
+    def test_record_job_counters_covers_every_field(self):
+        # Fill EVERY dataclass field with a distinct value so a field
+        # silently skipped by the registry would be caught here.
+        counters = JobCounters()
+        for index, f in enumerate(dataclasses.fields(counters)):
+            if f.name == "extra":
+                counters.extra["stragglers"] = 99
+            else:
+                setattr(counters, f.name, index + 1)
+        registry = MetricsRegistry()
+        registry.record_job_counters(counters)
+
+        for f in dataclasses.fields(counters):
+            if f.name == "extra":
+                assert registry.counter("job.extra.stragglers").value == 99
+            else:
+                value = getattr(counters, f.name)
+                assert registry.counter(f"job.{f.name}").value == value
+
+    def test_record_job_counters_accumulates(self):
+        registry = MetricsRegistry()
+        registry.record_job_counters(JobCounters(map_input_records=10))
+        registry.record_job_counters(JobCounters(map_input_records=5))
+        assert registry.counter("job.map_input_records").value == 15

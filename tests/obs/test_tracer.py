@@ -1,0 +1,167 @@
+"""Tests for the span tracer and its null-object counterpart."""
+
+import pytest
+
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+
+class FakeClock:
+    """A deterministic injectable clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+class TestTracer:
+    def test_nested_spans_form_a_tree(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        events = {event.name: event for event in tracer.events}
+        assert events["inner"].parent_id == events["outer"].span_id
+        assert events["inner"].depth == 1
+        assert events["outer"].parent_id is None
+        assert events["outer"].depth == 0
+        # Inner finishes first; wall intervals nest.
+        assert tracer.names() == ["inner", "outer"]
+        assert events["outer"].wall_start < events["inner"].wall_start
+        assert events["inner"].wall_end < events["outer"].wall_end
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, root = (tracer.find(name)[0] for name in ("a", "b", "root"))
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+        assert a.span_id != b.span_id
+
+    def test_attributes_via_span_and_set(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("job", machines=4) as span:
+            span.set(rows=10)
+            span.set(rows=12, extra="yes")
+        (event,) = tracer.events
+        assert event.attributes == {
+            "machines": 4, "rows": 12, "extra": "yes",
+        }
+
+    def test_set_sim_pins_the_simulated_interval(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("map") as span:
+            span.set_sim(1.5, 4.0)
+        (event,) = tracer.events
+        assert event.sim_start == 1.5
+        assert event.sim_end == 4.0
+        assert event.sim_duration == 2.5
+
+    def test_set_sim_rejects_backwards_interval(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("bad") as span:
+            with pytest.raises(ValueError, match="ends before"):
+                span.set_sim(2.0, 1.0)
+
+    def test_sim_duration_none_without_sim_clock(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("wall-only"):
+            pass
+        assert tracer.events[0].sim_duration is None
+
+    def test_record_span_parents_under_open_span(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("reduce"):
+            tracer.record_span("shuffle", 0.0, 2.0, tasks=8)
+        shuffle = tracer.find("shuffle")[0]
+        reduce = tracer.find("reduce")[0]
+        assert shuffle.parent_id == reduce.span_id
+        assert shuffle.depth == 1
+        assert shuffle.sim_duration == 2.0
+        assert shuffle.wall_duration == 0.0
+        assert shuffle.attributes == {"tasks": 8}
+
+    def test_add_task_spans_replays_a_schedule(self):
+        class TaskSpan:
+            def __init__(self, task, slot, start, end):
+                self.task, self.slot = task, slot
+                self.start, self.end = start, end
+
+        tracer = Tracer(clock=FakeClock())
+        tracer.add_task_spans(
+            "map",
+            [TaskSpan(0, 0, 0.0, 1.0), TaskSpan(1, 1, 0.5, 2.0)],
+            sim_offset=10.0,
+            name="map",
+        )
+        events = tracer.find("map 1")
+        assert len(events) == 1
+        assert events[0].track == "map"
+        assert events[0].slot == 1
+        assert events[0].sim_start == 10.5
+        assert events[0].sim_end == 12.0
+
+    def test_on_event_callback_fires_per_completion(self):
+        seen = []
+        tracer = Tracer(clock=FakeClock(), on_event=seen.append)
+        with tracer.span("outer"):
+            tracer.record_span("point", 0.0, 1.0)
+        assert [event.name for event in seen] == ["point", "outer"]
+
+    def test_leaked_inner_span_does_not_corrupt_stack(self):
+        tracer = Tracer(clock=FakeClock())
+        outer = tracer.span("outer")
+        tracer.span("leaked")  # never exited
+        outer.__exit__(None, None, None)
+        with tracer.span("after"):
+            pass
+        assert tracer.find("after")[0].depth == 0
+
+    def test_span_is_reusable_as_context_manager(self):
+        tracer = Tracer(clock=FakeClock())
+        span = tracer.span("manual")
+        assert isinstance(span, Span)
+        assert span.__enter__() is span
+        span.__exit__(None, None, None)
+        assert tracer.names() == ["manual"]
+
+    def test_to_dict_omits_unset_optionals(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("plain"):
+            pass
+        data = tracer.events[0].to_dict()
+        assert "sim_start" not in data
+        assert "track" not in data
+        assert "attributes" not in data
+
+        tracer.record_span("task 0", 0.0, 1.0, track="map", slot=3, n=1)
+        data = tracer.events[-1].to_dict()
+        assert data["sim_start"] == 0.0
+        assert data["track"] == "map"
+        assert data["slot"] == 3
+        assert data["attributes"] == {"n": 1}
+
+
+class TestNullTracer:
+    def test_everything_is_a_noop(self):
+        tracer = NullTracer()
+        with tracer.span("anything", sim_start=0.0, attr=1) as span:
+            span.set(more=2)
+            span.set_sim(0.0, 1.0)
+        assert tracer.record_span("x", 0.0, 1.0) is None
+        tracer.add_task_spans("map", [])
+        assert tracer.names() == []
+        assert tracer.find("anything") == []
+        assert list(tracer.events) == []
+
+    def test_disabled_flag_and_shared_handle(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer().enabled is True
+        # One cached handle: no allocation per span on the disabled path.
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")

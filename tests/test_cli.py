@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
+import logging
+
 import pytest
 
 from repro.cli import main
@@ -141,6 +144,147 @@ class TestGantt:
         assert "map phase:" in out
         assert "reduce phase:" in out
         assert "utilization" in out
+
+
+class TestTrace:
+    def test_trace_writes_valid_chrome_trace(
+        self, weblog_query_file, tmp_path, capsys
+    ):
+        out = tmp_path / "trace.json"
+        code = main(
+            ["trace", weblog_query_file, "--records", "5000",
+             "--machines", "6", "--days", "1", "--out", str(out)]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        events = data["traceEvents"]
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        # The whole span tree made it out: planning, the map phase, and
+        # every reduce-side stage.
+        for phase in ("optimize", "map", "shuffle", "sort", "group-sort",
+                      "evaluate"):
+            assert phase in names, phase
+        # Per-slot task tracks for both phases.
+        threads = {
+            e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "map slot 0" in threads
+        assert "reduce slot 0" in threads
+        assert "wrote" in capsys.readouterr().out
+
+    def test_trace_manifest_round_trips_counters(
+        self, weblog_query_file, tmp_path, capsys
+    ):
+        from repro.mapreduce.cluster import SimulatedCluster
+        from repro.mapreduce.timing import ClusterConfig
+        from repro.obs import RunManifest
+        from repro.parallel.executor import ParallelEvaluator
+        from repro.workload.weblog import generate_sessions, weblog_schema
+
+        out = tmp_path / "trace.json"
+        code = main(
+            ["trace", weblog_query_file, "--records", "5000",
+             "--machines", "6", "--days", "1", "--seed", "7",
+             "--out", str(out)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        manifest = RunManifest.load(str(tmp_path / "trace.manifest.json"))
+
+        # Re-run the identical evaluation directly; the manifest's
+        # counters must round-trip bit-identically to the JobReport.
+        schema = weblog_schema(days=1)
+        from repro.query.parser import parse_workflow
+
+        workflow = parse_workflow(WEBLOG_QUERY, schema)
+        records = generate_sessions(schema, 5000, seed=7)
+        cluster = SimulatedCluster(ClusterConfig(machines=6))
+        outcome = ParallelEvaluator(cluster).evaluate(workflow, records)
+        assert manifest.job_counters() == outcome.job.counters
+        assert manifest.phase_breakdown() == outcome.job.breakdown
+        assert manifest.response_time == outcome.job.response_time
+        assert manifest.reducer_loads == list(outcome.job.reducer_loads)
+
+    def test_trace_optional_outputs(
+        self, weblog_query_file, tmp_path, capsys
+    ):
+        out = tmp_path / "t.json"
+        manifest = tmp_path / "custom.manifest.json"
+        events = tmp_path / "events.jsonl"
+        code = main(
+            ["trace", weblog_query_file, "--records", "3000",
+             "--machines", "4", "--days", "1", "--out", str(out),
+             "--manifest", str(manifest), "--events", str(events)]
+        )
+        assert code == 0
+        assert manifest.exists()
+        lines = events.read_text().splitlines()
+        assert lines
+        for line in lines:
+            json.loads(line)
+        capsys.readouterr()
+
+
+class TestStats:
+    def test_stats_summarizes_manifest(
+        self, weblog_query_file, tmp_path, capsys
+    ):
+        out = tmp_path / "trace.json"
+        main(
+            ["trace", weblog_query_file, "--records", "3000",
+             "--machines", "4", "--days", "1", "--out", str(out)]
+        )
+        capsys.readouterr()
+        code = main(["stats", str(tmp_path / "trace.manifest.json")])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "plan:" in text
+        assert "map_input_records" in text
+        assert "cumulative:" in text
+
+    def test_stats_missing_file(self):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["stats", "/nonexistent/manifest.json"])
+
+    def test_stats_rejects_non_manifest_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"schema_version": 99}')
+        with pytest.raises(SystemExit, match="not a run manifest"):
+            main(["stats", str(path)])
+
+
+class TestLoggingFlags:
+    def teardown_method(self):
+        logger = logging.getLogger("repro")
+        for handler in list(logger.handlers):
+            if getattr(handler, "_repro_obs_handler", False):
+                logger.removeHandler(handler)
+        logger.propagate = True
+        logger.setLevel(logging.NOTSET)
+
+    def test_default_level_is_warning(self, weblog_query_file, capsys):
+        main(["plan", weblog_query_file])
+        capsys.readouterr()
+        assert logging.getLogger("repro").level == logging.WARNING
+
+    def test_verbose_and_quiet(self, weblog_query_file, capsys):
+        main(["plan", weblog_query_file, "-v"])
+        assert logging.getLogger("repro").level == logging.INFO
+        main(["plan", weblog_query_file, "-vv"])
+        assert logging.getLogger("repro").level == logging.DEBUG
+        main(["plan", weblog_query_file, "-q"])
+        assert logging.getLogger("repro").level == logging.ERROR
+        capsys.readouterr()
+
+    def test_verbose_run_logs_progress(self, weblog_query_file, capsys):
+        code = main(
+            ["run", weblog_query_file, "--records", "3000",
+             "--machines", "4", "--days", "1", "-v"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "INFO repro." in err
 
 
 class TestArgumentValidation:
