@@ -16,6 +16,13 @@ query language (see :mod:`repro.query.parser`):
 * ``repro stats MANIFEST.json`` -- summarize a previously written run
   manifest.
 
+``run`` and ``trace`` also take ``--chaos SEED`` (inject a seeded
+random :class:`~repro.faults.FaultPlan` -- crashes, task failures,
+stragglers, lost partitions -- and print the per-phase recovery
+accounting) and ``--fail-machines 0,3`` (mark machines dead before the
+run; if every replica of a block lands on dead machines the run aborts
+with an actionable one-line error).
+
 Every subcommand takes ``--verbose``/``-v`` (repeatable) and
 ``--quiet``/``-q`` to control the ``repro.*`` log level.  Built-in
 schemas: ``weblog`` (Keyword/PageCount/AdCount/Time, Table I) and
@@ -32,8 +39,10 @@ from typing import Optional, Sequence
 
 from repro.cube.records import Schema
 from repro.distribution.derive import candidate_keys, minimal_feasible_key
+from repro.faults import FaultPlan, FaultPlanError, RetriesExhaustedError
 from repro.io.serialize import write_result_csv
 from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.dfs import DataUnavailableError
 from repro.mapreduce.timing import ClusterConfig
 from repro.obs import (
     MetricsRegistry,
@@ -144,6 +153,88 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--chaos", type=int, metavar="SEED",
+        help=(
+            "inject a seeded random fault plan (machine crashes, task "
+            "failures, stragglers, lost partitions); same seed, same chaos"
+        ),
+    )
+    parser.add_argument(
+        "--fail-machines", metavar="LIST", default="",
+        help="comma-separated machine ids to mark dead before the run",
+    )
+
+
+def _parse_fail_machines(spec: str) -> list[int]:
+    if not spec.strip():
+        return []
+    try:
+        return [int(part) for part in spec.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(
+            f"--fail-machines: expected comma-separated integers, got {spec!r}"
+        )
+
+
+def _build_cluster(args) -> SimulatedCluster:
+    """Cluster for ``run``/``trace``, with static failures and chaos."""
+    cluster = SimulatedCluster(ClusterConfig(machines=args.machines))
+    for machine in _parse_fail_machines(args.fail_machines):
+        try:
+            cluster.fail_machine(machine)
+        except (ValueError, RuntimeError) as exc:
+            raise SystemExit(f"--fail-machines: {exc}")
+    if args.chaos is not None:
+        plan = FaultPlan.random(args.chaos, args.machines)
+        try:
+            cluster.install_faults(plan)
+        except FaultPlanError as exc:
+            raise SystemExit(f"--chaos: {exc}")
+        print(f"chaos: {plan.describe()}")
+    return cluster
+
+
+def _evaluate_or_die(evaluator, workflow, records, cluster):
+    """Evaluate, turning unrecoverable failures into actionable errors."""
+    try:
+        return evaluator.evaluate(workflow, records)
+    except DataUnavailableError as exc:
+        down = sorted(cluster.failed_machines)
+        raise SystemExit(
+            f"error: data unavailable -- {exc} "
+            f"(machines down: {down or 'none'}; replication factor is "
+            f"{cluster.config.replication}: restore a machine with fewer "
+            f"failures, or rebuild the DFS with higher replication)"
+        )
+    except RetriesExhaustedError as exc:
+        raise SystemExit(
+            f"error: fault injection exceeded the retry budget -- {exc} "
+            f"(raise RetryPolicy.max_attempts, pick a tamer --chaos seed, "
+            f"or use on_exhaustion='degrade')"
+        )
+
+
+def _print_fault_report(job) -> None:
+    """One recovery line per phase when the run executed under chaos."""
+    faults = getattr(job, "faults", None)
+    if not faults:
+        return
+    for phase in ("map", "reduce"):
+        stats = faults.get(phase)
+        if not stats:
+            continue
+        print(
+            f"recovery[{phase}]: {stats['attempts']} attempts for "
+            f"{stats['tasks']} tasks, {stats['retries']} retries, "
+            f"{stats['crash_kills']} crash kills, "
+            f"{stats['speculative_launched']} speculative "
+            f"({stats['speculative_wins']} won), "
+            f"{stats['exhausted_tasks']} exhausted"
+        )
+
+
 def _cmd_plan(args) -> int:
     schema = _build_schema(args.schema, args.days)
     workflow = _load_workflow(args.query, schema)
@@ -199,10 +290,12 @@ def _cmd_run(args) -> int:
     records = _generate_records(
         args.schema, schema, args.records, args.seed, args.skew
     )
-    cluster = SimulatedCluster(ClusterConfig(machines=args.machines))
+    cluster = _build_cluster(args)
 
     if args.naive:
-        outcome = NaiveEvaluator(cluster).evaluate(workflow, records)
+        outcome = _evaluate_or_die(
+            NaiveEvaluator(cluster), workflow, records, cluster
+        )
         print(outcome.describe())
         result = outcome.result
     else:
@@ -210,10 +303,11 @@ def _cmd_run(args) -> int:
             early_aggregation=args.early_aggregation,
             optimizer=OptimizerConfig(use_sampling=args.sampling),
         )
-        outcome = ParallelEvaluator(cluster, config).evaluate(
-            workflow, records
+        outcome = _evaluate_or_die(
+            ParallelEvaluator(cluster, config), workflow, records, cluster
         )
         print(outcome.describe())
+        _print_fault_report(outcome.job)
         bars = outcome.breakdown.cumulative()
         print(
             "breakdown:",
@@ -262,7 +356,7 @@ def _cmd_trace(args) -> int:
     records = _generate_records(
         args.schema, schema, args.records, args.seed, args.skew
     )
-    cluster = SimulatedCluster(ClusterConfig(machines=args.machines))
+    cluster = _build_cluster(args)
 
     tracer = Tracer(
         on_event=progress_sink() if args.verbose else None
@@ -275,8 +369,9 @@ def _cmd_trace(args) -> int:
     evaluator = ParallelEvaluator(
         cluster, config, tracer=tracer, metrics=metrics
     )
-    outcome = evaluator.evaluate(workflow, records)
+    outcome = _evaluate_or_die(evaluator, workflow, records, cluster)
     print(outcome.describe())
+    _print_fault_report(outcome.job)
 
     with open(args.query) as handle:
         query_text = handle.read()
@@ -359,6 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="evaluate a query on the simulator")
     _add_common_arguments(run)
+    _add_fault_arguments(run)
     run.add_argument(
         "--naive", action="store_true",
         help="use the Section I per-measure baseline",
@@ -382,6 +478,7 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="evaluate a query with tracing and export the trace"
     )
     _add_common_arguments(trace)
+    _add_fault_arguments(trace)
     trace.add_argument(
         "--out", default="trace.json",
         help="Chrome trace-event output file (default: trace.json)",

@@ -1,0 +1,55 @@
+"""Fault tolerance: chaos injection, retries, speculation, degradation.
+
+The paper ran on a 100-machine Hadoop cluster and inherited MapReduce's
+fault tolerance for free; this package reproduces that story on both of
+our backends so that losing machines or processes never changes an
+answer:
+
+* :class:`FaultPlan` -- a deterministic, seeded chaos schedule (machine
+  crashes at simulated times, per-attempt failure/kill probabilities,
+  injected stragglers, lost shuffle partitions) shared by the simulator
+  and the real multiprocess backend;
+* :class:`RetryPolicy` -- attempt budgets, exponential backoff with
+  deterministic jitter, and speculative backups for stragglers;
+* :func:`schedule_with_faults` -- the event-driven virtual-clock
+  scheduler with per-task attempt accounting that replaces the old
+  flat "retry pays double" heuristic
+  (install via :meth:`repro.mapreduce.SimulatedCluster.install_faults`);
+* :func:`apply_chaos` / :class:`InjectedFaultError` -- worker-side
+  injection used by the resilient
+  :class:`~repro.parallel.MultiprocessEvaluator`.
+
+See ``docs/fault_tolerance.md`` for the fault model and CLI usage
+(``repro run --chaos SEED``).
+"""
+
+from repro.faults.inject import InjectedFaultError, apply_chaos
+from repro.faults.plan import (
+    FaultPlan,
+    FaultPlanError,
+    MachineCrash,
+    RetryPolicy,
+    validate_plan_for_cluster,
+)
+from repro.faults.scheduler import (
+    AttemptSpan,
+    ClusterDeadError,
+    PhaseFaultStats,
+    RetriesExhaustedError,
+    schedule_with_faults,
+)
+
+__all__ = [
+    "AttemptSpan",
+    "ClusterDeadError",
+    "FaultPlan",
+    "FaultPlanError",
+    "InjectedFaultError",
+    "MachineCrash",
+    "PhaseFaultStats",
+    "RetriesExhaustedError",
+    "RetryPolicy",
+    "apply_chaos",
+    "schedule_with_faults",
+    "validate_plan_for_cluster",
+]

@@ -1,0 +1,69 @@
+"""Worker-side chaos injection for the multiprocess backend.
+
+The simulated scheduler *models* faults; here they actually happen.
+:func:`apply_chaos` runs at the top of every worker task and, per the
+plan's deterministic per-``(task, attempt)`` decisions, either
+
+* hard-kills the worker process with ``os._exit`` (the driver sees a
+  ``BrokenProcessPool``, rebuilds the pool, and re-runs unfinished
+  blocks),
+* sleeps to fake a straggler (the driver's speculation dispatches a
+  duplicate; first result wins), or
+* raises :class:`InjectedFaultError` (an ordinary task failure, retried
+  with backoff).
+
+Decisions are keyed by attempt number, so a retried attempt replays its
+own -- usually kinder -- fate, and an explicit ``kill_attempts=((3, 0),)``
+kills task 3 exactly once.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+
+from repro.faults.plan import FaultPlan
+
+__all__ = ["InjectedFaultError", "apply_chaos"]
+
+logger = logging.getLogger(__name__)
+
+#: Phase label scoping the plan's decisions for the real backend.
+MP_PHASE = "mp"
+
+#: Exit code used by injected worker kills (recognizable in ps output).
+_KILL_EXIT_CODE = 117
+
+
+class InjectedFaultError(RuntimeError):
+    """A chaos-injected task failure (retryable by design)."""
+
+
+def apply_chaos(plan: FaultPlan, task: int, attempt: int) -> None:
+    """Inject this attempt's fate inside a worker process.
+
+    Order matters: a kill pre-empts everything, a straggler sleeps
+    *before* failing (so speculation and retry interact), and a clean
+    attempt returns immediately.
+    """
+    if plan.worker_killed(MP_PHASE, task, attempt):
+        logger.warning(
+            "chaos: killing worker pid=%d on task %d attempt %d",
+            os.getpid(), task, attempt,
+        )
+        # A real crash: no exception, no cleanup, no unwinding.
+        os._exit(_KILL_EXIT_CODE)
+    if (
+        plan.straggler_sleep > 0
+        and plan.straggler_factor(MP_PHASE, task, attempt) > 1.0
+    ):
+        logger.info(
+            "chaos: straggling task %d attempt %d for %.2fs",
+            task, attempt, plan.straggler_sleep,
+        )
+        time.sleep(plan.straggler_sleep)
+    if plan.task_fails(MP_PHASE, task, attempt):
+        raise InjectedFaultError(
+            f"injected failure on task {task} attempt {attempt}"
+        )

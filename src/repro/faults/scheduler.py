@@ -1,0 +1,391 @@
+"""The fault-aware virtual-clock scheduler.
+
+The plain scheduler (:func:`repro.mapreduce.trace.schedule`) assigns
+tasks greedily to free slots and is done.  This one runs the same greedy
+policy through an *event-driven* simulation in which the
+:class:`~repro.faults.plan.FaultPlan` can interfere mid-phase:
+
+* a machine crash kills every attempt running on it and permanently
+  removes its slots; killed tasks re-enter the queue after exponential
+  backoff and re-run somewhere else, **charging the actual rerun cost**
+  (the old model charged a flat 2x);
+* an injected task failure lets the attempt run to completion, charges
+  it, then fails it -- the retry draws a fresh (deterministic) fate;
+* an injected straggler runs ``straggler_slowdown`` times longer; with
+  speculation enabled, a backup copy launches once the attempt has run
+  ``speculation_factor`` times its nominal duration, and the first copy
+  to finish wins (the loser is discarded at the winner's finish time);
+* a task that spends its whole failure budget either raises
+  :class:`RetriesExhaustedError` (``on_exhaustion="raise"``) or runs one
+  final *clean* recovery attempt that cannot fail
+  (``on_exhaustion="degrade"``, the default) -- graceful degradation in
+  simulated form.
+
+Everything is accounted per attempt: the returned
+:class:`AttemptSpan`\\ s include failed, killed, and losing speculative
+attempts, so Gantt charts and traces show the recovery happening.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.faults.plan import FaultPlan, RetryPolicy
+
+__all__ = [
+    "AttemptSpan",
+    "ClusterDeadError",
+    "PhaseFaultStats",
+    "RetriesExhaustedError",
+    "schedule_with_faults",
+]
+
+
+class RetriesExhaustedError(RuntimeError):
+    """A task spent its whole retry budget without completing."""
+
+
+class ClusterDeadError(RetriesExhaustedError):
+    """No live machine remains to run the outstanding tasks."""
+
+
+@dataclass(frozen=True)
+class AttemptSpan:
+    """One task attempt's placement and fate.
+
+    Field-compatible with :class:`~repro.mapreduce.trace.TaskSpan`
+    (``task``/``slot``/``start``/``end``), so attempt traces render in
+    the existing Gantt and Chrome-trace exporters; ``attempt`` and
+    ``outcome`` (``ok``, ``backup-ok``, ``failed``, ``killed``,
+    ``lost-race``) carry the fault story.
+    """
+
+    task: int
+    slot: int
+    start: float
+    end: float
+    attempt: int
+    outcome: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class PhaseFaultStats:
+    """Attempt accounting for one scheduled phase."""
+
+    tasks: int = 0
+    attempts: int = 0
+    retries: int = 0
+    failures: int = 0
+    crash_kills: int = 0
+    stragglers: int = 0
+    speculative_launched: int = 0
+    speculative_wins: int = 0
+    exhausted_tasks: int = 0
+    backoff_seconds: float = 0.0
+    attempts_per_task: dict[int, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """A JSON-ready mapping (string task keys survive JSON)."""
+        return {
+            "tasks": self.tasks,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "failures": self.failures,
+            "crash_kills": self.crash_kills,
+            "stragglers": self.stragglers,
+            "speculative_launched": self.speculative_launched,
+            "speculative_wins": self.speculative_wins,
+            "exhausted_tasks": self.exhausted_tasks,
+            "backoff_seconds": self.backoff_seconds,
+            "attempts_per_task": {
+                str(task): count
+                for task, count in sorted(self.attempts_per_task.items())
+            },
+        }
+
+
+@dataclass
+class _Attempt:
+    """A running attempt inside the event loop."""
+
+    task: int
+    attempt: int
+    slot: int
+    machine: int
+    start: float
+    end: float
+    fails: bool
+    backup: bool
+
+
+def schedule_with_faults(
+    durations: Sequence[float],
+    *,
+    machines: Iterable[int],
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    phase: str,
+    slots_per_machine: int = 1,
+    origin: float = 0.0,
+) -> tuple[float, list[AttemptSpan], PhaseFaultStats]:
+    """Schedule *durations* onto live machines under a fault plan.
+
+    Args:
+        durations: Nominal per-task durations, in simulated seconds.
+        machines: Machine ids alive when the phase starts (machines
+            already dead -- statically failed or crashed before
+            *origin* -- must be excluded by the caller).
+        plan: The chaos being injected.
+        policy: Retry/backoff/speculation behaviour.
+        phase: Label scoping the plan's random decisions (``"map"``,
+            ``"reduce"``) so both phases of one job draw independently.
+        slots_per_machine: Task slots each live machine contributes.
+        origin: Absolute simulated time the phase starts at; crash
+            times in the plan are absolute, so a crash at ``t`` lands
+            mid-phase when ``origin < t < origin + makespan``.
+
+    Returns:
+        ``(makespan, attempt_spans, stats)`` -- the makespan and span
+        times are relative to *origin* (matching the plain scheduler's
+        convention).
+
+    Raises:
+        RetriesExhaustedError: A task spent its budget and the policy
+            says ``on_exhaustion="raise"``.
+        ClusterDeadError: Every machine died with tasks outstanding.
+    """
+    durations = list(durations)
+    for duration in durations:
+        if duration < 0:
+            raise ValueError(f"negative task duration {duration}")
+    stats = PhaseFaultStats(tasks=len(durations))
+    if not durations:
+        return 0.0, [], stats
+    machines = sorted(set(machines))
+    if not machines:
+        raise ClusterDeadError(f"no live machines to run the {phase} phase")
+    if slots_per_machine < 1:
+        raise ValueError("slots_per_machine must be at least 1")
+
+    slot_machine: list[int] = []
+    for machine in machines:
+        slot_machine.extend([machine] * slots_per_machine)
+    crash_time: dict[int, float] = {}
+    for crash in plan.machine_crashes:
+        if crash.machine in set(machines):
+            at = max(crash.at, origin)
+            crash_time[crash.machine] = min(
+                crash_time.get(crash.machine, math.inf), at
+            )
+
+    # -- event loop state ------------------------------------------------------
+    free: list[int] = list(range(len(slot_machine)))
+    heapq.heapify(free)
+    # pending entries: (ready, order, task, attempt, is_backup)
+    pending: list[tuple[float, int, int, int, bool]] = []
+    # events: (time, seq, kind, payload)
+    events: list[tuple[float, int, str, object]] = []
+    running: dict[int, _Attempt] = {}
+    running_by_task: dict[int, set[int]] = {}
+    cancelled: set[int] = set()
+    copies: dict[int, int] = {}  # live copies (running + queued) per task
+    failures: dict[int, int] = {}
+    attempt_seq: dict[int, int] = {}
+    exhausted: set[int] = set()
+    done_at: dict[int, float] = {}
+    spans: list[AttemptSpan] = []
+    counters = {"order": 0, "seq": 0, "rid": 0}
+
+    def push_event(time: float, kind: str, payload) -> None:
+        heapq.heappush(events, (time, counters["seq"], kind, payload))
+        counters["seq"] += 1
+
+    def enqueue(task: int, now: float, *, ready: float, backup: bool) -> None:
+        attempt = attempt_seq.get(task, 0)
+        attempt_seq[task] = attempt + 1
+        heapq.heappush(
+            pending, (ready, counters["order"], task, attempt, backup)
+        )
+        counters["order"] += 1
+        copies[task] = copies.get(task, 0) + 1
+        if ready > now:
+            push_event(ready, "wake", None)
+
+    def machine_dead(machine: int, now: float) -> bool:
+        return crash_time.get(machine, math.inf) <= now
+
+    def release_slot(slot: int, now: float) -> None:
+        if not machine_dead(slot_machine[slot], now):
+            heapq.heappush(free, slot)
+
+    def record(rec: _Attempt, end: float, outcome: str) -> None:
+        spans.append(
+            AttemptSpan(
+                task=rec.task,
+                slot=rec.slot,
+                start=rec.start - origin,
+                end=end - origin,
+                attempt=rec.attempt,
+                outcome=outcome,
+            )
+        )
+
+    def register_failure(task: int, now: float, salt: str) -> None:
+        """Consume budget and requeue the task after backoff."""
+        count = failures.get(task, 0) + 1
+        failures[task] = count
+        if count >= policy.max_attempts and task not in exhausted:
+            if policy.on_exhaustion == "raise":
+                raise RetriesExhaustedError(
+                    f"{phase} task {task} failed {count} times "
+                    f"(budget {policy.max_attempts})"
+                )
+            exhausted.add(task)
+            stats.exhausted_tasks += 1
+        delay = policy.backoff(count, plan.seed, salt=f"{phase}:{task}")
+        stats.retries += 1
+        stats.backoff_seconds += delay
+        enqueue(task, now, ready=now + delay, backup=False)
+
+    def finish_task(rec: _Attempt, now: float) -> None:
+        """First copy home wins; losers are discarded on the spot."""
+        done_at[rec.task] = now
+        record(rec, now, "backup-ok" if rec.backup else "ok")
+        if rec.backup:
+            stats.speculative_wins += 1
+        for sibling_id in list(running_by_task.get(rec.task, ())):
+            sibling = running.pop(sibling_id)
+            cancelled.add(sibling_id)
+            running_by_task[rec.task].discard(sibling_id)
+            copies[rec.task] -= 1
+            record(sibling, now, "lost-race")
+            release_slot(sibling.slot, now)
+
+    def launch(task: int, attempt: int, backup: bool, slot: int,
+               now: float) -> None:
+        machine = slot_machine[slot]
+        base = durations[task]
+        clean = task in exhausted  # the final recovery attempt
+        factor = 1.0 if clean else plan.straggler_factor(phase, task, attempt)
+        fails = not clean and (
+            plan.task_fails(phase, task, attempt)
+            or plan.worker_killed(phase, task, attempt)
+        )
+        end = now + base * factor
+        rid = counters["rid"]
+        counters["rid"] += 1
+        rec = _Attempt(task, attempt, slot, machine, now, end, fails, backup)
+        running[rid] = rec
+        running_by_task.setdefault(task, set()).add(rid)
+        stats.attempts += 1
+        stats.attempts_per_task[task] = (
+            stats.attempts_per_task.get(task, 0) + 1
+        )
+        if factor > 1.0:
+            stats.stragglers += 1
+        push_event(end, "finish", rid)
+        if (
+            factor > 1.0
+            and policy.speculation
+            and not backup
+            and copies.get(task, 0) < 2
+        ):
+            speculate_at = now + base * policy.speculation_factor
+            if speculate_at < min(end, crash_time.get(machine, math.inf)):
+                push_event(speculate_at, "speculate", rid)
+
+    def dispatch(now: float) -> None:
+        while pending and free:
+            ready, order, task, attempt, backup = pending[0]
+            if ready > now:
+                break
+            heapq.heappop(pending)
+            if task in done_at:
+                copies[task] -= 1
+                continue
+            slot = None
+            while free:
+                candidate = heapq.heappop(free)
+                if machine_dead(slot_machine[candidate], now):
+                    continue  # dead slot: drop it permanently
+                slot = candidate
+                break
+            if slot is None:
+                heapq.heappush(pending, (ready, order, task, attempt, backup))
+                break
+            launch(task, attempt, backup, slot, now)
+
+    for machine, at in crash_time.items():
+        push_event(at, "crash", machine)
+    for task in range(len(durations)):
+        enqueue(task, origin, ready=origin, backup=False)
+
+    now = origin
+    while len(done_at) < len(durations):
+        dispatch(now)
+        if len(done_at) == len(durations):
+            break
+        if not events:
+            remaining = sorted(set(range(len(durations))) - set(done_at))
+            raise ClusterDeadError(
+                f"every machine died with {phase} tasks {remaining} "
+                "outstanding"
+            )
+        time, _seq, kind, payload = heapq.heappop(events)
+        now = max(now, time)
+        if kind == "wake":
+            continue
+        if kind == "crash":
+            machine = payload
+            for rid in [
+                rid
+                for rid, rec in running.items()
+                if rec.machine == machine
+            ]:
+                rec = running.pop(rid)
+                cancelled.add(rid)
+                running_by_task[rec.task].discard(rid)
+                copies[rec.task] -= 1
+                record(rec, now, "killed")
+                stats.crash_kills += 1
+                if rec.task in done_at or copies.get(rec.task, 0) > 0:
+                    continue
+                register_failure(rec.task, now, salt=f"crash:{rid}")
+        elif kind == "finish":
+            rid = payload
+            if rid in cancelled or rid not in running:
+                continue
+            rec = running.pop(rid)
+            running_by_task[rec.task].discard(rid)
+            copies[rec.task] -= 1
+            release_slot(rec.slot, now)
+            if rec.task in done_at:
+                record(rec, now, "lost-race")
+                continue
+            if rec.fails:
+                record(rec, now, "failed")
+                stats.failures += 1
+                if copies.get(rec.task, 0) > 0:
+                    continue  # a speculative copy is still in flight
+                register_failure(rec.task, now, salt=f"fail:{rid}")
+            else:
+                finish_task(rec, now)
+        elif kind == "speculate":
+            rid = payload
+            if rid in cancelled or rid not in running:
+                continue
+            rec = running[rid]
+            if rec.task in done_at or copies.get(rec.task, 0) >= 2:
+                continue
+            stats.speculative_launched += 1
+            enqueue(rec.task, now, ready=now, backup=True)
+
+    makespan = max(done_at.values(), default=origin) - origin
+    return makespan, spans, stats

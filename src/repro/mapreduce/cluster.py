@@ -4,14 +4,28 @@ Holds the machine pool, its failure state, the DFS namespace, and the
 virtual-clock slot scheduler that turns per-task durations into phase
 makespans (greedy list scheduling, exactly how a MapReduce master hands
 tasks to free slots).
+
+Two failure models coexist:
+
+* *static* failures (:meth:`SimulatedCluster.fail_machine`) mark
+  machines dead before the run; reads fall back to replicas and the
+  legacy flat "retry pays double" heuristic prices reducers whose
+  nominal machine died;
+* *chaos* (:meth:`SimulatedCluster.install_faults`) installs a seeded
+  :class:`~repro.faults.FaultPlan` + :class:`~repro.faults.RetryPolicy`
+  and switches phase scheduling to the fault-aware event simulator with
+  real per-task attempt accounting -- machines can die mid-phase, tasks
+  re-run after backoff, stragglers get speculative backups.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
+from repro.faults.plan import FaultPlan, RetryPolicy, validate_plan_for_cluster
+from repro.faults.scheduler import PhaseFaultStats, schedule_with_faults
 from repro.mapreduce.dfs import InMemoryDFS
 from repro.mapreduce.timing import ClusterConfig, TimingModel
 
@@ -57,6 +71,8 @@ class SimulatedCluster:
                 f"has {self.config.machines}"
             )
         self._failed: set[int] = set()
+        self.fault_plan: Optional[FaultPlan] = None
+        self.retry_policy: RetryPolicy = RetryPolicy()
 
     # -- failure injection ------------------------------------------------------
 
@@ -73,11 +89,86 @@ class SimulatedCluster:
             raise RuntimeError("cannot fail every machine in the cluster")
 
     def restore_machine(self, machine: int) -> None:
+        """Bring a machine back; rejects indices outside the cluster."""
+        if not 0 <= machine < self.config.machines:
+            raise ValueError(f"no machine {machine}")
         self._failed.discard(machine)
 
     @property
     def live_machines(self) -> int:
         return self.config.machines - len(self._failed)
+
+    # -- chaos ---------------------------------------------------------------------
+
+    def install_faults(
+        self,
+        plan: FaultPlan,
+        policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        """Attach a chaos plan; phase scheduling becomes fault-aware.
+
+        Validates the plan against this cluster (crash targets must
+        exist; the plan plus already-failed machines must leave at
+        least one machine alive).  With a plan installed, the engine
+        routes phases through :meth:`schedule_phase` -- per-task
+        attempt accounting instead of the flat 2x retry heuristic --
+        and the plan's straggler model supersedes the static
+        ``straggler_probability`` in :class:`ClusterConfig`.
+        """
+        validate_plan_for_cluster(plan, self.config.machines, self._failed)
+        self.fault_plan = plan
+        if policy is not None:
+            self.retry_policy = policy
+
+    def clear_faults(self) -> None:
+        """Remove the chaos plan; scheduling reverts to the legacy path."""
+        self.fault_plan = None
+
+    def machines_dead_at(self, at: float) -> frozenset[int]:
+        """Statically failed machines plus chaos crashes at or before *at*."""
+        dead = frozenset(self._failed)
+        if self.fault_plan is not None:
+            dead |= self.fault_plan.crashes_before(at)
+        return dead
+
+    def live_machines_at(self, at: float) -> list[int]:
+        """Machine ids still alive at simulated time *at*."""
+        dead = self.machines_dead_at(at)
+        return [m for m in range(self.config.machines) if m not in dead]
+
+    def schedule_phase(
+        self,
+        phase: str,
+        durations: Iterable[float],
+        origin: float = 0.0,
+    ) -> tuple[float, list, PhaseFaultStats]:
+        """Fault-aware scheduling of one phase under the installed plan.
+
+        *origin* is the phase's start on the job's absolute simulated
+        timeline -- machines that crashed before it never contribute
+        slots, and crashes after it land mid-phase.  Returns
+        ``(makespan, attempt_spans, stats)`` with times relative to
+        *origin*.  Requires :meth:`install_faults` first.
+        """
+        if self.fault_plan is None:
+            raise RuntimeError(
+                "schedule_phase needs a fault plan; call install_faults "
+                "or use schedule_maps/schedule_reduces"
+            )
+        slots_per_machine = (
+            self.config.map_slots_per_machine
+            if phase == "map"
+            else self.config.reduce_slots_per_machine
+        )
+        return schedule_with_faults(
+            list(durations),
+            machines=self.live_machines_at(origin),
+            plan=self.fault_plan,
+            policy=self.retry_policy,
+            phase=phase,
+            slots_per_machine=slots_per_machine,
+            origin=origin,
+        )
 
     # -- slots ----------------------------------------------------------------------
 

@@ -118,6 +118,12 @@ class JobReport:
     reducer_times: list[float] = field(default_factory=list)
     map_trace: list = field(default_factory=list)
     reduce_trace: list = field(default_factory=list)
+    #: Fault-plan + per-phase attempt accounting when the job ran under
+    #: an installed :class:`~repro.faults.FaultPlan` (empty otherwise):
+    #: ``{"plan": ..., "policy": ..., "map": ..., "reduce": ...}`` with
+    #: the phase entries in
+    #: :meth:`~repro.faults.PhaseFaultStats.to_dict` form.
+    faults: dict = field(default_factory=dict)
 
     @property
     def response_time(self) -> float:

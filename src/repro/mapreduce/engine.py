@@ -20,11 +20,13 @@ The scatter/gather contract mirrors Hadoop's:
 
 from __future__ import annotations
 
+import dataclasses
 import logging
 import zlib
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
+from repro.faults.scheduler import PhaseFaultStats
 from repro.mapreduce.cluster import SimulatedCluster, makespan
 from repro.mapreduce.counters import JobCounters, JobReport, PhaseBreakdown
 from repro.mapreduce.dfs import DistributedFile
@@ -71,6 +73,34 @@ class JobResult:
 def stable_hash(key) -> int:
     """A process-independent hash (``hash()`` is randomized for strings)."""
     return zlib.crc32(repr(key).encode())
+
+
+def _account_fault_stats(counters: JobCounters, stats: PhaseFaultStats) -> None:
+    """Fold one phase's attempt accounting into the job counters."""
+    counters.task_retries += stats.retries
+    counters.extra["attempts"] += stats.attempts
+    counters.extra["injected_failures"] += stats.failures
+    counters.extra["crash_kills"] += stats.crash_kills
+    counters.extra["stragglers"] += stats.stragglers
+    counters.extra["speculated"] += stats.speculative_launched
+    counters.extra["speculative_wins"] += stats.speculative_wins
+    counters.extra["exhausted_tasks"] += stats.exhausted_tasks
+
+
+def _add_attempt_spans(tracer, track: str, spans, *, sim_offset: float,
+                       name: str) -> None:
+    """Replay fault-aware attempt spans with their attempt/outcome tags."""
+    for span in spans:
+        tracer.record_span(
+            f"{name} {span.task}.{span.attempt}",
+            sim_offset + span.start,
+            sim_offset + span.end,
+            track=track,
+            slot=span.slot,
+            task=span.task,
+            attempt=span.attempt,
+            outcome=span.outcome,
+        )
 
 
 def default_partitioner(key, num_reducers: int) -> int:
@@ -228,7 +258,12 @@ class MapReduceJob:
         tracer = tracer if tracer is not None else NULL_TRACER
         timing = cluster.timing
         counters = JobCounters()
-        failed = cluster.failed_machines
+        chaos = cluster.fault_plan is not None
+        failed = (
+            cluster.machines_dead_at(sim_origin)
+            if chaos
+            else cluster.failed_machines
+        )
         buckets: list[list] = [[] for _ in range(self.num_reducers)]
 
         with tracer.span("job", job=self.name) as job_span:
@@ -245,20 +280,33 @@ class MapReduceJob:
                         )
                     )
                 counters.map_tasks = len(map_durations)
-                map_factors, map_stragglers, map_speculated = (
-                    cluster.straggler_factors(
-                        len(map_durations), f"{self.name}:map"
+                map_stats = None
+                if chaos:
+                    # Fault-aware scheduling: the plan injects crashes,
+                    # failures and stragglers per attempt; reruns charge
+                    # their actual cost.
+                    map_makespan, map_trace, map_stats = (
+                        cluster.schedule_phase(
+                            "map", map_durations, origin=sim_origin
+                        )
                     )
-                )
-                map_durations = [
-                    duration * factor
-                    for duration, factor in zip(map_durations, map_factors)
-                ]
-                counters.extra["stragglers"] += map_stragglers
-                counters.extra["speculated"] += map_speculated
-                map_makespan, map_trace = schedule(
-                    map_durations, cluster.map_slots
-                )
+                    _account_fault_stats(counters, map_stats)
+                    map_stragglers = map_stats.stragglers
+                else:
+                    map_factors, map_stragglers, map_speculated = (
+                        cluster.straggler_factors(
+                            len(map_durations), f"{self.name}:map"
+                        )
+                    )
+                    map_durations = [
+                        duration * factor
+                        for duration, factor in zip(map_durations, map_factors)
+                    ]
+                    counters.extra["stragglers"] += map_stragglers
+                    counters.extra["speculated"] += map_speculated
+                    map_makespan, map_trace = schedule(
+                        map_durations, cluster.map_slots
+                    )
                 map_span.set_sim(sim_origin, sim_origin + map_makespan)
                 map_span.set(
                     tasks=len(map_durations),
@@ -266,9 +314,15 @@ class MapReduceJob:
                     output_records=counters.map_output_records,
                     stragglers=map_stragglers,
                 )
-            tracer.add_task_spans(
-                "map", map_trace, sim_offset=sim_origin, name="map"
-            )
+            if chaos:
+                _add_attempt_spans(
+                    tracer, "map", map_trace, sim_offset=sim_origin,
+                    name="map",
+                )
+            else:
+                tracer.add_task_spans(
+                    "map", map_trace, sim_offset=sim_origin, name="map"
+                )
 
             with tracer.span("reduce") as reduce_span:
                 outputs: list = []
@@ -278,7 +332,13 @@ class MapReduceJob:
                     durations = self._run_reduce_task(
                         pairs, cluster, counters, outputs
                     )
-                    retry = 2.0 if cluster.reducer_retry_needed(index) else 1.0
+                    # Under chaos, dispatch-to-a-dead-machine is priced
+                    # by real attempt accounting, not the flat 2x.
+                    retry = (
+                        2.0
+                        if not chaos and cluster.reducer_retry_needed(index)
+                        else 1.0
+                    )
                     if retry > 1.0:
                         counters.task_retries += 1
                     shuffle.append(durations[0] * retry)
@@ -289,18 +349,38 @@ class MapReduceJob:
                 counters.shuffle_bytes = counters.map_output_bytes
                 counters.reduce_output_records = len(outputs)
 
-                reduce_factors, reduce_stragglers, reduce_speculated = (
-                    cluster.straggler_factors(
-                        self.num_reducers, f"{self.name}:reduce"
+                reduce_stats = None
+                if chaos:
+                    # A lost shuffle partition re-fetches that reducer's
+                    # map output once: its shuffle cost is paid twice.
+                    for index in range(self.num_reducers):
+                        if cluster.fault_plan.partition_lost(index):
+                            shuffle[index] *= 2.0
+                            counters.extra["shuffle_refetches"] += 1
+                    reduce_stragglers = 0
+                else:
+                    reduce_factors, reduce_stragglers, reduce_speculated = (
+                        cluster.straggler_factors(
+                            self.num_reducers, f"{self.name}:reduce"
+                        )
                     )
-                )
-                counters.extra["stragglers"] += reduce_stragglers
-                counters.extra["speculated"] += reduce_speculated
-                for stage in (shuffle, fsort, gsort, evaluate):
-                    for index, factor in enumerate(reduce_factors):
-                        stage[index] *= factor
+                    counters.extra["stragglers"] += reduce_stragglers
+                    counters.extra["speculated"] += reduce_speculated
+                    for stage in (shuffle, fsort, gsort, evaluate):
+                        for index, factor in enumerate(reduce_factors):
+                            stage[index] *= factor
 
+                reduce_base = sim_origin + map_makespan
                 slots = cluster.reduce_slots
+                if chaos:
+                    # Machines crashed during the map phase contribute no
+                    # reduce slots; the stage-shape makespans below use
+                    # what is actually alive when the reduce starts.
+                    slots = max(
+                        1,
+                        len(cluster.live_machines_at(reduce_base))
+                        * cluster.config.reduce_slots_per_machine,
+                    )
                 stages = [shuffle, fsort, gsort, evaluate]
                 cumulative = [0.0] * (len(stages) + 1)
                 for depth in range(1, len(stages) + 1):
@@ -309,6 +389,27 @@ class MapReduceJob:
                         for j in range(self.num_reducers)
                     ]
                     cumulative[depth] = makespan(partial, slots)
+                reducer_times = [
+                    shuffle[j] + fsort[j] + gsort[j] + evaluate[j]
+                    for j in range(self.num_reducers)
+                ]
+                if chaos:
+                    reduce_makespan, reduce_trace, reduce_stats = (
+                        cluster.schedule_phase(
+                            "reduce", reducer_times, origin=reduce_base
+                        )
+                    )
+                    _account_fault_stats(counters, reduce_stats)
+                    reduce_stragglers = reduce_stats.stragglers
+                    # Reruns stretch the phase; scale the per-stage
+                    # breakdown proportionally so it still sums to the
+                    # fault-aware makespan.
+                    if cumulative[-1] > 0:
+                        factor = reduce_makespan / cumulative[-1]
+                        cumulative = [value * factor for value in cumulative]
+                else:
+                    reduce_makespan = cumulative[4]
+                    _finish, reduce_trace = schedule(reducer_times, slots)
                 breakdown = PhaseBreakdown(
                     map=map_makespan,
                     shuffle=cumulative[1] - cumulative[0],
@@ -316,16 +417,9 @@ class MapReduceJob:
                     group_sort=cumulative[3] - cumulative[2],
                     evaluate=cumulative[4] - cumulative[3],
                 )
-                reduce_makespan = cumulative[4]
-                reducer_times = [
-                    shuffle[j] + fsort[j] + gsort[j] + evaluate[j]
-                    for j in range(self.num_reducers)
-                ]
-                _finish, reduce_trace = schedule(reducer_times, slots)
 
                 # The reduce phases are derived makespans, not wall-clock
                 # intervals: record them on the simulated timeline only.
-                reduce_base = sim_origin + map_makespan
                 for phase_name, depth in (
                     ("shuffle", 1),
                     ("sort", 2),
@@ -345,10 +439,25 @@ class MapReduceJob:
                     output_records=counters.reduce_output_records,
                     stragglers=reduce_stragglers,
                 )
-            tracer.add_task_spans(
-                "reduce", reduce_trace, sim_offset=reduce_base, name="reduce"
-            )
+            if chaos:
+                _add_attempt_spans(
+                    tracer, "reduce", reduce_trace, sim_offset=reduce_base,
+                    name="reduce",
+                )
+            else:
+                tracer.add_task_spans(
+                    "reduce", reduce_trace, sim_offset=reduce_base,
+                    name="reduce",
+                )
 
+            faults: dict = {}
+            if chaos:
+                faults = {
+                    "plan": cluster.fault_plan.to_dict(),
+                    "policy": dataclasses.asdict(cluster.retry_policy),
+                    "map": map_stats.to_dict(),
+                    "reduce": reduce_stats.to_dict(),
+                }
             report = JobReport(
                 name=self.name,
                 counters=counters,
@@ -359,11 +468,27 @@ class MapReduceJob:
                 reducer_times=reducer_times,
                 map_trace=map_trace,
                 reduce_trace=reduce_trace,
+                faults=faults,
             )
             job_span.set_sim(sim_origin, sim_origin + report.response_time)
             job_span.set(
                 max_reducer_load=report.max_reducer_load,
                 load_imbalance=report.load_imbalance,
             )
+            if chaos and (
+                counters.task_retries
+                or counters.extra["speculated"]
+                or counters.extra["crash_kills"]
+            ):
+                tracer.record_span(
+                    "fault-recovery",
+                    sim_origin,
+                    sim_origin + report.response_time,
+                    retries=counters.task_retries,
+                    crash_kills=counters.extra["crash_kills"],
+                    injected_failures=counters.extra["injected_failures"],
+                    speculative=counters.extra["speculated"],
+                    exhausted=counters.extra["exhausted_tasks"],
+                )
         logger.debug("job %s finished: %s", self.name, report.summary())
         return JobResult(outputs=outputs, report=report)

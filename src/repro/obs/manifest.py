@@ -114,6 +114,10 @@ class RunManifest:
     config: dict = field(default_factory=dict)
     environment: dict = field(default_factory=environment_info)
     metrics: dict = field(default_factory=dict)
+    #: Fault plan, retry policy and per-phase recovery accounting when
+    #: the run executed under chaos (empty for clean runs); mirrors
+    #: :attr:`repro.mapreduce.counters.JobReport.faults`.
+    faults: dict = field(default_factory=dict)
     created_at: str = field(
         default_factory=lambda: time.strftime("%Y-%m-%dT%H:%M:%S%z")
     )
@@ -155,6 +159,7 @@ class RunManifest:
             load_imbalance=report.load_imbalance,
             config=config,
             metrics=metrics.to_dict() if metrics is not None else {},
+            faults=dict(getattr(report, "faults", {}) or {}),
         )
 
     # -- round-trips ------------------------------------------------------------
@@ -242,6 +247,29 @@ class RunManifest:
                 f"imbalance {self.load_imbalance:.2f} "
                 f"(replication x{counters.replication_factor:.2f})"
             )
+        if self.faults:
+            plan = self.faults.get("plan", {})
+            lines.append(
+                "faults: chaos seed "
+                f"{plan.get('seed', '?')}, "
+                f"{len(plan.get('machine_crashes', []))} crashes, "
+                f"p_fail={plan.get('task_failure_probability', 0.0):.2f}, "
+                f"p_straggle={plan.get('straggler_probability', 0.0):.2f}, "
+                f"p_lost={plan.get('lost_partition_probability', 0.0):.2f}"
+            )
+            for phase in ("map", "reduce"):
+                stats = self.faults.get(phase)
+                if not stats:
+                    continue
+                lines.append(
+                    f"  {phase}: {stats.get('attempts', 0)} attempts for "
+                    f"{stats.get('tasks', 0)} tasks, "
+                    f"{stats.get('retries', 0)} retries, "
+                    f"{stats.get('crash_kills', 0)} crash kills, "
+                    f"{stats.get('speculative_launched', 0)} speculative "
+                    f"({stats.get('speculative_wins', 0)} won), "
+                    f"{stats.get('exhausted_tasks', 0)} exhausted"
+                )
         env = ", ".join(
             f"{key}={value}"
             for key, value in self.environment.items()

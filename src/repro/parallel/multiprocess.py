@@ -1,4 +1,4 @@
-"""A process-parallel local backend.
+"""A process-parallel local backend with real fault tolerance.
 
 The simulated cluster measures *what the paper measured*; this backend
 demonstrates the paper's closing remark that the algorithm "can be
@@ -7,6 +7,28 @@ same plan -- feasible key, clustering factor, per-block local sort/scan,
 owned-region filtering -- executed across real OS processes with
 :mod:`concurrent.futures`.
 
+Unlike a plain ``pool.map``, the gather side survives real failures the
+way a MapReduce master does:
+
+* a task attempt that raises is retried with exponential backoff and
+  deterministic jitter, up to :class:`~repro.faults.RetryPolicy.
+  max_attempts`;
+* an attempt that outlives ``straggler_timeout`` earns a speculative
+  duplicate; the first result wins and the loser is ignored, so the
+  final union stays duplicate-free (owned-region filtering already
+  guarantees block-disjoint outputs);
+* a worker process dying (``BrokenProcessPool``) rebuilds the pool and
+  re-runs only the unfinished blocks;
+* an attempt exceeding ``task_timeout`` is abandoned and re-dispatched;
+* when a block exhausts its budget the evaluator degrades gracefully:
+  it falls back to :func:`repro.local.evaluate_centralized`, so the
+  answer never changes -- only the speedup is lost.
+
+Chaos is injected through the same :class:`~repro.faults.FaultPlan`
+the simulator uses (see :func:`repro.faults.apply_chaos`): seeded
+worker kills, injected failures, and stragglers exercise every one of
+those recovery paths deterministically.
+
 Workers rebuild the workflow from its serialized form (see
 :mod:`repro.io`), so measures must use registry aggregates and *named*
 combine expressions; anonymous lambdas cannot cross process boundaries.
@@ -14,30 +36,43 @@ Parameterized aggregates (quantiles, sketches) re-register themselves in
 each worker through the factory list passed at pool start.
 
 The result is bit-identical to :func:`repro.local.evaluate_centralized`
--- asserted by the test suite -- because the plan machinery is shared
-with the simulated executor; only the transport differs.
+-- asserted by the test suite, including under chaos -- because the plan
+machinery is shared with the simulated executor; only the transport (and
+what can go wrong with it) differs.
 """
 
 from __future__ import annotations
 
 import logging
 import os
+import time
 from collections import defaultdict
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
 from repro.cube.records import Record, Schema
+from repro.faults.inject import apply_chaos
+from repro.faults.plan import FaultPlan, RetryPolicy
 from repro.io.serialize import workflow_from_dict, workflow_to_dict
 from repro.local.measure_table import ResultSet
-from repro.local.sortscan import BlockEvaluator
+from repro.local.sortscan import BlockEvaluator, evaluate_centralized
 from repro.mapreduce.engine import stable_hash
+from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.optimizer import Optimizer, OptimizerConfig
 from repro.query.functions import Expression
 from repro.query.workflow import Workflow, connected_components
 from repro.parallel.executor import union_outputs
 
 logger = logging.getLogger(__name__)
+
+#: How often the gather loop wakes to check retries/stragglers (seconds).
+_POLL_SECONDS = 0.02
 
 # Worker-process state, set up once per pool by _init_worker.
 _WORKER: dict = {}
@@ -105,14 +140,66 @@ def _reduce_bucket(bucket: list) -> list:
     return rows
 
 
+def _run_task(
+    task: int,
+    attempt: int,
+    bucket: list,
+    plan: Optional[FaultPlan],
+) -> tuple[int, list]:
+    """One task attempt inside a worker: inject chaos, then evaluate."""
+    if plan is not None:
+        apply_chaos(plan, task, attempt)
+    return task, _reduce_bucket(bucket)
+
+
 @dataclass
 class MultiprocessReport:
-    """What the process-parallel run actually did."""
+    """What the process-parallel run actually did, recovery included."""
 
     processes: int
     partitions: int
     blocks: int
     replicated_records: int
+    tasks: int = 0
+    attempts: int = 0
+    retries: int = 0
+    injected_failures: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    speculative_launched: int = 0
+    speculative_wins: int = 0
+    degraded: bool = False
+    attempts_per_task: dict = field(default_factory=dict)
+
+    def fault_summary(self) -> dict:
+        """Recovery accounting in the shape run manifests record."""
+        return {
+            "tasks": self.tasks,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "failures": self.injected_failures,
+            "timeouts": self.timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "speculative_launched": self.speculative_launched,
+            "speculative_wins": self.speculative_wins,
+            "degraded": self.degraded,
+            "attempts_per_task": {
+                str(task): count
+                for task, count in sorted(self.attempts_per_task.items())
+            },
+        }
+
+
+@dataclass
+class _TaskState:
+    """Driver-side bookkeeping for one gather task."""
+
+    bucket: list
+    failures: int = 0
+    next_attempt: int = 0
+    inflight: int = 0
+    done: bool = False
+    rows: Optional[list] = None
 
 
 class MultiprocessEvaluator:
@@ -127,6 +214,15 @@ class MultiprocessEvaluator:
         function_factories: For parameterized registry aggregates
             (quantiles, sketches), ``("module.factory", (args,))`` pairs
             re-run in every worker so lookups by name succeed there.
+        retry_policy: Retry/backoff/speculation knobs (wall-clock
+            semantics); defaults to :class:`~repro.faults.RetryPolicy`.
+        fault_plan: Optional chaos to inject into worker attempts --
+            seeded kills, failures, stragglers (see
+            :func:`repro.faults.apply_chaos`).
+        tracer: Optional :class:`repro.obs.Tracer`; receives dispatch
+            and recovery spans on the wall clock.
+        metrics: Optional :class:`repro.obs.MetricsRegistry`; receives
+            attempt/retry/speculation counters.
     """
 
     def __init__(
@@ -135,11 +231,19 @@ class MultiprocessEvaluator:
         optimizer: OptimizerConfig | None = None,
         expressions: Optional[Mapping[str, Expression]] = None,
         function_factories: Sequence[tuple] = (),
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        tracer=None,
+        metrics=None,
     ):
         self.processes = processes or os.cpu_count() or 2
         self.optimizer = Optimizer(optimizer or OptimizerConfig())
         self.expressions = expressions
         self.function_factories = tuple(function_factories)
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.fault_plan = fault_plan
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
 
     def evaluate(
         self,
@@ -204,22 +308,240 @@ class MultiprocessEvaluator:
             self.function_factories,
         )
 
-        # Gather: one task per non-empty bucket.
+        # Gather: one task per non-empty bucket, with retries,
+        # speculation, pool rebuilds and a centralized fallback.
         work = [bucket for bucket in buckets if bucket]
-        with ProcessPoolExecutor(
-            max_workers=self.processes,
-            initializer=_init_worker,
-            initargs=init_args,
-        ) as pool:
-            row_lists = list(pool.map(_reduce_bucket, work))
-
-        result = union_outputs(
-            workflow, (row for rows in row_lists for row in rows)
-        )
         report = MultiprocessReport(
             processes=self.processes,
             partitions=partitions,
             blocks=len(blocks),
             replicated_records=replicated,
+            tasks=len(work),
         )
+        with self.tracer.span(
+            "mp-evaluate", tasks=len(work), processes=self.processes
+        ):
+            row_lists = self._gather_resilient(work, init_args, report)
+            if row_lists is None:
+                # Graceful degradation: some block exhausted its retry
+                # budget.  The centralized oracle computes the same
+                # answer -- we lose the speedup, never the result.
+                logger.warning(
+                    "multiprocess gather degraded after %d retries; "
+                    "falling back to centralized evaluation",
+                    report.retries,
+                )
+                report.degraded = True
+                with self.tracer.span("mp-degrade", retries=report.retries):
+                    result = evaluate_centralized(workflow, records)
+                self._record_metrics(report)
+                return result, report
+
+        result = union_outputs(
+            workflow, (row for rows in row_lists for row in rows)
+        )
+        self._record_metrics(report)
         return result, report
+
+    # -- resilient gather loop ---------------------------------------------------
+
+    def _gather_resilient(
+        self,
+        work: Sequence[list],
+        init_args: tuple,
+        report: MultiprocessReport,
+    ) -> Optional[list[list]]:
+        """Run every bucket to completion; ``None`` means degrade.
+
+        The loop mirrors a MapReduce master: dispatch, watch, retry
+        with backoff, speculate on stragglers, rebuild the pool when a
+        worker dies, and give up (gracefully) only when a task's whole
+        budget is spent.
+        """
+        if not work:
+            return []
+        policy = self.retry_policy
+        plan = self.fault_plan
+        seed = plan.seed if plan is not None else 0
+        tasks = {index: _TaskState(bucket) for index, bucket in
+                 enumerate(work)}
+        pool = self._new_pool(init_args)
+        futures: dict = {}  # future -> (task, attempt, submitted_at, backup)
+        retry_at: dict[int, float] = {}  # task -> wall deadline
+        unfinished = set(tasks)
+
+        def submit(task: int, *, backup: bool = False) -> None:
+            state = tasks[task]
+            attempt = state.next_attempt
+            state.next_attempt += 1
+            state.inflight += 1
+            report.attempts += 1
+            report.attempts_per_task[task] = (
+                report.attempts_per_task.get(task, 0) + 1
+            )
+            future = pool.submit(
+                _run_task, task, attempt, state.bucket, plan
+            )
+            futures[future] = (task, attempt, time.monotonic(), backup)
+
+        def register_failure(task: int, why: str) -> bool:
+            """Count a failure; ``False`` means the budget is spent."""
+            state = tasks[task]
+            state.failures += 1
+            if state.failures >= policy.max_attempts:
+                logger.error(
+                    "task %d exhausted %d attempts (last: %s)",
+                    task, state.failures, why,
+                )
+                return False
+            delay = policy.backoff(
+                state.failures, seed, salt=f"mp:{task}"
+            )
+            report.retries += 1
+            retry_at[task] = time.monotonic() + delay
+            with self.tracer.span(
+                "mp-retry", task=task, failures=state.failures,
+                backoff=delay, error=why,
+            ):
+                pass
+            logger.warning(
+                "task %d failed (%s); retry %d/%d in %.3fs",
+                task, why, state.failures, policy.max_attempts - 1, delay,
+            )
+            return True
+
+        def rebuild_pool() -> None:
+            nonlocal pool
+            report.pool_rebuilds += 1
+            with self.tracer.span(
+                "mp-rebuild-pool", rebuilds=report.pool_rebuilds
+            ):
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = self._new_pool(init_args)
+            logger.warning(
+                "worker pool broken; rebuilt (%d unfinished tasks)",
+                len(unfinished),
+            )
+
+        try:
+            for task in sorted(unfinished):
+                submit(task)
+            while unfinished:
+                now = time.monotonic()
+                for task in [
+                    task for task, when in retry_at.items() if when <= now
+                ]:
+                    del retry_at[task]
+                    if task in unfinished:
+                        submit(task)
+                if not futures:
+                    if retry_at:
+                        time.sleep(
+                            max(
+                                _POLL_SECONDS,
+                                min(retry_at.values()) - time.monotonic(),
+                            )
+                        )
+                        continue
+                    # Nothing running and nothing scheduled: every
+                    # remaining task is out of budget.
+                    return None
+                done, _pending = wait(
+                    list(futures),
+                    timeout=_POLL_SECONDS,
+                    return_when=FIRST_COMPLETED,
+                )
+                broken = False
+                for future in done:
+                    task, attempt, _submitted, backup = futures.pop(future)
+                    state = tasks[task]
+                    state.inflight -= 1
+                    if state.done:
+                        continue  # late loser of a speculative race
+                    try:
+                        _task, rows = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        continue
+                    except Exception as exc:  # injected or genuine
+                        report.injected_failures += 1
+                        if state.inflight > 0:
+                            continue  # a duplicate is still running
+                        if not register_failure(task, repr(exc)):
+                            return None
+                    else:
+                        state.done = True
+                        state.rows = rows
+                        unfinished.discard(task)
+                        retry_at.pop(task, None)
+                        if backup:
+                            report.speculative_wins += 1
+                if broken:
+                    # One dead worker poisons every in-flight future:
+                    # drop them all, rebuild, and re-run what's left.
+                    for future, (task, _a, _s, _b) in list(futures.items()):
+                        tasks[task].inflight -= 1
+                    futures.clear()
+                    rebuild_pool()
+                    for task in sorted(unfinished):
+                        if tasks[task].inflight == 0 and task not in retry_at:
+                            if not register_failure(task, "worker died"):
+                                return None
+                    continue
+                now = time.monotonic()
+                for future, (task, attempt, submitted, backup) in list(
+                    futures.items()
+                ):
+                    state = tasks[task]
+                    if state.done or task not in unfinished:
+                        continue
+                    age = now - submitted
+                    if (
+                        policy.task_timeout is not None
+                        and age > policy.task_timeout
+                    ):
+                        # Abandon the attempt (workers can't be
+                        # interrupted); its eventual result is ignored.
+                        futures.pop(future)
+                        state.inflight -= 1
+                        report.timeouts += 1
+                        if state.inflight > 0:
+                            continue
+                        if not register_failure(task, f"timeout {age:.1f}s"):
+                            return None
+                    elif (
+                        policy.speculation
+                        and not backup
+                        and age > policy.straggler_timeout
+                        and state.inflight == 1
+                    ):
+                        report.speculative_launched += 1
+                        logger.info(
+                            "task %d straggling (%.2fs); launching backup",
+                            task, age,
+                        )
+                        submit(task, backup=True)
+            return [tasks[task].rows for task in sorted(tasks)]
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def _new_pool(self, init_args: tuple) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.processes,
+            initializer=_init_worker,
+            initargs=init_args,
+        )
+
+    def _record_metrics(self, report: MultiprocessReport) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.inc("mp.attempts", report.attempts)
+        self.metrics.inc("mp.retries", report.retries)
+        self.metrics.inc("mp.injected_failures", report.injected_failures)
+        self.metrics.inc("mp.timeouts", report.timeouts)
+        self.metrics.inc("mp.pool_rebuilds", report.pool_rebuilds)
+        self.metrics.inc(
+            "mp.speculative_launched", report.speculative_launched
+        )
+        self.metrics.inc("mp.speculative_wins", report.speculative_wins)
+        self.metrics.set_gauge("mp.degraded", 1.0 if report.degraded else 0.0)

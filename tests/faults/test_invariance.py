@@ -1,0 +1,111 @@
+"""Answer invariance under failures: the tentpole guarantee.
+
+Whatever a seeded :class:`FaultPlan` throws at either backend --
+mid-job machine deaths, injected task failures, stragglers, lost
+shuffle partitions, hard-killed worker processes -- the result must be
+bit-identical to :func:`evaluate_centralized`.  Fault tolerance that
+changes answers is worse than no fault tolerance at all.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, MachineCrash, RetryPolicy
+from repro.local.sortscan import evaluate_centralized
+from repro.mapreduce import ClusterConfig, SimulatedCluster
+from repro.parallel.executor import ParallelEvaluator
+from repro.parallel.multiprocess import MultiprocessEvaluator
+
+pytestmark = pytest.mark.faults
+
+MACHINES = 8
+
+
+def chaotic_cluster(seed: int) -> SimulatedCluster:
+    cluster = SimulatedCluster(ClusterConfig(machines=MACHINES))
+    cluster.install_faults(FaultPlan.random(seed, MACHINES))
+    return cluster
+
+
+class TestSimulatorInvariance:
+    def test_random_chaos_answers_match_oracle(self, tiny_workflow,
+                                               tiny_records):
+        oracle = evaluate_centralized(tiny_workflow, tiny_records)
+        for seed in range(6):
+            outcome = ParallelEvaluator(chaotic_cluster(seed)).evaluate(
+                tiny_workflow, tiny_records
+            )
+            assert outcome.result == oracle, f"chaos seed {seed}"
+            assert outcome.job.faults["plan"]["seed"] == seed
+
+    def test_chaos_runs_are_deterministic(self, tiny_workflow, tiny_records):
+        first = ParallelEvaluator(chaotic_cluster(3)).evaluate(
+            tiny_workflow, tiny_records
+        )
+        second = ParallelEvaluator(chaotic_cluster(3)).evaluate(
+            tiny_workflow, tiny_records
+        )
+        assert first.result == second.result
+        assert first.job.response_time == second.job.response_time
+        assert first.job.faults == second.job.faults
+
+    def test_mid_job_machine_death(self, tiny_workflow, tiny_records):
+        # Calibrate: when does the clean run finish?
+        calm = SimulatedCluster(ClusterConfig(machines=MACHINES))
+        base = ParallelEvaluator(calm).evaluate(tiny_workflow, tiny_records)
+        oracle = base.result
+
+        # Now kill two machines mid-run.
+        cluster = SimulatedCluster(ClusterConfig(machines=MACHINES))
+        mid = base.job.response_time * 0.4
+        cluster.install_faults(
+            FaultPlan(
+                seed=1,
+                machine_crashes=(
+                    MachineCrash(0, mid),
+                    MachineCrash(5, mid * 1.5),
+                ),
+            )
+        )
+        outcome = ParallelEvaluator(cluster).evaluate(
+            tiny_workflow, tiny_records
+        )
+        assert outcome.result == oracle
+        faults = outcome.job.faults
+        kills = faults["map"]["crash_kills"] + faults["reduce"]["crash_kills"]
+        assert kills >= 1, "the crashes were scheduled to land mid-job"
+        assert outcome.job.counters.task_retries >= 1
+
+    def test_clean_plan_matches_legacy_scheduling(self, tiny_workflow,
+                                                  tiny_records):
+        # An installed-but-empty plan must not change the simulated
+        # makespan relative to the legacy scheduler.
+        legacy = ParallelEvaluator(
+            SimulatedCluster(ClusterConfig(machines=MACHINES))
+        ).evaluate(tiny_workflow, tiny_records)
+        cluster = SimulatedCluster(ClusterConfig(machines=MACHINES))
+        cluster.install_faults(FaultPlan(seed=0))
+        chaotic = ParallelEvaluator(cluster).evaluate(
+            tiny_workflow, tiny_records
+        )
+        assert chaotic.result == legacy.result
+        assert chaotic.job.response_time == pytest.approx(
+            legacy.job.response_time
+        )
+
+
+class TestMultiprocessInvariance:
+    def test_random_chaos_answers_match_oracle(self, tiny_workflow,
+                                               tiny_records):
+        oracle = evaluate_centralized(tiny_workflow, tiny_records)
+        policy = RetryPolicy(backoff_base=0.05, backoff_max=0.2,
+                             straggler_timeout=30.0)
+        for seed in (0, 1):
+            plan = FaultPlan.random(seed, MACHINES)
+            evaluator = MultiprocessEvaluator(
+                processes=2, fault_plan=plan, retry_policy=policy
+            )
+            result, report = evaluator.evaluate(
+                tiny_workflow, tiny_records, num_partitions=4
+            )
+            assert result == oracle, f"chaos seed {seed}"
+            assert report.attempts >= report.tasks

@@ -1,0 +1,142 @@
+"""Recovery paths of the resilient multiprocess executor.
+
+Each test rigs a :class:`FaultPlan` to force one specific failure mode
+-- an injected exception, a hard-killed worker process, budget
+exhaustion, a straggler -- and asserts both that the recovery machinery
+engaged (report counters) and that the answer still matches the
+centralized oracle.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, RetryPolicy
+from repro.local.sortscan import evaluate_centralized
+from repro.parallel.multiprocess import MultiprocessEvaluator
+from repro.query.builder import WorkflowBuilder
+
+pytestmark = pytest.mark.faults
+
+FAST_BACKOFF = dict(backoff_base=0.02, backoff_max=0.1, jitter=0.0,
+                    straggler_timeout=30.0)
+
+
+@pytest.fixture
+def small_workflow(tiny_schema):
+    builder = WorkflowBuilder(tiny_schema)
+    builder.basic("total", over={"x": "four"}, field="v", aggregate="sum")
+    return builder.build()
+
+
+@pytest.fixture
+def oracle(small_workflow, tiny_records):
+    return evaluate_centralized(small_workflow, tiny_records)
+
+
+class TestRetry:
+    def test_injected_failure_is_retried(self, small_workflow, tiny_records,
+                                         oracle):
+        evaluator = MultiprocessEvaluator(
+            processes=2,
+            fault_plan=FaultPlan(seed=1, fail_attempts=((0, 0),)),
+            retry_policy=RetryPolicy(**FAST_BACKOFF),
+        )
+        result, report = evaluator.evaluate(
+            small_workflow, tiny_records, num_partitions=4
+        )
+        assert result == oracle
+        assert report.injected_failures == 1
+        assert report.retries == 1
+        assert report.attempts_per_task[0] == 2
+        assert not report.degraded
+
+    def test_fault_summary_shape(self, small_workflow, tiny_records):
+        evaluator = MultiprocessEvaluator(
+            processes=2,
+            fault_plan=FaultPlan(seed=1, fail_attempts=((0, 0),)),
+            retry_policy=RetryPolicy(**FAST_BACKOFF),
+        )
+        _result, report = evaluator.evaluate(
+            small_workflow, tiny_records, num_partitions=4
+        )
+        summary = report.fault_summary()
+        assert summary["retries"] == 1
+        assert summary["attempts"] == report.attempts
+        assert summary["attempts_per_task"]["0"] == 2
+
+
+class TestWorkerDeath:
+    def test_killed_worker_rebuilds_pool(self, small_workflow, tiny_records,
+                                         oracle):
+        # Attempt (0, 0) hard-kills its host with os._exit: the pool
+        # breaks for real and must be rebuilt, and only unfinished
+        # blocks re-run.
+        evaluator = MultiprocessEvaluator(
+            processes=2,
+            fault_plan=FaultPlan(seed=2, kill_attempts=((0, 0),)),
+            retry_policy=RetryPolicy(**FAST_BACKOFF),
+        )
+        result, report = evaluator.evaluate(
+            small_workflow, tiny_records, num_partitions=4
+        )
+        assert result == oracle
+        assert report.pool_rebuilds >= 1
+        assert not report.degraded
+
+
+class TestGracefulDegradation:
+    def test_exhausted_budget_falls_back_to_centralized(
+        self, small_workflow, tiny_records, oracle
+    ):
+        evaluator = MultiprocessEvaluator(
+            processes=2,
+            fault_plan=FaultPlan(seed=3, task_failure_probability=1.0),
+            retry_policy=RetryPolicy(max_attempts=2, **FAST_BACKOFF),
+        )
+        result, report = evaluator.evaluate(
+            small_workflow, tiny_records, num_partitions=4
+        )
+        assert result == oracle
+        assert report.degraded
+        assert report.fault_summary()["degraded"]
+
+
+class TestSpeculation:
+    def test_straggler_earns_backup(self, small_workflow, tiny_records,
+                                    oracle):
+        evaluator = MultiprocessEvaluator(
+            processes=4,
+            fault_plan=FaultPlan(seed=4, straggler_probability=1.0,
+                                 straggler_sleep=0.8),
+            retry_policy=RetryPolicy(backoff_base=0.02, jitter=0.0,
+                                     straggler_timeout=0.2),
+        )
+        result, report = evaluator.evaluate(
+            small_workflow, tiny_records, num_partitions=2
+        )
+        assert result == oracle
+        assert report.speculative_launched >= 1
+        assert not report.degraded
+
+
+class TestTimeouts:
+    def test_timed_out_attempts_are_abandoned(self, small_workflow,
+                                              tiny_records, oracle):
+        # Every attempt sleeps past the timeout, so each one is
+        # abandoned and the run ends in graceful degradation -- with
+        # the right answer regardless.
+        evaluator = MultiprocessEvaluator(
+            processes=2,
+            fault_plan=FaultPlan(seed=5, straggler_probability=1.0,
+                                 straggler_sleep=0.6),
+            retry_policy=RetryPolicy(
+                max_attempts=2, backoff_base=0.02, jitter=0.0,
+                speculation=False, straggler_timeout=30.0,
+                task_timeout=0.15,
+            ),
+        )
+        result, report = evaluator.evaluate(
+            small_workflow, tiny_records, num_partitions=2
+        )
+        assert result == oracle
+        assert report.timeouts >= 1
+        assert report.degraded

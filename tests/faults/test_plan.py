@@ -1,0 +1,138 @@
+"""Tests for fault plans, retry policies and their validation."""
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    FaultPlanError,
+    MachineCrash,
+    RetryPolicy,
+    validate_plan_for_cluster,
+)
+
+
+class TestFaultPlanValidation:
+    def test_probability_range_checked(self):
+        with pytest.raises(FaultPlanError, match="task_failure_probability"):
+            FaultPlan(task_failure_probability=1.5)
+        with pytest.raises(FaultPlanError, match="straggler_probability"):
+            FaultPlan(straggler_probability=-0.1)
+
+    def test_crash_coordinates_checked(self):
+        with pytest.raises(FaultPlanError, match="negative machine"):
+            MachineCrash(-1, 5.0)
+        with pytest.raises(FaultPlanError, match="before the run"):
+            MachineCrash(0, -5.0)
+
+    def test_plan_rejected_for_missing_machine(self):
+        plan = FaultPlan(machine_crashes=(MachineCrash(9, 1.0),))
+        with pytest.raises(FaultPlanError, match="machines 0..3"):
+            validate_plan_for_cluster(plan, machines=4)
+
+    def test_plan_rejected_when_nothing_survives(self):
+        plan = FaultPlan(
+            machine_crashes=(MachineCrash(0, 1.0), MachineCrash(1, 2.0))
+        )
+        with pytest.raises(FaultPlanError, match="kill all"):
+            validate_plan_for_cluster(plan, machines=2)
+        # The same crashes on a bigger cluster are fine...
+        validate_plan_for_cluster(plan, machines=3)
+        # ...unless static failures already claimed the rest.
+        with pytest.raises(FaultPlanError, match="kill all"):
+            validate_plan_for_cluster(plan, machines=3, already_failed={2})
+
+
+class TestFaultPlanDeterminism:
+    def test_decisions_are_reproducible(self):
+        a = FaultPlan(seed=3, task_failure_probability=0.5,
+                      straggler_probability=0.5)
+        b = FaultPlan(seed=3, task_failure_probability=0.5,
+                      straggler_probability=0.5)
+        for task in range(20):
+            for attempt in range(3):
+                assert a.task_fails("map", task, attempt) == b.task_fails(
+                    "map", task, attempt
+                )
+                assert a.straggler_factor(
+                    "reduce", task, attempt
+                ) == b.straggler_factor("reduce", task, attempt)
+
+    def test_retries_draw_fresh_fates(self):
+        plan = FaultPlan(seed=5, task_failure_probability=0.5)
+        fates = {
+            plan.task_fails("map", 0, attempt) for attempt in range(32)
+        }
+        assert fates == {True, False}
+
+    def test_explicit_attempt_pins(self):
+        plan = FaultPlan(fail_attempts=((2, 0),), kill_attempts=((3, 1),))
+        assert plan.task_fails("mp", 2, 0)
+        assert not plan.task_fails("mp", 2, 1)
+        assert plan.worker_killed("mp", 3, 1)
+        assert not plan.worker_killed("mp", 3, 0)
+
+    def test_round_trip(self):
+        plan = FaultPlan(
+            seed=11,
+            machine_crashes=(MachineCrash(1, 4.5),),
+            task_failure_probability=0.1,
+            straggler_probability=0.2,
+            kill_attempts=((0, 0),),
+            fail_attempts=((1, 2),),
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_crashes_before(self):
+        plan = FaultPlan(
+            machine_crashes=(MachineCrash(0, 2.0), MachineCrash(3, 8.0))
+        )
+        assert plan.crashes_before(1.0) == frozenset()
+        assert plan.crashes_before(2.0) == frozenset({0})
+        assert plan.crashes_before(10.0) == frozenset({0, 3})
+
+
+class TestRandomPlan:
+    def test_same_seed_same_plan(self):
+        assert FaultPlan.random(9, 12) == FaultPlan.random(9, 12)
+
+    def test_plans_are_survivable(self):
+        for seed in range(25):
+            plan = FaultPlan.random(seed, 9)
+            validate_plan_for_cluster(plan, machines=9)
+            assert len(plan.machine_crashes) <= 3
+
+    def test_single_machine_never_crashes(self):
+        for seed in range(10):
+            assert not FaultPlan.random(seed, 1).machine_crashes
+
+    def test_intensity_validated(self):
+        with pytest.raises(FaultPlanError, match="intensity"):
+            FaultPlan.random(1, 4, intensity=0.0)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(FaultPlanError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(FaultPlanError, match="jitter"):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(FaultPlanError, match="on_exhaustion"):
+            RetryPolicy(on_exhaustion="panic")
+
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            backoff_base=1.0, backoff_factor=2.0, backoff_max=5.0,
+            jitter=0.0,
+        )
+        assert policy.backoff(0) == 0.0
+        assert policy.backoff(1) == 1.0
+        assert policy.backoff(2) == 2.0
+        assert policy.backoff(3) == 4.0
+        assert policy.backoff(4) == 5.0  # capped
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_base=1.0, jitter=0.1)
+        first = policy.backoff(1, seed=7, salt="map:3")
+        assert first == policy.backoff(1, seed=7, salt="map:3")
+        assert 0.9 <= first <= 1.1
+        assert first != policy.backoff(1, seed=8, salt="map:3")

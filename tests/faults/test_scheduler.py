@@ -1,0 +1,161 @@
+"""Tests for the event-driven fault-aware phase scheduler."""
+
+import pytest
+
+from repro.faults import (
+    ClusterDeadError,
+    FaultPlan,
+    MachineCrash,
+    RetriesExhaustedError,
+    RetryPolicy,
+    schedule_with_faults,
+)
+from repro.mapreduce.cluster import makespan
+
+CALM = FaultPlan()
+NO_JITTER = RetryPolicy(jitter=0.0, backoff_base=1.0, backoff_factor=2.0)
+
+
+def run(durations, *, machines=(0, 1), plan=CALM, policy=NO_JITTER,
+        **kwargs):
+    return schedule_with_faults(
+        durations, machines=machines, plan=plan, policy=policy,
+        phase="map", **kwargs
+    )
+
+
+class TestCalmPlan:
+    def test_matches_plain_makespan(self):
+        durations = [3.0, 1.0, 2.0, 4.0, 1.0]
+        span, spans, stats = run(durations, machines=(0, 1, 2))
+        assert span == makespan(durations, 3)
+        assert stats.attempts == stats.tasks == 5
+        assert stats.retries == 0
+        assert all(s.outcome == "ok" for s in spans)
+
+    def test_empty_phase(self):
+        span, spans, stats = run([])
+        assert span == 0.0
+        assert spans == []
+
+    def test_zero_duration_tasks(self):
+        span, _spans, stats = run([0.0, 0.0, 0.0])
+        assert span == 0.0
+        assert stats.attempts == 3
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            run([1.0, -2.0])
+
+    def test_no_machines(self):
+        with pytest.raises(ClusterDeadError):
+            run([1.0], machines=())
+
+
+class TestInjectedFailures:
+    def test_failure_charges_actual_rerun_cost(self):
+        # Task 0's first attempt runs fully, fails, backs off 1s, reruns.
+        plan = FaultPlan(fail_attempts=((0, 0),))
+        span, spans, stats = run([2.0], machines=(0,), plan=plan)
+        assert span == pytest.approx(2.0 + 1.0 + 2.0)
+        assert [s.outcome for s in spans] == ["failed", "ok"]
+        assert stats.failures == 1 and stats.retries == 1
+        assert stats.attempts_per_task == {0: 2}
+
+    def test_exhaustion_raises_when_asked(self):
+        plan = FaultPlan(fail_attempts=((0, 0), (0, 1)))
+        policy = RetryPolicy(max_attempts=2, jitter=0.0,
+                             on_exhaustion="raise")
+        with pytest.raises(RetriesExhaustedError, match="task 0"):
+            run([1.0], machines=(0,), plan=plan, policy=policy)
+
+    def test_exhaustion_degrades_to_clean_attempt(self):
+        # With a budget of 2 and attempts 0..4 rigged to fail, degrade
+        # mode must still finish: the post-budget attempt runs clean.
+        plan = FaultPlan(fail_attempts=tuple((0, a) for a in range(5)))
+        policy = RetryPolicy(max_attempts=2, jitter=0.0, backoff_base=0.5)
+        span, spans, stats = run([1.0], machines=(0,), plan=plan,
+                                 policy=policy)
+        assert [s.outcome for s in spans] == ["failed", "failed", "ok"]
+        assert stats.exhausted_tasks == 1
+
+
+class TestCrashes:
+    def test_crash_kills_running_attempt_and_reruns(self):
+        # Two machines; machine 1 dies mid-way through task 1.
+        plan = FaultPlan(machine_crashes=(MachineCrash(1, 1.0),))
+        span, spans, stats = run([4.0, 4.0], machines=(0, 1), plan=plan)
+        outcomes = sorted(s.outcome for s in spans)
+        assert outcomes == ["killed", "ok", "ok"]
+        assert stats.crash_kills == 1
+        # The killed task reruns on machine 0 after machine 0 frees up.
+        assert span > 4.0
+
+    def test_crashed_machine_contributes_no_slots_after_origin(self):
+        # A machine dead before the phase origin never runs anything.
+        plan = FaultPlan(machine_crashes=(MachineCrash(0, 1.0),))
+        span, spans, _stats = run(
+            [2.0, 2.0], machines=(1,), plan=plan, origin=5.0
+        )
+        assert span == 4.0  # serial on the one live machine
+        assert all(s.slot == 0 for s in spans)
+
+    def test_all_machines_dying_is_fatal(self):
+        plan = FaultPlan(
+            machine_crashes=(MachineCrash(0, 1.0), MachineCrash(1, 1.0))
+        )
+        with pytest.raises(ClusterDeadError, match="outstanding"):
+            run([5.0, 5.0], machines=(0, 1), plan=plan)
+
+
+class TestSpeculation:
+    def test_backup_caps_straggler_damage(self):
+        plan = FaultPlan(seed=1, straggler_probability=1.0,
+                         straggler_slowdown=10.0)
+        # Every attempt straggles; with two machines the backup also
+        # straggles, so speculation cannot help -- use a policy window
+        # that still shows the launch accounting.
+        policy = RetryPolicy(jitter=0.0, speculation=True,
+                             speculation_factor=1.5)
+        _span, _spans, stats = run([1.0, 1.0], machines=(0, 1, 2, 3),
+                                   plan=plan, policy=policy)
+        assert stats.speculative_launched >= 1
+
+    def test_first_result_wins_and_loser_is_discarded(self):
+        # Only task 0's first attempt straggles; the backup (attempt 1)
+        # runs clean and wins.
+        class OneStraggler(FaultPlan):
+            def straggler_factor(self, phase, task, attempt):
+                return 8.0 if (task, attempt) == (0, 0) else 1.0
+
+        plan = OneStraggler()
+        policy = RetryPolicy(jitter=0.0, speculation=True,
+                             speculation_factor=1.5)
+        span, spans, stats = run([2.0], machines=(0, 1), plan=plan,
+                                 policy=policy)
+        outcomes = {s.attempt: s.outcome for s in spans}
+        assert outcomes[1] == "backup-ok"
+        assert outcomes[0] == "lost-race"
+        assert stats.speculative_wins == 1
+        # Backup launched at 3.0 (=2.0 * 1.5) and ran 2.0.
+        assert span == pytest.approx(5.0)
+
+    def test_speculation_disabled(self):
+        plan = FaultPlan(seed=1, straggler_probability=1.0,
+                         straggler_slowdown=4.0)
+        policy = RetryPolicy(jitter=0.0, speculation=False)
+        span, _spans, stats = run([1.0], machines=(0, 1), plan=plan,
+                                  policy=policy)
+        assert stats.speculative_launched == 0
+        assert span == pytest.approx(4.0)
+
+
+class TestDeterminism:
+    def test_identical_inputs_identical_schedules(self):
+        plan = FaultPlan(seed=13, task_failure_probability=0.3,
+                         straggler_probability=0.3,
+                         machine_crashes=(MachineCrash(2, 3.0),))
+        durations = [1.0, 2.0, 3.0, 1.5, 2.5, 0.5] * 3
+        first = run(durations, machines=range(4), plan=plan)
+        second = run(durations, machines=range(4), plan=plan)
+        assert first == second

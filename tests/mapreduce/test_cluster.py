@@ -70,6 +70,20 @@ class TestCluster:
         with pytest.raises(ValueError):
             cluster.fail_machine(7)
 
+    def test_fail_negative_machine(self):
+        cluster = SimulatedCluster(ClusterConfig(machines=2))
+        with pytest.raises(ValueError, match="no machine"):
+            cluster.fail_machine(-1)
+
+    def test_restore_unknown_machine(self):
+        # Regression: restore_machine used to discard out-of-range
+        # indices silently, hiding typos in failure scripts.
+        cluster = SimulatedCluster(ClusterConfig(machines=2))
+        with pytest.raises(ValueError, match="no machine"):
+            cluster.restore_machine(7)
+        with pytest.raises(ValueError, match="no machine"):
+            cluster.restore_machine(-1)
+
     def test_reducer_machine_skips_failed(self):
         cluster = SimulatedCluster(ClusterConfig(machines=4))
         cluster.fail_machine(0)
@@ -97,3 +111,44 @@ class TestReducerRetry:
     def test_no_failures_no_retries(self):
         cluster = SimulatedCluster(ClusterConfig(machines=4))
         assert not any(cluster.reducer_retry_needed(i) for i in range(8))
+
+
+class TestInstallFaults:
+    def test_install_validates_against_cluster(self):
+        from repro.faults import FaultPlan, FaultPlanError, MachineCrash
+
+        cluster = SimulatedCluster(ClusterConfig(machines=4))
+        with pytest.raises(FaultPlanError, match="machines 0..3"):
+            cluster.install_faults(
+                FaultPlan(machine_crashes=(MachineCrash(9, 1.0),))
+            )
+        assert cluster.fault_plan is None
+
+    def test_install_respects_static_failures(self):
+        from repro.faults import FaultPlan, FaultPlanError, MachineCrash
+
+        cluster = SimulatedCluster(ClusterConfig(machines=2))
+        cluster.fail_machine(0)
+        with pytest.raises(FaultPlanError, match="kill all"):
+            cluster.install_faults(
+                FaultPlan(machine_crashes=(MachineCrash(1, 1.0),))
+            )
+
+    def test_machines_dead_at_merges_both_models(self):
+        from repro.faults import FaultPlan, MachineCrash
+
+        cluster = SimulatedCluster(ClusterConfig(machines=4))
+        cluster.fail_machine(3)
+        cluster.install_faults(
+            FaultPlan(machine_crashes=(MachineCrash(1, 5.0),))
+        )
+        assert cluster.machines_dead_at(0.0) == frozenset({3})
+        assert cluster.machines_dead_at(5.0) == frozenset({1, 3})
+        assert cluster.live_machines_at(6.0) == [0, 2]
+        cluster.clear_faults()
+        assert cluster.machines_dead_at(10.0) == frozenset({3})
+
+    def test_schedule_phase_requires_plan(self):
+        cluster = SimulatedCluster(ClusterConfig(machines=2))
+        with pytest.raises(RuntimeError, match="install_faults"):
+            cluster.schedule_phase("map", [1.0])

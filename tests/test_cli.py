@@ -94,6 +94,100 @@ class TestRun:
         assert code == 0
 
 
+class TestChaos:
+    def test_run_with_chaos_prints_recovery(self, weblog_query_file, capsys):
+        code = main(
+            ["run", weblog_query_file, "--records", "3000",
+             "--machines", "10", "--days", "1", "--chaos", "7"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos: FaultPlan(seed=7" in out
+        assert "recovery[map]:" in out
+        assert "recovery[reduce]:" in out
+
+    def test_chaos_answers_match_clean_run(self, weblog_query_file, tmp_path,
+                                           capsys):
+        clean_csv = tmp_path / "clean.csv"
+        chaos_csv = tmp_path / "chaos.csv"
+        args = ["run", weblog_query_file, "--records", "3000",
+                "--machines", "10", "--days", "1"]
+        assert main(args + ["--csv", str(clean_csv)]) == 0
+        assert main(args + ["--chaos", "3", "--csv", str(chaos_csv)]) == 0
+        capsys.readouterr()
+        assert clean_csv.read_text() == chaos_csv.read_text()
+
+    def test_trace_manifest_records_fault_plan(self, weblog_query_file,
+                                               tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            ["trace", weblog_query_file, "--records", "3000",
+             "--machines", "10", "--days", "1", "--chaos", "5",
+             "--out", str(trace_path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        manifest = json.loads((tmp_path / "trace.manifest.json").read_text())
+        assert manifest["faults"]["plan"]["seed"] == 5
+        assert "attempts" in manifest["faults"]["reduce"]
+
+    def test_stats_renders_fault_section(self, weblog_query_file, tmp_path,
+                                         capsys):
+        trace_path = tmp_path / "trace.json"
+        main(
+            ["trace", weblog_query_file, "--records", "3000",
+             "--machines", "10", "--days", "1", "--chaos", "5",
+             "--out", str(trace_path)]
+        )
+        capsys.readouterr()
+        code = main(["stats", str(tmp_path / "trace.manifest.json")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults: chaos seed 5" in out
+
+
+class TestFailMachines:
+    def test_static_failures_still_answer(self, weblog_query_file, capsys):
+        code = main(
+            ["run", weblog_query_file, "--records", "3000",
+             "--machines", "10", "--days", "1", "--fail-machines", "2,4"]
+        )
+        assert code == 0
+        assert "plan:" in capsys.readouterr().out
+
+    def test_data_unavailable_is_one_actionable_line(self, weblog_query_file):
+        # The DFS places 'query-input' replicas deterministically
+        # (seed 7): on a 4-machine cluster the single block lands on
+        # machines (3, 0, 1).  Failing exactly those machines makes
+        # every replica unreachable.
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["run", weblog_query_file, "--records", "3000",
+                 "--machines", "4", "--days", "1",
+                 "--fail-machines", "3,0,1"]
+            )
+        message = str(excinfo.value)
+        assert "\n" not in message
+        assert "data unavailable" in message
+        assert "block 0" in message
+        assert "machines down: [0, 1, 3]" in message
+        assert "replication" in message
+
+    def test_unknown_machine_rejected(self, weblog_query_file):
+        with pytest.raises(SystemExit, match="no machine 99"):
+            main(
+                ["run", weblog_query_file, "--records", "100",
+                 "--machines", "4", "--fail-machines", "99"]
+            )
+
+    def test_garbage_rejected(self, weblog_query_file):
+        with pytest.raises(SystemExit, match="comma-separated"):
+            main(
+                ["run", weblog_query_file, "--records", "100",
+                 "--machines", "4", "--fail-machines", "one,two"]
+            )
+
+
 class TestErrors:
     def test_missing_file(self):
         with pytest.raises(SystemExit, match="cannot read"):

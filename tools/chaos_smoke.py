@@ -1,0 +1,113 @@
+"""Chaos smoke test: N seeded fault plans, one non-negotiable invariant.
+
+Runs the weblog workload under a fresh random :class:`FaultPlan` per
+seed on the simulated cluster (and optionally the real multiprocess
+backend), asserting every run's result is bit-identical to
+:func:`evaluate_centralized`.  Prints per-seed recovery accounting --
+attempts, retries, crash kills, speculation -- so a glance shows the
+chaos actually bit.  Run from the repo root::
+
+    PYTHONPATH=src python tools/chaos_smoke.py [--seeds N] [--records N]
+        [--machines N] [--multiprocess] [--intensity X]
+
+Exit status is non-zero if any run's answer deviates from the oracle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.faults import FaultPlan, RetryPolicy
+from repro.local.sortscan import evaluate_centralized
+from repro.mapreduce import ClusterConfig, SimulatedCluster
+from repro.parallel.executor import ParallelEvaluator
+from repro.workload import generate_sessions, weblog_query, weblog_schema
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=8,
+                        help="number of random fault plans to try")
+    parser.add_argument("--records", type=int, default=3000)
+    parser.add_argument("--machines", type=int, default=12)
+    parser.add_argument("--intensity", type=float, default=1.0,
+                        help="chaos intensity in (0, 1]")
+    parser.add_argument("--multiprocess", action="store_true",
+                        help="also run each plan on the real process pool")
+    return parser.parse_args(argv)
+
+
+def phase_line(stats: dict) -> str:
+    return (
+        f"{stats['attempts']} attempts/{stats['tasks']} tasks, "
+        f"{stats['retries']} retries, {stats['crash_kills']} kills, "
+        f"{stats['speculative_launched']} spec "
+        f"({stats['speculative_wins']} won)"
+    )
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    schema = weblog_schema(days=1)
+    workflow = weblog_query(schema)
+    records = generate_sessions(schema, args.records, seed=5)
+    oracle = evaluate_centralized(workflow, records)
+    print(
+        f"chaos smoke: {args.seeds} seeds x {args.records} records on "
+        f"{args.machines} machines (oracle: centralized evaluation)"
+    )
+
+    failures = 0
+    for seed in range(args.seeds):
+        plan = FaultPlan.random(
+            seed, args.machines, intensity=args.intensity
+        )
+        cluster = SimulatedCluster(ClusterConfig(machines=args.machines))
+        cluster.install_faults(plan)
+        started = time.perf_counter()
+        outcome = ParallelEvaluator(cluster).evaluate(workflow, records)
+        elapsed = time.perf_counter() - started
+        ok = outcome.result == oracle
+        failures += not ok
+        faults = outcome.job.faults
+        print(f"seed {seed}: {'ok' if ok else 'MISMATCH'} "
+              f"({elapsed:.1f}s wall)  {plan.describe()}")
+        print(f"  map:    {phase_line(faults['map'])}")
+        print(f"  reduce: {phase_line(faults['reduce'])}")
+
+        if args.multiprocess:
+            from repro.parallel.multiprocess import MultiprocessEvaluator
+
+            evaluator = MultiprocessEvaluator(
+                processes=2,
+                fault_plan=plan,
+                retry_policy=RetryPolicy(
+                    backoff_base=0.05, backoff_max=0.2,
+                    straggler_timeout=30.0,
+                ),
+            )
+            result, report = evaluator.evaluate(
+                workflow, records, num_partitions=4
+            )
+            mp_ok = result == oracle
+            failures += not mp_ok
+            summary = report.fault_summary()
+            print(
+                f"  mp:     {'ok' if mp_ok else 'MISMATCH'}  "
+                f"{summary['attempts']} attempts/{summary['tasks']} tasks, "
+                f"{summary['retries']} retries, "
+                f"{summary['pool_rebuilds']} rebuilds, "
+                f"degraded={summary['degraded']}"
+            )
+
+    if failures:
+        print(f"FAILED: {failures} run(s) deviated from the oracle")
+        return 1
+    print("all runs matched the centralized oracle")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
