@@ -1,0 +1,199 @@
+"""Wall-clock benchmark: scalar vs columnar map side and transport.
+
+Two measurements on the Figure 4 workload sizes, written to
+``BENCH_columnar.json`` at the repository root as the perf baseline for
+future PRs:
+
+* **map+combine** -- real seconds (and records/s) to run one whole map
+  task through the executor's own closures: the per-record
+  ``mapper``/``combiner`` pair versus the batched ``map_batch`` hook
+  (vectorized routing + reduceat partial states).
+* **transport** -- bytes pickled to worker processes by the
+  multiprocess backend: per-block record lists versus columnar
+  buckets (dtype-compacted, deflated column buffers).
+
+Both paths must produce the same shuffle content; the scalar pairs are
+cross-checked against the batched pairs before timing.
+
+    pytest benchmarks/test_perf_columnar.py -s
+
+Throughput ratios are hardware-dependent; the JSON records what this
+machine saw.  Tier-1 correctness is asserted here, speed ratios are
+asserted only loosely (>1) to keep the benchmark robust on loaded
+hosts -- read the JSON for the real numbers.
+"""
+
+import math
+import time
+from collections import defaultdict
+
+import pytest
+
+from repro.cube.batches import RecordBatch, estimated_pickle_bytes
+from repro.mapreduce.engine import stable_hash
+from repro.optimizer.optimizer import Optimizer, OptimizerConfig
+from repro.parallel.executor import ExecutionConfig, ParallelEvaluator
+from repro.parallel.multiprocess import MultiprocessEvaluator
+from repro.parallel.report import ColumnarStats
+from repro.workload import q1, q2, q3, q4, q5, q6
+
+from support import bench_schema, dataset, make_cluster, print_table, \
+    write_bench_json
+
+pytestmark = pytest.mark.perf
+
+SIZES = (15_000, 60_000)
+QUERIES = {"q1": q1, "q2": q2, "q3": q3, "q4": q4, "q5": q5, "q6": q6}
+PARTITIONS = 8
+REPEATS = 5
+
+
+def _plan(workflow, n_records):
+    return Optimizer(OptimizerConfig()).plan_query(
+        workflow, n_records, num_reducers=PARTITIONS
+    )
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def _map_combine_tasks(workflow, records):
+    """(scalar_task, columnar_task): one full map task, both ways."""
+    evaluator = ParallelEvaluator(
+        make_cluster(), ExecutionConfig(early_aggregation=True)
+    )
+    plan = _plan(workflow, len(records))
+    mapper = evaluator._make_mapper(plan)
+    combiner = evaluator._make_combiner(plan)
+    map_batch = evaluator._make_map_batch(plan, 8, ColumnarStats())
+
+    def scalar_task():
+        groups = defaultdict(list)
+        for record in records:
+            for key, value in mapper(record):
+                groups[key].append(value)
+        pairs = []
+        for key, members in groups.items():
+            pairs.extend(combiner(key, members))
+        return pairs
+
+    def columnar_task():
+        return map_batch(records).pairs
+
+    return scalar_task, columnar_task
+
+
+def _transport_bytes(workflow, records):
+    """(scalar_bytes, columnar_bytes) the multiprocess scatter ships."""
+    plan = _plan(workflow, len(records))
+    blocks = defaultdict(list)
+    for index, (_component, subplan) in enumerate(plan.subplans):
+        mapper = subplan.scheme.make_mapper()
+        for record in records:
+            for block_key in mapper(record):
+                blocks[(index,) + block_key].append(record)
+    scalar_buckets = [[] for _ in range(PARTITIONS)]
+    for block_key, block_records in blocks.items():
+        scalar_buckets[stable_hash(block_key) % PARTITIONS].append(
+            (block_key, block_records)
+        )
+    scalar_bytes = sum(
+        estimated_pickle_bytes(bucket)
+        for bucket in scalar_buckets if bucket
+    )
+
+    batch = RecordBatch.from_records(workflow.schema, records)
+    buckets, _blocks, _replicated = (
+        MultiprocessEvaluator._scatter_columnar(batch, plan, PARTITIONS)
+    )
+    columnar_bytes = sum(
+        estimated_pickle_bytes(bucket) for bucket in buckets if bucket
+    )
+    return scalar_bytes, columnar_bytes
+
+
+def test_perf_columnar_map_and_transport():
+    schema = bench_schema()
+    results: dict = {
+        "schema": "paper(days=20, temporal_base=minute)",
+        "partitions": PARTITIONS,
+        "map_combine": {},
+        "transport": {},
+    }
+    rows = []
+    for size in SIZES:
+        records = dataset(size)
+        for name, query in QUERIES.items():
+            workflow = query(schema)
+
+            scalar_task, columnar_task = _map_combine_tasks(
+                workflow, records
+            )
+            # Same shuffle content before timing anything.
+            assert sorted(
+                columnar_task(), key=repr
+            ) == sorted(scalar_task(), key=repr)
+            scalar_s, _ = _best_of(scalar_task)
+            columnar_s, _ = _best_of(columnar_task)
+
+            scalar_bytes, columnar_bytes = _transport_bytes(
+                workflow, records
+            )
+
+            key = f"{name}@{size}"
+            results["map_combine"][key] = {
+                "records": size,
+                "scalar_s": round(scalar_s, 6),
+                "columnar_s": round(columnar_s, 6),
+                "scalar_records_per_s": round(size / scalar_s),
+                "columnar_records_per_s": round(size / columnar_s),
+                "speedup": round(scalar_s / columnar_s, 2),
+            }
+            results["transport"][key] = {
+                "scalar_bytes": scalar_bytes,
+                "columnar_bytes": columnar_bytes,
+                "reduction": round(scalar_bytes / columnar_bytes, 2),
+            }
+            rows.append([
+                key,
+                round(size / scalar_s),
+                round(size / columnar_s),
+                round(scalar_s / columnar_s, 2),
+                scalar_bytes,
+                columnar_bytes,
+                round(scalar_bytes / columnar_bytes, 2),
+            ])
+            assert scalar_s > columnar_s, key
+            assert columnar_bytes < scalar_bytes, key
+
+    speedups = [
+        entry["speedup"] for entry in results["map_combine"].values()
+    ]
+    total_scalar = sum(
+        entry["scalar_bytes"] for entry in results["transport"].values()
+    )
+    total_columnar = sum(
+        entry["columnar_bytes"] for entry in results["transport"].values()
+    )
+    results["summary"] = {
+        "map_combine_speedup_min": min(speedups),
+        "map_combine_speedup_max": max(speedups),
+        "map_combine_speedup_geomean": round(
+            math.exp(sum(map(math.log, speedups)) / len(speedups)), 2
+        ),
+        "transport_reduction_total": round(total_scalar / total_columnar, 2),
+    }
+    path = write_bench_json("columnar", results)
+    print_table(
+        f"scalar vs columnar ({path.name})",
+        ["query@size", "scalar rec/s", "columnar rec/s", "speedup",
+         "scalar B", "columnar B", "reduction"],
+        rows,
+    )

@@ -235,6 +235,10 @@ def _print_fault_report(job) -> None:
         )
 
 
+#: ``--columnar`` choice -> ExecutionConfig/OptimizerConfig value.
+_COLUMNAR_CHOICES = {"auto": None, "on": True, "off": False}
+
+
 def _cmd_plan(args) -> int:
     schema = _build_schema(args.schema, args.days)
     workflow = _load_workflow(args.query, schema)
@@ -299,9 +303,13 @@ def _cmd_run(args) -> int:
         print(outcome.describe())
         result = outcome.result
     else:
+        columnar = _COLUMNAR_CHOICES[args.columnar]
         config = ExecutionConfig(
             early_aggregation=args.early_aggregation,
-            optimizer=OptimizerConfig(use_sampling=args.sampling),
+            columnar=columnar,
+            optimizer=OptimizerConfig(
+                use_sampling=args.sampling, columnar=columnar
+            ),
         )
         outcome = _evaluate_or_die(
             ParallelEvaluator(cluster, config), workflow, records, cluster
@@ -362,9 +370,13 @@ def _cmd_trace(args) -> int:
         on_event=progress_sink() if args.verbose else None
     )
     metrics = MetricsRegistry()
+    columnar = _COLUMNAR_CHOICES[args.columnar]
     config = ExecutionConfig(
         early_aggregation=args.early_aggregation,
-        optimizer=OptimizerConfig(use_sampling=args.sampling),
+        columnar=columnar,
+        optimizer=OptimizerConfig(
+            use_sampling=args.sampling, columnar=columnar
+        ),
     )
     evaluator = ParallelEvaluator(
         cluster, config, tracer=tracer, metrics=metrics
@@ -467,6 +479,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--sampling", action="store_true",
         help="pick the plan by sampled simulated dispatch",
     )
+    run.add_argument(
+        "--columnar", choices=sorted(_COLUMNAR_CHOICES), default="auto",
+        help="batched map side: 'auto' enables it when every aggregate "
+             "is vectorized, 'on'/'off' force it (results are identical)",
+    )
     run.add_argument("--csv", help="export results to this CSV file")
     run.add_argument(
         "--gantt", action="store_true",
@@ -498,6 +515,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--sampling", action="store_true",
         help="pick the plan by sampled simulated dispatch",
+    )
+    trace.add_argument(
+        "--columnar", choices=sorted(_COLUMNAR_CHOICES), default="auto",
+        help="batched map side: 'auto' enables it when every aggregate "
+             "is vectorized, 'on'/'off' force it (results are identical)",
     )
     trace.set_defaults(handler=_cmd_trace)
 

@@ -33,10 +33,34 @@ from repro.cube.records import (
 )
 from repro.cube.regions import Granularity, Region, all_granularity
 
+#: Columnar batch API, loaded lazily: repro.cube.batches needs NumPy,
+#: which the scalar cube substrate deliberately does not.
+_BATCH_EXPORTS = (
+    "ColumnPayload",
+    "RecordBatch",
+    "compact_array",
+    "decode_buffer",
+    "encode_buffer",
+    "estimated_pickle_bytes",
+    "row_tuples",
+    "wire_dtype",
+)
+
+
+def __getattr__(name):
+    if name in _BATCH_EXPORTS:
+        from repro.cube import batches
+
+        return getattr(batches, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "ALL",
     "ALL_VALUE",
     "Attribute",
+    "ColumnPayload",
+    "RecordBatch",
     "DomainError",
     "Granularity",
     "Hierarchy",
@@ -52,12 +76,18 @@ __all__ = [
     "banded_hierarchy",
     "calendar_hierarchy",
     "chain_distance",
+    "compact_array",
+    "decode_buffer",
+    "encode_buffer",
+    "estimated_pickle_bytes",
     "estimated_record_bytes",
     "generalizations_of",
     "greatest_common_descendant",
     "is_feasible_order",
     "least_common_ancestor",
     "make_records",
+    "row_tuples",
     "temporal_hierarchy",
     "week_hierarchy",
+    "wire_dtype",
 ]

@@ -1,0 +1,278 @@
+"""Columnar record batches.
+
+A :class:`RecordBatch` holds one block of records as a contiguous NumPy
+integer matrix -- one row per record, one column per schema field -- so
+the hot loops of the parallel evaluator (map-side block routing, early
+aggregation, cross-process transport) can run vectorized over whole
+columns instead of iterating Python record tuples.
+
+Batches are strictly an accelerated *representation*: they are built
+once at load time from a :class:`~repro.cube.records.Schema` and round
+trip exactly to the plain record tuples every scalar code path consumes
+(:meth:`RecordBatch.to_records`).  Construction is best-effort --
+:meth:`RecordBatch.from_records` returns ``None`` for data that cannot
+be represented as int64 columns (float facts, arbitrary objects,
+overflowing values), which is the signal for callers to fall back to
+the scalar path for that block.
+
+For cross-process transport a batch compacts into a
+:class:`ColumnPayload`: raw little-endian column buffers
+(``ndarray.tobytes()``) using the *smallest* integer dtype that covers
+each column's value range, plus a tiny dtype/length header.  On typical
+OLAP data (small dimension codes, bounded facts) this is several times
+smaller than pickling lists of record tuples, and it deserializes with
+one ``np.frombuffer`` per column instead of one object per field.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cube.records import Record, Schema
+
+#: zlib level for ``codec="zlib"`` buffers: best ratio; these buffers
+#: are small enough that compression time is negligible next to the
+#: per-object pickling it replaces.
+_ZLIB_LEVEL = 6
+
+#: Candidate wire dtypes, tried smallest first when compacting columns.
+_WIRE_DTYPES = (
+    np.uint8,
+    np.int8,
+    np.uint16,
+    np.int16,
+    np.uint32,
+    np.int32,
+    np.int64,
+)
+
+#: Fixed serialized overhead charged per column (dtype tag + length).
+_COLUMN_HEADER_BYTES = 8
+
+
+def row_tuples(matrix: np.ndarray) -> list[tuple[int, ...]]:
+    """The rows of a 2-D integer array as plain-int tuples.
+
+    ``matrix.tolist()`` allocates an intermediate list per row before
+    any tuple exists; transposing first yields one flat list per column
+    and lets ``zip`` assemble the row tuples directly at C speed --
+    about twice as fast when rows number in the hundreds of thousands
+    (fine clustering routinely produces that many near-singleton
+    blocks).
+    """
+    if not len(matrix):
+        return []
+    if not matrix.shape[1]:
+        return [()] * len(matrix)
+    return list(zip(*matrix.T.tolist()))
+
+
+def wire_dtype(low: int, high: int) -> np.dtype:
+    """The smallest candidate dtype whose range covers ``[low, high]``."""
+    for candidate in _WIRE_DTYPES:
+        info = np.iinfo(candidate)
+        if info.min <= low and high <= info.max:
+            return np.dtype(candidate)
+    raise OverflowError(f"column range [{low}, {high}] exceeds int64")
+
+
+def compact_array(values: np.ndarray) -> tuple[str, bytes]:
+    """Serialize an integer array as (dtype string, smallest wire bytes)."""
+    if len(values):
+        dtype = wire_dtype(int(values.min()), int(values.max()))
+    else:
+        dtype = np.dtype(np.uint8)
+    return dtype.str, np.ascontiguousarray(
+        values.astype(dtype, copy=False)
+    ).tobytes()
+
+
+def encode_buffer(buffer: bytes, codec: str) -> bytes:
+    """Apply the named codec to a raw wire buffer."""
+    if codec == "zlib":
+        return zlib.compress(buffer, _ZLIB_LEVEL)
+    if codec == "raw":
+        return buffer
+    raise ValueError(f"unknown wire codec {codec!r}")
+
+
+def decode_buffer(buffer: bytes, codec: str) -> bytes:
+    """Invert :func:`encode_buffer`."""
+    if codec == "zlib":
+        return zlib.decompress(buffer)
+    if codec == "raw":
+        return buffer
+    raise ValueError(f"unknown wire codec {codec!r}")
+
+
+@dataclass(frozen=True)
+class ColumnPayload:
+    """An integer matrix serialized as compact column buffers.
+
+    Plain bytes and strings only, so payloads cross process boundaries
+    (pickle, sockets) without carrying NumPy object graphs; the arrays
+    are rebuilt zero-copy with ``np.frombuffer`` on arrival.  With
+    ``codec="zlib"`` each column buffer is additionally deflated, which
+    pays off on the repetitive low-entropy columns (block keys, sorted
+    coordinates) that dominate wide shuffles.
+    """
+
+    length: int
+    dtypes: tuple[str, ...]
+    buffers: tuple[bytes, ...]
+    codec: str = "raw"
+
+    @classmethod
+    def from_matrix(
+        cls, matrix: np.ndarray, codec: str = "raw"
+    ) -> "ColumnPayload":
+        """Compact a 2-D integer array into per-column wire buffers."""
+        dtypes = []
+        buffers = []
+        for index in range(matrix.shape[1]):
+            dtype, buffer = compact_array(matrix[:, index])
+            dtypes.append(dtype)
+            buffers.append(encode_buffer(buffer, codec))
+        return cls(
+            length=matrix.shape[0],
+            dtypes=tuple(dtypes),
+            buffers=tuple(buffers),
+            codec=codec,
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized size: column buffers plus per-column headers."""
+        return (
+            sum(len(buffer) for buffer in self.buffers)
+            + _COLUMN_HEADER_BYTES * len(self.buffers)
+        )
+
+    def to_matrix(self) -> np.ndarray:
+        """Rebuild the int64 matrix this payload was compacted from."""
+        matrix = np.empty((self.length, len(self.dtypes)), dtype=np.int64)
+        for index, (dtype, buffer) in enumerate(
+            zip(self.dtypes, self.buffers)
+        ):
+            matrix[:, index] = np.frombuffer(
+                decode_buffer(buffer, self.codec), dtype=np.dtype(dtype)
+            )
+        return matrix
+
+    def to_batch(self, schema: Schema) -> "RecordBatch":
+        """Rebuild the batch this payload was compacted from."""
+        if len(self.dtypes) != schema.width:
+            raise ValueError(
+                f"payload has {len(self.dtypes)} columns, schema expects "
+                f"{schema.width}"
+            )
+        return RecordBatch(schema, self.to_matrix())
+
+
+class RecordBatch:
+    """One block of records in columnar form.
+
+    Args:
+        schema: The records' schema; one matrix column per field.
+        matrix: 2-D int64 array, shape ``(len(records), schema.width)``.
+    """
+
+    __slots__ = ("schema", "matrix")
+
+    def __init__(self, schema: Schema, matrix: np.ndarray):
+        if matrix.ndim != 2 or matrix.shape[1] != schema.width:
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not fit schema width "
+                f"{schema.width}"
+            )
+        self.schema = schema
+        self.matrix = matrix
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls, schema: Schema, records
+    ) -> "RecordBatch | None":
+        """Build a batch, or ``None`` when the data is not int-columnar.
+
+        ``None`` (rather than an exception) is the per-block fallback
+        signal: float facts, mixed types, and values outside int64 all
+        take the scalar path without aborting the evaluation.
+        """
+        rows = records if isinstance(records, list) else list(records)
+        if not rows:
+            return cls(
+                schema, np.empty((0, schema.width), dtype=np.int64)
+            )
+        try:
+            matrix = np.asarray(rows)
+        except (ValueError, OverflowError):
+            return None
+        if (
+            matrix.ndim != 2
+            or matrix.shape[1] != schema.width
+            or not np.issubdtype(matrix.dtype, np.integer)
+        ):
+            return None
+        return cls(schema, matrix.astype(np.int64, copy=False))
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.matrix.shape[0]
+
+    def column(self, index: int) -> np.ndarray:
+        """The values of field *index*, one entry per record (a view)."""
+        return self.matrix[:, index]
+
+    def field(self, name: str) -> np.ndarray:
+        """The values of the named field (dimension or fact)."""
+        return self.column(self.schema.field_index(name))
+
+    # -- slicing ------------------------------------------------------------
+
+    def slice(self, start: int, stop: int) -> "RecordBatch":
+        """A zero-copy view of rows ``start:stop``."""
+        return RecordBatch(self.schema, self.matrix[start:stop])
+
+    def take(self, rows: np.ndarray) -> "RecordBatch":
+        """A new batch holding the given rows (fancy indexing copies)."""
+        return RecordBatch(self.schema, self.matrix[rows])
+
+    # -- scalar round trip --------------------------------------------------
+
+    def to_records(self) -> list[Record]:
+        """The exact record tuples this batch was built from."""
+        return [tuple(row) for row in self.matrix.tolist()]
+
+    def reduction_safe(self) -> bool:
+        """Whether int64 reductions over this batch cannot overflow.
+
+        Mirrors the vectorized evaluator's conservative guard: the sum
+        of ``len(batch)`` values each bounded by the batch's largest
+        magnitude must stay inside int64.
+        """
+        if not len(self):
+            return True
+        peak = int(np.abs(self.matrix).max())
+        return peak <= (2**62) // max(1, len(self))
+
+    # -- transport ----------------------------------------------------------
+
+    def to_payload(self, codec: str = "raw") -> ColumnPayload:
+        """Compact the batch into per-column wire buffers."""
+        return ColumnPayload.from_matrix(self.matrix, codec=codec)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RecordBatch({len(self)} records x {self.schema.width} cols)"
+
+
+def estimated_pickle_bytes(records) -> int:
+    """Measured pickle size of a scalar record payload (for reporting)."""
+    import pickle
+
+    return len(pickle.dumps(records, protocol=pickle.HIGHEST_PROTOCOL))

@@ -146,6 +146,31 @@ class Hierarchy:
         base = self.base.name
         return lambda value: self.map_value(value, base, to_level)
 
+    def base_mapper_array(self, to_level: str):
+        """Vectorized :meth:`base_mapper`: int64 column -> int64 column.
+
+        The generic implementation precomputes a lookup table over the
+        base domain; subclasses with arithmetic mappings override it.
+        NumPy is imported lazily so the core cube modules stay usable
+        without it.
+        """
+        import numpy as np
+
+        level = self.level(to_level)
+        if level.is_all:
+            return lambda column: np.full(len(column), ALL_VALUE,
+                                          dtype=np.int64)
+        if level.depth == 0:
+            return lambda column: column
+        mapper = self.base_mapper(to_level)
+        cardinality = self.base.cardinality
+        table = np.fromiter(
+            (mapper(value) for value in range(cardinality)),
+            dtype=np.int64,
+            count=cardinality,
+        )
+        return lambda column: table[column]
+
     @property
     def supports_ranges(self) -> bool:
         """Whether range annotations are meaningful on this attribute."""
@@ -240,6 +265,20 @@ class UniformHierarchy(Hierarchy):
             return lambda value: value
         unit = level.unit
         return lambda value: value // unit
+
+    def base_mapper_array(self, to_level: str):
+        import numpy as np
+
+        level = self.level(to_level)
+        if level.is_all:
+            return lambda column: np.full(len(column), ALL_VALUE,
+                                          dtype=np.int64)
+        if level.depth == 0:
+            return lambda column: column
+        unit = level.unit
+        # NumPy's // floors like Python's, so negative coordinates (not
+        # that records carry any) would bucket identically.
+        return lambda column: column // unit
 
     def convert_range(
         self, low: int, high: int, from_level: str, to_level: str
@@ -357,6 +396,18 @@ class MappingHierarchy(Hierarchy):
         if level.depth == 0:
             return lambda value: value
         return self._tables[level.depth].__getitem__
+
+    def base_mapper_array(self, to_level: str):
+        import numpy as np
+
+        level = self.level(to_level)
+        if level.is_all:
+            return lambda column: np.full(len(column), ALL_VALUE,
+                                          dtype=np.int64)
+        if level.depth == 0:
+            return lambda column: column
+        table = np.asarray(self._tables[level.depth], dtype=np.int64)
+        return lambda column: table[column]
 
 
 def temporal_hierarchy(

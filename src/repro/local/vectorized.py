@@ -25,9 +25,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.cube.batches import RecordBatch, row_tuples
 from repro.cube.domains import ALL, ALL_VALUE
 from repro.cube.records import Record
 from repro.cube.regions import Granularity
+from repro.query.measures import Relationship
 from repro.query.workflow import Workflow
 from repro.local.measure_table import MeasureTable, ResultSet
 from repro.local.sortscan import BlockEvaluator, LocalStats
@@ -124,12 +126,25 @@ class VectorizedBlockEvaluator:
         self.workflow = workflow
         self._scalar = BlockEvaluator(workflow)
         self.accelerated = vectorized_supports(workflow)
+        # Pure-ALIGN composites anchor their regions on the raw records;
+        # only then does the composite phase need the scalar tuples back.
+        self._needs_anchor_records = any(
+            not measure.is_basic
+            and all(
+                edge.relationship is Relationship.ALIGN
+                for edge in measure.inputs
+            )
+            for measure in workflow.measures
+        )
 
     def evaluate(
         self,
         records,
         stats: LocalStats | None = None,
     ) -> ResultSet:
+        """Evaluate one block given records or a :class:`RecordBatch`."""
+        if isinstance(records, RecordBatch):
+            return self._evaluate_batch(records, stats)
         if not self.accelerated:
             return self._scalar.evaluate(records, stats=stats)
         block = records if isinstance(records, list) else list(records)
@@ -150,7 +165,24 @@ class VectorizedBlockEvaluator:
             # silently; huge values go through arbitrary-precision
             # Python ints on the scalar path instead.
             return self._scalar.evaluate(block, stats=stats)
-        stats.records += len(block)
+        return self._evaluate_matrix(matrix, block, stats)
+
+    def _evaluate_batch(
+        self, batch: RecordBatch, stats: LocalStats | None
+    ) -> ResultSet:
+        if stats is None:
+            stats = LocalStats()
+        if not self.accelerated or not len(batch) or not (
+            batch.reduction_safe()
+        ):
+            return self._scalar.evaluate(batch.to_records(), stats=stats)
+        block = batch.to_records() if self._needs_anchor_records else None
+        return self._evaluate_matrix(batch.matrix, block, stats)
+
+    def _evaluate_matrix(
+        self, matrix: np.ndarray, block: list | None, stats: LocalStats
+    ) -> ResultSet:
+        stats.records += len(matrix)
         tables: dict[str, MeasureTable] = {}
         schema = self.workflow.schema
         for measure in self.workflow.basic_measures():
@@ -180,3 +212,119 @@ def evaluate_vectorized(
 ) -> ResultSet:
     """Convenience wrapper mirroring :func:`evaluate_centralized`."""
     return VectorizedBlockEvaluator(workflow).evaluate(records, stats=stats)
+
+
+#: Largest float64-exact integer magnitude; float sums beyond it round.
+_FLOAT_EXACT_LIMIT = 2**53
+
+
+def batched_partial_states(
+    component: Workflow,
+    matrix: np.ndarray,
+    keys: np.ndarray,
+    rows: np.ndarray,
+    varying: list[int],
+):
+    """Early-aggregation partial states for replicated batch rows.
+
+    The batched counterpart of the mapper-side combiner's per-record
+    dict loop, consuming a block router's *raw* replica table: *keys*
+    holds the (unsorted) full block key of every replica, *rows* its
+    source row in *matrix*, and *varying* the key columns that actually
+    vary (the rest are prefix values or ALL markers).  Block grouping
+    is folded into each measure's own sort -- one lexsort over
+    ``(block columns, region columns)`` jointly groups by block *and*
+    by region within it, so nothing is sorted twice.
+
+    Returns ``(block_keys, measures)``: the block keys as plain-int
+    tuples in lexicographic order, and one
+    ``(local_measure_index, block_ids, coords, states)`` batch per
+    basic measure, its columns aligned per distinct (block, region) --
+    the exact accumulator states the scalar combiner would have
+    produced.  The columns stay as parallel lists rather than per-entry
+    tuples so the caller can assemble shuffle pairs without an
+    intermediate object per partial.  (Per-measure sorts share one
+    block order: the block columns are every sort's primary keys.)
+
+    Returns ``None`` when the states cannot be guaranteed bit-identical
+    to the scalar fold: unsupported aggregates, int64 overflow risk, or
+    ``avg`` sums beyond float64's exact-integer range.  Callers fall
+    back to the scalar combiner for the whole batch in that case.
+    """
+    if not vectorized_supports(component):
+        return None
+    total = len(rows)
+    if total == 0:
+        return [], []
+    if matrix.size and int(np.abs(matrix).max()) > (2**62) // total:
+        return None
+
+    schema = component.schema
+    block_cols = keys[:, varying]
+    width = block_cols.shape[1]
+    block_keys = None
+    measures: list[tuple[int, list, list, list]] = []
+    for local_index, measure in enumerate(component.basic_measures()):
+        coords = _coordinate_columns(measure.granularity, matrix)
+        fine = np.column_stack([block_cols, coords[rows]])
+        # ALL-level region columns are constant: sorting and comparing
+        # them cannot move a boundary, so group on the rest only.
+        grouping = list(range(width)) + [
+            width + position
+            for position, level in enumerate(measure.granularity.levels)
+            if level != ALL
+        ]
+        sort_cols = (
+            fine if len(grouping) == fine.shape[1] else fine[:, grouping]
+        )
+
+        order = np.lexsort(sort_cols.T[::-1])
+        sorted_cols = sort_cols[order]
+        sorted_values = matrix[
+            rows[order], schema.field_index(measure.field)
+        ]
+        diff = sorted_cols[1:] != sorted_cols[:-1]
+        fine_boundary = np.ones(total, dtype=bool)
+        fine_boundary[1:] = diff.any(axis=1)
+        block_boundary = np.ones(total, dtype=bool)
+        block_boundary[1:] = diff[:, :width].any(axis=1)
+        starts = np.flatnonzero(fine_boundary)
+
+        name = measure.aggregate.name
+        if name == "count":
+            states = np.diff(np.append(starts, total)).tolist()
+        elif name == "sum":
+            states = np.add.reduceat(sorted_values, starts).tolist()
+        elif name == "min":
+            states = np.minimum.reduceat(sorted_values, starts).tolist()
+        elif name == "max":
+            states = np.maximum.reduceat(sorted_values, starts).tolist()
+        elif name == "avg":
+            # The scalar combiner folds ints into a float sum; that is
+            # exact (hence bit-identical) only while every partial stays
+            # within float64's exact-integer range, bounded here by the
+            # per-group sum of magnitudes.
+            magnitude = np.add.reduceat(np.abs(sorted_values), starts)
+            if len(magnitude) and int(magnitude.max()) >= _FLOAT_EXACT_LIMIT:
+                return None
+            sums = np.add.reduceat(
+                sorted_values.astype(np.float64), starts
+            )
+            counts = np.diff(np.append(starts, total))
+            states = list(map(list, zip(sums.tolist(), counts.tolist())))
+        else:  # pragma: no cover - vectorized_supports filters these
+            return None
+
+        block_of_replica = np.cumsum(block_boundary) - 1
+        measures.append(
+            (
+                local_index,
+                block_of_replica[starts].tolist(),
+                row_tuples(fine[order[starts], width:]),
+                states,
+            )
+        )
+        if block_keys is None:
+            block_starts = np.flatnonzero(block_boundary)
+            block_keys = row_tuples(keys[order[block_starts]])
+    return block_keys if block_keys is not None else [], measures

@@ -8,6 +8,7 @@ so the timing model can charge out-of-core I/O faithfully.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -35,8 +36,6 @@ def external_sort(
     describe the spill/merge behaviour of a classic external merge sort
     with the given memory budget.
     """
-    import math
-
     stats = SortStats(records=len(items), bytes=len(items) * record_bytes)
     if stats.bytes > memory_bytes and memory_bytes > 0:
         runs = math.ceil(stats.bytes / memory_bytes)

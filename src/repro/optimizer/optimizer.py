@@ -60,6 +60,12 @@ class OptimizerConfig:
     sample_size: int = 2000
     sample_seed: int = 13
     objective: str = "response_time"
+    #: Batched (vectorized) routing for sampling-based plan selection:
+    #: ``None``/``True`` push the sample through the columnar block
+    #: router (falling back per sample when it is not integer-batchable),
+    #: ``False`` forces the per-record mapper.  Load tallies -- and thus
+    #: the chosen plan -- are identical in every mode.
+    columnar: Optional[bool] = None
 
     def __post_init__(self):
         if self.objective not in ("response_time", "total_work"):
@@ -321,6 +327,7 @@ class Optimizer:
             chosen, loads = pick_by_sampling(
                 diversified, sample, num_reducers,
                 key_prefix=(component_index,),
+                columnar=self.config.columnar is not False,
             )
             scaled = scale_loads(loads, len(sample), n_records)
             plan = Plan(

@@ -72,15 +72,31 @@ def simulate_dispatch(
     num_reducers: int,
     partitioner: Callable = default_partitioner,
     key_prefix: tuple = (),
+    columnar: bool = True,
 ) -> list[int]:
     """Records each reducer would receive if *sample* were dispatched.
 
     *key_prefix* must match what the executor prepends to block keys
     (the workflow-component index) -- reducer assignment is by hash, so
     predicting loads requires hashing the exact keys execution will use.
+
+    With *columnar* (the default) the sample is routed as one batched
+    call through the scheme's vectorized router; samples that cannot be
+    represented as an integer batch fall back to the per-record mapper.
+    The tallies are identical either way.
     """
-    mapper = scheme.make_mapper()
     loads = [0] * num_reducers
+    if columnar:
+        from repro.cube.batches import RecordBatch
+
+        batch = RecordBatch.from_records(scheme.key.schema, sample)
+        if batch is not None:
+            for block_key, rows in scheme.make_batch_router()(batch):
+                loads[partitioner(key_prefix + block_key, num_reducers)] += (
+                    len(rows)
+                )
+            return loads
+    mapper = scheme.make_mapper()
     for record in sample:
         for block_key in mapper(record):
             loads[partitioner(key_prefix + block_key, num_reducers)] += 1
@@ -120,6 +136,7 @@ def pick_by_sampling(
     num_reducers: int,
     partitioner: Callable = default_partitioner,
     key_prefix: tuple = (),
+    columnar: bool = True,
 ) -> tuple[BlockScheme, list[int]]:
     """The candidate with the smallest simulated maximum load."""
     if not schemes:
@@ -127,7 +144,8 @@ def pick_by_sampling(
     best_scheme, best_loads, best_max = None, None, None
     for scheme in schemes:
         loads = simulate_dispatch(
-            scheme, sample, num_reducers, partitioner, key_prefix
+            scheme, sample, num_reducers, partitioner, key_prefix,
+            columnar=columnar,
         )
         worst = max(loads, default=0)
         if best_max is None or worst < best_max:

@@ -26,14 +26,22 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
+from itertools import repeat
 from typing import Optional, Sequence
 
+import numpy as np
+
+from repro.cube.batches import RecordBatch
 from repro.cube.records import Record, estimated_record_bytes
 from repro.local.measure_table import MeasureTable, ResultSet
 from repro.local.sortscan import BlockEvaluator, LocalStats
+from repro.local.vectorized import (
+    batched_partial_states,
+    vectorized_supports,
+)
 from repro.mapreduce.cluster import SimulatedCluster
 from repro.mapreduce.dfs import DistributedFile
-from repro.mapreduce.engine import MapReduceJob
+from repro.mapreduce.engine import KEY_BYTES, MapBatchOutput, MapReduceJob
 from repro.optimizer.optimizer import (
     Optimizer,
     OptimizerConfig,
@@ -43,7 +51,7 @@ from repro.optimizer.optimizer import (
 from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.skew import KeyCache
 from repro.query.workflow import Workflow, connected_components
-from repro.parallel.report import ParallelResult
+from repro.parallel.report import ColumnarStats, ParallelResult
 
 #: Tag marking early-aggregation partial states in the value stream.
 _PARTIAL = "__partial__"
@@ -69,12 +77,21 @@ class ExecutionConfig:
     (consecutive blocks to consecutive reducers -- better balanced when
     block sizes are uniform, which the hash/model view treats as the
     pessimistic random case).
+
+    *columnar* selects the batched map side (vectorized block routing
+    and, with early aggregation, the reduceat-based combiner).  The
+    default ``None`` auto-enables it when every basic measure has a
+    vectorized implementation; ``True``/``False`` force it on or off.
+    Even when on, map tasks whose records cannot be represented as an
+    integer batch fall back to the scalar path per task, so results are
+    identical in every mode.
     """
 
     num_reducers: Optional[int] = None
     early_aggregation: bool = False
     combined_sort: bool = False
     partitioner: str = "hash"
+    columnar: Optional[bool] = None
     optimizer: OptimizerConfig = field(default_factory=OptimizerConfig)
 
     def __post_init__(self):
@@ -226,6 +243,107 @@ class ParallelEvaluator:
 
         return combiner
 
+    def _make_map_batch(
+        self,
+        plan: QueryPlan,
+        record_bytes: int,
+        stats: ColumnarStats,
+    ):
+        """Columnar map side: whole tasks routed and combined in batch.
+
+        Returns the engine's ``map_batch`` hook.  Per task it builds one
+        :class:`RecordBatch`, routes it through every component's
+        vectorized block router, and -- under early aggregation --
+        produces the partial states with grouped reduceat aggregation,
+        falling back to the scalar combiner for components it cannot
+        compute bit-identically.  Tasks whose records are not
+        integer-columnar return ``None``, which the engine answers with
+        the scalar mapper path.
+        """
+        schema = plan.subplans[0][0].schema
+        routers = [
+            subplan.scheme.make_batch_router()
+            for _wf, subplan in plan.subplans
+        ]
+        components = [component for component, _plan in plan.subplans]
+        early = self.config.early_aggregation
+        scalar_combiner = self._make_combiner(plan) if early else None
+
+        def map_batch(records) -> MapBatchOutput | None:
+            batch = RecordBatch.from_records(schema, records)
+            if batch is None:
+                stats.fallback_tasks += 1
+                stats.fallback_records += len(records)
+                return None
+            stats.batch_tasks += 1
+            stats.batch_records += len(batch)
+            pairs: list = []
+            emitted = 0
+            for index, router in enumerate(routers):
+                if not early:
+                    for full_key, rows in router(batch, (index,)):
+                        emitted += len(rows)
+                        pairs.extend(
+                            [(full_key, records[i]) for i in rows.tolist()]
+                        )
+                    continue
+                raw_keys, raw_rows, varying = router(
+                    batch, (index,), raw=True
+                )
+                emitted += len(raw_rows)
+                if not len(raw_rows):
+                    continue
+                fused = batched_partial_states(
+                    components[index], batch.matrix, raw_keys, raw_rows,
+                    varying,
+                )
+                if fused is None:
+                    # Scalar-combiner fallback (unsupported aggregate or
+                    # overflow risk): re-route grouped, per-block lists.
+                    full_keys, flat_rows, counts = router(
+                        batch, (index,), flat=True
+                    )
+                    stats.scalar_groups += len(full_keys)
+                    offsets = np.append(0, np.cumsum(counts)).tolist()
+                    row_list = flat_rows.tolist()
+                    for block_id, full_key in enumerate(full_keys):
+                        members = [
+                            records[i]
+                            for i in row_list[
+                                offsets[block_id]:offsets[block_id + 1]
+                            ]
+                        ]
+                        pairs.extend(scalar_combiner(full_key, members))
+                else:
+                    full_keys, partials = fused
+                    stats.vector_groups += len(full_keys)
+                    # Pure C-level assembly: zip() builds the value and
+                    # pair tuples, map() resolves block keys -- no
+                    # bytecode runs per partial.
+                    for local_index, ids, regions, states in partials:
+                        pairs.extend(
+                            zip(
+                                map(full_keys.__getitem__, ids),
+                                zip(
+                                    repeat(_PARTIAL),
+                                    repeat(local_index),
+                                    regions,
+                                    states,
+                                ),
+                            )
+                        )
+            if early:
+                return MapBatchOutput(
+                    pairs=pairs,
+                    emitted_pairs=emitted,
+                    combine_inputs=emitted,
+                    combine_bytes=emitted * (KEY_BYTES + record_bytes),
+                    combined=True,
+                )
+            return MapBatchOutput(pairs=pairs, emitted_pairs=emitted)
+
+        return map_batch
+
     def _make_partitioner(self, plan: QueryPlan):
         """Block -> reducer assignment per ExecutionConfig.partitioner."""
         if self.config.partitioner == "hash":
@@ -342,6 +460,10 @@ class ParallelEvaluator:
 
             record_bytes = estimated_record_bytes(workflow.schema)
             local_stats = LocalStats()
+            use_columnar = self.config.columnar
+            if use_columnar is None:
+                use_columnar = vectorized_supports(workflow)
+            columnar_stats = ColumnarStats() if use_columnar else None
             job = MapReduceJob(
                 mapper=self._make_mapper(query_plan),
                 reducer=self._make_reducer(
@@ -354,6 +476,13 @@ class ParallelEvaluator:
                     else None
                 ),
                 partitioner=self._make_partitioner(query_plan),
+                map_batch=(
+                    self._make_map_batch(
+                        query_plan, record_bytes, columnar_stats
+                    )
+                    if use_columnar
+                    else None
+                ),
                 record_bytes=record_bytes,
                 value_bytes=_value_bytes(record_bytes),
                 combined_sort=self.config.combined_sort,
@@ -371,13 +500,19 @@ class ParallelEvaluator:
             result = union_outputs(workflow, job_result.outputs)
             root.set_sim(0.0, job_result.report.response_time)
             root.set(rows=result.total_rows())
+            if columnar_stats is not None:
+                root.set(columnar=columnar_stats.to_dict())
         if self.metrics is not None:
             self._record_metrics(query_plan, job_result.report)
+            if columnar_stats is not None:
+                for name, value in columnar_stats.to_dict().items():
+                    self.metrics.inc(f"columnar.{name}", value)
         return ParallelResult(
             result=result,
             plan=query_plan,
             job=job_result.report,
             local_stats=local_stats,
+            columnar=columnar_stats,
         )
 
     def _record_metrics(self, query_plan: QueryPlan, report) -> None:

@@ -56,12 +56,26 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
+import numpy as np
+
+from repro.cube.batches import (
+    ColumnPayload,
+    RecordBatch,
+    compact_array,
+    decode_buffer,
+    encode_buffer,
+    estimated_pickle_bytes,
+)
 from repro.cube.records import Record, Schema
 from repro.faults.inject import apply_chaos
 from repro.faults.plan import FaultPlan, RetryPolicy
 from repro.io.serialize import workflow_from_dict, workflow_to_dict
 from repro.local.measure_table import ResultSet
 from repro.local.sortscan import BlockEvaluator, evaluate_centralized
+from repro.local.vectorized import (
+    VectorizedBlockEvaluator,
+    vectorized_supports,
+)
 from repro.mapreduce.engine import stable_hash
 from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.optimizer import Optimizer, OptimizerConfig
@@ -76,6 +90,82 @@ _POLL_SECONDS = 0.02
 
 # Worker-process state, set up once per pool by _init_worker.
 _WORKER: dict = {}
+
+
+#: Codec applied to every columnar wire buffer shipped to workers.
+#: Block keys and sorted row indices are highly repetitive, so deflate
+#: roughly halves the shipped bytes on top of dtype compaction.
+_WIRE_CODEC = "zlib"
+
+
+@dataclass(frozen=True)
+class _ColumnarBucket:
+    """One reducer's blocks in compact columnar wire form.
+
+    The payload holds each record the bucket needs exactly once (blocks
+    within a bucket overlap heavily under annotated keys).  The block
+    structure itself is columnar too -- the block-key matrix travels as
+    a :class:`ColumnPayload` (each key column in its smallest covering
+    dtype), next to one per-block count array and one concatenated
+    row-index buffer -- so a bucket of thousands of small blocks
+    pickles as a handful of byte buffers instead of thousands of
+    per-block tuples and lists.
+    """
+
+    payload: ColumnPayload
+    keys: ColumnPayload
+    counts_dtype: str
+    counts: bytes
+    index_dtype: str
+    indices: bytes
+    codec: str = "raw"
+
+    @staticmethod
+    def build(
+        payload: ColumnPayload,
+        bucket_blocks: list,
+        row_maps: np.ndarray,
+        codec: str = "raw",
+    ) -> "_ColumnarBucket":
+        """Pack ``(block_key, payload row indices)`` entries for the wire."""
+        keys_matrix = np.asarray(
+            [key for key, _rows in bucket_blocks], dtype=np.int64
+        )
+        counts = np.asarray(
+            [len(rows) for _key, rows in bucket_blocks], dtype=np.int64
+        )
+        counts_dtype, counts_bytes = compact_array(counts)
+        index_dtype, indices = compact_array(row_maps)
+        return _ColumnarBucket(
+            payload=payload,
+            keys=ColumnPayload.from_matrix(keys_matrix, codec=codec),
+            counts_dtype=counts_dtype,
+            counts=encode_buffer(counts_bytes, codec),
+            index_dtype=index_dtype,
+            indices=encode_buffer(indices, codec),
+            codec=codec,
+        )
+
+    def unpack(self) -> list:
+        """Rebuild the ``(block_key, row index array)`` entries."""
+        keys = self.keys.to_matrix()
+        counts = np.frombuffer(
+            decode_buffer(self.counts, self.codec),
+            dtype=np.dtype(self.counts_dtype),
+        )
+        indices = np.frombuffer(
+            decode_buffer(self.indices, self.codec),
+            dtype=np.dtype(self.index_dtype),
+        )
+        offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return [
+            (
+                tuple(int(value) for value in keys[i]),
+                indices[offsets[i]:offsets[i + 1]],
+            )
+            for i in range(self.keys.length)
+        ]
 
 
 def _init_worker(
@@ -104,6 +194,7 @@ def _init_worker(
         for component in connected_components(workflow)
     }
     evaluators = []
+    vector_evaluators = []
     filters = []
     for names, key_spec, factors in scheme_specs:
         component = by_names[frozenset(names)]
@@ -112,24 +203,54 @@ def _init_worker(
         )
         scheme = BlockScheme(key, dict(factors))
         evaluators.append(BlockEvaluator(component))
+        vector_evaluators.append(VectorizedBlockEvaluator(component))
         filters.append(
             {
                 measure.name: scheme.make_result_filter(measure.granularity)
                 for measure in component.measures
             }
         )
+    _WORKER["schema"] = schema
     _WORKER["evaluators"] = evaluators
+    _WORKER["vector_evaluators"] = vector_evaluators
     _WORKER["filters"] = filters
 
 
-def _reduce_bucket(bucket: list) -> list:
+def _reduce_bucket(bucket) -> list:
     """Evaluate one reducer's blocks; runs inside a worker process."""
+    if isinstance(bucket, _ColumnarBucket):
+        return _reduce_columnar_bucket(bucket)
     rows = []
     for block_key, records in bucket:
         component_index = block_key[0]
         evaluator = _WORKER["evaluators"][component_index]
         component_filters = _WORKER["filters"][component_index]
         result = evaluator.evaluate(records)
+        for name, table in result.items():
+            keep = component_filters[name](block_key[1:])
+            rows.extend(
+                (name, coords, value)
+                for coords, value in table.items()
+                if keep(coords)
+            )
+    return rows
+
+
+def _reduce_columnar_bucket(bucket: _ColumnarBucket) -> list:
+    """Evaluate one columnar bucket: rebuild columns, slice per block.
+
+    The batch deserializes with one ``frombuffer`` per column; each
+    block is a fancy-indexed slice handed to the vectorized evaluator,
+    which falls back to the scalar path internally whenever it cannot
+    produce bit-identical results.
+    """
+    batch = bucket.payload.to_batch(_WORKER["schema"])
+    rows = []
+    for block_key, block_rows in bucket.unpack():
+        component_index = block_key[0]
+        evaluator = _WORKER["vector_evaluators"][component_index]
+        component_filters = _WORKER["filters"][component_index]
+        result = evaluator.evaluate(batch.take(block_rows))
         for name, table in result.items():
             keep = component_filters[name](block_key[1:])
             rows.extend(
@@ -160,6 +281,8 @@ class MultiprocessReport:
     partitions: int
     blocks: int
     replicated_records: int
+    transport: str = "records"
+    shipped_bytes: int = 0
     tasks: int = 0
     attempts: int = 0
     retries: int = 0
@@ -250,8 +373,16 @@ class MultiprocessEvaluator:
         workflow: Workflow,
         records: Sequence[Record],
         num_partitions: Optional[int] = None,
+        columnar: Optional[bool] = None,
     ) -> tuple[ResultSet, MultiprocessReport]:
-        """Run the one-round plan over *records* with real processes."""
+        """Run the one-round plan over *records* with real processes.
+
+        *columnar* selects the compact column-buffer transport for the
+        scatter (default ``None`` auto-enables it when the workflow has
+        vectorized aggregate support); data that cannot be represented
+        as an integer batch falls back to record-list transport either
+        way.
+        """
         records = list(records)
         partitions = num_partitions or self.processes * 4
         sample = None
@@ -275,19 +406,37 @@ class MultiprocessEvaluator:
 
         # Scatter: replicate records into blocks (driver side), then
         # group blocks into per-partition buckets by stable hash.
-        blocks: dict[tuple, list] = defaultdict(list)
-        for index, (_component, subplan) in enumerate(plan.subplans):
-            mapper = subplan.scheme.make_mapper()
-            for record in records:
-                for block_key in mapper(record):
-                    blocks[(index,) + block_key].append(record)
-        buckets: list[list] = [[] for _ in range(partitions)]
-        replicated = 0
-        for block_key, block_records in blocks.items():
-            replicated += len(block_records)
-            buckets[stable_hash(block_key) % partitions].append(
-                (block_key, block_records)
+        use_columnar = (
+            columnar
+            if columnar is not None
+            else vectorized_supports(workflow)
+        )
+        batch = (
+            RecordBatch.from_records(workflow.schema, records)
+            if use_columnar
+            else None
+        )
+        if batch is not None:
+            buckets, num_blocks, replicated = self._scatter_columnar(
+                batch, plan, partitions
             )
+            transport = "columnar"
+        else:
+            blocks: dict[tuple, list] = defaultdict(list)
+            for index, (_component, subplan) in enumerate(plan.subplans):
+                mapper = subplan.scheme.make_mapper()
+                for record in records:
+                    for block_key in mapper(record):
+                        blocks[(index,) + block_key].append(record)
+            buckets = [[] for _ in range(partitions)]
+            replicated = 0
+            for block_key, block_records in blocks.items():
+                replicated += len(block_records)
+                buckets[stable_hash(block_key) % partitions].append(
+                    (block_key, block_records)
+                )
+            num_blocks = len(blocks)
+            transport = "records"
 
         scheme_specs = [
             (
@@ -314,8 +463,12 @@ class MultiprocessEvaluator:
         report = MultiprocessReport(
             processes=self.processes,
             partitions=partitions,
-            blocks=len(blocks),
+            blocks=num_blocks,
             replicated_records=replicated,
+            transport=transport,
+            shipped_bytes=sum(
+                estimated_pickle_bytes(bucket) for bucket in work
+            ),
             tasks=len(work),
         )
         with self.tracer.span(
@@ -342,6 +495,53 @@ class MultiprocessEvaluator:
         )
         self._record_metrics(report)
         return result, report
+
+    # -- columnar scatter ----------------------------------------------------------
+
+    @staticmethod
+    def _scatter_columnar(
+        batch: RecordBatch, plan, partitions: int
+    ) -> tuple[list, int, int]:
+        """Route one batch into per-partition columnar buckets.
+
+        Returns ``(buckets, num_blocks, replicated_records)``.  Each
+        non-empty bucket ships every record it needs exactly once (its
+        blocks overlap under annotated keys) as compact column buffers,
+        with per-block uint32 row indices into that payload.
+        """
+        block_rows: dict[tuple, np.ndarray] = {}
+        for index, (_component, subplan) in enumerate(plan.subplans):
+            router = subplan.scheme.make_batch_router()
+            for block_key, rows in router(batch, (index,)):
+                block_rows[block_key] = rows
+
+        grouped: list[list] = [[] for _ in range(partitions)]
+        replicated = 0
+        for block_key, rows in block_rows.items():
+            replicated += len(rows)
+            grouped[stable_hash(block_key) % partitions].append(
+                (block_key, rows)
+            )
+
+        buckets: list = []
+        for bucket_blocks in grouped:
+            if not bucket_blocks:
+                buckets.append([])
+                continue
+            all_rows = np.concatenate(
+                [rows for _key, rows in bucket_blocks]
+            )
+            unique_rows = np.unique(all_rows)
+            payload = batch.take(unique_rows).to_payload(codec=_WIRE_CODEC)
+            buckets.append(
+                _ColumnarBucket.build(
+                    payload,
+                    bucket_blocks,
+                    np.searchsorted(unique_rows, all_rows),
+                    codec=_WIRE_CODEC,
+                )
+            )
+        return buckets, len(block_rows), replicated
 
     # -- resilient gather loop ---------------------------------------------------
 
@@ -545,3 +745,8 @@ class MultiprocessEvaluator:
         )
         self.metrics.inc("mp.speculative_wins", report.speculative_wins)
         self.metrics.set_gauge("mp.degraded", 1.0 if report.degraded else 0.0)
+        self.metrics.set_gauge("mp.shipped_bytes", float(report.shipped_bytes))
+        self.metrics.set_gauge(
+            "mp.columnar_transport",
+            1.0 if report.transport == "columnar" else 0.0,
+        )

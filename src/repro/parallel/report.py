@@ -2,12 +2,35 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.local.measure_table import ResultSet
 from repro.local.sortscan import LocalStats
 from repro.mapreduce.counters import JobReport, PhaseBreakdown
 from repro.optimizer.optimizer import QueryPlan
+
+
+@dataclass
+class ColumnarStats:
+    """Map-side columnar accounting for one parallel evaluation.
+
+    ``batch_tasks``/``fallback_tasks`` count whole map tasks routed
+    through the columnar fast path versus ones whose records could not
+    be represented as an integer batch; ``vector_groups``/
+    ``scalar_groups`` split the early-aggregation block groups between
+    the reduceat-based combiner and its per-record scalar fallback.
+    """
+
+    batch_tasks: int = 0
+    batch_records: int = 0
+    fallback_tasks: int = 0
+    fallback_records: int = 0
+    vector_groups: int = 0
+    scalar_groups: int = 0
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
 
 
 @dataclass
@@ -18,6 +41,7 @@ class ParallelResult:
     plan: QueryPlan
     job: JobReport
     local_stats: LocalStats
+    columnar: ColumnarStats | None = None
 
     @property
     def response_time(self) -> float:

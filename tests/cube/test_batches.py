@@ -1,0 +1,162 @@
+"""Tests for the columnar RecordBatch representation and wire format."""
+
+import numpy as np
+import pytest
+
+from repro.cube.batches import (
+    ColumnPayload,
+    RecordBatch,
+    compact_array,
+    decode_buffer,
+    encode_buffer,
+    estimated_pickle_bytes,
+    row_tuples,
+    wire_dtype,
+)
+
+
+@pytest.fixture
+def batch(tiny_schema, tiny_records):
+    return RecordBatch.from_records(tiny_schema, tiny_records)
+
+
+class TestConstruction:
+    def test_round_trips_exactly(self, batch, tiny_records):
+        assert batch is not None
+        assert len(batch) == len(tiny_records)
+        assert batch.to_records() == tiny_records
+
+    def test_records_are_plain_int_tuples(self, batch):
+        record = batch.to_records()[0]
+        assert isinstance(record, tuple)
+        assert all(type(value) is int for value in record)
+
+    def test_empty_batch(self, tiny_schema):
+        batch = RecordBatch.from_records(tiny_schema, [])
+        assert batch is not None
+        assert len(batch) == 0
+        assert batch.to_records() == []
+
+    def test_float_records_fall_back(self, tiny_schema):
+        assert RecordBatch.from_records(
+            tiny_schema, [(1, 2, 3.5)]
+        ) is None
+
+    def test_object_records_fall_back(self, tiny_schema):
+        assert RecordBatch.from_records(
+            tiny_schema, [(1, 2, "three")]
+        ) is None
+
+    def test_ragged_records_fall_back(self, tiny_schema):
+        assert RecordBatch.from_records(
+            tiny_schema, [(1, 2, 3), (4, 5)]
+        ) is None
+
+    def test_wrong_width_falls_back(self, tiny_schema):
+        assert RecordBatch.from_records(
+            tiny_schema, [(1, 2, 3, 4)]
+        ) is None
+
+    def test_overflowing_values_fall_back(self, tiny_schema):
+        assert RecordBatch.from_records(
+            tiny_schema, [(1, 2, 2**70)]
+        ) is None
+
+
+class TestSlicing:
+    def test_slice_is_zero_copy_view(self, batch):
+        view = batch.slice(10, 20)
+        assert len(view) == 10
+        assert view.matrix.base is not None
+        assert view.to_records() == batch.to_records()[10:20]
+
+    def test_take_selects_rows(self, batch, tiny_records):
+        rows = np.array([5, 0, 17])
+        assert batch.take(rows).to_records() == [
+            tiny_records[5], tiny_records[0], tiny_records[17]
+        ]
+
+    def test_column_accessors(self, batch, tiny_schema, tiny_records):
+        np.testing.assert_array_equal(
+            batch.column(2), [record[2] for record in tiny_records]
+        )
+        np.testing.assert_array_equal(batch.field("v"), batch.column(2))
+
+
+class TestRowTuples:
+    def test_rows_become_plain_int_tuples(self):
+        matrix = np.array([[1, 2], [3, 4]], dtype=np.int64)
+        rows = row_tuples(matrix)
+        assert rows == [(1, 2), (3, 4)]
+        assert all(type(value) is int for row in rows for value in row)
+
+    def test_empty_matrix(self):
+        assert row_tuples(np.empty((0, 3), dtype=np.int64)) == []
+
+    def test_zero_width_matrix(self):
+        assert row_tuples(np.empty((2, 0), dtype=np.int64)) == [(), ()]
+
+
+class TestReductionGuard:
+    def test_small_values_are_safe(self, batch):
+        assert batch.reduction_safe()
+
+    def test_huge_values_are_not(self, tiny_schema):
+        batch = RecordBatch(
+            tiny_schema,
+            np.array([[0, 0, 2**62], [0, 0, 2**62]], dtype=np.int64),
+        )
+        assert not batch.reduction_safe()
+
+
+class TestWireFormat:
+    def test_wire_dtype_picks_smallest(self):
+        assert wire_dtype(0, 200) == np.dtype(np.uint8)
+        assert wire_dtype(-1, 100) == np.dtype(np.int8)
+        assert wire_dtype(0, 60_000) == np.dtype(np.uint16)
+        assert wire_dtype(-5, 2**40) == np.dtype(np.int64)
+
+    def test_compact_array_round_trips(self):
+        values = np.array([0, 7, 255, 12], dtype=np.int64)
+        dtype, buffer = compact_array(values)
+        assert dtype == "|u1"
+        np.testing.assert_array_equal(
+            np.frombuffer(buffer, dtype=np.dtype(dtype)), values
+        )
+
+    @pytest.mark.parametrize("codec", ["raw", "zlib"])
+    def test_buffer_codec_round_trips(self, codec):
+        data = bytes(range(50)) * 8
+        assert decode_buffer(encode_buffer(data, codec), codec) == data
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError, match="codec"):
+            encode_buffer(b"x", "lz77")
+
+    @pytest.mark.parametrize("codec", ["raw", "zlib"])
+    def test_payload_round_trips(self, batch, tiny_schema, codec):
+        payload = batch.to_payload(codec=codec)
+        rebuilt = payload.to_batch(tiny_schema)
+        assert rebuilt.to_records() == batch.to_records()
+
+    def test_payload_is_plain_bytes(self, batch):
+        payload = batch.to_payload()
+        assert all(type(buffer) is bytes for buffer in payload.buffers)
+        assert payload.nbytes > 0
+
+    def test_payload_beats_pickled_records(self, batch, tiny_records):
+        # The whole point of the wire format: v (1..9), x (<16) and
+        # t (<32) each fit one byte per record.
+        payload = batch.to_payload()
+        assert payload.nbytes * 2 < estimated_pickle_bytes(tiny_records)
+
+    def test_payload_width_mismatch_rejected(self, batch, tiny_schema):
+        payload = ColumnPayload.from_matrix(batch.matrix[:, :2])
+        with pytest.raises(ValueError, match="columns"):
+            payload.to_batch(tiny_schema)
+
+    def test_from_matrix_to_matrix(self):
+        matrix = np.array([[1, 300], [2, -7]], dtype=np.int64)
+        payload = ColumnPayload.from_matrix(matrix, codec="zlib")
+        np.testing.assert_array_equal(payload.to_matrix(), matrix)
+        assert payload.dtypes == ("|u1", "<i2")

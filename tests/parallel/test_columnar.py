@@ -1,0 +1,187 @@
+"""Columnar map side and transport: bit-identical in every mode.
+
+The columnar pipeline is an *optimization*, never a semantic switch:
+whatever combination of knobs, workloads, fallbacks and injected chaos,
+results must equal :func:`evaluate_centralized` -- and forcing the mode
+on or off must not even change the simulated counters.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.local.sortscan import evaluate_centralized
+from repro.mapreduce import ClusterConfig, SimulatedCluster
+from repro.parallel.executor import ExecutionConfig, ParallelEvaluator
+from repro.parallel.multiprocess import MultiprocessEvaluator
+from repro.query.builder import WorkflowBuilder
+from repro.workload import (
+    anomaly_query,
+    generate_flows,
+    generate_sales,
+    generate_sessions,
+    network_schema,
+    retail_query,
+    retail_schema,
+    weblog_query,
+    weblog_schema,
+)
+
+WORKLOADS = {
+    # Retail revenue is a rounded float: the whole dataset cannot form
+    # an integer batch, so every map task must take the scalar path.
+    "retail": lambda: (
+        retail_query(retail_schema()),
+        generate_sales(retail_schema(), 800, seed=9),
+        "fallback",
+    ),
+    "weblog": lambda: (
+        weblog_query(weblog_schema(days=1)),
+        generate_sessions(weblog_schema(days=1), 800, seed=9),
+        "batch",
+    ),
+    "network": lambda: (
+        anomaly_query(network_schema(hours=2)),
+        generate_flows(network_schema(hours=2), 800, seed=9),
+        "batch",
+    ),
+}
+
+
+def run(workflow, records, **config):
+    cluster = SimulatedCluster(ClusterConfig(machines=8))
+    evaluator = ParallelEvaluator(cluster, ExecutionConfig(**config))
+    return evaluator.evaluate(workflow, records)
+
+
+def assert_approx_equal(result, oracle):
+    """Same tables, same coordinates, values equal up to float rounding.
+
+    Float facts (retail revenue) are summed in block order by the
+    parallel backends and in sort order by the centralized one, so
+    exact equality is only guaranteed for integer data.
+    """
+    assert set(result.tables) == set(oracle.tables)
+    for name, table in result.tables.items():
+        expected = dict(oracle[name].items())
+        actual = dict(table.items())
+        assert set(actual) == set(expected)
+        for coords, value in actual.items():
+            assert value == pytest.approx(expected[coords], rel=1e-9)
+
+
+class TestWorkloadInvariance:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    @pytest.mark.parametrize("early", [False, True])
+    def test_columnar_matches_oracle(self, name, early):
+        workflow, records, expected_path = WORKLOADS[name]()
+        if early and not workflow.supports_early_aggregation():
+            pytest.skip("workflow does not support early aggregation")
+        oracle = evaluate_centralized(workflow, records)
+        outcome = run(
+            workflow, records, columnar=True, early_aggregation=early
+        )
+        stats = outcome.columnar
+        assert stats is not None
+        if expected_path == "fallback":
+            # Non-integer facts: every task silently takes the scalar
+            # path, and float summation order costs exactness against
+            # the centralized oracle (columnar or not -- see the mode
+            # test for the bit-identity guarantee between modes).
+            assert_approx_equal(outcome.result, oracle)
+            assert stats.fallback_tasks > 0
+            assert stats.batch_tasks == 0
+        else:
+            assert outcome.result == oracle
+            assert stats.batch_tasks > 0
+            assert stats.fallback_tasks == 0
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    @pytest.mark.parametrize("early", [False, True])
+    def test_mode_does_not_change_simulation(self, name, early):
+        workflow, records, _expected = WORKLOADS[name]()
+        if early and not workflow.supports_early_aggregation():
+            pytest.skip("workflow does not support early aggregation")
+        on = run(workflow, records, columnar=True, early_aggregation=early)
+        off = run(
+            workflow, records, columnar=False, early_aggregation=early
+        )
+        assert on.result == off.result
+        assert on.response_time == off.response_time
+        assert on.job.counters.__dict__ == off.job.counters.__dict__
+
+
+class TestUnsupportedAggregates:
+    def make_median_workflow(self, tiny_schema):
+        builder = WorkflowBuilder(tiny_schema)
+        builder.basic(
+            "mid", over={"x": "four", "t": "span"},
+            field="v", aggregate="median",
+        )
+        return builder.build()
+
+    def test_auto_mode_skips_columnar(self, tiny_schema, tiny_records):
+        workflow = self.make_median_workflow(tiny_schema)
+        outcome = run(workflow, tiny_records)  # columnar=None: auto
+        assert outcome.columnar is None
+        assert outcome.result == evaluate_centralized(
+            workflow, tiny_records
+        )
+
+    def test_forced_columnar_still_matches(self, tiny_schema, tiny_records):
+        # Holistic aggregates survive a forced columnar map side: block
+        # routing is batched, but aggregation falls back to the scalar
+        # protocol per group, so the answer cannot drift.
+        workflow = self.make_median_workflow(tiny_schema)
+        oracle = evaluate_centralized(workflow, tiny_records)
+        outcome = run(workflow, tiny_records, columnar=True)
+        assert outcome.result == oracle
+        assert outcome.columnar.batch_tasks > 0
+
+
+class TestChaosWithColumnar:
+    def test_chaos_invariance_columnar_on(self, tiny_workflow, tiny_records):
+        oracle = evaluate_centralized(tiny_workflow, tiny_records)
+        for seed in range(4):
+            cluster = SimulatedCluster(ClusterConfig(machines=8))
+            cluster.install_faults(FaultPlan.random(seed, 8))
+            evaluator = ParallelEvaluator(
+                cluster,
+                ExecutionConfig(columnar=True, early_aggregation=True),
+            )
+            outcome = evaluator.evaluate(tiny_workflow, tiny_records)
+            assert outcome.result == oracle, f"chaos seed {seed}"
+
+
+class TestMultiprocessTransport:
+    @pytest.fixture
+    def setup(self, tiny_workflow, tiny_records):
+        oracle = evaluate_centralized(tiny_workflow, tiny_records)
+        return tiny_workflow, tiny_records, oracle
+
+    def test_columnar_transport_matches_oracle(self, setup):
+        workflow, records, oracle = setup
+        evaluator = MultiprocessEvaluator(processes=2)
+        result, report = evaluator.evaluate(
+            workflow, records, num_partitions=4, columnar=True
+        )
+        assert result == oracle
+        assert report.transport == "columnar"
+        assert report.shipped_bytes > 0
+
+    def test_transport_modes_agree(self, setup):
+        workflow, records, oracle = setup
+        evaluator = MultiprocessEvaluator(processes=2)
+        col, col_report = evaluator.evaluate(
+            workflow, records, num_partitions=4, columnar=True
+        )
+        sca, sca_report = evaluator.evaluate(
+            workflow, records, num_partitions=4, columnar=False
+        )
+        assert col == sca == oracle
+        assert sca_report.transport == "records"
+        assert col_report.blocks == sca_report.blocks
+        assert col_report.replicated_records == (
+            sca_report.replicated_records
+        )
+        # The acceptance headline: columnar buckets ship fewer bytes.
+        assert col_report.shipped_bytes < sca_report.shipped_bytes

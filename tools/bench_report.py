@@ -1,0 +1,108 @@
+"""One-screen report over the checked-in ``BENCH_*.json`` baselines.
+
+Reads every ``BENCH_<name>.json`` at the repository root (written by the
+benchmarks in ``benchmarks/`` via ``support.write_bench_json``) and
+prints the scalar-vs-columnar comparison tables plus the headline
+summary, so perf trajectories can be inspected without re-running the
+suite::
+
+    python tools/bench_report.py [name ...]
+
+With no arguments, reports every baseline found.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _table(title: str, headers: list[str], rows: list[list]) -> None:
+    widths = [
+        max(len(headers[i]), *(len(_fmt(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    print(f"\n--- {title} ---")
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(_fmt(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def report(path: Path) -> None:
+    payload = json.loads(path.read_text())
+    print(f"\n=== {path.name} ===")
+    for key in ("schema", "partitions"):
+        if key in payload:
+            print(f"{key}: {payload[key]}")
+
+    if "map_combine" in payload:
+        rows = [
+            [
+                key,
+                entry["scalar_records_per_s"],
+                entry["columnar_records_per_s"],
+                entry["speedup"],
+            ]
+            for key, entry in sorted(payload["map_combine"].items())
+        ]
+        _table(
+            "map+combine throughput",
+            ["query@size", "scalar rec/s", "columnar rec/s", "speedup"],
+            rows,
+        )
+
+    if "transport" in payload:
+        rows = [
+            [
+                key,
+                entry["scalar_bytes"],
+                entry["columnar_bytes"],
+                entry["reduction"],
+            ]
+            for key, entry in sorted(payload["transport"].items())
+        ]
+        _table(
+            "multiprocess transport",
+            ["query@size", "scalar B", "columnar B", "reduction"],
+            rows,
+        )
+
+    if "summary" in payload:
+        print("\nsummary:")
+        for key, value in sorted(payload["summary"].items()):
+            print(f"  {key}: {_fmt(value)}")
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        paths = [ROOT / f"BENCH_{name}.json" for name in argv]
+        missing = [path for path in paths if not path.exists()]
+        if missing:
+            names = ", ".join(path.name for path in missing)
+            print(f"no such baseline: {names}", file=sys.stderr)
+            return 1
+    else:
+        paths = sorted(ROOT.glob("BENCH_*.json"))
+        if not paths:
+            print(
+                "no BENCH_*.json baselines at the repo root; run the "
+                "benchmarks first (pytest benchmarks/ -s)",
+                file=sys.stderr,
+            )
+            return 1
+    for path in paths:
+        report(path)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
