@@ -1,20 +1,27 @@
 """Command-line interface.
 
-Five subcommands, most operating on workflow scripts in the textual
+Seven subcommands, most operating on workflow scripts in the textual
 query language (see :mod:`repro.query.parser`):
 
 * ``repro demo`` -- run the paper's weblog example end to end;
 * ``repro plan QUERY.cq`` -- show the derived distribution keys, the
   candidate schemes and the optimizer's choice, without evaluating;
+* ``repro explain QUERY.cq`` -- the optimizer's full decision trail:
+  per-measure key derivation, every candidate with its provenance and
+  rejection reason, the clustering-factor cost curve, and the sampled
+  dispatch tallies; rendered as text, JSON, or Graphviz DOT;
 * ``repro run QUERY.cq`` -- evaluate the query over generated data on
   the simulated cluster, printing the execution report (optionally
   exporting results to CSV);
 * ``repro trace QUERY.cq --out trace.json`` -- evaluate with full
   tracing: writes a Chrome trace-event file (open in Perfetto or
-  ``chrome://tracing``), a run manifest, and optionally the raw span
-  events as JSONL;
+  ``chrome://tracing``), a run manifest (including the cost-model
+  calibration report), and optionally the raw span events as JSONL;
 * ``repro stats MANIFEST.json`` -- summarize a previously written run
-  manifest.
+  manifest;
+* ``repro diff A.json B.json`` -- compare two run manifests field by
+  field and flag regressions beyond a threshold (exit status 1 when
+  any are found).
 
 ``run`` and ``trace`` also take ``--chaos SEED`` (inject a seeded
 random :class:`~repro.faults.FaultPlan` -- crashes, task failures,
@@ -33,7 +40,9 @@ schemas: ``weblog`` (Keyword/PageCount/AdCount/Time, Table I) and
 from __future__ import annotations
 
 import argparse
+import json
 import logging
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -49,7 +58,11 @@ from repro.obs import (
     RunManifest,
     Tracer,
     configure_logging,
+    diff_manifests,
+    explain_plan,
     progress_sink,
+    render_dot,
+    render_text,
     write_chrome_trace,
     write_jsonl,
 )
@@ -284,6 +297,49 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cmd_explain(args) -> int:
+    if args.machines < 1:
+        raise SystemExit("--machines must be at least 1")
+    if args.records < 0:
+        raise SystemExit("--records must be non-negative")
+    schema = _build_schema(args.schema, args.days)
+    workflow = _load_workflow(args.query, schema)
+    cluster = SimulatedCluster(ClusterConfig(machines=args.machines))
+    columnar = _COLUMNAR_CHOICES[args.columnar]
+    config = OptimizerConfig(use_sampling=args.sampling, columnar=columnar)
+    records = None
+    if args.sampling:
+        # Sampled dispatch judges candidates on real data; generate the
+        # same dataset 'run' would use for these arguments.
+        records = _generate_records(
+            args.schema, schema, args.records, args.seed, args.skew
+        )
+    explanation = explain_plan(
+        workflow,
+        n_records=args.records,
+        num_reducers=cluster.reduce_slots,
+        config=config,
+        records=records,
+        query=args.query,
+    )
+    if args.format == "json":
+        payload = json.dumps(explanation.to_dict(), indent=2, sort_keys=True)
+    elif args.format == "dot":
+        payload = render_dot(explanation)
+    else:
+        payload = render_text(explanation)
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(payload + "\n")
+        except OSError as exc:
+            raise SystemExit(f"cannot write {args.out}: {exc}")
+        print(f"wrote {args.format} explanation to {args.out}")
+    else:
+        print(payload)
+    return 0
+
+
 def _cmd_run(args) -> int:
     if args.machines < 1:
         raise SystemExit("--machines must be at least 1")
@@ -385,9 +441,15 @@ def _cmd_trace(args) -> int:
     print(outcome.describe())
     _print_fault_report(outcome.job)
 
-    with open(args.query) as handle:
-        query_text = handle.read()
-    n_events = write_chrome_trace(tracer.events, args.out)
+    try:
+        with open(args.query) as handle:
+            query_text = handle.read()
+    except OSError as exc:
+        raise SystemExit(f"cannot read query file: {exc}")
+    try:
+        n_events = write_chrome_trace(tracer.events, args.out)
+    except OSError as exc:
+        raise SystemExit(f"cannot write trace: {exc}")
     print(
         f"wrote {n_events} trace events to {args.out} "
         "(open at https://ui.perfetto.dev or chrome://tracing)"
@@ -400,23 +462,53 @@ def _cmd_trace(args) -> int:
         execution_config=config,
         metrics=metrics,
     )
-    manifest.write(manifest_path)
+    try:
+        manifest.write(manifest_path)
+    except OSError as exc:
+        raise SystemExit(f"cannot write manifest: {exc}")
     print(f"wrote run manifest to {manifest_path}")
     if args.events:
-        n_spans = write_jsonl(tracer.events, args.events)
+        try:
+            n_spans = write_jsonl(tracer.events, args.events)
+        except OSError as exc:
+            raise SystemExit(f"cannot write span events: {exc}")
         print(f"wrote {n_spans} span events to {args.events}")
     return 0
 
 
-def _cmd_stats(args) -> int:
+def _load_manifest_or_die(path: str) -> RunManifest:
+    """Load a manifest, turning any bad input into a one-line error."""
     try:
-        manifest = RunManifest.load(args.manifest)
+        return RunManifest.load(path)
     except OSError as exc:
         raise SystemExit(f"cannot read manifest: {exc}")
     except (ValueError, TypeError, KeyError) as exc:
-        raise SystemExit(f"{args.manifest}: not a run manifest ({exc})")
+        raise SystemExit(f"{path}: not a run manifest ({exc})")
+
+
+def _cmd_stats(args) -> int:
+    manifest = _load_manifest_or_die(args.manifest)
     print(manifest.summary())
     return 0
+
+
+def _cmd_diff(args) -> int:
+    if args.threshold < 0:
+        raise SystemExit("--threshold must be non-negative")
+    manifest_a = _load_manifest_or_die(args.run_a)
+    manifest_b = _load_manifest_or_die(args.run_b)
+    diff = diff_manifests(
+        manifest_a,
+        manifest_b,
+        threshold=args.threshold,
+        a_label=args.run_a,
+        b_label=args.run_b,
+    )
+    if args.json:
+        print(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(diff.describe())
+    return 1 if diff.has_regressions else 0
 
 
 def _run_demo() -> int:
@@ -463,6 +555,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="write Graphviz source of the workflow to FILE",
     )
     plan.set_defaults(handler=_cmd_plan)
+
+    explain = sub.add_parser(
+        "explain", help="show the optimizer's full decision trail"
+    )
+    _add_common_arguments(explain)
+    explain.add_argument(
+        "--sampling", action="store_true",
+        help="include the skew handler's sampled-dispatch decision",
+    )
+    explain.add_argument(
+        "--columnar", choices=sorted(_COLUMNAR_CHOICES), default="auto",
+        help="columnar mode for sampled dispatch (matches 'run')",
+    )
+    explain.add_argument(
+        "--format", choices=("text", "json", "dot"), default="text",
+        help="output rendering (default: text)",
+    )
+    explain.add_argument(
+        "--out", metavar="FILE",
+        help="write the explanation to FILE instead of stdout",
+    )
+    explain.set_defaults(handler=_cmd_explain)
 
     run = sub.add_parser("run", help="evaluate a query on the simulator")
     _add_common_arguments(run)
@@ -530,6 +644,23 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("manifest", help="manifest JSON file to summarize")
     stats.set_defaults(handler=_cmd_stats)
 
+    diff = sub.add_parser(
+        "diff", help="compare two run manifests and flag regressions"
+    )
+    _add_logging_arguments(diff)
+    diff.add_argument("run_a", help="baseline manifest JSON file")
+    diff.add_argument("run_b", help="candidate manifest JSON file")
+    diff.add_argument(
+        "--threshold", type=float, default=0.05, metavar="FRACTION",
+        help="relative slack on lower-is-better fields before a change "
+             "counts as a regression (default: 0.05; 0 for exact)",
+    )
+    diff.add_argument(
+        "--json", action="store_true",
+        help="emit the full delta table as JSON instead of text",
+    )
+    diff.set_defaults(handler=_cmd_diff)
+
     demo = sub.add_parser("demo", help="run the paper's weblog example")
     _add_logging_arguments(demo)
     demo.set_defaults(handler=lambda _args: _run_demo())
@@ -540,7 +671,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     _configure_logging(args)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # A downstream pager/head closed our stdout; exit quietly like
+        # standard Unix tools instead of dumping a traceback.  Point
+        # stdout at devnull so interpreter shutdown does not re-raise.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -3,6 +3,7 @@
 from repro.distribution.clustering import BlockScheme
 from repro.distribution.derive import (
     candidate_keys,
+    candidate_keys_annotated,
     feasible_parallelism,
     is_feasible,
     key_of_granularity,
@@ -32,6 +33,7 @@ __all__ = [
     "KeyComponent",
     "LayoutSummary",
     "candidate_keys",
+    "candidate_keys_annotated",
     "feasible_parallelism",
     "is_feasible",
     "iter_blocks",

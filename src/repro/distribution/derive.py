@@ -176,12 +176,41 @@ def candidate_keys(workflow: Workflow) -> list[DistributionKey]:
     attributes rolled up to ``ALL``; plus the fully non-overlapping
     fallback.  For sibling-free queries this is just the minimal key.
     """
+    return [key for key, _provenance in candidate_keys_annotated(workflow)]
+
+
+def candidate_keys_annotated(
+    workflow: Workflow,
+) -> list[tuple[DistributionKey, str]]:
+    """:func:`candidate_keys` plus the provenance of each candidate.
+
+    The provenance string says how the candidate was built from the
+    minimal feasible key -- which annotated attribute it kept (rolling
+    the others up to ``ALL``), or that it is the non-overlapping
+    fallback / the annotation-free minimal key itself.  ``repro
+    explain`` shows it next to every candidate so a rejected key can be
+    traced back to its construction.
+    """
     minimal = minimal_feasible_key(workflow)
     annotated = minimal.annotated_attributes()
     if not annotated:
-        return [minimal]
-    candidates = [minimal.drop_annotations(keep=name) for name in annotated]
-    candidates.append(minimal.drop_annotations())
+        return [(minimal, "minimal feasible key (no annotations needed)")]
+    candidates = []
+    for name in annotated:
+        others = [a for a in annotated if a != name]
+        provenance = f"minimal key keeping the {name!r} annotation"
+        if others:
+            provenance += (
+                ", other annotated attributes "
+                f"({', '.join(repr(o) for o in others)}) rolled up to ALL"
+            )
+        candidates.append((minimal.drop_annotations(keep=name), provenance))
+    candidates.append(
+        (
+            minimal.drop_annotations(),
+            "non-overlapping fallback (every annotation rolled up to ALL)",
+        )
+    )
     return candidates
 
 

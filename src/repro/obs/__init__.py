@@ -15,12 +15,35 @@ makes those signals first-class and machine-readable:
 * :class:`RunManifest` -- one JSON artifact per evaluation (plan,
   config, counters, breakdown, environment, git sha) consumed by
   ``repro stats``;
+* :class:`CalibrationReport` -- the cost model's predicted max load,
+  shuffle volume and block count joined against what the run measured
+  (Formula 2/4 relative error, per-reducer load histogram);
+* :func:`explain_plan` -- the optimizer's full decision trail (key
+  derivation, candidate scorecards, cf cost curves, sampled dispatch)
+  rendered as text, JSON or DOT by ``repro explain``;
+* :func:`diff_manifests` -- field-by-field comparison of two run
+  manifests with regression thresholds, behind ``repro diff``;
 * :func:`configure_logging` -- one consistent handler for the whole
   ``repro.*`` logger hierarchy.
 
 See ``docs/observability.md`` for a walkthrough.
 """
 
+from repro.obs.calibration import (
+    CalibrationReport,
+    ComponentCalibration,
+    load_histogram,
+    relative_error,
+)
+from repro.obs.diff import FieldDelta, RunDiff, diff_manifests
+from repro.obs.explain import (
+    CandidateExplanation,
+    ComponentExplanation,
+    QueryExplanation,
+    explain_plan,
+    render_dot,
+    render_text,
+)
 from repro.obs.export import (
     chrome_trace_events,
     progress_sink,
@@ -38,12 +61,19 @@ from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, SpanEvent, Tracer
 
 __all__ = [
+    "CalibrationReport",
+    "CandidateExplanation",
+    "ComponentCalibration",
+    "ComponentExplanation",
     "Counter",
+    "FieldDelta",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "QueryExplanation",
+    "RunDiff",
     "RunManifest",
     "Span",
     "SpanEvent",
@@ -52,8 +82,14 @@ __all__ = [
     "configure_logging",
     "counters_from_dict",
     "counters_to_dict",
+    "diff_manifests",
     "environment_info",
+    "explain_plan",
+    "load_histogram",
     "progress_sink",
+    "relative_error",
+    "render_dot",
+    "render_text",
     "write_chrome_trace",
     "write_jsonl",
 ]

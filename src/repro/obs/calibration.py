@@ -1,0 +1,300 @@
+"""Predicted-versus-measured calibration of the analytical cost model.
+
+The optimizer picks plans from Formulae 2 and 4 -- predictions of the
+heaviest reducer load under random block assignment.  This module joins
+those predictions against what one evaluation actually measured (the
+:class:`~repro.mapreduce.counters.JobReport`'s per-reducer loads and
+counters) into a :class:`CalibrationReport`: signed relative errors for
+the max load, the shipped record volume, the shuffle bytes and the
+block count, plus a per-reducer load histogram.
+
+The parallel executor builds one report per evaluation and attaches it
+to the :class:`~repro.parallel.report.ParallelResult`; ``repro trace``
+persists it in the run manifest and ``repro stats`` prints it, so every
+BENCH trajectory carries its own model-accuracy audit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Optional, Sequence
+
+__all__ = [
+    "CalibrationReport",
+    "ComponentCalibration",
+    "load_histogram",
+    "relative_error",
+]
+
+
+def relative_error(predicted: float, actual: float) -> Optional[float]:
+    """Signed relative error ``(predicted - actual) / actual``.
+
+    Positive means the model over-predicted.  ``None`` when the actual
+    value is zero (no meaningful denominator).
+    """
+    if actual == 0:
+        return None
+    return (predicted - actual) / actual
+
+
+def load_histogram(loads: Sequence[float], buckets: int = 8) -> dict:
+    """Histogram + quantile summary of per-reducer loads.
+
+    Equal-width buckets over ``[min, max]`` (one degenerate bucket when
+    every reducer carries the same load), plus count/min/max/mean and
+    the p50/p90 quantiles by nearest-rank.
+    """
+    loads = list(loads)
+    if not loads:
+        return {"count": 0, "buckets": []}
+    lo, hi = min(loads), max(loads)
+    ordered = sorted(loads)
+
+    def quantile(q: float) -> float:
+        index = min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1)
+        return ordered[max(0, index)]
+
+    summary = {
+        "count": len(loads),
+        "min": lo,
+        "max": hi,
+        "mean": sum(loads) / len(loads),
+        "p50": quantile(0.50),
+        "p90": quantile(0.90),
+    }
+    if lo == hi:
+        summary["buckets"] = [{"lo": lo, "hi": hi, "count": len(loads)}]
+        return summary
+    width = (hi - lo) / buckets
+    counts = [0] * buckets
+    for load in loads:
+        index = min(buckets - 1, int((load - lo) / width))
+        counts[index] += 1
+    summary["buckets"] = [
+        {"lo": lo + i * width, "hi": lo + (i + 1) * width, "count": count}
+        for i, count in enumerate(counts)
+    ]
+    return summary
+
+
+@dataclass
+class ComponentCalibration:
+    """One component's model inputs and predictions (per-component
+    measurements do not exist: reducers mix every component's blocks)."""
+
+    component: int
+    key: str
+    clustering_factors: dict[str, int]
+    #: Which formula produced the prediction: ``"formula-2"`` for
+    #: non-overlapping keys, ``"formula-4"`` for annotated ones.
+    formula: str
+    predicted_max_load: float
+    predicted_blocks: int
+    #: Modelled record duplication ``(d + cf) / cf`` (1.0 without
+    #: annotations).
+    predicted_replication: float
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class CalibrationReport:
+    """Formula 2/4 predictions joined against one run's measurements."""
+
+    predicted_max_load: float
+    actual_max_load: float
+    #: Signed relative error of the Formula 2/4 max-load prediction --
+    #: the paper's central quantity.  ``None`` when nothing was loaded.
+    max_load_error: Optional[float]
+    predicted_shipped_records: float
+    actual_shipped_records: float
+    shipped_records_error: Optional[float]
+    predicted_shuffle_bytes: float
+    actual_shuffle_bytes: float
+    #: ``None`` under early aggregation: the model predicts raw-record
+    #: shipping, which the combiner invalidates by design.
+    shuffle_bytes_error: Optional[float]
+    predicted_blocks: int
+    #: Non-empty blocks the reducers actually served (``None`` when the
+    #: caller could not observe them).
+    actual_blocks: Optional[int]
+    blocks_error: Optional[float]
+    early_aggregation: bool
+    load_imbalance: float
+    histogram: dict = field(default_factory=dict)
+    components: list[ComponentCalibration] = field(default_factory=list)
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_run(
+        cls,
+        plan,
+        report,
+        *,
+        record_bytes: int,
+        key_bytes: int = 16,
+        early_aggregation: bool = False,
+        actual_blocks: Optional[int] = None,
+    ) -> "CalibrationReport":
+        """Join *plan* predictions against *report* measurements.
+
+        *plan* is a :class:`~repro.optimizer.optimizer.QueryPlan` (any
+        object with ``.subplans``); *report* a
+        :class:`~repro.mapreduce.counters.JobReport`.  *record_bytes*
+        and *key_bytes* price the predicted shuffle volume the same way
+        the engine prices the measured one; *actual_blocks* is the
+        number of non-empty blocks the reducers served, counted by the
+        executor.
+        """
+        n_records = report.counters.map_input_records
+        components = []
+        predicted_shipped = 0.0
+        predicted_blocks = 0
+        for index, (_wf, subplan) in enumerate(plan.subplans):
+            scheme = subplan.scheme
+            key = scheme.key
+            annotated = key.annotated_attributes()
+            replication = 1.0
+            for attr in annotated:
+                span = key.component(attr).span
+                cf = scheme.clustering_factors.get(attr, 1)
+                replication *= (span + cf) / cf
+            components.append(
+                ComponentCalibration(
+                    component=index,
+                    key=repr(key),
+                    clustering_factors=dict(scheme.clustering_factors),
+                    formula="formula-4" if annotated else "formula-2",
+                    predicted_max_load=subplan.predicted_max_load,
+                    predicted_blocks=scheme.num_blocks(),
+                    predicted_replication=replication,
+                )
+            )
+            predicted_shipped += n_records * replication
+            predicted_blocks += scheme.num_blocks()
+
+        predicted_max = sum(c.predicted_max_load for c in components)
+        actual_max = float(report.max_reducer_load)
+        actual_shipped = float(report.counters.map_output_records)
+        predicted_bytes = predicted_shipped * (key_bytes + record_bytes)
+        actual_bytes = float(report.counters.shuffle_bytes)
+        return cls(
+            predicted_max_load=predicted_max,
+            actual_max_load=actual_max,
+            max_load_error=relative_error(predicted_max, actual_max),
+            predicted_shipped_records=predicted_shipped,
+            actual_shipped_records=actual_shipped,
+            shipped_records_error=relative_error(
+                predicted_shipped, actual_shipped
+            ),
+            predicted_shuffle_bytes=predicted_bytes,
+            actual_shuffle_bytes=actual_bytes,
+            shuffle_bytes_error=(
+                None
+                if early_aggregation
+                else relative_error(predicted_bytes, actual_bytes)
+            ),
+            predicted_blocks=predicted_blocks,
+            actual_blocks=actual_blocks,
+            blocks_error=(
+                relative_error(predicted_blocks, actual_blocks)
+                if actual_blocks is not None
+                else None
+            ),
+            early_aggregation=early_aggregation,
+            load_imbalance=report.load_imbalance,
+            histogram=load_histogram(report.reducer_loads),
+            components=components,
+        )
+
+    # -- round-trips ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CalibrationReport":
+        kwargs = dict(data)
+        kwargs["components"] = [
+            ComponentCalibration(**entry)
+            for entry in kwargs.get("components", [])
+        ]
+        return cls(**kwargs)
+
+    # -- presentation -----------------------------------------------------------
+
+    @staticmethod
+    def _pct(error: Optional[float]) -> str:
+        if error is None:
+            return "n/a"
+        return f"{error:+.1%}"
+
+    def describe(self) -> str:
+        """The calibration section of ``repro stats``."""
+        lines = [
+            "calibration (predicted vs measured):",
+            (
+                f"  max reducer load   {self.predicted_max_load:>12.0f}  vs "
+                f"{self.actual_max_load:>10.0f}  "
+                f"error {self._pct(self.max_load_error)}"
+            ),
+            (
+                f"  shipped records    {self.predicted_shipped_records:>12.0f}"
+                f"  vs {self.actual_shipped_records:>10.0f}  "
+                f"error {self._pct(self.shipped_records_error)}"
+            ),
+            (
+                f"  shuffle bytes      {self.predicted_shuffle_bytes:>12.0f}"
+                f"  vs {self.actual_shuffle_bytes:>10.0f}  "
+                f"error {self._pct(self.shuffle_bytes_error)}"
+                + (
+                    "  (early aggregation: raw-shipping model not "
+                    "comparable)"
+                    if self.early_aggregation
+                    else ""
+                )
+            ),
+        ]
+        if self.actual_blocks is not None:
+            lines.append(
+                f"  blocks             {self.predicted_blocks:>12}  vs "
+                f"{self.actual_blocks:>10}  "
+                f"error {self._pct(self.blocks_error)}"
+                "  (grid size vs non-empty)"
+            )
+        for comp in self.components:
+            cf = (
+                ", ".join(
+                    f"{attr}={cf}"
+                    for attr, cf in sorted(comp.clustering_factors.items())
+                )
+                or "-"
+            )
+            lines.append(
+                f"  component {comp.component}: {comp.key} [{comp.formula}] "
+                f"cf {cf}, predicted max {comp.predicted_max_load:.0f}, "
+                f"{comp.predicted_blocks} blocks, "
+                f"replication x{comp.predicted_replication:.2f}"
+            )
+        hist = self.histogram
+        if hist.get("count"):
+            lines.append(
+                f"  reducer loads: {hist['count']} reducers, "
+                f"min {hist['min']:.0f} / p50 {hist['p50']:.0f} / "
+                f"p90 {hist['p90']:.0f} / max {hist['max']:.0f}, "
+                f"imbalance {self.load_imbalance:.2f}"
+            )
+            peak = max(
+                (bucket["count"] for bucket in hist["buckets"]), default=0
+            )
+            for bucket in hist["buckets"]:
+                bar = "#" * round(24 * bucket["count"] / peak) if peak else ""
+                lines.append(
+                    f"    [{bucket['lo']:>9.0f}, {bucket['hi']:>9.0f}) "
+                    f"{bucket['count']:>4}  {bar}"
+                )
+        return "\n".join(lines)

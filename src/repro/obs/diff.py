@@ -1,0 +1,234 @@
+"""``repro diff``: regression detection between two run manifests.
+
+Joins two :class:`~repro.obs.manifest.RunManifest` documents field by
+field -- simulated timings, phase breakdown, job counters, shipped
+volume, load balance, and the calibration errors -- into a
+:class:`RunDiff` of :class:`FieldDelta` rows.  Fields where lower is
+better (times, shuffled volume, imbalance, model error) are flagged as
+**regressions** when run B exceeds run A by more than a relative
+threshold; everything else is reported as an informational delta.
+
+The simulated cluster clock is deterministic, so two runs of the same
+query, data seed and configuration produce bit-identical manifests and
+an empty diff: any non-zero row is a real behaviour change, not noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.manifest import RunManifest
+
+__all__ = ["FieldDelta", "RunDiff", "diff_manifests"]
+
+#: Fields where an increase from A to B is a regression.  Everything
+#: not listed here (record counts, task counts, ...) diffs as
+#: informational only.
+LOWER_IS_BETTER = {
+    "timing.response_time",
+    "timing.map_makespan",
+    "timing.reduce_makespan",
+    "counters.map_output_records",
+    "counters.map_output_bytes",
+    "counters.shuffle_bytes",
+    "counters.spilled_records",
+    "counters.remote_block_reads",
+    "counters.task_retries",
+    "balance.max_reducer_load",
+    "balance.load_imbalance",
+    "calibration.abs_max_load_error",
+    "calibration.abs_shipped_records_error",
+}
+
+
+@dataclass
+class FieldDelta:
+    """One compared field: values in both runs and the verdict."""
+
+    #: Dotted name, e.g. ``"timing.response_time"``.
+    name: str
+    a: Optional[float]
+    b: Optional[float]
+    #: ``b - a`` when both sides are present.
+    delta: Optional[float] = None
+    #: Relative change ``(b - a) / a`` (``None`` when ``a`` is 0 or
+    #: either side is missing).
+    ratio: Optional[float] = None
+    #: Lower-is-better field where B exceeds A beyond the threshold.
+    regression: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "a": self.a,
+            "b": self.b,
+            "delta": self.delta,
+            "ratio": self.ratio,
+            "regression": self.regression,
+        }
+
+
+@dataclass
+class RunDiff:
+    """The full comparison of two manifests."""
+
+    a_label: str
+    b_label: str
+    threshold: float
+    deltas: list[FieldDelta] = field(default_factory=list)
+
+    def changed(self) -> list[FieldDelta]:
+        """Rows where the two runs disagree at all."""
+        return [d for d in self.deltas if d.delta not in (None, 0, 0.0)]
+
+    def regressions(self) -> list[FieldDelta]:
+        """Rows flagged as regressions (B worse beyond the threshold)."""
+        return [d for d in self.deltas if d.regression]
+
+    @property
+    def has_regressions(self) -> bool:
+        return any(d.regression for d in self.deltas)
+
+    def to_dict(self) -> dict:
+        return {
+            "a": self.a_label,
+            "b": self.b_label,
+            "threshold": self.threshold,
+            "deltas": [d.to_dict() for d in self.deltas],
+            "regressions": [d.name for d in self.regressions()],
+        }
+
+    def describe(self) -> str:
+        """The ``repro diff`` report."""
+        lines = [
+            f"diff: A={self.a_label}  vs  B={self.b_label}  "
+            f"(regression threshold {self.threshold:.0%})",
+        ]
+        changed = self.changed()
+        if not changed:
+            lines.append(
+                "runs are identical on every compared field "
+                "(0 regressions)"
+            )
+            return "\n".join(lines)
+        section = None
+        for delta in changed:
+            head, _dot, tail = delta.name.partition(".")
+            if head != section:
+                section = head
+                lines.append(f"{section}:")
+            a = "n/a" if delta.a is None else f"{delta.a:,.4g}"
+            b = "n/a" if delta.b is None else f"{delta.b:,.4g}"
+            ratio = (
+                ""
+                if delta.ratio is None
+                else f"  ({delta.ratio:+.1%})"
+            )
+            flag = "  <-- REGRESSION" if delta.regression else ""
+            lines.append(f"  {tail:<28} {a:>14} -> {b:>14}{ratio}{flag}")
+        regressions = self.regressions()
+        lines.append(
+            f"{len(changed)} field(s) changed, "
+            f"{len(regressions)} regression(s)"
+        )
+        return "\n".join(lines)
+
+
+def _numeric(value) -> Optional[float]:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def _compare(
+    name: str, a, b, threshold: float
+) -> Optional[FieldDelta]:
+    a, b = _numeric(a), _numeric(b)
+    if a is None and b is None:
+        return None
+    row = FieldDelta(name=name, a=a, b=b)
+    if a is not None and b is not None:
+        row.delta = b - a
+        if a != 0:
+            row.ratio = row.delta / a
+        if name in LOWER_IS_BETTER:
+            worse_by = row.delta / a if a != 0 else (1.0 if b > 0 else 0.0)
+            row.regression = b > a and worse_by > threshold
+    elif name in LOWER_IS_BETTER and a is None and b is not None and b > 0:
+        # The quantity appeared in B only -- treat as a regression.
+        row.regression = True
+    return row
+
+
+def _calibration_errors(manifest: RunManifest) -> dict:
+    data = manifest.calibration or {}
+    out = {}
+    for key in ("max_load_error", "shipped_records_error"):
+        value = data.get(key)
+        out[f"abs_{key}"] = abs(value) if value is not None else None
+    return out
+
+
+def diff_manifests(
+    a: RunManifest,
+    b: RunManifest,
+    threshold: float = 0.05,
+    a_label: str = "run A",
+    b_label: str = "run B",
+) -> RunDiff:
+    """Compare manifest *a* (the baseline) against *b* (the candidate).
+
+    *threshold* is the relative slack on lower-is-better fields: B may
+    exceed A by up to this fraction before the field is flagged.  Pass
+    ``0.0`` for the exact comparison that identical-seed runs of the
+    deterministic simulator must survive.
+    """
+    diff = RunDiff(a_label=a_label, b_label=b_label, threshold=threshold)
+
+    def push(name: str, left, right) -> None:
+        row = _compare(name, left, right, threshold)
+        if row is not None:
+            diff.deltas.append(row)
+
+    push("timing.response_time", a.response_time, b.response_time)
+    push("timing.map_makespan", a.map_makespan, b.map_makespan)
+    push("timing.reduce_makespan", a.reduce_makespan, b.reduce_makespan)
+
+    for name in sorted(set(a.breakdown) | set(b.breakdown)):
+        push(
+            f"breakdown.{name}",
+            a.breakdown.get(name),
+            b.breakdown.get(name),
+        )
+
+    skip = {"extra"}
+    for name in sorted((set(a.counters) | set(b.counters)) - skip):
+        push(
+            f"counters.{name}", a.counters.get(name), b.counters.get(name)
+        )
+    extras = set(a.counters.get("extra", {})) | set(
+        b.counters.get("extra", {})
+    )
+    for name in sorted(extras):
+        push(
+            f"counters.extra.{name}",
+            a.counters.get("extra", {}).get(name, 0),
+            b.counters.get("extra", {}).get(name, 0),
+        )
+
+    push(
+        "balance.max_reducer_load",
+        max(a.reducer_loads, default=0),
+        max(b.reducer_loads, default=0),
+    )
+    push("balance.load_imbalance", a.load_imbalance, b.load_imbalance)
+
+    errors_a = _calibration_errors(a)
+    errors_b = _calibration_errors(b)
+    for name in sorted(set(errors_a) | set(errors_b)):
+        push(
+            f"calibration.{name}", errors_a.get(name), errors_b.get(name)
+        )
+
+    return diff

@@ -1,0 +1,383 @@
+"""``repro explain``: the optimizer's decision trail, rendered.
+
+Runs the plan search with decision capture and augments the resulting
+:class:`~repro.optimizer.decisions.QueryDecision` with everything a
+reader needs to audit the choice:
+
+* the per-measure feasible-key derivation (Theorems 1-2 / Section
+  III-B) and the minimal feasible key per component;
+* every candidate key with the provenance of its construction, its
+  predicted load, and why it was rejected;
+* the clustering-factor sweep: Formula 4's cost curve over *cf*, with
+  the cubic-root minimizer (:func:`optimal_clustering_factor`) and the
+  integer-scan oracle (:func:`exhaustive_clustering_factor`) marked;
+* the skew handler's sampled-dispatch decision when sampling ran.
+
+Three renderings: :func:`render_text` (the CLI default),
+:meth:`QueryExplanation.to_dict` (JSON), and :func:`render_dot`
+(Graphviz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.distribution.derive import measure_keys
+from repro.optimizer.costmodel import (
+    clustering_cost_curve,
+    exhaustive_clustering_factor,
+    optimal_clustering_factor,
+)
+from repro.optimizer.decisions import CandidateDecision, ComponentDecision
+
+__all__ = [
+    "CandidateExplanation",
+    "ComponentExplanation",
+    "QueryExplanation",
+    "explain_plan",
+    "render_dot",
+    "render_text",
+]
+
+#: Above this many feasible cf values the integer-scan oracle is skipped
+#: (the sweep then shows only the cubic's pick); keeps explain O(fast).
+_EXHAUSTIVE_SCAN_LIMIT = 100_000
+
+
+@dataclass
+class CandidateExplanation:
+    """One candidate's scorecard plus its clustering-factor sweep."""
+
+    decision: CandidateDecision
+    #: ``(cf, predicted max load)`` curve for annotated candidates
+    #: (empty for non-overlapping ones, where cf is meaningless).
+    cost_curve: list[tuple[int, float]] = field(default_factory=list)
+    #: Formula 4 minimizer from the cubic root (None without annotation).
+    model_cf: Optional[int] = None
+    #: Integer-scan minimizer; ``None`` when the scan was skipped
+    #: because the cf range exceeds the explain-time budget.
+    exhaustive_cf: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "decision": self.decision.to_dict(),
+            "cost_curve": [list(point) for point in self.cost_curve],
+            "model_cf": self.model_cf,
+            "exhaustive_cf": self.exhaustive_cf,
+        }
+
+
+@dataclass
+class ComponentExplanation:
+    """One component's decision trail plus its key derivation."""
+
+    decision: ComponentDecision
+    #: Per-measure feasible keys in topological order (Section III-B).
+    measure_keys: dict[str, str] = field(default_factory=dict)
+    candidates: list[CandidateExplanation] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "decision": self.decision.to_dict(),
+            "measure_keys": dict(self.measure_keys),
+            "candidates": [c.to_dict() for c in self.candidates],
+        }
+
+
+@dataclass
+class QueryExplanation:
+    """The full ``repro explain`` payload for one query."""
+
+    n_records: int
+    num_reducers: int
+    predicted_max_load: float
+    components: list[ComponentExplanation] = field(default_factory=list)
+    query: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "query": self.query,
+            "n_records": self.n_records,
+            "num_reducers": self.num_reducers,
+            "predicted_max_load": self.predicted_max_load,
+            "components": [c.to_dict() for c in self.components],
+        }
+
+
+def _sweep(
+    candidate: CandidateDecision,
+    num_reducers: int,
+    n_records: int,
+    min_blocks_per_reducer: int,
+) -> CandidateExplanation:
+    """Attach the cf cost curve to one candidate's decision."""
+    explanation = CandidateExplanation(candidate)
+    if candidate.span <= 0:
+        return explanation
+    max_cf = None
+    if min_blocks_per_reducer > 0:
+        max_cf = max(
+            1,
+            candidate.n_regions // (num_reducers * min_blocks_per_reducer),
+        )
+    args = (n_records, candidate.n_regions, num_reducers, candidate.span)
+    explanation.model_cf = optimal_clustering_factor(*args, max_cf=max_cf)
+    upper = candidate.n_regions if max_cf is None else min(
+        candidate.n_regions, max_cf
+    )
+    if upper <= _EXHAUSTIVE_SCAN_LIMIT:
+        explanation.exhaustive_cf = exhaustive_clustering_factor(
+            *args, max_cf=max_cf
+        )
+    explanation.cost_curve = clustering_cost_curve(*args, max_cf=max_cf)
+    return explanation
+
+
+def explain_plan(
+    workflow,
+    n_records: int,
+    num_reducers: int,
+    config=None,
+    records: Optional[Sequence] = None,
+    query: str = "",
+) -> QueryExplanation:
+    """Plan *workflow* with decision capture and build the explanation.
+
+    Runs the same search ``ParallelEvaluator`` would (same
+    :class:`~repro.optimizer.optimizer.OptimizerConfig` semantics;
+    *records* feeds sampled dispatch when ``config.use_sampling``), then
+    layers the per-measure key derivation and the cf sweeps on top of
+    the recorded :class:`~repro.optimizer.decisions.QueryDecision`.
+    """
+    # Imported lazily: repro.obs is a dependency of the optimizer's
+    # tracing hooks, so a module-level import here would be circular.
+    from repro.optimizer.optimizer import Optimizer
+
+    optimizer = Optimizer(config)
+    plan = optimizer.plan_query(
+        workflow, n_records, num_reducers, records=records
+    )
+    components = []
+    for component, subplan in plan.subplans:
+        decision = subplan.decision
+        keys = {
+            name: repr(key)
+            for name, key in measure_keys(component).items()
+        }
+        candidates = [
+            _sweep(
+                candidate,
+                num_reducers,
+                n_records,
+                decision.min_blocks_per_reducer,
+            )
+            for candidate in decision.candidates
+        ]
+        components.append(
+            ComponentExplanation(decision, keys, candidates)
+        )
+    return QueryExplanation(
+        n_records=n_records,
+        num_reducers=num_reducers,
+        predicted_max_load=plan.predicted_max_load,
+        components=components,
+        query=query,
+    )
+
+
+# -- text rendering ---------------------------------------------------------
+
+
+def _render_curve(explanation: CandidateExplanation, max_rows: int = 14
+                  ) -> list[str]:
+    """ASCII bars of the cf cost curve, optima annotated."""
+    curve = explanation.cost_curve
+    if not curve:
+        return []
+    marked = {explanation.model_cf, explanation.exhaustive_cf}
+    if len(curve) > max_rows:
+        stride = max(1, len(curve) // max_rows)
+        kept = [
+            point
+            for index, point in enumerate(curve)
+            if index % stride == 0 or point[0] in marked
+        ]
+        curve = kept
+    peak = max(load for _cf, load in curve)
+    lines = []
+    for cf, load in curve:
+        bar = "#" * max(1, round(28 * load / peak)) if peak else ""
+        marks = []
+        if cf == explanation.model_cf:
+            marks.append("cf* cubic")
+        if cf == explanation.exhaustive_cf:
+            marks.append("cf* exhaustive")
+        suffix = f"   <-- {', '.join(marks)}" if marks else ""
+        lines.append(f"      cf {cf:>6}  {load:>14.0f}  {bar}{suffix}")
+    return lines
+
+
+def _render_candidate(explanation: CandidateExplanation) -> list[str]:
+    candidate = explanation.decision
+    mark = "*" if candidate.chosen else "-"
+    title = "chosen" if candidate.chosen else "rejected"
+    cf = (
+        ", ".join(
+            f"{attr}={value}"
+            for attr, value in sorted(candidate.clustering_factors.items())
+        )
+        or "none"
+    )
+    lines = [
+        f"  {mark} {title}: {candidate.key}",
+        f"      provenance: {candidate.provenance}",
+        (
+            f"      regions={candidate.n_regions}  span d={candidate.span}  "
+            f"cf={cf}  blocks={candidate.num_blocks}"
+        ),
+        f"      predicted max load {candidate.predicted_max_load:.0f}"
+        + (
+            f"  (sampled {candidate.sampled_max_load:.0f})"
+            if candidate.sampled_max_load is not None
+            else ""
+        ),
+    ]
+    if candidate.meets_min_blocks is not None:
+        verdict = "yes" if candidate.meets_min_blocks else "NO"
+        lines.append(f"      meets min-blocks rule: {verdict}")
+    if candidate.rejection:
+        lines.append(f"      rejected because: {candidate.rejection}")
+    if explanation.cost_curve:
+        scan = (
+            f"exhaustive cf*={explanation.exhaustive_cf}"
+            if explanation.exhaustive_cf is not None
+            else "exhaustive scan skipped (cf range too large)"
+        )
+        lines.append(
+            f"      cf sweep (Formula 4): cubic cf*={explanation.model_cf}, "
+            f"{scan}"
+        )
+        lines.extend(_render_curve(explanation))
+    return lines
+
+
+def render_text(explanation: QueryExplanation) -> str:
+    """The human-readable EXPLAIN output (the CLI's default format)."""
+    lines = [
+        (
+            f"EXPLAIN: {len(explanation.components)} component(s), "
+            f"{explanation.n_records} records over "
+            f"{explanation.num_reducers} reducers"
+        ),
+    ]
+    for component in explanation.components:
+        decision = component.decision
+        lines.append("")
+        lines.append(
+            f"component {decision.component}: "
+            f"measures {decision.measures}"
+        )
+        lines.append("  per-measure feasible keys (Section III-B):")
+        for name, key in component.measure_keys.items():
+            lines.append(f"    {name}: {key}")
+        lines.append(f"  minimal feasible key: {decision.minimal_key}")
+        rule = (
+            f"min-blocks-per-reducer={decision.min_blocks_per_reducer}"
+            if decision.min_blocks_per_reducer > 0
+            else "min-blocks rule off"
+        )
+        lines.append(f"  strategy: {decision.strategy}  ({rule})")
+        for note in decision.notes:
+            lines.append(f"  note: {note}")
+        lines.append(
+            f"  candidates considered: {len(component.candidates)}"
+        )
+        for candidate in component.candidates:
+            lines.extend(_render_candidate(candidate))
+        if decision.sampling is not None:
+            sampling = decision.sampling
+            lines.append(
+                "  skew handler: sampled dispatch over "
+                f"{sampling.sample_size} records (seed "
+                f"{sampling.sample_seed}) judged "
+                f"{sampling.candidates_sampled} candidates"
+            )
+        lines.append(
+            f"  chosen: {decision.chosen_key} -- predicted per-reducer "
+            f"max load {decision.predicted_max_load:.0f} records"
+        )
+    lines.append("")
+    lines.append(
+        "query predicted max load (components add up): "
+        f"{explanation.predicted_max_load:.0f} records"
+    )
+    return "\n".join(lines)
+
+
+# -- DOT rendering ----------------------------------------------------------
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def render_dot(explanation: QueryExplanation) -> str:
+    """Graphviz source of the decision tree: query -> components ->
+    candidates, the chosen path bold, rejects grey with their reason."""
+    lines = [
+        "digraph explain {",
+        "  rankdir=LR;",
+        '  node [shape=box, fontname="monospace", fontsize=10];',
+        (
+            '  query [label="query\\n'
+            f"{explanation.n_records} records / "
+            f'{explanation.num_reducers} reducers", style=filled, '
+            'fillcolor="#eeeeee"];'
+        ),
+    ]
+    for component in explanation.components:
+        decision = component.decision
+        cid = f"c{decision.component}"
+        label = (
+            f"component {decision.component}\\n"
+            f"minimal key {_dot_escape(decision.minimal_key)}\\n"
+            f"strategy: {decision.strategy}"
+        )
+        lines.append(f'  {cid} [label="{label}"];')
+        lines.append(f"  query -> {cid};")
+        for index, candidate in enumerate(component.candidates):
+            node = f"{cid}k{index}"
+            cand = candidate.decision
+            cf = (
+                ", ".join(
+                    f"{a}={v}"
+                    for a, v in sorted(cand.clustering_factors.items())
+                )
+                or "none"
+            )
+            label = (
+                f"{_dot_escape(cand.key)}\\ncf {cf}, "
+                f"{cand.num_blocks} blocks\\n"
+                f"predicted {cand.predicted_max_load:.0f}"
+            )
+            if cand.sampled_max_load is not None:
+                label += f"\\nsampled {cand.sampled_max_load:.0f}"
+            if cand.chosen:
+                lines.append(
+                    f'  {node} [label="{label}", style="filled,bold", '
+                    'fillcolor="#d5f5d5"];'
+                )
+                lines.append(f"  {cid} -> {node} [style=bold];")
+            else:
+                reason = _dot_escape(cand.rejection or "rejected")
+                lines.append(
+                    f'  {node} [label="{label}", color=grey, '
+                    "fontcolor=grey];"
+                )
+                lines.append(
+                    f'  {cid} -> {node} [color=grey, label="{reason}", '
+                    "fontcolor=grey, fontsize=8];"
+                )
+    lines.append("}")
+    return "\n".join(lines)

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import IO, Optional
 
 from repro.mapreduce.counters import JobCounters, PhaseBreakdown
+from repro.obs.calibration import CalibrationReport
 
 __all__ = [
     "RunManifest",
@@ -38,7 +39,9 @@ __all__ = [
 ]
 
 #: Manifest schema version, bumped on incompatible layout changes.
-SCHEMA_VERSION = 1
+#: v2 added the ``calibration`` section (predicted-vs-measured audit of
+#: the cost model); v1 manifests still load, with it empty.
+SCHEMA_VERSION = 2
 
 
 def counters_to_dict(counters: JobCounters) -> dict:
@@ -118,6 +121,10 @@ class RunManifest:
     #: the run executed under chaos (empty for clean runs); mirrors
     #: :attr:`repro.mapreduce.counters.JobReport.faults`.
     faults: dict = field(default_factory=dict)
+    #: Predicted-vs-measured cost-model audit
+    #: (:meth:`repro.obs.calibration.CalibrationReport.to_dict`); empty
+    #: when the run predates schema v2 or the executor skipped it.
+    calibration: dict = field(default_factory=dict)
     created_at: str = field(
         default_factory=lambda: time.strftime("%Y-%m-%dT%H:%M:%S%z")
     )
@@ -142,6 +149,7 @@ class RunManifest:
         :class:`~repro.obs.metrics.MetricsRegistry`.
         """
         report = outcome.job
+        calibration = getattr(outcome, "calibration", None)
         config: dict = {}
         if cluster_config is not None:
             config["cluster"] = dataclasses.asdict(cluster_config)
@@ -160,6 +168,9 @@ class RunManifest:
             config=config,
             metrics=metrics.to_dict() if metrics is not None else {},
             faults=dict(getattr(report, "faults", {}) or {}),
+            calibration=(
+                calibration.to_dict() if calibration is not None else {}
+            ),
         )
 
     # -- round-trips ------------------------------------------------------------
@@ -246,6 +257,10 @@ class RunManifest:
                 f"reducers: {len(loads)} loads, max {max(loads)}, "
                 f"imbalance {self.load_imbalance:.2f} "
                 f"(replication x{counters.replication_factor:.2f})"
+            )
+        if self.calibration:
+            lines.append(
+                CalibrationReport.from_dict(self.calibration).describe()
             )
         if self.faults:
             plan = self.faults.get("plan", {})

@@ -2,11 +2,18 @@
 
 from repro.optimizer.costmodel import (
     EULER_GAMMA,
+    clustering_cost_curve,
     exhaustive_clustering_factor,
     expected_max_load,
     expected_max_load_overlap,
     expected_normal_max,
     optimal_clustering_factor,
+)
+from repro.optimizer.decisions import (
+    CandidateDecision,
+    ComponentDecision,
+    QueryDecision,
+    SamplingDecision,
 )
 from repro.optimizer.optimizer import (
     Optimizer,
@@ -20,17 +27,23 @@ from repro.optimizer.skew import (
     diversify_schemes,
     pick_by_sampling,
     sample_records,
+    sampled_dispatch_table,
     scale_loads,
     simulate_dispatch,
 )
 
 __all__ = [
     "EULER_GAMMA",
+    "CandidateDecision",
+    "ComponentDecision",
     "KeyCache",
     "Optimizer",
     "OptimizerConfig",
     "Plan",
+    "QueryDecision",
     "QueryPlan",
+    "SamplingDecision",
+    "clustering_cost_curve",
     "detect_skew",
     "diversify_schemes",
     "exhaustive_clustering_factor",
@@ -40,6 +53,7 @@ __all__ = [
     "optimal_clustering_factor",
     "pick_by_sampling",
     "sample_records",
+    "sampled_dispatch_table",
     "scale_loads",
     "simulate_dispatch",
 ]

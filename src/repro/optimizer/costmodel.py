@@ -33,9 +33,17 @@ def expected_normal_max(m: int) -> float:
     """First moment of the max of *m* independent standard normals.
 
     Uses the classic extreme-value expansion for ``m >= 3`` and exact
-    values for the tiny cases the expansion cannot handle.
+    values for the tiny cases the expansion cannot handle: the max of
+    one standard normal has mean 0, of two has mean ``1/sqrt(pi)``.
+    ``m = 0`` (no variables at all) also yields 0 -- callers treat it
+    like the degenerate single-reducer case -- and negative *m* is a
+    caller bug, rejected loudly rather than fed into ``log``.
     """
+    if m < 0:
+        raise ValueError(f"m must be non-negative, got {m}")
     if m <= 1:
+        # Guarded explicitly: the expansion below needs log(m) and
+        # log(log(m)), both undefined or degenerate here.
         return 0.0
     if m == 2:
         return 1.0 / math.sqrt(math.pi)
@@ -163,6 +171,49 @@ def optimal_clustering_factor(
             lo = m1
     candidates.update(range(lo, hi + 1))
     return min(candidates, key=cost)
+
+
+def clustering_cost_curve(
+    n_records: float,
+    n_regions: float,
+    m: int,
+    span: int,
+    max_cf: int | None = None,
+    max_points: int = 64,
+) -> list[tuple[int, float]]:
+    """The Formula-4 cost curve over *cf*, downsampled for display.
+
+    Returns ``(cf, predicted max load)`` pairs covering ``1 ..
+    min(n_regions, max_cf)``: every integer while the range is small,
+    a geometric ladder once it is not, and always the minimizers found
+    by both :func:`optimal_clustering_factor` (the cubic) and
+    :func:`exhaustive_clustering_factor` (the scan) so the curve shows
+    where each lands.  This is what ``repro explain`` plots; it is
+    never on the planning hot path.
+    """
+    upper = int(max(1, n_regions))
+    if max_cf is not None:
+        upper = min(upper, max(1, max_cf))
+    cfs = set()
+    if upper <= max_points:
+        cfs.update(range(1, upper + 1))
+    else:
+        # Geometric ladder: even coverage in log space ends up denser
+        # where the curve actually bends (small cf).
+        ratio = upper ** (1.0 / (max_points - 1))
+        value = 1.0
+        for _ in range(max_points):
+            cfs.add(min(upper, max(1, round(value))))
+            value *= ratio
+        cfs.add(upper)
+    cfs.add(optimal_clustering_factor(n_records, n_regions, m, span, max_cf))
+    cfs.add(
+        exhaustive_clustering_factor(n_records, n_regions, m, span, max_cf)
+    )
+    return [
+        (cf, expected_max_load_overlap(n_records, n_regions, m, span, cf))
+        for cf in sorted(cfs)
+    ]
 
 
 def exhaustive_clustering_factor(

@@ -1,0 +1,131 @@
+"""Structured records of the optimizer's decision trail.
+
+The plan search used to return only its winner; everything it rejected
+-- and why -- lived in transient locals.  These dataclasses capture the
+full trail as plain data: per connected component, every candidate key
+considered (with the provenance of its construction, its clustering
+factor, predicted load, and a rejection reason when it lost), the
+strategy that settled the choice (model, sampling, or key cache), and
+the sampled-dispatch tallies when sampling ran.
+
+:class:`~repro.optimizer.optimizer.Optimizer` attaches one
+:class:`ComponentDecision` to every :class:`~repro.optimizer.optimizer.Plan`
+it produces and mirrors it into the ``plan-component`` tracer span, so
+the trail is available programmatically, in traces, and to
+``repro explain`` (:mod:`repro.obs.explain`) without re-running the
+search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+__all__ = [
+    "CandidateDecision",
+    "ComponentDecision",
+    "QueryDecision",
+    "SamplingDecision",
+]
+
+
+@dataclass
+class CandidateDecision:
+    """One candidate key's complete scorecard in the plan search."""
+
+    #: ``repr()`` of the candidate :class:`DistributionKey`.
+    key: str
+    #: How the candidate was constructed from the minimal feasible key
+    #: (e.g. which annotated attribute it kept).
+    provenance: str
+    #: Regions the key splits the cube into (before clustering).
+    n_regions: int
+    #: The paper's ``d`` -- annotation width of the kept attribute
+    #: (0 for non-overlapping candidates).
+    span: int
+    #: Chosen clustering factor per annotated attribute.
+    clustering_factors: dict[str, int] = field(default_factory=dict)
+    #: Blocks of the resulting scheme (regions / cf, per attribute).
+    num_blocks: int = 0
+    #: Formula 2/4 prediction of the heaviest reducer load, in records.
+    predicted_max_load: float = 0.0
+    #: Whether the scheme satisfies the minimum-blocks-per-reducer rule
+    #: (``None`` when the rule is disabled).
+    meets_min_blocks: Optional[bool] = None
+    #: Max sampled-dispatch load (scaled to the full dataset) when the
+    #: sampling strategy judged this candidate; ``None`` otherwise.
+    sampled_max_load: Optional[float] = None
+    #: Whether this candidate won the search.
+    chosen: bool = False
+    #: Why the candidate lost (``None`` for the winner).
+    rejection: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class SamplingDecision:
+    """The skew handler's sampled-dispatch run, when sampling was on."""
+
+    sample_size: int
+    sample_seed: int
+    #: Candidates judged by simulated dispatch (after cf diversification).
+    candidates_sampled: int
+    #: Scaled per-reducer loads of the winning scheme.
+    chosen_loads: list[float] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class ComponentDecision:
+    """The full decision trail for one connected component's plan."""
+
+    component: int
+    #: Measure names of the component, in workflow order.
+    measures: list[str]
+    #: ``repr()`` of the derived minimal feasible key (Theorems 1-2).
+    minimal_key: str
+    strategy: str
+    n_records: int
+    num_reducers: int
+    min_blocks_per_reducer: int
+    candidates: list[CandidateDecision] = field(default_factory=list)
+    chosen_key: str = ""
+    chosen_clustering_factors: dict[str, int] = field(default_factory=dict)
+    predicted_max_load: float = 0.0
+    sampling: Optional[SamplingDecision] = None
+    #: Free-form annotations of search-wide events (cache hits, the
+    #: min-blocks filter discarding every candidate, ...).
+    notes: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def chosen_candidate(self) -> Optional[CandidateDecision]:
+        """The winning candidate's scorecard, if any was recorded."""
+        for candidate in self.candidates:
+            if candidate.chosen:
+                return candidate
+        return None
+
+    def rejected_candidates(self) -> list[CandidateDecision]:
+        """Every candidate that lost, with its rejection reason."""
+        return [c for c in self.candidates if not c.chosen]
+
+
+@dataclass
+class QueryDecision:
+    """One :class:`ComponentDecision` per connected component."""
+
+    components: list[ComponentDecision] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {"components": [c.to_dict() for c in self.components]}
+
+    @property
+    def predicted_max_load(self) -> float:
+        """Loads add up: every reducer serves every component's blocks."""
+        return sum(c.predicted_max_load for c in self.components)

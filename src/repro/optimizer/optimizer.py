@@ -25,18 +25,27 @@ from repro.cube.records import Record
 from repro.obs.tracer import NULL_TRACER
 from repro.query.workflow import Workflow, connected_components
 from repro.distribution.clustering import BlockScheme
-from repro.distribution.derive import candidate_keys
+from repro.distribution.derive import (
+    candidate_keys_annotated,
+    minimal_feasible_key,
+)
 from repro.distribution.keys import DistributionKey
 from repro.optimizer.costmodel import (
     expected_max_load,
     expected_max_load_overlap,
     optimal_clustering_factor,
 )
+from repro.optimizer.decisions import (
+    CandidateDecision,
+    ComponentDecision,
+    QueryDecision,
+    SamplingDecision,
+)
 from repro.optimizer.skew import (
     KeyCache,
     diversify_schemes,
-    pick_by_sampling,
     sample_records,
+    sampled_dispatch_table,
     scale_loads,
 )
 
@@ -94,6 +103,10 @@ class Plan:
     candidates_considered: int = 0
     sampled_loads: Optional[list[float]] = None
     alternatives: list[tuple[BlockScheme, float]] = field(default_factory=list)
+    #: The structured decision trail behind this plan (every candidate
+    #: considered, why each lost, the sampling tallies) -- what ``repro
+    #: explain`` renders.  Always recorded by :class:`Optimizer`.
+    decision: Optional[ComponentDecision] = None
 
     @property
     def key(self) -> DistributionKey:
@@ -136,6 +149,17 @@ class QueryPlan:
     def predicted_max_load(self) -> float:
         """Loads add up: every reducer serves blocks of every component."""
         return sum(plan.predicted_max_load for _wf, plan in self.subplans)
+
+    @property
+    def decision(self) -> QueryDecision:
+        """The per-component decision trails, as one structured record."""
+        return QueryDecision(
+            [
+                plan.decision
+                for _wf, plan in self.subplans
+                if plan.decision is not None
+            ]
+        )
 
     @property
     def single(self) -> Plan:
@@ -260,6 +284,49 @@ class Optimizer:
             )
         return plan
 
+    def _candidate_decision(
+        self,
+        scheme: BlockScheme,
+        load: float,
+        provenance: str,
+        floor_blocks: int,
+    ) -> CandidateDecision:
+        """One candidate's scorecard (chosen/rejection filled in later)."""
+        key = scheme.key
+        annotated = key.annotated_attributes()
+        span = key.component(annotated[0]).span if annotated else 0
+        blocks = scheme.num_blocks()
+        return CandidateDecision(
+            key=repr(key),
+            provenance=provenance,
+            n_regions=key.granularity.region_count(),
+            span=span,
+            clustering_factors=dict(scheme.clustering_factors),
+            num_blocks=blocks,
+            predicted_max_load=load,
+            meets_min_blocks=(
+                blocks >= floor_blocks if floor_blocks > 0 else None
+            ),
+        )
+
+    def _score_scheme(
+        self, scheme: BlockScheme, n_records: int, num_reducers: int
+    ) -> float:
+        """Formula 2/4 prediction for a scheme whose cf is already fixed."""
+        key = scheme.key
+        n_regions = key.granularity.region_count()
+        annotated = key.annotated_attributes()
+        if not annotated:
+            return expected_max_load(n_records, n_regions, num_reducers)
+        attr = annotated[0]
+        return expected_max_load_overlap(
+            n_records,
+            n_regions,
+            num_reducers,
+            key.component(attr).span,
+            scheme.clustering_factors.get(attr, 1),
+        )
+
     def _plan_traced(
         self,
         workflow: Workflow,
@@ -271,76 +338,112 @@ class Optimizer:
         span,
     ) -> Plan:
         """The search body of :meth:`plan`, annotating *span* as it goes."""
+        decision = ComponentDecision(
+            component=component_index,
+            measures=list(workflow.names),
+            minimal_key=repr(minimal_feasible_key(workflow)),
+            strategy="model",
+            n_records=n_records,
+            num_reducers=num_reducers,
+            min_blocks_per_reducer=self.config.min_blocks_per_reducer,
+        )
+        floor_blocks = self.config.min_blocks_per_reducer * num_reducers
+
         cached = key_cache.find(workflow) if key_cache else None
         if cached is not None:
             scheme, load = self.cost_candidate(
                 cached, n_records, num_reducers
             )
+            decision.strategy = "cache"
+            decision.notes.append(
+                f"key cache hit: {cached!r} balanced a previous query and "
+                "is feasible here, so the search was skipped"
+            )
+            candidate = self._candidate_decision(
+                scheme, load, "reused from the key cache", floor_blocks
+            )
+            candidate.chosen = True
+            decision.candidates.append(candidate)
+            decision.chosen_key = repr(scheme.key)
+            decision.chosen_clustering_factors = dict(
+                scheme.clustering_factors
+            )
+            decision.predicted_max_load = load
             plan = Plan(
                 scheme,
                 num_reducers,
                 load,
                 strategy="cache",
                 candidates_considered=1,
+                decision=decision,
             )
             span.set(
                 strategy="cache",
                 chosen_key=repr(scheme.key),
                 predicted_max_load=load,
+                decision=decision.to_dict(),
             )
             return plan
 
-        scored = [
-            self.cost_candidate(key, n_records, num_reducers)
-            for key in candidate_keys(workflow)
-        ]
+        annotated_candidates = candidate_keys_annotated(workflow)
+        provenance_of: dict[DistributionKey, str] = {}
+        scored = []
+        for key, provenance in annotated_candidates:
+            scheme, load = self.cost_candidate(key, n_records, num_reducers)
+            provenance_of[scheme.key] = provenance
+            scored.append((scheme, load))
+        filtered_out: list[tuple[BlockScheme, float]] = []
         if self.config.min_blocks_per_reducer > 0:
             # Prefer candidates meeting the minimum-blocks rule; only
             # when none does may the rule be violated.
-            floor_blocks = self.config.min_blocks_per_reducer * num_reducers
             satisfying = [
                 (scheme, load)
                 for scheme, load in scored
                 if scheme.num_blocks() >= floor_blocks
             ]
             if satisfying:
+                kept = {id(scheme) for scheme, _load in satisfying}
+                filtered_out = [
+                    (scheme, load)
+                    for scheme, load in scored
+                    if id(scheme) not in kept
+                ]
                 scored = satisfying
+            else:
+                decision.notes.append(
+                    f"no candidate reaches {floor_blocks} blocks "
+                    f"({num_reducers} reducers x "
+                    f"{self.config.min_blocks_per_reducer} "
+                    "min-blocks-per-reducer); the rule was waived"
+                )
 
         if self.config.use_sampling and records is not None:
-            sample = sample_records(
-                records, self.config.sample_size, self.config.sample_seed
-            )
-            diversified = diversify_schemes(scheme for scheme, _ in scored)
-            if self.config.min_blocks_per_reducer > 0:
-                # cf variants must not sidestep the minimum-blocks rule
-                # the model-based candidates were filtered by.
-                floor_blocks = (
-                    self.config.min_blocks_per_reducer * num_reducers
-                )
-                bounded = [
-                    scheme
-                    for scheme in diversified
-                    if scheme.num_blocks() >= floor_blocks
-                ]
-                if bounded:
-                    diversified = bounded
-            chosen, loads = pick_by_sampling(
-                diversified, sample, num_reducers,
-                key_prefix=(component_index,),
-                columnar=self.config.columnar is not False,
-            )
-            scaled = scale_loads(loads, len(sample), n_records)
-            plan = Plan(
-                chosen,
-                num_reducers,
-                max(scaled, default=0.0),
-                strategy="sampling",
-                candidates_considered=len(diversified),
-                sampled_loads=scaled,
-                alternatives=scored,
+            plan = self._plan_by_sampling(
+                scored, provenance_of, decision, n_records, num_reducers,
+                floor_blocks, records, component_index,
             )
         else:
             scheme, load = min(scored, key=lambda pair: pair[1])
+            for cand_scheme, cand_load in scored:
+                candidate = self._candidate_decision(
+                    cand_scheme,
+                    cand_load,
+                    provenance_of.get(cand_scheme.key, ""),
+                    floor_blocks,
+                )
+                if cand_scheme is scheme:
+                    candidate.chosen = True
+                elif cand_load > load:
+                    candidate.rejection = (
+                        f"predicted max load {cand_load:.0f} exceeds the "
+                        f"winner's {load:.0f}"
+                    )
+                else:
+                    candidate.rejection = (
+                        f"predicted max load ties the winner's {load:.0f}; "
+                        "the earlier candidate wins"
+                    )
+                decision.candidates.append(candidate)
             plan = Plan(
                 scheme,
                 num_reducers,
@@ -348,7 +451,29 @@ class Optimizer:
                 strategy="model",
                 candidates_considered=len(scored),
                 alternatives=scored,
+                decision=decision,
             )
+
+        for cand_scheme, cand_load in filtered_out:
+            candidate = self._candidate_decision(
+                cand_scheme,
+                cand_load,
+                provenance_of.get(cand_scheme.key, ""),
+                floor_blocks,
+            )
+            candidate.rejection = (
+                f"violates the minimum-blocks rule: {candidate.num_blocks} "
+                f"blocks < {floor_blocks} ({num_reducers} reducers x "
+                f"{self.config.min_blocks_per_reducer})"
+            )
+            decision.candidates.append(candidate)
+
+        decision.strategy = plan.strategy
+        decision.chosen_key = repr(plan.scheme.key)
+        decision.chosen_clustering_factors = dict(
+            plan.scheme.clustering_factors
+        )
+        decision.predicted_max_load = plan.predicted_max_load
 
         if key_cache is not None:
             key_cache.store(plan.scheme.key)
@@ -361,6 +486,7 @@ class Optimizer:
                 {"key": repr(scheme.key), "predicted_max_load": load}
                 for scheme, load in scored
             ],
+            decision=decision.to_dict(),
         )
         logger.debug(
             "planned %s over %d candidates: %s",
@@ -369,6 +495,96 @@ class Optimizer:
             plan.describe(),
         )
         return plan
+
+    def _plan_by_sampling(
+        self,
+        scored: list[tuple[BlockScheme, float]],
+        provenance_of: dict[DistributionKey, str],
+        decision: ComponentDecision,
+        n_records: int,
+        num_reducers: int,
+        floor_blocks: int,
+        records: Sequence[Record],
+        component_index: int,
+    ) -> Plan:
+        """Sampling-based selection, recording every candidate's tally."""
+        sample = sample_records(
+            records, self.config.sample_size, self.config.sample_seed
+        )
+        model_factors = {
+            scheme.key: dict(scheme.clustering_factors)
+            for scheme, _load in scored
+        }
+        diversified = diversify_schemes(scheme for scheme, _ in scored)
+        if self.config.min_blocks_per_reducer > 0:
+            # cf variants must not sidestep the minimum-blocks rule
+            # the model-based candidates were filtered by.
+            bounded = [
+                scheme
+                for scheme in diversified
+                if scheme.num_blocks() >= floor_blocks
+            ]
+            if bounded:
+                diversified = bounded
+        table = sampled_dispatch_table(
+            diversified, sample, num_reducers,
+            key_prefix=(component_index,),
+            columnar=self.config.columnar is not False,
+        )
+        chosen, chosen_loads, best_max = None, None, None
+        for scheme, loads in table:
+            worst = max(loads, default=0)
+            if best_max is None or worst < best_max:
+                chosen, chosen_loads, best_max = scheme, loads, worst
+        scaled = scale_loads(chosen_loads, len(sample), n_records)
+        chosen_sampled_max = max(scaled, default=0.0)
+
+        for scheme, loads in table:
+            provenance = provenance_of.get(scheme.key, "")
+            if scheme.clustering_factors != model_factors.get(scheme.key):
+                provenance = (
+                    (provenance + "; " if provenance else "")
+                    + "cf variant from the diversification ladder "
+                    f"(model suggested {model_factors.get(scheme.key)})"
+                )
+            candidate = self._candidate_decision(
+                scheme,
+                self._score_scheme(scheme, n_records, num_reducers),
+                provenance,
+                floor_blocks,
+            )
+            sampled = scale_loads(loads, len(sample), n_records)
+            candidate.sampled_max_load = max(sampled, default=0.0)
+            if scheme is chosen:
+                candidate.chosen = True
+            elif candidate.sampled_max_load > chosen_sampled_max:
+                candidate.rejection = (
+                    "sampled dispatch predicts max load "
+                    f"{candidate.sampled_max_load:.0f}, above the winner's "
+                    f"{chosen_sampled_max:.0f}"
+                )
+            else:
+                candidate.rejection = (
+                    "sampled dispatch ties the winner's max load "
+                    f"{chosen_sampled_max:.0f}; the earlier candidate wins"
+                )
+            decision.candidates.append(candidate)
+        decision.sampling = SamplingDecision(
+            sample_size=len(sample),
+            sample_seed=self.config.sample_seed,
+            candidates_sampled=len(diversified),
+            chosen_loads=scaled,
+        )
+        return Plan(
+            chosen,
+            num_reducers,
+            chosen_sampled_max,
+            strategy="sampling",
+            candidates_considered=len(diversified),
+            sampled_loads=scaled,
+            alternatives=scored,
+            decision=decision,
+        )
 
 
     def plan_query(

@@ -130,6 +130,33 @@ def detect_skew(loads: Sequence[float], threshold: float = 2.0) -> bool:
     return load_imbalance(loads) > threshold
 
 
+def sampled_dispatch_table(
+    schemes: Sequence[BlockScheme],
+    sample: Sequence[Record],
+    num_reducers: int,
+    partitioner: Callable = default_partitioner,
+    key_prefix: tuple = (),
+    columnar: bool = True,
+) -> list[tuple[BlockScheme, list[int]]]:
+    """Simulated-dispatch loads for *every* candidate scheme.
+
+    The full table behind :func:`pick_by_sampling` -- one ``(scheme,
+    per-reducer loads)`` row per candidate, in input order.  The
+    optimizer records it into the plan's decision trail so ``repro
+    explain`` can show why each candidate lost, not just who won.
+    """
+    return [
+        (
+            scheme,
+            simulate_dispatch(
+                scheme, sample, num_reducers, partitioner, key_prefix,
+                columnar=columnar,
+            ),
+        )
+        for scheme in schemes
+    ]
+
+
 def pick_by_sampling(
     schemes: Sequence[BlockScheme],
     sample: Sequence[Record],
@@ -141,12 +168,12 @@ def pick_by_sampling(
     """The candidate with the smallest simulated maximum load."""
     if not schemes:
         raise ValueError("no candidate schemes to sample")
+    table = sampled_dispatch_table(
+        schemes, sample, num_reducers, partitioner, key_prefix,
+        columnar=columnar,
+    )
     best_scheme, best_loads, best_max = None, None, None
-    for scheme in schemes:
-        loads = simulate_dispatch(
-            scheme, sample, num_reducers, partitioner, key_prefix,
-            columnar=columnar,
-        )
+    for scheme, loads in table:
         worst = max(loads, default=0)
         if best_max is None or worst < best_max:
             best_scheme, best_loads, best_max = scheme, loads, worst

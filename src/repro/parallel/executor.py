@@ -48,6 +48,7 @@ from repro.optimizer.optimizer import (
     Plan,
     QueryPlan,
 )
+from repro.obs.calibration import CalibrationReport
 from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.skew import KeyCache
 from repro.query.workflow import Workflow, connected_components
@@ -373,6 +374,7 @@ class ParallelEvaluator:
         plan: QueryPlan,
         record_bytes: int,
         local_stats: LocalStats,
+        served_blocks: set,
     ):
         evaluators = []
         filters = []
@@ -391,6 +393,9 @@ class ParallelEvaluator:
         early = self.config.early_aggregation
 
         def reducer(block_key, values, ctx):
+            # A set, not a counter: fault-tolerant retries may re-run a
+            # block, but it still counts once toward calibration.
+            served_blocks.add(block_key)
             component_index = block_key[0]
             component_block = block_key[1:]
             evaluator = evaluators[component_index]
@@ -460,6 +465,7 @@ class ParallelEvaluator:
 
             record_bytes = estimated_record_bytes(workflow.schema)
             local_stats = LocalStats()
+            served_blocks: set = set()
             use_columnar = self.config.columnar
             if use_columnar is None:
                 use_columnar = vectorized_supports(workflow)
@@ -467,7 +473,7 @@ class ParallelEvaluator:
             job = MapReduceJob(
                 mapper=self._make_mapper(query_plan),
                 reducer=self._make_reducer(
-                    query_plan, record_bytes, local_stats
+                    query_plan, record_bytes, local_stats, served_blocks
                 ),
                 num_reducers=query_plan.num_reducers,
                 combiner=(
@@ -498,12 +504,21 @@ class ParallelEvaluator:
             logger.info("job finished: %s", job_result.report.summary())
 
             result = union_outputs(workflow, job_result.outputs)
+            calibration = CalibrationReport.from_run(
+                query_plan,
+                job_result.report,
+                record_bytes=record_bytes,
+                key_bytes=KEY_BYTES,
+                early_aggregation=self.config.early_aggregation,
+                actual_blocks=len(served_blocks),
+            )
             root.set_sim(0.0, job_result.report.response_time)
             root.set(rows=result.total_rows())
+            root.set(calibration_error=calibration.max_load_error)
             if columnar_stats is not None:
                 root.set(columnar=columnar_stats.to_dict())
         if self.metrics is not None:
-            self._record_metrics(query_plan, job_result.report)
+            self._record_metrics(query_plan, job_result.report, calibration)
             if columnar_stats is not None:
                 for name, value in columnar_stats.to_dict().items():
                     self.metrics.inc(f"columnar.{name}", value)
@@ -513,12 +528,25 @@ class ParallelEvaluator:
             job=job_result.report,
             local_stats=local_stats,
             columnar=columnar_stats,
+            calibration=calibration,
         )
 
-    def _record_metrics(self, query_plan: QueryPlan, report) -> None:
+    def _record_metrics(
+        self, query_plan: QueryPlan, report, calibration=None
+    ) -> None:
         """Feed one job's outcome into the attached metrics registry."""
         metrics = self.metrics
         metrics.record_job_counters(report.counters)
+        if calibration is not None:
+            for name in (
+                "max_load_error",
+                "shipped_records_error",
+                "shuffle_bytes_error",
+                "blocks_error",
+            ):
+                value = getattr(calibration, name)
+                if value is not None:
+                    metrics.set_gauge(f"calibration.{name}", value)
         for load in report.reducer_loads:
             metrics.observe("job.reducer_load", load)
         metrics.set_gauge("job.response_time", report.response_time)

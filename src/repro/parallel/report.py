@@ -8,6 +8,7 @@ from dataclasses import dataclass, field
 from repro.local.measure_table import ResultSet
 from repro.local.sortscan import LocalStats
 from repro.mapreduce.counters import JobReport, PhaseBreakdown
+from repro.obs.calibration import CalibrationReport
 from repro.optimizer.optimizer import QueryPlan
 
 
@@ -42,6 +43,9 @@ class ParallelResult:
     job: JobReport
     local_stats: LocalStats
     columnar: ColumnarStats | None = None
+    #: Cost-model audit: Formula 2/4 predictions joined against this
+    #: run's measured loads (attached by the parallel executor).
+    calibration: CalibrationReport | None = None
 
     @property
     def response_time(self) -> float:

@@ -133,6 +133,19 @@ class TestJobReport:
         assert even.imbalance(include_idle=True) == pytest.approx(1.0)
         assert even.imbalance(include_idle=False) == pytest.approx(1.0)
 
+    def test_imbalance_zero_task_reducers(self):
+        # A cluster where most reducers received no tasks at all: the
+        # idle-inclusive convention scales with cluster size while the
+        # busy-only one ignores the idle tail entirely.
+        report = self.make_report([40] + [0] * 9)
+        assert report.imbalance(include_idle=True) == pytest.approx(10.0)
+        assert report.imbalance(include_idle=False) == pytest.approx(1.0)
+        assert report.load_imbalance == pytest.approx(10.0)
+        # Two busy among eight idle: mean over all ten is 6, over busy 30.
+        report = self.make_report([40, 20] + [0] * 8)
+        assert report.imbalance(include_idle=True) == pytest.approx(40 / 6)
+        assert report.imbalance(include_idle=False) == pytest.approx(40 / 30)
+
 
 class TestLocalStats:
     def test_merge(self):

@@ -1,0 +1,125 @@
+"""Tests for the predicted-vs-measured calibration report."""
+
+import pytest
+
+from repro.mapreduce import ClusterConfig, SimulatedCluster
+from repro.obs.calibration import (
+    CalibrationReport,
+    load_histogram,
+    relative_error,
+)
+from repro.parallel.executor import ExecutionConfig, ParallelEvaluator
+
+
+class TestRelativeError:
+    def test_signed(self):
+        assert relative_error(110, 100) == pytest.approx(0.10)
+        assert relative_error(90, 100) == pytest.approx(-0.10)
+        assert relative_error(100, 100) == 0.0
+
+    def test_zero_actual(self):
+        assert relative_error(5, 0) is None
+        assert relative_error(0, 0) is None
+
+
+class TestLoadHistogram:
+    def test_empty(self):
+        assert load_histogram([]) == {"count": 0, "buckets": []}
+
+    def test_uniform_loads_single_bucket(self):
+        hist = load_histogram([7, 7, 7])
+        assert hist["count"] == 3
+        assert hist["min"] == hist["max"] == 7
+        assert hist["buckets"] == [{"lo": 7, "hi": 7, "count": 3}]
+
+    def test_buckets_cover_everything(self):
+        loads = list(range(100))
+        hist = load_histogram(loads, buckets=8)
+        assert sum(b["count"] for b in hist["buckets"]) == 100
+        assert len(hist["buckets"]) == 8
+        assert hist["buckets"][0]["lo"] == 0
+        assert hist["buckets"][-1]["hi"] == 99
+
+    def test_quantiles_nearest_rank(self):
+        hist = load_histogram([1, 2, 3, 4, 5, 6, 7, 8, 9, 10])
+        assert hist["p50"] == 5
+        assert hist["p90"] == 9
+        assert hist["mean"] == pytest.approx(5.5)
+
+    def test_max_load_lands_in_last_bucket(self):
+        hist = load_histogram([0, 10], buckets=4)
+        assert hist["buckets"][-1]["count"] == 1
+
+
+class TestFromRun:
+    @pytest.fixture
+    def outcome(self, tiny_workflow, tiny_records, small_cluster):
+        evaluator = ParallelEvaluator(small_cluster)
+        return evaluator.evaluate(tiny_workflow, tiny_records)
+
+    def test_executor_attaches_report(self, outcome):
+        report = outcome.calibration
+        assert isinstance(report, CalibrationReport)
+        assert report.predicted_max_load == pytest.approx(
+            outcome.plan.predicted_max_load
+        )
+        assert report.actual_max_load == outcome.job.max_reducer_load
+        assert report.load_imbalance == pytest.approx(
+            outcome.job.load_imbalance
+        )
+
+    def test_error_consistency(self, outcome):
+        report = outcome.calibration
+        assert report.max_load_error == pytest.approx(
+            relative_error(report.predicted_max_load, report.actual_max_load)
+        )
+        assert report.actual_shipped_records == (
+            outcome.job.counters.map_output_records
+        )
+        # The shuffle-byte model prices exactly what the engine prices.
+        assert report.actual_shuffle_bytes == (
+            outcome.job.counters.shuffle_bytes
+        )
+        assert report.shuffle_bytes_error is not None
+
+    def test_blocks_counted_by_reducers(self, outcome):
+        report = outcome.calibration
+        assert report.actual_blocks is not None
+        assert 0 < report.actual_blocks <= report.predicted_blocks
+
+    def test_histogram_matches_loads(self, outcome):
+        hist = outcome.calibration.histogram
+        assert hist["count"] == len(outcome.job.reducer_loads)
+        assert hist["max"] == max(outcome.job.reducer_loads)
+
+    def test_components_cover_plan(self, outcome):
+        report = outcome.calibration
+        assert len(report.components) == len(outcome.plan.subplans)
+        for comp in report.components:
+            assert comp.formula in ("formula-2", "formula-4")
+            assert comp.predicted_replication >= 1.0
+
+    def test_round_trip(self, outcome):
+        report = outcome.calibration
+        clone = CalibrationReport.from_dict(report.to_dict())
+        assert clone == report
+        assert clone.to_dict() == report.to_dict()
+
+    def test_describe_mentions_the_errors(self, outcome):
+        text = outcome.calibration.describe()
+        assert "max reducer load" in text
+        assert "shipped records" in text
+        assert "error" in text
+
+    def test_early_aggregation_marks_bytes_incomparable(
+        self, tiny_workflow, tiny_records
+    ):
+        cluster = SimulatedCluster(ClusterConfig(machines=8))
+        config = ExecutionConfig(early_aggregation=True)
+        outcome = ParallelEvaluator(cluster, config).evaluate(
+            tiny_workflow, tiny_records
+        )
+        report = outcome.calibration
+        assert report.early_aggregation
+        assert report.shuffle_bytes_error is None
+        assert "not comparable" in report.describe()

@@ -1,0 +1,161 @@
+"""Tests for run-manifest diffing and regression detection."""
+
+import pytest
+
+from repro.obs.diff import diff_manifests
+from repro.obs.manifest import RunManifest
+
+
+def make_manifest(**overrides) -> RunManifest:
+    base = dict(
+        query="q",
+        plan="p",
+        response_time=1.0,
+        map_makespan=0.4,
+        reduce_makespan=0.6,
+        counters={
+            "map_input_records": 1000,
+            "map_output_records": 1500,
+            "shuffle_bytes": 120_000,
+            "extra": {"stragglers": 0},
+        },
+        breakdown={"map": 0.4, "shuffle": 0.2, "evaluate": 0.4},
+        reducer_loads=[100, 200, 150],
+        load_imbalance=200 / 150,
+        calibration={
+            "max_load_error": -0.10,
+            "shipped_records_error": 0.02,
+        },
+    )
+    base.update(overrides)
+    return RunManifest(**base)
+
+
+class TestIdenticalRuns:
+    def test_zero_regressions_even_at_zero_threshold(self):
+        a, b = make_manifest(), make_manifest()
+        diff = diff_manifests(a, b, threshold=0.0)
+        assert diff.changed() == []
+        assert diff.regressions() == []
+        assert not diff.has_regressions
+        assert "identical" in diff.describe()
+
+    def test_to_dict_shape(self):
+        diff = diff_manifests(make_manifest(), make_manifest())
+        data = diff.to_dict()
+        assert data["regressions"] == []
+        assert any(
+            row["name"] == "timing.response_time"
+            for row in data["deltas"]
+        )
+
+
+class TestRegressions:
+    def test_slower_run_is_flagged(self):
+        slow = make_manifest(response_time=1.2)
+        diff = diff_manifests(make_manifest(), slow, threshold=0.05)
+        names = [d.name for d in diff.regressions()]
+        assert "timing.response_time" in names
+        assert diff.has_regressions
+        assert "REGRESSION" in diff.describe()
+
+    def test_faster_run_is_not(self):
+        fast = make_manifest(response_time=0.8)
+        diff = diff_manifests(make_manifest(), fast, threshold=0.05)
+        assert not diff.has_regressions
+        assert any(d.name == "timing.response_time" for d in diff.changed())
+
+    def test_threshold_gives_slack(self):
+        slightly = make_manifest(response_time=1.03)
+        assert not diff_manifests(
+            make_manifest(), slightly, threshold=0.05
+        ).has_regressions
+        assert diff_manifests(
+            make_manifest(), slightly, threshold=0.0
+        ).has_regressions
+
+    def test_higher_is_not_worse_for_info_fields(self):
+        bigger = make_manifest(
+            counters={
+                "map_input_records": 2000,
+                "map_output_records": 1500,
+                "shuffle_bytes": 120_000,
+                "extra": {},
+            }
+        )
+        diff = diff_manifests(make_manifest(), bigger, threshold=0.05)
+        changed = {d.name for d in diff.changed()}
+        assert "counters.map_input_records" in changed
+        assert not diff.has_regressions
+
+    def test_shuffle_bytes_regression(self):
+        fat = make_manifest(
+            counters={
+                "map_input_records": 1000,
+                "map_output_records": 1500,
+                "shuffle_bytes": 200_000,
+                "extra": {},
+            }
+        )
+        diff = diff_manifests(make_manifest(), fat, threshold=0.05)
+        assert "counters.shuffle_bytes" in [
+            d.name for d in diff.regressions()
+        ]
+
+    def test_calibration_error_regression_is_absolute(self):
+        # Error moving from -10% to +18%: worse in magnitude even though
+        # the sign flipped, so the diff must flag it.
+        worse = make_manifest(
+            calibration={
+                "max_load_error": 0.18,
+                "shipped_records_error": 0.02,
+            }
+        )
+        diff = diff_manifests(make_manifest(), worse, threshold=0.05)
+        assert "calibration.abs_max_load_error" in [
+            d.name for d in diff.regressions()
+        ]
+
+    def test_quantity_appearing_in_b_only(self):
+        quiet = make_manifest(
+            counters={
+                "map_input_records": 1000,
+                "map_output_records": 1500,
+                "shuffle_bytes": 120_000,
+                "extra": {},
+            }
+        )
+        noisy = make_manifest(
+            counters={
+                "map_input_records": 1000,
+                "map_output_records": 1500,
+                "shuffle_bytes": 120_000,
+                "extra": {"stragglers": 3},
+            }
+        )
+        diff = diff_manifests(quiet, noisy, threshold=0.05)
+        row = next(
+            d
+            for d in diff.deltas
+            if d.name == "counters.extra.stragglers"
+        )
+        assert row.delta == 3
+
+    def test_v1_manifest_without_calibration(self):
+        old = make_manifest(calibration={})
+        diff = diff_manifests(old, make_manifest(), threshold=0.05)
+        # Calibration appearing in B counts as a change, not a crash.
+        assert diff.deltas
+        rows = [
+            d for d in diff.deltas if d.name.startswith("calibration.")
+        ]
+        assert all(row.a is None for row in rows)
+
+
+class TestBalance:
+    def test_max_reducer_load_regression(self):
+        skewed = make_manifest(reducer_loads=[450, 0, 0], load_imbalance=3.0)
+        diff = diff_manifests(make_manifest(), skewed, threshold=0.05)
+        names = [d.name for d in diff.regressions()]
+        assert "balance.max_reducer_load" in names
+        assert "balance.load_imbalance" in names

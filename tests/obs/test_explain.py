@@ -1,0 +1,105 @@
+"""Tests for ``repro explain``'s decision-trail rendering."""
+
+import json
+
+import pytest
+
+from repro.obs.explain import explain_plan, render_dot, render_text
+from repro.optimizer.optimizer import OptimizerConfig
+
+
+@pytest.fixture(scope="module")
+def explanation(tiny_workflow):
+    return explain_plan(tiny_workflow, n_records=5_000, num_reducers=8)
+
+
+class TestExplainPlan:
+    def test_components_and_candidates(self, explanation):
+        assert explanation.n_records == 5_000
+        assert explanation.num_reducers == 8
+        assert explanation.components
+        for component in explanation.components:
+            assert component.measure_keys
+            assert component.candidates
+            chosen = [
+                c for c in component.candidates if c.decision.chosen
+            ]
+            assert len(chosen) == 1
+            for rejected in component.candidates:
+                if not rejected.decision.chosen:
+                    assert rejected.decision.rejection
+
+    def test_predicted_load_matches_plan_sum(self, explanation):
+        total = sum(
+            c.decision.predicted_max_load
+            for c in explanation.components
+        )
+        assert explanation.predicted_max_load == pytest.approx(total)
+
+    def test_annotated_candidates_get_cost_curves(self, explanation):
+        curves = [
+            candidate
+            for component in explanation.components
+            for candidate in component.candidates
+            if candidate.decision.span > 0
+        ]
+        assert curves, "tiny_workflow has a windowed measure"
+        for candidate in curves:
+            assert candidate.cost_curve
+            assert candidate.model_cf is not None
+            cfs = [cf for cf, _load in candidate.cost_curve]
+            assert candidate.model_cf in cfs
+            if candidate.exhaustive_cf is not None:
+                assert candidate.exhaustive_cf in cfs
+
+    def test_non_annotated_candidates_have_no_curve(self, explanation):
+        for component in explanation.components:
+            for candidate in component.candidates:
+                if candidate.decision.span == 0:
+                    assert candidate.cost_curve == []
+                    assert candidate.model_cf is None
+
+    def test_sampling_decision_recorded(self, tiny_workflow, tiny_records):
+        config = OptimizerConfig(use_sampling=True, sample_size=200)
+        explained = explain_plan(
+            tiny_workflow, 5_000, 8, config=config, records=tiny_records
+        )
+        strategies = {
+            c.decision.strategy for c in explained.components
+        }
+        assert "sampling" in strategies
+        sampled = [
+            c
+            for c in explained.components
+            if c.decision.sampling is not None
+        ]
+        assert sampled
+        assert sampled[0].decision.sampling.sample_size <= 200
+
+
+class TestRenderings:
+    def test_text_sections(self, explanation):
+        text = render_text(explanation)
+        assert text.startswith("EXPLAIN:")
+        assert "per-measure feasible keys" in text
+        assert "minimal feasible key:" in text
+        assert "chosen:" in text
+        assert "cf sweep (Formula 4)" in text
+        assert "query predicted max load" in text
+
+    def test_json_round_trips(self, explanation):
+        data = json.loads(json.dumps(explanation.to_dict()))
+        assert data["n_records"] == 5_000
+        assert data["components"]
+        first = data["components"][0]
+        assert first["decision"]["chosen_key"]
+        assert first["candidates"]
+
+    def test_dot_is_wellformed(self, explanation):
+        dot = render_dot(explanation)
+        assert dot.startswith("digraph explain {")
+        assert dot.rstrip().endswith("}")
+        assert "query ->" in dot
+        # Every component node is connected to the query root.
+        for component in explanation.components:
+            assert f"c{component.decision.component} [" in dot

@@ -134,3 +134,68 @@ class TestEnvironment:
         env = environment_info()
         assert set(env) >= {"python", "platform", "machine", "git_sha"}
         json.dumps(env)
+
+
+class FakeCalibratedOutcome(FakeOutcome):
+    """Outcome carrying a calibration report, as the executor attaches."""
+
+    def __init__(self):
+        from repro.obs.calibration import CalibrationReport, load_histogram
+
+        report = FakeOutcome.job
+        self.calibration = CalibrationReport(
+            predicted_max_load=450.0,
+            actual_max_load=500.0,
+            max_load_error=-0.1,
+            predicted_shipped_records=1200.0,
+            actual_shipped_records=1230.0,
+            shipped_records_error=(1200.0 - 1230.0) / 1230.0,
+            predicted_shuffle_bytes=9600.0,
+            actual_shuffle_bytes=9840.0,
+            shuffle_bytes_error=(9600.0 - 9840.0) / 9840.0,
+            predicted_blocks=8,
+            actual_blocks=8,
+            blocks_error=0.0,
+            early_aggregation=False,
+            load_imbalance=report.load_imbalance,
+            histogram=load_histogram(report.reducer_loads),
+        )
+
+
+class TestCalibrationSection:
+    def test_from_result_embeds_calibration(self):
+        outcome = FakeCalibratedOutcome()
+        manifest = RunManifest.from_result(outcome, query="q")
+        assert manifest.calibration == outcome.calibration.to_dict()
+        assert manifest.schema_version == 2
+
+    def test_json_round_trip_preserves_calibration(self, tmp_path):
+        from repro.obs.calibration import CalibrationReport
+
+        outcome = FakeCalibratedOutcome()
+        manifest = RunManifest.from_result(outcome, query="q")
+        path = tmp_path / "run.manifest.json"
+        manifest.write(str(path))
+        loaded = RunManifest.load(str(path))
+        assert loaded == manifest
+        rebuilt = CalibrationReport.from_dict(loaded.calibration)
+        assert rebuilt == outcome.calibration
+
+    def test_summary_renders_calibration(self):
+        manifest = RunManifest.from_result(FakeCalibratedOutcome())
+        text = manifest.summary()
+        assert "calibration (predicted vs measured)" in text
+        assert "max reducer load" in text
+
+    def test_outcome_without_calibration_still_works(self):
+        manifest = RunManifest.from_result(FakeOutcome(), query="q")
+        assert manifest.calibration == {}
+        assert "calibration" not in manifest.summary()
+
+    def test_v1_manifest_loads_with_empty_calibration(self):
+        data = RunManifest.from_result(FakeOutcome()).to_dict()
+        del data["calibration"]
+        data["schema_version"] = 1
+        manifest = RunManifest.from_dict(data)
+        assert manifest.calibration == {}
+        manifest.summary()

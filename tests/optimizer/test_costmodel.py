@@ -7,6 +7,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.optimizer.costmodel import (
+    clustering_cost_curve,
     exhaustive_clustering_factor,
     expected_max_load,
     expected_max_load_overlap,
@@ -131,3 +132,73 @@ class TestOptimalCF:
         # optimizer should pick the largest allowed factor.
         cf = optimal_clustering_factor(1_000_000, 100, 1, 10)
         assert cf == 100
+
+
+class TestNormalMaxGuards:
+    def test_degenerate_m(self):
+        # One variable (or none) has no "spread of the max" -- the
+        # correction term is exactly zero, not a tiny extrapolation.
+        assert expected_normal_max(0) == 0.0
+        assert expected_normal_max(1) == 0.0
+
+    def test_negative_m_rejected(self):
+        with pytest.raises(ValueError):
+            expected_normal_max(-1)
+
+
+class TestFormula2Properties:
+    @settings(deadline=None, max_examples=60)
+    @given(
+        n_records=st.integers(1, 5_000_000),
+        n_regions=st.integers(1, 50_000),
+        m=st.integers(1, 500),
+    )
+    def test_at_least_mean_load(self, n_records, n_regions, m):
+        """The expected max can never undercut perfect balance."""
+        predicted = expected_max_load(n_records, n_regions, m)
+        assert predicted >= n_records / m - 1e-6
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        n_records=st.integers(0, 1_000_000),
+        extra=st.integers(1, 1_000_000),
+        n_regions=st.integers(1, 50_000),
+        m=st.integers(1, 500),
+    )
+    def test_monotone_in_records(self, n_records, extra, n_regions, m):
+        """More input can only raise the predicted max load."""
+        smaller = expected_max_load(n_records, n_regions, m)
+        larger = expected_max_load(n_records + extra, n_regions, m)
+        assert larger >= smaller
+
+
+class TestClusteringCostCurve:
+    def test_contains_both_optima(self):
+        args = (1_000_000, 2_000, 50, 10)
+        curve = clustering_cost_curve(*args)
+        cfs = [cf for cf, _load in curve]
+        assert optimal_clustering_factor(*args) in cfs
+        assert exhaustive_clustering_factor(*args) in cfs
+
+    def test_sorted_unique_and_bounded(self):
+        curve = clustering_cost_curve(1_000_000, 30_000, 50, 10)
+        cfs = [cf for cf, _load in curve]
+        assert cfs == sorted(set(cfs))
+        assert cfs[0] == 1
+        assert cfs[-1] <= 30_000
+        assert len(curve) <= 64 + 2  # ladder plus the two optima
+
+    def test_small_range_is_exhaustive(self):
+        curve = clustering_cost_curve(100_000, 40, 10, 5)
+        assert [cf for cf, _load in curve] == list(range(1, 41))
+
+    def test_loads_match_formula4(self):
+        args = (500_000, 1_000, 20, 8)
+        for cf, load in clustering_cost_curve(*args):
+            assert load == pytest.approx(
+                expected_max_load_overlap(*args, cf)
+            )
+
+    def test_respects_max_cf(self):
+        curve = clustering_cost_curve(1_000_000, 2_000, 50, 10, max_cf=7)
+        assert max(cf for cf, _load in curve) <= 7

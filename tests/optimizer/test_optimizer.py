@@ -184,3 +184,86 @@ class TestSamplingRespectsMinBlocks:
     def test_total_work_with_sampling_rejected(self):
         with pytest.raises(ValueError, match="total_work"):
             OptimizerConfig(objective="total_work", use_sampling=True)
+
+
+class TestDecisionTrail:
+    def test_every_plan_carries_a_decision(self, optimizer, tiny_workflow):
+        plan = optimizer.plan(tiny_workflow, 5_000, 8)
+        decision = plan.decision
+        assert decision is not None
+        assert decision.strategy == "model"
+        assert decision.n_records == 5_000
+        assert decision.num_reducers == 8
+        assert decision.minimal_key
+        assert decision.candidates
+        assert decision.chosen_key == repr(plan.scheme.key)
+        assert decision.chosen_clustering_factors == dict(
+            plan.scheme.clustering_factors
+        )
+        assert decision.predicted_max_load == pytest.approx(
+            plan.predicted_max_load
+        )
+
+    def test_exactly_one_chosen_and_rejections_reasoned(
+        self, optimizer, tiny_workflow
+    ):
+        decision = optimizer.plan(tiny_workflow, 5_000, 8).decision
+        chosen = decision.chosen_candidate()
+        assert chosen is not None and chosen.chosen
+        assert chosen.rejection is None
+        for candidate in decision.rejected_candidates():
+            assert candidate.rejection
+            assert candidate.provenance
+
+    def test_query_decision_aggregates_components(
+        self, optimizer, tiny_workflow
+    ):
+        query_plan = optimizer.plan_query(tiny_workflow, 5_000, 8)
+        decision = query_plan.decision
+        assert len(decision.components) == len(query_plan.subplans)
+        assert decision.predicted_max_load == pytest.approx(
+            query_plan.predicted_max_load
+        )
+        import json
+
+        json.dumps(decision.to_dict())
+
+    def test_min_blocks_rejections_recorded(self, tiny_workflow):
+        optimizer = Optimizer(OptimizerConfig(min_blocks_per_reducer=4))
+        decision = optimizer.plan(tiny_workflow, 5_000, 8).decision
+        assert decision.min_blocks_per_reducer == 4
+        verdicts = [c.meets_min_blocks for c in decision.candidates]
+        assert all(v is not None for v in verdicts)
+
+    def test_sampling_decision_trail(self, tiny_workflow, tiny_records):
+        optimizer = Optimizer(
+            OptimizerConfig(use_sampling=True, sample_size=200)
+        )
+        decision = optimizer.plan(
+            tiny_workflow, 5_000, 8, records=tiny_records
+        ).decision
+        assert decision.strategy == "sampling"
+        assert decision.sampling is not None
+        assert decision.sampling.candidates_sampled == len(
+            decision.candidates
+        )
+        assert len(decision.sampling.chosen_loads) == 8
+        chosen = decision.chosen_candidate()
+        assert chosen.sampled_max_load == pytest.approx(
+            max(decision.sampling.chosen_loads)
+        )
+
+    def test_cache_hit_noted(self, optimizer, tiny_workflow):
+        cache = KeyCache()
+        first = optimizer.plan(
+            tiny_workflow, 5_000, 8, key_cache=cache
+        )
+        again = optimizer.plan(
+            tiny_workflow, 5_000, 8, key_cache=cache
+        )
+        assert again.strategy == "cache"
+        assert any("cache" in note for note in again.decision.notes)
+        [candidate] = again.decision.candidates
+        assert candidate.chosen
+        assert "cache" in candidate.provenance
+        assert first.scheme.key == again.scheme.key

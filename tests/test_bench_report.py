@@ -1,0 +1,88 @@
+"""Tests for the benchmark baseline reporter and its diff mode."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "tools"))
+
+import bench_report
+
+
+def write_baseline(path: Path, speedup: float, extra_query: bool = False):
+    payload = {
+        "schema": "paper",
+        "map_combine": {
+            "Q1@50000": {
+                "scalar_records_per_s": 100_000.0,
+                "columnar_records_per_s": 100_000.0 * speedup,
+                "speedup": speedup,
+            },
+        },
+        "transport": {
+            "Q1@50000": {
+                "scalar_bytes": 4_000_000,
+                "columnar_bytes": 1_000_000,
+                "reduction": 4.0,
+            },
+        },
+        "summary": {"median_map_combine_speedup": speedup},
+    }
+    if extra_query:
+        payload["map_combine"]["Q2@50000"] = {
+            "scalar_records_per_s": 1.0,
+            "columnar_records_per_s": 2.0,
+            "speedup": 2.0,
+        }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestReport:
+    def test_explicit_paths_accepted(self, tmp_path, capsys):
+        baseline = write_baseline(tmp_path / "snap.json", speedup=4.0)
+        assert bench_report.main([str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "snap.json" in out
+        assert "map+combine throughput" in out
+        assert "Q1@50000" in out
+
+    def test_multiple_files(self, tmp_path, capsys):
+        a = write_baseline(tmp_path / "a.json", speedup=4.0)
+        b = write_baseline(tmp_path / "b.json", speedup=3.0)
+        assert bench_report.main([str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "a.json" in out and "b.json" in out
+
+    def test_missing_baseline(self, capsys):
+        assert bench_report.main(["definitely-not-a-baseline"]) == 1
+        assert "no such baseline" in capsys.readouterr().err
+
+
+class TestDiffMode:
+    def test_per_query_deltas(self, tmp_path, capsys):
+        old = write_baseline(tmp_path / "old.json", speedup=4.0)
+        new = write_baseline(
+            tmp_path / "new.json", speedup=3.0, extra_query=True
+        )
+        assert bench_report.main(["--diff", str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "delta: old.json -> new.json" in out
+        assert "speedup" in out
+        assert "-25.0%" in out  # 4.0 -> 3.0
+        assert "only in new file" in out
+        assert "summary deltas:" in out
+
+    def test_identical_baselines_show_zero_deltas(self, tmp_path, capsys):
+        old = write_baseline(tmp_path / "old.json", speedup=4.0)
+        new = write_baseline(tmp_path / "new.json", speedup=4.0)
+        assert bench_report.main(["--diff", str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "+0.0%" in out
+
+    @pytest.mark.parametrize("argv", [[], ["one"], ["a", "b", "c"]])
+    def test_diff_needs_exactly_two(self, argv, capsys):
+        assert bench_report.main(["--diff", *argv]) == 2
+        assert "exactly two" in capsys.readouterr().err

@@ -389,3 +389,151 @@ class TestArgumentValidation:
     def test_negative_records_rejected(self, weblog_query_file):
         with pytest.raises(SystemExit, match="records"):
             main(["run", weblog_query_file, "--records", "-5"])
+
+
+class TestExplain:
+    def test_text_explain_shows_the_decision(
+        self, paper_query_file, capsys
+    ):
+        code = main(
+            ["explain", paper_query_file, "--schema", "paper",
+             "--records", "20000", "--machines", "8"]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "EXPLAIN:" in text
+        assert "per-measure feasible keys" in text
+        assert "minimal feasible key:" in text
+        assert "cf sweep (Formula 4)" in text
+        assert "chosen:" in text
+        assert "rejected because:" in text
+
+    def test_json_explain_parses(self, paper_query_file, capsys):
+        code = main(
+            ["explain", paper_query_file, "--schema", "paper",
+             "--format", "json"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["components"]
+        chosen = [
+            c
+            for c in data["components"][0]["candidates"]
+            if c["decision"]["chosen"]
+        ]
+        assert len(chosen) == 1
+        assert chosen[0]["cost_curve"]
+
+    def test_dot_explain_to_file(
+        self, paper_query_file, tmp_path, capsys
+    ):
+        out = tmp_path / "explain.dot"
+        code = main(
+            ["explain", paper_query_file, "--schema", "paper",
+             "--format", "dot", "--out", str(out)]
+        )
+        assert code == 0
+        dot = out.read_text()
+        assert dot.startswith("digraph explain {")
+        assert "query ->" in dot
+        assert "wrote dot explanation" in capsys.readouterr().out
+
+    def test_sampling_explain(self, paper_query_file, capsys):
+        code = main(
+            ["explain", paper_query_file, "--schema", "paper",
+             "--records", "5000", "--sampling"]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "skew handler: sampled dispatch" in text
+
+    def test_explain_missing_query(self):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["explain", "/nonexistent/query.cq"])
+
+    def test_explain_unwritable_out(self, paper_query_file):
+        with pytest.raises(SystemExit, match="cannot write"):
+            main(
+                ["explain", paper_query_file, "--schema", "paper",
+                 "--out", "/nonexistent-dir/x.txt"]
+            )
+
+
+class TestDiff:
+    def _write_manifest(self, tmp_path, query_file, name, **kwargs):
+        out = tmp_path / f"{name}.json"
+        argv = [
+            "trace", query_file, "--records", kwargs.pop("records", "3000"),
+            "--machines", kwargs.pop("machines", "4"), "--days", "1",
+            "--out", str(out),
+        ]
+        assert main(argv) == 0
+        return str(tmp_path / f"{name}.manifest.json")
+
+    def test_identical_runs_diff_clean(
+        self, weblog_query_file, tmp_path, capsys
+    ):
+        a = self._write_manifest(tmp_path, weblog_query_file, "a")
+        b = self._write_manifest(tmp_path, weblog_query_file, "b")
+        capsys.readouterr()
+        code = main(["diff", a, b, "--threshold", "0"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "identical" in text
+        assert "0 regressions" in text
+
+    def test_different_runs_flag_regressions(
+        self, weblog_query_file, tmp_path, capsys
+    ):
+        a = self._write_manifest(tmp_path, weblog_query_file, "a")
+        b = self._write_manifest(
+            tmp_path, weblog_query_file, "b", records="6000"
+        )
+        capsys.readouterr()
+        code = main(["diff", a, b])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_json_output(self, weblog_query_file, tmp_path, capsys):
+        a = self._write_manifest(tmp_path, weblog_query_file, "a")
+        capsys.readouterr()
+        code = main(["diff", a, a, "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["regressions"] == []
+        assert data["deltas"]
+
+    def test_diff_missing_file(self, weblog_query_file, tmp_path, capsys):
+        a = self._write_manifest(tmp_path, weblog_query_file, "a")
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["diff", a, "/nonexistent/b.json"])
+
+    def test_diff_corrupt_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="not a run manifest"):
+            main(["diff", str(bad), str(bad)])
+
+    def test_negative_threshold_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="threshold"):
+            main(["diff", "a.json", "b.json", "--threshold", "-1"])
+
+
+class TestTraceRobustness:
+    def test_unwritable_trace_output(self, weblog_query_file):
+        with pytest.raises(SystemExit, match="cannot write trace"):
+            main(
+                ["trace", weblog_query_file, "--records", "500",
+                 "--machines", "2", "--days", "1",
+                 "--out", "/nonexistent-dir/trace.json"]
+            )
+
+    def test_unwritable_manifest_output(self, weblog_query_file, tmp_path):
+        out = tmp_path / "trace.json"
+        with pytest.raises(SystemExit, match="cannot write manifest"):
+            main(
+                ["trace", weblog_query_file, "--records", "500",
+                 "--machines", "2", "--days", "1", "--out", str(out),
+                 "--manifest", "/nonexistent-dir/m.json"]
+            )

@@ -6,9 +6,19 @@ prints the scalar-vs-columnar comparison tables plus the headline
 summary, so perf trajectories can be inspected without re-running the
 suite::
 
-    python tools/bench_report.py [name ...]
+    python tools/bench_report.py [name-or-path ...]
 
-With no arguments, reports every baseline found.
+With no arguments, reports every baseline found.  Arguments are either
+bare baseline names (``columnar`` -> ``BENCH_columnar.json`` at the
+repo root) or explicit paths to baseline files, so snapshots taken on
+different commits can live anywhere.
+
+``--diff OLD NEW`` compares two baselines instead: every per-query
+metric of the shared sections is printed old -> new with its relative
+delta, which turns two snapshots of the same benchmark into a perf
+regression report::
+
+    python tools/bench_report.py --diff /tmp/before.json columnar
 """
 
 from __future__ import annotations
@@ -82,9 +92,86 @@ def report(path: Path) -> None:
             print(f"  {key}: {_fmt(value)}")
 
 
+#: Sections carrying one entry per ``query@size``, with the metrics
+#: worth tracking across snapshots.
+_DIFF_SECTIONS = (
+    (
+        "map_combine",
+        ("scalar_records_per_s", "columnar_records_per_s", "speedup"),
+    ),
+    ("transport", ("scalar_bytes", "columnar_bytes", "reduction")),
+)
+
+
+def _relative(old, new) -> str:
+    numbers = all(
+        isinstance(value, (int, float)) and not isinstance(value, bool)
+        for value in (old, new)
+    )
+    if not numbers or not old:
+        return "n/a"
+    return f"{(new - old) / old:+.1%}"
+
+
+def diff_report(path_a: Path, path_b: Path) -> None:
+    """Per-query deltas between two baseline snapshots."""
+    a = json.loads(path_a.read_text())
+    b = json.loads(path_b.read_text())
+    print(f"\n=== delta: {path_a.name} -> {path_b.name} ===")
+    for section, metrics in _DIFF_SECTIONS:
+        entries_a, entries_b = a.get(section, {}), b.get(section, {})
+        keys = sorted(set(entries_a) | set(entries_b))
+        if not keys:
+            continue
+        rows = []
+        for key in keys:
+            entry_a, entry_b = entries_a.get(key), entries_b.get(key)
+            if entry_a is None or entry_b is None:
+                where = "new" if entry_a is None else "old"
+                rows.append([key, f"(only in {where} file)", "", "", ""])
+                continue
+            for metric in metrics:
+                old, new = entry_a.get(metric), entry_b.get(metric)
+                rows.append(
+                    [key, metric, old, new, _relative(old, new)]
+                )
+        _table(
+            section,
+            ["query@size", "metric", "old", "new", "delta"],
+            rows,
+        )
+    summary_a, summary_b = a.get("summary", {}), b.get("summary", {})
+    if summary_a or summary_b:
+        print("\nsummary deltas:")
+        for key in sorted(set(summary_a) | set(summary_b)):
+            old, new = summary_a.get(key), summary_b.get(key)
+            print(
+                f"  {key}: {_fmt(old)} -> {_fmt(new)} "
+                f"({_relative(old, new)})"
+            )
+
+
+def _resolve(arg: str) -> Path:
+    """A baseline argument: an explicit path, or a bare name."""
+    candidate = Path(arg)
+    if candidate.suffix == ".json" or candidate.exists():
+        return candidate
+    return ROOT / f"BENCH_{arg}.json"
+
+
 def main(argv: list[str]) -> int:
+    diff_mode = False
+    if argv and argv[0] == "--diff":
+        diff_mode = True
+        argv = argv[1:]
+        if len(argv) != 2:
+            print(
+                "--diff takes exactly two baselines (names or paths)",
+                file=sys.stderr,
+            )
+            return 2
     if argv:
-        paths = [ROOT / f"BENCH_{name}.json" for name in argv]
+        paths = [_resolve(arg) for arg in argv]
         missing = [path for path in paths if not path.exists()]
         if missing:
             names = ", ".join(path.name for path in missing)
@@ -99,6 +186,9 @@ def main(argv: list[str]) -> int:
                 file=sys.stderr,
             )
             return 1
+    if diff_mode:
+        diff_report(paths[0], paths[1])
+        return 0
     for path in paths:
         report(path)
     return 0
