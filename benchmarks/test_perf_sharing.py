@@ -1,0 +1,112 @@
+"""Work-sharing benchmark: Q1..Q6 batched vs run sequentially.
+
+The batch planner merges queries whose combined distribution key is
+predicted cheaper than separate jobs, so the whole suite rides fewer
+map/shuffle/reduce rounds.  This benchmark quantifies the saving --
+total simulated map time, total shuffle bytes, and job count for the
+six-query suite batched versus six standalone runs -- and writes the
+numbers to ``BENCH_sharing.json`` at the repository root.
+
+Correctness is asserted exactly (every batched answer equals its
+standalone run); the sharing advantage is asserted on the simulated
+counters, which are deterministic.
+
+    pytest benchmarks/test_perf_sharing.py -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import BatchEvaluator
+from repro.workload import all_queries
+
+from support import bench_schema, dataset, make_cluster, print_table, \
+    write_bench_json, run_query
+
+pytestmark = pytest.mark.perf
+
+SIZE = 15_000
+MACHINES = 50
+
+
+def _sequential(queries, records):
+    """Six standalone runs, one fresh cluster each (no sharing)."""
+    outcomes = {}
+    for name, workflow in queries.items():
+        outcomes[name] = run_query(
+            workflow, records, cluster=make_cluster(MACHINES)
+        )
+    return outcomes
+
+
+def test_sharing_beats_sequential():
+    schema = bench_schema()
+    queries = all_queries(schema)
+    records = dataset(SIZE)
+
+    sequential = _sequential(queries, records)
+    batched = BatchEvaluator(make_cluster(MACHINES)).evaluate(
+        queries, records
+    )
+
+    for name, outcome in sequential.items():
+        assert batched.results[name] == outcome.result, name
+
+    seq_map_time = sum(o.job.map_makespan for o in sequential.values())
+    seq_shuffle = sum(
+        o.job.counters.shuffle_bytes for o in sequential.values()
+    )
+    seq_response = sum(o.job.response_time for o in sequential.values())
+
+    # The whole point: fewer jobs, less shuffled data.
+    assert len(batched.jobs) < len(queries)
+    assert batched.total_shuffle_bytes < seq_shuffle
+
+    rows = [
+        ["sequential", len(queries), seq_map_time, seq_shuffle,
+         seq_response],
+        ["batched", len(batched.jobs), batched.total_map_time,
+         batched.total_shuffle_bytes, batched.total_response_time],
+    ]
+    print_table(
+        f"Work sharing: Q1..Q6, {SIZE} records, {MACHINES} machines",
+        ["mode", "jobs", "total map s", "shuffle bytes", "response s"],
+        rows,
+    )
+
+    payload = {
+        "workload": {
+            "queries": sorted(queries),
+            "records": SIZE,
+            "machines": MACHINES,
+        },
+        "sharing": {
+            "sequential": {
+                "jobs": len(queries),
+                "total_map_time": seq_map_time,
+                "total_shuffle_bytes": seq_shuffle,
+                "total_response_time": seq_response,
+            },
+            "batched": {
+                "jobs": len(batched.jobs),
+                "total_map_time": batched.total_map_time,
+                "total_shuffle_bytes": batched.total_shuffle_bytes,
+                "total_response_time": batched.total_response_time,
+                "groups": [
+                    sorted(outcome.group.queries)
+                    for outcome in batched.groups
+                ],
+            },
+        },
+        "summary": {
+            "job_reduction": 1 - len(batched.jobs) / len(queries),
+            "shuffle_bytes_saved": seq_shuffle
+            - batched.total_shuffle_bytes,
+            "shuffle_ratio": batched.total_shuffle_bytes / seq_shuffle,
+            "map_time_ratio": batched.total_map_time / seq_map_time,
+            "bit_identical": True,
+        },
+    }
+    path = write_bench_json("sharing", payload)
+    print(f"\nwrote {path}")

@@ -72,6 +72,15 @@ from repro.parallel import (
     ParallelEvaluator,
     ParallelResult,
 )
+from repro.serving import (
+    BatchEvaluator,
+    BatchExecutionError,
+    BatchPlan,
+    BatchPlanner,
+    BatchResult,
+    MeasureCache,
+    ShareGroup,
+)
 from repro.query import (
     QueryParseError,
     RATIO,
@@ -99,6 +108,11 @@ __all__ = [
     "AdaptiveEvaluator",
     "AdaptiveResult",
     "Attribute",
+    "BatchEvaluator",
+    "BatchExecutionError",
+    "BatchPlan",
+    "BatchPlanner",
+    "BatchResult",
     "BlockEvaluator",
     "BlockScheme",
     "ClusterConfig",
@@ -111,6 +125,7 @@ __all__ = [
     "KeyComponent",
     "MapReduceJob",
     "MappingHierarchy",
+    "MeasureCache",
     "MeasureTable",
     "NaiveEvaluator",
     "Optimizer",
@@ -124,6 +139,7 @@ __all__ = [
     "Schema",
     "Session",
     "SessionError",
+    "ShareGroup",
     "SiblingWindow",
     "SimulatedCluster",
     "UniformHierarchy",

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands, most operating on workflow scripts in the textual
+Eight subcommands, most operating on workflow scripts in the textual
 query language (see :mod:`repro.query.parser`):
 
 * ``repro demo`` -- run the paper's weblog example end to end;
@@ -9,16 +9,23 @@ query language (see :mod:`repro.query.parser`):
 * ``repro explain QUERY.cq`` -- the optimizer's full decision trail:
   per-measure key derivation, every candidate with its provenance and
   rejection reason, the clustering-factor cost curve, and the sampled
-  dispatch tallies; rendered as text, JSON, or Graphviz DOT;
+  dispatch tallies; rendered as text, JSON, or Graphviz DOT.  With
+  ``--batch A.cq B.cq ...`` it instead shows the batch planner's
+  share-group formation trail: which queries share one shuffle and why;
 * ``repro run QUERY.cq`` -- evaluate the query over generated data on
   the simulated cluster, printing the execution report (optionally
   exporting results to CSV);
+* ``repro batch A.cq B.cq ...`` -- co-evaluate several queries: the
+  batch planner partitions them into share groups, each group runs as
+  ONE map/shuffle/reduce, and ``--cache-dir DIR`` persists materialized
+  measures across runs so repeated batches skip already-computed work;
+  per-query answers are bit-identical to standalone ``run``s;
 * ``repro trace QUERY.cq --out trace.json`` -- evaluate with full
   tracing: writes a Chrome trace-event file (open in Perfetto or
   ``chrome://tracing``), a run manifest (including the cost-model
   calibration report), and optionally the raw span events as JSONL;
 * ``repro stats MANIFEST.json`` -- summarize a previously written run
-  manifest;
+  manifest (schemas v1-v3, including batch/cache sections);
 * ``repro diff A.json B.json`` -- compare two run manifests field by
   field and flag regressions beyond a threshold (exit status 1 when
   any are found).
@@ -140,9 +147,16 @@ def _configure_logging(args) -> None:
     configure_logging(level)
 
 
-def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_common_arguments(
+    parser: argparse.ArgumentParser, multi: bool = False
+) -> None:
     _add_logging_arguments(parser)
-    parser.add_argument("query", help="workflow script file (.cq)")
+    if multi:
+        parser.add_argument(
+            "query", nargs="+", help="workflow script file(s) (.cq)"
+        )
+    else:
+        parser.add_argument("query", help="workflow script file (.cq)")
     parser.add_argument(
         "--schema", default="weblog", choices=("weblog", "paper"),
         help="built-in schema to parse the query against",
@@ -297,37 +311,87 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _load_batch_queries(paths: Sequence[str], schema: Schema) -> dict:
+    """Parse each file; query names are the file stems, which must be
+    unique within one batch."""
+    queries: dict[str, Workflow] = {}
+    for path in paths:
+        name = os.path.splitext(os.path.basename(path))[0]
+        if name in queries:
+            raise SystemExit(
+                f"duplicate query name {name!r}: batch query files need "
+                "distinct base names"
+            )
+        queries[name] = _load_workflow(path, schema)
+    return queries
+
+
+def _explain_batch(args, schema: Schema) -> str:
+    """The batch planner's decision trail for ``explain --batch``."""
+    from repro.serving import BatchPlanner, MeasureCache
+
+    queries = _load_batch_queries(args.query, schema)
+    records = _generate_records(
+        args.schema, schema, args.records, args.seed, args.skew
+    )
+    cluster = SimulatedCluster(ClusterConfig(machines=args.machines))
+    columnar = _COLUMNAR_CHOICES[args.columnar]
+    cache = MeasureCache(args.cache_dir) if args.cache_dir else None
+    planner = BatchPlanner(
+        Optimizer(OptimizerConfig(columnar=columnar)), cache
+    )
+    plan = planner.plan(queries, records, cluster.reduce_slots)
+    if args.format == "json":
+        return json.dumps(plan.to_dict(), indent=2, sort_keys=True)
+    return plan.describe()
+
+
 def _cmd_explain(args) -> int:
     if args.machines < 1:
         raise SystemExit("--machines must be at least 1")
     if args.records < 0:
         raise SystemExit("--records must be non-negative")
     schema = _build_schema(args.schema, args.days)
-    workflow = _load_workflow(args.query, schema)
-    cluster = SimulatedCluster(ClusterConfig(machines=args.machines))
-    columnar = _COLUMNAR_CHOICES[args.columnar]
-    config = OptimizerConfig(use_sampling=args.sampling, columnar=columnar)
-    records = None
-    if args.sampling:
-        # Sampled dispatch judges candidates on real data; generate the
-        # same dataset 'run' would use for these arguments.
-        records = _generate_records(
-            args.schema, schema, args.records, args.seed, args.skew
+    if len(args.query) > 1 and not args.batch:
+        raise SystemExit(
+            "several query files given; use --batch to explain how they "
+            "would share jobs"
         )
-    explanation = explain_plan(
-        workflow,
-        n_records=args.records,
-        num_reducers=cluster.reduce_slots,
-        config=config,
-        records=records,
-        query=args.query,
-    )
-    if args.format == "json":
-        payload = json.dumps(explanation.to_dict(), indent=2, sort_keys=True)
-    elif args.format == "dot":
-        payload = render_dot(explanation)
+    if args.batch:
+        if args.format == "dot":
+            raise SystemExit("--format dot is not supported with --batch")
+        payload = _explain_batch(args, schema)
     else:
-        payload = render_text(explanation)
+        query_path = args.query[0]
+        workflow = _load_workflow(query_path, schema)
+        cluster = SimulatedCluster(ClusterConfig(machines=args.machines))
+        columnar = _COLUMNAR_CHOICES[args.columnar]
+        config = OptimizerConfig(
+            use_sampling=args.sampling, columnar=columnar
+        )
+        records = None
+        if args.sampling:
+            # Sampled dispatch judges candidates on real data; generate
+            # the same dataset 'run' would use for these arguments.
+            records = _generate_records(
+                args.schema, schema, args.records, args.seed, args.skew
+            )
+        explanation = explain_plan(
+            workflow,
+            n_records=args.records,
+            num_reducers=cluster.reduce_slots,
+            config=config,
+            records=records,
+            query=query_path,
+        )
+        if args.format == "json":
+            payload = json.dumps(
+                explanation.to_dict(), indent=2, sort_keys=True
+            )
+        elif args.format == "dot":
+            payload = render_dot(explanation)
+        else:
+            payload = render_text(explanation)
     if args.out:
         try:
             with open(args.out, "w") as handle:
@@ -396,6 +460,81 @@ def _cmd_run(args) -> int:
         with open(args.csv, "w", newline="") as handle:
             rows = write_result_csv(result, handle)
         print(f"wrote {rows} rows to {args.csv}")
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    if args.machines < 1:
+        raise SystemExit("--machines must be at least 1")
+    if args.records < 0:
+        raise SystemExit("--records must be non-negative")
+    if args.group_retries < 0:
+        raise SystemExit("--group-retries must be non-negative")
+    from repro.serving import (
+        BatchEvaluator,
+        BatchExecutionError,
+        MeasureCache,
+    )
+
+    schema = _build_schema(args.schema, args.days)
+    queries = _load_batch_queries(args.query, schema)
+    records = _generate_records(
+        args.schema, schema, args.records, args.seed, args.skew
+    )
+    cluster = _build_cluster(args)
+    cache = MeasureCache(args.cache_dir) if args.cache_dir else None
+    columnar = _COLUMNAR_CHOICES[args.columnar]
+    config = ExecutionConfig(
+        columnar=columnar,
+        optimizer=OptimizerConfig(columnar=columnar),
+    )
+    metrics = MetricsRegistry()
+    evaluator = BatchEvaluator(
+        cluster,
+        config,
+        metrics=metrics,
+        cache=cache,
+        group_retries=args.group_retries,
+    )
+    try:
+        outcome = evaluator.evaluate(queries, records)
+    except BatchExecutionError as exc:
+        if exc.partial is not None:
+            print(exc.partial.describe())
+        raise SystemExit(f"error: {exc}")
+    except DataUnavailableError as exc:
+        down = sorted(cluster.failed_machines)
+        raise SystemExit(
+            f"error: data unavailable -- {exc} "
+            f"(machines down: {down or 'none'})"
+        )
+
+    print(outcome.describe())
+    for name in sorted(outcome.results):
+        result = outcome.results[name]
+        print(f"  {name}: {result.total_rows()} result rows")
+    for job in outcome.jobs:
+        _print_fault_report(job.job)
+
+    if args.csv_dir:
+        os.makedirs(args.csv_dir, exist_ok=True)
+        for name in sorted(outcome.results):
+            path = os.path.join(args.csv_dir, f"{name}.csv")
+            with open(path, "w", newline="") as handle:
+                rows = write_result_csv(outcome.results[name], handle)
+            print(f"wrote {rows} rows to {path}")
+    if args.manifest:
+        manifest = RunManifest.from_batch(
+            outcome,
+            cluster_config=cluster.config,
+            execution_config=config,
+            metrics=metrics,
+        )
+        try:
+            manifest.write(args.manifest)
+        except OSError as exc:
+            raise SystemExit(f"cannot write manifest: {exc}")
+        print(f"wrote run manifest to {args.manifest}")
     return 0
 
 
@@ -559,7 +698,16 @@ def build_parser() -> argparse.ArgumentParser:
     explain = sub.add_parser(
         "explain", help="show the optimizer's full decision trail"
     )
-    _add_common_arguments(explain)
+    _add_common_arguments(explain, multi=True)
+    explain.add_argument(
+        "--batch", action="store_true",
+        help="explain batch planning over several query files: share-"
+             "group formation, merge verdicts, and cache pruning",
+    )
+    explain.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="measure-cache directory to probe for --batch pruning",
+    )
     explain.add_argument(
         "--sampling", action="store_true",
         help="include the skew handler's sampled-dispatch decision",
@@ -604,6 +752,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="draw slot-utilization charts of the map and reduce phases",
     )
     run.set_defaults(handler=_cmd_run)
+
+    batch = sub.add_parser(
+        "batch",
+        help="co-evaluate several queries, sharing shuffles and a "
+             "cross-run measure cache",
+    )
+    _add_common_arguments(batch, multi=True)
+    _add_fault_arguments(batch)
+    batch.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persist materialized measures here; a second run against "
+             "the same data reuses them and skips the computation",
+    )
+    batch.add_argument(
+        "--columnar", choices=sorted(_COLUMNAR_CHOICES), default="auto",
+        help="batched map side: 'auto' enables it when every aggregate "
+             "is vectorized, 'on'/'off' force it (results are identical)",
+    )
+    batch.add_argument(
+        "--group-retries", type=int, default=1, metavar="N",
+        help="in-line retries per failing share group (default: 1)",
+    )
+    batch.add_argument(
+        "--csv-dir", metavar="DIR",
+        help="export each query's results as DIR/<query>.csv",
+    )
+    batch.add_argument(
+        "--manifest", metavar="FILE",
+        help="write a schema-v3 run manifest (share groups, cache stats)",
+    )
+    batch.set_defaults(handler=_cmd_batch)
 
     trace = sub.add_parser(
         "trace", help="evaluate a query with tracing and export the trace"

@@ -40,8 +40,10 @@ __all__ = [
 
 #: Manifest schema version, bumped on incompatible layout changes.
 #: v2 added the ``calibration`` section (predicted-vs-measured audit of
-#: the cost model); v1 manifests still load, with it empty.
-SCHEMA_VERSION = 2
+#: the cost model); v3 added the ``batch`` section (share groups and
+#: measure-cache traffic of ``repro batch`` runs).  Older manifests
+#: still load, with the newer sections empty.
+SCHEMA_VERSION = 3
 
 
 def counters_to_dict(counters: JobCounters) -> dict:
@@ -125,6 +127,11 @@ class RunManifest:
     #: (:meth:`repro.obs.calibration.CalibrationReport.to_dict`); empty
     #: when the run predates schema v2 or the executor skipped it.
     calibration: dict = field(default_factory=dict)
+    #: Batch-run section (schema v3): share groups with members and
+    #: per-group calibration, component dispositions, and measure-cache
+    #: hit/miss/store counts.  Empty for single-query runs and for
+    #: manifests written before v3.
+    batch: dict = field(default_factory=dict)
     created_at: str = field(
         default_factory=lambda: time.strftime("%Y-%m-%dT%H:%M:%S%z")
     )
@@ -171,6 +178,97 @@ class RunManifest:
             calibration=(
                 calibration.to_dict() if calibration is not None else {}
             ),
+        )
+
+    @classmethod
+    def from_batch(
+        cls,
+        outcome,
+        cluster_config=None,
+        execution_config=None,
+        metrics=None,
+    ) -> "RunManifest":
+        """Build a manifest from a batch evaluation outcome.
+
+        *outcome* is a :class:`~repro.serving.executor.BatchResult`.
+        Counters, phase breakdowns and reducer loads aggregate over the
+        batch's shared jobs; the ``batch`` section keeps the per-group
+        detail (members, attempts, per-group calibration) plus the
+        component dispositions and cache traffic.
+        """
+        counters = JobCounters()
+        breakdown = PhaseBreakdown()
+        reducer_loads: list = []
+        response_time = 0.0
+        map_makespan = 0.0
+        reduce_makespan = 0.0
+        groups = []
+        for group_outcome in outcome.groups:
+            entry = {
+                "queries": list(group_outcome.group.queries),
+                "members": [
+                    {"query": query, "measures": measures}
+                    for query, measures in group_outcome.group.members()
+                ],
+                "plan": group_outcome.group.plan.describe(),
+                "attempts": group_outcome.attempts,
+                "succeeded": group_outcome.succeeded,
+            }
+            job = group_outcome.result
+            if job is not None:
+                report = job.job
+                counters.add(report.counters)
+                breakdown.add(report.breakdown)
+                reducer_loads.extend(report.reducer_loads)
+                response_time += report.response_time
+                map_makespan += report.map_makespan
+                reduce_makespan += report.reduce_makespan
+                entry["response_time"] = report.response_time
+                entry["shuffle_bytes"] = report.counters.shuffle_bytes
+                if job.calibration is not None:
+                    entry["calibration"] = job.calibration.to_dict()
+            else:
+                entry["error"] = group_outcome.error
+            groups.append(entry)
+        loads = reducer_loads
+        imbalance = (
+            max(loads) / (sum(loads) / len(loads))
+            if loads and sum(loads)
+            else 0.0
+        )
+        config: dict = {}
+        if cluster_config is not None:
+            config["cluster"] = dataclasses.asdict(cluster_config)
+        if execution_config is not None:
+            config["execution"] = dataclasses.asdict(execution_config)
+        plan = outcome.plan
+        return cls(
+            query="batch(" + ", ".join(sorted(outcome.results)) + ")",
+            plan=(
+                f"{len(plan.queries)} queries -> "
+                f"{len(outcome.groups)} shared jobs"
+            ),
+            response_time=response_time,
+            map_makespan=map_makespan,
+            reduce_makespan=reduce_makespan,
+            counters=counters_to_dict(counters),
+            breakdown=breakdown_to_dict(breakdown),
+            reducer_loads=loads,
+            load_imbalance=imbalance,
+            config=config,
+            metrics=metrics.to_dict() if metrics is not None else {},
+            batch={
+                "queries": sorted(outcome.results),
+                "groups": groups,
+                "dispositions": plan.disposition_counts(),
+                "jobless_queries": list(outcome.jobless_queries),
+                "cache": (
+                    outcome.cache_stats.to_dict()
+                    if outcome.cache_stats is not None
+                    else {}
+                ),
+                "decision": plan.decision.to_dict(),
+            },
         )
 
     # -- round-trips ------------------------------------------------------------
@@ -262,6 +360,44 @@ class RunManifest:
             lines.append(
                 CalibrationReport.from_dict(self.calibration).describe()
             )
+        if self.batch:
+            dispositions = self.batch.get("dispositions", {})
+            lines.append(
+                f"batch: {len(self.batch.get('queries', []))} queries, "
+                f"{len(self.batch.get('groups', []))} shared jobs "
+                f"(components: {dispositions.get('execute', 0)} executed, "
+                f"{dispositions.get('derive', 0)} derived, "
+                f"{dispositions.get('cache', 0)} cached)"
+            )
+            for index, group in enumerate(self.batch.get("groups", [])):
+                status = (
+                    f"{group.get('response_time', 0.0):.4f}s, "
+                    f"{group.get('shuffle_bytes', 0)} shuffle bytes, "
+                    f"{group.get('attempts', 1)} attempt(s)"
+                    if group.get("succeeded", True)
+                    else f"FAILED: {group.get('error', '?')}"
+                )
+                lines.append(
+                    f"  group {index} "
+                    f"[{', '.join(group.get('queries', []))}]: {status}"
+                )
+            jobless = self.batch.get("jobless_queries", [])
+            if jobless:
+                lines.append(
+                    f"  answered without a job: {', '.join(jobless)}"
+                )
+            cache = self.batch.get("cache", {})
+            if cache:
+                lines.append(
+                    f"cache: {cache.get('hits', 0)} hits, "
+                    f"{cache.get('misses', 0)} misses, "
+                    f"{cache.get('stores', 0)} stores"
+                    + (
+                        f", {cache.get('corrupt', 0)} corrupt"
+                        if cache.get("corrupt")
+                        else ""
+                    )
+                )
         if self.faults:
             plan = self.faults.get("plan", {})
             lines.append(

@@ -153,10 +153,18 @@ class ParallelEvaluator:
     ) -> QueryPlan:
         components = connected_components(workflow)
         if isinstance(plan, QueryPlan):
-            if len(plan.subplans) != len(components):
+            # A pre-built plan may group several weakly-connected
+            # components under one shared subplan (batch co-evaluation),
+            # so validate measure coverage rather than component count.
+            plan_names = sorted(
+                name
+                for subplan_workflow, _plan in plan.subplans
+                for name in subplan_workflow.names
+            )
+            if plan_names != sorted(workflow.names):
                 raise ValueError(
-                    f"plan has {len(plan.subplans)} components, query has "
-                    f"{len(components)}"
+                    f"plan covers measures {plan_names}, query has "
+                    f"{sorted(workflow.names)}"
                 )
             return plan
         if isinstance(plan, Plan):

@@ -1,0 +1,70 @@
+"""Multi-query shared execution (serving layer).
+
+The paper evaluates one aggregation workflow per MapReduce job, but its
+feasibility theory composes across queries: one annotated distribution
+key can satisfy Theorems 1-2 for *several* workflows at once, so a
+single shuffle can serve a whole batch.  This package adds that serving
+layer on top of the parallel evaluator:
+
+* :mod:`~repro.serving.groups` -- share-group formation: which queries
+  can (and should, per the Formula 2/4 cost model) ride one shuffle;
+* :mod:`~repro.serving.planner` -- the batch planner: cache pruning,
+  then greedy share-group formation, with a full decision trail;
+* :mod:`~repro.serving.executor` -- the batch executor: one job per
+  share group, per-query output splitting, group-level retries;
+* :mod:`~repro.serving.cache` / :mod:`~repro.serving.signature` -- the
+  content-addressed cross-run measure cache and its hashing.
+
+Entry points: :class:`BatchEvaluator` (the ``repro batch`` engine) and
+:class:`BatchPlanner` (``repro explain --batch``).  Every query's
+answer is bit-identical to its standalone run.
+"""
+
+from repro.serving.cache import CacheStats, MeasureCache
+from repro.serving.executor import (
+    BatchEvaluator,
+    BatchExecutionError,
+    BatchResult,
+    GroupOutcome,
+)
+from repro.serving.groups import (
+    BatchDecision,
+    BatchUnit,
+    MergeDecision,
+    ShareGroup,
+    form_share_groups,
+    prefix_workflow,
+)
+from repro.serving.planner import (
+    BatchPlan,
+    BatchPlanner,
+    ComponentPlan,
+    PlannedQuery,
+)
+from repro.serving.signature import (
+    cache_key,
+    dataset_fingerprint,
+    measure_signature,
+)
+
+__all__ = [
+    "BatchDecision",
+    "BatchEvaluator",
+    "BatchExecutionError",
+    "BatchPlan",
+    "BatchPlanner",
+    "BatchResult",
+    "BatchUnit",
+    "CacheStats",
+    "ComponentPlan",
+    "GroupOutcome",
+    "MeasureCache",
+    "MergeDecision",
+    "PlannedQuery",
+    "ShareGroup",
+    "cache_key",
+    "dataset_fingerprint",
+    "form_share_groups",
+    "measure_signature",
+    "prefix_workflow",
+]

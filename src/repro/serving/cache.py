@@ -1,0 +1,189 @@
+"""The cross-run measure cache.
+
+A :class:`MeasureCache` stores materialized
+:class:`~repro.local.measure_table.MeasureTable` rows under
+content-addressed keys (:mod:`repro.serving.signature`): the hash of
+the dataset fingerprint plus the measure's structural definition and
+granularity.  Keys never mention names or paths, so cache entries
+survive query renames and invalidate automatically when the data
+changes (a new fingerprint simply never matches old keys).
+
+Two backing modes share one interface:
+
+* in-memory (``MeasureCache()``) -- entries live for the process;
+* directory-backed (``MeasureCache("/path")``, the CLI's
+  ``--cache-dir``) -- one JSON file per entry, persisted across runs.
+
+Corrupt or unserializable entries degrade to misses/skipped stores and
+are counted in :class:`CacheStats`; the cache never fails an
+evaluation.  The batch executor stores a share group's entries only
+after that group's job succeeded, so retrying or re-running a failed
+group never invalidates what completed groups already cached.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Optional
+
+from repro.cube.regions import Granularity
+from repro.local.measure_table import MeasureTable
+
+__all__ = ["CacheStats", "MeasureCache"]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store accounting for one cache over its lifetime."""
+
+    #: ``get`` calls that found a usable entry.
+    hits: int = 0
+    #: Lookups that found nothing: absent keys probed during planning
+    #: plus ``get`` calls that came back empty or unreadable.
+    misses: int = 0
+    #: Entries written (in memory or to disk).
+    stores: int = 0
+    #: Entries that could not be read back (corrupt JSON, bad rows);
+    #: each also counts as a miss.
+    corrupt: int = 0
+    #: Entries skipped on store because their rows are not
+    #: JSON-serializable (directory-backed mode only).
+    store_errors: int = 0
+
+    def snapshot(self) -> "CacheStats":
+        """An immutable copy of the current tallies."""
+        return replace(self)
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+            "store_errors": self.store_errors,
+        }
+
+
+class MeasureCache:
+    """Content-addressed store of materialized measure tables.
+
+    *directory* selects the backing: ``None`` keeps entries in process
+    memory; a path persists one ``<key>.json`` file per entry (created
+    on first store).  Every lookup and store is tallied in
+    :attr:`stats`.
+    """
+
+    def __init__(self, directory: str | Path | None = None):
+        self.directory: Optional[Path] = (
+            Path(directory) if directory is not None else None
+        )
+        self._memory: dict[str, dict] = {}
+        self.stats = CacheStats()
+
+    # -- lookup -----------------------------------------------------------
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry exists.
+
+        The planner probes with this while classifying components.  An
+        absent key counts as a miss (the cache was consulted and could
+        not help); a present key is *not* counted as a hit here -- the
+        executor's later :meth:`get` tallies it once the entry is
+        actually read back.
+        """
+        present = key in self._memory or (
+            self.directory is not None and self._path(key).exists()
+        )
+        if not present:
+            self.stats.misses += 1
+        return present
+
+    def get(self, key: str, granularity: Granularity) -> MeasureTable | None:
+        """The cached table under *key*, or ``None`` (counted) on a miss.
+
+        *granularity* rebuilds the table around the stored rows; the
+        caller knows it from the measure whose signature produced the
+        key, so it is not trusted from disk.
+        """
+        payload = self._memory.get(key)
+        if payload is None and self.directory is not None:
+            payload = self._read(key)
+        if payload is None:
+            self.stats.misses += 1
+            return None
+        try:
+            rows = {
+                tuple(coords): value for coords, value in payload["rows"]
+            }
+        except (KeyError, TypeError, ValueError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return MeasureTable(granularity, rows)
+
+    # -- store ------------------------------------------------------------
+
+    def put(self, key: str, table: MeasureTable, measure_name: str = "") -> bool:
+        """Store *table* under *key*; returns whether it was persisted.
+
+        Existing entries are left untouched (content addressing makes
+        them identical by construction).  Directory-backed stores that
+        cannot serialize the rows are skipped and counted, never raised.
+        """
+        if self.contains(key):
+            return True
+        payload = {
+            "key": key,
+            "measure": measure_name,
+            "granularity": list(table.granularity.levels),
+            "rows": [[list(coords), value] for coords, value in table.items()],
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        }
+        if self.directory is None:
+            self._memory[key] = payload
+            self.stats.stores += 1
+            return True
+        try:
+            text = json.dumps(payload)
+        except (TypeError, ValueError) as exc:
+            logger.warning("cache: cannot serialize %s: %s", key, exc)
+            self.stats.store_errors += 1
+            return False
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._path(key).write_text(text)
+        self.stats.stores += 1
+        return True
+
+    # -- internals --------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.json"
+
+    def _read(self, key: str) -> dict | None:
+        path = self._path(key)
+        try:
+            return json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            logger.warning("cache: unreadable entry %s: %s", path, exc)
+            self.stats.corrupt += 1
+            return None
+
+    def __len__(self) -> int:
+        stored = len(self._memory)
+        if self.directory is not None and self.directory.exists():
+            stored += sum(1 for _ in self.directory.glob("*.json"))
+        return stored
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = self.directory or "memory"
+        return f"MeasureCache({where}, {self.stats.to_dict()})"

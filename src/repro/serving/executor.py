@@ -1,0 +1,441 @@
+"""The shared batch executor: one job per share group, cache in front.
+
+:class:`BatchEvaluator` runs a :class:`~repro.serving.planner.BatchPlan`
+over one dataset:
+
+* ``cache`` components load their tables straight from the measure
+  cache -- no job, no shuffle;
+* ``derive`` components recompute composites centrally from cached
+  basic tables (the exact tables a parallel run would produce, so the
+  derivation is bit-identical) -- no shuffle;
+* each share group of ``execute`` components runs as ONE map/shuffle/
+  reduce over the merged workflow, then the merged output is split back
+  into per-query tables by the ``query/`` name prefix.
+
+Per-query answers are bit-identical to standalone runs: a share group
+evaluates under a key feasible for every member (Theorems 1-2), each
+block evaluates over the same globally-ordered record subsequence a
+solo run would see, and filtering happens per measure region -- the
+shared job changes *where* work happens, never its inputs or fold
+order.
+
+Fault semantics: a group's cache entries are stored immediately after
+that group succeeds, and a failing group is retried ``group_retries``
+times in-line; if it still fails the remaining groups run anyway and a
+:class:`BatchExecutionError` carrying the partial result is raised.
+Completed groups' cache entries are never invalidated by another
+group's failure, so re-running the batch against a warm cache resumes
+where it left off.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.cube.records import Record
+from repro.local.measure_table import MeasureTable, ResultSet
+from repro.local.sortscan import BlockEvaluator
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.dfs import DistributedFile
+from repro.obs.tracer import NULL_TRACER
+from repro.optimizer.optimizer import QueryPlan
+from repro.parallel.executor import ExecutionConfig, ParallelEvaluator
+from repro.parallel.report import ParallelResult
+from repro.query.workflow import Workflow
+from repro.serving.cache import CacheStats, MeasureCache
+from repro.serving.groups import QUERY_SEPARATOR, ShareGroup
+from repro.serving.planner import (
+    DISPOSITION_CACHE,
+    DISPOSITION_DERIVE,
+    BatchPlan,
+    BatchPlanner,
+    ComponentPlan,
+)
+
+__all__ = [
+    "BatchEvaluator",
+    "BatchExecutionError",
+    "BatchResult",
+    "GroupOutcome",
+]
+
+logger = logging.getLogger(__name__)
+
+
+class BatchExecutionError(RuntimeError):
+    """A share group kept failing after its retries.
+
+    Carries the :class:`BatchResult` of everything that *did* complete
+    (``partial``); completed groups' cache entries are already stored,
+    so a re-run against the same cache resumes from them.
+    """
+
+    def __init__(self, message: str, partial: "BatchResult | None" = None):
+        super().__init__(message)
+        self.partial = partial
+
+
+@dataclass
+class GroupOutcome:
+    """One share group's execution record."""
+
+    group: ShareGroup
+    #: The shared job's result (``None`` when the group failed).
+    result: Optional[ParallelResult]
+    attempts: int = 1
+    error: str = ""
+
+    @property
+    def succeeded(self) -> bool:
+        return self.result is not None
+
+
+@dataclass
+class BatchResult:
+    """Everything one batch run produced."""
+
+    #: Per-query answers under their original measure names.
+    results: dict[str, ResultSet]
+    plan: BatchPlan
+    groups: list[GroupOutcome] = field(default_factory=list)
+    #: Cache traffic of this run (hits/misses/stores), or ``None``.
+    cache_stats: Optional[CacheStats] = None
+    #: Queries answered without any job (all components cached/derived).
+    jobless_queries: list[str] = field(default_factory=list)
+
+    @property
+    def jobs(self) -> list[ParallelResult]:
+        return [o.result for o in self.groups if o.result is not None]
+
+    @property
+    def total_response_time(self) -> float:
+        return sum(job.job.response_time for job in self.jobs)
+
+    @property
+    def total_map_time(self) -> float:
+        return sum(job.job.map_makespan for job in self.jobs)
+
+    @property
+    def total_shuffle_bytes(self) -> int:
+        return sum(job.job.counters.shuffle_bytes for job in self.jobs)
+
+    def describe(self) -> str:
+        lines = [
+            f"batch: {len(self.results)} queries answered by "
+            f"{len(self.jobs)} shared jobs "
+            f"(response time {self.total_response_time:.2f}, "
+            f"shuffle bytes {self.total_shuffle_bytes})",
+        ]
+        for index, outcome in enumerate(self.groups):
+            status = (
+                f"ok after {outcome.attempts} attempt(s)"
+                if outcome.succeeded
+                else f"FAILED: {outcome.error}"
+            )
+            lines.append(
+                f"  group {index} "
+                f"[{', '.join(outcome.group.queries)}]: {status}"
+            )
+        if self.cache_stats is not None:
+            lines.append(f"  cache: {self.cache_stats.to_dict()}")
+        return "\n".join(lines)
+
+
+class BatchEvaluator:
+    """Co-evaluates a batch of queries on one simulated cluster.
+
+    Wraps a :class:`~repro.parallel.executor.ParallelEvaluator` for the
+    shared jobs.  *cache* enables the cross-run measure cache;
+    *group_retries* bounds in-line retries per failing group (on top of
+    the engine's own task-level fault tolerance).
+    """
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        config: ExecutionConfig | None = None,
+        tracer=None,
+        metrics=None,
+        cache: MeasureCache | None = None,
+        group_retries: int = 1,
+    ):
+        config = config or ExecutionConfig()
+        if config.early_aggregation:
+            raise ValueError(
+                "batch evaluation requires early_aggregation=False: "
+                "partial-state merging can reorder float folds, which "
+                "would break the bit-identical-to-standalone guarantee"
+            )
+        self.cluster = cluster
+        self.config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.inner = ParallelEvaluator(
+            cluster, config, tracer=tracer, metrics=metrics
+        )
+        self.cache = cache
+        self.group_retries = group_retries
+
+    # -- planning ---------------------------------------------------------
+
+    def plan(
+        self,
+        queries: Mapping[str, Workflow],
+        data: Sequence[Record] | DistributedFile,
+    ) -> BatchPlan:
+        """Plan the batch without running it (``repro explain --batch``)."""
+        num_reducers = self.config.num_reducers or self.cluster.reduce_slots
+        planner = BatchPlanner(self.inner.optimizer, self.cache)
+        return planner.plan(queries, data, num_reducers)
+
+    # -- execution --------------------------------------------------------
+
+    def evaluate(
+        self,
+        queries: Mapping[str, Workflow],
+        data: Sequence[Record] | DistributedFile,
+        plan: BatchPlan | None = None,
+    ) -> BatchResult:
+        """Run the batch; per-query answers match their standalone runs.
+
+        Raises :class:`BatchExecutionError` (with the partial result
+        attached) if any share group still fails after its retries; all
+        other groups run to completion first.
+        """
+        with self.tracer.span("evaluate-batch", queries=len(queries)):
+            input_file = self._resolve_input(data)
+            if plan is None:
+                plan = self.plan(queries, input_file)
+
+            stats_before = (
+                self.cache.stats.snapshot()
+                if self.cache is not None
+                else None
+            )
+            tables: dict[str, dict[str, MeasureTable]] = {
+                name: {} for name in queries
+            }
+            jobless: list[str] = []
+
+            # Cached / derived components first: no jobs, no shuffle.
+            for planned in plan.queries:
+                for component in planned.components:
+                    if component.disposition == DISPOSITION_CACHE:
+                        self._load_cached(component, input_file, tables)
+                    elif component.disposition == DISPOSITION_DERIVE:
+                        self._derive(component, input_file, tables)
+                if planned.fully_cached and planned.components:
+                    jobless.append(planned.name)
+
+            unit_components = {
+                id(component.unit): component
+                for planned in plan.queries
+                for component in planned.components
+                if component.unit is not None
+            }
+            outcomes = [
+                self._run_group(
+                    index, group, input_file, tables, unit_components
+                )
+                for index, group in enumerate(plan.groups)
+            ]
+
+            failures = [o for o in outcomes if not o.succeeded]
+            results = {
+                name: ResultSet(
+                    {
+                        measure: tables[name][measure]
+                        for measure in workflow.names
+                        if measure in tables[name]
+                    }
+                )
+                for name, workflow in queries.items()
+            }
+            batch_result = BatchResult(
+                results=results,
+                plan=plan,
+                groups=outcomes,
+                cache_stats=self._stats_delta(stats_before),
+                jobless_queries=jobless,
+            )
+        if failures:
+            names = [
+                ", ".join(outcome.group.queries) for outcome in failures
+            ]
+            raise BatchExecutionError(
+                f"{len(failures)} share group(s) failed after "
+                f"{self.group_retries + 1} attempt(s): "
+                f"[{'; '.join(names)}] -- completed groups' results and "
+                "cache entries are preserved; re-run to resume",
+                partial=batch_result,
+            )
+        return batch_result
+
+    # -- dispositions -----------------------------------------------------
+
+    def _load_cached(
+        self,
+        component: ComponentPlan,
+        input_file: DistributedFile,
+        tables: dict[str, dict[str, MeasureTable]],
+    ) -> None:
+        """Serve a fully cached component; fall back to a solo job if an
+        entry vanished or went corrupt between planning and execution."""
+        assert self.cache is not None
+        loaded: dict[str, MeasureTable] = {}
+        for measure in component.workflow.measures:
+            table = self.cache.get(
+                component.keys[measure.name], measure.granularity
+            )
+            if table is None:
+                logger.warning(
+                    "cache entry for %s/%s disappeared; re-executing "
+                    "component",
+                    component.query,
+                    measure.name,
+                )
+                self._execute_solo(component, input_file, tables)
+                return
+            loaded[measure.name] = table
+        tables[component.query].update(loaded)
+
+    def _derive(
+        self,
+        component: ComponentPlan,
+        input_file: DistributedFile,
+        tables: dict[str, dict[str, MeasureTable]],
+    ) -> None:
+        """Recompute composites centrally from cached basic tables.
+
+        Cached basics equal the exact centralized tables (the parallel
+        invariant), and composite operators are deterministic functions
+        of their source tables, so derivation is bit-identical to a
+        full run.  Newly derived composites are stored back."""
+        assert self.cache is not None
+        basic_tables: dict[str, MeasureTable] = {}
+        for measure in component.workflow.basic_measures():
+            table = self.cache.get(
+                component.keys[measure.name], measure.granularity
+            )
+            if table is None:
+                logger.warning(
+                    "cached basics for %s:%s disappeared; re-executing",
+                    component.query,
+                    list(component.names),
+                )
+                self._execute_solo(component, input_file, tables)
+                return
+            basic_tables[measure.name] = table
+        result = BlockEvaluator(
+            component.workflow, tracer=self.tracer
+        ).evaluate(basic_tables=basic_tables)
+        tables[component.query].update(result.tables)
+        for measure in component.workflow.composite_measures():
+            self.cache.put(
+                component.keys[measure.name],
+                result.tables[measure.name],
+                measure_name=f"{component.query}/{measure.name}",
+            )
+
+    def _execute_solo(
+        self,
+        component: ComponentPlan,
+        input_file: DistributedFile,
+        tables: dict[str, dict[str, MeasureTable]],
+    ) -> None:
+        """Degradation path: run one component as its own job."""
+        outcome = self.inner.evaluate(component.workflow, input_file)
+        tables[component.query].update(outcome.result.tables)
+        self._store_component(component, tables[component.query])
+
+    # -- shared jobs ------------------------------------------------------
+
+    def _run_group(
+        self,
+        index: int,
+        group: ShareGroup,
+        input_file: DistributedFile,
+        tables: dict[str, dict[str, MeasureTable]],
+        unit_components: dict[int, ComponentPlan],
+    ) -> GroupOutcome:
+        attempts = 0
+        last_error = ""
+        while attempts <= self.group_retries:
+            attempts += 1
+            try:
+                with self.tracer.span(
+                    "batch-group", index=index, attempt=attempts,
+                    queries=",".join(group.queries),
+                ):
+                    outcome = self.inner.evaluate(
+                        group.workflow,
+                        input_file,
+                        plan=QueryPlan([(group.workflow, group.plan)]),
+                    )
+            except Exception as exc:  # noqa: BLE001 - group-level retry
+                last_error = f"{type(exc).__name__}: {exc}"
+                logger.warning(
+                    "share group %d attempt %d failed: %s",
+                    index, attempts, last_error,
+                )
+                continue
+            self._split_group_result(
+                group, outcome, tables, unit_components
+            )
+            return GroupOutcome(group, outcome, attempts)
+        return GroupOutcome(group, None, attempts, error=last_error)
+
+    def _split_group_result(
+        self,
+        group: ShareGroup,
+        outcome: ParallelResult,
+        tables: dict[str, dict[str, MeasureTable]],
+        unit_components: dict[int, ComponentPlan],
+    ) -> None:
+        """Route merged ``query/measure`` tables back to their queries."""
+        counters = outcome.job.counters
+        for name, table in outcome.result.items():
+            query, _, original = name.partition(QUERY_SEPARATOR)
+            tables[query][original] = table
+            counters.extra[f"batch.rows.{query}"] += len(table)
+            counters.extra[f"batch.measures.{query}"] += 1
+        # Store this group's entries NOW: a later group's failure must
+        # not cost us what already completed.
+        for unit in group.units:
+            component = unit_components.get(id(unit))
+            if component is not None:
+                self._store_component(component, tables[unit.query])
+
+    def _store_component(self, component: ComponentPlan, query_tables) -> None:
+        if self.cache is None or not component.keys:
+            return
+        for measure in component.workflow.measures:
+            self.cache.put(
+                component.keys[measure.name],
+                query_tables[measure.name],
+                measure_name=f"{component.query}/{measure.name}",
+            )
+
+    # -- helpers ----------------------------------------------------------
+
+    def _resolve_input(
+        self, data: Sequence[Record] | DistributedFile
+    ) -> DistributedFile:
+        if isinstance(data, DistributedFile):
+            return data
+        return self.cluster.dfs.write("batch-input", list(data))
+
+    def _stats_delta(
+        self, before: CacheStats | None
+    ) -> Optional[CacheStats]:
+        if self.cache is None or before is None:
+            return None
+        now = self.cache.stats
+        return CacheStats(
+            hits=now.hits - before.hits,
+            misses=now.misses - before.misses,
+            stores=now.stores - before.stores,
+            corrupt=now.corrupt - before.corrupt,
+            store_errors=now.store_errors - before.store_errors,
+        )

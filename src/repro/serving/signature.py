@@ -1,0 +1,118 @@
+"""Content addressing for measures and datasets.
+
+The measure cache (:mod:`repro.serving.cache`) stores materialized
+measure tables under keys derived from *what was computed over which
+data*, never from names or paths:
+
+* :func:`measure_signature` hashes a measure's full defining subgraph --
+  granularity, aggregate, combine expression, and every edge
+  (relationship, window, per-edge aggregate) down to the basic measures.
+  Measure **names never enter the hash**, so two queries defining the
+  same computation under different names share one cache entry.
+* :func:`dataset_fingerprint` hashes the schema shape plus every record,
+  so any change to the data (or to the hierarchy levels coordinates are
+  derived through) invalidates all entries for that dataset.
+* :func:`cache_key` combines the two into the entry's address.
+
+Signatures identify aggregate functions and combine expressions by
+their registered names (``sum``, ``ratio``, ...), which is exact for
+the built-ins; user-defined functions must keep a name's semantics
+stable for cache hits to be sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+from repro.cube.records import Record, Schema
+from repro.mapreduce.dfs import DistributedFile
+from repro.query.measures import Measure
+
+__all__ = ["cache_key", "dataset_fingerprint", "measure_signature"]
+
+
+def measure_signature(measure: Measure) -> str:
+    """A name-independent structural hash of one measure's definition.
+
+    Two measures get the same signature exactly when they compute the
+    same thing: same granularity, same aggregate/combine functions, and
+    structurally identical source subgraphs (recursively, ignoring every
+    measure name along the way).
+    """
+    return _signature(measure, {})
+
+
+def _signature(measure: Measure, memo: dict[int, str]) -> str:
+    cached = memo.get(id(measure))
+    if cached is not None:
+        return cached
+    levels = ",".join(measure.granularity.levels)
+    if measure.is_basic:
+        text = (
+            f"basic|{levels}|{measure.field}|{measure.aggregate.name}"
+        )
+    else:
+        edges = []
+        for edge in measure.inputs:
+            window = (
+                f"{edge.window.attribute}:{edge.window.low}:"
+                f"{edge.window.high}"
+                if edge.window is not None
+                else "-"
+            )
+            aggregate = (
+                edge.aggregate.name if edge.aggregate is not None else "-"
+            )
+            edges.append(
+                f"{edge.relationship.value}|{window}|{aggregate}|"
+                f"{_signature(edge.source, memo)}"
+            )
+        combine = measure.effective_combine
+        text = (
+            f"composite|{levels}|{combine.name}/{combine.arity}|"
+            + ";".join(edges)
+        )
+    digest = hashlib.sha256(text.encode()).hexdigest()[:32]
+    memo[id(measure)] = digest
+    return digest
+
+
+def _schema_descriptor(schema: Schema) -> str:
+    """The schema shape that region coordinates depend on."""
+    parts = []
+    for attribute in schema.attributes:
+        levels = ",".join(
+            f"{level.name}@{level.depth}"
+            for level in attribute.hierarchy.levels
+        )
+        parts.append(f"{attribute.name}({levels})")
+    return "|".join(parts) + "|facts:" + ",".join(schema.facts)
+
+
+def dataset_fingerprint(
+    data: Sequence[Record] | Iterable[Record] | DistributedFile,
+    schema: Schema,
+) -> str:
+    """A content hash of *data* under *schema*.
+
+    Streams every record through SHA-256 (records are plain tuples with
+    stable ``repr``), prefixed by the schema's attribute/level shape, so
+    the fingerprint changes whenever the records or the hierarchy
+    structure coordinates are computed through change.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(_schema_descriptor(schema).encode())
+    records = data.records() if isinstance(data, DistributedFile) else data
+    count = 0
+    for record in records:
+        hasher.update(repr(record).encode())
+        count += 1
+    hasher.update(f"|n={count}".encode())
+    return hasher.hexdigest()[:32]
+
+
+def cache_key(fingerprint: str, measure: Measure) -> str:
+    """The cache address of *measure* materialized over *fingerprint*."""
+    text = f"{fingerprint}|{measure_signature(measure)}"
+    return hashlib.sha256(text.encode()).hexdigest()[:32]

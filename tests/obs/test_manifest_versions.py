@@ -1,0 +1,147 @@
+"""Every manifest schema version (v1..v3) must keep loading.
+
+``repro stats`` and ``repro diff`` read manifests written by older
+builds; these tests freeze a representative document per version and
+round-trip it through load/write/summary/diff.
+"""
+
+import io
+import json
+from collections import Counter
+
+import pytest
+
+from repro.mapreduce.counters import JobCounters, PhaseBreakdown
+from repro.obs.diff import diff_manifests
+from repro.obs.manifest import (
+    SCHEMA_VERSION,
+    RunManifest,
+    breakdown_to_dict,
+    counters_to_dict,
+)
+
+
+def _base_document() -> dict:
+    """The fields every schema version has carried since v1."""
+    counters = JobCounters(
+        map_input_records=1000,
+        map_output_records=1150,
+        map_tasks=4,
+        reduce_tasks=2,
+        shuffle_bytes=9200,
+        extra=Counter({"stragglers": 1}),
+    )
+    breakdown = PhaseBreakdown(
+        map=1.0, shuffle=0.5, framework_sort=0.25, group_sort=0.25,
+        evaluate=1.0,
+    )
+    return {
+        "query": "measure m over a:value = sum(v)",
+        "plan": "<a:value> cf=2",
+        "response_time": 3.0,
+        "map_makespan": 1.0,
+        "reduce_makespan": 2.0,
+        "counters": counters_to_dict(counters),
+        "breakdown": breakdown_to_dict(breakdown),
+        "reducer_loads": [600, 550],
+        "load_imbalance": 600 / 575,
+        "config": {"machines": 2},
+        "environment": {"python": "3.x"},
+        "metrics": {},
+        "created_at": "2026-01-01T00:00:00+0000",
+    }
+
+
+def document_for_version(version: int) -> dict:
+    data = _base_document()
+    data["schema_version"] = version
+    if version >= 2:
+        data["calibration"] = {
+            "predicted_max_load": 580.0,
+            "actual_max_load": 600.0,
+            "max_load_error": -0.033,
+            "predicted_shipped_records": 1150.0,
+            "actual_shipped_records": 1150.0,
+            "shipped_records_error": 0.0,
+            "predicted_shuffle_bytes": 9200.0,
+            "actual_shuffle_bytes": 9200.0,
+            "shuffle_bytes_error": 0.0,
+            "predicted_blocks": 8,
+            "actual_blocks": 8,
+            "blocks_error": 0.0,
+            "early_aggregation": False,
+            "load_imbalance": 600 / 575,
+            "histogram": {},
+            "components": [],
+        }
+    if version >= 3:
+        data["batch"] = {
+            "queries": ["qa", "qb"],
+            "groups": [{"queries": ["qa", "qb"], "succeeded": True}],
+            "dispositions": {"execute": 2},
+            "jobless_queries": [],
+            "cache": {"hits": 0, "misses": 2, "stores": 2},
+        }
+    return data
+
+
+@pytest.mark.parametrize("version", [1, 2, 3])
+class TestVersionRoundTrip:
+    def test_from_dict_and_back(self, version):
+        manifest = RunManifest.from_dict(document_for_version(version))
+        assert manifest.schema_version == version
+        rebuilt = RunManifest.from_dict(manifest.to_dict())
+        assert rebuilt.to_dict() == manifest.to_dict()
+
+    def test_write_and_load_stream(self, version):
+        manifest = RunManifest.from_dict(document_for_version(version))
+        buffer = io.StringIO()
+        manifest.write(buffer)
+        loaded = RunManifest.load(io.StringIO(buffer.getvalue()))
+        assert loaded.to_dict() == manifest.to_dict()
+
+    def test_write_and_load_path(self, version, tmp_path):
+        path = str(tmp_path / f"manifest_v{version}.json")
+        manifest = RunManifest.from_dict(document_for_version(version))
+        manifest.write(path)
+        assert RunManifest.load(path).to_dict() == manifest.to_dict()
+
+    def test_summary_renders(self, version):
+        summary = RunManifest.from_dict(
+            document_for_version(version)
+        ).summary()
+        assert f"schema v{version}" in summary
+        if version >= 3:
+            assert "batch" in summary
+
+    def test_self_diff_is_clean(self, version):
+        manifest = RunManifest.from_dict(document_for_version(version))
+        diff = diff_manifests(manifest, manifest, threshold=0.0)
+        assert not diff.has_regressions
+        assert diff.changed() == []
+
+
+class TestVersionGuards:
+    def test_older_fields_default_empty(self):
+        manifest = RunManifest.from_dict(document_for_version(1))
+        assert manifest.calibration == {}
+        assert manifest.batch == {}
+
+    def test_unknown_fields_ignored(self):
+        data = document_for_version(2)
+        data["some_future_detail"] = {"x": 1}
+        manifest = RunManifest.from_dict(data)
+        assert manifest.schema_version == 2
+
+    def test_newer_version_rejected(self):
+        data = document_for_version(3)
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="newer"):
+            RunManifest.from_dict(data)
+
+    def test_cross_version_diff_runs(self):
+        old = RunManifest.from_dict(document_for_version(1))
+        new = RunManifest.from_dict(document_for_version(3))
+        diff = diff_manifests(old, new, threshold=0.0)
+        assert json.dumps(diff.to_dict())
+        assert diff.describe()

@@ -1,0 +1,1 @@
+"""Tests for repro.serving: batch planning, shared execution, caching."""

@@ -1,0 +1,40 @@
+"""Shared fixtures for the serving tests: a small Q1..Q6 batch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapreduce import ClusterConfig, SimulatedCluster
+from repro.parallel import ParallelEvaluator
+from repro.workload import all_queries, generate_uniform, paper_schema
+
+
+def fresh_cluster(machines: int = 8) -> SimulatedCluster:
+    return SimulatedCluster(ClusterConfig(machines=machines))
+
+
+@pytest.fixture(scope="session")
+def batch_schema():
+    return paper_schema(days=2, temporal_base="minute")
+
+
+@pytest.fixture(scope="session")
+def batch_records(batch_schema):
+    return generate_uniform(batch_schema, 2500, seed=7)
+
+
+@pytest.fixture(scope="session")
+def batch_queries(batch_schema):
+    return all_queries(batch_schema)
+
+
+@pytest.fixture(scope="session")
+def solo_results(batch_queries, batch_records):
+    """Each query's standalone answer: the bit-identity baseline."""
+    results = {}
+    for name, workflow in batch_queries.items():
+        outcome = ParallelEvaluator(fresh_cluster()).evaluate(
+            workflow, batch_records
+        )
+        results[name] = outcome.result
+    return results

@@ -1,0 +1,185 @@
+"""The cross-run measure cache: hits, misses, invalidation, recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query import WorkflowBuilder
+from repro.serving import (
+    BatchEvaluator,
+    BatchExecutionError,
+    MeasureCache,
+)
+from repro.serving.planner import (
+    DISPOSITION_CACHE,
+    DISPOSITION_DERIVE,
+    DISPOSITION_EXECUTE,
+)
+from repro.workload import generate_uniform
+
+from tests.serving.conftest import fresh_cluster
+
+
+class TestWarmCache:
+    def test_second_run_is_jobless_and_identical(
+        self, batch_queries, batch_records, solo_results
+    ):
+        cache = MeasureCache()
+        cold = BatchEvaluator(fresh_cluster(), cache=cache).evaluate(
+            batch_queries, batch_records
+        )
+        assert cold.cache_stats.hits == 0
+        assert cold.cache_stats.stores > 0
+
+        warm = BatchEvaluator(fresh_cluster(), cache=cache).evaluate(
+            batch_queries, batch_records
+        )
+        assert warm.jobs == []
+        assert sorted(warm.jobless_queries) == sorted(batch_queries)
+        assert warm.cache_stats.hits > 0
+        assert warm.cache_stats.misses == 0
+        for name, solo in solo_results.items():
+            assert warm.results[name] == solo, name
+
+    def test_dataset_change_invalidates(
+        self, batch_schema, batch_queries, batch_records
+    ):
+        cache = MeasureCache()
+        queries = {"Q2": batch_queries["Q2"]}
+        BatchEvaluator(fresh_cluster(), cache=cache).evaluate(
+            queries, batch_records
+        )
+        other = generate_uniform(batch_schema, len(batch_records), seed=99)
+        rerun = BatchEvaluator(fresh_cluster(), cache=cache).evaluate(
+            queries, other
+        )
+        # Different records, different fingerprint: nothing reusable.
+        assert rerun.cache_stats.hits == 0
+        assert rerun.cache_stats.misses > 0
+        assert len(rerun.jobs) == 1
+
+    def test_disk_cache_survives_across_evaluators(
+        self, tmp_path, batch_queries, batch_records, solo_results
+    ):
+        queries = {"Q3": batch_queries["Q3"]}
+        BatchEvaluator(
+            fresh_cluster(), cache=MeasureCache(tmp_path)
+        ).evaluate(queries, batch_records)
+
+        warm = BatchEvaluator(
+            fresh_cluster(), cache=MeasureCache(tmp_path)
+        ).evaluate(queries, batch_records)
+        assert warm.jobs == []
+        assert warm.results["Q3"] == solo_results["Q3"]
+
+    def test_corrupt_entry_degrades_to_execution(
+        self, tmp_path, batch_queries, batch_records, solo_results
+    ):
+        queries = {"Q2": batch_queries["Q2"]}
+        BatchEvaluator(
+            fresh_cluster(), cache=MeasureCache(tmp_path)
+        ).evaluate(queries, batch_records)
+
+        for entry in tmp_path.glob("*.json"):
+            entry.write_text("{not json")
+
+        result = BatchEvaluator(
+            fresh_cluster(), cache=MeasureCache(tmp_path)
+        ).evaluate(queries, batch_records)
+        assert result.results["Q2"] == solo_results["Q2"]
+        assert result.cache_stats.corrupt > 0
+
+
+class TestDerivation:
+    def test_composites_rederived_from_cached_basics(
+        self, batch_schema, batch_queries, batch_records, solo_results
+    ):
+        # First batch materializes only Q2's basic measure (same
+        # structure, different name -- signatures are name-independent).
+        builder = WorkflowBuilder(batch_schema)
+        builder.basic(
+            "any_name",
+            over={"a1": "value", "t1": "minute"},
+            field="a2",
+            aggregate="sum",
+        )
+        cache = MeasureCache()
+        BatchEvaluator(fresh_cluster(), cache=cache).evaluate(
+            {"warmup": builder.build()}, batch_records
+        )
+
+        evaluator = BatchEvaluator(fresh_cluster(), cache=cache)
+        queries = {"Q2": batch_queries["Q2"]}
+        plan = evaluator.plan(queries, batch_records)
+        (component,) = plan.components()
+        assert component.disposition == DISPOSITION_DERIVE
+
+        result = evaluator.evaluate(queries, batch_records, plan=plan)
+        assert result.jobs == []
+        assert result.results["Q2"] == solo_results["Q2"]
+
+
+class TestGroupFailures:
+    def test_transient_failure_retried(
+        self, batch_queries, batch_records, solo_results, monkeypatch
+    ):
+        evaluator = BatchEvaluator(
+            fresh_cluster(), cache=MeasureCache(), group_retries=1
+        )
+        real = evaluator.inner.evaluate
+        calls = {"n": 0}
+
+        def flaky(workflow, *args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("injected transient failure")
+            return real(workflow, *args, **kwargs)
+
+        monkeypatch.setattr(evaluator.inner, "evaluate", flaky)
+        result = evaluator.evaluate(
+            {"Q2": batch_queries["Q2"]}, batch_records
+        )
+        assert result.groups[0].attempts == 2
+        assert result.results["Q2"] == solo_results["Q2"]
+
+    def test_failed_group_keeps_completed_entries(
+        self, batch_queries, batch_records, solo_results, monkeypatch
+    ):
+        cache = MeasureCache()
+        queries = {"Q1": batch_queries["Q1"], "Q2": batch_queries["Q2"]}
+        evaluator = BatchEvaluator(
+            fresh_cluster(), cache=cache, group_retries=0
+        )
+        real = evaluator.inner.evaluate
+
+        def fail_q1_only_groups(workflow, *args, **kwargs):
+            if all(name.startswith("Q1/") for name in workflow.names):
+                raise RuntimeError("injected persistent failure")
+            return real(workflow, *args, **kwargs)
+
+        monkeypatch.setattr(
+            evaluator.inner, "evaluate", fail_q1_only_groups
+        )
+        with pytest.raises(BatchExecutionError) as excinfo:
+            evaluator.evaluate(queries, batch_records)
+        partial = excinfo.value.partial
+        assert partial is not None
+        assert partial.results["Q2"] == solo_results["Q2"]
+        assert any(not outcome.succeeded for outcome in partial.groups)
+
+        # The completed group's entries were stored before the failure,
+        # so a clean re-run resumes: Q2 is answered without a job and
+        # only Q1's failed component re-executes.
+        rerun_eval = BatchEvaluator(fresh_cluster(), cache=cache)
+        plan = rerun_eval.plan(queries, batch_records)
+        dispositions = {
+            component.disposition for component in plan.components()
+        }
+        assert DISPOSITION_CACHE in dispositions
+        assert DISPOSITION_EXECUTE in dispositions
+
+        rerun = rerun_eval.evaluate(queries, batch_records, plan=plan)
+        assert "Q2" in rerun.jobless_queries
+        assert len(rerun.jobs) == 1
+        assert rerun.results["Q1"] == solo_results["Q1"]
+        assert rerun.results["Q2"] == solo_results["Q2"]

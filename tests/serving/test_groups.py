@@ -1,0 +1,174 @@
+"""Workflow prefixing, measure signatures, and share-group formation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.local import evaluate_centralized
+from repro.optimizer import Optimizer
+from repro.query import WorkflowBuilder
+from repro.query.workflow import connected_components
+from repro.serving import (
+    BatchPlanner,
+    cache_key,
+    dataset_fingerprint,
+    form_share_groups,
+    measure_signature,
+    prefix_workflow,
+)
+from repro.serving.groups import QUERY_SEPARATOR, BatchUnit
+from repro.workload import generate_uniform, paper_schema
+
+
+def _basic(schema, name="m", over=None, field="a2"):
+    builder = WorkflowBuilder(schema)
+    builder.basic(
+        name,
+        over=over or {"a1": "value", "t1": "minute"},
+        field=field,
+        aggregate="sum",
+    )
+    return builder.build()
+
+
+class TestPrefixWorkflow:
+    def test_names_and_edges_are_rewritten(self, tiny_workflow):
+        prefixed = prefix_workflow(tiny_workflow, "q" + QUERY_SEPARATOR)
+        assert sorted(prefixed.names) == sorted(
+            "q" + QUERY_SEPARATOR + name for name in tiny_workflow.names
+        )
+        by_name = {m.name: m for m in prefixed.measures}
+        for measure in prefixed.measures:
+            for edge in measure.inputs:
+                # Edges must point at the renamed measures of the same
+                # workflow, not back into the original DAG.
+                assert edge.source is by_name[edge.source.name]
+
+    def test_original_workflow_untouched(self, tiny_workflow):
+        names_before = list(tiny_workflow.names)
+        prefix_workflow(tiny_workflow, "q" + QUERY_SEPARATOR)
+        assert list(tiny_workflow.names) == names_before
+
+    def test_prefixed_evaluation_matches_original(
+        self, tiny_workflow, tiny_records
+    ):
+        prefix = "q" + QUERY_SEPARATOR
+        original = evaluate_centralized(tiny_workflow, tiny_records)
+        renamed = evaluate_centralized(
+            prefix_workflow(tiny_workflow, prefix), tiny_records
+        )
+        assert {
+            name[len(prefix):]: table.values
+            for name, table in renamed.tables.items()
+        } == {
+            name: table.values for name, table in original.tables.items()
+        }
+
+
+class TestSignatures:
+    def test_signature_ignores_measure_names(self):
+        schema = paper_schema(days=2, temporal_base="minute")
+        a = _basic(schema, name="first")
+        b = _basic(schema, name="totally_different")
+        assert measure_signature(a.measures[0]) == measure_signature(
+            b.measures[0]
+        )
+
+    def test_signature_sees_structure(self):
+        schema = paper_schema(days=2, temporal_base="minute")
+        base = _basic(schema)
+        coarser = _basic(schema, over={"a1": "value", "t1": "hour"})
+        other_field = _basic(schema, field="a3")
+        signatures = {
+            measure_signature(w.measures[0])
+            for w in (base, coarser, other_field)
+        }
+        assert len(signatures) == 3
+
+    def test_cache_key_depends_on_data_and_measure(self):
+        schema = paper_schema(days=2, temporal_base="minute")
+        workflow = _basic(schema)
+        fp_a = dataset_fingerprint(generate_uniform(schema, 50, 1), schema)
+        fp_b = dataset_fingerprint(generate_uniform(schema, 50, 2), schema)
+        assert fp_a != fp_b
+        measure = workflow.measures[0]
+        assert cache_key(fp_a, measure) != cache_key(fp_b, measure)
+        assert cache_key(fp_a, measure) == cache_key(fp_a, measure)
+
+
+class TestShareGroups:
+    def _units(self, queries, schema, n_records=2000, reducers=8):
+        optimizer = Optimizer()
+        units = []
+        for name, workflow in queries.items():
+            for component in connected_components(workflow):
+                prefixed = prefix_workflow(
+                    component, name + QUERY_SEPARATOR
+                )
+                plan = optimizer.plan(prefixed, n_records, reducers)
+                units.append(BatchUnit(name, prefixed, plan))
+        return units, optimizer
+
+    def test_single_query_single_group(self):
+        schema = paper_schema(days=2, temporal_base="minute")
+        units, optimizer = self._units({"only": _basic(schema)}, schema)
+        groups, decision = form_share_groups(units, optimizer, 2000, 8)
+        assert len(groups) == 1
+        assert groups[0].queries == ["only"]
+        assert decision.considered == []
+
+    def test_identical_queries_merge(self):
+        schema = paper_schema(days=2, temporal_base="minute")
+        queries = {"qa": _basic(schema), "qb": _basic(schema)}
+        units, optimizer = self._units(queries, schema)
+        groups, decision = form_share_groups(units, optimizer, 2000, 8)
+        # Identical workloads share a key and a load profile, so the
+        # merged job is predicted strictly cheaper than two jobs.
+        assert len(groups) == 1
+        assert sorted(groups[0].queries) == ["qa", "qb"]
+        assert any(d.merged for d in decision.considered)
+
+    def test_disjoint_attributes_form_valid_partition(self):
+        schema = paper_schema(days=2, temporal_base="minute")
+        queries = {
+            "qa": _basic(schema, over={"a1": "value", "t1": "minute"}),
+            "qb": _basic(
+                schema, over={"a2": "value", "t2": "minute"}, field="a3"
+            ),
+        }
+        units, optimizer = self._units(queries, schema)
+        groups, decision = form_share_groups(units, optimizer, 2000, 8)
+        # Whatever the cost model decides, the result is a partition of
+        # the units and every considered pair carries a verdict.
+        grouped = [unit for group in groups for unit in group.units]
+        assert sorted(id(u) for u in grouped) == sorted(
+            id(u) for u in units
+        )
+        assert decision.considered
+        for entry in decision.considered:
+            assert entry.reason
+        if len(groups) == 1:
+            assert any(d.merged for d in decision.considered)
+        else:
+            assert not any(d.merged for d in decision.considered)
+
+    def test_decision_round_trips_to_dict(self):
+        schema = paper_schema(days=2, temporal_base="minute")
+        queries = {"qa": _basic(schema), "qb": _basic(schema)}
+        units, optimizer = self._units(queries, schema)
+        _groups, decision = form_share_groups(units, optimizer, 2000, 8)
+        payload = decision.to_dict()
+        assert payload["groups"]
+        assert payload["considered"]
+        assert "MERGED" in decision.describe()
+
+
+class TestPlannerValidation:
+    def test_separator_in_query_name_rejected(self):
+        schema = paper_schema(days=2, temporal_base="minute")
+        records = generate_uniform(schema, 100, seed=1)
+        bad_name = "a" + QUERY_SEPARATOR + "b"
+        with pytest.raises(ValueError, match="query name"):
+            BatchPlanner(Optimizer()).plan(
+                {bad_name: _basic(schema)}, records, 4
+            )

@@ -537,3 +537,116 @@ class TestTraceRobustness:
                  "--machines", "2", "--days", "1", "--out", str(out),
                  "--manifest", "/nonexistent-dir/m.json"]
             )
+
+
+BATCH_QUERY_A = """
+measure A1 over keyword:word, time:minute = sum(page_count)
+measure A2 over keyword:word, time:hour = avg(children(A1))
+"""
+
+BATCH_QUERY_B = """
+measure B1 over keyword:word, time:minute = sum(ad_count)
+"""
+
+
+@pytest.fixture
+def batch_query_files(tmp_path):
+    a = tmp_path / "qa.cq"
+    b = tmp_path / "qb.cq"
+    a.write_text(BATCH_QUERY_A)
+    b.write_text(BATCH_QUERY_B)
+    return str(a), str(b)
+
+
+class TestBatch:
+    ARGS = ["--records", "3000", "--machines", "4", "--days", "1"]
+
+    def test_batch_happy_path(self, batch_query_files, capsys):
+        a, b = batch_query_files
+        code = main(["batch", a, b] + self.ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 queries" in out
+        assert "result rows" in out
+        assert "qa" in out and "qb" in out
+
+    def test_batch_warm_cache_dir(
+        self, batch_query_files, tmp_path, capsys
+    ):
+        a, b = batch_query_files
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["batch", a, b, "--cache-dir", cache_dir] + self.ARGS
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["batch", a, b, "--cache-dir", cache_dir] + self.ARGS
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 shared jobs" in out
+        assert "'misses': 0" in out
+
+    def test_batch_manifest_then_stats(
+        self, batch_query_files, tmp_path, capsys
+    ):
+        a, b = batch_query_files
+        manifest = str(tmp_path / "batch.manifest.json")
+        assert main(
+            ["batch", a, b, "--manifest", manifest] + self.ARGS
+        ) == 0
+        capsys.readouterr()
+        assert main(["stats", manifest]) == 0
+        out = capsys.readouterr().out
+        assert "batch:" in out
+        assert "schema v3" in out
+
+    def test_duplicate_stems_rejected(self, tmp_path):
+        nested = tmp_path / "nested"
+        nested.mkdir()
+        first = tmp_path / "same.cq"
+        second = nested / "same.cq"
+        first.write_text(BATCH_QUERY_B)
+        second.write_text(BATCH_QUERY_B)
+        with pytest.raises(SystemExit, match="duplicate query name"):
+            main(["batch", str(first), str(second)] + self.ARGS)
+
+    def test_negative_group_retries_rejected(self, batch_query_files):
+        a, b = batch_query_files
+        with pytest.raises(SystemExit, match="group-retries"):
+            main(
+                ["batch", a, b, "--group-retries", "-1"] + self.ARGS
+            )
+
+    def test_batch_csv_export(self, batch_query_files, tmp_path, capsys):
+        a, b = batch_query_files
+        csv_dir = tmp_path / "csv"
+        code = main(
+            ["batch", a, b, "--csv-dir", str(csv_dir)] + self.ARGS
+        )
+        assert code == 0
+        written = sorted(p.name for p in csv_dir.glob("*.csv"))
+        assert written == ["qa.csv", "qb.csv"]
+
+
+class TestExplainBatch:
+    ARGS = ["--records", "3000", "--machines", "4", "--days", "1"]
+
+    def test_multiple_files_require_batch_flag(self, batch_query_files):
+        a, b = batch_query_files
+        with pytest.raises(SystemExit, match="--batch"):
+            main(["explain", a, b] + self.ARGS)
+
+    def test_explain_batch_trail(self, batch_query_files, capsys):
+        a, b = batch_query_files
+        code = main(["explain", a, b, "--batch"] + self.ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch plan: 2 queries" in out
+
+    def test_dot_format_rejected(self, batch_query_files):
+        a, b = batch_query_files
+        with pytest.raises(SystemExit, match="dot"):
+            main(
+                ["explain", a, b, "--batch", "--format", "dot"]
+                + self.ARGS
+            )

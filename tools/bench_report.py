@@ -86,6 +86,23 @@ def report(path: Path) -> None:
             rows,
         )
 
+    if "sharing" in payload:
+        rows = [
+            [
+                mode,
+                entry["jobs"],
+                entry["total_map_time"],
+                entry["total_shuffle_bytes"],
+                entry["total_response_time"],
+            ]
+            for mode, entry in sorted(payload["sharing"].items())
+        ]
+        _table(
+            "multi-query sharing (Q1..Q6)",
+            ["mode", "jobs", "map s", "shuffle B", "response s"],
+            rows,
+        )
+
     if "summary" in payload:
         print("\nsummary:")
         for key, value in sorted(payload["summary"].items()):
@@ -100,6 +117,15 @@ _DIFF_SECTIONS = (
         ("scalar_records_per_s", "columnar_records_per_s", "speedup"),
     ),
     ("transport", ("scalar_bytes", "columnar_bytes", "reduction")),
+    (
+        "sharing",
+        (
+            "jobs",
+            "total_map_time",
+            "total_shuffle_bytes",
+            "total_response_time",
+        ),
+    ),
 )
 
 
