@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands, most operating on workflow scripts in the textual
+Nine subcommands, most operating on workflow scripts in the textual
 query language (see :mod:`repro.query.parser`):
 
 * ``repro demo`` -- run the paper's weblog example end to end;
@@ -25,17 +25,28 @@ query language (see :mod:`repro.query.parser`):
   ``chrome://tracing``), a run manifest (including the cost-model
   calibration report), and optionally the raw span events as JSONL;
 * ``repro stats MANIFEST.json`` -- summarize a previously written run
-  manifest (schemas v1-v3, including batch/cache sections);
+  manifest (schemas v1-v4, including batch/cache/worker sections);
+  ``repro stats --watch TELEMETRY.jsonl`` instead tails a live
+  telemetry log and re-renders the dashboard until the final frame;
 * ``repro diff A.json B.json`` -- compare two run manifests field by
   field and flag regressions beyond a threshold (exit status 1 when
-  any are found).
+  any are found);
+* ``repro top`` -- the live dashboard over a telemetry JSONL log:
+  ``--follow LOG`` tails a log a concurrent ``run --telemetry LOG`` is
+  writing (refreshing in place on a tty), ``--replay LOG`` renders a
+  finished log frame by frame.
 
 ``run`` and ``trace`` also take ``--chaos SEED`` (inject a seeded
 random :class:`~repro.faults.FaultPlan` -- crashes, task failures,
 stragglers, lost partitions -- and print the per-phase recovery
 accounting) and ``--fail-machines 0,3`` (mark machines dead before the
 run; if every replica of a block lands on dead machines the run aborts
-with an actionable one-line error).
+with an actionable one-line error).  ``run``/``trace``/``batch`` take
+``--telemetry FILE`` (stream live telemetry frames to a JSONL log that
+``repro top`` can follow), ``--prom FILE`` (write a Prometheus
+text-format snapshot of the final telemetry state), and ``run``/
+``trace`` take ``--profile FILE`` (sample the driver's wall-clock
+stacks and write collapsed stacks for flame graphs).
 
 Every subcommand takes ``--verbose``/``-v`` (repeatable) and
 ``--quiet``/``-q`` to control the ``repro.*`` log level.  Built-in
@@ -51,6 +62,7 @@ import json
 import logging
 import os
 import sys
+import time
 from typing import Optional, Sequence
 
 from repro.cube.records import Schema
@@ -266,6 +278,91 @@ def _print_fault_report(job) -> None:
 _COLUMNAR_CHOICES = {"auto": None, "on": True, "off": False}
 
 
+def _add_telemetry_arguments(
+    parser: argparse.ArgumentParser, profile: bool = True
+) -> None:
+    parser.add_argument(
+        "--telemetry", metavar="FILE",
+        help="stream live telemetry frames to this JSONL log "
+             "(follow it with 'repro top --follow FILE')",
+    )
+    parser.add_argument(
+        "--prom", metavar="FILE",
+        help="write a Prometheus text-format snapshot of the final "
+             "telemetry state (requires --telemetry)",
+    )
+    if profile:
+        parser.add_argument(
+            "--profile", metavar="FILE",
+            help="sample driver wall-clock stacks during evaluation and "
+                 "write collapsed stacks (flamegraph.pl/speedscope input)",
+        )
+
+
+def _make_telemetry(args):
+    """``(registry, log_writer)`` for the run, or ``(None, None)``."""
+    if getattr(args, "prom", None) and not getattr(args, "telemetry", None):
+        raise SystemExit("--prom requires --telemetry")
+    if not getattr(args, "telemetry", None):
+        return None, None
+    from repro.obs.exposition import TelemetryLogWriter
+    from repro.obs.telemetry import TelemetryRegistry
+
+    registry = TelemetryRegistry()
+    try:
+        writer = TelemetryLogWriter(args.telemetry)
+    except OSError as exc:
+        raise SystemExit(f"cannot write telemetry log: {exc}")
+    registry.attach(writer)
+    return registry, writer
+
+
+def _finish_telemetry(args, registry, writer) -> None:
+    """Write the terminal frame and the optional Prometheus snapshot."""
+    if registry is None:
+        return
+    writer.close(registry)
+    print(f"wrote {writer.frames_written} telemetry frames to "
+          f"{args.telemetry}")
+    if getattr(args, "prom", None):
+        from repro.obs.exposition import prometheus_text
+
+        try:
+            with open(args.prom, "w") as handle:
+                handle.write(prometheus_text(registry))
+        except OSError as exc:
+            raise SystemExit(f"cannot write Prometheus snapshot: {exc}")
+        print(f"wrote Prometheus snapshot to {args.prom}")
+
+
+class _MaybeProfiler:
+    """Context manager running the wall profiler when ``--profile`` asks."""
+
+    def __init__(self, path: Optional[str]):
+        self.path = path
+        self._profiler = None
+
+    def __enter__(self):
+        if self.path:
+            from repro.obs.sampler import WallProfiler
+
+            self._profiler = WallProfiler().__enter__()
+        return self
+
+    def __exit__(self, *exc):
+        if self._profiler is None:
+            return
+        self._profiler.stop()
+        try:
+            self._profiler.write_collapsed(self.path)
+        except OSError as error:
+            raise SystemExit(f"cannot write profile: {error}")
+        print(
+            f"wrote {self._profiler.samples} profile samples "
+            f"({len(self._profiler.collapsed())} stacks) to {self.path}"
+        )
+
+
 def _cmd_plan(args) -> int:
     schema = _build_schema(args.schema, args.days)
     workflow = _load_workflow(args.query, schema)
@@ -415,8 +512,13 @@ def _cmd_run(args) -> int:
         args.schema, schema, args.records, args.seed, args.skew
     )
     cluster = _build_cluster(args)
+    telemetry, telemetry_writer = _make_telemetry(args)
 
     if args.naive:
+        if telemetry is not None or args.profile:
+            raise SystemExit(
+                "--telemetry/--profile are not supported with --naive"
+            )
         outcome = _evaluate_or_die(
             NaiveEvaluator(cluster), workflow, records, cluster
         )
@@ -431,9 +533,12 @@ def _cmd_run(args) -> int:
                 use_sampling=args.sampling, columnar=columnar
             ),
         )
-        outcome = _evaluate_or_die(
-            ParallelEvaluator(cluster, config), workflow, records, cluster
-        )
+        with _MaybeProfiler(args.profile):
+            outcome = _evaluate_or_die(
+                ParallelEvaluator(cluster, config, telemetry=telemetry),
+                workflow, records, cluster,
+            )
+        _finish_telemetry(args, telemetry, telemetry_writer)
         print(outcome.describe())
         _print_fault_report(outcome.job)
         bars = outcome.breakdown.cumulative()
@@ -489,12 +594,14 @@ def _cmd_batch(args) -> int:
         optimizer=OptimizerConfig(columnar=columnar),
     )
     metrics = MetricsRegistry()
+    telemetry, telemetry_writer = _make_telemetry(args)
     evaluator = BatchEvaluator(
         cluster,
         config,
         metrics=metrics,
         cache=cache,
         group_retries=args.group_retries,
+        telemetry=telemetry,
     )
     try:
         outcome = evaluator.evaluate(queries, records)
@@ -509,6 +616,7 @@ def _cmd_batch(args) -> int:
             f"(machines down: {down or 'none'})"
         )
 
+    _finish_telemetry(args, telemetry, telemetry_writer)
     print(outcome.describe())
     for name in sorted(outcome.results):
         result = outcome.results[name]
@@ -573,10 +681,14 @@ def _cmd_trace(args) -> int:
             use_sampling=args.sampling, columnar=columnar
         ),
     )
+    telemetry, telemetry_writer = _make_telemetry(args)
     evaluator = ParallelEvaluator(
-        cluster, config, tracer=tracer, metrics=metrics
+        cluster, config, tracer=tracer, metrics=metrics,
+        telemetry=telemetry,
     )
-    outcome = _evaluate_or_die(evaluator, workflow, records, cluster)
+    with _MaybeProfiler(args.profile):
+        outcome = _evaluate_or_die(evaluator, workflow, records, cluster)
+    _finish_telemetry(args, telemetry, telemetry_writer)
     print(outcome.describe())
     _print_fault_report(outcome.job)
 
@@ -600,6 +712,7 @@ def _cmd_trace(args) -> int:
         cluster_config=cluster.config,
         execution_config=config,
         metrics=metrics,
+        telemetry=telemetry.snapshot(final=True) if telemetry else {},
     )
     try:
         manifest.write(manifest_path)
@@ -626,9 +739,65 @@ def _load_manifest_or_die(path: str) -> RunManifest:
 
 
 def _cmd_stats(args) -> int:
+    if args.watch:
+        return _follow_telemetry(
+            args.manifest, interval=0.5, title="repro stats --watch"
+        )
     manifest = _load_manifest_or_die(args.manifest)
     print(manifest.summary())
     return 0
+
+
+def _follow_telemetry(
+    path: str, interval: float = 0.5, title: str = "repro top"
+) -> int:
+    """Tail a telemetry JSONL log, re-rendering on every new frame.
+
+    Stops when the writer emits its terminal ``final`` frame or on
+    Ctrl-C.  A missing file is not an error: the run may not have
+    started yet, so we keep polling.
+    """
+    from repro.obs.exposition import read_telemetry_frames
+    from repro.obs.top import render_frame
+
+    last_seq = None
+    try:
+        while True:
+            newest = None
+            try:
+                for frame in read_telemetry_frames(path):
+                    newest = frame
+            except OSError:
+                newest = None
+            if newest is not None:
+                key = (newest.get("seq"), bool(newest.get("final")))
+                if key != last_seq:
+                    last_seq = key
+                    if sys.stdout.isatty():  # pragma: no cover - terminal
+                        sys.stdout.write("\x1b[2J\x1b[H")
+                    print(render_frame(newest, title=title))
+                    sys.stdout.flush()
+                if newest.get("final"):
+                    return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 0
+
+
+def _cmd_top(args) -> int:
+    if args.interval <= 0:
+        raise SystemExit("--interval must be positive")
+    if args.replay:
+        from repro.obs.exposition import read_telemetry_frames
+        from repro.obs.top import render_replay
+
+        try:
+            frames = list(read_telemetry_frames(args.replay))
+        except OSError as exc:
+            raise SystemExit(f"cannot read telemetry log: {exc}")
+        print(render_replay(frames, last_only=args.last))
+        return 0
+    return _follow_telemetry(args.follow, interval=args.interval)
 
 
 def _cmd_diff(args) -> int:
@@ -751,6 +920,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--gantt", action="store_true",
         help="draw slot-utilization charts of the map and reduce phases",
     )
+    _add_telemetry_arguments(run)
     run.set_defaults(handler=_cmd_run)
 
     batch = sub.add_parser(
@@ -780,8 +950,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--manifest", metavar="FILE",
-        help="write a schema-v3 run manifest (share groups, cache stats)",
+        help="write a run manifest (share groups, cache stats)",
     )
+    _add_telemetry_arguments(batch, profile=False)
     batch.set_defaults(handler=_cmd_batch)
 
     trace = sub.add_parser(
@@ -814,14 +985,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="batched map side: 'auto' enables it when every aggregate "
              "is vectorized, 'on'/'off' force it (results are identical)",
     )
+    _add_telemetry_arguments(trace)
     trace.set_defaults(handler=_cmd_trace)
 
     stats = sub.add_parser(
         "stats", help="summarize a run manifest written by 'trace'"
     )
     _add_logging_arguments(stats)
-    stats.add_argument("manifest", help="manifest JSON file to summarize")
+    stats.add_argument(
+        "manifest",
+        help="manifest JSON file to summarize (telemetry JSONL log "
+             "with --watch)",
+    )
+    stats.add_argument(
+        "--watch", action="store_true",
+        help="treat the argument as a telemetry JSONL log and tail it, "
+             "re-rendering the live dashboard until the final frame",
+    )
     stats.set_defaults(handler=_cmd_stats)
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard over a telemetry JSONL log "
+             "(written by run/trace/batch --telemetry)",
+    )
+    _add_logging_arguments(top)
+    top_source = top.add_mutually_exclusive_group(required=True)
+    top_source.add_argument(
+        "--follow", metavar="LOG",
+        help="tail LOG while a run writes it, refreshing in place",
+    )
+    top_source.add_argument(
+        "--replay", metavar="LOG",
+        help="render a finished LOG frame by frame",
+    )
+    top.add_argument(
+        "--last", action="store_true",
+        help="with --replay, render only the final frame",
+    )
+    top.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="with --follow, polling interval (default: 0.5)",
+    )
+    top.set_defaults(handler=_cmd_top)
 
     diff = sub.add_parser(
         "diff", help="compare two run manifests and flag regressions"

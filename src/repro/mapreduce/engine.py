@@ -33,6 +33,7 @@ from repro.mapreduce.dfs import DistributedFile
 from repro.mapreduce.sorter import external_sort, group_sorted
 from repro.mapreduce.timing import TimingModel
 from repro.mapreduce.trace import schedule
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.obs.tracer import NULL_TRACER
 
 logger = logging.getLogger(__name__)
@@ -299,6 +300,7 @@ class MapReduceJob:
         cluster: SimulatedCluster,
         tracer=None,
         sim_origin: float = 0.0,
+        telemetry=None,
     ) -> JobResult:
         """Execute the job and return outputs plus the execution report.
 
@@ -308,9 +310,13 @@ class MapReduceJob:
         phase with its ``shuffle``/``sort``/``group-sort``/``evaluate``
         children on the simulated clock.  *sim_origin* offsets every
         simulated timestamp, letting multi-job evaluations lay jobs
-        end to end on one timeline.
+        end to end on one timeline.  *telemetry* (a
+        :class:`repro.obs.telemetry.TelemetryRegistry`, disabled by
+        default) receives live phase progress and row/byte rates while
+        the job runs.
         """
         tracer = tracer if tracer is not None else NULL_TRACER
+        telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         timing = cluster.timing
         counters = JobCounters()
         chaos = cluster.fault_plan is not None
@@ -324,6 +330,8 @@ class MapReduceJob:
         with tracer.span("job", job=self.name) as job_span:
             with tracer.span("map") as map_span:
                 map_durations = []
+                telemetry.phase("map", 0, len(input_file.blocks))
+                shipped_bytes = 0
                 for block in input_file.blocks:
                     records, served_by = input_file.read_block(block, failed)
                     remote = served_by != block.replicas[0]
@@ -334,6 +342,15 @@ class MapReduceJob:
                             records, remote, timing, counters, buckets
                         )
                     )
+                    telemetry.phase(
+                        "map", len(map_durations), len(input_file.blocks)
+                    )
+                    telemetry.mark("map.rows", len(records))
+                    telemetry.mark(
+                        "shuffle.bytes",
+                        counters.map_output_bytes - shipped_bytes,
+                    )
+                    shipped_bytes = counters.map_output_bytes
                 counters.map_tasks = len(map_durations)
                 map_stats = None
                 if chaos:
@@ -382,11 +399,14 @@ class MapReduceJob:
             with tracer.span("reduce") as reduce_span:
                 outputs: list = []
                 shuffle, fsort, gsort, evaluate, loads = [], [], [], [], []
+                telemetry.phase("reduce", 0, len(buckets))
                 for index, pairs in enumerate(buckets):
                     counters.reduce_tasks += 1
                     durations = self._run_reduce_task(
                         pairs, cluster, counters, outputs
                     )
+                    telemetry.phase("reduce", index + 1, len(buckets))
+                    telemetry.mark("reduce.rows", len(pairs))
                     # Under chaos, dispatch-to-a-dead-machine is priced
                     # by real attempt accounting, not the flat 2x.
                     retry = (

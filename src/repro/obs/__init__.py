@@ -24,7 +24,17 @@ makes those signals first-class and machine-readable:
 * :func:`diff_manifests` -- field-by-field comparison of two run
   manifests with regression thresholds, behind ``repro diff``;
 * :func:`configure_logging` -- one consistent handler for the whole
-  ``repro.*`` logger hierarchy.
+  ``repro.*`` logger hierarchy;
+* :class:`TelemetryRegistry` -- the live telemetry plane: streaming
+  histograms, EWMA rate meters, windowed gauges, phase progress, and
+  per-worker resource sections merged from the multiprocess channel;
+  :data:`NULL_TELEMETRY` is its no-op twin.  Exposed as Prometheus
+  text (:func:`prometheus_text`), a JSONL frame log
+  (:class:`TelemetryLogWriter` / :func:`read_telemetry_frames`), and
+  the ``repro top`` dashboard (:func:`render_frame` /
+  :func:`render_replay`);
+* :class:`WallProfiler` -- a sampling wall-clock profiler emitting
+  collapsed stacks for flame graphs (``run --profile``).
 
 See ``docs/observability.md`` for a walkthrough.
 """
@@ -50,6 +60,11 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.exposition import (
+    TelemetryLogWriter,
+    prometheus_text,
+    read_telemetry_frames,
+)
 from repro.obs.logconfig import configure_logging
 from repro.obs.manifest import (
     RunManifest,
@@ -58,6 +73,19 @@ from repro.obs.manifest import (
     environment_info,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.sampler import WallProfiler
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    RateMeter,
+    ResourceSample,
+    StreamingHistogram,
+    TelemetryRegistry,
+    WindowedGauge,
+    WorkerDelta,
+    sample_resources,
+)
+from repro.obs.top import render_frame, render_replay
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, SpanEvent, Tracer
 
 __all__ = [
@@ -70,14 +98,24 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_TELEMETRY",
     "NULL_TRACER",
+    "NullTelemetry",
     "NullTracer",
     "QueryExplanation",
+    "RateMeter",
+    "ResourceSample",
     "RunDiff",
     "RunManifest",
     "Span",
     "SpanEvent",
+    "StreamingHistogram",
+    "TelemetryLogWriter",
+    "TelemetryRegistry",
     "Tracer",
+    "WallProfiler",
+    "WindowedGauge",
+    "WorkerDelta",
     "chrome_trace_events",
     "configure_logging",
     "counters_from_dict",
@@ -87,9 +125,14 @@ __all__ = [
     "explain_plan",
     "load_histogram",
     "progress_sink",
+    "prometheus_text",
+    "read_telemetry_frames",
     "relative_error",
     "render_dot",
+    "render_frame",
+    "render_replay",
     "render_text",
+    "sample_resources",
     "write_chrome_trace",
     "write_jsonl",
 ]

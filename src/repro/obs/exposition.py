@@ -1,0 +1,205 @@
+"""Exposition formats for the live telemetry plane.
+
+Two ways out of a :class:`~repro.obs.telemetry.TelemetryRegistry`:
+
+* :func:`prometheus_text` -- one deterministic snapshot in the
+  Prometheus text exposition format (``# HELP`` / ``# TYPE`` headers,
+  ``metric{label="..."} value`` samples), scrape-ready.
+* :class:`TelemetryLogWriter` -- a rate-limited JSONL sink: attach it
+  to a registry and it appends one frame per interval, plus a terminal
+  ``"final": true`` frame on :meth:`TelemetryLogWriter.close` so
+  followers (``repro top --follow``, ``repro stats --watch``) know the
+  run is over.  :func:`read_telemetry_frames` is the reader.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from pathlib import Path
+from typing import Callable, Iterator, Optional
+
+__all__ = [
+    "TelemetryLogWriter",
+    "prometheus_text",
+    "read_telemetry_frames",
+]
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """A metric name sanitized to the Prometheus grammar."""
+    sanitized = _INVALID_CHARS.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"repro_{sanitized}"
+
+
+def _prom_value(value) -> str:
+    if value is None:
+        return "NaN"
+    return repr(float(value))
+
+
+def prometheus_text(registry) -> str:
+    """Render *registry* as a Prometheus text-format snapshot.
+
+    Counters become ``counter`` samples, rate meters expose both their
+    cumulative count (counter) and smoothed rate (gauge), windowed
+    gauges their last value, streaming histograms a ``summary`` with
+    p50/p95/p99 quantile samples plus ``_sum``/``_count``, phase
+    progress a pair of gauges, and per-worker resources gauges labeled
+    by worker.  Output ordering is sorted and deterministic.
+    """
+    lines: list[str] = []
+
+    for name, value in sorted(registry.counters.items()):
+        metric = _prom_name(name)
+        lines.append(f"# HELP {metric} Cumulative counter {name}.")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(value)}")
+
+    for name, meter in sorted(registry.rates.items()):
+        metric = _prom_name(name)
+        lines.append(f"# HELP {metric}_total Events marked on {name}.")
+        lines.append(f"# TYPE {metric}_total counter")
+        lines.append(f"{metric}_total {_prom_value(meter.count)}")
+        lines.append(
+            f"# HELP {metric}_per_second EWMA rate of {name} (1/s)."
+        )
+        lines.append(f"# TYPE {metric}_per_second gauge")
+        lines.append(f"{metric}_per_second {_prom_value(meter.rate())}")
+
+    for name, gauge in sorted(registry.gauges.items()):
+        metric = _prom_name(name)
+        lines.append(f"# HELP {metric} Windowed gauge {name}.")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(gauge.value)}")
+
+    for name, histogram in sorted(registry.histograms.items()):
+        metric = _prom_name(name)
+        lines.append(
+            f"# HELP {metric} Streaming distribution of {name}."
+        )
+        lines.append(f"# TYPE {metric} summary")
+        for q in (50, 95, 99):
+            quantile = q / 100
+            value = histogram.percentile(q) if histogram.count else 0.0
+            lines.append(
+                f'{metric}{{quantile="{quantile}"}} {_prom_value(value)}'
+            )
+        lines.append(f"{metric}_sum {_prom_value(histogram.total)}")
+        lines.append(f"{metric}_count {_prom_value(histogram.count)}")
+
+    if registry.progress:
+        done_metric = _prom_name("phase_done")
+        total_metric = _prom_name("phase_total")
+        lines.append(
+            f"# HELP {done_metric} Work units finished per phase."
+        )
+        lines.append(f"# TYPE {done_metric} gauge")
+        for phase, (done, _total) in sorted(registry.progress.items()):
+            lines.append(
+                f'{done_metric}{{phase="{phase}"}} {_prom_value(done)}'
+            )
+        lines.append(
+            f"# HELP {total_metric} Work units scheduled per phase."
+        )
+        lines.append(f"# TYPE {total_metric} gauge")
+        for phase, (_done, total) in sorted(registry.progress.items()):
+            lines.append(
+                f'{total_metric}{{phase="{phase}"}} {_prom_value(total)}'
+            )
+
+    workers = registry.worker_totals()
+    if workers:
+        for resource, help_text in (
+            ("cpu_seconds", "CPU seconds consumed by the worker."),
+            ("rss_bytes", "Worker resident set size in bytes."),
+            ("gc_collections", "Worker GC collections so far."),
+        ):
+            metric = _prom_name(f"worker_{resource}")
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} gauge")
+            for worker, section in sorted(workers.items()):
+                value = section.get("resources", {}).get(resource)
+                if value is not None:
+                    lines.append(
+                        f'{metric}{{worker="{worker}"}} '
+                        f"{_prom_value(value)}"
+                    )
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+class TelemetryLogWriter:
+    """A rate-limited JSONL sink for telemetry frames.
+
+    Attach to a registry (``registry.attach(writer)``) and every
+    recording call funnels through :meth:`update`, which appends a
+    frame at most once per *interval* seconds -- so the log stays
+    small no matter how hot the instrumented path is.  :meth:`close`
+    writes one last frame marked ``"final": true`` (the signal
+    followers stop on) and closes the file.
+    """
+
+    def __init__(
+        self,
+        path,
+        interval: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.path = Path(path)
+        self.interval = interval
+        self._clock = clock
+        self._handle = self.path.open("w", encoding="utf-8")
+        self._last_write: Optional[float] = None
+        self.frames_written = 0
+
+    def update(self, registry) -> None:
+        """Registry change notification; writes if the interval passed."""
+        now = self._clock()
+        if (
+            self._last_write is not None
+            and now - self._last_write < self.interval
+        ):
+            return
+        self.write_frame(registry)
+
+    def write_frame(self, registry, final: bool = False) -> None:
+        """Append one frame unconditionally."""
+        if self._handle.closed:
+            return
+        frame = registry.snapshot(final=final)
+        self._handle.write(json.dumps(frame, sort_keys=True) + "\n")
+        self._handle.flush()
+        self._last_write = self._clock()
+        self.frames_written += 1
+
+    def close(self, registry=None) -> None:
+        """Write the terminal frame (if a registry is given) and close."""
+        if self._handle.closed:
+            return
+        if registry is not None:
+            self.write_frame(registry, final=True)
+        self._handle.close()
+
+
+def read_telemetry_frames(path) -> Iterator[dict]:
+    """Yield frames from a telemetry JSONL log, skipping torn lines.
+
+    A crashed writer can leave a truncated last line; readers (replay,
+    ``--watch``) should see every intact frame rather than die on the
+    tail.
+    """
+    with Path(path).open(encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                continue

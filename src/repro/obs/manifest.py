@@ -41,9 +41,12 @@ __all__ = [
 #: Manifest schema version, bumped on incompatible layout changes.
 #: v2 added the ``calibration`` section (predicted-vs-measured audit of
 #: the cost model); v3 added the ``batch`` section (share groups and
-#: measure-cache traffic of ``repro batch`` runs).  Older manifests
-#: still load, with the newer sections empty.
-SCHEMA_VERSION = 3
+#: measure-cache traffic of ``repro batch`` runs); v4 added the
+#: ``workers`` section (per-worker resource accounting and counters
+#: merged from the cross-process telemetry channel) and the
+#: ``telemetry`` section (the final live-telemetry frame).  Older
+#: manifests still load, with the newer sections empty.
+SCHEMA_VERSION = 4
 
 
 def counters_to_dict(counters: JobCounters) -> dict:
@@ -132,6 +135,16 @@ class RunManifest:
     #: hit/miss/store counts.  Empty for single-query runs and for
     #: manifests written before v3.
     batch: dict = field(default_factory=dict)
+    #: Per-worker resource accounting (schema v4): one section per
+    #: worker process merged from the telemetry channel -- cumulative
+    #: counters (tasks, rows) and the final resource odometer (CPU
+    #: seconds, RSS bytes, GC collections).  Empty for in-process runs
+    #: and for manifests written before v4.
+    workers: dict = field(default_factory=dict)
+    #: Final live-telemetry frame (schema v4):
+    #: :meth:`repro.obs.telemetry.TelemetryRegistry.snapshot` of the
+    #: run's last state.  Empty when telemetry was off.
+    telemetry: dict = field(default_factory=dict)
     created_at: str = field(
         default_factory=lambda: time.strftime("%Y-%m-%dT%H:%M:%S%z")
     )
@@ -147,13 +160,18 @@ class RunManifest:
         cluster_config=None,
         execution_config=None,
         metrics=None,
+        workers=None,
+        telemetry=None,
     ) -> "RunManifest":
         """Build a manifest from a parallel evaluation outcome.
 
         *outcome* is a :class:`~repro.parallel.report.ParallelResult`
         (anything with ``.plan`` and ``.job``); the configs are the
-        dataclasses used for the run, and *metrics* an optional
-        :class:`~repro.obs.metrics.MetricsRegistry`.
+        dataclasses used for the run, *metrics* an optional
+        :class:`~repro.obs.metrics.MetricsRegistry`, *workers* the
+        per-worker sections from
+        :meth:`repro.obs.telemetry.TelemetryRegistry.worker_totals`,
+        and *telemetry* the final live-telemetry frame.
         """
         report = outcome.job
         calibration = getattr(outcome, "calibration", None)
@@ -178,6 +196,8 @@ class RunManifest:
             calibration=(
                 calibration.to_dict() if calibration is not None else {}
             ),
+            workers=dict(workers or {}),
+            telemetry=dict(telemetry or {}),
         )
 
     @classmethod
@@ -397,6 +417,19 @@ class RunManifest:
                         if cache.get("corrupt")
                         else ""
                     )
+                )
+        if self.workers:
+            lines.append(f"workers: {len(self.workers)} processes")
+            for worker, section in sorted(self.workers.items()):
+                resources = section.get("resources", {})
+                counters = section.get("counters", {})
+                rss_mib = resources.get("rss_bytes", 0) / (1024 * 1024)
+                lines.append(
+                    f"  {worker}: "
+                    f"cpu {resources.get('cpu_seconds', 0.0):.2f}s, "
+                    f"rss {rss_mib:.1f} MiB, "
+                    f"gc {resources.get('gc_collections', 0)}, "
+                    f"tasks {counters.get('tasks', 0):g}"
                 )
         if self.faults:
             plan = self.faults.get("plan", {})

@@ -16,6 +16,8 @@ snapshot embedded in every :class:`~repro.obs.manifest.RunManifest`.
 from __future__ import annotations
 
 import dataclasses
+import random
+import zlib
 from collections import Counter as _CollectionsCounter
 from typing import Optional
 
@@ -60,30 +62,84 @@ class Gauge:
 class Histogram:
     """A distribution of observations with summary statistics.
 
-    Keeps every observation (runs are small and deterministic), so
-    exact percentiles are available without bucketing error.
+    Stores observations exactly up to *reservoir_size*, so percentiles
+    are exact for small runs.  Past the cap, Algorithm R reservoir
+    sampling keeps a uniform sample of everything seen -- memory stays
+    bounded on hot paths, count/mean/min/max remain exact (tracked as
+    running totals), and percentiles switch from exact to approximate
+    (uniform-sample estimates); :meth:`summary` reports which regime
+    produced its numbers via the ``"exact"`` flag.  The reservoir RNG
+    is seeded from the histogram *name*, so two runs feeding identical
+    observation streams produce identical summaries.
+
+    For truly unbounded hot-path use (live serving), prefer
+    :class:`~repro.obs.telemetry.StreamingHistogram`, whose mergeable
+    log-bucket state is what worker telemetry ships.
     """
 
-    __slots__ = ("name", "values")
+    __slots__ = ("name", "values", "reservoir_size", "_seen", "_total",
+                 "_min", "_max", "_rng")
 
-    def __init__(self, name: str):
+    #: Default cap on stored observations before sampling kicks in.
+    DEFAULT_RESERVOIR_SIZE = 4096
+
+    def __init__(self, name: str, reservoir_size: Optional[int] = None):
+        if reservoir_size is not None and reservoir_size <= 0:
+            raise ValueError(
+                f"reservoir_size must be positive, got {reservoir_size}"
+            )
         self.name = name
         self.values: list[float] = []
+        self.reservoir_size = (
+            reservoir_size
+            if reservoir_size is not None
+            else self.DEFAULT_RESERVOIR_SIZE
+        )
+        self._seen = 0
+        self._total = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        # Seeded from the name: deterministic across runs and
+        # independent of observation order elsewhere in the registry.
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
-        self.values.append(value)
+        """Record one observation (bounded memory past the reservoir)."""
+        self._seen += 1
+        self._total += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if len(self.values) < self.reservoir_size:
+            self.values.append(value)
+            return
+        # Algorithm R: keep each of the n seen values with equal
+        # probability reservoir_size / n.
+        slot = self._rng.randrange(self._seen)
+        if slot < self.reservoir_size:
+            self.values[slot] = value
+
+    @property
+    def exact(self) -> bool:
+        """Whether every observation is stored (exact percentiles)."""
+        return self._seen == len(self.values)
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        return self._seen
 
     @property
     def mean(self) -> float:
-        return sum(self.values) / len(self.values) if self.values else 0.0
+        return self._total / self._seen if self._seen else 0.0
 
     def percentile(self, q: float) -> float:
-        """The *q*-th percentile (0..100, nearest-rank) of observations."""
+        """The *q*-th percentile (0..100, nearest-rank).
+
+        Exact while the reservoir holds every observation; a
+        uniform-sample estimate once sampling has kicked in (see the
+        class docstring for the switch).
+        """
         if not 0 <= q <= 100:
             raise ValueError(f"percentile {q} outside [0, 100]")
         if not self.values:
@@ -94,15 +150,16 @@ class Histogram:
 
     def summary(self) -> dict:
         """Count/min/max/mean/p50/p99 as a JSON-ready mapping."""
-        if not self.values:
+        if not self._seen:
             return {"count": 0}
         return {
             "count": self.count,
-            "min": min(self.values),
-            "max": max(self.values),
+            "min": self._min,
+            "max": self._max,
             "mean": self.mean,
             "p50": self.percentile(50),
             "p99": self.percentile(99),
+            "exact": self.exact,
         }
 
 

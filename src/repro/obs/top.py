@@ -1,0 +1,219 @@
+"""The ``repro top`` dashboard renderer.
+
+Renders one telemetry frame (a
+:meth:`~repro.obs.telemetry.TelemetryRegistry.snapshot` dict, live or
+replayed from a JSONL log) as a fixed-width terminal dashboard: phase
+progress bars, throughput meters (rows/s, shuffle bytes/s), per-worker
+CPU/RSS with straggler flags, and the cache hit rate.  The same
+renderer backs ``repro top`` and ``repro stats --watch`` so the two
+views can never drift apart.
+
+Rendering is pure (frame dict in, string out) -- the CLI decides
+whether to clear the screen between frames.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+__all__ = ["render_frame", "render_replay"]
+
+#: A worker whose CPU time lags the median by more than this factor is
+#: flagged as a straggler in the worker table.
+STRAGGLER_FACTOR = 2.0
+
+_BAR_WIDTH = 24
+
+
+def _bar(done: int, total: int) -> str:
+    if total <= 0:
+        return "[" + "?" * _BAR_WIDTH + "]"
+    fraction = min(1.0, done / total)
+    filled = int(round(fraction * _BAR_WIDTH))
+    return "[" + "#" * filled + "-" * (_BAR_WIDTH - filled) + "]"
+
+
+def _human_bytes(value: float) -> str:
+    magnitude = float(value)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if magnitude < 1024 or unit == "TiB":
+            return (
+                f"{magnitude:.0f}{unit}"
+                if unit == "B"
+                else f"{magnitude:.1f}{unit}"
+            )
+        magnitude /= 1024
+    return f"{magnitude:.1f}TiB"  # pragma: no cover - loop always returns
+
+
+def _human_rate(value: float) -> str:
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.2f}M/s"
+    if value >= 1_000:
+        return f"{value / 1_000:.1f}k/s"
+    return f"{value:.1f}/s"
+
+
+def _progress_lines(frame: dict) -> list[str]:
+    progress = frame.get("progress") or {}
+    if not progress:
+        return []
+    lines = ["phases:"]
+    for phase, pair in sorted(progress.items()):
+        done, total = int(pair[0]), int(pair[1])
+        percent = f"{100 * done / total:5.1f}%" if total else "    ?"
+        lines.append(
+            f"  {phase:<10} {_bar(done, total)} {percent} "
+            f"({done}/{total})"
+        )
+    return lines
+
+
+def _rate_lines(frame: dict) -> list[str]:
+    rates = frame.get("rates") or {}
+    if not rates:
+        return []
+    lines = ["throughput:"]
+    for name, entry in sorted(rates.items()):
+        rate = float(entry.get("rate", 0.0))
+        count = entry.get("count", 0)
+        rendered = (
+            _human_bytes(rate) + "/s"
+            if "bytes" in name
+            else _human_rate(rate)
+        )
+        lines.append(f"  {name:<22} {rendered:>12}  (total {count:g})")
+    return lines
+
+
+def _worker_lines(frame: dict) -> list[str]:
+    workers = frame.get("workers") or {}
+    if not workers:
+        return []
+    cpu_by_worker = {
+        worker: float(section.get("resources", {}).get("cpu_seconds", 0.0))
+        for worker, section in workers.items()
+    }
+    ordered_cpu = sorted(cpu_by_worker.values())
+    median = ordered_cpu[len(ordered_cpu) // 2] if ordered_cpu else 0.0
+    lines = ["workers:"]
+    lines.append(
+        f"  {'worker':<10} {'cpu s':>8} {'rss':>10} {'gc':>5} "
+        f"{'tasks':>6}  flags"
+    )
+    for worker, section in sorted(workers.items()):
+        resources = section.get("resources", {})
+        counters = section.get("counters", {})
+        cpu = float(resources.get("cpu_seconds", 0.0))
+        rss = float(resources.get("rss_bytes", 0.0))
+        collections = int(resources.get("gc_collections", 0))
+        tasks = int(counters.get("tasks", 0))
+        flags = ""
+        if median > 0 and cpu * STRAGGLER_FACTOR < median:
+            flags = "STRAGGLER?"
+        lines.append(
+            f"  {worker:<10} {cpu:>8.2f} {_human_bytes(rss):>10} "
+            f"{collections:>5} {tasks:>6}  {flags}"
+        )
+    return lines
+
+
+def _cache_lines(frame: dict) -> list[str]:
+    counters = frame.get("counters") or {}
+    hits = counters.get("cache.hits")
+    misses = counters.get("cache.misses")
+    if hits is None and misses is None:
+        return []
+    hits = hits or 0
+    misses = misses or 0
+    lookups = hits + misses
+    rate = f"{100 * hits / lookups:.1f}%" if lookups else "n/a"
+    return [
+        f"cache: hit rate {rate} "
+        f"({hits:g} hits / {misses:g} misses)"
+    ]
+
+
+def _counter_lines(frame: dict) -> list[str]:
+    counters = {
+        name: value
+        for name, value in (frame.get("counters") or {}).items()
+        if not name.startswith("cache.")
+    }
+    if not counters:
+        return []
+    lines = ["counters:"]
+    for name, value in sorted(counters.items()):
+        lines.append(f"  {name:<28} {value:g}")
+    return lines
+
+
+def _histogram_lines(frame: dict) -> list[str]:
+    histograms = frame.get("histograms") or {}
+    populated = {
+        name: entry
+        for name, entry in histograms.items()
+        if entry.get("count")
+    }
+    if not populated:
+        return []
+    lines = ["latencies:"]
+    for name, entry in sorted(populated.items()):
+        lines.append(
+            f"  {name:<22} p50={entry['p50']:.4g} "
+            f"p95={entry['p95']:.4g} p99={entry['p99']:.4g} "
+            f"(n={entry['count']})"
+        )
+    return lines
+
+
+def render_frame(frame: dict, title: str = "repro top") -> str:
+    """Render one telemetry frame as the dashboard text."""
+    stamp = frame.get("ts")
+    status = "FINAL" if frame.get("final") else "live"
+    header = f"=== {title} · frame {frame.get('seq', '?')} · {status}"
+    if stamp is not None:
+        header += f" · t={float(stamp):.2f}s"
+    header += " ==="
+    sections: list[list[str]] = [
+        _progress_lines(frame),
+        _rate_lines(frame),
+        _worker_lines(frame),
+        _cache_lines(frame),
+        _histogram_lines(frame),
+        _counter_lines(frame),
+    ]
+    body: list[str] = [header]
+    for section in sections:
+        if section:
+            body.append("")
+            body.extend(section)
+    if len(body) == 1:
+        body += ["", "(no telemetry in this frame)"]
+    return "\n".join(body)
+
+
+def render_replay(
+    frames: Iterable[dict],
+    title: str = "repro top",
+    last_only: bool = False,
+) -> str:
+    """Render a replayed frame stream.
+
+    With *last_only* the final frame wins (what a live viewer would
+    have settled on); otherwise every frame renders in sequence,
+    separated by blank lines -- useful for non-tty output and tests.
+    """
+    rendered: list[str] = []
+    last: Optional[dict] = None
+    for frame in frames:
+        last = frame
+        if not last_only:
+            rendered.append(render_frame(frame, title=title))
+    if last_only:
+        if last is None:
+            return "(empty telemetry log)"
+        return render_frame(last, title=title)
+    if not rendered:
+        return "(empty telemetry log)"
+    return "\n\n".join(rendered)

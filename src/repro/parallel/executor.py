@@ -49,6 +49,7 @@ from repro.optimizer.optimizer import (
     QueryPlan,
 )
 from repro.obs.calibration import CalibrationReport
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.skew import KeyCache
 from repro.query.workflow import Workflow, connected_components
@@ -118,8 +119,10 @@ class ParallelEvaluator:
     span tree -- optimize, map, shuffle, sort, evaluate, per-slot task
     placements -- and *metrics* (a
     :class:`repro.obs.MetricsRegistry`) receives job counters, reducer
-    loads, and the optimizer's predicted-versus-actual max load.  Both
-    default to disabled no-ops.
+    loads, and the optimizer's predicted-versus-actual max load.
+    *telemetry* (a :class:`repro.obs.telemetry.TelemetryRegistry`)
+    receives live phase progress, throughput rates and streaming load
+    distributions while the job runs.  All default to disabled no-ops.
     """
 
     def __init__(
@@ -128,11 +131,15 @@ class ParallelEvaluator:
         config: ExecutionConfig | None = None,
         tracer=None,
         metrics=None,
+        telemetry=None,
     ):
         self.cluster = cluster
         self.config = config or ExecutionConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        self.telemetry = (
+            telemetry if telemetry is not None else NULL_TELEMETRY
+        )
         self.optimizer = Optimizer(self.config.optimizer, tracer=self.tracer)
 
     # -- input handling -------------------------------------------------------------
@@ -508,7 +515,12 @@ class ParallelEvaluator:
                 input_file.num_records,
                 query_plan.describe(),
             )
-            job_result = job.run(input_file, self.cluster, tracer=self.tracer)
+            job_result = job.run(
+                input_file,
+                self.cluster,
+                tracer=self.tracer,
+                telemetry=self.telemetry,
+            )
             logger.info("job finished: %s", job_result.report.summary())
 
             result = union_outputs(workflow, job_result.outputs)
@@ -530,6 +542,12 @@ class ParallelEvaluator:
             if columnar_stats is not None:
                 for name, value in columnar_stats.to_dict().items():
                     self.metrics.inc(f"columnar.{name}", value)
+        for load in job_result.report.reducer_loads:
+            self.telemetry.observe("job.reducer_load", load)
+        self.telemetry.set_gauge(
+            "job.response_time", job_result.report.response_time
+        )
+        self.telemetry.inc("job.completed")
         return ParallelResult(
             result=result,
             plan=query_plan,

@@ -44,7 +44,9 @@ what can go wrong with it) differs.
 from __future__ import annotations
 
 import logging
+import multiprocessing
 import os
+import queue as queue_module
 import time
 from collections import defaultdict
 from concurrent.futures import (
@@ -77,6 +79,7 @@ from repro.local.vectorized import (
     vectorized_supports,
 )
 from repro.mapreduce.engine import stable_hash
+from repro.obs.telemetry import NULL_TELEMETRY, sample_resources
 from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.optimizer import Optimizer, OptimizerConfig
 from repro.query.functions import Expression
@@ -174,6 +177,7 @@ def _init_worker(
     scheme_specs: list,
     expressions: Optional[Mapping[str, Expression]],
     function_factories: Sequence[tuple],
+    telemetry_queue=None,
 ) -> None:
     """Rebuild the workflow, evaluators and filters inside a worker."""
     for factory_path, args in function_factories:
@@ -214,6 +218,37 @@ def _init_worker(
     _WORKER["evaluators"] = evaluators
     _WORKER["vector_evaluators"] = vector_evaluators
     _WORKER["filters"] = filters
+    # Telemetry channel: cumulative totals since worker start, flushed
+    # with a monotone sequence number after every finished task.
+    _WORKER["telemetry_queue"] = telemetry_queue
+    _WORKER["telemetry_seq"] = 0
+    _WORKER["telemetry_counters"] = {"tasks": 0, "rows": 0, "blocks": 0}
+
+
+def _flush_worker_telemetry() -> None:
+    """Push this worker's cumulative totals to the driver, best-effort.
+
+    Totals (never increments) ride with a per-worker sequence number,
+    so the driver's merge is idempotent: a flush delivered twice or a
+    worker killed before its next flush can neither double-count nor
+    corrupt what was already acknowledged -- at worst the final window
+    of a dead worker goes unreported.  Queue trouble (driver gone,
+    shutdown races) is swallowed: telemetry must never fail a task.
+    """
+    channel = _WORKER.get("telemetry_queue")
+    if channel is None:
+        return
+    _WORKER["telemetry_seq"] += 1
+    delta = {
+        "worker": f"w{os.getpid()}",
+        "seq": _WORKER["telemetry_seq"],
+        "counters": dict(_WORKER["telemetry_counters"]),
+        "resources": sample_resources().to_dict(),
+    }
+    try:
+        channel.put_nowait(delta)
+    except Exception:
+        pass
 
 
 def _reduce_bucket(bucket) -> list:
@@ -270,7 +305,16 @@ def _run_task(
     """One task attempt inside a worker: inject chaos, then evaluate."""
     if plan is not None:
         apply_chaos(plan, task, attempt)
-    return task, _reduce_bucket(bucket)
+    rows = _reduce_bucket(bucket)
+    counters = _WORKER.get("telemetry_counters")
+    if counters is not None and _WORKER.get("telemetry_queue") is not None:
+        counters["tasks"] += 1
+        counters["rows"] += len(rows)
+        counters["blocks"] += len(bucket) if not isinstance(
+            bucket, _ColumnarBucket
+        ) else bucket.keys.length
+        _flush_worker_telemetry()
+    return task, rows
 
 
 @dataclass
@@ -293,6 +337,11 @@ class MultiprocessReport:
     speculative_wins: int = 0
     degraded: bool = False
     attempts_per_task: dict = field(default_factory=dict)
+    #: Per-worker telemetry sections (cumulative counters + final
+    #: resource odometer), merged from the telemetry channel; empty
+    #: when telemetry was off.  Shape matches
+    #: :meth:`repro.obs.telemetry.TelemetryRegistry.worker_totals`.
+    workers: dict = field(default_factory=dict)
 
     def fault_summary(self) -> dict:
         """Recovery accounting in the shape run manifests record."""
@@ -346,6 +395,13 @@ class MultiprocessEvaluator:
             and recovery spans on the wall clock.
         metrics: Optional :class:`repro.obs.MetricsRegistry`; receives
             attempt/retry/speculation counters.
+        telemetry: Optional
+            :class:`repro.obs.telemetry.TelemetryRegistry`; turns on
+            the worker->driver channel -- workers flush cumulative
+            counters and resource samples after every task, the gather
+            loop merges them live, and the report/manifest gain a
+            per-worker section.  Defaults to the no-op
+            :data:`~repro.obs.telemetry.NULL_TELEMETRY`.
     """
 
     def __init__(
@@ -358,6 +414,7 @@ class MultiprocessEvaluator:
         fault_plan: Optional[FaultPlan] = None,
         tracer=None,
         metrics=None,
+        telemetry=None,
     ):
         self.processes = processes or os.cpu_count() or 2
         self.optimizer = Optimizer(optimizer or OptimizerConfig())
@@ -367,6 +424,9 @@ class MultiprocessEvaluator:
         self.fault_plan = fault_plan
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        self.telemetry = (
+            telemetry if telemetry is not None else NULL_TELEMETRY
+        )
 
     def evaluate(
         self,
@@ -449,12 +509,22 @@ class MultiprocessEvaluator:
             )
             for component, subplan in plan.subplans
         ]
+        # Telemetry channel: a managed queue is picklable into worker
+        # initargs (a plain multiprocessing.Queue is not); the manager
+        # process only exists while telemetry is on.
+        manager = None
+        telemetry_queue = None
+        if self.telemetry.enabled:
+            manager = multiprocessing.Manager()
+            telemetry_queue = manager.Queue()
+
         init_args = (
             workflow_to_dict(workflow, expressions=self.expressions),
             workflow.schema,
             scheme_specs,
             self.expressions,
             self.function_factories,
+            telemetry_queue,
         )
 
         # Gather: one task per non-empty bucket, with retries,
@@ -471,24 +541,38 @@ class MultiprocessEvaluator:
             ),
             tasks=len(work),
         )
-        with self.tracer.span(
-            "mp-evaluate", tasks=len(work), processes=self.processes
-        ):
-            row_lists = self._gather_resilient(work, init_args, report)
-            if row_lists is None:
-                # Graceful degradation: some block exhausted its retry
-                # budget.  The centralized oracle computes the same
-                # answer -- we lose the speedup, never the result.
-                logger.warning(
-                    "multiprocess gather degraded after %d retries; "
-                    "falling back to centralized evaluation",
-                    report.retries,
+        self.telemetry.phase("mp-tasks", 0, len(work))
+        self.telemetry.set_gauge("mp.shipped_bytes", report.shipped_bytes)
+        try:
+            with self.tracer.span(
+                "mp-evaluate", tasks=len(work), processes=self.processes
+            ):
+                row_lists = self._gather_resilient(
+                    work, init_args, report,
+                    telemetry_queue=telemetry_queue,
                 )
-                report.degraded = True
-                with self.tracer.span("mp-degrade", retries=report.retries):
-                    result = evaluate_centralized(workflow, records)
-                self._record_metrics(report)
-                return result, report
+                self._drain_telemetry(telemetry_queue)
+                report.workers = self.telemetry.worker_totals()
+                if row_lists is None:
+                    # Graceful degradation: some block exhausted its
+                    # retry budget.  The centralized oracle computes
+                    # the same answer -- we lose the speedup, never
+                    # the result.
+                    logger.warning(
+                        "multiprocess gather degraded after %d retries; "
+                        "falling back to centralized evaluation",
+                        report.retries,
+                    )
+                    report.degraded = True
+                    with self.tracer.span(
+                        "mp-degrade", retries=report.retries
+                    ):
+                        result = evaluate_centralized(workflow, records)
+                    self._record_metrics(report)
+                    return result, report
+        finally:
+            if manager is not None:
+                manager.shutdown()
 
         result = union_outputs(
             workflow, (row for rows in row_lists for row in rows)
@@ -550,6 +634,7 @@ class MultiprocessEvaluator:
         work: Sequence[list],
         init_args: tuple,
         report: MultiprocessReport,
+        telemetry_queue=None,
     ) -> Optional[list[list]]:
         """Run every bucket to completion; ``None`` means degrade.
 
@@ -651,9 +736,10 @@ class MultiprocessEvaluator:
                     timeout=_POLL_SECONDS,
                     return_when=FIRST_COMPLETED,
                 )
+                self._drain_telemetry(telemetry_queue)
                 broken = False
                 for future in done:
-                    task, attempt, _submitted, backup = futures.pop(future)
+                    task, attempt, submitted, backup = futures.pop(future)
                     state = tasks[task]
                     state.inflight -= 1
                     if state.done:
@@ -665,6 +751,7 @@ class MultiprocessEvaluator:
                         continue
                     except Exception as exc:  # injected or genuine
                         report.injected_failures += 1
+                        self.telemetry.inc("mp.failures")
                         if state.inflight > 0:
                             continue  # a duplicate is still running
                         if not register_failure(task, repr(exc)):
@@ -676,6 +763,16 @@ class MultiprocessEvaluator:
                         retry_at.pop(task, None)
                         if backup:
                             report.speculative_wins += 1
+                        self.telemetry.mark("mp.rows", len(rows))
+                        self.telemetry.observe(
+                            "mp.task_seconds",
+                            time.monotonic() - submitted,
+                        )
+                        self.telemetry.phase(
+                            "mp-tasks",
+                            len(tasks) - len(unfinished),
+                            len(tasks),
+                        )
                 if broken:
                     # One dead worker poisons every in-flight future:
                     # drop them all, rebuild, and re-run what's left.
@@ -731,6 +828,29 @@ class MultiprocessEvaluator:
             initializer=_init_worker,
             initargs=init_args,
         )
+
+    def _drain_telemetry(self, telemetry_queue) -> None:
+        """Merge every queued worker flush into the live registry.
+
+        Runs inside the gather poll loop (so in-flight runs are
+        inspectable) and once more after the pool drains.  Merge order
+        does not matter: flushes are cumulative-with-seq, and
+        :meth:`TelemetryRegistry.merge_worker` drops stale or
+        duplicate deliveries.
+        """
+        if telemetry_queue is None:
+            return
+        while True:
+            try:
+                delta = telemetry_queue.get_nowait()
+            except queue_module.Empty:
+                return
+            except Exception:  # manager shutting down
+                return
+            try:
+                self.telemetry.merge_worker(delta)
+            except (KeyError, TypeError, ValueError):
+                logger.warning("dropped malformed telemetry flush")
 
     def _record_metrics(self, report: MultiprocessReport) -> None:
         if self.metrics is None:

@@ -32,6 +32,7 @@ from typing import Optional
 
 from repro.cube.regions import Granularity
 from repro.local.measure_table import MeasureTable
+from repro.obs.telemetry import NULL_TELEMETRY
 
 __all__ = ["CacheStats", "MeasureCache"]
 
@@ -85,6 +86,16 @@ class MeasureCache:
         )
         self._memory: dict[str, dict] = {}
         self.stats = CacheStats()
+        self.telemetry = NULL_TELEMETRY
+
+    def attach_telemetry(self, registry) -> None:
+        """Mirror hit/miss/store traffic into a live telemetry registry.
+
+        Live counters land under ``cache.hits`` / ``cache.misses`` /
+        ``cache.stores``, which is what the ``repro top`` hit-rate line
+        reads.  :attr:`stats` stays the post-mortem source of truth.
+        """
+        self.telemetry = registry if registry is not None else NULL_TELEMETRY
 
     # -- lookup -----------------------------------------------------------
 
@@ -102,6 +113,7 @@ class MeasureCache:
         )
         if not present:
             self.stats.misses += 1
+            self.telemetry.inc("cache.misses")
         return present
 
     def get(self, key: str, granularity: Granularity) -> MeasureTable | None:
@@ -116,6 +128,7 @@ class MeasureCache:
             payload = self._read(key)
         if payload is None:
             self.stats.misses += 1
+            self.telemetry.inc("cache.misses")
             return None
         try:
             rows = {
@@ -124,8 +137,10 @@ class MeasureCache:
         except (KeyError, TypeError, ValueError):
             self.stats.corrupt += 1
             self.stats.misses += 1
+            self.telemetry.inc("cache.misses")
             return None
         self.stats.hits += 1
+        self.telemetry.inc("cache.hits")
         return MeasureTable(granularity, rows)
 
     # -- store ------------------------------------------------------------
@@ -149,6 +164,7 @@ class MeasureCache:
         if self.directory is None:
             self._memory[key] = payload
             self.stats.stores += 1
+            self.telemetry.inc("cache.stores")
             return True
         try:
             text = json.dumps(payload)
@@ -159,6 +175,7 @@ class MeasureCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         self._path(key).write_text(text)
         self.stats.stores += 1
+        self.telemetry.inc("cache.stores")
         return True
 
     # -- internals --------------------------------------------------------

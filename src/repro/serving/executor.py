@@ -39,6 +39,7 @@ from repro.local.measure_table import MeasureTable, ResultSet
 from repro.local.sortscan import BlockEvaluator
 from repro.mapreduce.cluster import SimulatedCluster
 from repro.mapreduce.dfs import DistributedFile
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.optimizer import QueryPlan
 from repro.parallel.executor import ExecutionConfig, ParallelEvaluator
@@ -160,6 +161,7 @@ class BatchEvaluator:
         metrics=None,
         cache: MeasureCache | None = None,
         group_retries: int = 1,
+        telemetry=None,
     ):
         config = config or ExecutionConfig()
         if config.early_aggregation:
@@ -171,10 +173,16 @@ class BatchEvaluator:
         self.cluster = cluster
         self.config = config
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.telemetry = (
+            telemetry if telemetry is not None else NULL_TELEMETRY
+        )
         self.inner = ParallelEvaluator(
-            cluster, config, tracer=tracer, metrics=metrics
+            cluster, config, tracer=tracer, metrics=metrics,
+            telemetry=telemetry,
         )
         self.cache = cache
+        if cache is not None:
+            cache.attach_telemetry(self.telemetry)
         self.group_retries = group_retries
 
     # -- planning ---------------------------------------------------------
@@ -234,12 +242,17 @@ class BatchEvaluator:
                 for component in planned.components
                 if component.unit is not None
             }
-            outcomes = [
-                self._run_group(
-                    index, group, input_file, tables, unit_components
+            self.telemetry.phase("batch-groups", 0, len(plan.groups))
+            outcomes = []
+            for index, group in enumerate(plan.groups):
+                outcomes.append(
+                    self._run_group(
+                        index, group, input_file, tables, unit_components
+                    )
                 )
-                for index, group in enumerate(plan.groups)
-            ]
+                self.telemetry.phase(
+                    "batch-groups", index + 1, len(plan.groups)
+                )
 
             failures = [o for o in outcomes if not o.succeeded]
             results = {

@@ -140,3 +140,106 @@ class TestProgressSink:
         assert "sim 2.0000s" in out
         assert "too-deep" not in out
         assert "task 0" not in out
+
+
+class TestChromeTraceConcurrency:
+    def test_concurrent_same_name_tasks_get_distinct_rows(self):
+        # Two overlapping attempts of the SAME task name (speculation)
+        # on different slots must land on different timeline rows and
+        # both survive the export -- no dedup by name.
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("job") as job:
+            tracer.record_span("task 0", 0.0, 2.0, track="map", slot=0)
+            tracer.record_span("task 0", 0.5, 1.5, track="map", slot=1)
+            job.set_sim(0.0, 2.0)
+        events = chrome_trace_events(tracer.events)
+        attempts = [
+            e for e in events if e["ph"] == "X" and e["name"] == "task 0"
+        ]
+        assert len(attempts) == 2
+        assert attempts[0]["tid"] != attempts[1]["tid"]
+
+    def test_sequential_tasks_share_their_slot_row(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("job") as job:
+            tracer.record_span("task 0", 0.0, 1.0, track="map", slot=0)
+            tracer.record_span("task 1", 1.0, 2.0, track="map", slot=0)
+            job.set_sim(0.0, 2.0)
+        events = chrome_trace_events(tracer.events)
+        tids = {
+            e["name"]: e["tid"]
+            for e in events
+            if e["ph"] == "X" and e["name"].startswith("task ")
+        }
+        assert tids["task 0"] == tids["task 1"]
+
+    def test_same_slot_index_on_different_tracks_distinct(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("job") as job:
+            tracer.record_span("task m", 0.0, 1.0, track="map", slot=0)
+            tracer.record_span("task r", 1.0, 2.0, track="reduce", slot=0)
+            job.set_sim(0.0, 2.0)
+        events = chrome_trace_events(tracer.events)
+        rows = {
+            e["name"]: e["tid"]
+            for e in events
+            if e["ph"] == "X" and e["name"].startswith("task ")
+        }
+        assert rows["task m"] != rows["task r"]
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+            and e["pid"] == 1
+        }
+        assert names[rows["task m"]] == "map slot 0"
+        assert names[rows["task r"]] == "reduce slot 0"
+
+
+class TestProgressSinkDepth:
+    def nested_run(self, stream, max_depth):
+        tracer = Tracer(
+            clock=FakeClock(),
+            on_event=progress_sink(stream, max_depth=max_depth),
+        )
+        with tracer.span("d0"):
+            with tracer.span("d1"):
+                with tracer.span("d2"):
+                    with tracer.span("d3"):
+                        with tracer.span("d4"):
+                            pass
+        return stream.getvalue()
+
+    def test_default_depth_cutoff_is_inclusive(self):
+        stream = io.StringIO()
+        out = self.nested_run(stream, max_depth=3)
+        for name in ("d0", "d1", "d2", "d3"):
+            assert name in out
+        assert "d4" not in out
+
+    def test_zero_depth_keeps_only_the_root(self):
+        stream = io.StringIO()
+        out = self.nested_run(stream, max_depth=0)
+        assert "d0" in out
+        assert "d1" not in out
+
+    def test_track_spans_suppressed_at_any_depth(self):
+        stream = io.StringIO()
+        tracer = Tracer(
+            clock=FakeClock(),
+            on_event=progress_sink(stream, max_depth=99),
+        )
+        with tracer.span("job"):
+            tracer.record_span("task 0", 0.0, 1.0, track="map", slot=0)
+        out = stream.getvalue()
+        assert "job" in out
+        assert "task 0" not in out
+
+    def test_indentation_tracks_depth(self):
+        stream = io.StringIO()
+        out = self.nested_run(stream, max_depth=2)
+        lines = out.splitlines()
+        # Spans complete leaf-first, so deepest printed line comes first.
+        assert lines[0].startswith("    d2")
+        assert lines[1].startswith("  d1")
+        assert lines[2].startswith("d0")

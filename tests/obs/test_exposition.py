@@ -1,0 +1,137 @@
+"""Tests for Prometheus exposition and the telemetry JSONL log."""
+
+import json
+
+import pytest
+
+from repro.obs.exposition import (
+    TelemetryLogWriter,
+    prometheus_text,
+    read_telemetry_frames,
+)
+from repro.obs.telemetry import TelemetryRegistry
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def populated_registry() -> TelemetryRegistry:
+    clock = FakeClock()
+    registry = TelemetryRegistry(clock=clock)
+    registry.inc("job.completed")
+    clock.advance(1.0)
+    registry.mark("map.rows", 500)
+    registry.set_gauge("job.response_time", 1.5)
+    registry.observe("job.reducer_load", 100.0)
+    registry.observe("job.reducer_load", 300.0)
+    registry.phase("map", 2, 4)
+    registry.merge_worker({
+        "worker": "w9", "seq": 1, "counters": {"tasks": 2},
+        "resources": {
+            "pid": 9, "cpu_seconds": 0.25,
+            "rss_bytes": 32 * 1024 * 1024, "gc_collections": 1,
+        },
+    })
+    return registry
+
+
+class TestPrometheusText:
+    def test_snapshot_is_valid_and_complete(self):
+        text = prometheus_text(populated_registry())
+        assert text.endswith("\n")
+        assert "# TYPE repro_job_completed counter" in text
+        assert "repro_job_completed 1.0" in text
+        assert "# TYPE repro_map_rows_total counter" in text
+        assert "repro_map_rows_total 500.0" in text
+        assert "# TYPE repro_map_rows_per_second gauge" in text
+        assert "repro_job_response_time 1.5" in text
+        assert "# TYPE repro_job_reducer_load summary" in text
+        assert 'repro_job_reducer_load{quantile="0.5"}' in text
+        assert "repro_job_reducer_load_sum 400.0" in text
+        assert "repro_job_reducer_load_count 2.0" in text
+        assert 'repro_phase_done{phase="map"} 2.0' in text
+        assert 'repro_phase_total{phase="map"} 4.0' in text
+        assert 'repro_worker_cpu_seconds{worker="w9"} 0.25' in text
+        assert 'repro_worker_rss_bytes{worker="w9"}' in text
+
+    def test_every_sample_line_parses(self):
+        for line in prometheus_text(populated_registry()).splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+                continue
+            name_part, value_part = line.rsplit(" ", 1)
+            float(value_part)  # must be a valid float
+            assert name_part.startswith("repro_")
+
+    def test_names_sanitized(self):
+        registry = TelemetryRegistry(clock=FakeClock())
+        registry.inc("weird name-with.chars")
+        text = prometheus_text(registry)
+        assert "repro_weird_name_with_chars 1.0" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(TelemetryRegistry(clock=FakeClock())) == ""
+
+    def test_deterministic(self):
+        assert prometheus_text(populated_registry()) == prometheus_text(
+            populated_registry()
+        )
+
+
+class TestTelemetryLogWriter:
+    def test_rate_limited_frames(self, tmp_path):
+        clock = FakeClock()
+        registry = TelemetryRegistry(clock=clock)
+        writer = TelemetryLogWriter(
+            tmp_path / "t.jsonl", interval=1.0, clock=clock
+        )
+        registry.attach(writer)
+        for _ in range(10):
+            registry.inc("ticks")
+            clock.advance(0.3)  # 3s total: at most 4 interval writes
+        writer.close(registry)
+        frames = list(read_telemetry_frames(tmp_path / "t.jsonl"))
+        assert writer.frames_written == len(frames)
+        assert 2 <= len(frames) <= 5
+        assert frames[-1]["final"] is True
+        assert all(not frame["final"] for frame in frames[:-1])
+        assert frames[-1]["counters"] == {"ticks": 10}
+
+    def test_close_without_registry_writes_no_final(self, tmp_path):
+        writer = TelemetryLogWriter(tmp_path / "t.jsonl")
+        writer.close()
+        writer.close()  # idempotent
+        assert list(read_telemetry_frames(tmp_path / "t.jsonl")) == []
+
+    def test_write_after_close_is_ignored(self, tmp_path):
+        clock = FakeClock()
+        registry = TelemetryRegistry(clock=clock)
+        writer = TelemetryLogWriter(tmp_path / "t.jsonl", clock=clock)
+        writer.close(registry)
+        writer.write_frame(registry)
+        assert writer.frames_written == 1
+
+
+class TestReadTelemetryFrames:
+    def test_skips_torn_and_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps({"seq": 1}) + "\n"
+            + "\n"
+            + json.dumps({"seq": 2}) + "\n"
+            + '{"seq": 3, "tru'  # torn tail from a crashed writer
+        )
+        frames = list(read_telemetry_frames(path))
+        assert [frame["seq"] for frame in frames] == [1, 2]
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            list(read_telemetry_frames(tmp_path / "absent.jsonl"))

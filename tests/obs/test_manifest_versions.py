@@ -1,4 +1,4 @@
-"""Every manifest schema version (v1..v3) must keep loading.
+"""Every manifest schema version (v1..v4) must keep loading.
 
 ``repro stats`` and ``repro diff`` read manifests written by older
 builds; these tests freeze a representative document per version and
@@ -82,10 +82,38 @@ def document_for_version(version: int) -> dict:
             "jobless_queries": [],
             "cache": {"hits": 0, "misses": 2, "stores": 2},
         }
+    if version >= 4:
+        data["workers"] = {
+            "w101": {
+                "seq": 4,
+                "counters": {"tasks": 4, "rows": 500, "blocks": 8},
+                "resources": {
+                    "pid": 101,
+                    "cpu_seconds": 0.5,
+                    "rss_bytes": 20 * 1024 * 1024,
+                    "gc_collections": 3,
+                },
+            },
+            "w102": {
+                "seq": 4,
+                "counters": {"tasks": 4, "rows": 500, "blocks": 8},
+                "resources": {
+                    "pid": 102,
+                    "cpu_seconds": 0.4,
+                    "rss_bytes": 19 * 1024 * 1024,
+                    "gc_collections": 2,
+                },
+            },
+        }
+        data["telemetry"] = {
+            "seq": 2,
+            "final": True,
+            "counters": {"job.completed": 1},
+        }
     return data
 
 
-@pytest.mark.parametrize("version", [1, 2, 3])
+@pytest.mark.parametrize("version", [1, 2, 3, 4])
 class TestVersionRoundTrip:
     def test_from_dict_and_back(self, version):
         manifest = RunManifest.from_dict(document_for_version(version))
@@ -113,6 +141,9 @@ class TestVersionRoundTrip:
         assert f"schema v{version}" in summary
         if version >= 3:
             assert "batch" in summary
+        if version >= 4:
+            assert "workers: 2 processes" in summary
+            assert "w101" in summary
 
     def test_self_diff_is_clean(self, version):
         manifest = RunManifest.from_dict(document_for_version(version))
@@ -126,6 +157,8 @@ class TestVersionGuards:
         manifest = RunManifest.from_dict(document_for_version(1))
         assert manifest.calibration == {}
         assert manifest.batch == {}
+        assert manifest.workers == {}
+        assert manifest.telemetry == {}
 
     def test_unknown_fields_ignored(self):
         data = document_for_version(2)
@@ -141,7 +174,7 @@ class TestVersionGuards:
 
     def test_cross_version_diff_runs(self):
         old = RunManifest.from_dict(document_for_version(1))
-        new = RunManifest.from_dict(document_for_version(3))
+        new = RunManifest.from_dict(document_for_version(4))
         diff = diff_manifests(old, new, threshold=0.0)
         assert json.dumps(diff.to_dict())
         assert diff.describe()

@@ -56,6 +56,65 @@ class TestHistogram:
         assert histogram.percentile(100) == 1.0
 
 
+class TestHistogramReservoir:
+    def test_memory_bounded_at_reservoir_size(self):
+        histogram = Histogram("loads", reservoir_size=64)
+        for value in range(10_000):
+            histogram.observe(float(value))
+        assert len(histogram.values) == 64
+        assert histogram.count == 10_000  # exact, from the running total
+
+    def test_exact_below_cap(self):
+        histogram = Histogram("loads", reservoir_size=16)
+        for value in range(16):
+            histogram.observe(float(value))
+        assert histogram.exact
+        assert histogram.summary()["exact"] is True
+        histogram.observe(16.0)
+        assert not histogram.exact
+        assert histogram.summary()["exact"] is False
+
+    def test_extremes_and_mean_stay_exact_past_cap(self):
+        histogram = Histogram("loads", reservoir_size=8)
+        values = [float(v) for v in range(1, 1001)]
+        for value in values:
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["min"] == 1.0
+        assert summary["max"] == 1000.0
+        assert summary["mean"] == sum(values) / len(values)
+        assert summary["count"] == 1000
+
+    def test_sampling_is_deterministic_per_name(self):
+        def fill(name):
+            histogram = Histogram(name, reservoir_size=32)
+            for value in range(5_000):
+                histogram.observe(float(value))
+            return list(histogram.values)
+
+        assert fill("loads") == fill("loads")
+        # Different names seed different reservoirs (crc32 of the name).
+        assert fill("loads") != fill("other")
+
+    def test_sampled_percentile_is_representative(self):
+        histogram = Histogram("loads", reservoir_size=256)
+        for value in range(1, 10_001):
+            histogram.observe(float(value))
+        p50 = histogram.percentile(50)
+        assert 3500.0 <= p50 <= 6500.0  # uniform input, sampled median
+
+    def test_default_cap(self):
+        histogram = Histogram("loads")
+        assert histogram.reservoir_size == Histogram.DEFAULT_RESERVOIR_SIZE
+        for value in range(Histogram.DEFAULT_RESERVOIR_SIZE + 10):
+            histogram.observe(float(value))
+        assert len(histogram.values) == Histogram.DEFAULT_RESERVOIR_SIZE
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValueError, match="reservoir_size"):
+            Histogram("loads", reservoir_size=0)
+
+
 class TestMetricsRegistry:
     def test_get_or_create_is_stable(self):
         registry = MetricsRegistry()

@@ -1,0 +1,91 @@
+"""Tests for the sampling wall profiler."""
+
+import threading
+import time
+
+from repro.obs.sampler import WallProfiler
+
+
+def busy_wait(seconds: float) -> None:
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline:
+        sum(range(500))
+
+
+class TestWallProfiler:
+    def test_collects_samples_while_running(self):
+        with WallProfiler(interval=0.001) as profiler:
+            busy_wait(0.1)
+        assert profiler.samples > 0
+        stacks = profiler.collapsed()
+        assert stacks
+        # Collapsed format: "mod:func;mod:func count", root first.
+        stack, count = stacks[0].rsplit(" ", 1)
+        assert int(count) >= 1
+        assert ";" in stack or ":" in stack
+        assert any("busy_wait" in line for line in stacks)
+
+    def test_root_first_ordering(self):
+        with WallProfiler(interval=0.001) as profiler:
+            busy_wait(0.05)
+        line = next(
+            line for line in profiler.collapsed() if "busy_wait" in line
+        )
+        frames = line.rsplit(" ", 1)[0].split(";")
+        # The leaf (busy_wait or something it calls) is at the END.
+        root_half = frames[: len(frames) // 2]
+        assert not any("busy_wait" in frame for frame in root_half)
+
+    def test_excludes_its_own_thread(self):
+        with WallProfiler(interval=0.001) as profiler:
+            busy_wait(0.05)
+        # The main thread may be caught inside start()/__enter__, but the
+        # sampling loop itself must never tally its own stack.
+        assert not any(
+            ":_run;" in stack or stack.rsplit(" ", 1)[0].endswith("_sample")
+            for stack in profiler.collapsed()
+        )
+
+    def test_sees_other_threads(self):
+        stop = threading.Event()
+
+        def spin():
+            while not stop.is_set():
+                sum(range(200))
+
+        worker = threading.Thread(target=spin, name="spinner")
+        worker.start()
+        try:
+            with WallProfiler(interval=0.001) as profiler:
+                busy_wait(0.1)
+        finally:
+            stop.set()
+            worker.join()
+        assert any("spin" in stack for stack in profiler.collapsed())
+
+    def test_stop_is_idempotent_and_final(self):
+        profiler = WallProfiler(interval=0.001)
+        profiler.start()
+        busy_wait(0.02)
+        profiler.stop()
+        collected = profiler.samples
+        profiler.stop()
+        time.sleep(0.02)
+        assert profiler.samples == collected
+
+    def test_write_collapsed(self, tmp_path):
+        with WallProfiler(interval=0.001) as profiler:
+            busy_wait(0.05)
+        path = profiler.write_collapsed(tmp_path / "profile.txt")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(profiler.collapsed())
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in lines)
+        assert total == profiler.samples
+
+    def test_top_stacks(self):
+        with WallProfiler(interval=0.001) as profiler:
+            busy_wait(0.05)
+        top = profiler.top_stacks(3)
+        assert 1 <= len(top) <= 3
+        counts = [count for _stack, count in top]
+        assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,114 @@
+"""Tests for the ``repro top`` dashboard renderer."""
+
+from repro.obs.top import render_frame, render_replay
+from repro.obs.telemetry import TelemetryRegistry
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def frame_with_everything() -> dict:
+    clock = FakeClock()
+    registry = TelemetryRegistry(clock=clock)
+    registry.phase("map", 2, 4)
+    clock.advance(1.0)
+    registry.mark("map.rows", 1000)
+    registry.mark("shuffle.bytes", 4096)
+    registry.inc("cache.hits", 3)
+    registry.inc("cache.misses", 1)
+    registry.inc("job.completed")
+    registry.observe("task_seconds", 0.5)
+    registry.merge_worker({
+        "worker": "w1", "seq": 2, "counters": {"tasks": 6},
+        "resources": {"pid": 1, "cpu_seconds": 2.0,
+                      "rss_bytes": 64 << 20, "gc_collections": 4},
+    })
+    registry.merge_worker({
+        "worker": "w2", "seq": 2, "counters": {"tasks": 1},
+        "resources": {"pid": 2, "cpu_seconds": 0.2,
+                      "rss_bytes": 32 << 20, "gc_collections": 1},
+    })
+    registry.merge_worker({
+        "worker": "w3", "seq": 2, "counters": {"tasks": 5},
+        "resources": {"pid": 3, "cpu_seconds": 1.8,
+                      "rss_bytes": 60 << 20, "gc_collections": 3},
+    })
+    return registry.snapshot()
+
+
+class TestRenderFrame:
+    def test_all_sections_present(self):
+        text = render_frame(frame_with_everything())
+        assert text.startswith("=== repro top · frame 1 · live")
+        assert "phases:" in text
+        assert "map        [" in text
+        assert "(2/4)" in text
+        assert "throughput:" in text
+        assert "map.rows" in text
+        assert "B/s" in text  # shuffle.bytes rendered as bytes
+        assert "workers:" in text
+        assert "64.0MiB" in text
+        assert "cache: hit rate 75.0% (3 hits / 1 misses)" in text
+        assert "latencies:" in text
+        assert "task_seconds" in text
+        assert "counters:" in text
+        assert "job.completed" in text
+        assert "cache.hits" not in text  # folded into the hit-rate line
+
+    def test_straggler_flagged_against_median(self):
+        text = render_frame(frame_with_everything())
+        w2_line = next(
+            line for line in text.splitlines() if line.strip().startswith("w2")
+        )
+        assert "STRAGGLER?" in w2_line
+        w1_line = next(
+            line for line in text.splitlines() if line.strip().startswith("w1")
+        )
+        assert "STRAGGLER?" not in w1_line
+
+    def test_final_frame_labeled(self):
+        clock = FakeClock(12.5)
+        registry = TelemetryRegistry(clock=clock)
+        registry.inc("a")
+        text = render_frame(registry.snapshot(final=True))
+        assert "FINAL" in text
+        assert "t=12.50s" in text
+
+    def test_empty_frame_degrades(self):
+        assert "(no telemetry in this frame)" in render_frame({})
+
+    def test_custom_title(self):
+        text = render_frame({}, title="repro stats --watch")
+        assert text.startswith("=== repro stats --watch")
+
+
+class TestRenderReplay:
+    def test_renders_every_frame_in_order(self):
+        frames = [
+            {"seq": 1, "counters": {"a": 1}},
+            {"seq": 2, "counters": {"a": 2}, "final": True},
+        ]
+        text = render_replay(frames)
+        assert text.index("frame 1") < text.index("frame 2")
+        assert "FINAL" in text
+
+    def test_last_only(self):
+        frames = [
+            {"seq": 1, "counters": {"a": 1}},
+            {"seq": 2, "counters": {"a": 2}, "final": True},
+        ]
+        text = render_replay(frames, last_only=True)
+        assert "frame 1" not in text
+        assert "frame 2" in text
+
+    def test_empty_log(self):
+        assert render_replay([]) == "(empty telemetry log)"
+        assert render_replay([], last_only=True) == "(empty telemetry log)"

@@ -598,7 +598,7 @@ class TestBatch:
         assert main(["stats", manifest]) == 0
         out = capsys.readouterr().out
         assert "batch:" in out
-        assert "schema v3" in out
+        assert "schema v4" in out
 
     def test_duplicate_stems_rejected(self, tmp_path):
         nested = tmp_path / "nested"
@@ -650,3 +650,156 @@ class TestExplainBatch:
                 ["explain", a, b, "--batch", "--format", "dot"]
                 + self.ARGS
             )
+
+
+class TestTelemetryCli:
+    def test_run_writes_telemetry_prom_and_profile(
+        self, weblog_query_file, tmp_path, capsys
+    ):
+        log = tmp_path / "t.jsonl"
+        prom = tmp_path / "p.txt"
+        profile = tmp_path / "profile.txt"
+        code = main(
+            ["run", weblog_query_file, "--records", "3000",
+             "--machines", "4", "--days", "1",
+             "--telemetry", str(log), "--prom", str(prom),
+             "--profile", str(profile)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry frames" in out
+        assert "Prometheus snapshot" in out
+
+        from repro.obs.exposition import read_telemetry_frames
+
+        frames = list(read_telemetry_frames(log))
+        assert frames
+        assert frames[-1]["final"] is True
+        assert frames[-1]["counters"]["job.completed"] == 1
+        assert frames[-1]["progress"]["map"][0] >= 1
+
+        prom_text = prom.read_text()
+        assert "# TYPE repro_job_completed counter" in prom_text
+        assert "repro_map_rows_total" in prom_text
+
+        profile_lines = profile.read_text().strip().splitlines()
+        assert profile_lines
+        assert all(
+            line.rsplit(" ", 1)[1].isdigit() for line in profile_lines
+        )
+
+    def test_telemetry_identical_answers(self, weblog_query_file, tmp_path,
+                                         capsys):
+        base = tmp_path / "base.csv"
+        instrumented = tmp_path / "instrumented.csv"
+        main(["run", weblog_query_file, "--records", "3000",
+              "--machines", "4", "--days", "1", "--csv", str(base)])
+        main(["run", weblog_query_file, "--records", "3000",
+              "--machines", "4", "--days", "1",
+              "--csv", str(instrumented),
+              "--telemetry", str(tmp_path / "t.jsonl")])
+        capsys.readouterr()
+        assert instrumented.read_text() == base.read_text()
+
+    def test_prom_requires_telemetry(self, weblog_query_file, tmp_path):
+        with pytest.raises(SystemExit, match="requires --telemetry"):
+            main(["run", weblog_query_file, "--records", "1000",
+                  "--prom", str(tmp_path / "p.txt")])
+
+    def test_naive_rejects_telemetry(self, weblog_query_file, tmp_path):
+        with pytest.raises(SystemExit, match="--naive"):
+            main(["run", weblog_query_file, "--records", "1000",
+                  "--naive", "--telemetry", str(tmp_path / "t.jsonl")])
+
+    def test_top_replay(self, weblog_query_file, tmp_path, capsys):
+        log = tmp_path / "t.jsonl"
+        main(["run", weblog_query_file, "--records", "3000",
+              "--machines", "4", "--days", "1", "--telemetry", str(log)])
+        capsys.readouterr()
+        code = main(["top", "--replay", str(log)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "FINAL" in out
+        assert "phases:" in out
+
+    def test_top_replay_last_only(self, weblog_query_file, tmp_path,
+                                  capsys):
+        log = tmp_path / "t.jsonl"
+        main(["run", weblog_query_file, "--records", "3000",
+              "--machines", "4", "--days", "1", "--telemetry", str(log)])
+        capsys.readouterr()
+        code = main(["top", "--replay", str(log), "--last"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("===") == 2  # exactly one header line
+        assert "FINAL" in out
+
+    def test_top_replay_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["top", "--replay", str(tmp_path / "absent.jsonl")])
+
+    def test_top_requires_a_source(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["top"])
+        assert "--follow" in capsys.readouterr().err
+
+    def test_stats_watch_stops_on_final_frame(self, weblog_query_file,
+                                              tmp_path, capsys):
+        log = tmp_path / "t.jsonl"
+        main(["run", weblog_query_file, "--records", "3000",
+              "--machines", "4", "--days", "1", "--telemetry", str(log)])
+        capsys.readouterr()
+        code = main(["stats", "--watch", str(log)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro stats --watch" in out
+        assert "FINAL" in out
+
+    def test_trace_embeds_final_frame_in_manifest(self, weblog_query_file,
+                                                  tmp_path, capsys):
+        log = tmp_path / "t.jsonl"
+        out_path = tmp_path / "trace.json"
+        code = main(
+            ["trace", weblog_query_file, "--records", "3000",
+             "--machines", "4", "--days", "1", "--out", str(out_path),
+             "--telemetry", str(log)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        manifest = json.loads(
+            (tmp_path / "trace.manifest.json").read_text()
+        )
+        assert manifest["schema_version"] == 4
+        assert manifest["telemetry"]["final"] is True
+        assert manifest["telemetry"]["counters"]["job.completed"] == 1
+
+    def test_batch_telemetry_tracks_groups_and_cache(
+        self, tmp_path, capsys
+    ):
+        for name, body in (
+            ("a.cq", "measure A over keyword:word = sum(page_count)\n"),
+            ("b.cq", "measure B over keyword:word = sum(ad_count)\n"),
+        ):
+            (tmp_path / name).write_text(body)
+        log = tmp_path / "t.jsonl"
+        code = main(
+            ["batch", str(tmp_path / "a.cq"), str(tmp_path / "b.cq"),
+             "--records", "2000", "--machines", "4", "--days", "1",
+             "--cache-dir", str(tmp_path / "cache"),
+             "--telemetry", str(log)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        from repro.obs.exposition import read_telemetry_frames
+
+        final = list(read_telemetry_frames(log))[-1]
+        assert final["final"] is True
+        assert final["progress"]["batch-groups"][0] >= 1
+        assert final["counters"].get("cache.stores", 0) >= 1
+
+        code = main(["top", "--replay", str(log), "--last"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch-groups" in out
+        assert "cache: hit rate" in out

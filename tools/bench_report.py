@@ -103,6 +103,24 @@ def report(path: Path) -> None:
             rows,
         )
 
+    if "telemetry" in payload:
+        rows = [
+            [
+                key,
+                entry["instrument_calls"],
+                f"{entry['null_op_us']:.3f}",
+                f"{entry['enabled_op_us']:.3f}",
+                f"{entry['overhead']:.4%}",
+            ]
+            for key, entry in sorted(payload["telemetry"].items())
+        ]
+        _table(
+            "live telemetry overhead",
+            ["query@size", "calls", "null op us", "enabled op us",
+             "overhead"],
+            rows,
+        )
+
     if "summary" in payload:
         print("\nsummary:")
         for key, value in sorted(payload["summary"].items()):
@@ -125,6 +143,10 @@ _DIFF_SECTIONS = (
             "total_shuffle_bytes",
             "total_response_time",
         ),
+    ),
+    (
+        "telemetry",
+        ("instrument_calls", "null_op_us", "enabled_op_us", "overhead"),
     ),
 )
 
