@@ -1,0 +1,154 @@
+"""Serving latency benchmark: tail latency vs offered load, shed on/off.
+
+Replays seeded open-loop arrival traces at increasing offered rates
+against the always-on daemon and records wall-clock p50/p95/p99 per
+load level in ``BENCH_serving.json``.  The robustness claim under test:
+past saturation, an *unprotected* daemon (no shedding -- effectively
+unbounded queue and pending limits) lets queueing delay grow without
+bound, while the *shedding* daemon refuses the excess and keeps the
+tail of what it does admit bounded.
+
+Latencies here are host wall-clock (the daemon waits out real admission
+windows), so absolute numbers vary by machine; the asserted shape --
+zero shed below saturation, nonzero shed plus a smaller p99 than the
+unprotected run at overload -- does not.
+
+    pytest benchmarks/test_perf_serving.py -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import (
+    QueryService,
+    ServiceLimits,
+    generate_arrivals,
+    serve_arrivals,
+)
+from repro.workload import all_queries, generate_uniform, paper_schema
+
+from support import print_table, write_bench_json
+
+pytestmark = pytest.mark.perf
+
+RECORDS = 1_000
+MACHINES = 8
+SEED = 11
+DURATION = 0.5
+#: Offered loads (arrivals/second): calm, busy, melting.
+LOADS = (25.0, 100.0, 300.0)
+
+SHED_LIMITS = ServiceLimits(
+    admission_window_ms=20.0,
+    max_inflight=2,
+    max_queue_depth=4,
+    max_pending=12,
+)
+#: "No shedding": bounds so wide the burst never reaches them.
+UNPROTECTED_LIMITS = ServiceLimits(
+    admission_window_ms=20.0,
+    max_inflight=2,
+    max_queue_depth=100_000,
+    max_pending=1_000_000,
+)
+
+
+def _run(catalog, records, rate, limits):
+    from repro.mapreduce import ClusterConfig, SimulatedCluster
+
+    arrivals = generate_arrivals(
+        sorted(catalog), rate=rate, duration=DURATION, seed=SEED
+    )
+    service = QueryService(
+        catalog,
+        records,
+        cluster_factory=lambda: SimulatedCluster(
+            ClusterConfig(machines=MACHINES)
+        ),
+        limits=limits,
+    )
+    responses, report = serve_arrivals(service, arrivals)
+    assert report.drained
+    assert len(responses) == len(arrivals)
+    return report
+
+
+def test_shedding_bounds_tail_latency_under_overload():
+    schema = paper_schema(days=1, temporal_base="minute")
+    catalog = all_queries(schema)
+    records = generate_uniform(schema, RECORDS, seed=7)
+
+    by_load = {}
+    rows = []
+    for rate in LOADS:
+        report = _run(catalog, records, rate, SHED_LIMITS)
+        by_load[rate] = report
+        latency = report.latency_ms
+        rows.append(
+            [f"{rate:g}/s", report.arrivals, report.completed,
+             report.total_shed, latency["p50"], latency["p95"],
+             latency["p99"]]
+        )
+
+    # Below saturation nothing sheds; at the melting load plenty does.
+    assert by_load[LOADS[0]].total_shed == 0
+    assert by_load[LOADS[0]].completed == by_load[LOADS[0]].arrivals
+    overload = by_load[LOADS[-1]]
+    assert overload.total_shed > 0
+    assert overload.completed > 0
+
+    # The unprotected daemon serves the same melting load with an
+    # unbounded queue: everything completes, but the tail pays for it.
+    unprotected = _run(catalog, records, LOADS[-1], UNPROTECTED_LIMITS)
+    assert unprotected.total_shed == 0
+    assert unprotected.completed == unprotected.arrivals
+    rows.append(
+        [f"{LOADS[-1]:g}/s (no shed)", unprotected.arrivals,
+         unprotected.completed, 0, unprotected.latency_ms["p50"],
+         unprotected.latency_ms["p95"], unprotected.latency_ms["p99"]]
+    )
+    print_table(
+        f"Serving latency vs offered load ({RECORDS} records, "
+        f"window {SHED_LIMITS.admission_window_ms:g}ms)",
+        ["offered", "arrivals", "completed", "shed", "p50 ms",
+         "p95 ms", "p99 ms"],
+        rows,
+    )
+    # The robustness claim: shedding keeps the admitted tail below the
+    # queue-it-all tail at the same offered load.
+    assert (
+        overload.latency_ms["p99"] < unprotected.latency_ms["p99"]
+    )
+
+    payload = {
+        "serving": {
+            "workload": {
+                "queries": sorted(catalog),
+                "records": RECORDS,
+                "machines": MACHINES,
+                "duration_s": DURATION,
+                "seed": SEED,
+                "admission_window_ms": SHED_LIMITS.admission_window_ms,
+            },
+            "shedding": {
+                f"{rate:g}": {
+                    "offered_rate": rate,
+                    "arrivals": report.arrivals,
+                    "completed": report.completed,
+                    "shed": dict(report.shed),
+                    "groups_dispatched": report.groups_dispatched,
+                    "latency_ms": report.latency_ms,
+                }
+                for rate, report in by_load.items()
+            },
+            "unprotected_at_peak": {
+                "offered_rate": LOADS[-1],
+                "arrivals": unprotected.arrivals,
+                "completed": unprotected.completed,
+                "latency_ms": unprotected.latency_ms,
+            },
+        }
+    }
+    path = write_bench_json("serving", payload)
+    print(f"\nwrote {path}")

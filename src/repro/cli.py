@@ -646,6 +646,175 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _cmd_loadgen(args) -> int:
+    if args.rate <= 0:
+        raise SystemExit("--rate must be positive")
+    if args.duration <= 0:
+        raise SystemExit("--duration must be positive")
+    from repro.serving import generate_arrivals, write_trace
+
+    schema = _build_schema(args.schema, args.days)
+    queries = _load_batch_queries(args.query, schema)
+    arrivals = generate_arrivals(
+        sorted(queries),
+        rate=args.rate,
+        duration=args.duration,
+        seed=args.seed,
+        tenants=args.tenants,
+        deadline_ms=args.deadline_ms,
+        deadline_jitter=args.deadline_jitter,
+    )
+    try:
+        write_trace(arrivals, args.out)
+    except OSError as exc:
+        raise SystemExit(f"cannot write trace: {exc}")
+    tenants = sorted({arrival.tenant for arrival in arrivals})
+    print(
+        f"wrote {len(arrivals)} arrivals over {args.duration:g}s "
+        f"({len(tenants)} tenants, rate {args.rate:g}/s, "
+        f"seed {args.seed}) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    if args.machines < 1:
+        raise SystemExit("--machines must be at least 1")
+    if args.records < 0:
+        raise SystemExit("--records must be non-negative")
+    if args.speed < 0:
+        raise SystemExit("--speed must be non-negative (0 = no pacing)")
+    from repro.serving import (
+        MeasureCache,
+        QueryService,
+        ServiceLimits,
+        TenantQuotas,
+        generate_arrivals,
+        read_trace,
+        serve_arrivals,
+    )
+
+    schema = _build_schema(args.schema, args.days)
+    catalog = _load_batch_queries(args.query, schema)
+    records = _generate_records(
+        args.schema, schema, args.records, args.seed, args.skew
+    )
+
+    if args.trace:
+        try:
+            arrivals = read_trace(args.trace)
+        except OSError as exc:
+            raise SystemExit(f"cannot read trace: {exc}")
+    else:
+        arrivals = generate_arrivals(
+            sorted(catalog),
+            rate=args.rate,
+            duration=args.duration,
+            seed=args.seed,
+            tenants=args.tenants,
+            deadline_ms=args.deadline_ms,
+        )
+    if args.arrival_chaos is not None:
+        from repro.faults import ArrivalChaos, apply_arrival_chaos
+
+        arrivals = apply_arrival_chaos(
+            arrivals,
+            ArrivalChaos.storm(
+                args.arrival_chaos, intensity=args.storm_intensity
+            ),
+        )
+    unknown = sorted(
+        {arrival.query for arrival in arrivals} - set(catalog)
+    )
+    if unknown:
+        raise SystemExit(
+            f"trace references queries not in the catalog: "
+            f"{', '.join(unknown)}"
+        )
+
+    cache = None
+    if args.cache_dir or args.max_cache_bytes or args.cache_ttl:
+        cache = MeasureCache(
+            args.cache_dir or None,
+            max_bytes=args.max_cache_bytes,
+            ttl=args.cache_ttl,
+        )
+    limits = ServiceLimits(
+        max_queue_depth=args.queue_depth,
+        max_inflight=args.max_inflight,
+        max_pending=args.max_pending,
+        admission_window_ms=args.window_ms,
+        merge_patience=args.merge_patience,
+        max_group_size=args.max_group_size,
+    )
+    quotas = TenantQuotas(
+        capacity=args.quota_capacity, rate=args.quota_rate
+    )
+    columnar = _COLUMNAR_CHOICES[args.columnar]
+    config = ExecutionConfig(
+        columnar=columnar,
+        optimizer=OptimizerConfig(columnar=columnar),
+    )
+    cluster_config = ClusterConfig(machines=args.machines)
+    telemetry, telemetry_writer = _make_telemetry(args)
+    service = QueryService(
+        catalog,
+        records,
+        cluster_factory=lambda: SimulatedCluster(cluster_config),
+        config=config,
+        cache=cache,
+        limits=limits,
+        quotas=quotas,
+        telemetry=telemetry,
+    )
+    responses, report = serve_arrivals(
+        service,
+        arrivals,
+        speed=args.speed,
+        install_signals=True,
+    )
+    _finish_telemetry(args, telemetry, telemetry_writer)
+
+    print(report.summary())
+    by_status: dict[str, int] = {}
+    for response in responses:
+        by_status[response.status] = by_status.get(response.status, 0) + 1
+    print(
+        "statuses: "
+        + ", ".join(
+            f"{status}={count}"
+            for status, count in sorted(by_status.items())
+        )
+    )
+    latency = report.latency_ms
+    if latency.get("count"):
+        print(
+            f"latency: p50 {latency['p50']:.1f}ms, "
+            f"p95 {latency['p95']:.1f}ms, p99 {latency['p99']:.1f}ms, "
+            f"max {latency['max']:.1f}ms"
+        )
+    if cache is not None and args.cache_spill and cache.directory is None:
+        spilled = cache.spill_to(args.cache_spill)
+        print(f"spilled {spilled} cache entries to {args.cache_spill}")
+    if args.manifest:
+        manifest = RunManifest.from_serve(
+            report,
+            cluster_config=cluster_config,
+            execution_config=config,
+            telemetry=(
+                telemetry.snapshot(final=True)
+                if telemetry is not None
+                else None
+            ),
+        )
+        try:
+            manifest.write(args.manifest)
+        except OSError as exc:
+            raise SystemExit(f"cannot write manifest: {exc}")
+        print(f"wrote run manifest to {args.manifest}")
+    return 0
+
+
 def _default_manifest_path(out: str) -> str:
     """Derive the manifest path from the trace path.
 
@@ -954,6 +1123,152 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_arguments(batch, profile=False)
     batch.set_defaults(handler=_cmd_batch)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="generate a seeded open-loop multi-tenant arrival trace "
+             "for 'repro serve'",
+    )
+    _add_logging_arguments(loadgen)
+    loadgen.add_argument(
+        "query", nargs="+", help="workflow script file(s) (.cq)"
+    )
+    loadgen.add_argument(
+        "--schema", default="weblog", choices=("weblog", "paper"),
+        help="built-in schema to parse the queries against",
+    )
+    loadgen.add_argument(
+        "--days", type=int, default=2,
+        help="temporal range of the schema, in days",
+    )
+    loadgen.add_argument(
+        "--rate", type=float, default=20.0,
+        help="mean arrivals per second (Poisson)",
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=5.0,
+        help="trace length in seconds",
+    )
+    loadgen.add_argument("--seed", type=int, default=42)
+    loadgen.add_argument(
+        "--tenants", type=int, default=4,
+        help="number of simulated tenants (uniform weights)",
+    )
+    loadgen.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="attach this per-query deadline to every arrival",
+    )
+    loadgen.add_argument(
+        "--deadline-jitter", type=float, default=0.0,
+        help="fuzz deadlines by up to this fraction (+/-)",
+    )
+    loadgen.add_argument(
+        "--out", metavar="FILE", required=True,
+        help="write the JSONL arrival trace here",
+    )
+    loadgen.set_defaults(handler=_cmd_loadgen)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the always-on query daemon against an arrival trace: "
+             "admission-windowed sharing, shedding, deadlines, drain",
+    )
+    _add_common_arguments(serve, multi=True)
+    serve.add_argument(
+        "--trace", metavar="FILE",
+        help="replay this loadgen JSONL trace (default: generate one "
+             "from --rate/--duration)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=20.0,
+        help="arrival rate when generating the trace inline",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=3.0,
+        help="trace length when generating inline, seconds",
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=4,
+        help="tenants when generating the trace inline",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-query deadline when generating the trace inline",
+    )
+    serve.add_argument(
+        "--speed", type=float, default=1.0,
+        help="replay speed multiplier (0 submits as fast as possible)",
+    )
+    serve.add_argument(
+        "--window-ms", type=float, default=50.0,
+        help="admission window: how long a query may wait for share "
+             "partners (default: 50)",
+    )
+    serve.add_argument(
+        "--merge-patience", type=int, default=4,
+        help="dispatch a held group after this many consecutive "
+             "arrivals declined to join it",
+    )
+    serve.add_argument(
+        "--max-group-size", type=int, default=8,
+        help="members per share group before immediate dispatch",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="bounded ready-queue depth (past it: shed)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=2,
+        help="concurrent group executions (worker slots)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=64,
+        help="queries in the system before submits shed",
+    )
+    serve.add_argument(
+        "--quota-capacity", type=float, default=None,
+        help="per-tenant token-bucket burst capacity (default: "
+             "quotas off)",
+    )
+    serve.add_argument(
+        "--quota-rate", type=float, default=10.0,
+        help="per-tenant token refill rate per second",
+    )
+    serve.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persist materialized measures here across runs",
+    )
+    serve.add_argument(
+        "--cache-spill", metavar="DIR",
+        help="persist a memory-backed cache here on drain",
+    )
+    serve.add_argument(
+        "--max-cache-bytes", type=int, default=None,
+        help="evict least-recently-used cache entries past this size",
+    )
+    serve.add_argument(
+        "--cache-ttl", type=float, default=None,
+        help="expire cache entries older than this many seconds",
+    )
+    serve.add_argument(
+        "--arrival-chaos", type=int, metavar="SEED", default=None,
+        help="perturb the trace with a seeded arrival storm (bursts, "
+             "tenant floods, duplicate submissions)",
+    )
+    serve.add_argument(
+        "--storm-intensity", type=float, default=0.2,
+        help="probability scale of the arrival storm (default: 0.2)",
+    )
+    serve.add_argument(
+        "--columnar", choices=sorted(_COLUMNAR_CHOICES), default="auto",
+        help="batched map side; results are identical either way",
+    )
+    serve.add_argument(
+        "--manifest", metavar="FILE",
+        help="write the drain manifest (serving section, schema v5)",
+    )
+    _add_telemetry_arguments(serve, profile=False)
+    serve.set_defaults(handler=_cmd_serve)
 
     trace = sub.add_parser(
         "trace", help="evaluate a query with tracing and export the trace"

@@ -17,12 +17,16 @@ answer:
   (install via :meth:`repro.mapreduce.SimulatedCluster.install_faults`);
 * :func:`apply_chaos` / :class:`InjectedFaultError` -- worker-side
   injection used by the resilient
-  :class:`~repro.parallel.MultiprocessEvaluator`.
+  :class:`~repro.parallel.MultiprocessEvaluator`;
+* :class:`ArrivalChaos` / :func:`apply_arrival_chaos` -- arrival-layer
+  storms (bursts, tenant floods, duplicate submissions) aimed at the
+  serving daemon's admission window, quotas and bounded queue.
 
 See ``docs/fault_tolerance.md`` for the fault model and CLI usage
 (``repro run --chaos SEED``).
 """
 
+from repro.faults.arrivals import ArrivalChaos, apply_arrival_chaos
 from repro.faults.inject import InjectedFaultError, apply_chaos
 from repro.faults.plan import (
     FaultPlan,
@@ -40,6 +44,7 @@ from repro.faults.scheduler import (
 )
 
 __all__ = [
+    "ArrivalChaos",
     "AttemptSpan",
     "ClusterDeadError",
     "FaultPlan",
@@ -49,6 +54,7 @@ __all__ = [
     "PhaseFaultStats",
     "RetriesExhaustedError",
     "RetryPolicy",
+    "apply_arrival_chaos",
     "apply_chaos",
     "schedule_with_faults",
     "validate_plan_for_cluster",

@@ -1,0 +1,130 @@
+"""Chaos at the arrival/admission layer of the serving daemon.
+
+Task-layer chaos (:class:`~repro.faults.FaultPlan`) breaks work that is
+already running; arrival-layer chaos breaks the *offered load* itself:
+bursts that compress many arrivals into one instant, tenant floods that
+funnel a stretch of traffic through a single bucket, and duplicate
+submissions that test idempotent shedding.  The daemon's admission
+window, quotas and bounded queue are exactly the machinery these storms
+exercise -- and none of them may change an answer, only *whether* a
+query is answered (sheds are explicit, results stay bit-identical).
+
+Like every chaos source in :mod:`repro.faults`, the transform is a
+pure, seeded function: the same :class:`ArrivalChaos` over the same
+trace yields the same perturbed trace on every machine and run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # repro.serving imports repro.faults via the
+    # optimizer; importing loadgen lazily keeps the packages acyclic.
+    from repro.serving.loadgen import Arrival
+
+__all__ = ["ArrivalChaos", "apply_arrival_chaos"]
+
+
+def _rng(seed: int, *coords) -> random.Random:
+    """A deterministic RNG scoped to one decision point.
+
+    Seeding with a string makes :class:`random.Random` hash it with
+    SHA-512 -- stable across processes and Python invocations, unlike
+    ``hash()`` on strings.
+    """
+    return random.Random(":".join(str(part) for part in (seed,) + coords))
+
+
+@dataclass(frozen=True)
+class ArrivalChaos:
+    """A seeded storm schedule applied to an arrival trace.
+
+    * With probability *burst_probability*, an arrival becomes a burst:
+      *burst_size* copies land at the same instant (distinct
+      submissions, same tenant and query).
+    * With probability *flood_probability*, an arrival opens a tenant
+      flood: the next *flood_span* arrivals are reassigned to its
+      tenant, concentrating load on one quota bucket.
+    * With probability *duplicate_probability*, an arrival is submitted
+      twice back-to-back (client retry storm).
+    """
+
+    seed: int = 0
+    burst_probability: float = 0.0
+    burst_size: int = 4
+    flood_probability: float = 0.0
+    flood_span: int = 8
+    duplicate_probability: float = 0.0
+
+    def __post_init__(self):
+        for name in (
+            "burst_probability",
+            "flood_probability",
+            "duplicate_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.burst_size < 1 or self.flood_span < 1:
+            raise ValueError("burst_size and flood_span must be >= 1")
+
+    @classmethod
+    def storm(cls, seed: int, intensity: float = 0.2) -> "ArrivalChaos":
+        """A ready-made storm: bursts, floods and duplicates at once."""
+        return cls(
+            seed=seed,
+            burst_probability=intensity,
+            burst_size=4,
+            flood_probability=intensity / 2,
+            flood_span=8,
+            duplicate_probability=intensity / 2,
+        )
+
+
+def apply_arrival_chaos(
+    arrivals: Sequence[Arrival], chaos: ArrivalChaos
+) -> list[Arrival]:
+    """Perturb *arrivals* per *chaos*; deterministic in the seed.
+
+    The result stays sorted by arrival time (perturbations never move
+    an arrival earlier than its original instant).
+    """
+    from repro.serving.loadgen import Arrival
+
+    perturbed: list[Arrival] = []
+    flood_tenant = None
+    flood_left = 0
+    for index, arrival in enumerate(arrivals):
+        if flood_left > 0:
+            arrival = Arrival(
+                at=arrival.at,
+                tenant=flood_tenant,
+                query=arrival.query,
+                deadline_ms=arrival.deadline_ms,
+                priority=arrival.priority,
+            )
+            flood_left -= 1
+        elif (
+            chaos.flood_probability > 0
+            and _rng(chaos.seed, "flood", index).random()
+            < chaos.flood_probability
+        ):
+            flood_tenant = arrival.tenant
+            flood_left = chaos.flood_span
+        copies = 1
+        if (
+            chaos.burst_probability > 0
+            and _rng(chaos.seed, "burst", index).random()
+            < chaos.burst_probability
+        ):
+            copies = chaos.burst_size
+        elif (
+            chaos.duplicate_probability > 0
+            and _rng(chaos.seed, "dup", index).random()
+            < chaos.duplicate_probability
+        ):
+            copies = 2
+        perturbed.extend([arrival] * copies)
+    return perturbed

@@ -44,9 +44,13 @@ __all__ = [
 #: measure-cache traffic of ``repro batch`` runs); v4 added the
 #: ``workers`` section (per-worker resource accounting and counters
 #: merged from the cross-process telemetry channel) and the
-#: ``telemetry`` section (the final live-telemetry frame).  Older
-#: manifests still load, with the newer sections empty.
-SCHEMA_VERSION = 4
+#: ``telemetry`` section (the final live-telemetry frame); v5 added the
+#: ``serving`` section (the ``repro serve`` daemon's post-mortem:
+#: arrivals, sheds by reason, deadline misses, admission-window and
+#: breaker activity, latency percentiles) plus the batch section's
+#: ``resumed_components`` count.  Older manifests still load, with the
+#: newer sections empty.
+SCHEMA_VERSION = 5
 
 
 def counters_to_dict(counters: JobCounters) -> dict:
@@ -141,6 +145,13 @@ class RunManifest:
     #: seconds, RSS bytes, GC collections).  Empty for in-process runs
     #: and for manifests written before v4.
     workers: dict = field(default_factory=dict)
+    #: Serving-daemon section (schema v5):
+    #: :meth:`repro.serving.daemon.ServeReport.to_dict` written at
+    #: graceful drain -- offered/completed/shed traffic, deadline
+    #: misses, admission-window and circuit-breaker activity, queue
+    #: high-water marks and end-to-end latency percentiles.  Empty for
+    #: non-serving runs and manifests written before v5.
+    serving: dict = field(default_factory=dict)
     #: Final live-telemetry frame (schema v4):
     #: :meth:`repro.obs.telemetry.TelemetryRegistry.snapshot` of the
     #: run's last state.  Empty when telemetry was off.
@@ -281,6 +292,7 @@ class RunManifest:
                 "queries": sorted(outcome.results),
                 "groups": groups,
                 "dispositions": plan.disposition_counts(),
+                "resumed_components": outcome.resumed_components,
                 "jobless_queries": list(outcome.jobless_queries),
                 "cache": (
                     outcome.cache_stats.to_dict()
@@ -289,6 +301,48 @@ class RunManifest:
                 ),
                 "decision": plan.decision.to_dict(),
             },
+        )
+
+    @classmethod
+    def from_serve(
+        cls,
+        report,
+        query: str = "",
+        cluster_config=None,
+        execution_config=None,
+        telemetry=None,
+    ) -> "RunManifest":
+        """Build a manifest from a serving daemon's drain report.
+
+        *report* is a :class:`~repro.serving.daemon.ServeReport` (or
+        its ``to_dict`` form).  A serving manifest has no single job,
+        so the per-job fields are zero; the story lives in the
+        ``serving`` section.
+        """
+        serving = report if isinstance(report, dict) else report.to_dict()
+        config: dict = {}
+        if cluster_config is not None:
+            config["cluster"] = dataclasses.asdict(cluster_config)
+        if execution_config is not None:
+            config["execution"] = dataclasses.asdict(execution_config)
+        latency = serving.get("latency_ms", {})
+        return cls(
+            query=query
+            or f"serve({serving.get('arrivals', 0)} arrivals)",
+            plan=(
+                f"{serving.get('groups_dispatched', 0)} share groups "
+                "over the admission window"
+            ),
+            response_time=latency.get("p99", 0.0) / 1000.0,
+            map_makespan=0.0,
+            reduce_makespan=0.0,
+            counters=counters_to_dict(JobCounters()),
+            breakdown=breakdown_to_dict(PhaseBreakdown()),
+            reducer_loads=[],
+            load_imbalance=0.0,
+            config=config,
+            serving=serving,
+            telemetry=dict(telemetry or {}),
         )
 
     # -- round-trips ------------------------------------------------------------
@@ -406,6 +460,11 @@ class RunManifest:
                 lines.append(
                     f"  answered without a job: {', '.join(jobless)}"
                 )
+            resumed = self.batch.get("resumed_components", 0)
+            if resumed:
+                lines.append(
+                    f"  resumed from cache: {resumed} component(s)"
+                )
             cache = self.batch.get("cache", {})
             if cache:
                 lines.append(
@@ -417,6 +476,48 @@ class RunManifest:
                         if cache.get("corrupt")
                         else ""
                     )
+                )
+        if self.serving:
+            serving = self.serving
+            shed = serving.get("shed", {})
+            latency = serving.get("latency_ms", {})
+            lines.append(
+                f"serving: {serving.get('arrivals', 0)} arrivals, "
+                f"{serving.get('completed', 0)} completed, "
+                f"{sum(shed.values())} shed, "
+                f"{serving.get('deadline_missed', 0)} deadline missed, "
+                f"{serving.get('errors', 0)} errors"
+                + (" (drained cleanly)" if serving.get("drained") else "")
+            )
+            if shed:
+                lines.append(
+                    "  shed by reason: "
+                    + ", ".join(
+                        f"{reason}={count}"
+                        for reason, count in sorted(shed.items())
+                    )
+                )
+            if latency.get("count"):
+                lines.append(
+                    f"  latency: p50 {latency.get('p50', 0.0):.1f}ms, "
+                    f"p95 {latency.get('p95', 0.0):.1f}ms, "
+                    f"p99 {latency.get('p99', 0.0):.1f}ms "
+                    f"(max {latency.get('max', 0.0):.1f}ms over "
+                    f"{latency.get('count', 0)} queries)"
+                )
+            admission = serving.get("admission", {})
+            if admission:
+                lines.append(
+                    f"  admission: {admission.get('offered', 0)} offered, "
+                    f"{admission.get('merges_accepted', 0)} merges won, "
+                    f"{admission.get('merges_rejected', 0)} lost, "
+                    f"{serving.get('groups_dispatched', 0)} groups "
+                    f"({serving.get('grouped_queries', 0)} members)"
+                )
+            if serving.get("fallbacks") or serving.get("breaker_trips"):
+                lines.append(
+                    f"  breaker: {serving.get('breaker_trips', 0)} trips, "
+                    f"{serving.get('fallbacks', 0)} centralized fallbacks"
                 )
         if self.workers:
             lines.append(f"workers: {len(self.workers)} processes")

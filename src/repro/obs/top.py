@@ -134,11 +134,77 @@ def _cache_lines(frame: dict) -> list[str]:
     ]
 
 
+def _serving_lines(frame: dict) -> list[str]:
+    """The daemon view: admission, queue, shedding and latency."""
+    counters = frame.get("counters") or {}
+    gauges = frame.get("gauges") or {}
+    serving = {
+        name: value
+        for name, value in counters.items()
+        if name.startswith("serve.")
+    }
+    if not serving and not any(
+        name.startswith("serve.") for name in gauges
+    ):
+        return []
+
+    def gauge(name: str) -> float:
+        return float((gauges.get(name) or {}).get("last", 0.0))
+
+    arrivals = counters.get("serve.arrivals", 0)
+    completed = counters.get("serve.completed", 0)
+    shed = counters.get("serve.shed", 0)
+    deadline = counters.get("serve.deadline_missed", 0)
+    lines = [
+        "serving:",
+        (
+            f"  arrivals {arrivals:g}  completed {completed:g}  "
+            f"shed {shed:g}  deadline missed {deadline:g}"
+        ),
+        (
+            f"  held {gauge('serve.held'):g}  "
+            f"queued {gauge('serve.queue_depth'):g}  "
+            f"inflight {gauge('serve.inflight'):g}  "
+            f"breaker {'OPEN' if gauge('serve.breaker_open') else 'closed'}"
+        ),
+    ]
+    reasons = {
+        name[len("serve.shed."):]: value
+        for name, value in serving.items()
+        if name.startswith("serve.shed.")
+    }
+    if reasons:
+        lines.append(
+            "  shed by reason: "
+            + ", ".join(
+                f"{reason}={value:g}"
+                for reason, value in sorted(reasons.items())
+            )
+        )
+    histograms = frame.get("histograms") or {}
+    latency = histograms.get("serve.latency_ms")
+    if latency and latency.get("count"):
+        lines.append(
+            f"  latency p50={latency['p50']:.1f}ms "
+            f"p95={latency['p95']:.1f}ms p99={latency['p99']:.1f}ms "
+            f"(n={latency['count']})"
+        )
+    group_size = histograms.get("serve.group_size")
+    if group_size and group_size.get("count"):
+        dispatched = counters.get("serve.groups_dispatched", 0)
+        lines.append(
+            f"  groups: {dispatched:g} dispatched, "
+            f"median size {group_size['p50']:.3g}, "
+            f"p99 {group_size['p99']:.3g}"
+        )
+    return lines
+
+
 def _counter_lines(frame: dict) -> list[str]:
     counters = {
         name: value
         for name, value in (frame.get("counters") or {}).items()
-        if not name.startswith("cache.")
+        if not name.startswith("cache.") and not name.startswith("serve.")
     }
     if not counters:
         return []
@@ -153,7 +219,7 @@ def _histogram_lines(frame: dict) -> list[str]:
     populated = {
         name: entry
         for name, entry in histograms.items()
-        if entry.get("count")
+        if entry.get("count") and not name.startswith("serve.")
     }
     if not populated:
         return []
@@ -177,6 +243,7 @@ def render_frame(frame: dict, title: str = "repro top") -> str:
     header += " ==="
     sections: list[list[str]] = [
         _progress_lines(frame),
+        _serving_lines(frame),
         _rate_lines(frame),
         _worker_lines(frame),
         _cache_lines(frame),

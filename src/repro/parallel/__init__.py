@@ -5,6 +5,10 @@ from repro.parallel.adaptive import (
     AdaptiveEvaluator,
     AdaptiveResult,
 )
+from repro.parallel.cancel import (
+    CancellationToken,
+    DeadlineExceededError,
+)
 from repro.parallel.executor import (
     DuplicateResultError,
     ExecutionConfig,
@@ -21,6 +25,8 @@ __all__ = [
     "AdaptiveDecision",
     "AdaptiveEvaluator",
     "AdaptiveResult",
+    "CancellationToken",
+    "DeadlineExceededError",
     "DuplicateResultError",
     "ExecutionConfig",
     "MultiJobResult",

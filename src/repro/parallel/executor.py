@@ -53,6 +53,7 @@ from repro.obs.telemetry import NULL_TELEMETRY
 from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.skew import KeyCache
 from repro.query.workflow import Workflow, connected_components
+from repro.parallel.cancel import CancellationToken
 from repro.parallel.report import ColumnarStats, ParallelResult
 
 #: Tag marking early-aggregation partial states in the value stream.
@@ -447,12 +448,19 @@ class ParallelEvaluator:
         data: Sequence[Record] | DistributedFile,
         plan: QueryPlan | Plan | None = None,
         key_cache: KeyCache | None = None,
+        cancel: CancellationToken | None = None,
     ) -> ParallelResult:
         """Evaluate *workflow* over *data*; returns results and the trace.
 
         A pre-built *plan* bypasses the optimizer (used by benchmarks to
         sweep clustering factors); otherwise the optimizer plans with the
         configured strategy, consulting *key_cache* when given.
+
+        *cancel* (a :class:`repro.parallel.cancel.CancellationToken`)
+        makes the evaluation cooperative: the token is checked before
+        planning, per map task, and per reduced block, and a tripped
+        token unwinds the run with
+        :class:`~repro.parallel.cancel.DeadlineExceededError`.
         """
         if self.config.early_aggregation and not (
             workflow.supports_early_aggregation()
@@ -464,6 +472,8 @@ class ParallelEvaluator:
                 "measure in its component to anchor its regions"
             )
 
+        if cancel is not None:
+            cancel.check()
         with self.tracer.span(
             "evaluate-query", measures=len(workflow)
         ) as root:
@@ -485,11 +495,26 @@ class ParallelEvaluator:
             if use_columnar is None:
                 use_columnar = vectorized_supports(workflow)
             columnar_stats = ColumnarStats() if use_columnar else None
+            mapper = self._make_mapper(query_plan)
+            reducer = self._make_reducer(
+                query_plan, record_bytes, local_stats, served_blocks
+            )
+            map_batch = (
+                self._make_map_batch(
+                    query_plan, record_bytes, columnar_stats
+                )
+                if use_columnar
+                else None
+            )
+            if cancel is not None:
+                cancel.check()
+                mapper = _cancellable(mapper, cancel)
+                reducer = _cancellable(reducer, cancel)
+                if map_batch is not None:
+                    map_batch = _cancellable(map_batch, cancel)
             job = MapReduceJob(
-                mapper=self._make_mapper(query_plan),
-                reducer=self._make_reducer(
-                    query_plan, record_bytes, local_stats, served_blocks
-                ),
+                mapper=mapper,
+                reducer=reducer,
                 num_reducers=query_plan.num_reducers,
                 combiner=(
                     self._make_combiner(query_plan)
@@ -497,13 +522,7 @@ class ParallelEvaluator:
                     else None
                 ),
                 partitioner=self._make_partitioner(query_plan),
-                map_batch=(
-                    self._make_map_batch(
-                        query_plan, record_bytes, columnar_stats
-                    )
-                    if use_columnar
-                    else None
-                ),
+                map_batch=map_batch,
                 record_bytes=record_bytes,
                 value_bytes=_value_bytes(record_bytes),
                 combined_sort=self.config.combined_sort,
@@ -595,6 +614,16 @@ class ParallelEvaluator:
             )
             for attr, cf in subplan.scheme.clustering_factors.items():
                 metrics.set_gauge(prefix + f"cf.{attr}", cf)
+
+
+def _cancellable(fn, cancel: CancellationToken):
+    """Check *cancel* before every call into *fn* (map task, block)."""
+
+    def guarded(*args, **kwargs):
+        cancel.check()
+        return fn(*args, **kwargs)
+
+    return guarded
 
 
 def _merge_partials(basics, values) -> dict[str, MeasureTable]:

@@ -84,6 +84,7 @@ from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.optimizer import Optimizer, OptimizerConfig
 from repro.query.functions import Expression
 from repro.query.workflow import Workflow, connected_components
+from repro.parallel.cancel import CancellationToken
 from repro.parallel.executor import union_outputs
 
 logger = logging.getLogger(__name__)
@@ -434,6 +435,7 @@ class MultiprocessEvaluator:
         records: Sequence[Record],
         num_partitions: Optional[int] = None,
         columnar: Optional[bool] = None,
+        cancel: CancellationToken | None = None,
     ) -> tuple[ResultSet, MultiprocessReport]:
         """Run the one-round plan over *records* with real processes.
 
@@ -442,7 +444,16 @@ class MultiprocessEvaluator:
         vectorized aggregate support); data that cannot be represented
         as an integer batch falls back to record-list transport either
         way.
+
+        *cancel* (a :class:`repro.parallel.cancel.CancellationToken`)
+        is checked before the scatter and on every poll of the gather
+        loop; a tripped token abandons the outstanding attempts (worker
+        processes cannot be interrupted mid-task, so their results are
+        simply ignored) and raises
+        :class:`~repro.parallel.cancel.DeadlineExceededError`.
         """
+        if cancel is not None:
+            cancel.check()
         records = list(records)
         partitions = num_partitions or self.processes * 4
         sample = None
@@ -550,6 +561,7 @@ class MultiprocessEvaluator:
                 row_lists = self._gather_resilient(
                     work, init_args, report,
                     telemetry_queue=telemetry_queue,
+                    cancel=cancel,
                 )
                 self._drain_telemetry(telemetry_queue)
                 report.workers = self.telemetry.worker_totals()
@@ -635,6 +647,7 @@ class MultiprocessEvaluator:
         init_args: tuple,
         report: MultiprocessReport,
         telemetry_queue=None,
+        cancel: CancellationToken | None = None,
     ) -> Optional[list[list]]:
         """Run every bucket to completion; ``None`` means degrade.
 
@@ -712,6 +725,12 @@ class MultiprocessEvaluator:
             for task in sorted(unfinished):
                 submit(task)
             while unfinished:
+                if cancel is not None:
+                    # A tripped deadline abandons the gather: the
+                    # finally clause tears the pool down without
+                    # waiting, so in-flight worker attempts are merely
+                    # orphaned, never joined.
+                    cancel.check()
                 now = time.monotonic()
                 for task in [
                     task for task, when in retry_at.items() if when <= now

@@ -15,12 +15,40 @@ layer on top of the parallel evaluator:
 * :mod:`~repro.serving.cache` / :mod:`~repro.serving.signature` -- the
   content-addressed cross-run measure cache and its hashing.
 
-Entry points: :class:`BatchEvaluator` (the ``repro batch`` engine) and
-:class:`BatchPlanner` (``repro explain --batch``).  Every query's
-answer is bit-identical to its standalone run.
+On top of the one-shot batch path sits the always-on daemon:
+
+* :mod:`~repro.serving.daemon` -- :class:`QueryService`, the
+  ``repro serve`` engine: admission-windowed sharing, load shedding,
+  deadlines, circuit-broken fallback, graceful drain;
+* :mod:`~repro.serving.admission` -- incremental share-group formation
+  over a sliding window;
+* :mod:`~repro.serving.queueing` / :mod:`~repro.serving.quotas` -- the
+  bounded ready-queue and per-tenant token buckets;
+* :mod:`~repro.serving.loadgen` -- seeded open-loop arrival traces
+  (``repro loadgen``).
+
+Entry points: :class:`BatchEvaluator` (the ``repro batch`` engine),
+:class:`BatchPlanner` (``repro explain --batch``) and
+:class:`QueryService` (``repro serve``).  Every query's answer is
+bit-identical to its standalone run.
 """
 
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionStats,
+    PendingGroup,
+)
 from repro.serving.cache import CacheStats, MeasureCache
+from repro.serving.daemon import (
+    BreakerConfig,
+    Overloaded,
+    QueryRequest,
+    QueryResponse,
+    QueryService,
+    ServeReport,
+    ServiceLimits,
+    serve_arrivals,
+)
 from repro.serving.executor import (
     BatchEvaluator,
     BatchExecutionError,
@@ -35,12 +63,20 @@ from repro.serving.groups import (
     form_share_groups,
     prefix_workflow,
 )
+from repro.serving.loadgen import (
+    Arrival,
+    generate_arrivals,
+    read_trace,
+    write_trace,
+)
 from repro.serving.planner import (
     BatchPlan,
     BatchPlanner,
     ComponentPlan,
     PlannedQuery,
 )
+from repro.serving.queueing import BoundedPriorityQueue
+from repro.serving.quotas import TenantQuotas, TokenBucket
 from repro.serving.signature import (
     cache_key,
     dataset_fingerprint,
@@ -48,6 +84,9 @@ from repro.serving.signature import (
 )
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "Arrival",
     "BatchDecision",
     "BatchEvaluator",
     "BatchExecutionError",
@@ -55,16 +94,31 @@ __all__ = [
     "BatchPlanner",
     "BatchResult",
     "BatchUnit",
+    "BoundedPriorityQueue",
+    "BreakerConfig",
     "CacheStats",
     "ComponentPlan",
     "GroupOutcome",
     "MeasureCache",
     "MergeDecision",
+    "Overloaded",
+    "PendingGroup",
     "PlannedQuery",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
+    "ServeReport",
+    "ServiceLimits",
     "ShareGroup",
+    "TenantQuotas",
+    "TokenBucket",
     "cache_key",
     "dataset_fingerprint",
     "form_share_groups",
+    "generate_arrivals",
     "measure_signature",
     "prefix_workflow",
+    "read_trace",
+    "serve_arrivals",
+    "write_trace",
 ]

@@ -1,0 +1,1136 @@
+"""The always-on query service: ``repro serve``.
+
+:class:`QueryService` turns the one-shot batch machinery into a
+long-running daemon that accepts a *stream* of composite-aggregate
+queries (many tenants, open-loop arrivals) and answers every one
+bit-identically to a standalone run -- while refusing to melt when
+offered load exceeds capacity.  The life of one submitted query:
+
+1. **Quota.**  The tenant's token bucket
+   (:class:`~repro.serving.quotas.TenantQuotas`) must admit it, else a
+   structured :class:`Overloaded` response (``reason="quota"``).
+2. **Backpressure.**  If held + queued + in-flight work already
+   exceeds ``limits.max_pending`` (or the ready queue is at depth),
+   the query is shed with ``reason="queue_full"`` -- explicit load
+   shedding instead of unbounded latency.
+3. **Cache fast path.**  Components whose measures are already
+   materialized for this dataset are answered immediately from the
+   :class:`~repro.serving.cache.MeasureCache` (or derived centrally
+   from cached basics) -- no job, microsecond latency.
+4. **Admission window.**  Execute components are held up to the
+   window by the :class:`~repro.serving.admission.AdmissionController`
+   looking for partners whose merged plan wins the Formula 2/4 test;
+   the group dispatches when the window expires, the merge stops
+   winning, or the group is full.
+5. **Bounded queue -> workers.**  Dispatched groups wait in a
+   :class:`~repro.serving.queueing.BoundedPriorityQueue` and run on
+   one of ``limits.max_inflight`` workers, each owning its own
+   simulated cluster.  Per-query deadlines propagate as a
+   :class:`~repro.parallel.cancel.CancellationToken` (the group's
+   latest member deadline), cancelling map/shuffle/reduce work that
+   can no longer help anyone.
+6. **Circuit breaker.**  Repeated backend failures open the breaker:
+   groups are served by the centralized evaluator (the bit-identity
+   oracle) for a cooldown instead of hammering a broken pool; a
+   half-open probe closes it again.
+7. **Graceful drain.**  On SIGTERM (or :meth:`QueryService.drain`) the
+   daemon stops admitting, dispatches every held group, finishes the
+   queue and in-flight work, persists the cache, and writes a final
+   run manifest.
+
+Answers are bit-identical to ``repro batch`` and the centralized
+oracle in every path -- shared groups change where work happens, never
+its inputs or fold order, and the fallback *is* the oracle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.cube.records import Record
+from repro.local.measure_table import MeasureTable, ResultSet
+from repro.local.sortscan import BlockEvaluator, evaluate_centralized
+from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
+from repro.obs.telemetry import NULL_TELEMETRY
+from repro.optimizer.optimizer import Optimizer, Plan, QueryPlan
+from repro.parallel.cancel import CancellationToken, DeadlineExceededError
+from repro.parallel.executor import ExecutionConfig, ParallelEvaluator
+from repro.query.workflow import Workflow, connected_components
+from repro.serving.admission import AdmissionController, PendingGroup
+from repro.serving.cache import MeasureCache
+from repro.serving.groups import (
+    QUERY_SEPARATOR,
+    BatchUnit,
+    prefix_workflow,
+)
+from repro.serving.planner import _derivable
+from repro.serving.queueing import BoundedPriorityQueue
+from repro.serving.quotas import TenantQuotas
+from repro.serving.signature import cache_key, dataset_fingerprint
+
+__all__ = [
+    "BreakerConfig",
+    "Overloaded",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
+    "ServeReport",
+    "ServiceLimits",
+    "serve_arrivals",
+]
+
+logger = logging.getLogger(__name__)
+
+STATUS_OK = "ok"
+STATUS_OVERLOADED = "overloaded"
+STATUS_DEADLINE = "deadline"
+STATUS_ERROR = "error"
+
+SHED_QUEUE_FULL = "queue_full"
+SHED_QUOTA = "quota"
+SHED_DRAINING = "draining"
+
+
+@dataclass(frozen=True)
+class ServiceLimits:
+    """Where the daemon starts refusing instead of queueing."""
+
+    #: Share groups allowed to wait for a worker.
+    max_queue_depth: int = 16
+    #: Concurrent group executions (worker tasks, one cluster each).
+    max_inflight: int = 2
+    #: Queries allowed in the system at once (held + queued + running);
+    #: past this, submits shed with ``queue_full``.
+    max_pending: int = 64
+    #: Admission window: how long a query may wait for share partners.
+    admission_window_ms: float = 50.0
+    #: Dispatch a held group after this many consecutive arrivals
+    #: declined to join it (``None``: wait out the window).
+    merge_patience: Optional[int] = 4
+    #: Members per share group before immediate dispatch.
+    max_group_size: int = 8
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Circuit breaker over the group-execution backend."""
+
+    #: Consecutive failures that open the circuit.
+    threshold: int = 3
+    #: Seconds the circuit stays open before a half-open probe.
+    cooldown_s: float = 5.0
+
+
+@dataclass(frozen=True)
+class Overloaded:
+    """Structured rejection attached to a shed response."""
+
+    reason: str
+    queue_depth: int = 0
+    inflight: int = 0
+    held: int = 0
+    #: Client hint: when trying again might succeed (milliseconds).
+    retry_after_ms: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "reason": self.reason,
+            "queue_depth": self.queue_depth,
+            "inflight": self.inflight,
+            "held": self.held,
+            "retry_after_ms": self.retry_after_ms,
+        }
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One submission to the daemon."""
+
+    #: Catalog name of the query (reporting; need not be unique).
+    name: str
+    workflow: Workflow
+    tenant: str = "default"
+    #: Milliseconds after submission by which the answer is useless.
+    deadline_ms: Optional[float] = None
+    #: Lower runs first.
+    priority: int = 0
+
+
+@dataclass
+class QueryResponse:
+    """What the daemon returns for one submission."""
+
+    name: str
+    tenant: str
+    #: ``ok`` | ``overloaded`` | ``deadline`` | ``error``.
+    status: str
+    result: Optional[ResultSet] = None
+    latency_ms: float = 0.0
+    #: Catalog names co-evaluated with this query (itself included)
+    #: when any component ran in a share group.
+    group_queries: list[str] = field(default_factory=list)
+    #: Structured shed detail when ``status == "overloaded"``.
+    overload: Optional[Overloaded] = None
+    error: str = ""
+    #: The answer arrived after the request's own deadline (still
+    #: correct, merely late; cancelled queries get ``deadline``).
+    late: bool = False
+    #: How components were served: subset of
+    #: {"cache", "derive", "group", "fallback"}.
+    served_by: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+@dataclass
+class ServeReport:
+    """Post-mortem of one daemon lifetime (the manifest's serving section)."""
+
+    arrivals: int = 0
+    completed: int = 0
+    shed: dict[str, int] = field(default_factory=dict)
+    deadline_missed: int = 0
+    late: int = 0
+    errors: int = 0
+    fallbacks: int = 0
+    breaker_trips: int = 0
+    groups_dispatched: int = 0
+    grouped_queries: int = 0
+    admission: dict = field(default_factory=dict)
+    queue: dict = field(default_factory=dict)
+    quotas: dict = field(default_factory=dict)
+    cache: Optional[dict] = None
+    latency_ms: dict = field(default_factory=dict)
+    drained: bool = False
+
+    @property
+    def total_shed(self) -> int:
+        return sum(self.shed.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "arrivals": self.arrivals,
+            "completed": self.completed,
+            "shed": dict(sorted(self.shed.items())),
+            "deadline_missed": self.deadline_missed,
+            "late": self.late,
+            "errors": self.errors,
+            "fallbacks": self.fallbacks,
+            "breaker_trips": self.breaker_trips,
+            "groups_dispatched": self.groups_dispatched,
+            "grouped_queries": self.grouped_queries,
+            "admission": dict(self.admission),
+            "queue": dict(self.queue),
+            "quotas": dict(self.quotas),
+            "cache": self.cache,
+            "latency_ms": dict(self.latency_ms),
+            "drained": self.drained,
+        }
+
+    def summary(self) -> str:
+        latency = self.latency_ms or {}
+        return (
+            f"serve: {self.arrivals} arrivals, {self.completed} completed, "
+            f"{self.total_shed} shed, {self.deadline_missed} deadline, "
+            f"{self.groups_dispatched} groups "
+            f"(p50 {latency.get('p50', 0.0):.1f}ms, "
+            f"p99 {latency.get('p99', 0.0):.1f}ms)"
+        )
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(
+        0, min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1)))
+    )
+    return sorted_values[rank]
+
+
+def latency_percentiles(latencies_ms: Sequence[float]) -> dict:
+    """The ``p50/p95/p99/max/count`` block benchmark and report share."""
+    ordered = sorted(latencies_ms)
+    return {
+        "count": len(ordered),
+        "p50": _percentile(ordered, 0.50),
+        "p95": _percentile(ordered, 0.95),
+        "p99": _percentile(ordered, 0.99),
+        "max": ordered[-1] if ordered else 0.0,
+        "mean": (sum(ordered) / len(ordered)) if ordered else 0.0,
+    }
+
+
+@dataclass
+class _Member:
+    """One pending request component riding a share group."""
+
+    pending: "_PendingRequest"
+    #: The component with original (unprefixed) measure names.
+    component: Workflow
+    #: Original measure name -> cache key ("" fingerprint disables).
+    keys: dict[str, str]
+    unit: Optional[BatchUnit] = None
+
+
+class _PendingRequest:
+    """Daemon-side state of one admitted query."""
+
+    def __init__(
+        self,
+        request: QueryRequest,
+        serial: int,
+        submitted_at: float,
+        deadline_at: Optional[float],
+    ):
+        self.request = request
+        #: Unique internal id; prefixes this request's merged measures.
+        self.internal = f"q{serial}"
+        self.submitted_at = submitted_at
+        self.deadline_at = deadline_at
+        self.tables: dict[str, MeasureTable] = {}
+        self.remaining = 0
+        self.served_by: list[str] = []
+        self.group_queries: list[str] = []
+        self.future: asyncio.Future = (
+            asyncio.get_running_loop().create_future()
+        )
+
+    def component_done(self, tables: Mapping[str, MeasureTable]) -> None:
+        self.tables.update(tables)
+        self.remaining -= 1
+
+    @property
+    def complete(self) -> bool:
+        return self.remaining <= 0
+
+
+class _CircuitBreaker:
+    """Closed -> open (cooldown) -> half-open -> closed."""
+
+    def __init__(self, config: BreakerConfig, clock: Callable[[], float]):
+        self.config = config
+        self.clock = clock
+        self.failures = 0
+        self.trips = 0
+        self.opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        if self.opened_at is None:
+            return "closed"
+        if self.clock() - self.opened_at >= self.config.cooldown_s:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> bool:
+        """Whether the next group may try the real backend."""
+        state = self.state
+        if state == "closed":
+            return True
+        if state == "half-open" and not self._probing:
+            self._probing = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self._probing = False
+        self.failures += 1
+        if self.opened_at is None and (
+            self.failures >= self.config.threshold
+        ):
+            self.trips += 1
+            self.opened_at = self.clock()
+            logger.warning(
+                "circuit breaker OPEN after %d consecutive failures; "
+                "serving centrally for %.1fs",
+                self.failures, self.config.cooldown_s,
+            )
+        elif self.opened_at is not None:
+            # Failed probe: restart the cooldown.
+            self.opened_at = self.clock()
+
+
+class _Worker:
+    """One group-execution slot: its own cluster, evaluator and input."""
+
+    def __init__(
+        self,
+        index: int,
+        cluster: SimulatedCluster,
+        config: ExecutionConfig,
+        records: Sequence[Record],
+        telemetry,
+    ):
+        self.index = index
+        self.cluster = cluster
+        self.evaluator = ParallelEvaluator(
+            cluster, config, telemetry=telemetry
+        )
+        self.input_file = cluster.dfs.write(f"serve-input-{index}", records)
+
+    def run_group(
+        self,
+        workflow: Workflow,
+        plan: Plan,
+        cancel: Optional[CancellationToken],
+    ) -> ResultSet:
+        outcome = self.evaluator.evaluate(
+            workflow,
+            self.input_file,
+            plan=QueryPlan([(workflow, plan)]),
+            cancel=cancel,
+        )
+        return outcome.result
+
+
+class QueryService:
+    """The long-running serving daemon (see module docstring).
+
+    *catalog* maps query names to workflows (what ``repro loadgen``
+    arrival traces reference); *records* is the one dataset this
+    daemon serves.  *cluster_factory* builds one simulated cluster per
+    worker slot.  All answers are bit-identical to standalone runs.
+    """
+
+    def __init__(
+        self,
+        catalog: Mapping[str, Workflow],
+        records: Sequence[Record],
+        cluster_factory: Callable[[], SimulatedCluster] | None = None,
+        config: ExecutionConfig | None = None,
+        cache: MeasureCache | None = None,
+        limits: ServiceLimits | None = None,
+        quotas: TenantQuotas | None = None,
+        breaker: BreakerConfig | None = None,
+        telemetry=None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not catalog:
+            raise ValueError("the serving catalog needs at least one query")
+        config = config or ExecutionConfig()
+        if config.early_aggregation:
+            raise ValueError(
+                "serving requires early_aggregation=False: partial-state "
+                "merging can reorder float folds, which would break the "
+                "bit-identical-to-standalone guarantee"
+            )
+        self.catalog = dict(catalog)
+        self.records = list(records)
+        self.cluster_factory = cluster_factory or (
+            lambda: SimulatedCluster(ClusterConfig(machines=8))
+        )
+        self.config = config
+        self.cache = cache
+        self.limits = limits or ServiceLimits()
+        self.quotas = quotas or TenantQuotas(clock=clock)
+        self.telemetry = (
+            telemetry if telemetry is not None else NULL_TELEMETRY
+        )
+        if cache is not None:
+            cache.attach_telemetry(self.telemetry)
+        self.clock = clock
+        self.breaker = _CircuitBreaker(
+            breaker or BreakerConfig(), clock
+        )
+        self.queue: BoundedPriorityQueue = BoundedPriorityQueue(
+            self.limits.max_queue_depth
+        )
+        self.optimizer = Optimizer(config.optimizer)
+
+        schema = next(iter(self.catalog.values())).schema
+        for name, workflow in self.catalog.items():
+            if QUERY_SEPARATOR in name:
+                raise ValueError(
+                    f"query name {name!r} must not contain "
+                    f"{QUERY_SEPARATOR!r}"
+                )
+            if workflow.schema != schema:
+                raise ValueError(
+                    f"query {name!r} uses a different schema; the daemon "
+                    "serves one dataset"
+                )
+        self.schema = schema
+        self.fingerprint = (
+            dataset_fingerprint(self.records, schema)
+            if cache is not None
+            else ""
+        )
+
+        self._serial = 0
+        self._draining = False
+        self._drained = False
+        self._started = False
+        self._inflight = 0
+        self._workers: list[_Worker] = []
+        self._worker_tasks: list[asyncio.Task] = []
+        self._dispatcher_task: Optional[asyncio.Task] = None
+        self._work_available: Optional[asyncio.Event] = None
+        self._idle: Optional[asyncio.Event] = None
+        self._latencies_ms: list[float] = []
+        self._report = ServeReport()
+        #: Catalog name -> per-component (workflow, solo plan); plans
+        #: are name-free and the dataset is fixed, so price each query
+        #: shape once for the daemon's lifetime.
+        self._solo_plans: dict[str, list[tuple[Workflow, Plan]]] = {}
+        self.admission: Optional[AdmissionController] = None
+        self.num_reducers = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        """Build workers and background tasks; idempotent."""
+        if self._started:
+            return
+        self._started = True
+        self._work_available = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        for index in range(self.limits.max_inflight):
+            self._workers.append(
+                _Worker(
+                    index,
+                    self.cluster_factory(),
+                    self.config,
+                    self.records,
+                    self.telemetry if index == 0 else NULL_TELEMETRY,
+                )
+            )
+        self.num_reducers = (
+            self.config.num_reducers
+            or self._workers[0].cluster.reduce_slots
+        )
+        self.admission = AdmissionController(
+            self.optimizer,
+            n_records=len(self.records),
+            num_reducers=self.num_reducers,
+            window=self.limits.admission_window_ms / 1000.0,
+            merge_patience=self.limits.merge_patience,
+            max_group_size=self.limits.max_group_size,
+            clock=self.clock,
+        )
+        self._dispatcher_task = asyncio.create_task(self._dispatch_loop())
+        for index in range(self.limits.max_inflight):
+            self._worker_tasks.append(
+                asyncio.create_task(self._worker_loop(index))
+            )
+        logger.info(
+            "serve: started (%d workers, window %.0fms, queue depth %d, "
+            "%d catalog queries, %d records)",
+            self.limits.max_inflight,
+            self.limits.admission_window_ms,
+            self.limits.max_queue_depth,
+            len(self.catalog),
+            len(self.records),
+        )
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT trigger a graceful drain (CLI entry point)."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                signum, lambda: asyncio.ensure_future(self.drain())
+            )
+
+    # -- submission -------------------------------------------------------
+
+    async def submit(self, request: QueryRequest) -> QueryResponse:
+        """Serve one query; never raises for overload/deadline/faults."""
+        await self.start()
+        now = self.clock()
+        self._report.arrivals += 1
+        self.telemetry.inc("serve.arrivals")
+        self.telemetry.mark("serve.arrival_rate")
+
+        shed = self._shed_reason(request)
+        if shed is not None:
+            return self._overloaded(request, shed)
+
+        workflow = request.workflow
+        deadline_at = (
+            None
+            if request.deadline_ms is None
+            else now + request.deadline_ms / 1000.0
+        )
+        self._serial += 1
+        pending = _PendingRequest(request, self._serial, now, deadline_at)
+
+        fast: list[tuple[_Member, str]] = []
+        execute: list[_Member] = []
+        for component, solo_plan in self._components_of(request.name, workflow):
+            member = _Member(
+                pending,
+                component,
+                self._keys_for(component),
+            )
+            disposition = self._classify(member)
+            pending.remaining += 1
+            if disposition == "execute":
+                prefixed = prefix_workflow(
+                    component, pending.internal + QUERY_SEPARATOR
+                )
+                member.unit = BatchUnit(
+                    pending.internal, prefixed, solo_plan
+                )
+                execute.append(member)
+            else:
+                fast.append((member, disposition))
+
+        for member, disposition in fast:
+            self._serve_fast(member, disposition)
+        for member in execute:
+            self._idle.clear()
+            self.admission.offer(member.unit, member, now=now)
+        self.telemetry.set_gauge("serve.held", float(self.admission.held))
+
+        if pending.complete and not execute:
+            return self._finish(pending)
+        try:
+            return await pending.future
+        except asyncio.CancelledError:
+            raise
+
+    def _shed_reason(self, request: QueryRequest) -> Optional[Overloaded]:
+        """The structured rejection to return, or ``None`` to admit."""
+        held = self.admission.held if self.admission is not None else 0
+        depth = len(self.queue)
+        if self._draining:
+            return Overloaded(
+                reason=SHED_DRAINING,
+                queue_depth=depth,
+                inflight=self._inflight,
+                held=held,
+            )
+        if not self.quotas.admit(request.tenant):
+            return Overloaded(
+                reason=SHED_QUOTA,
+                queue_depth=depth,
+                inflight=self._inflight,
+                held=held,
+                retry_after_ms=self.quotas.retry_after(request.tenant)
+                * 1000.0,
+            )
+        pending_load = held + depth + self._inflight
+        if self.queue.full or pending_load >= self.limits.max_pending:
+            return Overloaded(
+                reason=SHED_QUEUE_FULL,
+                queue_depth=depth,
+                inflight=self._inflight,
+                held=held,
+                retry_after_ms=self.limits.admission_window_ms,
+            )
+        return None
+
+    def _overloaded(
+        self, request: QueryRequest, overload: Overloaded
+    ) -> QueryResponse:
+        self._report.shed[overload.reason] = (
+            self._report.shed.get(overload.reason, 0) + 1
+        )
+        self.telemetry.inc("serve.shed")
+        self.telemetry.inc(f"serve.shed.{overload.reason}")
+        return QueryResponse(
+            name=request.name,
+            tenant=request.tenant,
+            status=STATUS_OVERLOADED,
+            overload=overload,
+        )
+
+    # -- classification ---------------------------------------------------
+
+    def _components_of(
+        self, name: str, workflow: Workflow
+    ) -> list[tuple[Workflow, Plan]]:
+        """Per-component solo plans, memoized by catalog name."""
+        memo = self._solo_plans.get(name)
+        if memo is not None:
+            return memo
+        memo = [
+            (
+                component,
+                self.optimizer.plan(
+                    component, len(self.records), self.num_reducers
+                ),
+            )
+            for component in connected_components(workflow)
+        ]
+        self._solo_plans[name] = memo
+        return memo
+
+    def _keys_for(self, component: Workflow) -> dict[str, str]:
+        if self.cache is None:
+            return {}
+        return {
+            measure.name: cache_key(self.fingerprint, measure)
+            for measure in component.measures
+        }
+
+    def _classify(self, member: _Member) -> str:
+        """cache | derive | execute, mirroring the batch planner."""
+        if self.cache is None:
+            return "execute"
+        cached = {
+            name
+            for name, key in member.keys.items()
+            if self.cache.contains(key)
+        }
+        if cached == set(member.keys):
+            return "cache"
+        basics = {m.name for m in member.component.basic_measures()}
+        if basics and basics <= cached and _derivable(member.component):
+            return "derive"
+        return "execute"
+
+    def _serve_fast(self, member: _Member, disposition: str) -> None:
+        """Answer a cached/derived component without any job.
+
+        A vanished or corrupt entry demotes the component to a solo
+        execute unit (the same degradation the batch executor uses).
+        """
+        component = member.component
+        loaded: dict[str, MeasureTable] = {}
+        measures = (
+            component.measures
+            if disposition == "cache"
+            else component.basic_measures()
+        )
+        for measure in measures:
+            table = self.cache.get(
+                member.keys[measure.name], measure.granularity
+            )
+            if table is None:
+                logger.warning(
+                    "serve: cache entry for %s vanished; executing solo",
+                    measure.name,
+                )
+                self._demote_to_execute(member)
+                return
+            loaded[measure.name] = table
+        if disposition == "derive":
+            result = BlockEvaluator(component).evaluate(
+                basic_tables=loaded
+            )
+            loaded = dict(result.tables)
+            for measure in component.composite_measures():
+                self.cache.put(
+                    member.keys[measure.name],
+                    loaded[measure.name],
+                    measure_name=measure.name,
+                )
+        member.pending.served_by.append(disposition)
+        member.pending.component_done(loaded)
+        self.telemetry.inc(f"serve.{disposition}_served")
+
+    def _demote_to_execute(self, member: _Member) -> None:
+        pending = member.pending
+        solo = next(
+            plan
+            for component, plan in self._components_of(
+                pending.request.name, pending.request.workflow
+            )
+            if component.names == member.component.names
+        )
+        prefixed = prefix_workflow(
+            member.component, pending.internal + QUERY_SEPARATOR
+        )
+        member.unit = BatchUnit(pending.internal, prefixed, solo)
+        self._idle.clear()
+        self.admission.offer(member.unit, member)
+
+    # -- dispatch ---------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        tick = max(0.001, self.limits.admission_window_ms / 4000.0)
+        while True:
+            try:
+                await asyncio.sleep(tick)
+                self._dispatch_due()
+            except asyncio.CancelledError:
+                return
+            except Exception:  # pragma: no cover - defensive
+                logger.exception("serve: dispatcher error")
+
+    def _dispatch_due(self, flush: bool = False) -> None:
+        if self.admission is None:
+            return
+        groups = (
+            self.admission.flush() if flush else self.admission.due()
+        )
+        for group in groups:
+            self._enqueue_group(group, force=flush)
+        self.telemetry.set_gauge("serve.held", float(self.admission.held))
+        self.telemetry.set_gauge("serve.queue_depth", float(len(self.queue)))
+
+    def _enqueue_group(self, group: PendingGroup, force: bool = False) -> None:
+        members = [m for m in group.members if m is not None]
+        priority = min(
+            (m.pending.request.priority for m in members), default=0
+        )
+        deadlines = [m.pending.deadline_at for m in members]
+        earliest = min(
+            (d for d in deadlines if d is not None), default=None
+        )
+        accepted = self.queue.offer(group, priority, earliest)
+        if not accepted and force:
+            # Drain must not lose held work; depth no longer matters.
+            self.queue.max_depth = max(
+                self.queue.max_depth, len(self.queue) + 1
+            )
+            accepted = self.queue.offer(group, priority, earliest)
+        if not accepted:
+            for member in members:
+                self._fail_member(
+                    member,
+                    STATUS_OVERLOADED,
+                    overload=Overloaded(
+                        reason=SHED_QUEUE_FULL,
+                        queue_depth=len(self.queue),
+                        inflight=self._inflight,
+                        held=self.admission.held,
+                        retry_after_ms=self.limits.admission_window_ms,
+                    ),
+                )
+            return
+        self._report.groups_dispatched += 1
+        self._report.grouped_queries += len(members)
+        self.telemetry.inc("serve.groups_dispatched")
+        self.telemetry.observe("serve.group_size", len(members))
+        self._work_available.set()
+
+    # -- workers ----------------------------------------------------------
+
+    async def _worker_loop(self, index: int) -> None:
+        worker = self._workers[index]
+        while True:
+            group = self.queue.take()
+            if group is None:
+                self._maybe_idle()
+                self._work_available.clear()
+                try:
+                    await asyncio.wait_for(
+                        self._work_available.wait(), timeout=0.05
+                    )
+                except asyncio.TimeoutError:
+                    pass
+                except asyncio.CancelledError:
+                    return
+                continue
+            self._inflight += 1
+            self.telemetry.set_gauge("serve.inflight", float(self._inflight))
+            self.telemetry.set_gauge(
+                "serve.queue_depth", float(len(self.queue))
+            )
+            try:
+                await self._execute_group(worker, group)
+            except asyncio.CancelledError:
+                self._inflight -= 1
+                raise
+            except Exception:  # pragma: no cover - defensive
+                logger.exception("serve: worker %d crashed on a group", index)
+            self._inflight -= 1
+            self.telemetry.set_gauge("serve.inflight", float(self._inflight))
+            self._maybe_idle()
+
+    def _maybe_idle(self) -> None:
+        if (
+            self._idle is not None
+            and not len(self.queue)
+            and self._inflight == 0
+            and (self.admission is None or self.admission.held == 0)
+        ):
+            self._idle.set()
+
+    def _group_token(
+        self, members: list[_Member]
+    ) -> Optional[CancellationToken]:
+        """The group deadline: latest member deadline, if all have one.
+
+        One member without a deadline keeps the group uncancellable --
+        that member is owed an answer no matter how long it takes.
+        """
+        deadlines = [m.pending.deadline_at for m in members]
+        if not deadlines or any(d is None for d in deadlines):
+            return None
+        return CancellationToken(deadline=max(deadlines), clock=self.clock)
+
+    async def _execute_group(
+        self, worker: _Worker, group: PendingGroup
+    ) -> None:
+        members = [m for m in group.members if m is not None]
+        token = self._group_token(members)
+        if token is not None and token.expired:
+            # Everyone's deadline passed while queued: don't run at all.
+            for member in members:
+                self._fail_member(member, STATUS_DEADLINE)
+            return
+
+        group_names = sorted(
+            {m.pending.request.name for m in members}
+        )
+        use_backend = self.breaker.allow()
+        result: Optional[ResultSet] = None
+        error = ""
+        if use_backend:
+            try:
+                result = await asyncio.to_thread(
+                    worker.run_group, group.workflow, group.plan, token
+                )
+                self.breaker.record_success()
+            except DeadlineExceededError:
+                for member in members:
+                    self._fail_member(member, STATUS_DEADLINE)
+                return
+            except Exception as exc:  # noqa: BLE001 - breaker decides
+                error = f"{type(exc).__name__}: {exc}"
+                logger.warning(
+                    "serve: group [%s] failed on backend: %s",
+                    ", ".join(group_names), error,
+                )
+                self.breaker.record_failure()
+                if self.breaker.trips > self._report.breaker_trips:
+                    self._report.breaker_trips = self.breaker.trips
+                self.telemetry.inc("serve.backend_failures")
+        self.telemetry.set_gauge(
+            "serve.breaker_open",
+            0.0 if self.breaker.state == "closed" else 1.0,
+        )
+
+        fallback = result is None
+        if fallback:
+            # Breaker open (or the attempt just failed): the
+            # centralized oracle serves the same bit-identical answer.
+            if token is not None and token.expired:
+                for member in members:
+                    self._fail_member(member, STATUS_DEADLINE)
+                return
+            try:
+                result = await asyncio.to_thread(
+                    evaluate_centralized, group.workflow, self.records
+                )
+            except Exception as exc:  # noqa: BLE001 - answer is lost
+                for member in members:
+                    self._fail_member(
+                        member, STATUS_ERROR,
+                        error=error or f"{type(exc).__name__}: {exc}",
+                    )
+                return
+            self._report.fallbacks += len(members)
+            self.telemetry.inc("serve.fallbacks")
+
+        # Split merged "qN/measure" tables back per member request.
+        by_internal: dict[str, dict[str, MeasureTable]] = {}
+        for name, table in result.items():
+            internal, _, original = name.partition(QUERY_SEPARATOR)
+            by_internal.setdefault(internal, {})[original] = table
+        for member in members:
+            pending = member.pending
+            tables = by_internal.get(pending.internal, {})
+            self._store_member(member, tables)
+            pending.served_by.append("fallback" if fallback else "group")
+            if len(members) > 1:
+                pending.group_queries = group_names
+            pending.component_done(tables)
+            if pending.complete:
+                self._finish(pending)
+
+    def _store_member(
+        self, member: _Member, tables: Mapping[str, MeasureTable]
+    ) -> None:
+        if self.cache is None or not member.keys:
+            return
+        for name, key in member.keys.items():
+            if name in tables:
+                self.cache.put(key, tables[name], measure_name=name)
+
+    # -- completion -------------------------------------------------------
+
+    def _fail_member(
+        self,
+        member: _Member,
+        status: str,
+        overload: Optional[Overloaded] = None,
+        error: str = "",
+    ) -> None:
+        """One component failed terminally: resolve the whole request."""
+        pending = member.pending
+        if pending.future.done():
+            return
+        latency_ms = (self.clock() - pending.submitted_at) * 1000.0
+        if status == STATUS_DEADLINE:
+            self._report.deadline_missed += 1
+            self.telemetry.inc("serve.deadline_missed")
+        elif status == STATUS_ERROR:
+            self._report.errors += 1
+            self.telemetry.inc("serve.errors")
+        elif status == STATUS_OVERLOADED and overload is not None:
+            self._report.shed[overload.reason] = (
+                self._report.shed.get(overload.reason, 0) + 1
+            )
+            self.telemetry.inc("serve.shed")
+            self.telemetry.inc(f"serve.shed.{overload.reason}")
+        pending.future.set_result(
+            QueryResponse(
+                name=pending.request.name,
+                tenant=pending.request.tenant,
+                status=status,
+                latency_ms=latency_ms,
+                overload=overload,
+                error=error,
+                served_by=list(pending.served_by),
+            )
+        )
+
+    def _finish(self, pending: _PendingRequest) -> QueryResponse:
+        latency_ms = (self.clock() - pending.submitted_at) * 1000.0
+        late = (
+            pending.deadline_at is not None
+            and self.clock() > pending.deadline_at
+        )
+        workflow = pending.request.workflow
+        result = ResultSet(
+            {
+                name: pending.tables[name]
+                for name in workflow.names
+                if name in pending.tables
+            }
+        )
+        response = QueryResponse(
+            name=pending.request.name,
+            tenant=pending.request.tenant,
+            status=STATUS_OK,
+            result=result,
+            latency_ms=latency_ms,
+            group_queries=list(pending.group_queries),
+            late=late,
+            served_by=list(pending.served_by),
+        )
+        self._report.completed += 1
+        if late:
+            self._report.late += 1
+        self._latencies_ms.append(latency_ms)
+        self.telemetry.inc("serve.completed")
+        self.telemetry.mark("serve.completion_rate")
+        self.telemetry.observe("serve.latency_ms", latency_ms)
+        if not pending.future.done():
+            pending.future.set_result(response)
+        return response
+
+    # -- drain ------------------------------------------------------------
+
+    async def drain(self) -> ServeReport:
+        """Graceful shutdown: finish everything in flight, then stop.
+
+        New submissions shed with ``reason="draining"`` from the moment
+        this is called.  Held groups are dispatched immediately, the
+        queue and workers run dry, the cache is persisted (directory
+        caches already are; ``spill`` handles memory caches via
+        :meth:`MeasureCache.spill_to` when a spill directory was
+        attached), and the final report is returned.
+        """
+        if self._drained:
+            return self.report()
+        self._draining = True
+        await self.start()
+        self._dispatch_due(flush=True)
+        while len(self.queue) or self._inflight:
+            self._work_available.set()
+            self._idle.clear()
+            try:
+                await asyncio.wait_for(self._idle.wait(), timeout=0.1)
+            except asyncio.TimeoutError:
+                continue
+        self._drained = True
+        if self._dispatcher_task is not None:
+            self._dispatcher_task.cancel()
+        for task in self._worker_tasks:
+            task.cancel()
+        await asyncio.gather(
+            *self._worker_tasks,
+            *( [self._dispatcher_task] if self._dispatcher_task else [] ),
+            return_exceptions=True,
+        )
+        self._worker_tasks = []
+        self._dispatcher_task = None
+        logger.info("serve: drained (%s)", self.report().summary())
+        return self.report()
+
+    def report(self) -> ServeReport:
+        """The current serving post-mortem (final after :meth:`drain`)."""
+        report = self._report
+        report.latency_ms = latency_percentiles(self._latencies_ms)
+        if self.admission is not None:
+            report.admission = self.admission.stats.to_dict()
+        report.queue = {
+            "max_depth": self.queue.max_depth,
+            "peak_depth": self.queue.peak_depth,
+            "rejected": self.queue.rejected,
+        }
+        report.quotas = self.quotas.to_dict()
+        if self.cache is not None:
+            report.cache = self.cache.stats.to_dict()
+        report.drained = self._drained
+        return report
+
+
+def serve_arrivals(
+    service: QueryService,
+    arrivals: Sequence,
+    speed: float = 1.0,
+    drain: bool = True,
+    install_signals: bool = False,
+) -> tuple[list[QueryResponse], ServeReport]:
+    """Replay a loadgen trace against *service*; returns all responses.
+
+    Arrivals are submitted open-loop at their trace offsets scaled by
+    *speed* (``speed=0`` submits as fast as possible).  Responses come
+    back in arrival order.  The synchronous wrapper owns the event
+    loop, which is what tests and ``tools/serve_smoke.py`` want.
+    *install_signals* hooks SIGTERM/SIGINT to a graceful drain (the
+    ``repro serve`` entry point) -- a signal mid-replay sheds the rest
+    of the trace with ``reason="draining"`` while in-flight groups
+    finish.
+    """
+
+    async def _run() -> tuple[list[QueryResponse], ServeReport]:
+        await service.start()
+        if install_signals:
+            service.install_signal_handlers()
+        started = service.clock()
+        tasks: list[asyncio.Task] = []
+        for arrival in arrivals:
+            if speed > 0:
+                offset = arrival.at / speed
+                delay = offset - (service.clock() - started)
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            workflow = service.catalog.get(arrival.query)
+            if workflow is None:
+                raise KeyError(
+                    f"arrival references unknown query {arrival.query!r}"
+                )
+            request = QueryRequest(
+                name=arrival.query,
+                workflow=workflow,
+                tenant=arrival.tenant,
+                deadline_ms=arrival.deadline_ms,
+                priority=arrival.priority,
+            )
+            tasks.append(asyncio.create_task(service.submit(request)))
+        responses = list(await asyncio.gather(*tasks))
+        report = (await service.drain()) if drain else service.report()
+        return responses, report
+
+    return asyncio.run(_run())

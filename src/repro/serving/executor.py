@@ -111,6 +111,23 @@ class BatchResult:
         return [o.result for o in self.groups if o.result is not None]
 
     @property
+    def resumed_components(self) -> int:
+        """Components answered from the cache instead of re-executing.
+
+        After a mid-batch failure, a warm re-run classifies every
+        completed group's components as ``cache``/``derive`` -- this is
+        the count of work units the resume skipped.
+        """
+        return sum(
+            1
+            for planned in self.plan.queries
+            for component in planned.components
+            if component.disposition in (
+                DISPOSITION_CACHE, DISPOSITION_DERIVE
+            )
+        )
+
+    @property
     def total_response_time(self) -> float:
         return sum(job.job.response_time for job in self.jobs)
 
@@ -451,4 +468,5 @@ class BatchEvaluator:
             stores=now.stores - before.stores,
             corrupt=now.corrupt - before.corrupt,
             store_errors=now.store_errors - before.store_errors,
+            evictions=now.evictions - before.evictions,
         )

@@ -1,0 +1,145 @@
+"""Seeded open-loop arrival generation for the serving daemon.
+
+``repro loadgen`` simulates many tenants submitting composite-aggregate
+queries as a Poisson process: exponential inter-arrival gaps at a
+target *rate*, each arrival assigned a tenant (weighted), a query from
+the catalog, and optionally a deadline and priority.  Open-loop means
+arrivals do not wait for responses -- exactly the regime where an
+unprotected service melts and a shedding one does not.
+
+Everything is driven by one :class:`random.Random` seed, so a trace is
+reproducible bit-for-bit: the CI smoke test, the chaos harness and the
+latency benchmark all replay known streams.  Traces serialize to JSONL
+(one arrival per line) via :func:`write_trace` / :func:`read_trace`.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import IO, Mapping, Optional, Sequence, Union
+
+__all__ = [
+    "Arrival",
+    "generate_arrivals",
+    "read_trace",
+    "write_trace",
+]
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One query submission in an arrival trace."""
+
+    #: Offset from trace start, seconds.
+    at: float
+    tenant: str
+    #: Catalog name of the query to submit.
+    query: str
+    #: Per-query deadline (milliseconds after submission), or ``None``.
+    deadline_ms: Optional[float] = None
+    #: Lower runs first; ties break FIFO.
+    priority: int = 0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Arrival":
+        return cls(
+            at=float(data["at"]),
+            tenant=str(data["tenant"]),
+            query=str(data["query"]),
+            deadline_ms=(
+                None
+                if data.get("deadline_ms") is None
+                else float(data["deadline_ms"])
+            ),
+            priority=int(data.get("priority", 0)),
+        )
+
+
+def generate_arrivals(
+    queries: Sequence[str],
+    rate: float,
+    duration: float,
+    seed: int = 0,
+    tenants: Union[int, Mapping[str, float]] = 4,
+    deadline_ms: Optional[float] = None,
+    deadline_jitter: float = 0.0,
+    max_arrivals: Optional[int] = None,
+) -> list[Arrival]:
+    """A seeded Poisson arrival trace.
+
+    *rate* is arrivals/second over *duration* seconds.  *tenants* is a
+    tenant count (uniform weights, named ``tenant-0`` ...) or an
+    explicit ``{name: weight}`` mapping.  *deadline_ms* gives every
+    arrival a deadline, fuzzed up to ``+/- deadline_jitter`` fraction.
+    """
+    if rate <= 0:
+        raise ValueError("arrival rate must be positive")
+    if not queries:
+        raise ValueError("loadgen needs at least one query name")
+    rng = random.Random(seed)
+    if isinstance(tenants, int):
+        weights = {f"tenant-{i}": 1.0 for i in range(max(1, tenants))}
+    else:
+        weights = dict(tenants)
+    names = sorted(weights)
+    tenant_weights = [weights[name] for name in names]
+
+    arrivals: list[Arrival] = []
+    clock = 0.0
+    while True:
+        clock += rng.expovariate(rate)
+        if clock >= duration:
+            break
+        deadline = deadline_ms
+        if deadline is not None and deadline_jitter > 0:
+            deadline *= 1.0 + rng.uniform(-deadline_jitter, deadline_jitter)
+        arrivals.append(
+            Arrival(
+                at=clock,
+                tenant=rng.choices(names, weights=tenant_weights)[0],
+                query=rng.choice(sorted(queries)),
+                deadline_ms=deadline,
+            )
+        )
+        if max_arrivals is not None and len(arrivals) >= max_arrivals:
+            break
+    return arrivals
+
+
+def write_trace(
+    arrivals: Sequence[Arrival], target: Union[str, Path, IO[str]]
+) -> None:
+    """Write one JSONL line per arrival."""
+    def _dump(stream: IO[str]) -> None:
+        for arrival in arrivals:
+            stream.write(json.dumps(arrival.to_dict()) + "\n")
+
+    if isinstance(target, (str, Path)):
+        with open(target, "w") as stream:
+            _dump(stream)
+    else:
+        _dump(target)
+
+
+def read_trace(source: Union[str, Path, IO[str]]) -> list[Arrival]:
+    """Read a JSONL arrival trace, sorted by arrival time."""
+    def _load(stream: IO[str]) -> list[Arrival]:
+        arrivals = []
+        for line in stream:
+            line = line.strip()
+            if line:
+                arrivals.append(Arrival.from_dict(json.loads(line)))
+        return arrivals
+
+    if isinstance(source, (str, Path)):
+        with open(source) as stream:
+            arrivals = _load(stream)
+    else:
+        arrivals = _load(source)
+    return sorted(arrivals, key=lambda a: (a.at, a.tenant, a.query))

@@ -1,0 +1,82 @@
+"""The daemon's bounded priority ready-queue.
+
+Dispatched share groups wait here for a worker slot.  The queue is
+deliberately *bounded*: accepting more work than the service can finish
+only converts overload into unbounded latency, so past ``max_depth``
+the daemon sheds instead of queueing (the explicit-backpressure half of
+the robustness story -- see :mod:`repro.serving.daemon`).
+
+Ordering is ``(priority, deadline, arrival sequence)``: lower priority
+values run first, earlier deadlines break ties, and FIFO breaks the
+rest, so two equal-priority groups never starve each other.  The queue
+is a plain in-process structure -- the daemon touches it only from the
+event-loop thread.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Generic, Optional, TypeVar
+
+__all__ = ["BoundedPriorityQueue"]
+
+T = TypeVar("T")
+
+
+class BoundedPriorityQueue(Generic[T]):
+    """A depth-bounded min-heap of ``(priority, deadline, seq, item)``."""
+
+    def __init__(self, max_depth: int):
+        if max_depth < 1:
+            raise ValueError("queue depth must be at least 1")
+        self.max_depth = max_depth
+        self._heap: list[tuple[float, float, int, T]] = []
+        self._seq = 0
+        #: Offers rejected because the queue was at depth.
+        self.rejected = 0
+        #: High-water mark of the depth, for the serve report.
+        self.peak_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def full(self) -> bool:
+        return len(self._heap) >= self.max_depth
+
+    def offer(
+        self,
+        item: T,
+        priority: float = 0.0,
+        deadline: Optional[float] = None,
+    ) -> bool:
+        """Enqueue *item*; ``False`` (counted) when at depth."""
+        if self.full:
+            self.rejected += 1
+            return False
+        self._seq += 1
+        heapq.heappush(
+            self._heap,
+            (
+                priority,
+                math.inf if deadline is None else deadline,
+                self._seq,
+                item,
+            ),
+        )
+        self.peak_depth = max(self.peak_depth, len(self._heap))
+        return True
+
+    def take(self) -> Optional[T]:
+        """Pop the most urgent item, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[3]
+
+    def drain(self) -> list[T]:
+        """Pop everything, most urgent first."""
+        items = []
+        while self._heap:
+            items.append(heapq.heappop(self._heap)[3])
+        return items

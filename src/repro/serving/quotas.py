@@ -1,0 +1,134 @@
+"""Per-tenant token-bucket quotas for the serving daemon.
+
+A multi-tenant service cannot let one chatty tenant starve the rest:
+every tenant draws admission tokens from its own bucket, refilled at a
+steady per-second rate up to a burst capacity.  A submit that finds the
+bucket empty is rejected with an ``Overloaded(reason="quota")``
+response before it touches the admission window or the queue -- quota
+rejections are the cheapest shed the daemon has.
+
+Buckets are lazily created per tenant from the defaults (override
+individual tenants with :meth:`TenantQuotas.set_limit`).  The clock is
+injectable so tests can drive refill deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = ["TenantQuotas", "TokenBucket"]
+
+
+@dataclass
+class TokenBucket:
+    """A classic token bucket: *rate* tokens/second up to *capacity*."""
+
+    capacity: float
+    rate: float
+    clock: Callable[[], float] = time.monotonic
+
+    def __post_init__(self):
+        if self.capacity <= 0 or self.rate <= 0:
+            raise ValueError("token bucket needs positive capacity and rate")
+        self._tokens = float(self.capacity)
+        self._last = self.clock()
+
+    def _refill(self) -> None:
+        now = self.clock()
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self._tokens = min(
+            float(self.capacity), self._tokens + elapsed * self.rate
+        )
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take *tokens* if available; ``False`` means rejected."""
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    @property
+    def available(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def seconds_until(self, tokens: float = 1.0) -> float:
+        """How long until *tokens* will be available (0 if already)."""
+        self._refill()
+        deficit = tokens - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self.rate
+
+
+class TenantQuotas:
+    """One token bucket per tenant, created on first sight.
+
+    *capacity*/*rate* are the defaults for unseen tenants; ``None``
+    capacity disables quota enforcement entirely (every admit
+    succeeds), which is the daemon's default for single-tenant use.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[float] = None,
+        rate: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.capacity = capacity
+        self.rate = rate
+        self.clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._limits: dict[str, tuple[float, float]] = {}
+        #: Per-tenant rejection tallies, for the serve report.
+        self.rejections: dict[str, int] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity is not None or bool(self._limits)
+
+    def set_limit(self, tenant: str, capacity: float, rate: float) -> None:
+        """Override the default bucket for one tenant."""
+        self._limits[tenant] = (capacity, rate)
+        self._buckets.pop(tenant, None)
+
+    def _bucket(self, tenant: str) -> Optional[TokenBucket]:
+        bucket = self._buckets.get(tenant)
+        if bucket is not None:
+            return bucket
+        if tenant in self._limits:
+            capacity, rate = self._limits[tenant]
+        elif self.capacity is not None:
+            capacity, rate = self.capacity, self.rate
+        else:
+            return None
+        bucket = TokenBucket(capacity, rate, clock=self.clock)
+        self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str) -> bool:
+        """Whether *tenant* may submit one more query right now."""
+        bucket = self._bucket(tenant)
+        if bucket is None:
+            return True
+        if bucket.try_acquire():
+            return True
+        self.rejections[tenant] = self.rejections.get(tenant, 0) + 1
+        return False
+
+    def retry_after(self, tenant: str) -> float:
+        """Seconds until *tenant*'s next token (0 when unlimited)."""
+        bucket = self._bucket(tenant)
+        return 0.0 if bucket is None else bucket.seconds_until()
+
+    def to_dict(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "default_capacity": self.capacity,
+            "default_rate": self.rate,
+            "rejections": dict(sorted(self.rejections.items())),
+        }

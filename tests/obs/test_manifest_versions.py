@@ -1,4 +1,4 @@
-"""Every manifest schema version (v1..v4) must keep loading.
+"""Every manifest schema version (v1..v5) must keep loading.
 
 ``repro stats`` and ``repro diff`` read manifests written by older
 builds; these tests freeze a representative document per version and
@@ -110,10 +110,43 @@ def document_for_version(version: int) -> dict:
             "final": True,
             "counters": {"job.completed": 1},
         }
+    if version >= 5:
+        data["batch"]["resumed_components"] = 1
+        data["serving"] = {
+            "arrivals": 40,
+            "completed": 35,
+            "shed": {"queue_full": 3, "quota": 2},
+            "deadline_missed": 0,
+            "late": 1,
+            "errors": 0,
+            "fallbacks": 2,
+            "breaker_trips": 1,
+            "groups_dispatched": 12,
+            "grouped_queries": 30,
+            "admission": {
+                "offered": 35,
+                "groups_opened": 12,
+                "merges_accepted": 18,
+                "merges_rejected": 5,
+                "merges_infeasible": 0,
+                "dispatched_window": 9,
+                "dispatched_stale": 2,
+                "dispatched_full": 1,
+                "dispatched_flush": 0,
+                "predicted_savings": 1234.0,
+            },
+            "queue": {"max_depth": 16, "peak_depth": 7, "rejected": 3},
+            "quotas": {"enabled": True, "rejections": {"tenant-1": 2}},
+            "cache": {"hits": 10, "misses": 25, "stores": 20,
+                      "corrupt": 0, "store_errors": 0, "evictions": 4},
+            "latency_ms": {"count": 35, "p50": 40.0, "p95": 90.0,
+                           "p99": 120.0, "max": 150.0, "mean": 48.0},
+            "drained": True,
+        }
     return data
 
 
-@pytest.mark.parametrize("version", [1, 2, 3, 4])
+@pytest.mark.parametrize("version", [1, 2, 3, 4, 5])
 class TestVersionRoundTrip:
     def test_from_dict_and_back(self, version):
         manifest = RunManifest.from_dict(document_for_version(version))
@@ -144,6 +177,10 @@ class TestVersionRoundTrip:
         if version >= 4:
             assert "workers: 2 processes" in summary
             assert "w101" in summary
+        if version >= 5:
+            assert "serving: 40 arrivals" in summary
+            assert "queue_full=3" in summary
+            assert "resumed from cache: 1" in summary
 
     def test_self_diff_is_clean(self, version):
         manifest = RunManifest.from_dict(document_for_version(version))
@@ -159,6 +196,7 @@ class TestVersionGuards:
         assert manifest.batch == {}
         assert manifest.workers == {}
         assert manifest.telemetry == {}
+        assert manifest.serving == {}
 
     def test_unknown_fields_ignored(self):
         data = document_for_version(2)

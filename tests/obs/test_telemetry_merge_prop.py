@@ -1,0 +1,94 @@
+"""Property test: worker-counter merging is dedup- and order-proof.
+
+Workers flush *cumulative* counters tagged with a per-worker ``seq``.
+The driver keeps the highest-seq flush per worker, so delivering the
+same flush stream duplicated, reordered, or both must always aggregate
+to exactly the sum of each worker's final totals -- the invariant the
+chaos harness leans on when it kills and restarts telemetry queues.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.telemetry import TelemetryRegistry, WorkerDelta
+
+COUNTER_NAMES = ["tasks", "rows", "shuffle_bytes"]
+
+
+@st.composite
+def worker_flush_streams(draw):
+    """Per-worker monotone cumulative flush sequences."""
+    n_workers = draw(st.integers(min_value=1, max_value=4))
+    streams = {}
+    for index in range(n_workers):
+        n_flushes = draw(st.integers(min_value=1, max_value=6))
+        totals = {name: 0.0 for name in COUNTER_NAMES}
+        flushes = []
+        for seq in range(1, n_flushes + 1):
+            for name in COUNTER_NAMES:
+                totals[name] += draw(
+                    st.integers(min_value=0, max_value=1000)
+                )
+            flushes.append(
+                WorkerDelta(
+                    worker=f"w{index}",
+                    seq=seq,
+                    counters=dict(totals),
+                )
+            )
+        streams[f"w{index}"] = flushes
+    return streams
+
+
+def expected_totals(streams):
+    """Sum of each worker's final (highest-seq) cumulative counters."""
+    totals = {}
+    for flushes in streams.values():
+        for name, value in flushes[-1].counters.items():
+            totals[name] = totals.get(name, 0) + value
+    return totals
+
+
+def deliver(deltas):
+    registry = TelemetryRegistry()
+    for delta in deltas:
+        registry.merge_worker(delta)
+    return registry.aggregate_worker_counters()
+
+
+@settings(max_examples=60, deadline=None)
+@given(streams=worker_flush_streams(), shuffle_seed=st.integers(0, 2**32))
+def test_duplicated_reordered_flushes_merge_identically(
+    streams, shuffle_seed
+):
+    flushes = [delta for stream in streams.values() for delta in stream]
+    in_order = deliver(flushes)
+    assert in_order == expected_totals(streams)
+
+    # Duplicate everything, then shuffle the whole stream.
+    chaotic = flushes * 2
+    random.Random(shuffle_seed).shuffle(chaotic)
+    assert deliver(chaotic) == in_order
+
+    # Round-tripping through the wire format changes nothing.
+    wire = [delta.to_dict() for delta in chaotic]
+    assert deliver(wire) == in_order
+
+
+@settings(max_examples=30, deadline=None)
+@given(streams=worker_flush_streams())
+def test_stale_flush_never_regresses_state(streams):
+    registry = TelemetryRegistry()
+    for stream in streams.values():
+        for delta in stream:
+            registry.merge_worker(delta)
+    final = registry.aggregate_worker_counters()
+    # Replaying every earlier flush is a no-op: seq dedup drops them.
+    for stream in streams.values():
+        for delta in stream[:-1]:
+            assert not registry.merge_worker(delta)
+    assert registry.aggregate_worker_counters() == final

@@ -1,0 +1,128 @@
+"""The daemon's refusal machinery: bounded queue and tenant quotas."""
+
+import pytest
+
+from repro.serving import BoundedPriorityQueue, TenantQuotas, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestBoundedPriorityQueue:
+    def test_orders_by_priority_then_deadline_then_fifo(self):
+        queue = BoundedPriorityQueue(10)
+        queue.offer("late", priority=1.0)
+        queue.offer("urgent", priority=0.0, deadline=5.0)
+        queue.offer("urgent-later-deadline", priority=0.0, deadline=9.0)
+        queue.offer("urgent-no-deadline", priority=0.0)
+        assert queue.take() == "urgent"
+        assert queue.take() == "urgent-later-deadline"
+        assert queue.take() == "urgent-no-deadline"
+        assert queue.take() == "late"
+        assert queue.take() is None
+
+    def test_fifo_breaks_exact_ties(self):
+        queue = BoundedPriorityQueue(10)
+        for name in ("a", "b", "c"):
+            queue.offer(name, priority=0.0, deadline=1.0)
+        assert [queue.take() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_bounded_offers_rejected_and_counted(self):
+        queue = BoundedPriorityQueue(2)
+        assert queue.offer("a")
+        assert queue.offer("b")
+        assert queue.full
+        assert not queue.offer("c")
+        assert queue.rejected == 1
+        assert len(queue) == 2
+
+    def test_peak_depth_high_water_mark(self):
+        queue = BoundedPriorityQueue(5)
+        queue.offer("a")
+        queue.offer("b")
+        queue.take()
+        queue.offer("c")
+        assert queue.peak_depth == 2
+
+    def test_drain_empties_in_order(self):
+        queue = BoundedPriorityQueue(5)
+        queue.offer("b", priority=2.0)
+        queue.offer("a", priority=1.0)
+        assert queue.drain() == ["a", "b"]
+        assert len(queue) == 0
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BoundedPriorityQueue(0)
+
+
+class TestTokenBucket:
+    def test_burst_up_to_capacity_then_refuses(self):
+        clock = FakeClock()
+        bucket = TokenBucket(capacity=3.0, rate=1.0, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(capacity=2.0, rate=2.0, clock=clock)
+        bucket.try_acquire()
+        bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.now = 0.5  # 0.5s * 2/s = 1 token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_never_exceeds_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(capacity=2.0, rate=10.0, clock=clock)
+        clock.now = 100.0
+        assert bucket.available == pytest.approx(2.0)
+
+    def test_seconds_until_is_a_usable_retry_hint(self):
+        clock = FakeClock()
+        bucket = TokenBucket(capacity=1.0, rate=0.5, clock=clock)
+        bucket.try_acquire()
+        wait = bucket.seconds_until()
+        assert wait == pytest.approx(2.0)
+        clock.now = wait
+        assert bucket.try_acquire()
+
+
+class TestTenantQuotas:
+    def test_disabled_by_default(self):
+        quotas = TenantQuotas()
+        assert not quotas.enabled
+        for _ in range(1000):
+            assert quotas.admit("anyone")
+
+    def test_per_tenant_isolation(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(capacity=1.0, rate=0.001, clock=clock)
+        assert quotas.admit("a")
+        assert not quotas.admit("a")
+        # Tenant b has its own bucket, untouched by a's burst.
+        assert quotas.admit("b")
+        assert quotas.rejections == {"a": 1}
+
+    def test_per_tenant_override(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(capacity=1.0, rate=0.001, clock=clock)
+        quotas.set_limit("vip", capacity=100.0, rate=50.0)
+        for _ in range(50):
+            assert quotas.admit("vip")
+        assert quotas.admit("other")
+        assert not quotas.admit("other")
+
+    def test_retry_after_reflects_refill(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(capacity=1.0, rate=2.0, clock=clock)
+        quotas.admit("t")
+        assert quotas.retry_after("t") == pytest.approx(0.5)

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import logging
+
 import pytest
 
+from repro.obs.manifest import RunManifest
 from repro.query import WorkflowBuilder
 from repro.serving import (
     BatchEvaluator,
@@ -183,3 +186,196 @@ class TestGroupFailures:
         assert len(rerun.jobs) == 1
         assert rerun.results["Q1"] == solo_results["Q1"]
         assert rerun.results["Q2"] == solo_results["Q2"]
+
+    def test_warm_rerun_resumes_every_completed_group(
+        self, batch_queries, batch_records, solo_results, monkeypatch
+    ):
+        """After a mid-batch failure, only the failed group re-executes.
+
+        Every completed group's entries must come back from the cache:
+        the resumed run issues exactly one shared job, and its manifest
+        surfaces how many components the resume skipped.
+        """
+        cache = MeasureCache()
+        evaluator = BatchEvaluator(
+            fresh_cluster(), cache=cache, group_retries=0
+        )
+        real = evaluator.inner.evaluate
+
+        def fail_q1_only_groups(workflow, *args, **kwargs):
+            if all(name.startswith("Q1/") for name in workflow.names):
+                raise RuntimeError("injected persistent failure")
+            return real(workflow, *args, **kwargs)
+
+        monkeypatch.setattr(
+            evaluator.inner, "evaluate", fail_q1_only_groups
+        )
+        with pytest.raises(BatchExecutionError):
+            evaluator.evaluate(batch_queries, batch_records)
+
+        rerun_eval = BatchEvaluator(fresh_cluster(), cache=cache)
+        calls = {"jobs": 0}
+        rerun_real = rerun_eval.inner.evaluate
+
+        def counting(workflow, *args, **kwargs):
+            calls["jobs"] += 1
+            return rerun_real(workflow, *args, **kwargs)
+
+        monkeypatch.setattr(rerun_eval.inner, "evaluate", counting)
+        rerun = rerun_eval.evaluate(batch_queries, batch_records)
+        # Only Q1's failed components re-executed; every other query's
+        # entries came back from what its completed group stored.
+        assert calls["jobs"] == len(rerun.plan.groups)
+        for group in rerun.plan.groups:
+            assert set(group.queries) == {"Q1"}
+        executed = [
+            component
+            for component in rerun.plan.components()
+            if component.disposition == DISPOSITION_EXECUTE
+        ]
+        assert all(c.query == "Q1" for c in executed)
+        assert rerun.resumed_components > 0
+        assert rerun.resumed_components == len(
+            rerun.plan.components()
+        ) - len(executed)
+        for name, solo in solo_results.items():
+            assert rerun.results[name] == solo, name
+
+        manifest = RunManifest.from_batch(rerun)
+        assert (
+            manifest.batch["resumed_components"]
+            == rerun.resumed_components
+        )
+        assert (
+            f"resumed from cache: {rerun.resumed_components} "
+            "component(s)" in manifest.summary()
+        )
+
+
+class TestEviction:
+    @staticmethod
+    def _table(batch_schema, value=1.0):
+        from repro.cube.regions import Granularity
+        from repro.local.measure_table import MeasureTable
+
+        granularity = Granularity.of(batch_schema, {"a1": "value"})
+        coords = tuple(
+            "x" if level != "ALL" else "*"
+            for level in granularity.levels
+        )
+        return MeasureTable(granularity, {coords: value})
+
+    def test_lru_eviction_under_byte_pressure(self, batch_schema):
+        table = self._table(batch_schema)
+        probe = MeasureCache()
+        probe.put("probe", table)
+        entry_bytes = probe.total_bytes
+        cache = MeasureCache(max_bytes=int(entry_bytes * 2.5))
+        cache.put("k0", table)
+        cache.put("k1", table)
+        assert cache.stats.evictions == 0
+        # Touch k0 so k1 becomes the least recently used...
+        assert cache.get("k0", table.granularity) is not None
+        cache.put("k2", table)
+        # ...and the third store evicts exactly it.
+        assert cache.stats.evictions == 1
+        assert cache.get("k1", table.granularity) is None
+        assert cache.get("k0", table.granularity) is not None
+        assert cache.get("k2", table.granularity) is not None
+        assert cache.total_bytes <= cache.max_bytes
+
+    def test_single_oversized_entry_is_spared(self, batch_schema):
+        table = self._table(batch_schema)
+        cache = MeasureCache(max_bytes=1)
+        cache.put("huge", table)
+        # Evicting the entry we just stored would make put() a lie.
+        assert cache.get("huge", table.granularity) is not None
+        assert cache.stats.evictions == 0
+
+    def test_ttl_expires_entries_by_age(self, batch_schema):
+        table = self._table(batch_schema)
+        clock = {"now": 0.0}
+        cache = MeasureCache(ttl=10.0, clock=lambda: clock["now"])
+        cache.put("k", table)
+        clock["now"] = 9.0
+        assert cache.get("k", table.granularity) is not None
+        clock["now"] = 11.0
+        assert cache.get("k", table.granularity) is None
+        assert cache.stats.evictions == 1
+        assert not cache.contains("k")
+
+    def test_disk_backed_lru_eviction_removes_files(
+        self, tmp_path, batch_schema
+    ):
+        table = self._table(batch_schema)
+        probe = MeasureCache(tmp_path / "probe")
+        probe.put("probe", table)
+        entry_bytes = probe.total_bytes
+        cache = MeasureCache(
+            tmp_path / "cache", max_bytes=int(entry_bytes * 1.5)
+        )
+        cache.put("old", table)
+        cache.put("new", table)
+        assert cache.stats.evictions == 1
+        assert not (tmp_path / "cache" / "old.json").exists()
+        assert (tmp_path / "cache" / "new.json").exists()
+
+
+class TestCorruption:
+    def test_unreadable_entry_warns_with_key_and_evicts(
+        self, tmp_path, batch_schema, caplog
+    ):
+        table = TestEviction._table(batch_schema)
+        cache = MeasureCache(tmp_path)
+        cache.put("badkey", table)
+        (tmp_path / "badkey.json").write_text("{not json")
+        with caplog.at_level(logging.WARNING, logger="repro.serving.cache"):
+            assert cache.get("badkey", table.granularity) is None
+        assert any(
+            "corrupt entry" in record.getMessage()
+            and "badkey" in record.getMessage()
+            for record in caplog.records
+        )
+        assert cache.stats.corrupt == 1
+        assert cache.stats.evictions == 1
+        # The bad file is gone: the next run starts clean.
+        assert not (tmp_path / "badkey.json").exists()
+        assert not cache.contains("badkey")
+
+    def test_bad_rows_warn_with_key_and_evict(
+        self, tmp_path, batch_schema, caplog
+    ):
+        import json as json_module
+
+        table = TestEviction._table(batch_schema)
+        cache = MeasureCache(tmp_path)
+        cache.put("rowskey", table)
+        path = tmp_path / "rowskey.json"
+        payload = json_module.loads(path.read_text())
+        payload["rows"] = "not-a-row-list"
+        path.write_text(json_module.dumps(payload))
+        with caplog.at_level(logging.WARNING, logger="repro.serving.cache"):
+            assert cache.get("rowskey", table.granularity) is None
+        assert any(
+            "rowskey" in record.getMessage()
+            for record in caplog.records
+        )
+        assert cache.stats.corrupt == 1
+        assert not path.exists()
+
+
+class TestSpill:
+    def test_memory_cache_spills_and_reloads(
+        self, tmp_path, batch_schema
+    ):
+        table = TestEviction._table(batch_schema, value=42.0)
+        cache = MeasureCache()
+        cache.put("s0", table)
+        cache.put("s1", table)
+        written = cache.spill_to(tmp_path)
+        assert written == 2
+
+        reloaded = MeasureCache(tmp_path)
+        restored = reloaded.get("s0", table.granularity)
+        assert restored is not None
+        assert list(restored.items()) == list(table.items())

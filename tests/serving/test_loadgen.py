@@ -1,0 +1,145 @@
+"""Seeded arrival generation, trace round-trips, and arrival chaos."""
+
+import io
+
+import pytest
+
+from repro.faults import ArrivalChaos, apply_arrival_chaos
+from repro.serving import (
+    Arrival,
+    generate_arrivals,
+    read_trace,
+    write_trace,
+)
+
+QUERIES = ["Q1", "Q2", "Q3"]
+
+
+class TestGenerateArrivals:
+    def test_same_seed_same_trace(self):
+        a = generate_arrivals(QUERIES, rate=50, duration=2.0, seed=9)
+        b = generate_arrivals(QUERIES, rate=50, duration=2.0, seed=9)
+        assert a == b
+
+    def test_different_seed_different_trace(self):
+        a = generate_arrivals(QUERIES, rate=50, duration=2.0, seed=9)
+        b = generate_arrivals(QUERIES, rate=50, duration=2.0, seed=10)
+        assert a != b
+
+    def test_rate_controls_volume(self):
+        slow = generate_arrivals(QUERIES, rate=5, duration=10.0, seed=1)
+        fast = generate_arrivals(QUERIES, rate=100, duration=10.0, seed=1)
+        assert len(fast) > len(slow) * 5
+        # Poisson mean: ~rate * duration, within wide tolerance.
+        assert len(fast) == pytest.approx(1000, rel=0.25)
+
+    def test_arrivals_sorted_and_bounded(self):
+        arrivals = generate_arrivals(QUERIES, rate=40, duration=3.0, seed=2)
+        times = [a.at for a in arrivals]
+        assert times == sorted(times)
+        assert all(0 <= t < 3.0 for t in times)
+
+    def test_tenant_weights_respected(self):
+        arrivals = generate_arrivals(
+            QUERIES, rate=200, duration=5.0, seed=3,
+            tenants={"heavy": 9.0, "light": 1.0},
+        )
+        heavy = sum(1 for a in arrivals if a.tenant == "heavy")
+        assert heavy / len(arrivals) > 0.75
+
+    def test_deadlines_with_jitter(self):
+        arrivals = generate_arrivals(
+            QUERIES, rate=100, duration=1.0, seed=4,
+            deadline_ms=100.0, deadline_jitter=0.2,
+        )
+        assert all(
+            80.0 <= a.deadline_ms <= 120.0 for a in arrivals
+        )
+
+    def test_max_arrivals_caps_the_trace(self):
+        arrivals = generate_arrivals(
+            QUERIES, rate=1000, duration=100.0, seed=5, max_arrivals=25
+        )
+        assert len(arrivals) == 25
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            generate_arrivals(QUERIES, rate=0, duration=1.0)
+        with pytest.raises(ValueError, match="query"):
+            generate_arrivals([], rate=1.0, duration=1.0)
+
+
+class TestTraceRoundTrip:
+    def test_stream_round_trip(self):
+        arrivals = generate_arrivals(
+            QUERIES, rate=30, duration=2.0, seed=6, deadline_ms=50.0
+        )
+        buffer = io.StringIO()
+        write_trace(arrivals, buffer)
+        loaded = read_trace(io.StringIO(buffer.getvalue()))
+        assert loaded == arrivals
+
+    def test_path_round_trip(self, tmp_path):
+        arrivals = generate_arrivals(QUERIES, rate=30, duration=1.0, seed=7)
+        path = tmp_path / "trace.jsonl"
+        write_trace(arrivals, path)
+        assert read_trace(path) == arrivals
+
+    def test_read_sorts_shuffled_lines(self):
+        arrivals = generate_arrivals(QUERIES, rate=30, duration=1.0, seed=8)
+        lines = io.StringIO()
+        write_trace(list(reversed(arrivals)), lines)
+        loaded = read_trace(io.StringIO(lines.getvalue()))
+        assert [a.at for a in loaded] == sorted(a.at for a in arrivals)
+
+
+class TestArrivalChaos:
+    def test_deterministic_in_the_seed(self):
+        arrivals = generate_arrivals(QUERIES, rate=80, duration=2.0, seed=1)
+        chaos = ArrivalChaos.storm(7)
+        assert apply_arrival_chaos(arrivals, chaos) == apply_arrival_chaos(
+            arrivals, chaos
+        )
+        other = apply_arrival_chaos(arrivals, ArrivalChaos.storm(8))
+        assert apply_arrival_chaos(arrivals, chaos) != other
+
+    def test_bursts_duplicate_at_the_same_instant(self):
+        arrivals = generate_arrivals(QUERIES, rate=40, duration=2.0, seed=2)
+        stormed = apply_arrival_chaos(
+            arrivals,
+            ArrivalChaos(seed=3, burst_probability=1.0, burst_size=3),
+        )
+        assert len(stormed) == 3 * len(arrivals)
+        for index in range(0, len(stormed), 3):
+            burst = stormed[index:index + 3]
+            assert len({a.at for a in burst}) == 1
+
+    def test_flood_reassigns_tenants(self):
+        arrivals = [
+            Arrival(at=i * 0.01, tenant=f"t{i}", query="Q1")
+            for i in range(10)
+        ]
+        stormed = apply_arrival_chaos(
+            arrivals,
+            ArrivalChaos(seed=0, flood_probability=1.0, flood_span=4),
+        )
+        # The first arrival opens a flood: the next 4 inherit t0.
+        assert [a.tenant for a in stormed[:5]] == ["t0"] * 5
+
+    def test_time_order_preserved(self):
+        arrivals = generate_arrivals(QUERIES, rate=120, duration=1.0, seed=4)
+        stormed = apply_arrival_chaos(arrivals, ArrivalChaos.storm(5))
+        times = [a.at for a in stormed]
+        assert times == sorted(times)
+
+    def test_zero_probabilities_are_identity(self):
+        arrivals = generate_arrivals(QUERIES, rate=50, duration=1.0, seed=5)
+        assert apply_arrival_chaos(arrivals, ArrivalChaos(seed=1)) == list(
+            arrivals
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="burst_probability"):
+            ArrivalChaos(burst_probability=1.5)
+        with pytest.raises(ValueError, match="burst_size"):
+            ArrivalChaos(burst_size=0)

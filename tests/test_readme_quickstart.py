@@ -39,6 +39,7 @@ def test_tour_covers_every_subcommand():
     assert commands, "README has no Five-minute tour commands to check"
     assert {argv[0] for argv in commands} >= {
         "run", "explain", "trace", "stats", "diff", "batch",
+        "loadgen", "serve",
     }
 
 
@@ -78,7 +79,7 @@ def test_tour_commands_run_verbatim(tour_cwd, capsys):
     assert "wrote run manifest to trace.manifest.json" in trace_out
 
     stats_out = output(lambda a: a[0] == "stats")[0]
-    assert "schema v4" in stats_out
+    assert "schema v5" in stats_out
 
     cold, warm = output(lambda a: a[0] == "batch")
     assert "2 queries answered by 1 shared jobs" in cold
@@ -91,3 +92,12 @@ def test_tour_commands_run_verbatim(tour_cwd, capsys):
         lambda a: a[0] == "explain" and "--batch" in a
     )[0]
     assert "batch plan: 2 queries" in batch_explain
+
+    loadgen_out = output(lambda a: a[0] == "loadgen")[0]
+    assert "wrote" in loadgen_out
+    assert "arrivals" in loadgen_out
+
+    serve_out = output(lambda a: a[0] == "serve")[0]
+    assert "serve:" in serve_out
+    assert "ok=" in serve_out
+    assert "wrote run manifest to serve.manifest.json" in serve_out

@@ -8,7 +8,12 @@ attempts, retries, crash kills, speculation -- so a glance shows the
 chaos actually bit.  Run from the repo root::
 
     PYTHONPATH=src python tools/chaos_smoke.py [--seeds N] [--records N]
-        [--machines N] [--multiprocess] [--intensity X]
+        [--machines N] [--multiprocess] [--intensity X] [--serve]
+
+With ``--serve`` each seed also drives the always-on daemon through an
+arrival-layer storm (bursty arrivals, tenant floods, duplicate
+submissions): every completed answer must still be bit-identical to the
+oracle -- chaos may shed queries, never corrupt them.
 
 Exit status is non-zero if any run's answer deviates from the oracle.
 """
@@ -36,7 +41,76 @@ def parse_args(argv):
                         help="chaos intensity in (0, 1]")
     parser.add_argument("--multiprocess", action="store_true",
                         help="also run each plan on the real process pool")
+    parser.add_argument("--serve", action="store_true",
+                        help="also storm the serving daemon with "
+                             "arrival-layer chaos per seed")
+    parser.add_argument("--serve-rate", type=float, default=120.0,
+                        help="offered arrival rate for --serve storms")
     return parser.parse_args(argv)
+
+
+def serve_storm(seed: int, records, intensity: float, rate: float):
+    """One daemon run under an arrival storm; returns (ok, line).
+
+    Offered load is perturbed by a seeded :class:`ArrivalChaos` storm;
+    every response that completes must match the centralized oracle
+    bit-for-bit.  Shed and deadline responses are legitimate outcomes
+    under chaos -- silent corruption is the only failure.
+    """
+    from repro.faults import ArrivalChaos, apply_arrival_chaos
+    from repro.serving import (
+        MeasureCache,
+        QueryService,
+        ServiceLimits,
+        TenantQuotas,
+        generate_arrivals,
+        serve_arrivals,
+    )
+    from repro.workload import all_queries, paper_schema, generate_uniform
+
+    schema = paper_schema(days=1)
+    catalog = all_queries(schema)
+    serve_records = generate_uniform(schema, len(records), seed=5)
+    arrivals = generate_arrivals(
+        sorted(catalog), rate=rate, duration=0.4, seed=seed,
+        deadline_ms=10_000.0,
+    )
+    arrivals = apply_arrival_chaos(
+        arrivals, ArrivalChaos.storm(seed, intensity=min(0.5, intensity))
+    )
+    service = QueryService(
+        catalog,
+        serve_records,
+        limits=ServiceLimits(
+            admission_window_ms=20.0, max_inflight=2,
+            max_queue_depth=8, max_pending=48,
+        ),
+        quotas=TenantQuotas(capacity=40.0, rate=100.0),
+        cache=MeasureCache(),
+    )
+    responses, report = serve_arrivals(service, arrivals, speed=1.0)
+    oracles = {}
+    mismatches = 0
+    for response in responses:
+        if not response.ok:
+            continue
+        if response.name not in oracles:
+            oracles[response.name] = evaluate_centralized(
+                catalog[response.name], serve_records
+            )
+        if list(response.result.as_rows()) != list(
+            oracles[response.name].as_rows()
+        ):
+            mismatches += 1
+    ok = mismatches == 0 and report.drained
+    line = (
+        f"{len(arrivals)} stormed arrivals: {report.completed} ok, "
+        f"{report.total_shed} shed, {report.deadline_missed} deadline, "
+        f"{report.groups_dispatched} groups, "
+        f"drained={report.drained}"
+        + (f", {mismatches} MISMATCHES" if mismatches else "")
+    )
+    return ok, line
 
 
 def phase_line(stats: dict) -> str:
@@ -101,6 +175,13 @@ def main(argv=None) -> int:
                 f"{summary['pool_rebuilds']} rebuilds, "
                 f"degraded={summary['degraded']}"
             )
+
+        if args.serve:
+            serve_ok, line = serve_storm(
+                seed, records, args.intensity, args.serve_rate
+            )
+            failures += not serve_ok
+            print(f"  serve:  {'ok' if serve_ok else 'MISMATCH'}  {line}")
 
     if failures:
         print(f"FAILED: {failures} run(s) deviated from the oracle")

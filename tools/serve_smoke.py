@@ -1,0 +1,173 @@
+"""Serving smoke test: the daemon must bend under load, not break.
+
+Two phases against one in-process :class:`~repro.serving.QueryService`
+configuration, both driven by seeded loadgen traces (bit-reproducible):
+
+1. **Low load.**  A gentle trace well inside capacity: every query must
+   complete (zero shed, zero errors) and every answer must match the
+   centralized oracle bit-for-bit.
+2. **Overload.**  An offered rate far past capacity with a tight queue:
+   the daemon must shed explicitly (nonzero ``Overloaded`` responses),
+   keep answering what it admits correctly, and drain cleanly -- all
+   in-flight groups finished, a valid final report, no hangs.
+
+Run from the repo root (CI gives the job a hard timeout)::
+
+    PYTHONPATH=src python tools/serve_smoke.py [--records N] [--seed N]
+
+Exit status is non-zero on any violated invariant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.local.sortscan import evaluate_centralized
+from repro.serving import (
+    MeasureCache,
+    QueryService,
+    ServiceLimits,
+    generate_arrivals,
+    serve_arrivals,
+)
+from repro.workload import all_queries, generate_uniform, paper_schema
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=1500)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--machines", type=int, default=8)
+    return parser.parse_args(argv)
+
+
+def check(condition: bool, message: str, violations: list[str]) -> None:
+    status = "ok" if condition else "VIOLATED"
+    print(f"  [{status}] {message}")
+    if not condition:
+        violations.append(message)
+
+
+def build_service(catalog, records, machines: int, tight: bool):
+    from repro.mapreduce import ClusterConfig, SimulatedCluster
+
+    limits = (
+        ServiceLimits(
+            admission_window_ms=15.0, max_inflight=1,
+            max_queue_depth=2, max_pending=6,
+        )
+        if tight
+        else ServiceLimits(admission_window_ms=25.0, max_inflight=2)
+    )
+    return QueryService(
+        catalog,
+        records,
+        cluster_factory=lambda: SimulatedCluster(
+            ClusterConfig(machines=machines)
+        ),
+        limits=limits,
+        cache=MeasureCache(),
+    )
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    schema = paper_schema(days=1)
+    catalog = all_queries(schema)
+    records = generate_uniform(schema, args.records, seed=7)
+    oracles = {
+        name: evaluate_centralized(workflow, records)
+        for name, workflow in catalog.items()
+    }
+    violations: list[str] = []
+
+    print(
+        f"serve smoke: {len(catalog)} catalog queries x {args.records} "
+        f"records, seed {args.seed}"
+    )
+
+    # -- phase 1: low load --------------------------------------------------
+    print("phase 1: low offered load (must not shed)")
+    gentle = generate_arrivals(
+        sorted(catalog), rate=10.0, duration=1.0, seed=args.seed,
+    )
+    service = build_service(catalog, records, args.machines, tight=False)
+    started = time.perf_counter()
+    responses, report = serve_arrivals(service, gentle, speed=1.0)
+    elapsed = time.perf_counter() - started
+    completed = [r for r in responses if r.ok]
+    identical = sum(
+        1
+        for r in completed
+        if list(r.result.as_rows()) == list(oracles[r.name].as_rows())
+    )
+    print(
+        f"  {len(gentle)} arrivals in {elapsed:.1f}s wall: "
+        f"{report.completed} completed, {report.total_shed} shed, "
+        f"{report.groups_dispatched} groups"
+    )
+    check(report.total_shed == 0, "zero shed at low load", violations)
+    check(report.errors == 0, "zero errors at low load", violations)
+    check(
+        len(completed) == len(gentle),
+        "every low-load arrival completed", violations,
+    )
+    check(
+        identical == len(completed),
+        f"all {len(completed)} answers bit-identical to the oracle",
+        violations,
+    )
+    check(report.drained, "clean drain after low load", violations)
+
+    # -- phase 2: overload --------------------------------------------------
+    print("phase 2: overload (must shed explicitly and drain cleanly)")
+    flood = generate_arrivals(
+        sorted(catalog), rate=400.0, duration=0.5, seed=args.seed + 1,
+    )
+    service = build_service(catalog, records, args.machines, tight=True)
+    started = time.perf_counter()
+    responses, report = serve_arrivals(service, flood, speed=1.0)
+    elapsed = time.perf_counter() - started
+    completed = [r for r in responses if r.ok]
+    shed = [r for r in responses if r.status == "overloaded"]
+    identical = sum(
+        1
+        for r in completed
+        if list(r.result.as_rows()) == list(oracles[r.name].as_rows())
+    )
+    print(
+        f"  {len(flood)} arrivals in {elapsed:.1f}s wall: "
+        f"{report.completed} completed, {report.total_shed} shed "
+        f"({dict(sorted(report.shed.items()))}), "
+        f"queue peak {report.queue.get('peak_depth')}"
+    )
+    check(report.total_shed > 0, "overload sheds explicitly", violations)
+    check(
+        all(r.overload is not None and r.overload.reason for r in shed),
+        "every shed response carries a structured reason", violations,
+    )
+    check(
+        len(completed) + len(shed)
+        + sum(1 for r in responses if r.status in ("deadline", "error"))
+        == len(flood),
+        "every arrival got a terminal response", violations,
+    )
+    check(
+        identical == len(completed),
+        f"all {len(completed)} admitted answers bit-identical under "
+        "overload",
+        violations,
+    )
+    check(report.drained, "clean drain after overload", violations)
+
+    if violations:
+        print(f"FAILED: {len(violations)} invariant(s) violated")
+        return 1
+    print("serve smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
