@@ -110,7 +110,7 @@ def _transport_bytes(workflow, records):
     )
 
     batch = RecordBatch.from_records(workflow.schema, records)
-    buckets, _blocks, _replicated = (
+    buckets, _blocks, _replicated, _materialize_s = (
         MultiprocessEvaluator._scatter_columnar(batch, plan, PARTITIONS)
     )
     columnar_bytes = sum(

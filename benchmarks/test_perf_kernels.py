@@ -1,0 +1,223 @@
+"""Wall-clock benchmark: compiled kernels and the shared-memory shuffle.
+
+Two measurements written to ``BENCH_kernels.json`` at the repository
+root, extending ``BENCH_columnar.json`` with the PR-8 data plane:
+
+* **map+combine** -- the same whole-map-task scalar-versus-columnar
+  measurement as ``test_perf_columnar``, now with the kernel dispatch
+  (packed-key argsort grouping, reduceat folds) under the columnar
+  path.  The headline is the speedup geomean, directly comparable with
+  the columnar baseline's.
+* **shm_transport** -- real end-to-end multiprocess evaluations over
+  the pickle transport versus shared-memory segments: shipped bytes,
+  segment bytes, and transport bytes/second both ways.  Results are
+  asserted bit-identical between transports before any rate is
+  recorded.
+
+    pytest benchmarks/test_perf_kernels.py -s
+
+Throughput ratios are hardware-dependent; the JSON records what this
+machine saw.
+"""
+
+import math
+import time
+from collections import defaultdict
+
+import pytest
+
+from repro import kernels
+from repro.optimizer.optimizer import Optimizer, OptimizerConfig
+from repro.parallel.executor import ExecutionConfig, ParallelEvaluator
+from repro.parallel.multiprocess import MultiprocessEvaluator
+from repro.parallel.report import ColumnarStats
+from repro.parallel.shm import leaked_segments, shm_available
+from repro.workload import q1, q2, q3, q4, q5, q6
+
+from support import bench_schema, dataset, make_cluster, print_table, \
+    write_bench_json
+
+pytestmark = pytest.mark.perf
+
+SIZES = (15_000, 60_000)
+QUERIES = {"q1": q1, "q2": q2, "q3": q3, "q4": q4, "q5": q5, "q6": q6}
+SHM_QUERIES = ("q1", "q4")
+SHM_SIZE = 60_000
+PARTITIONS = 8
+REPEATS = 5
+SHM_REPEATS = 3
+
+#: The acceptance floor for the map+combine speedup geomean.
+GEOMEAN_FLOOR = 3.0
+
+
+def _plan(workflow, n_records):
+    return Optimizer(OptimizerConfig()).plan_query(
+        workflow, n_records, num_reducers=PARTITIONS
+    )
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def _map_combine_tasks(workflow, records):
+    """(scalar_task, columnar_task): one full map task, both ways."""
+    evaluator = ParallelEvaluator(
+        make_cluster(), ExecutionConfig(early_aggregation=True)
+    )
+    plan = _plan(workflow, len(records))
+    mapper = evaluator._make_mapper(plan)
+    combiner = evaluator._make_combiner(plan)
+    map_batch = evaluator._make_map_batch(plan, 8, ColumnarStats())
+
+    def scalar_task():
+        groups = defaultdict(list)
+        for record in records:
+            for key, value in mapper(record):
+                groups[key].append(value)
+        pairs = []
+        for key, members in groups.items():
+            pairs.extend(combiner(key, members))
+        return pairs
+
+    def columnar_task():
+        return map_batch(records).pairs
+
+    return scalar_task, columnar_task
+
+
+def test_perf_kernels_map_combine_and_shm_transport():
+    schema = bench_schema()
+    results: dict = {
+        "schema": "paper(days=20, temporal_base=minute)",
+        "partitions": PARTITIONS,
+        "kernels_backend": kernels.kernels_backend(),
+        "map_combine": {},
+        "shm_transport": {},
+    }
+
+    rows = []
+    for size in SIZES:
+        records = dataset(size)
+        for name, query in QUERIES.items():
+            workflow = query(schema)
+            scalar_task, columnar_task = _map_combine_tasks(
+                workflow, records
+            )
+            # Same shuffle content before timing anything.
+            assert sorted(
+                columnar_task(), key=repr
+            ) == sorted(scalar_task(), key=repr)
+            scalar_s, _ = _best_of(scalar_task)
+            columnar_s, _ = _best_of(columnar_task)
+            key = f"{name}@{size}"
+            results["map_combine"][key] = {
+                "records": size,
+                "scalar_s": round(scalar_s, 6),
+                "columnar_s": round(columnar_s, 6),
+                "scalar_records_per_s": round(size / scalar_s),
+                "columnar_records_per_s": round(size / columnar_s),
+                "speedup": round(scalar_s / columnar_s, 2),
+            }
+            rows.append([
+                key,
+                round(size / scalar_s),
+                round(size / columnar_s),
+                round(scalar_s / columnar_s, 2),
+            ])
+            assert scalar_s > columnar_s, key
+
+    speedups = [
+        entry["speedup"] for entry in results["map_combine"].values()
+    ]
+    geomean = round(
+        math.exp(sum(map(math.log, speedups)) / len(speedups)), 2
+    )
+
+    shm_rows = []
+    if shm_available():
+        records = dataset(SHM_SIZE)
+        for name in SHM_QUERIES:
+            workflow = QUERIES[name](schema)
+            reports = {}
+            baseline = None
+            for transport in ("pickle", "shm"):
+                evaluator = MultiprocessEvaluator(
+                    processes=4, transport=transport
+                )
+                best_rate, report = None, None
+                for _ in range(SHM_REPEATS):
+                    result, candidate = evaluator.evaluate(
+                        workflow, records,
+                        num_partitions=PARTITIONS, columnar=True,
+                    )
+                    if baseline is None:
+                        baseline = result
+                    else:
+                        # Transports are plumbing: bit-identical.
+                        assert result == baseline, (name, transport)
+                    rate = candidate.transport_bytes_per_second
+                    if best_rate is None or rate > best_rate:
+                        best_rate, report = rate, candidate
+                reports[transport] = (best_rate, report)
+                assert leaked_segments() == [], (name, transport)
+            pickle_rate, pickle_report = reports["pickle"]
+            shm_rate, shm_report = reports["shm"]
+            key = f"{name}@{SHM_SIZE}"
+            results["shm_transport"][key] = {
+                "pickle_shipped_bytes": pickle_report.shipped_bytes,
+                "shm_descriptor_bytes": shm_report.shipped_bytes,
+                "shm_segment_bytes": shm_report.shm_bytes,
+                "pickle_bytes_per_s": round(pickle_rate),
+                "shm_bytes_per_s": round(shm_rate),
+                "rate_speedup": round(shm_rate / pickle_rate, 2),
+            }
+            shm_rows.append([
+                key,
+                pickle_report.shipped_bytes,
+                shm_report.shm_bytes,
+                round(pickle_rate),
+                round(shm_rate),
+                round(shm_rate / pickle_rate, 2),
+            ])
+            assert shm_report.shm_bytes > 0, key
+            assert shm_rate > pickle_rate, key
+
+    results["summary"] = {
+        "map_combine_speedup_min": min(speedups),
+        "map_combine_speedup_max": max(speedups),
+        "map_combine_speedup_geomean": geomean,
+        "kernels_backend": kernels.kernels_backend(),
+    }
+    if results["shm_transport"]:
+        rates = [
+            entry["rate_speedup"]
+            for entry in results["shm_transport"].values()
+        ]
+        results["summary"]["shm_rate_speedup_geomean"] = round(
+            math.exp(sum(map(math.log, rates)) / len(rates)), 2
+        )
+
+    path = write_bench_json("kernels", results)
+    print_table(
+        f"scalar vs kernels map+combine ({path.name})",
+        ["query@size", "scalar rec/s", "columnar rec/s", "speedup"],
+        rows,
+    )
+    if shm_rows:
+        print_table(
+            "pickle vs shm transport",
+            ["query@size", "pickle B", "shm B", "pickle B/s",
+             "shm B/s", "speedup"],
+            shm_rows,
+        )
+    assert geomean >= GEOMEAN_FLOOR, (
+        f"map+combine geomean {geomean} below the {GEOMEAN_FLOOR}x floor"
+    )

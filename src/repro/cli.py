@@ -278,6 +278,28 @@ def _print_fault_report(job) -> None:
 _COLUMNAR_CHOICES = {"auto": None, "on": True, "off": False}
 
 
+def _add_kernels_argument(parser: argparse.ArgumentParser) -> None:
+    from repro.kernels import KERNEL_MODES
+
+    parser.add_argument(
+        "--kernels", choices=KERNEL_MODES, default="auto",
+        help="compiled inner-loop kernels: 'auto' uses numba when "
+             "installed, 'on' requires it, 'off' forces the NumPy "
+             "fallback (results are bit-identical either way)",
+    )
+
+
+def _kernels_mode(args: argparse.Namespace) -> str:
+    from repro.kernels import NUMBA_AVAILABLE
+
+    if args.kernels == "on" and not NUMBA_AVAILABLE:
+        raise SystemExit(
+            "--kernels on requires the optional numba backend "
+            "(pip install 'repro[kernels]'); use 'auto' or 'off'"
+        )
+    return args.kernels
+
+
 def _add_telemetry_arguments(
     parser: argparse.ArgumentParser, profile: bool = True
 ) -> None:
@@ -529,6 +551,7 @@ def _cmd_run(args) -> int:
         config = ExecutionConfig(
             early_aggregation=args.early_aggregation,
             columnar=columnar,
+            kernels=_kernels_mode(args),
             optimizer=OptimizerConfig(
                 use_sampling=args.sampling, columnar=columnar
             ),
@@ -591,6 +614,7 @@ def _cmd_batch(args) -> int:
     columnar = _COLUMNAR_CHOICES[args.columnar]
     config = ExecutionConfig(
         columnar=columnar,
+        kernels=_kernels_mode(args),
         optimizer=OptimizerConfig(columnar=columnar),
     )
     metrics = MetricsRegistry()
@@ -753,6 +777,7 @@ def _cmd_serve(args) -> int:
     columnar = _COLUMNAR_CHOICES[args.columnar]
     config = ExecutionConfig(
         columnar=columnar,
+        kernels=_kernels_mode(args),
         optimizer=OptimizerConfig(columnar=columnar),
     )
     cluster_config = ClusterConfig(machines=args.machines)
@@ -846,6 +871,7 @@ def _cmd_trace(args) -> int:
     config = ExecutionConfig(
         early_aggregation=args.early_aggregation,
         columnar=columnar,
+        kernels=_kernels_mode(args),
         optimizer=OptimizerConfig(
             use_sampling=args.sampling, columnar=columnar
         ),
@@ -1084,6 +1110,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="batched map side: 'auto' enables it when every aggregate "
              "is vectorized, 'on'/'off' force it (results are identical)",
     )
+    _add_kernels_argument(run)
     run.add_argument("--csv", help="export results to this CSV file")
     run.add_argument(
         "--gantt", action="store_true",
@@ -1109,6 +1136,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="batched map side: 'auto' enables it when every aggregate "
              "is vectorized, 'on'/'off' force it (results are identical)",
     )
+    _add_kernels_argument(batch)
     batch.add_argument(
         "--group-retries", type=int, default=1, metavar="N",
         help="in-line retries per failing share group (default: 1)",
@@ -1263,6 +1291,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--columnar", choices=sorted(_COLUMNAR_CHOICES), default="auto",
         help="batched map side; results are identical either way",
     )
+    _add_kernels_argument(serve)
     serve.add_argument(
         "--manifest", metavar="FILE",
         help="write the drain manifest (serving section, schema v5)",
@@ -1300,6 +1329,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="batched map side: 'auto' enables it when every aggregate "
              "is vectorized, 'on'/'off' force it (results are identical)",
     )
+    _add_kernels_argument(trace)
     _add_telemetry_arguments(trace)
     trace.set_defaults(handler=_cmd_trace)
 

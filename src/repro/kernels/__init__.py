@@ -1,0 +1,183 @@
+"""Compiled kernels for the hottest inner loops, with safe fallbacks.
+
+The data plane's remaining interpreted hot spots -- the sort/scan
+grouping sweep, the sibling-window sweep, and the early-aggregation
+partial-state fold -- dispatch through this package.  Two backends
+implement the same contract:
+
+* :mod:`repro.kernels._numba` -- ``@njit``-compiled single-pass loops,
+  available only when the optional ``numba`` extra is installed;
+* :mod:`repro.kernels._numpy` -- pure-NumPy ufunc implementations that
+  ship with the default install.
+
+The backend is selected **at import time**: if ``numba`` imports, the
+compiled table becomes eligible; otherwise the NumPy table is the only
+one.  Both produce bit-identical results -- every reduction folds
+left-to-right over the same sorted runs, so integer aggregates are
+exact in both and float accumulations round identically.  The test
+suite asserts this equivalence wherever both backends are installed.
+
+A process-wide tri-state knob (mirroring ``--columnar``) picks between
+them:
+
+``auto``
+    use the compiled backend when numba is installed, NumPy otherwise
+    (the default -- a plain install behaves exactly as before);
+``on``
+    require the compiled backend; raises
+    :class:`KernelsUnavailableError` when numba is missing;
+``off``
+    force the NumPy fallback even when numba is installed.
+
+Callers never look at the mode: they call the dispatching functions
+(:func:`segment_sum`, :func:`window_reduce`, ...) exported here, and the
+active table is consulted per call.  Worker processes receive the
+driver's mode through their init args so a forced mode crosses process
+boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import _numpy as _numpy_backend
+
+#: Valid values of the tri-state knob.
+KERNEL_MODES = ("auto", "on", "off")
+
+
+class KernelsUnavailableError(RuntimeError):
+    """``kernels='on'`` was requested but the numba backend is missing."""
+
+
+try:  # backend selection happens here, at import time
+    from repro.kernels import _numba as _numba_backend
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - exercised on numba-free installs
+    _numba_backend = None
+    NUMBA_AVAILABLE = False
+
+#: Process-wide tri-state mode; see :func:`set_kernels_mode`.
+_MODE = "auto"
+
+
+def set_kernels_mode(mode: str | None) -> str:
+    """Set the process-wide kernels mode; returns the mode installed.
+
+    ``None`` is accepted as ``"auto"`` so config plumbing can pass
+    optional knobs through unchanged.  ``"on"`` validates that the
+    compiled backend actually imported.
+    """
+    global _MODE
+    if mode is None:
+        mode = "auto"
+    if mode not in KERNEL_MODES:
+        raise ValueError(
+            f"unknown kernels mode {mode!r}; choose one of {KERNEL_MODES}"
+        )
+    if mode == "on" and not NUMBA_AVAILABLE:
+        raise KernelsUnavailableError(
+            "kernels='on' requires the optional numba backend "
+            "(pip install numba); install it or use 'auto'/'off'"
+        )
+    _MODE = mode
+    return _MODE
+
+
+def kernels_mode() -> str:
+    """The current tri-state mode (``auto``/``on``/``off``)."""
+    return _MODE
+
+
+def kernels_backend() -> str:
+    """Name of the backend the current mode resolves to."""
+    if _MODE == "off" or not NUMBA_AVAILABLE:
+        return "numpy"
+    return "numba"
+
+
+def _table():
+    if _MODE != "off" and NUMBA_AVAILABLE:
+        return _numba_backend
+    return _numpy_backend
+
+
+# -- dispatching entry points ------------------------------------------------
+#
+# All functions take already-sorted inputs ("starts" mark run starts in
+# the sorted stream) and are bit-identical across backends.
+
+
+def segment_reduce(
+    values: np.ndarray, starts: np.ndarray, op: str
+) -> np.ndarray:
+    """Reduce each ``[starts[i], starts[i+1])`` run of sorted *values*.
+
+    *op* is one of ``sum``/``min``/``max``; the reduction folds
+    left-to-right so integer results are exact and float results round
+    identically in every backend.
+    """
+    if not len(starts):
+        return np.empty(0, dtype=values.dtype)
+    return _table().segment_reduce(values, starts, op)
+
+
+def segment_counts(starts: np.ndarray, total: int) -> np.ndarray:
+    """Run lengths for runs starting at *starts* in a stream of *total*."""
+    if not len(starts):
+        return np.empty(0, dtype=np.int64)
+    return np.diff(np.append(starts, total))
+
+
+def row_boundaries(sorted_rows: np.ndarray) -> np.ndarray:
+    """Boundary mask over lexicographically sorted matrix rows.
+
+    ``out[i]`` is True when row *i* differs from row ``i-1`` (row 0 is
+    always a boundary) -- the grouping primitive of the sort/scan sweep.
+    """
+    if sorted_rows.ndim == 1:
+        sorted_rows = sorted_rows[:, None]
+    if not len(sorted_rows):
+        return np.empty(0, dtype=bool)
+    return _table().row_boundaries(np.ascontiguousarray(sorted_rows))
+
+
+def window_reduce(
+    positions: np.ndarray,
+    values: np.ndarray,
+    low: int,
+    high: int,
+    op: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sliding sibling-window reduction over sorted integer *positions*.
+
+    For every anchor position ``t`` aggregates the values whose position
+    lies in ``[t+low, t+high]``.  Returns ``(mask, out)`` where *mask*
+    flags anchors with a non-empty window and *out* holds their
+    aggregated values (entries of *out* outside the mask are
+    meaningless).  *op* is ``sum``/``count``/``min``/``max``; ``avg`` is
+    built by callers from ``sum`` and ``count`` so the division matches
+    the scalar path exactly.
+    """
+    if not len(positions):
+        empty = np.empty(0, dtype=values.dtype)
+        return np.empty(0, dtype=bool), empty
+    return _table().window_reduce(positions, values, int(low), int(high), op)
+
+
+def pack_rows(
+    matrix: np.ndarray, split: int = 0
+) -> tuple[np.ndarray, int] | None:
+    """Bit-pack matrix rows into single int64 keys, when they fit.
+
+    Packs each row's columns (leading columns into the high bits) into
+    one non-negative int64 so a single stable ``argsort`` replaces a
+    k-column lexsort and run detection becomes a 1-D ``diff``.  Returns
+    ``(packed, low_bits)`` where ``packed >> low_bits`` recovers a key
+    of the first *split* columns alone (``low_bits`` is 0 when *split*
+    is 0 or covers every column), or ``None`` when the value ranges
+    cannot fit in 63 bits -- callers then fall back to ``np.lexsort``.
+    Shared by both backends: packing is pure NumPy either way.
+    """
+    return _numpy_backend.pack_rows(matrix, split)

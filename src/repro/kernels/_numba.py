@@ -1,0 +1,154 @@
+"""Numba-compiled kernel implementations (the optional fast backend).
+
+Importable only when ``numba`` is installed; :mod:`repro.kernels`
+selects this table at import time and the ``--kernels`` tri-state knob
+arbitrates.  Every loop folds left-to-right over the same sorted runs
+as the NumPy reference in :mod:`repro.kernels._numpy`, so results are
+bit-identical: integer reductions are exact in both, and float
+accumulations visit values in the same order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+_JIT = {"cache": True, "nogil": True}
+
+
+@njit(**_JIT)
+def _segment_sum(values, starts, out):  # pragma: no cover - compiled
+    n = len(values)
+    for i in range(len(starts)):
+        stop = starts[i + 1] if i + 1 < len(starts) else n
+        acc = values[starts[i]]
+        for j in range(starts[i] + 1, stop):
+            acc = acc + values[j]
+        out[i] = acc
+
+
+@njit(**_JIT)
+def _segment_min(values, starts, out):  # pragma: no cover - compiled
+    n = len(values)
+    for i in range(len(starts)):
+        stop = starts[i + 1] if i + 1 < len(starts) else n
+        acc = values[starts[i]]
+        for j in range(starts[i] + 1, stop):
+            if values[j] < acc:
+                acc = values[j]
+        out[i] = acc
+
+
+@njit(**_JIT)
+def _segment_max(values, starts, out):  # pragma: no cover - compiled
+    n = len(values)
+    for i in range(len(starts)):
+        stop = starts[i + 1] if i + 1 < len(starts) else n
+        acc = values[starts[i]]
+        for j in range(starts[i] + 1, stop):
+            if values[j] > acc:
+                acc = values[j]
+        out[i] = acc
+
+
+_SEGMENT = {"sum": _segment_sum, "min": _segment_min, "max": _segment_max}
+
+
+def segment_reduce(
+    values: np.ndarray, starts: np.ndarray, op: str
+) -> np.ndarray:
+    kernel = _SEGMENT.get(op)
+    if kernel is None:
+        raise ValueError(f"unknown segment reduction {op!r}")
+    out = np.empty(len(starts), dtype=values.dtype)
+    kernel(values, starts, out)
+    return out
+
+
+@njit(**_JIT)
+def _row_boundaries(rows, out):  # pragma: no cover - compiled
+    n, width = rows.shape
+    if n:
+        out[0] = True
+    for i in range(1, n):
+        flag = False
+        for j in range(width):
+            if rows[i, j] != rows[i - 1, j]:
+                flag = True
+                break
+        out[i] = flag
+
+
+def row_boundaries(sorted_rows: np.ndarray) -> np.ndarray:
+    out = np.empty(len(sorted_rows), dtype=np.bool_)
+    _row_boundaries(sorted_rows, out)
+    return out
+
+
+@njit(**_JIT)
+def _window_bounds(positions, low, high, starts, stops):
+    # pragma: no cover - compiled
+    n = len(positions)
+    lo = 0
+    hi = 0
+    for i in range(n):
+        target_low = positions[i] + low
+        target_high = positions[i] + high
+        while lo < n and positions[lo] < target_low:
+            lo += 1
+        if hi < lo:
+            hi = lo
+        while hi < n and positions[hi] <= target_high:
+            hi += 1
+        starts[i] = lo
+        stops[i] = hi
+
+
+@njit(**_JIT)
+def _window_sum(values, starts, stops, out):  # pragma: no cover - compiled
+    for i in range(len(starts)):
+        if starts[i] >= stops[i]:
+            continue
+        acc = values[starts[i]]
+        for j in range(starts[i] + 1, stops[i]):
+            acc = acc + values[j]
+        out[i] = acc
+
+
+@njit(**_JIT)
+def _window_extreme(values, starts, stops, out, want_min):
+    # pragma: no cover - compiled
+    for i in range(len(starts)):
+        if starts[i] >= stops[i]:
+            continue
+        acc = values[starts[i]]
+        for j in range(starts[i] + 1, stops[i]):
+            if (want_min and values[j] < acc) or (
+                not want_min and values[j] > acc
+            ):
+                acc = values[j]
+        out[i] = acc
+
+
+def window_reduce(
+    positions: np.ndarray,
+    values: np.ndarray,
+    low: int,
+    high: int,
+    op: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    n = len(positions)
+    starts = np.empty(n, dtype=np.int64)
+    stops = np.empty(n, dtype=np.int64)
+    _window_bounds(positions, low, high, starts, stops)
+    mask = starts < stops
+    if op == "count":
+        return mask, (stops - starts).astype(np.int64)
+    out = np.zeros(n, dtype=values.dtype)
+    if op == "sum":
+        _window_sum(values, starts, stops, out)
+    elif op in ("min", "max"):
+        _window_extreme(values, starts, stops, out, op == "min")
+    else:
+        raise ValueError(f"unknown window reduction {op!r}")
+    return mask, out

@@ -1,0 +1,115 @@
+"""Pure-NumPy kernel implementations (the default-install backend).
+
+Every function here is the contract reference for
+:mod:`repro.kernels._numba`: reductions fold left-to-right over sorted
+runs (``np.ufunc.reduceat`` reduces sequentially, not pairwise), so the
+compiled loops produce bit-identical results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_REDUCEAT = {
+    "sum": np.add,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+
+def segment_reduce(
+    values: np.ndarray, starts: np.ndarray, op: str
+) -> np.ndarray:
+    ufunc = _REDUCEAT.get(op)
+    if ufunc is None:
+        raise ValueError(f"unknown segment reduction {op!r}")
+    return ufunc.reduceat(values, starts)
+
+
+def row_boundaries(sorted_rows: np.ndarray) -> np.ndarray:
+    out = np.ones(len(sorted_rows), dtype=bool)
+    if len(sorted_rows) > 1:
+        np.any(
+            sorted_rows[1:] != sorted_rows[:-1], axis=1, out=out[1:]
+        )
+    return out
+
+
+def _window_bounds(
+    positions: np.ndarray, low: int, high: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-anchor ``[start, stop)`` index ranges into sorted positions."""
+    starts = np.searchsorted(positions, positions + low, side="left")
+    stops = np.searchsorted(positions, positions + high, side="right")
+    return starts, stops
+
+
+def _sparse_table(values: np.ndarray, ufunc) -> list[np.ndarray]:
+    """Doubling min/max table: level j reduces runs of length 2**j."""
+    levels = [values]
+    length = 1
+    while length * 2 <= len(values):
+        previous = levels[-1]
+        levels.append(ufunc(previous[:-length], previous[length:]))
+        length *= 2
+    return levels
+
+
+def window_reduce(
+    positions: np.ndarray,
+    values: np.ndarray,
+    low: int,
+    high: int,
+    op: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    starts, stops = _window_bounds(positions, low, high)
+    mask = starts < stops
+    if op == "count":
+        return mask, (stops - starts).astype(np.int64)
+    if op == "sum":
+        prefix = np.zeros(len(values) + 1, dtype=values.dtype)
+        np.cumsum(values, out=prefix[1:])
+        return mask, prefix[stops] - prefix[starts]
+    if op in ("min", "max"):
+        ufunc = np.minimum if op == "min" else np.maximum
+        table = _sparse_table(values, ufunc)
+        lengths = np.maximum(stops - starts, 1)
+        # floor(log2) is exact here: window lengths are far below 2**52.
+        levels = np.floor(np.log2(lengths)).astype(np.int64)
+        out = np.empty(len(starts), dtype=values.dtype)
+        for level in np.unique(levels[mask]):
+            span = 1 << int(level)
+            rows = np.flatnonzero(mask & (levels == level))
+            left = table[int(level)][starts[rows]]
+            right = table[int(level)][stops[rows] - span]
+            out[rows] = ufunc(left, right)
+        return mask, out
+    raise ValueError(f"unknown window reduction {op!r}")
+
+
+def pack_rows(
+    matrix: np.ndarray, split: int = 0
+) -> tuple[np.ndarray, int] | None:
+    if matrix.ndim != 2:
+        raise ValueError("pack_rows expects a 2-D matrix")
+    rows, cols = matrix.shape
+    if not cols:
+        return None
+    if not rows:
+        return np.zeros(0, dtype=np.int64), 0
+    lows = matrix.min(axis=0).astype(np.int64)
+    highs = matrix.max(axis=0).astype(np.int64)
+    spans = highs - lows  # >= 0
+    bits = [int(span).bit_length() for span in spans]
+    if sum(bits) > 63:
+        return None
+    packed = np.zeros(rows, dtype=np.int64)
+    low_bits = 0
+    for index in range(cols):
+        width = bits[index]
+        packed <<= width
+        if width:
+            packed |= matrix[:, index].astype(np.int64) - lows[index]
+        if split and index >= split:
+            low_bits += width
+    return packed, low_bits

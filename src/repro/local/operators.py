@@ -11,6 +11,9 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from collections import defaultdict
 
+import numpy as np
+
+from repro import kernels
 from repro.cube.regions import Granularity
 from repro.query.functions import AggregateFunction
 from repro.query.measures import SiblingWindow
@@ -99,12 +102,17 @@ def sibling_window(
         groups[key].append((coords[axis], value))
 
     fast = _PREFIX_WINDOWS.get(aggregate.name)
+    kernel = aggregate.name in _KERNEL_WINDOWS
     result: dict[tuple, object] = {}
     for key, entries in groups.items():
         entries.sort()
         positions = [position for position, _ in entries]
         values = [value for _, value in entries]
-        if fast is not None and _prefix_safe(values, aggregate.name):
+        if kernel and _kernel_safe(positions, values, aggregate.name):
+            windowed = _window_kernel(
+                positions, values, window, aggregate.name
+            )
+        elif fast is not None and _prefix_safe(values, aggregate.name):
             windowed = fast(positions, values, window)
         else:
             windowed = _window_generic(positions, values, window, aggregate)
@@ -196,6 +204,70 @@ _PREFIX_WINDOWS = {
     "count": _window_count,
     "avg": _window_avg,
 }
+
+#: Aggregates the compiled window sweep covers.  Unlike the prefix fast
+#: paths this includes min/max: :func:`repro.kernels.window_reduce`
+#: sweeps each group with two monotone pointers (or a sparse table in
+#: the NumPy backend), so no inverse is needed.
+_KERNEL_WINDOWS = frozenset({"sum", "count", "avg", "min", "max"})
+
+#: Coordinate bound keeping ``position + window offset`` inside int64.
+_KERNEL_POSITION_BOUND = 2**62
+
+
+def _kernel_safe(positions, values, aggregate_name: str) -> bool:
+    """Whether the compiled sweep is *exact* for this group.
+
+    Same contract as :func:`_prefix_safe` -- the kernel path must be
+    bit-identical to the scalar fold.  Positions must fit int64 with
+    window-offset headroom; ``count`` ignores the values; ``min``/``max``
+    only select, so any int64 value is exact; ``sum``/``avg`` reuse the
+    float64-mantissa bound so every backend (Python int prefix, NumPy
+    cumsum, numba fold) lands on the same total.
+    """
+    for position in positions:
+        if abs(position) > _KERNEL_POSITION_BOUND:
+            return False
+    if aggregate_name == "count":
+        return True
+    total = 0
+    for value in values:
+        if not isinstance(value, int) or isinstance(value, bool):
+            return False
+        total += abs(value)
+    if aggregate_name in ("min", "max"):
+        return all(-(2**63) <= v < 2**63 for v in values)
+    return total <= _EXACT_FLOAT_BOUND
+
+
+def _window_kernel(positions, values, window, aggregate_name: str):
+    """Sweep one sorted group with the compiled window kernel."""
+    pos = np.asarray(positions, dtype=np.int64)
+    if aggregate_name == "count":
+        mask, out = kernels.window_reduce(
+            pos, pos, window.low, window.high, "count"
+        )
+        return [
+            (int(pos[i]), int(out[i])) for i in np.flatnonzero(mask)
+        ]
+    vals = np.asarray(values, dtype=np.int64)
+    if aggregate_name == "avg":
+        # Integer sum and count kernels with one float division per
+        # anchor, matching _window_avg (and the scalar fold) bitwise.
+        mask, sums = kernels.window_reduce(
+            pos, vals, window.low, window.high, "sum"
+        )
+        _, counts = kernels.window_reduce(
+            pos, vals, window.low, window.high, "count"
+        )
+        return [
+            (int(pos[i]), int(sums[i]) / int(counts[i]))
+            for i in np.flatnonzero(mask)
+        ]
+    mask, out = kernels.window_reduce(
+        pos, vals, window.low, window.high, aggregate_name
+    )
+    return [(int(pos[i]), int(out[i])) for i in np.flatnonzero(mask)]
 
 
 def align_candidates(

@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cube.batches import RecordBatch, row_tuples
+from repro import kernels
 from repro.cube.domains import ALL, ALL_VALUE
 from repro.cube.records import Record
 from repro.cube.regions import Granularity
@@ -85,31 +86,53 @@ def _coordinate_columns(
     return np.column_stack(columns)
 
 
+def _sorted_runs(
+    coords: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(sort order, run-start boundary mask) over matrix rows.
+
+    Bit-packs the coordinate columns into single int64 keys when the
+    value ranges fit 63 bits -- one stable 1-D ``argsort`` plus a 1-D
+    diff then replaces the k-column ``np.lexsort`` and the 2-D row
+    comparison, which is where the grouping sweep spends its time.
+    Stable sorts make both orders identical, so downstream reductions
+    are bit-identical whichever path ran.
+    """
+    packed = kernels.pack_rows(coords)
+    if packed is not None:
+        keys, _low = packed
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        boundary = np.ones(len(sorted_keys), dtype=bool)
+        boundary[1:] = sorted_keys[1:] != sorted_keys[:-1]
+        return order, boundary
+    order = np.lexsort(coords.T[::-1])
+    return order, kernels.row_boundaries(coords[order])
+
+
 def _grouped_aggregate(
     coords: np.ndarray, values: np.ndarray, name: str
 ) -> tuple[np.ndarray, np.ndarray]:
     """(unique coords, aggregated values) for one basic measure."""
-    order = np.lexsort(coords.T[::-1])
-    sorted_coords = coords[order]
+    order, boundary = _sorted_runs(coords)
     sorted_values = values[order]
-    boundary = np.ones(len(sorted_coords), dtype=bool)
-    boundary[1:] = (sorted_coords[1:] != sorted_coords[:-1]).any(axis=1)
     starts = np.flatnonzero(boundary)
-    unique = sorted_coords[starts]
+    unique = coords[order[starts]]
 
     if name == "count":
-        counts = np.diff(np.append(starts, len(sorted_values)))
-        return unique, counts
+        return unique, kernels.segment_counts(starts, len(sorted_values))
     if name == "sum":
-        return unique, np.add.reduceat(sorted_values, starts)
+        return unique, kernels.segment_reduce(sorted_values, starts, "sum")
     if name == "avg":
-        sums = np.add.reduceat(sorted_values.astype(np.float64), starts)
-        counts = np.diff(np.append(starts, len(sorted_values)))
+        sums = kernels.segment_reduce(
+            sorted_values.astype(np.float64), starts, "sum"
+        )
+        counts = kernels.segment_counts(starts, len(sorted_values))
         return unique, sums / counts
     if name == "min":
-        return unique, np.minimum.reduceat(sorted_values, starts)
+        return unique, kernels.segment_reduce(sorted_values, starts, "min")
     if name == "max":
-        return unique, np.maximum.reduceat(sorted_values, starts)
+        return unique, kernels.segment_reduce(sorted_values, starts, "max")
     raise ValueError(f"no vectorized implementation for {name!r}")
 
 
@@ -251,6 +274,9 @@ def batched_partial_states(
     ``avg`` sums beyond float64's exact-integer range.  Callers fall
     back to the scalar combiner for the whole batch in that case.
     """
+    if matrix is None:
+        # Typed batch (floats/strings/nulls): no int plane to fold over.
+        return None
     if not vectorized_supports(component):
         return None
     total = len(rows)
@@ -278,39 +304,69 @@ def batched_partial_states(
             fine if len(grouping) == fine.shape[1] else fine[:, grouping]
         )
 
-        order = np.lexsort(sort_cols.T[::-1])
-        sorted_cols = sort_cols[order]
+        # Bit-pack (block cols, region cols) into single int64 keys when
+        # the ranges fit 63 bits: one stable 1-D argsort replaces the
+        # k-column lexsort, fine runs fall out of a 1-D diff, and the
+        # block boundary is a shift of the same keys (the block columns
+        # live in the high bits).  Stable sorts make both orders
+        # identical, so the folded states are bit-identical either way.
+        packed = kernels.pack_rows(sort_cols, split=width)
+        if packed is not None:
+            packed_keys, low_bits = packed
+            order = np.argsort(packed_keys, kind="stable")
+            sorted_keys = packed_keys[order]
+            fine_boundary = np.ones(total, dtype=bool)
+            fine_boundary[1:] = sorted_keys[1:] != sorted_keys[:-1]
+            block_boundary = np.ones(total, dtype=bool)
+            if width:
+                block_sorted = sorted_keys >> low_bits
+                block_boundary[1:] = (
+                    block_sorted[1:] != block_sorted[:-1]
+                )
+            else:
+                block_boundary[1:] = False
+        else:
+            order = np.lexsort(sort_cols.T[::-1])
+            sorted_cols = sort_cols[order]
+            diff = sorted_cols[1:] != sorted_cols[:-1]
+            fine_boundary = np.ones(total, dtype=bool)
+            fine_boundary[1:] = diff.any(axis=1)
+            block_boundary = np.ones(total, dtype=bool)
+            block_boundary[1:] = diff[:, :width].any(axis=1)
         sorted_values = matrix[
             rows[order], schema.field_index(measure.field)
         ]
-        diff = sorted_cols[1:] != sorted_cols[:-1]
-        fine_boundary = np.ones(total, dtype=bool)
-        fine_boundary[1:] = diff.any(axis=1)
-        block_boundary = np.ones(total, dtype=bool)
-        block_boundary[1:] = diff[:, :width].any(axis=1)
         starts = np.flatnonzero(fine_boundary)
 
         name = measure.aggregate.name
         if name == "count":
-            states = np.diff(np.append(starts, total)).tolist()
+            states = kernels.segment_counts(starts, total).tolist()
         elif name == "sum":
-            states = np.add.reduceat(sorted_values, starts).tolist()
+            states = kernels.segment_reduce(
+                sorted_values, starts, "sum"
+            ).tolist()
         elif name == "min":
-            states = np.minimum.reduceat(sorted_values, starts).tolist()
+            states = kernels.segment_reduce(
+                sorted_values, starts, "min"
+            ).tolist()
         elif name == "max":
-            states = np.maximum.reduceat(sorted_values, starts).tolist()
+            states = kernels.segment_reduce(
+                sorted_values, starts, "max"
+            ).tolist()
         elif name == "avg":
             # The scalar combiner folds ints into a float sum; that is
             # exact (hence bit-identical) only while every partial stays
             # within float64's exact-integer range, bounded here by the
             # per-group sum of magnitudes.
-            magnitude = np.add.reduceat(np.abs(sorted_values), starts)
+            magnitude = kernels.segment_reduce(
+                np.abs(sorted_values), starts, "sum"
+            )
             if len(magnitude) and int(magnitude.max()) >= _FLOAT_EXACT_LIMIT:
                 return None
-            sums = np.add.reduceat(
-                sorted_values.astype(np.float64), starts
+            sums = kernels.segment_reduce(
+                sorted_values.astype(np.float64), starts, "sum"
             )
-            counts = np.diff(np.append(starts, total))
+            counts = kernels.segment_counts(starts, total)
             states = list(map(list, zip(sums.tolist(), counts.tolist())))
         else:  # pragma: no cover - vectorized_supports filters these
             return None

@@ -14,7 +14,13 @@ from repro.mapreduce.engine import (
     TaskContext,
     default_partitioner,
 )
-from repro.mapreduce.sorter import SortStats, external_sort, group_sorted
+from repro.mapreduce.sorter import (
+    SortStats,
+    external_sort,
+    group_sorted,
+    sort_group_pairs,
+    spill_stats,
+)
 from repro.mapreduce.timing import MB, ClusterConfig, TimingModel
 from repro.mapreduce.trace import (
     TaskSpan,
@@ -47,4 +53,6 @@ __all__ = [
     "render_gantt",
     "schedule",
     "slot_utilization",
+    "sort_group_pairs",
+    "spill_stats",
 ]

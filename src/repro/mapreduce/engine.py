@@ -30,7 +30,7 @@ from repro.faults.scheduler import PhaseFaultStats
 from repro.mapreduce.cluster import SimulatedCluster, makespan
 from repro.mapreduce.counters import JobCounters, JobReport, PhaseBreakdown
 from repro.mapreduce.dfs import DistributedFile
-from repro.mapreduce.sorter import external_sort, group_sorted
+from repro.mapreduce.sorter import sort_group_pairs, spill_stats
 from repro.mapreduce.timing import TimingModel
 from repro.mapreduce.trace import schedule
 from repro.obs.telemetry import NULL_TELEMETRY
@@ -223,9 +223,8 @@ class MapReduceJob:
                 # output -- the overhead Figure 4(e) shows dominating at
                 # fine granularities.
                 combine_seconds = timing.sort(len(pairs), pair_bytes)
-                pairs.sort(key=lambda pair: pair[0])
                 combined = []
-                for key, values in group_sorted(pairs):
+                for key, values in sort_group_pairs(pairs):
                     combined.extend(self.combiner(key, values))
                 pairs = combined
                 counters.combine_output_records += len(pairs)
@@ -262,9 +261,8 @@ class MapReduceJob:
         in_bytes = sum(KEY_BYTES + value_size(v) for _k, v in pairs)
         shuffle_seconds = timing.network_transfer(in_bytes)
 
-        sorted_pairs, sort_stats = external_sort(
-            pairs,
-            key=lambda pair: pair[0],
+        sort_stats = spill_stats(
+            len(pairs),
             record_bytes=max(1, in_bytes // max(1, len(pairs))),
             memory_bytes=cluster.config.memory_per_task,
         )
@@ -273,10 +271,10 @@ class MapReduceJob:
         fsort_bytes = in_bytes
         if self.combined_sort:
             fsort_bytes = int(in_bytes * COMBINED_SORT_KEY_OVERHEAD)
-        fsort_seconds = timing.sort(len(sorted_pairs), fsort_bytes)
+        fsort_seconds = timing.sort(len(pairs), fsort_bytes)
 
         context = TaskContext(timing)
-        for key, values in group_sorted(sorted_pairs):
+        for key, values in sort_group_pairs(pairs):
             counters.reduce_input_records += len(values)
             produced = self.reducer(key, values, context)
             if produced:

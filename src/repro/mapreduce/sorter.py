@@ -12,6 +12,10 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+import numpy as np
+
+from repro import kernels
+
 
 @dataclass
 class SortStats:
@@ -21,6 +25,26 @@ class SortStats:
     bytes: int = 0
     spilled_records: int = 0
     passes: int = 0
+
+
+def spill_stats(
+    count: int,
+    record_bytes: int,
+    memory_bytes: int,
+    merge_fan_in: int = 64,
+) -> SortStats:
+    """Spill/merge accounting for an external sort of *count* records.
+
+    Factored out of :func:`external_sort` so callers that sort through
+    the kernel-backed :func:`sort_group_pairs` path still charge the
+    timing model identically.
+    """
+    stats = SortStats(records=count, bytes=count * record_bytes)
+    if stats.bytes > memory_bytes and memory_bytes > 0:
+        runs = math.ceil(stats.bytes / memory_bytes)
+        stats.passes = max(1, math.ceil(math.log(runs, merge_fan_in)))
+        stats.spilled_records = count
+    return stats
 
 
 def external_sort(
@@ -36,11 +60,7 @@ def external_sort(
     describe the spill/merge behaviour of a classic external merge sort
     with the given memory budget.
     """
-    stats = SortStats(records=len(items), bytes=len(items) * record_bytes)
-    if stats.bytes > memory_bytes and memory_bytes > 0:
-        runs = math.ceil(stats.bytes / memory_bytes)
-        stats.passes = max(1, math.ceil(math.log(runs, merge_fan_in)))
-        stats.spilled_records = len(items)
+    stats = spill_stats(len(items), record_bytes, memory_bytes, merge_fan_in)
     ordered = sorted(items, key=key)
     return ordered, stats
 
@@ -75,3 +95,75 @@ class _Sentinel:
 
 
 _SENTINEL = _Sentinel()
+
+
+#: Below this many pairs the timsort path wins outright; the kernel
+#: path's key-scan and array build would dominate.
+_KERNEL_MIN_PAIRS = 64
+
+#: Key-component bound keeping packed/lexsorted int64 math exact.
+_KERNEL_KEY_BOUND = 2**62
+
+
+def sort_group_pairs(pairs: Sequence[tuple]) -> list[tuple[object, list]]:
+    """Sort ``(key, value)`` pairs by key and group equal keys.
+
+    Exactly ``group_sorted(sorted(pairs, key=lambda p: p[0]))``, but when
+    every key is a fixed-width tuple of plain ints the sort/scan runs
+    through :mod:`repro.kernels`: rows bit-pack into single int64 keys
+    for one stable ``argsort`` (or a stable lexsort when they don't fit)
+    and run detection is a vectorized boundary scan.  Stability makes the
+    permutation identical to timsort's, so group order and the value
+    order inside each group are bit-identical to the scalar path.
+    """
+    groups = _kernel_sort_group(pairs)
+    if groups is not None:
+        return groups
+    ordered = sorted(pairs, key=_pair_key)
+    return group_sorted(ordered)
+
+
+def _pair_key(pair: tuple) -> object:
+    return pair[0]
+
+
+def _kernel_sort_group(pairs: Sequence[tuple]):
+    """Kernel sort/scan over int-tuple keys; None when keys don't fit."""
+    if len(pairs) < _KERNEL_MIN_PAIRS:
+        return None
+    first = pairs[0][0]
+    if type(first) is not tuple:
+        return None
+    width = len(first)
+    if not width:
+        return None
+    keys = []
+    for key, _value in pairs:
+        if type(key) is not tuple or len(key) != width:
+            return None
+        for part in key:
+            if type(part) is not int or not (
+                -_KERNEL_KEY_BOUND <= part <= _KERNEL_KEY_BOUND
+            ):
+                return None
+        keys.append(key)
+    matrix = np.asarray(keys, dtype=np.int64)
+    packed = kernels.pack_rows(matrix)
+    if packed is not None:
+        packed_keys, _low = packed
+        order = np.argsort(packed_keys, kind="stable")
+        sorted_keys = packed_keys[order]
+        boundary = np.ones(len(order), dtype=bool)
+        boundary[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    else:
+        order = np.lexsort(matrix.T[::-1])
+        boundary = kernels.row_boundaries(matrix[order])
+    starts = np.flatnonzero(boundary)
+    stops = np.append(starts[1:], len(order))
+    groups: list[tuple[object, list]] = []
+    for start, stop in zip(starts, stops):
+        indices = order[start:stop]
+        groups.append(
+            (pairs[indices[0]][0], [pairs[i][1] for i in indices])
+        )
+    return groups

@@ -200,6 +200,26 @@ def _serving_lines(frame: dict) -> list[str]:
     return lines
 
 
+def _transport_lines(frame: dict) -> list[str]:
+    """The data-plane view: bytes on the wire and the transport rate."""
+    gauges = frame.get("gauges") or {}
+
+    def gauge(name: str) -> float:
+        return float((gauges.get(name) or {}).get("last", 0.0))
+
+    shipped = gauge("mp.shipped_bytes")
+    shm = gauge("mp.shm_bytes")
+    rate = gauge("mp.transport_bytes_per_s")
+    if not (shipped or shm or rate):
+        return []
+    line = f"  shipped {_human_bytes(shipped)}"
+    if shm:
+        line += f"  shm {_human_bytes(shm)}"
+    if rate:
+        line += f"  rate {_human_bytes(rate)}/s"
+    return ["transport:", line]
+
+
 def _counter_lines(frame: dict) -> list[str]:
     counters = {
         name: value
@@ -245,6 +265,7 @@ def render_frame(frame: dict, title: str = "repro top") -> str:
         _progress_lines(frame),
         _serving_lines(frame),
         _rate_lines(frame),
+        _transport_lines(frame),
         _worker_lines(frame),
         _cache_lines(frame),
         _histogram_lines(frame),

@@ -90,7 +90,7 @@ def simulate_dispatch(
         from repro.cube.batches import RecordBatch
 
         batch = RecordBatch.from_records(scheme.key.schema, sample)
-        if batch is not None:
+        if batch is not None and batch.routable():
             for block_key, rows in scheme.make_batch_router()(batch):
                 loads[partitioner(key_prefix + block_key, num_reducers)] += (
                     len(rows)

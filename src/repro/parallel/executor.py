@@ -31,6 +31,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import kernels
 from repro.cube.batches import RecordBatch
 from repro.cube.records import Record, estimated_record_bytes
 from repro.local.measure_table import MeasureTable, ResultSet
@@ -88,6 +89,12 @@ class ExecutionConfig:
     Even when on, map tasks whose records cannot be represented as an
     integer batch fall back to the scalar path per task, so results are
     identical in every mode.
+
+    *kernels* is the compiled-kernel tri-state (see
+    :mod:`repro.kernels`): ``"auto"`` uses the numba backend when
+    installed, ``"on"`` requires it, ``"off"`` forces the NumPy
+    fallback.  Both backends are bit-identical; the knob only trades
+    speed.  ``None`` leaves the process-wide mode untouched.
     """
 
     num_reducers: Optional[int] = None
@@ -95,6 +102,7 @@ class ExecutionConfig:
     combined_sort: bool = False
     partitioner: str = "hash"
     columnar: Optional[bool] = None
+    kernels: Optional[str] = None
     optimizer: OptimizerConfig = field(default_factory=OptimizerConfig)
 
     def __post_init__(self):
@@ -102,6 +110,13 @@ class ExecutionConfig:
             raise ValueError(
                 f"unknown partitioner {self.partitioner!r}; choose "
                 "'hash' or 'round_robin'"
+            )
+        if self.kernels is not None and self.kernels not in (
+            kernels.KERNEL_MODES
+        ):
+            raise ValueError(
+                f"unknown kernels mode {self.kernels!r}; choose one of "
+                f"{kernels.KERNEL_MODES}"
             )
         if self.partitioner != "hash" and self.optimizer.use_sampling:
             # Simulated dispatch predicts loads under hash assignment;
@@ -288,7 +303,9 @@ class ParallelEvaluator:
 
         def map_batch(records) -> MapBatchOutput | None:
             batch = RecordBatch.from_records(schema, records)
-            if batch is None:
+            if batch is None or not batch.routable():
+                # No batch at all, or typed dimension columns that the
+                # hierarchy level arrays cannot map: scalar mapper path.
                 stats.fallback_tasks += 1
                 stats.fallback_records += len(records)
                 return None
@@ -474,6 +491,27 @@ class ParallelEvaluator:
 
         if cancel is not None:
             cancel.check()
+        if self.config.kernels is not None:
+            # The kernels mode is process-wide (worker dispatch tables
+            # are module state); restore the caller's mode on exit so
+            # one evaluator's knob cannot leak into another's run.
+            previous_mode = kernels.kernels_mode()
+            kernels.set_kernels_mode(self.config.kernels)
+            try:
+                return self._evaluate(workflow, data, plan, key_cache, cancel)
+            finally:
+                kernels.set_kernels_mode(previous_mode)
+        return self._evaluate(workflow, data, plan, key_cache, cancel)
+
+    def _evaluate(
+        self,
+        workflow: Workflow,
+        data: Sequence[Record] | DistributedFile,
+        plan: QueryPlan | Plan | None,
+        key_cache: KeyCache | None,
+        cancel: CancellationToken | None,
+    ) -> ParallelResult:
+        """The evaluation body; runs under the resolved kernels mode."""
         with self.tracer.span(
             "evaluate-query", measures=len(workflow)
         ) as root:
@@ -494,7 +532,11 @@ class ParallelEvaluator:
             use_columnar = self.config.columnar
             if use_columnar is None:
                 use_columnar = vectorized_supports(workflow)
-            columnar_stats = ColumnarStats() if use_columnar else None
+            columnar_stats = (
+                ColumnarStats(kernels_backend=kernels.kernels_backend())
+                if use_columnar
+                else None
+            )
             mapper = self._make_mapper(query_plan)
             reducer = self._make_reducer(
                 query_plan, record_bytes, local_stats, served_blocks
@@ -560,7 +602,8 @@ class ParallelEvaluator:
             self._record_metrics(query_plan, job_result.report, calibration)
             if columnar_stats is not None:
                 for name, value in columnar_stats.to_dict().items():
-                    self.metrics.inc(f"columnar.{name}", value)
+                    if isinstance(value, (int, float)):
+                        self.metrics.inc(f"columnar.{name}", value)
         for load in job_result.report.reducer_loads:
             self.telemetry.observe("job.reducer_load", load)
         self.telemetry.set_gauge(

@@ -69,6 +69,7 @@ from repro.cube.batches import (
     estimated_pickle_bytes,
 )
 from repro.cube.records import Record, Schema
+from repro import kernels
 from repro.faults.inject import apply_chaos
 from repro.faults.plan import FaultPlan, RetryPolicy
 from repro.io.serialize import workflow_from_dict, workflow_to_dict
@@ -86,6 +87,14 @@ from repro.query.functions import Expression
 from repro.query.workflow import Workflow, connected_components
 from repro.parallel.cancel import CancellationToken
 from repro.parallel.executor import union_outputs
+from repro.parallel.shm import (
+    SegmentRegistry,
+    ShmBucket,
+    shm_available,
+)
+
+#: Valid values of the transport knob.
+TRANSPORT_MODES = ("auto", "shm", "pickle")
 
 logger = logging.getLogger(__name__)
 
@@ -179,8 +188,12 @@ def _init_worker(
     expressions: Optional[Mapping[str, Expression]],
     function_factories: Sequence[tuple],
     telemetry_queue=None,
+    kernels_mode: str = "auto",
 ) -> None:
     """Rebuild the workflow, evaluators and filters inside a worker."""
+    # The driver's kernels knob must cross the process boundary: a
+    # forced mode ("on"/"off") applies to worker evaluation too.
+    kernels.set_kernels_mode(kernels_mode)
     for factory_path, args in function_factories:
         module_name, _, attr = factory_path.rpartition(".")
         module = __import__(module_name, fromlist=[attr])
@@ -254,6 +267,8 @@ def _flush_worker_telemetry() -> None:
 
 def _reduce_bucket(bucket) -> list:
     """Evaluate one reducer's blocks; runs inside a worker process."""
+    if isinstance(bucket, ShmBucket):
+        return _reduce_shm_bucket(bucket)
     if isinstance(bucket, _ColumnarBucket):
         return _reduce_columnar_bucket(bucket)
     rows = []
@@ -297,6 +312,54 @@ def _reduce_columnar_bucket(bucket: _ColumnarBucket) -> list:
     return rows
 
 
+def _evaluate_shm_view(view) -> list:
+    """Evaluate every block of an attached shm bucket.
+
+    Separated from :func:`_reduce_shm_bucket` so that when this frame
+    returns, every array view into the shared mapping is dead and the
+    caller's ``close()`` can actually unmap the segment.
+    """
+    batch = view.batch(_WORKER["schema"])
+    rows = []
+    for block_key, block_rows in view.blocks():
+        component_index = block_key[0]
+        evaluator = _WORKER["vector_evaluators"][component_index]
+        component_filters = _WORKER["filters"][component_index]
+        result = evaluator.evaluate(batch.take(block_rows))
+        for name, table in result.items():
+            keep = component_filters[name](block_key[1:])
+            rows.extend(
+                (name, coords, value)
+                for coords, value in table.items()
+                if keep(coords)
+            )
+    return rows
+
+
+def _reduce_shm_bucket(bucket: ShmBucket) -> list:
+    """Evaluate one shm bucket: attach, view, evaluate, unmap.
+
+    The segment is driver-owned; this side only maps it.  Per-block
+    evaluation is byte-for-byte the columnar-pickle path -- the batch
+    merely arrives as views over the shared mapping instead of arrays
+    inflated from pickled buffers.
+    """
+    view = bucket.attach()
+    try:
+        return _evaluate_shm_view(view)
+    finally:
+        view.close()
+
+
+def _bucket_block_count(bucket) -> int:
+    """How many blocks one gather bucket carries (any transport)."""
+    if isinstance(bucket, ShmBucket):
+        return bucket.counts[1]
+    if isinstance(bucket, _ColumnarBucket):
+        return bucket.keys.length
+    return len(bucket)
+
+
 def _run_task(
     task: int,
     attempt: int,
@@ -311,9 +374,7 @@ def _run_task(
     if counters is not None and _WORKER.get("telemetry_queue") is not None:
         counters["tasks"] += 1
         counters["rows"] += len(rows)
-        counters["blocks"] += len(bucket) if not isinstance(
-            bucket, _ColumnarBucket
-        ) else bucket.keys.length
+        counters["blocks"] += _bucket_block_count(bucket)
         _flush_worker_telemetry()
     return task, rows
 
@@ -328,6 +389,13 @@ class MultiprocessReport:
     replicated_records: int
     transport: str = "records"
     shipped_bytes: int = 0
+    #: Bytes written into shared-memory segments (0 on pickle paths);
+    #: the descriptors that still cross the pipe count as
+    #: ``shipped_bytes``.
+    shm_bytes: int = 0
+    #: Driver wall seconds spent materializing the transport (pickling
+    #: buckets, or writing shm segments).
+    transport_seconds: float = 0.0
     tasks: int = 0
     attempts: int = 0
     retries: int = 0
@@ -343,6 +411,18 @@ class MultiprocessReport:
     #: when telemetry was off.  Shape matches
     #: :meth:`repro.obs.telemetry.TelemetryRegistry.worker_totals`.
     workers: dict = field(default_factory=dict)
+
+    @property
+    def transport_bytes(self) -> int:
+        """Total bytes the scatter materialized (pipe + shm)."""
+        return self.shipped_bytes + self.shm_bytes
+
+    @property
+    def transport_bytes_per_second(self) -> float:
+        """Scatter throughput: transport bytes over driver wall time."""
+        if self.transport_seconds <= 0:
+            return 0.0
+        return self.transport_bytes / self.transport_seconds
 
     def fault_summary(self) -> dict:
         """Recovery accounting in the shape run manifests record."""
@@ -403,6 +483,12 @@ class MultiprocessEvaluator:
             loop merges them live, and the report/manifest gain a
             per-worker section.  Defaults to the no-op
             :data:`~repro.obs.telemetry.NULL_TELEMETRY`.
+        transport: How columnar buckets reach workers: ``"auto"``
+            (shared memory when the platform supports it, else
+            deflated pickles), ``"shm"`` (require shared memory; raise
+            when unavailable), or ``"pickle"`` (force the
+            deflated-pickle path).  Record-list buckets always travel
+            by pickle.
     """
 
     def __init__(
@@ -416,7 +502,14 @@ class MultiprocessEvaluator:
         tracer=None,
         metrics=None,
         telemetry=None,
+        transport: str = "auto",
     ):
+        if transport not in TRANSPORT_MODES:
+            raise ValueError(
+                f"unknown transport {transport!r}; choose one of "
+                f"{TRANSPORT_MODES}"
+            )
+        self.transport = transport
         self.processes = processes or os.cpu_count() or 2
         self.optimizer = Optimizer(optimizer or OptimizerConfig())
         self.expressions = expressions
@@ -487,11 +580,50 @@ class MultiprocessEvaluator:
             if use_columnar
             else None
         )
-        if batch is not None:
-            buckets, num_blocks, replicated = self._scatter_columnar(
-                batch, plan, partitions
+        if batch is not None and not batch.routable():
+            # Typed dimension columns (strings/nulls) cannot be mapped
+            # through hierarchy level arrays; ship record lists instead.
+            batch = None
+        if self.transport == "shm" and not shm_available():
+            raise RuntimeError(
+                "transport='shm' requested but POSIX shared memory is "
+                "unavailable on this platform; use 'auto' or 'pickle'"
             )
-            transport = "columnar"
+        registry = None
+        if batch is not None and self.transport != "pickle" and (
+            self.transport == "shm" or shm_available()
+        ):
+            registry = SegmentRegistry()
+        try:
+            return self._evaluate_scattered(
+                workflow, records, batch, plan, partitions, registry,
+                cancel,
+            )
+        finally:
+            if registry is not None:
+                registry.unlink_all()
+
+    def _evaluate_scattered(
+        self,
+        workflow: Workflow,
+        records: list,
+        batch: Optional[RecordBatch],
+        plan,
+        partitions: int,
+        registry: Optional[SegmentRegistry],
+        cancel: CancellationToken | None,
+    ) -> tuple[ResultSet, MultiprocessReport]:
+        """Scatter into buckets, gather resiliently, union the answer.
+
+        *registry*, when given, selects shared-memory transport for the
+        columnar buckets; the caller guarantees ``unlink_all`` runs
+        whatever happens here.
+        """
+        if batch is not None:
+            buckets, num_blocks, replicated, transport_seconds = (
+                self._scatter_columnar(batch, plan, partitions, registry)
+            )
+            transport = "shm" if registry is not None else "columnar"
         else:
             blocks: dict[tuple, list] = defaultdict(list)
             for index, (_component, subplan) in enumerate(plan.subplans):
@@ -508,6 +640,7 @@ class MultiprocessEvaluator:
                 )
             num_blocks = len(blocks)
             transport = "records"
+            transport_seconds = None
 
         scheme_specs = [
             (
@@ -536,24 +669,45 @@ class MultiprocessEvaluator:
             self.expressions,
             self.function_factories,
             telemetry_queue,
+            kernels.kernels_mode(),
         )
 
         # Gather: one task per non-empty bucket, with retries,
         # speculation, pool rebuilds and a centralized fallback.
         work = [bucket for bucket in buckets if bucket]
+        measure_started = time.perf_counter()
+        shipped_bytes = sum(
+            estimated_pickle_bytes(bucket) for bucket in work
+        )
+        if transport_seconds is None:
+            # Record-list transport: serializing the buckets IS the
+            # materialization cost, so the measurement doubles as it.
+            transport_seconds = time.perf_counter() - measure_started
         report = MultiprocessReport(
             processes=self.processes,
             partitions=partitions,
             blocks=num_blocks,
             replicated_records=replicated,
             transport=transport,
-            shipped_bytes=sum(
-                estimated_pickle_bytes(bucket) for bucket in work
-            ),
+            shipped_bytes=shipped_bytes,
+            shm_bytes=registry.created_bytes if registry else 0,
+            transport_seconds=transport_seconds,
             tasks=len(work),
         )
         self.telemetry.phase("mp-tasks", 0, len(work))
         self.telemetry.set_gauge("mp.shipped_bytes", report.shipped_bytes)
+        self.telemetry.set_gauge("mp.shm_bytes", report.shm_bytes)
+        self.telemetry.set_gauge(
+            "mp.transport_bytes_per_s", report.transport_bytes_per_second
+        )
+
+        def release_bucket(bucket) -> None:
+            # Eager reclamation: the moment a task's result is in, its
+            # segment can go -- Linux keeps the memory alive for any
+            # straggling duplicate that already mapped it.
+            if registry is not None and isinstance(bucket, ShmBucket):
+                registry.release(bucket.segment)
+
         try:
             with self.tracer.span(
                 "mp-evaluate", tasks=len(work), processes=self.processes
@@ -562,6 +716,7 @@ class MultiprocessEvaluator:
                     work, init_args, report,
                     telemetry_queue=telemetry_queue,
                     cancel=cancel,
+                    release=release_bucket,
                 )
                 self._drain_telemetry(telemetry_queue)
                 report.workers = self.telemetry.worker_totals()
@@ -596,14 +751,22 @@ class MultiprocessEvaluator:
 
     @staticmethod
     def _scatter_columnar(
-        batch: RecordBatch, plan, partitions: int
-    ) -> tuple[list, int, int]:
+        batch: RecordBatch,
+        plan,
+        partitions: int,
+        registry: Optional[SegmentRegistry] = None,
+    ) -> tuple[list, int, int, float]:
         """Route one batch into per-partition columnar buckets.
 
-        Returns ``(buckets, num_blocks, replicated_records)``.  Each
-        non-empty bucket ships every record it needs exactly once (its
-        blocks overlap under annotated keys) as compact column buffers,
-        with per-block uint32 row indices into that payload.
+        Returns ``(buckets, num_blocks, replicated_records,
+        materialize_seconds)``.  Each non-empty bucket ships every
+        record it needs exactly once (its blocks overlap under
+        annotated keys) with per-block row indices into that payload --
+        as deflated column buffers when *registry* is ``None``, or
+        written once into a shared-memory segment otherwise (only the
+        :class:`ShmBucket` descriptor then crosses the pipe).
+        ``materialize_seconds`` is the wall time spent building the
+        transport form, excluding the routing shared by both.
         """
         block_rows: dict[tuple, np.ndarray] = {}
         for index, (_component, subplan) in enumerate(plan.subplans):
@@ -620,6 +783,7 @@ class MultiprocessEvaluator:
             )
 
         buckets: list = []
+        materialize_seconds = 0.0
         for bucket_blocks in grouped:
             if not bucket_blocks:
                 buckets.append([])
@@ -628,16 +792,26 @@ class MultiprocessEvaluator:
                 [rows for _key, rows in bucket_blocks]
             )
             unique_rows = np.unique(all_rows)
-            payload = batch.take(unique_rows).to_payload(codec=_WIRE_CODEC)
-            buckets.append(
-                _ColumnarBucket.build(
-                    payload,
-                    bucket_blocks,
-                    np.searchsorted(unique_rows, all_rows),
-                    codec=_WIRE_CODEC,
+            row_maps = np.searchsorted(unique_rows, all_rows)
+            started = time.perf_counter()
+            sub_batch = batch.take(unique_rows)
+            if registry is not None:
+                buckets.append(
+                    ShmBucket.build(
+                        registry, sub_batch, bucket_blocks, row_maps
+                    )
                 )
-            )
-        return buckets, len(block_rows), replicated
+            else:
+                buckets.append(
+                    _ColumnarBucket.build(
+                        sub_batch.to_payload(codec=_WIRE_CODEC),
+                        bucket_blocks,
+                        row_maps,
+                        codec=_WIRE_CODEC,
+                    )
+                )
+            materialize_seconds += time.perf_counter() - started
+        return buckets, len(block_rows), replicated, materialize_seconds
 
     # -- resilient gather loop ---------------------------------------------------
 
@@ -648,6 +822,7 @@ class MultiprocessEvaluator:
         report: MultiprocessReport,
         telemetry_queue=None,
         cancel: CancellationToken | None = None,
+        release=None,
     ) -> Optional[list[list]]:
         """Run every bucket to completion; ``None`` means degrade.
 
@@ -780,6 +955,8 @@ class MultiprocessEvaluator:
                         state.rows = rows
                         unfinished.discard(task)
                         retry_at.pop(task, None)
+                        if release is not None:
+                            release(state.bucket)
                         if backup:
                             report.speculative_wins += 1
                         self.telemetry.mark("mp.rows", len(rows))
@@ -885,7 +1062,11 @@ class MultiprocessEvaluator:
         self.metrics.inc("mp.speculative_wins", report.speculative_wins)
         self.metrics.set_gauge("mp.degraded", 1.0 if report.degraded else 0.0)
         self.metrics.set_gauge("mp.shipped_bytes", float(report.shipped_bytes))
+        self.metrics.set_gauge("mp.shm_bytes", float(report.shm_bytes))
+        self.metrics.set_gauge(
+            "mp.transport_bytes_per_s", report.transport_bytes_per_second
+        )
         self.metrics.set_gauge(
             "mp.columnar_transport",
-            1.0 if report.transport == "columnar" else 0.0,
+            1.0 if report.transport in ("columnar", "shm") else 0.0,
         )

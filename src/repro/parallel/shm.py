@@ -1,0 +1,379 @@
+"""Zero-copy shared-memory transport for the multiprocess shuffle.
+
+The pickle transport serializes every bucket's column buffers, deflates
+them, ships the bytes through the pool's IPC pipe, and inflates them
+in the worker -- four copies of data that both sides could simply map.
+This module replaces that path with POSIX shared memory
+(:mod:`multiprocessing.shared_memory`): the driver writes each bucket's
+arrays **once** into a segment, the worker attaches and builds
+``np.ndarray`` views directly over the mapping, and only a tiny
+:class:`ShmBucket` descriptor (segment name plus array offsets) crosses
+the pipe.
+
+Segments store arrays in their *evaluation* dtypes (int64 matrices,
+float64 measures) rather than the compacted wire dtypes: a segment is
+memory, not a network link, so the bytes saved by narrowing would be
+repaid immediately with an up-cast copy in every worker.  Laying out
+the int plane as one contiguous 2-D array means the worker's batch *is*
+the mapping -- no per-column assembly at all.
+
+Lifecycle discipline is the hard part of shm, so it is centralized
+here:
+
+* every segment is created through a :class:`SegmentRegistry`, which
+  ref-counts in-flight attempts per task and guarantees ``unlink`` on
+  success, failure, and chaos (``unlink_all`` runs in the evaluator's
+  ``finally``, covering BrokenProcessPool rebuilds, worker kills,
+  cancellation and degradation);
+* the driver ``close()``\\ s its own mapping right after writing, so
+  the only reference keeping the memory alive is the name -- and the
+  registry owns the name;
+* pool workers share the driver's ``resource_tracker`` (the tracker fd
+  is inherited under fork and spawn alike), so a worker attach merely
+  duplicates the driver's registration and the driver's ``unlink``
+  clears it once -- and if the driver dies without unlinking, the
+  tracker unlinks every registered segment at shutdown, the crash
+  backstop of last resort;
+* on Linux, unlinking while workers are still mapped is safe -- the
+  kernel frees the memory when the last mapping goes away -- so the
+  driver can release a task's segment the moment its result arrives,
+  even if a speculative duplicate is still running.
+
+:func:`leaked_segments` scans ``/dev/shm`` for this process family's
+name prefix; the chaos harness asserts it returns nothing after every
+fault scenario.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import numpy as np
+
+from repro.cube.batches import Column, RecordBatch
+from repro.cube.records import Schema
+
+logger = logging.getLogger(__name__)
+
+#: Every segment name starts with this; the leak scanner keys on it.
+SEGMENT_PREFIX = "repro-shm"
+
+#: Where POSIX shared memory surfaces as files (Linux).
+_SHM_DIR = Path("/dev/shm")
+
+
+def shm_available() -> bool:
+    """Whether POSIX shared memory actually works on this platform."""
+    try:
+        probe = shared_memory.SharedMemory(create=True, size=8)
+    except (OSError, ValueError, ImportError):
+        return False
+    probe.close()
+    probe.unlink()
+    return True
+
+
+def leaked_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
+    """Names of segments with our prefix still present in ``/dev/shm``.
+
+    The chaos harness calls this after worker kills, pool rebuilds and
+    SIGTERM drains: a non-empty answer means some path dropped a
+    segment without unlinking it.
+    """
+    if not _SHM_DIR.is_dir():  # pragma: no cover - non-Linux
+        return []
+    return sorted(
+        entry.name
+        for entry in _SHM_DIR.iterdir()
+        if entry.name.startswith(prefix)
+    )
+
+
+def _aligned(nbytes: int) -> int:
+    """Round a byte count up to an 8-byte boundary."""
+    return -(-nbytes // 8) * 8
+
+
+class _Layout:
+    """Accumulates arrays into one contiguous 8-byte-aligned layout."""
+
+    def __init__(self):
+        self.entries: list[tuple[int, np.ndarray]] = []
+        self.nbytes = 0
+
+    def add(self, array: np.ndarray) -> int:
+        """Reserve space for *array*; returns its segment offset."""
+        array = np.ascontiguousarray(array)
+        offset = self.nbytes
+        self.entries.append((offset, array))
+        self.nbytes += _aligned(array.nbytes)
+        return offset
+
+    def write(self, buf) -> None:
+        view = np.frombuffer(buf, dtype=np.uint8)
+        for offset, array in self.entries:
+            flat = array.reshape(-1).view(np.uint8)
+            view[offset:offset + flat.nbytes] = flat
+
+
+class SegmentRegistry:
+    """Driver-side owner of every shared-memory segment of one run.
+
+    ``release`` unlinks a segment the moment its task's result arrives
+    -- safe on Linux even while a speculative duplicate still has the
+    mapping, and a duplicate that had not yet attached fails its
+    attempt against an already-completed task, which the gather loop
+    discards.  ``unlink_all`` (always run, via ``finally``) reclaims
+    whatever chaos left behind: BrokenProcessPool rebuilds, worker
+    kills, cancellation, degradation.  Both are idempotent -- double
+    release and release-after-unlink_all are no-ops.
+    """
+
+    def __init__(self, prefix: str = SEGMENT_PREFIX):
+        token = secrets.token_hex(4)
+        self.prefix = f"{prefix}-{os.getpid()}-{token}"
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._serial = 0
+        self.created_bytes = 0
+
+    def create(self, nbytes: int) -> shared_memory.SharedMemory:
+        """A fresh tracked segment (caller writes, then closes its map)."""
+        self._serial += 1
+        segment = shared_memory.SharedMemory(
+            name=f"{self.prefix}-{self._serial}",
+            create=True,
+            size=max(1, nbytes),
+        )
+        self._segments[segment.name] = segment
+        self.created_bytes += max(1, nbytes)
+        return segment
+
+    def release(self, name: str) -> None:
+        """Unlink one segment; safe while workers are still mapped."""
+        segment = self._segments.pop(name, None)
+        if segment is None:
+            return
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - driver views alive
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def unlink_all(self) -> None:
+        """Reclaim every remaining segment (the ``finally`` backstop)."""
+        for name in list(self._segments):
+            self.release(name)
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Worker-side attach that leaves ownership with the driver.
+
+    CPython's ``SharedMemory`` registers the name with the
+    ``resource_tracker`` even on attach -- but pool workers (fork and
+    spawn alike) inherit the *driver's* tracker, whose name cache is a
+    set: the worker's register collapses into the driver's original
+    entry, and the driver's eventual ``unlink`` clears it exactly once.
+    Unregistering here would strip that shared entry out from under the
+    driver.  (The tracker doubles as the crash backstop: if the driver
+    dies without unlinking, the tracker unlinks every registered
+    segment at shutdown.)
+    """
+    return shared_memory.SharedMemory(name=name, create=False)
+
+
+#: Array-slot codes: (dtype, element size) per stored plane.
+_CODES = {"i8": np.int64, "f8": np.float64, "u1": np.uint8}
+
+
+@dataclass(frozen=True)
+class ShmBucket:
+    """Picklable handle to one gather task's bucket in shared memory.
+
+    Mirrors ``_ColumnarBucket`` structurally -- payload, block-key
+    matrix, per-block counts and row indices -- but every array lives
+    in the named segment at a recorded offset instead of in pickled
+    buffers.  ``matrix`` describes the int plane as one 2-D array;
+    typed payloads (float measures, dictionary strings, nulls) ship
+    per-column slots instead.
+    """
+
+    segment: str
+    nbytes: int
+    length: int
+    #: int plane: ``(rows, cols, offset)`` of one 2-D int64 array.
+    matrix: tuple | None
+    #: typed plane: per-column ``(code, offset)`` slots.
+    columns: tuple = ()
+    dictionaries: tuple = ()
+    #: per-column validity: ``None`` or the offset of a uint8 array.
+    validity: tuple = ()
+    keys: tuple = (0, 0, 0)
+    counts: tuple = (0, 0)
+    indices: tuple = (0, 0)
+
+    @staticmethod
+    def build(
+        registry: SegmentRegistry,
+        batch: RecordBatch,
+        bucket_blocks: list,
+        row_maps: np.ndarray,
+    ) -> "ShmBucket":
+        """Write one bucket's arrays into a fresh segment.
+
+        *batch* holds the bucket's deduplicated records,
+        *bucket_blocks* its ``(block_key, payload row indices)``
+        entries and *row_maps* the concatenated per-block indices into
+        the payload (same shapes ``_ColumnarBucket.build`` takes).
+        """
+        layout = _Layout()
+        matrix = batch.matrix
+        columns_meta: list = []
+        dictionaries: list = []
+        validity_meta: list = []
+        if matrix is not None:
+            matrix = np.ascontiguousarray(matrix, dtype=np.int64)
+            matrix_meta = (
+                matrix.shape[0], matrix.shape[1], layout.add(matrix)
+            )
+        else:
+            matrix_meta = None
+            for index in range(batch.schema.width):
+                column = batch.column_typed(index)
+                code = (
+                    "f8"
+                    if np.issubdtype(column.values.dtype, np.floating)
+                    else "i8"
+                )
+                offset = layout.add(
+                    column.values.astype(_CODES[code], copy=False)
+                )
+                columns_meta.append((code, offset))
+                dictionaries.append(column.dictionary)
+                validity_meta.append(
+                    None
+                    if column.validity is None
+                    else layout.add(column.validity.astype(np.uint8))
+                )
+        keys_matrix = np.ascontiguousarray(
+            [key for key, _rows in bucket_blocks], dtype=np.int64
+        )
+        if keys_matrix.ndim == 1:  # pragma: no cover - no blocks
+            keys_matrix = keys_matrix.reshape(0, 0)
+        keys_meta = (
+            keys_matrix.shape[0], keys_matrix.shape[1],
+            layout.add(keys_matrix),
+        )
+        counts = np.asarray(
+            [len(rows) for _key, rows in bucket_blocks], dtype=np.int64
+        )
+        counts_meta = (layout.add(counts), len(counts))
+        indices = np.ascontiguousarray(row_maps, dtype=np.int64)
+        indices_meta = (layout.add(indices), len(indices))
+
+        segment = registry.create(layout.nbytes)
+        try:
+            layout.write(segment.buf)
+        finally:
+            # Drop the driver's mapping immediately: from here on the
+            # registry owns the segment by name alone.
+            segment.close()
+        return ShmBucket(
+            segment=segment.name,
+            nbytes=layout.nbytes,
+            length=len(batch),
+            matrix=matrix_meta,
+            columns=tuple(columns_meta),
+            dictionaries=tuple(dictionaries),
+            validity=tuple(validity_meta),
+            keys=keys_meta,
+            counts=counts_meta,
+            indices=indices_meta,
+        )
+
+    def attach(self) -> "ShmBucketView":
+        """Map the segment and build zero-copy array views (worker side)."""
+        return ShmBucketView(self)
+
+
+class ShmBucketView:
+    """A worker's live view of a :class:`ShmBucket`.
+
+    All arrays are views straight into the shared mapping -- nothing is
+    copied until the evaluator fancy-indexes per-block slices.  Close
+    **after** dropping every derived array: a mapping with live views
+    cannot be unmapped, and :meth:`close` falls back to leaking the map
+    (reclaimed at worker exit) rather than failing the task.
+    """
+
+    def __init__(self, bucket: ShmBucket):
+        self.bucket = bucket
+        self._segment = attach_segment(bucket.segment)
+
+    def _array(self, code: str, offset: int, count: int) -> np.ndarray:
+        return np.frombuffer(
+            self._segment.buf, dtype=_CODES[code], count=count,
+            offset=offset,
+        )
+
+    def batch(self, schema: Schema) -> RecordBatch:
+        """The payload records as a zero-copy :class:`RecordBatch`."""
+        bucket = self.bucket
+        if bucket.matrix is not None:
+            rows, cols, offset = bucket.matrix
+            matrix = self._array("i8", offset, rows * cols).reshape(
+                rows, cols
+            )
+            return RecordBatch(schema, matrix)
+        columns = []
+        for index, (code, offset) in enumerate(bucket.columns):
+            values = self._array(code, offset, bucket.length)
+            validity_offset = bucket.validity[index]
+            validity = (
+                None
+                if validity_offset is None
+                else self._array(
+                    "u1", validity_offset, bucket.length
+                ).view(bool)
+            )
+            columns.append(
+                Column(values, bucket.dictionaries[index], validity)
+            )
+        return RecordBatch(schema, tuple(columns), length=bucket.length)
+
+    def blocks(self) -> list:
+        """The ``(block_key, row index array)`` entries (key tuples copy,
+        index arrays stay views)."""
+        rows, cols, offset = self.bucket.keys
+        keys = self._array("i8", offset, rows * cols).reshape(rows, cols)
+        counts_offset, num_blocks = self.bucket.counts
+        counts = self._array("i8", counts_offset, num_blocks)
+        indices_offset, total = self.bucket.indices
+        indices = self._array("i8", indices_offset, total)
+        offsets = np.zeros(num_blocks + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return [
+            (
+                tuple(int(value) for value in keys[i]),
+                indices[offsets[i]:offsets[i + 1]],
+            )
+            for i in range(num_blocks)
+        ]
+
+    def close(self) -> None:
+        """Unmap the segment; never raises into the task."""
+        try:
+            self._segment.close()
+        except BufferError:  # views still alive: leak until worker exit
+            logger.warning(
+                "shm segment %s still referenced at close; "
+                "unmapping deferred to process exit",
+                self.bucket.segment,
+            )

@@ -37,14 +37,50 @@ class TestConstruction:
         assert len(batch) == 0
         assert batch.to_records() == []
 
-    def test_float_records_fall_back(self, tiny_schema):
+    def test_float_records_become_typed_columns(self, tiny_schema):
+        records = [(1, 2, 3.5), (4, 5, -0.25)]
+        batch = RecordBatch.from_records(tiny_schema, records)
+        assert batch is not None
+        assert batch.matrix is None  # no int plane
+        assert batch.routable()  # dimensions are still plain ints
+        assert batch.column(2).dtype == np.float64
+        assert batch.to_records() == records
+
+    def test_string_records_dictionary_encode(self, tiny_schema):
+        records = [(1, 2, "red"), (3, 4, "blue"), (5, 6, "red")]
+        batch = RecordBatch.from_records(tiny_schema, records)
+        assert batch is not None
+        assert batch.matrix is None
+        column = batch.column_typed(2)
+        assert column.dictionary == ("blue", "red")
+        np.testing.assert_array_equal(column.values, [1, 0, 1])
+        assert batch.to_records() == records
+
+    def test_null_records_carry_validity(self, tiny_schema):
+        records = [(1, 2, None), (3, 4, 7), (5, 6, None)]
+        batch = RecordBatch.from_records(tiny_schema, records)
+        assert batch is not None
+        column = batch.column_typed(2)
+        np.testing.assert_array_equal(
+            column.validity, [False, True, False]
+        )
+        assert batch.to_records() == records
+
+    def test_typed_dimension_is_not_routable(self, tiny_schema):
+        batch = RecordBatch.from_records(
+            tiny_schema, [("east", 2, 3), ("west", 5, 6)]
+        )
+        assert batch is not None
+        assert not batch.routable()
+
+    def test_mixed_type_columns_fall_back(self, tiny_schema):
         assert RecordBatch.from_records(
-            tiny_schema, [(1, 2, 3.5)]
+            tiny_schema, [(1, 2, 3), (4, 5, "six")]
         ) is None
 
     def test_object_records_fall_back(self, tiny_schema):
         assert RecordBatch.from_records(
-            tiny_schema, [(1, 2, "three")]
+            tiny_schema, [(1, 2, object())]
         ) is None
 
     def test_ragged_records_fall_back(self, tiny_schema):
@@ -160,3 +196,86 @@ class TestWireFormat:
         payload = ColumnPayload.from_matrix(matrix, codec="zlib")
         np.testing.assert_array_equal(payload.to_matrix(), matrix)
         assert payload.dtypes == ("|u1", "<i2")
+
+
+class TestTypedBatches:
+    """Typed columns (floats, dictionaries, nulls) across the full API."""
+
+    RECORDS = [
+        (1, 2, "red"),
+        (3, 4, None),
+        (5, 6, "blue"),
+        (7, 8, "red"),
+        (9, 10, None),
+    ]
+
+    @pytest.fixture
+    def typed(self, tiny_schema):
+        return RecordBatch.from_records(tiny_schema, self.RECORDS)
+
+    def test_slice_round_trips(self, typed):
+        view = typed.slice(1, 4)
+        assert len(view) == 3
+        assert view.to_records() == self.RECORDS[1:4]
+
+    def test_slice_is_zero_copy(self, typed):
+        view = typed.slice(1, 4)
+        assert view.column(2).base is not None
+
+    def test_take_round_trips(self, typed):
+        picked = typed.take(np.array([4, 0, 2]))
+        assert picked.to_records() == [
+            self.RECORDS[4], self.RECORDS[0], self.RECORDS[2]
+        ]
+
+    def test_float_round_trips_exactly(self, tiny_schema):
+        records = [(1, 2, 0.1), (3, 4, -1e300), (5, 6, 2.5e-17)]
+        batch = RecordBatch.from_records(tiny_schema, records)
+        assert batch.to_records() == records
+
+    @pytest.mark.parametrize("codec", ["raw", "zlib"])
+    def test_payload_round_trips(self, typed, tiny_schema, codec):
+        payload = typed.to_payload(codec=codec)
+        rebuilt = payload.to_batch(tiny_schema)
+        assert rebuilt.to_records() == typed.to_records()
+        rebuilt_column = rebuilt.column_typed(2)
+        assert rebuilt_column.dictionary == ("blue", "red")
+
+    @pytest.mark.parametrize("codec", ["raw", "zlib"])
+    def test_float_payload_round_trips(self, tiny_schema, codec):
+        records = [(1, 2, 0.1), (3, 4, -1e300), (5, 6, float(2**60))]
+        batch = RecordBatch.from_records(tiny_schema, records)
+        payload = batch.to_payload(codec=codec)
+        assert payload.to_batch(tiny_schema).to_records() == records
+
+
+class TestSizeAccounting:
+    """``ColumnPayload.nbytes`` must track actual serialized sizes --
+    including dictionary-encoded strings and validity bitmaps."""
+
+    CASES = {
+        "ints": [(i % 16, i % 32, i % 9) for i in range(600)],
+        "floats": [(i % 16, i % 32, i * 0.75) for i in range(600)],
+        "strings": [
+            (i % 16, i % 32, ("alpha", "beta", "gamma-longer")[i % 3])
+            for i in range(600)
+        ],
+        "nulls": [
+            (i % 16, i % 32, None if i % 3 else i) for i in range(600)
+        ],
+        "tiny": [(1, 2, 3)],
+        "empty": [],
+    }
+
+    @pytest.mark.parametrize("codec", ["raw", "zlib"])
+    @pytest.mark.parametrize("case", sorted(CASES))
+    def test_nbytes_tracks_pickle(self, tiny_schema, case, codec):
+        import pickle
+
+        batch = RecordBatch.from_records(tiny_schema, self.CASES[case])
+        payload = batch.to_payload(codec=codec)
+        actual = len(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
+        # Within 5% or 40 bytes of the real serialized size, never off
+        # by the size of a whole column: dictionary bytes and validity
+        # bitmaps must be counted, not just the value buffers.
+        assert abs(payload.nbytes - actual) <= max(40, actual * 0.05)

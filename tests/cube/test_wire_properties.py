@@ -1,0 +1,128 @@
+"""Property tests for the wire-dtype compaction layer.
+
+Hypothesis drives :func:`repro.cube.batches.wire_dtype` and
+:func:`repro.cube.batches.compact_array` across the dtype boundaries
+where off-by-one range checks live (int8/uint8/int16/... min and max,
+empty arrays, all-equal columns): compaction must always pick the
+smallest covering dtype and the round trip must be exact.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cube.batches import (
+    _WIRE_DTYPES,
+    compact_array,
+    decode_buffer,
+    encode_buffer,
+    wire_dtype,
+)
+
+#: Every dtype boundary, ±1: the values range checks get wrong first.
+_BOUNDARY_VALUES = sorted(
+    {
+        edge + delta
+        for candidate in _WIRE_DTYPES
+        for edge in (
+            np.iinfo(candidate).min,
+            np.iinfo(candidate).max,
+        )
+        for delta in (-1, 0, 1)
+        if -(2**63) <= edge + delta < 2**63
+    }
+)
+
+int64s = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+boundaryish = st.one_of(
+    st.sampled_from(_BOUNDARY_VALUES),
+    st.integers(min_value=-(2**16), max_value=2**16),
+    int64s,
+)
+
+
+class TestWireDtype:
+    @given(low=boundaryish, high=boundaryish)
+    def test_smallest_covering_dtype(self, low, high):
+        low, high = min(low, high), max(low, high)
+        dtype = wire_dtype(low, high)
+        info = np.iinfo(dtype)
+        assert info.min <= low and high <= info.max
+        # Minimality: no earlier candidate in the preference order
+        # also covers the range.
+        for candidate in _WIRE_DTYPES:
+            if np.dtype(candidate) == dtype:
+                break
+            candidate_info = np.iinfo(candidate)
+            assert not (
+                candidate_info.min <= low and high <= candidate_info.max
+            )
+
+    @pytest.mark.parametrize(
+        "low,high,expected",
+        [
+            (0, 255, np.uint8),
+            (0, 256, np.uint16),
+            (-1, 127, np.int8),
+            (-1, 128, np.int16),
+            (-128, 127, np.int8),
+            (-129, 0, np.int16),
+            (0, 2**32 - 1, np.uint32),
+            (0, 2**32, np.int64),
+            (-(2**31), 2**31 - 1, np.int32),
+            (-(2**31) - 1, 0, np.int64),
+        ],
+    )
+    def test_exact_boundaries(self, low, high, expected):
+        assert wire_dtype(low, high) == np.dtype(expected)
+
+
+class TestCompactArray:
+    @settings(max_examples=200)
+    @given(
+        values=st.lists(boundaryish, max_size=64),
+        codec=st.sampled_from(["raw", "zlib"]),
+    )
+    def test_int_round_trip_is_exact(self, values, codec):
+        array = np.array(values, dtype=np.int64)
+        dtype_str, buffer = compact_array(array)
+        wire = encode_buffer(buffer, codec)
+        restored = np.frombuffer(
+            decode_buffer(wire, codec), dtype=np.dtype(dtype_str)
+        ).astype(np.int64)
+        assert restored.tolist() == values
+
+    @given(values=st.lists(boundaryish, min_size=1, max_size=64))
+    def test_int_compaction_is_minimal(self, values):
+        array = np.array(values, dtype=np.int64)
+        dtype_str, buffer = compact_array(array)
+        dtype = np.dtype(dtype_str)
+        assert dtype == wire_dtype(min(values), max(values))
+        assert len(buffer) == len(values) * dtype.itemsize
+
+    @given(
+        values=st.lists(
+            st.floats(allow_nan=False, width=64), max_size=64
+        )
+    )
+    def test_floats_stay_float64(self, values):
+        array = np.array(values, dtype=np.float64)
+        dtype_str, buffer = compact_array(array)
+        assert np.dtype(dtype_str) == np.dtype(np.float64)
+        restored = np.frombuffer(buffer, dtype=np.float64)
+        assert restored.tolist() == values
+
+    def test_empty_ships_as_uint8(self):
+        dtype_str, buffer = compact_array(np.empty(0, dtype=np.int64))
+        assert np.dtype(dtype_str) == np.dtype(np.uint8)
+        assert buffer == b""
+
+    @given(value=boundaryish, length=st.integers(1, 16))
+    def test_all_equal_column(self, value, length):
+        array = np.full(length, value, dtype=np.int64)
+        dtype_str, buffer = compact_array(array)
+        restored = np.frombuffer(
+            buffer, dtype=np.dtype(dtype_str)
+        ).astype(np.int64)
+        assert restored.tolist() == [value] * length

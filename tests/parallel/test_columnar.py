@@ -13,6 +13,7 @@ from repro.local.sortscan import evaluate_centralized
 from repro.mapreduce import ClusterConfig, SimulatedCluster
 from repro.parallel.executor import ExecutionConfig, ParallelEvaluator
 from repro.parallel.multiprocess import MultiprocessEvaluator
+from repro.parallel.shm import shm_available
 from repro.query.builder import WorkflowBuilder
 from repro.workload import (
     anomaly_query,
@@ -27,12 +28,13 @@ from repro.workload import (
 )
 
 WORKLOADS = {
-    # Retail revenue is a rounded float: the whole dataset cannot form
-    # an integer batch, so every map task must take the scalar path.
+    # Retail revenue is a rounded float: the batch is *typed* (float64
+    # measure column, no int plane), so map tasks route columnar while
+    # the per-block evaluation takes the exact scalar path.
     "retail": lambda: (
         retail_query(retail_schema()),
         generate_sales(retail_schema(), 800, seed=9),
-        "fallback",
+        "typed",
     ),
     "weblog": lambda: (
         weblog_query(weblog_schema(days=1)),
@@ -82,14 +84,15 @@ class TestWorkloadInvariance:
         )
         stats = outcome.columnar
         assert stats is not None
-        if expected_path == "fallback":
-            # Non-integer facts: every task silently takes the scalar
-            # path, and float summation order costs exactness against
-            # the centralized oracle (columnar or not -- see the mode
-            # test for the bit-identity guarantee between modes).
+        if expected_path == "typed":
+            # Non-integer facts: the typed batch routes columnar, each
+            # block evaluates on the scalar path, and float summation
+            # order costs exactness against the centralized oracle
+            # (columnar or not -- see the mode test for the
+            # bit-identity guarantee between modes).
             assert_approx_equal(outcome.result, oracle)
-            assert stats.fallback_tasks > 0
-            assert stats.batch_tasks == 0
+            assert stats.batch_tasks > 0
+            assert stats.fallback_tasks == 0
         else:
             assert outcome.result == oracle
             assert stats.batch_tasks > 0
@@ -165,8 +168,22 @@ class TestMultiprocessTransport:
             workflow, records, num_partitions=4, columnar=True
         )
         assert result == oracle
-        assert report.transport == "columnar"
+        # transport="auto" upgrades columnar buckets to shared memory
+        # wherever /dev/shm exists; the deflated-pickle bucket remains
+        # the portable fallback.
+        expected = "shm" if shm_available() else "columnar"
+        assert report.transport == expected
         assert report.shipped_bytes > 0
+
+    def test_pickle_transport_knob_forces_columnar_buckets(self, setup):
+        workflow, records, oracle = setup
+        evaluator = MultiprocessEvaluator(processes=2, transport="pickle")
+        result, report = evaluator.evaluate(
+            workflow, records, num_partitions=4, columnar=True
+        )
+        assert result == oracle
+        assert report.transport == "columnar"
+        assert report.shm_bytes == 0
 
     def test_transport_modes_agree(self, setup):
         workflow, records, oracle = setup

@@ -50,7 +50,7 @@ def _table(title: str, headers: list[str], rows: list[list]) -> None:
 def report(path: Path) -> None:
     payload = json.loads(path.read_text())
     print(f"\n=== {path.name} ===")
-    for key in ("schema", "partitions"):
+    for key in ("schema", "partitions", "kernels_backend"):
         if key in payload:
             print(f"{key}: {payload[key]}")
 
@@ -83,6 +83,25 @@ def report(path: Path) -> None:
         _table(
             "multiprocess transport",
             ["query@size", "scalar B", "columnar B", "reduction"],
+            rows,
+        )
+
+    if "shm_transport" in payload:
+        rows = [
+            [
+                key,
+                entry["pickle_shipped_bytes"],
+                entry["shm_segment_bytes"],
+                entry["pickle_bytes_per_s"],
+                entry["shm_bytes_per_s"],
+                entry["rate_speedup"],
+            ]
+            for key, entry in sorted(payload["shm_transport"].items())
+        ]
+        _table(
+            "shared-memory transport",
+            ["query@size", "pickle B", "shm B", "pickle B/s",
+             "shm B/s", "speedup"],
             rows,
         )
 
@@ -135,6 +154,16 @@ _DIFF_SECTIONS = (
         ("scalar_records_per_s", "columnar_records_per_s", "speedup"),
     ),
     ("transport", ("scalar_bytes", "columnar_bytes", "reduction")),
+    (
+        "shm_transport",
+        (
+            "pickle_shipped_bytes",
+            "shm_segment_bytes",
+            "pickle_bytes_per_s",
+            "shm_bytes_per_s",
+            "rate_speedup",
+        ),
+    ),
     (
         "sharing",
         (

@@ -8,12 +8,18 @@ attempts, retries, crash kills, speculation -- so a glance shows the
 chaos actually bit.  Run from the repo root::
 
     PYTHONPATH=src python tools/chaos_smoke.py [--seeds N] [--records N]
-        [--machines N] [--multiprocess] [--intensity X] [--serve]
+        [--machines N] [--multiprocess] [--intensity X] [--serve] [--shm]
 
 With ``--serve`` each seed also drives the always-on daemon through an
 arrival-layer storm (bursty arrivals, tenant floods, duplicate
 submissions): every completed answer must still be bit-identical to the
 oracle -- chaos may shed queries, never corrupt them.
+
+With ``--shm`` each seed also runs the process pool over the
+shared-memory shuffle (columnar buckets in ``/dev/shm`` segments) under
+the same fault plan, asserting both bit-identity *and* that no segment
+survives the run -- worker kills and pool rebuilds included, a leaked
+segment is a failure.
 
 Exit status is non-zero if any run's answer deviates from the oracle.
 """
@@ -46,6 +52,10 @@ def parse_args(argv):
                              "arrival-layer chaos per seed")
     parser.add_argument("--serve-rate", type=float, default=120.0,
                         help="offered arrival rate for --serve storms")
+    parser.add_argument("--shm", action="store_true",
+                        help="also run each plan on the process pool over "
+                             "the shared-memory shuffle, asserting no "
+                             "/dev/shm segment outlives the run")
     return parser.parse_args(argv)
 
 
@@ -175,6 +185,44 @@ def main(argv=None) -> int:
                 f"{summary['pool_rebuilds']} rebuilds, "
                 f"degraded={summary['degraded']}"
             )
+
+        if args.shm:
+            from repro.parallel.multiprocess import MultiprocessEvaluator
+            from repro.parallel.shm import leaked_segments, shm_available
+
+            if not shm_available():
+                print("  shm:    skipped (POSIX shared memory unavailable)")
+            else:
+                evaluator = MultiprocessEvaluator(
+                    processes=2,
+                    transport="shm",
+                    fault_plan=plan,
+                    retry_policy=RetryPolicy(
+                        backoff_base=0.05, backoff_max=0.2,
+                        straggler_timeout=30.0,
+                    ),
+                )
+                result, report = evaluator.evaluate(
+                    workflow, records, num_partitions=4, columnar=True
+                )
+                leaked = leaked_segments()
+                shm_ok = result == oracle and not leaked
+                failures += not shm_ok
+                summary = report.fault_summary()
+                verdict = "ok" if shm_ok else (
+                    "LEAKED " + ", ".join(leaked)
+                    if leaked
+                    else "MISMATCH"
+                )
+                print(
+                    f"  shm:    {verdict}  "
+                    f"{summary['attempts']} attempts/"
+                    f"{summary['tasks']} tasks, "
+                    f"{summary['retries']} retries, "
+                    f"{summary['pool_rebuilds']} rebuilds, "
+                    f"{report.shm_bytes} shm bytes at "
+                    f"{report.transport_bytes_per_second:.0f} B/s"
+                )
 
         if args.serve:
             serve_ok, line = serve_storm(
