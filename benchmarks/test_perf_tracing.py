@@ -1,0 +1,148 @@
+"""Wall-clock guard: the full trace plane must cost under 3% of p50.
+
+A/B serving comparison: replay the same seeded arrival trace through
+the daemon with the trace plane off (the default -- null tracer, ledger
+only) and fully on (per-query tracer, flight recorder, SLO tracking,
+live telemetry), and assert the traced p50 stays within the overhead
+budget of the baseline.  Both configurations run several interleaved
+repetitions and keep the *best* p50 each -- the noise-floor estimate --
+so a background scheduler hiccup on a shared host cannot fail the
+guard by landing in one arm only.
+
+    pytest benchmarks/test_perf_tracing.py -s
+
+The numbers persist as ``BENCH_tracing.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.serving import (
+    QueryService,
+    ServiceLimits,
+    generate_arrivals,
+    serve_arrivals,
+)
+from repro.workload import all_queries, generate_uniform, paper_schema
+
+from support import print_table, write_bench_json
+
+pytestmark = pytest.mark.perf
+
+RECORDS = 1_000
+MACHINES = 8
+SEED = 11
+RATE = 25.0
+DURATION = 0.5
+REPS = 3
+#: Tracing may add at most this fraction to the median latency.
+OVERHEAD_BUDGET = 0.03
+
+LIMITS = ServiceLimits(admission_window_ms=20.0, max_inflight=2)
+
+
+def _run(catalog, records, traced: bool):
+    from repro.mapreduce import ClusterConfig, SimulatedCluster
+
+    extras = {}
+    if traced:
+        from repro.obs import FlightRecorder, QueryTracer, SloTracker
+        from repro.obs.slo import SloPolicy
+        from repro.obs.telemetry import TelemetryRegistry
+
+        extras = {
+            "tracer": QueryTracer(),
+            "flight": FlightRecorder(),
+            "slo": SloTracker(
+                default=SloPolicy(objective_ms=1000.0, target=0.95)
+            ),
+            "telemetry": TelemetryRegistry(),
+        }
+    arrivals = generate_arrivals(
+        sorted(catalog), rate=RATE, duration=DURATION, seed=SEED
+    )
+    service = QueryService(
+        catalog,
+        records,
+        cluster_factory=lambda: SimulatedCluster(
+            ClusterConfig(machines=MACHINES)
+        ),
+        limits=LIMITS,
+        **extras,
+    )
+    responses, report = serve_arrivals(service, arrivals)
+    assert report.drained
+    assert report.total_shed == 0 and report.errors == 0
+    assert len(responses) == len(arrivals)
+    if traced:
+        # The plane must actually be live, or the A/B proves nothing.
+        assert service.tracer.to_dicts()
+        assert all(lg.closed for lg in service.ledgers.ledgers.values())
+    latencies = sorted(r.latency_ms for r in responses)
+    return {
+        "p50": statistics.median(latencies),
+        "p99": latencies[int(0.99 * (len(latencies) - 1))],
+        "mean": statistics.fmean(latencies),
+        "queries": len(latencies),
+    }
+
+
+def test_trace_plane_overhead_under_budget():
+    schema = paper_schema(days=1, temporal_base="minute")
+    catalog = all_queries(schema)
+    records = generate_uniform(schema, RECORDS, seed=7)
+
+    # Interleave the arms so slow-host drift hits both equally.
+    baseline_runs, traced_runs = [], []
+    for _ in range(REPS):
+        baseline_runs.append(_run(catalog, records, traced=False))
+        traced_runs.append(_run(catalog, records, traced=True))
+
+    baseline = min(run["p50"] for run in baseline_runs)
+    traced = min(run["p50"] for run in traced_runs)
+    overhead = traced / baseline - 1.0
+
+    print_table(
+        f"Trace-plane overhead ({RECORDS} records, rate {RATE:g}/s, "
+        f"best of {REPS})",
+        ["config", "p50 ms", "p99 ms", "mean ms"],
+        [
+            ["baseline", baseline,
+             min(r["p99"] for r in baseline_runs),
+             min(r["mean"] for r in baseline_runs)],
+            ["traced", traced,
+             min(r["p99"] for r in traced_runs),
+             min(r["mean"] for r in traced_runs)],
+            ["overhead", traced - baseline, "-", "-"],
+        ],
+    )
+
+    write_bench_json("tracing", {
+        "workload": {
+            "queries": sorted(catalog),
+            "records": RECORDS,
+            "machines": MACHINES,
+            "rate": RATE,
+            "duration_s": DURATION,
+            "seed": SEED,
+            "repetitions": REPS,
+            "admission_window_ms": LIMITS.admission_window_ms,
+        },
+        "baseline": baseline_runs,
+        "traced": traced_runs,
+        "summary": {
+            "baseline_p50_ms": baseline,
+            "traced_p50_ms": traced,
+            "p50_overhead_fraction": overhead,
+            "overhead_budget": OVERHEAD_BUDGET,
+            "within_budget": overhead <= OVERHEAD_BUDGET,
+        },
+    })
+
+    assert overhead <= OVERHEAD_BUDGET, (
+        f"traced p50 {traced:.2f}ms vs baseline {baseline:.2f}ms: "
+        f"{overhead:+.1%} exceeds the {OVERHEAD_BUDGET:.0%} budget"
+    )

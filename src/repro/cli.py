@@ -24,8 +24,13 @@ query language (see :mod:`repro.query.parser`):
   tracing: writes a Chrome trace-event file (open in Perfetto or
   ``chrome://tracing``), a run manifest (including the cost-model
   calibration report), and optionally the raw span events as JSONL;
+  ``repro trace --spans SPANS.jsonl --query TRACE_ID`` instead views
+  per-query span trees recorded by ``serve --trace-spans`` (or a
+  flight-recorder bundle), rendering one query's causal tree as ASCII
+  or exporting it as Chrome trace JSON with ``--chrome``;
 * ``repro stats MANIFEST.json`` -- summarize a previously written run
-  manifest (schemas v1-v4, including batch/cache/worker sections);
+  manifest (schemas v1-v7, including batch/cache/worker/serving/
+  tracing/slo sections);
   ``repro stats --watch TELEMETRY.jsonl`` instead tails a live
   telemetry log and re-renders the dashboard until the final frame;
 * ``repro diff A.json B.json`` -- compare two run manifests field by
@@ -160,12 +165,19 @@ def _configure_logging(args) -> None:
 
 
 def _add_common_arguments(
-    parser: argparse.ArgumentParser, multi: bool = False
+    parser: argparse.ArgumentParser,
+    multi: bool = False,
+    optional_query: bool = False,
 ) -> None:
     _add_logging_arguments(parser)
     if multi:
         parser.add_argument(
             "query", nargs="+", help="workflow script file(s) (.cq)"
+        )
+    elif optional_query:
+        parser.add_argument(
+            "query", nargs="?",
+            help="workflow script file (.cq); omit with --spans",
         )
     else:
         parser.add_argument("query", help="workflow script file (.cq)")
@@ -782,6 +794,54 @@ def _cmd_serve(args) -> int:
     )
     cluster_config = ClusterConfig(machines=args.machines)
     telemetry, telemetry_writer = _make_telemetry(args)
+
+    # The trace plane: per-query span trees (JSONL sink), the flight
+    # recorder, and per-tenant SLO burn tracking.
+    query_tracer = None
+    flight = None
+    span_handle = None
+    if args.trace_spans or args.flight_dir:
+        from repro.obs.flight import FlightRecorder
+        from repro.obs.tracectx import QueryTracer
+
+        flight = FlightRecorder(directory=args.flight_dir or None)
+        sink = None
+        if args.trace_spans:
+            try:
+                span_handle = open(
+                    args.trace_spans, "w", encoding="utf-8"
+                )
+            except OSError as exc:
+                raise SystemExit(f"cannot write span file: {exc}")
+
+            def sink(span: dict, _handle=span_handle) -> None:
+                _handle.write(json.dumps(span) + "\n")
+                _handle.flush()
+
+        query_tracer = QueryTracer(
+            sink=sink, flight=flight, process="daemon"
+        )
+    slo = None
+    if args.slo_ms is not None or args.slo:
+        from repro.obs.slo import SloPolicy, SloTracker
+
+        per_tenant = {}
+        for spec in args.slo or []:
+            tenant, _, objective = spec.partition("=")
+            try:
+                per_tenant[tenant] = SloPolicy(float(objective))
+            except ValueError:
+                raise SystemExit(
+                    f"bad --slo spec {spec!r}; expected TENANT=MS"
+                )
+        default = None
+        if args.slo_ms is not None:
+            try:
+                default = SloPolicy(args.slo_ms)
+            except ValueError as exc:
+                raise SystemExit(f"bad --slo-ms: {exc}")
+        slo = SloTracker(default=default, per_tenant=per_tenant)
+
     service = QueryService(
         catalog,
         records,
@@ -791,13 +851,20 @@ def _cmd_serve(args) -> int:
         limits=limits,
         quotas=quotas,
         telemetry=telemetry,
+        tracer=query_tracer,
+        slo=slo,
+        flight=flight,
     )
-    responses, report = serve_arrivals(
-        service,
-        arrivals,
-        speed=args.speed,
-        install_signals=True,
-    )
+    try:
+        responses, report = serve_arrivals(
+            service,
+            arrivals,
+            speed=args.speed,
+            install_signals=True,
+        )
+    finally:
+        if span_handle is not None:
+            span_handle.close()
     _finish_telemetry(args, telemetry, telemetry_writer)
 
     print(report.summary())
@@ -818,6 +885,28 @@ def _cmd_serve(args) -> int:
             f"p95 {latency['p95']:.1f}ms, p99 {latency['p99']:.1f}ms, "
             f"max {latency['max']:.1f}ms"
         )
+    ledgers = service.ledgers.to_dict()
+    if ledgers.get("total"):
+        print(
+            f"ledger: {ledgers['total']} queries attributed, "
+            f"{ledgers['complete']} within tolerance"
+        )
+    if slo is not None:
+        for tenant, section in sorted(
+            slo.snapshot()["tenants"].items()
+        ):
+            print(
+                f"slo {tenant}: {section['good']} good / "
+                f"{section['bad']} bad, "
+                f"burn {section['burn_rate']:.2f}x"
+            )
+    if args.trace_spans:
+        print(f"wrote per-query spans to {args.trace_spans}")
+    if flight is not None and flight.dump_paths:
+        print(
+            f"flight recorder dumped {len(flight.dump_paths)} "
+            f"bundle(s): {', '.join(flight.dump_paths)}"
+        )
     if cache is not None and args.cache_spill and cache.directory is None:
         spilled = cache.spill_to(args.cache_spill)
         print(f"spilled {spilled} cache entries to {args.cache_spill}")
@@ -831,6 +920,8 @@ def _cmd_serve(args) -> int:
                 if telemetry is not None
                 else None
             ),
+            tracing=ledgers,
+            slo=slo.snapshot() if slo is not None else None,
         )
         try:
             manifest.write(args.manifest)
@@ -851,7 +942,66 @@ def _default_manifest_path(out: str) -> str:
     return out + ".manifest.json"
 
 
+def _cmd_trace_view(args) -> int:
+    """View mode: read spans from disk instead of running a query."""
+    from repro.obs.traceview import (
+        collect_trace,
+        find_orphans,
+        iter_spans,
+        list_traces,
+        render_trace,
+        write_trace_chrome,
+    )
+
+    try:
+        spans = list(iter_spans(args.spans, tail=args.tail))
+    except OSError as exc:
+        raise SystemExit(f"cannot read span file: {exc}")
+    except (ValueError, KeyError, TypeError) as exc:
+        raise SystemExit(f"{args.spans}: not a span file ({exc})")
+    if not spans:
+        print("(no spans)")
+        return 0
+    if args.query_id is None:
+        traces = list_traces(spans)
+        orphans = find_orphans(spans)
+        line = f"{len(spans)} spans across {len(traces)} traces"
+        if orphans:
+            line += f", {len(orphans)} orphaned"
+        print(line)
+        for trace_id, entry in sorted(traces.items()):
+            print(
+                f"  {trace_id:<20} {entry['spans']:>4} spans"
+                f"  root={entry['root'] or '?'}"
+            )
+        print(
+            f"render one with: repro trace --spans {args.spans} "
+            "--query <trace-id>"
+        )
+        return 0
+    print(render_trace(spans, args.query_id))
+    if args.chrome:
+        tree = collect_trace(spans, args.query_id)
+        if not tree:
+            raise SystemExit(f"no spans for trace {args.query_id}")
+        try:
+            n_events = write_trace_chrome(tree, args.chrome)
+        except OSError as exc:
+            raise SystemExit(f"cannot write chrome trace: {exc}")
+        print(
+            f"wrote {n_events} trace events to {args.chrome} "
+            "(open at https://ui.perfetto.dev or chrome://tracing)"
+        )
+    return 0
+
+
 def _cmd_trace(args) -> int:
+    if args.spans:
+        return _cmd_trace_view(args)
+    if not args.query:
+        raise SystemExit(
+            "a query file is required unless --spans is given"
+        )
     if args.machines < 1:
         raise SystemExit("--machines must be at least 1")
     if args.records < 0:
@@ -1294,16 +1444,57 @@ def build_parser() -> argparse.ArgumentParser:
     _add_kernels_argument(serve)
     serve.add_argument(
         "--manifest", metavar="FILE",
-        help="write the drain manifest (serving section, schema v5)",
+        help="write the drain manifest (serving + tracing + slo "
+             "sections, schema v7)",
+    )
+    serve.add_argument(
+        "--trace-spans", metavar="FILE",
+        help="write every query's trace spans as JSONL to FILE "
+             "(view them with 'repro trace --spans FILE')",
+    )
+    serve.add_argument(
+        "--flight-dir", metavar="DIR",
+        help="enable the flight recorder: dump span bundles here on "
+             "error, shed storm, deadline miss, or SIGUSR2",
+    )
+    serve.add_argument(
+        "--slo-ms", type=float, default=None, metavar="MS",
+        help="default per-tenant latency objective (p99-style target "
+             "0.99); enables SLO burn tracking",
+    )
+    serve.add_argument(
+        "--slo", action="append", metavar="TENANT=MS",
+        help="per-tenant latency objective override (repeatable)",
     )
     _add_telemetry_arguments(serve, profile=False)
     serve.set_defaults(handler=_cmd_serve)
 
     trace = sub.add_parser(
-        "trace", help="evaluate a query with tracing and export the trace"
+        "trace",
+        help="evaluate a query with tracing and export the trace; or, "
+             "with --spans, view per-query span trees from a serve run",
     )
-    _add_common_arguments(trace)
+    _add_common_arguments(trace, optional_query=True)
     _add_fault_arguments(trace)
+    trace.add_argument(
+        "--spans", metavar="FILE",
+        help="view mode: read spans (serve --trace-spans JSONL, or a "
+             "flight-recorder bundle) instead of running a query",
+    )
+    trace.add_argument(
+        "--query", dest="query_id", metavar="TRACE_ID",
+        help="with --spans: render this query's causal span tree",
+    )
+    trace.add_argument(
+        "--tail", type=int, default=None, metavar="N",
+        help="with --spans: only consider the last N spans "
+             "(bounded memory on huge span files)",
+    )
+    trace.add_argument(
+        "--chrome", metavar="FILE",
+        help="with --spans --query: also export the collected tree "
+             "as Chrome trace JSON",
+    )
     trace.add_argument(
         "--out", default="trace.json",
         help="Chrome trace-event output file (default: trace.json)",

@@ -34,7 +34,19 @@ makes those signals first-class and machine-readable:
   the ``repro top`` dashboard (:func:`render_frame` /
   :func:`render_replay`);
 * :class:`WallProfiler` -- a sampling wall-clock profiler emitting
-  collapsed stacks for flame graphs (``run --profile``).
+  collapsed stacks for flame graphs (``run --profile``);
+* :class:`QueryTracer` / :class:`TraceContext` -- per-query trace
+  trees with explicit cross-process parenting (one causally-linked
+  tree per query, share groups joined via span links), rendered by
+  ``repro trace --query`` (:func:`render_trace`);
+* :class:`QueryLedger` / :class:`LedgerBook` -- the latency
+  attribution ledger: every completed query's wall time tiled into
+  phases that sum to its end-to-end latency;
+* :class:`SloPolicy` / :class:`SloTracker` -- per-tenant latency
+  objectives with windowed error-budget burn rates;
+* :class:`FlightRecorder` -- a bounded ring of recent spans/events
+  dumped as a self-contained bundle on error, shed storm, deadline
+  miss, or ``SIGUSR2``.
 
 See ``docs/observability.md`` for a walkthrough.
 """
@@ -65,6 +77,8 @@ from repro.obs.exposition import (
     prometheus_text,
     read_telemetry_frames,
 )
+from repro.obs.flight import FlightRecorder
+from repro.obs.ledger import PHASES, LedgerBook, QueryLedger
 from repro.obs.logconfig import configure_logging
 from repro.obs.manifest import (
     RunManifest,
@@ -74,6 +88,7 @@ from repro.obs.manifest import (
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.sampler import WallProfiler
+from repro.obs.slo import SloPolicy, SloTracker
 from repro.obs.telemetry import (
     NULL_TELEMETRY,
     NullTelemetry,
@@ -86,7 +101,24 @@ from repro.obs.telemetry import (
     sample_resources,
 )
 from repro.obs.top import render_frame, render_replay
+from repro.obs.tracectx import (
+    NULL_QUERY_TRACER,
+    NullQueryTracer,
+    QueryTracer,
+    SpanCollector,
+    TraceContext,
+    TraceSpan,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, SpanEvent, Tracer
+from repro.obs.traceview import (
+    collect_trace,
+    find_orphans,
+    iter_spans,
+    list_traces,
+    render_trace,
+    trace_chrome_events,
+    write_trace_chrome,
+)
 
 __all__ = [
     "CalibrationReport",
@@ -95,34 +127,50 @@ __all__ = [
     "ComponentExplanation",
     "Counter",
     "FieldDelta",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "LedgerBook",
     "MetricsRegistry",
+    "NULL_QUERY_TRACER",
     "NULL_TELEMETRY",
     "NULL_TRACER",
+    "NullQueryTracer",
     "NullTelemetry",
     "NullTracer",
+    "PHASES",
     "QueryExplanation",
+    "QueryLedger",
+    "QueryTracer",
     "RateMeter",
     "ResourceSample",
     "RunDiff",
     "RunManifest",
+    "SloPolicy",
+    "SloTracker",
     "Span",
+    "SpanCollector",
     "SpanEvent",
     "StreamingHistogram",
     "TelemetryLogWriter",
     "TelemetryRegistry",
+    "TraceContext",
+    "TraceSpan",
     "Tracer",
     "WallProfiler",
     "WindowedGauge",
     "WorkerDelta",
     "chrome_trace_events",
+    "collect_trace",
     "configure_logging",
     "counters_from_dict",
     "counters_to_dict",
     "diff_manifests",
     "environment_info",
     "explain_plan",
+    "find_orphans",
+    "iter_spans",
+    "list_traces",
     "load_histogram",
     "progress_sink",
     "prometheus_text",
@@ -132,7 +180,10 @@ __all__ = [
     "render_frame",
     "render_replay",
     "render_text",
+    "render_trace",
     "sample_resources",
+    "trace_chrome_events",
     "write_chrome_trace",
     "write_jsonl",
+    "write_trace_chrome",
 ]

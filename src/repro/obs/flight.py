@@ -1,0 +1,141 @@
+"""The flight recorder: a bounded ring of recent spans and events.
+
+Always-on tracing of a busy daemon cannot keep everything; the flight
+recorder keeps the *recent past* (a bounded deque of span/event dicts)
+and dumps it as a self-contained JSON bundle when something goes wrong:
+an execution error, a shed storm, a deadline miss, or an operator
+sending ``SIGUSR2``.  Worker processes keep their own ring (a bounded
+buffer inside ``_WORKER``) shipped over the telemetry channel, so the
+daemon-side ring sees cross-process spans too.
+
+Bundles are rate-limited per reason (one per
+:data:`DUMP_COOLDOWN_SECONDS`) and capped per run so a misbehaving
+workload cannot fill the disk.  ``repro trace --spans <bundle>`` reads
+dumps directly -- they are self-contained: reason, timestamp, context,
+and every ringed span.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+from collections import deque
+from typing import Callable, Optional
+
+__all__ = ["DUMP_COOLDOWN_SECONDS", "FlightRecorder"]
+
+#: Minimum seconds between two dumps for the same reason.
+DUMP_COOLDOWN_SECONDS = 5.0
+
+
+class FlightRecorder:
+    """Bounded in-memory ring of spans/events with triggered dumps.
+
+    Args:
+        capacity: Ring size (oldest entries evicted first).
+        directory: Where bundles are written; ``None`` keeps dumps
+            in-memory only (``self.dumps``), which tests use.
+        max_dumps: Hard cap on bundles written per run.
+        cooldown_seconds: Per-reason minimum interval between dumps.
+        clock: Wall-clock source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 2048,
+        directory: Optional[str] = None,
+        max_dumps: int = 16,
+        cooldown_seconds: float = DUMP_COOLDOWN_SECONDS,
+        clock: Callable[[], float] = time.time,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.directory = directory
+        self.max_dumps = max_dumps
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=capacity)
+        self._last_dump: dict[str, float] = {}
+        self._dump_serial = 0
+        self.dumps: list[dict] = []
+        self.dump_paths: list[str] = []
+        self.suppressed = 0
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, span: dict) -> None:
+        """Push one finished span dict onto the ring."""
+        with self._lock:
+            self._ring.append(span)
+
+    def note(self, kind: str, **details) -> None:
+        """Push an instantaneous event (shed decision, breaker trip)."""
+        entry = {"event": kind, "ts": self._clock()}
+        if details:
+            entry.update(details)
+        with self._lock:
+            self._ring.append(entry)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    # -- dumping ---------------------------------------------------------------
+
+    def dump(self, reason: str, **context) -> Optional[str]:
+        """Write the ring as a bundle; returns the path (or ``None``
+        when in-memory only, rate-limited, or over the dump cap)."""
+        now = self._clock()
+        with self._lock:
+            last = self._last_dump.get(reason)
+            if (last is not None and
+                    now - last < self.cooldown_seconds) or (
+                    self._dump_serial >= self.max_dumps):
+                self.suppressed += 1
+                return None
+            self._last_dump[reason] = now
+            self._dump_serial += 1
+            serial = self._dump_serial
+            entries = list(self._ring)
+        bundle = {
+            "kind": "flight-recorder",
+            "reason": reason,
+            "ts": now,
+            "serial": serial,
+            "pid": os.getpid(),
+            "context": context,
+            "spans": entries,
+        }
+        self.dumps.append(bundle)
+        if self.directory is None:
+            return None
+        os.makedirs(self.directory, exist_ok=True)
+        path = os.path.join(
+            self.directory, f"flight-{serial:03d}-{reason}.json"
+        )
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(bundle, handle)
+            handle.write("\n")
+        self.dump_paths.append(path)
+        return path
+
+    # -- signals ---------------------------------------------------------------
+
+    def install_sigusr2(self) -> bool:
+        """Dump on ``SIGUSR2`` (main thread only; returns success)."""
+        if threading.current_thread() is not threading.main_thread():
+            return False
+
+        def _handler(signum, frame):
+            self.dump("sigusr2")
+
+        try:
+            signal.signal(signal.SIGUSR2, _handler)
+        except (ValueError, AttributeError, OSError):
+            return False
+        return True

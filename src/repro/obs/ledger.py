@@ -1,0 +1,228 @@
+"""The latency attribution ledger: where did each query's time go?
+
+Every query served by the daemon gets a :class:`QueryLedger` opened at
+submission and closed at completion; between the two, the serving path
+attributes wall time to named :data:`PHASES` (queue wait, admission
+hold, cache lookup, planning, map, shuffle, reduce, retry overhead,
+result split).  Closing computes the *unattributed residual* -- the
+end-to-end latency minus everything attributed -- and the invariant the
+test suite and ``tools/serve_smoke.py --check-traces`` enforce is that
+this residual stays below a small tolerance: the phases must tile the
+query's latency, not sample it.
+
+:class:`LedgerBook` aggregates closed ledgers per tenant for
+``repro stats`` / ``repro top`` and the run manifest (schema v6+).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["PHASES", "LedgerBook", "QueryLedger"]
+
+#: Attribution phases, in pipeline order.  ``retry_overhead`` is backoff
+#: and re-dispatch delay added by fault recovery; everything else is a
+#: stage every query passes through (possibly with zero width).
+PHASES = (
+    "queue_wait",
+    "admission_hold",
+    "cache_lookup",
+    "planning",
+    "map",
+    "shuffle",
+    "reduce",
+    "retry_overhead",
+    "result_split",
+)
+
+
+@dataclass
+class QueryLedger:
+    """Wall-time attribution for one query, phases in milliseconds."""
+
+    query: str
+    trace_id: str
+    tenant: str = ""
+    started_at: float = 0.0
+    phases: Dict[str, float] = field(
+        default_factory=lambda: {phase: 0.0 for phase in PHASES}
+    )
+    status: str = ""
+    total_ms: float = 0.0
+    residual_ms: float = 0.0
+    closed: bool = False
+    #: Wall-clock watermark (same clock as ``started_at``) up to which
+    #: this query's residence has already been attributed.  A query
+    #: whose connected components ride different share groups can have
+    #: several of them queued or executing *concurrently*; clipping
+    #: interval attributions against the watermark keeps one wall
+    #: second from being attributed twice.
+    window_until: float = 0.0
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Attribute *seconds* of wall time to *phase*."""
+        if phase not in self.phases:
+            raise KeyError(f"unknown ledger phase: {phase!r}")
+        if seconds > 0:
+            self.phases[phase] += seconds * 1000.0
+
+    def add_window(self, phase: str, start: float, end: float) -> None:
+        """Attribute the wall interval [*start*, *end*) to *phase*,
+        clipped against what earlier intervals already covered."""
+        start = max(start, self.window_until)
+        if end <= start:
+            return
+        self.add(phase, end - start)
+        self.window_until = end
+
+    def add_phases(
+        self, widths: Dict[str, float], start: float, end: float
+    ) -> None:
+        """Attribute the interval [*start*, *end*) split per *widths*.
+
+        *widths* (phase -> seconds) gives the breakdown's *shape*; the
+        interval gives the total.  Scaling the widths to tile exactly
+        the uncovered part of the interval both clips what a concurrent
+        component already attributed and absorbs the small scheduling
+        gap between the interval endpoints (daemon clock) and the sum
+        of the widths (measured inside the execution thread) -- the
+        ledger must tile wall time, not sample it.
+        """
+        if end <= start:
+            return
+        clipped = max(start, self.window_until)
+        if end <= clipped:
+            return
+        total = sum(seconds for seconds in widths.values() if seconds > 0)
+        if total <= 0:
+            return
+        scale = (end - clipped) / total
+        for phase, seconds in widths.items():
+            self.add(phase, seconds * scale)
+        self.window_until = end
+
+    def attributed_ms(self) -> float:
+        return sum(self.phases.values())
+
+    def close(self, ended_at: float, status: str) -> "QueryLedger":
+        """Close at *ended_at* (same clock as ``started_at``)."""
+        self.status = status
+        self.total_ms = max(0.0, (ended_at - self.started_at) * 1000.0)
+        self.residual_ms = self.total_ms - self.attributed_ms()
+        self.closed = True
+        return self
+
+    def complete(self, tolerance: float = 0.05,
+                 floor_ms: float = 1.0) -> bool:
+        """True when phases tile the latency within tolerance.
+
+        The bound is ``max(tolerance * total, floor_ms)``: a relative
+        budget for long queries, an absolute floor so microsecond
+        scheduling jitter cannot fail sub-millisecond ones.
+        """
+        if not self.closed:
+            return False
+        return abs(self.residual_ms) <= max(
+            tolerance * self.total_ms, floor_ms
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "query": self.query,
+            "trace_id": self.trace_id,
+            "tenant": self.tenant,
+            "status": self.status,
+            "total_ms": self.total_ms,
+            "residual_ms": self.residual_ms,
+            "phases": {
+                phase: value
+                for phase, value in self.phases.items()
+                if value
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueryLedger":
+        ledger = cls(
+            query=data.get("query", ""),
+            trace_id=data.get("trace_id", ""),
+            tenant=data.get("tenant", ""),
+        )
+        for phase, value in data.get("phases", {}).items():
+            if phase in ledger.phases:
+                ledger.phases[phase] = float(value)
+        ledger.status = data.get("status", "")
+        ledger.total_ms = float(data.get("total_ms", 0.0))
+        ledger.residual_ms = float(data.get("residual_ms", 0.0))
+        ledger.closed = True
+        return ledger
+
+
+class LedgerBook:
+    """All ledgers of a run, with per-tenant aggregation."""
+
+    def __init__(self):
+        self.ledgers: Dict[str, QueryLedger] = {}
+
+    def open(self, trace_id: str, query: str, tenant: str,
+             started_at: float) -> QueryLedger:
+        ledger = QueryLedger(
+            query=query,
+            trace_id=trace_id,
+            tenant=tenant,
+            started_at=started_at,
+            window_until=started_at,
+        )
+        self.ledgers[trace_id] = ledger
+        return ledger
+
+    def get(self, trace_id: str) -> Optional[QueryLedger]:
+        return self.ledgers.get(trace_id)
+
+    def closed(self) -> list[QueryLedger]:
+        return [lg for lg in self.ledgers.values() if lg.closed]
+
+    def tenant_breakdown(self) -> dict:
+        """Mean per-phase milliseconds per tenant, over closed ledgers."""
+        sums: Dict[str, dict] = {}
+        for ledger in self.closed():
+            entry = sums.setdefault(
+                ledger.tenant or "-",
+                {"queries": 0, "total_ms": 0.0, "residual_ms": 0.0,
+                 "phases": {phase: 0.0 for phase in PHASES}},
+            )
+            entry["queries"] += 1
+            entry["total_ms"] += ledger.total_ms
+            entry["residual_ms"] += ledger.residual_ms
+            for phase, value in ledger.phases.items():
+                entry["phases"][phase] += value
+        breakdown = {}
+        for tenant, entry in sums.items():
+            count = entry["queries"]
+            breakdown[tenant] = {
+                "queries": count,
+                "mean_total_ms": entry["total_ms"] / count,
+                "mean_residual_ms": entry["residual_ms"] / count,
+                "mean_phase_ms": {
+                    phase: value / count
+                    for phase, value in entry["phases"].items()
+                    if value
+                },
+            }
+        return breakdown
+
+    def to_dict(self) -> dict:
+        """The manifest ``tracing`` section (schema v6)."""
+        closed = self.closed()
+        return {
+            "phases": list(PHASES),
+            "queries": {
+                trace_id: ledger.to_dict()
+                for trace_id, ledger in self.ledgers.items()
+                if ledger.closed
+            },
+            "complete": sum(1 for lg in closed if lg.complete()),
+            "total": len(closed),
+            "tenants": self.tenant_breakdown(),
+        }

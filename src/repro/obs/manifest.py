@@ -48,9 +48,13 @@ __all__ = [
 #: ``serving`` section (the ``repro serve`` daemon's post-mortem:
 #: arrivals, sheds by reason, deadline misses, admission-window and
 #: breaker activity, latency percentiles) plus the batch section's
-#: ``resumed_components`` count.  Older manifests still load, with the
-#: newer sections empty.
-SCHEMA_VERSION = 5
+#: ``resumed_components`` count; v6 added the ``tracing`` section (the
+#: latency-attribution ledger book: per-query phase breakdowns that sum
+#: to end-to-end latency, per-tenant means, completeness counts); v7
+#: added the ``slo`` section (per-tenant latency objectives with
+#: lifetime good/bad counts and windowed burn rates).  Older manifests
+#: still load, with the newer sections empty.
+SCHEMA_VERSION = 7
 
 
 def counters_to_dict(counters: JobCounters) -> dict:
@@ -156,6 +160,20 @@ class RunManifest:
     #: :meth:`repro.obs.telemetry.TelemetryRegistry.snapshot` of the
     #: run's last state.  Empty when telemetry was off.
     telemetry: dict = field(default_factory=dict)
+    #: Latency-attribution ledger book (schema v6):
+    #: :meth:`repro.obs.ledger.LedgerBook.to_dict` -- per-query phase
+    #: breakdowns (queue wait, admission hold, cache lookup, planning,
+    #: map, shuffle, reduce, retry overhead, result split) that tile
+    #: end-to-end latency, plus per-tenant means and the count of
+    #: ledgers whose residual stayed within tolerance.  Empty for
+    #: non-serving runs and manifests written before v6.
+    tracing: dict = field(default_factory=dict)
+    #: SLO section (schema v7):
+    #: :meth:`repro.obs.slo.SloTracker.snapshot` -- per-tenant latency
+    #: objectives with lifetime good/bad counts and the windowed
+    #: error-budget burn rate.  Empty when no objective was set and for
+    #: manifests written before v7.
+    slo: dict = field(default_factory=dict)
     created_at: str = field(
         default_factory=lambda: time.strftime("%Y-%m-%dT%H:%M:%S%z")
     )
@@ -311,13 +329,17 @@ class RunManifest:
         cluster_config=None,
         execution_config=None,
         telemetry=None,
+        tracing=None,
+        slo=None,
     ) -> "RunManifest":
         """Build a manifest from a serving daemon's drain report.
 
         *report* is a :class:`~repro.serving.daemon.ServeReport` (or
         its ``to_dict`` form).  A serving manifest has no single job,
         so the per-job fields are zero; the story lives in the
-        ``serving`` section.
+        ``serving`` section.  *tracing* is the daemon's ledger book
+        (:meth:`repro.obs.ledger.LedgerBook.to_dict`) and *slo* the
+        tracker snapshot (:meth:`repro.obs.slo.SloTracker.snapshot`).
         """
         serving = report if isinstance(report, dict) else report.to_dict()
         config: dict = {}
@@ -343,6 +365,8 @@ class RunManifest:
             config=config,
             serving=serving,
             telemetry=dict(telemetry or {}),
+            tracing=dict(tracing or {}),
+            slo=dict(slo or {}),
         )
 
     # -- round-trips ------------------------------------------------------------
@@ -518,6 +542,41 @@ class RunManifest:
                 lines.append(
                     f"  breaker: {serving.get('breaker_trips', 0)} trips, "
                     f"{serving.get('fallbacks', 0)} centralized fallbacks"
+                )
+        if self.tracing:
+            total = self.tracing.get("total", 0)
+            complete = self.tracing.get("complete", 0)
+            lines.append(
+                f"ledger: {total} queries attributed, "
+                f"{complete} within tolerance"
+            )
+            for tenant, section in sorted(
+                self.tracing.get("tenants", {}).items()
+            ):
+                phases = section.get("mean_phase_ms", {})
+                top = sorted(
+                    phases.items(), key=lambda kv: -kv[1]
+                )[:3]
+                detail = ", ".join(
+                    f"{name} {value:.1f}ms" for name, value in top
+                )
+                lines.append(
+                    f"  {tenant}: {section.get('queries', 0)} queries, "
+                    f"mean {section.get('mean_total_ms', 0.0):.1f}ms "
+                    f"(residual {section.get('mean_residual_ms', 0.0):.1f}ms)"
+                    + (f" -- {detail}" if detail else "")
+                )
+        if self.slo:
+            for tenant, section in sorted(
+                self.slo.get("tenants", {}).items()
+            ):
+                lines.append(
+                    f"slo {tenant}: "
+                    f"{section.get('objective_ms', 0.0):.0f}ms @ "
+                    f"{section.get('target', 0.0):.2%}, "
+                    f"{section.get('good', 0)} good / "
+                    f"{section.get('bad', 0)} bad, "
+                    f"burn {section.get('burn_rate', 0.0):.2f}x"
                 )
         if self.workers:
             lines.append(f"workers: {len(self.workers)} processes")

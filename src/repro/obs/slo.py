@@ -1,0 +1,141 @@
+"""Per-tenant latency SLOs with rolling burn-rate tracking.
+
+An :class:`SloPolicy` states the objective: *target* fraction of a
+tenant's queries must complete (successfully) within *objective_ms*.
+The :class:`SloTracker` classifies every finished query as good or bad
+-- shed, errored, and deadline-missed queries are bad by definition --
+and maintains both lifetime counts and a sliding window, from which it
+derives the **burn rate**: the rate the error budget is being consumed,
+
+    burn = bad_fraction_in_window / (1 - target)
+
+so 1.0 means "burning exactly the budget" and anything sustained above
+1.0 means the SLO will be violated.  ``repro top`` renders one line per
+tenant; the run manifest persists the snapshot (schema v7).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional
+
+__all__ = ["SloPolicy", "SloTracker"]
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """A latency objective: *target* of queries within *objective_ms*."""
+
+    objective_ms: float
+    target: float = 0.99
+
+    def __post_init__(self):
+        if self.objective_ms <= 0:
+            raise ValueError("objective_ms must be positive")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError("target must be in (0, 1)")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: tolerable bad fraction."""
+        return 1.0 - self.target
+
+
+class _TenantState:
+    __slots__ = ("good", "bad", "window")
+
+    def __init__(self):
+        self.good = 0
+        self.bad = 0
+        self.window: deque = deque()  # (timestamp, is_good)
+
+
+class SloTracker:
+    """Rolling good/bad accounting against per-tenant policies.
+
+    Args:
+        default: Policy applied to tenants without an explicit entry
+            (``None`` means untracked unless listed in *per_tenant*).
+        per_tenant: Tenant-name -> policy overrides.
+        window_seconds: Sliding window for the burn rate.
+        clock: Monotonic clock source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        default: Optional[SloPolicy] = None,
+        per_tenant: Optional[Mapping[str, SloPolicy]] = None,
+        window_seconds: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.default = default
+        self.per_tenant = dict(per_tenant or {})
+        self.window_seconds = window_seconds
+        self._clock = clock
+        self._tenants: Dict[str, _TenantState] = {}
+
+    def policy_for(self, tenant: str) -> Optional[SloPolicy]:
+        return self.per_tenant.get(tenant, self.default)
+
+    def record(self, tenant: str, latency_ms: Optional[float],
+               failed: bool = False) -> Optional[bool]:
+        """Classify one finished query; returns good/bad, or ``None``
+        when the tenant has no policy.
+
+        *failed* marks sheds, errors, and deadline misses -- always
+        bad, regardless of latency (pass ``latency_ms=None`` then).
+        """
+        policy = self.policy_for(tenant)
+        if policy is None:
+            return None
+        good = (not failed and latency_ms is not None
+                and latency_ms <= policy.objective_ms)
+        state = self._tenants.setdefault(tenant, _TenantState())
+        if good:
+            state.good += 1
+        else:
+            state.bad += 1
+        now = self._clock()
+        state.window.append((now, good))
+        self._expire(state, now)
+        return good
+
+    def _expire(self, state: _TenantState, now: float) -> None:
+        horizon = now - self.window_seconds
+        while state.window and state.window[0][0] < horizon:
+            state.window.popleft()
+
+    def burn_rate(self, tenant: str) -> float:
+        """Error-budget burn over the window (0.0 when idle)."""
+        policy = self.policy_for(tenant)
+        state = self._tenants.get(tenant)
+        if policy is None or state is None:
+            return 0.0
+        self._expire(state, self._clock())
+        total = len(state.window)
+        if not total:
+            return 0.0
+        bad = sum(1 for _, good in state.window if not good)
+        return (bad / total) / policy.budget
+
+    def snapshot(self) -> dict:
+        """The manifest ``slo`` section (schema v7) / dashboard feed."""
+        tenants = {}
+        for tenant, state in sorted(self._tenants.items()):
+            policy = self.policy_for(tenant)
+            if policy is None:
+                continue
+            self._expire(state, self._clock())
+            window_bad = sum(1 for _, good in state.window if not good)
+            tenants[tenant] = {
+                "objective_ms": policy.objective_ms,
+                "target": policy.target,
+                "good": state.good,
+                "bad": state.bad,
+                "window_total": len(state.window),
+                "window_bad": window_bad,
+                "burn_rate": self.burn_rate(tenant),
+            }
+        return {"window_seconds": self.window_seconds, "tenants": tenants}

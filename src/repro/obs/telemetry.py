@@ -492,6 +492,10 @@ class WorkerDelta:
     #: Mergeable histogram states (:meth:`StreamingHistogram.to_dict`),
     #: cumulative like the counters.
     histograms: dict = field(default_factory=dict)
+    #: Recent trace spans as ``(span_seq, span_dict)`` pairs -- the
+    #: worker's flight ring, redelivered whole each flush and deduped
+    #: driver-side by :class:`repro.obs.tracectx.SpanCollector`.
+    spans: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {
@@ -500,6 +504,7 @@ class WorkerDelta:
             "counters": dict(self.counters),
             "resources": dict(self.resources),
             "histograms": dict(self.histograms),
+            "spans": [list(entry) for entry in self.spans],
         }
 
     @classmethod
@@ -510,6 +515,7 @@ class WorkerDelta:
             counters=dict(data.get("counters", {})),
             resources=dict(data.get("resources", {})),
             histograms=dict(data.get("histograms", {})),
+            spans=[tuple(entry) for entry in data.get("spans", [])],
         )
 
 

@@ -200,6 +200,85 @@ def _serving_lines(frame: dict) -> list[str]:
     return lines
 
 
+def _ledger_lines(frame: dict) -> list[str]:
+    """The attribution view: where completed queries' time went.
+
+    Histograms ``ledger.<phase>_ms`` give per-phase percentiles;
+    counters ``ledger.sum.<tenant>.<phase>`` / ``ledger.n.<tenant>``
+    give per-tenant mean breakdowns.
+    """
+    histograms = frame.get("histograms") or {}
+    counters = frame.get("counters") or {}
+    phase_hists = {
+        name[len("ledger."):-len("_ms")]: entry
+        for name, entry in histograms.items()
+        if name.startswith("ledger.") and name.endswith("_ms")
+        and entry.get("count")
+    }
+    tenant_counts = {
+        name[len("ledger.n."):]: value
+        for name, value in counters.items()
+        if name.startswith("ledger.n.")
+    }
+    if not phase_hists and not tenant_counts:
+        return []
+    lines = ["ledger:"]
+    for phase, entry in sorted(phase_hists.items()):
+        lines.append(
+            f"  {phase:<14} p50={entry['p50']:.1f}ms "
+            f"p95={entry['p95']:.1f}ms p99={entry['p99']:.1f}ms "
+            f"(n={entry['count']})"
+        )
+    for tenant, count in sorted(tenant_counts.items()):
+        if count <= 0:
+            continue
+        prefix = f"ledger.sum.{tenant}."
+        sums = {
+            name[len(prefix):]: value
+            for name, value in counters.items()
+            if name.startswith(prefix)
+        }
+        total = sums.pop("total", 0.0)
+        top = sorted(sums.items(), key=lambda kv: -kv[1])[:3]
+        detail = ", ".join(
+            f"{phase} {value / count:.1f}ms" for phase, value in top
+        )
+        lines.append(
+            f"  tenant {tenant}: {count:g} queries, "
+            f"mean {total / count:.1f}ms"
+            + (f" ({detail})" if detail else "")
+        )
+    return lines
+
+
+def _slo_lines(frame: dict) -> list[str]:
+    """Per-tenant SLO status: good/bad counts and the burn rate."""
+    counters = frame.get("counters") or {}
+    gauges = frame.get("gauges") or {}
+    tenants = sorted(
+        {
+            name[len("slo."):].rsplit(".", 1)[0]
+            for name in list(counters) + list(gauges)
+            if name.startswith("slo.")
+        }
+    )
+    if not tenants:
+        return []
+    lines = ["slo:"]
+    for tenant in tenants:
+        good = counters.get(f"slo.{tenant}.good", 0)
+        bad = counters.get(f"slo.{tenant}.bad", 0)
+        burn = float(
+            (gauges.get(f"slo.{tenant}.burn") or {}).get("last", 0.0)
+        )
+        alarm = "  BURNING" if burn > 1.0 else ""
+        lines.append(
+            f"  {tenant:<12} good {good:g}  bad {bad:g}  "
+            f"burn {burn:.2f}x{alarm}"
+        )
+    return lines
+
+
 def _transport_lines(frame: dict) -> list[str]:
     """The data-plane view: bytes on the wire and the transport rate."""
     gauges = frame.get("gauges") or {}
@@ -224,7 +303,7 @@ def _counter_lines(frame: dict) -> list[str]:
     counters = {
         name: value
         for name, value in (frame.get("counters") or {}).items()
-        if not name.startswith("cache.") and not name.startswith("serve.")
+        if not name.startswith(("cache.", "serve.", "ledger.", "slo."))
     }
     if not counters:
         return []
@@ -239,7 +318,8 @@ def _histogram_lines(frame: dict) -> list[str]:
     populated = {
         name: entry
         for name, entry in histograms.items()
-        if entry.get("count") and not name.startswith("serve.")
+        if entry.get("count")
+        and not name.startswith(("serve.", "ledger."))
     }
     if not populated:
         return []
@@ -264,6 +344,8 @@ def render_frame(frame: dict, title: str = "repro top") -> str:
     sections: list[list[str]] = [
         _progress_lines(frame),
         _serving_lines(frame),
+        _slo_lines(frame),
+        _ledger_lines(frame),
         _rate_lines(frame),
         _transport_lines(frame),
         _worker_lines(frame),

@@ -210,12 +210,23 @@ class Tracer:
         return span
 
     def _finish(self, span: Span) -> None:
-        # Exiting out of order (an inner span leaked past its parent's
-        # exit) would corrupt the tree; pop everything above the span.
-        while self._stack and self._stack[-1] is not span:
-            self._stack.pop()
-        if self._stack:
-            self._stack.pop()
+        # Exiting out of order must not corrupt the tree.  Two cases:
+        # the exiting span leaked inner spans (they sit above it on the
+        # stack) -- repair their depth so their eventual events still
+        # describe a consistent tree, then drop them; or the exiting
+        # span itself already leaked past an outer exit and is no
+        # longer on the stack at all, in which case the stack must stay
+        # untouched (blindly popping here would destroy unrelated
+        # spans opened since).
+        index = None
+        for position in range(len(self._stack) - 1, -1, -1):
+            if self._stack[position] is span:
+                index = position
+                break
+        if index is not None:
+            for offset, leaked in enumerate(self._stack[index + 1:]):
+                leaked.depth = span.depth + 1 + offset
+            del self._stack[index:]
         event = SpanEvent(
             name=span.name,
             span_id=span.span_id,

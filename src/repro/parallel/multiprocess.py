@@ -48,7 +48,7 @@ import multiprocessing
 import os
 import queue as queue_module
 import time
-from collections import defaultdict
+from collections import defaultdict, deque
 from concurrent.futures import (
     FIRST_COMPLETED,
     ProcessPoolExecutor,
@@ -81,6 +81,12 @@ from repro.local.vectorized import (
 )
 from repro.mapreduce.engine import stable_hash
 from repro.obs.telemetry import NULL_TELEMETRY, sample_resources
+from repro.obs.tracectx import (
+    SpanCollector,
+    TraceContext,
+    fork_context,
+    wire_span,
+)
 from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.optimizer import Optimizer, OptimizerConfig
 from repro.query.functions import Expression
@@ -189,6 +195,7 @@ def _init_worker(
     function_factories: Sequence[tuple],
     telemetry_queue=None,
     kernels_mode: str = "auto",
+    trace_ctx: Optional[dict] = None,
 ) -> None:
     """Rebuild the workflow, evaluators and filters inside a worker."""
     # The driver's kernels knob must cross the process boundary: a
@@ -237,6 +244,13 @@ def _init_worker(
     _WORKER["telemetry_queue"] = telemetry_queue
     _WORKER["telemetry_seq"] = 0
     _WORKER["telemetry_counters"] = {"tasks": 0, "rows": 0, "blocks": 0}
+    # Trace propagation: the driver's execution-span context, received
+    # on the wire.  Task-attempt spans parent under it and ride the
+    # telemetry channel inside a bounded ring (the worker-side flight
+    # recorder) as (seq, span) pairs, so redelivery dedups cleanly.
+    _WORKER["trace_ctx"] = trace_ctx
+    _WORKER["trace_spans"] = deque(maxlen=128)
+    _WORKER["trace_seq"] = 0
 
 
 def _flush_worker_telemetry() -> None:
@@ -259,10 +273,36 @@ def _flush_worker_telemetry() -> None:
         "counters": dict(_WORKER["telemetry_counters"]),
         "resources": sample_resources().to_dict(),
     }
+    ring = _WORKER.get("trace_spans")
+    if ring:
+        # The whole recent window every flush: at-least-once delivery,
+        # deduplicated driver-side by per-span sequence number.
+        delta["spans"] = list(ring)
     try:
         channel.put_nowait(delta)
     except Exception:
         pass
+
+
+def _record_task_span(task: int, attempt: int, started: float,
+                      **attributes) -> None:
+    """Ring one finished (or failed) task attempt as a context span."""
+    ctx = _WORKER.get("trace_ctx")
+    ring = _WORKER.get("trace_spans")
+    if ctx is None or ring is None:
+        return
+    _WORKER["trace_seq"] += 1
+    span = wire_span(
+        ctx,
+        "mp-task",
+        started,
+        time.time(),
+        process=f"w{os.getpid()}",
+        task=task,
+        attempt=attempt,
+        **attributes,
+    )
+    ring.append((_WORKER["trace_seq"], span))
 
 
 def _reduce_bucket(bucket) -> list:
@@ -367,14 +407,28 @@ def _run_task(
     plan: Optional[FaultPlan],
 ) -> tuple[int, list]:
     """One task attempt inside a worker: inject chaos, then evaluate."""
-    if plan is not None:
-        apply_chaos(plan, task, attempt)
-    rows = _reduce_bucket(bucket)
+    tracing = _WORKER.get("trace_ctx") is not None
+    started = time.time() if tracing else 0.0
+    try:
+        if plan is not None:
+            apply_chaos(plan, task, attempt)
+        rows = _reduce_bucket(bucket)
+    except BaseException as exc:
+        # A failed attempt still leaves a span behind -- best effort:
+        # the flush may not land before the process dies, but a chaos
+        # *exception* (as opposed to a kill) usually gets through.
+        if tracing:
+            _record_task_span(task, attempt, started, error=repr(exc))
+            _flush_worker_telemetry()
+        raise
+    if tracing:
+        _record_task_span(task, attempt, started, rows=len(rows))
     counters = _WORKER.get("telemetry_counters")
-    if counters is not None and _WORKER.get("telemetry_queue") is not None:
-        counters["tasks"] += 1
-        counters["rows"] += len(rows)
-        counters["blocks"] += _bucket_block_count(bucket)
+    if _WORKER.get("telemetry_queue") is not None:
+        if counters is not None:
+            counters["tasks"] += 1
+            counters["rows"] += len(rows)
+            counters["blocks"] += _bucket_block_count(bucket)
         _flush_worker_telemetry()
     return task, rows
 
@@ -405,7 +459,14 @@ class MultiprocessReport:
     speculative_launched: int = 0
     speculative_wins: int = 0
     degraded: bool = False
+    #: Wall seconds of retry backoff the driver sat out -- the latency
+    #: ledger's ``retry_overhead`` phase.
+    retry_wall_seconds: float = 0.0
     attempts_per_task: dict = field(default_factory=dict)
+    #: Context-tagged span dicts for this run (the driver's execution
+    #: span, retry events, and worker task attempts collected over the
+    #: telemetry channel); empty unless a trace context was passed.
+    trace_spans: list = field(default_factory=list)
     #: Per-worker telemetry sections (cumulative counters + final
     #: resource odometer), merged from the telemetry channel; empty
     #: when telemetry was off.  Shape matches
@@ -521,6 +582,9 @@ class MultiprocessEvaluator:
         self.telemetry = (
             telemetry if telemetry is not None else NULL_TELEMETRY
         )
+        #: Live span collector for the current traced run; the gather
+        #: loop's telemetry drain feeds it worker span deliveries.
+        self._span_collector: Optional[SpanCollector] = None
 
     def evaluate(
         self,
@@ -529,6 +593,7 @@ class MultiprocessEvaluator:
         num_partitions: Optional[int] = None,
         columnar: Optional[bool] = None,
         cancel: CancellationToken | None = None,
+        trace: Optional[TraceContext] = None,
     ) -> tuple[ResultSet, MultiprocessReport]:
         """Run the one-round plan over *records* with real processes.
 
@@ -544,6 +609,12 @@ class MultiprocessEvaluator:
         processes cannot be interrupted mid-task, so their results are
         simply ignored) and raises
         :class:`~repro.parallel.cancel.DeadlineExceededError`.
+
+        *trace* (a :class:`repro.obs.tracectx.TraceContext`) propagates
+        a query trace across the process boundary: the run records an
+        execution span under it, workers tag every task attempt with
+        the same trace id, and the collected spans come back on
+        :attr:`MultiprocessReport.trace_spans`.
         """
         if cancel is not None:
             cancel.check()
@@ -597,7 +668,7 @@ class MultiprocessEvaluator:
         try:
             return self._evaluate_scattered(
                 workflow, records, batch, plan, partitions, registry,
-                cancel,
+                cancel, trace,
             )
         finally:
             if registry is not None:
@@ -612,6 +683,7 @@ class MultiprocessEvaluator:
         partitions: int,
         registry: Optional[SegmentRegistry],
         cancel: CancellationToken | None,
+        trace: Optional[TraceContext] = None,
     ) -> tuple[ResultSet, MultiprocessReport]:
         """Scatter into buckets, gather resiliently, union the answer.
 
@@ -655,12 +727,21 @@ class MultiprocessEvaluator:
         ]
         # Telemetry channel: a managed queue is picklable into worker
         # initargs (a plain multiprocessing.Queue is not); the manager
-        # process only exists while telemetry is on.
+        # process only exists while telemetry or tracing is on (worker
+        # spans ride the same channel as counters).
         manager = None
         telemetry_queue = None
-        if self.telemetry.enabled:
+        if self.telemetry.enabled or trace is not None:
             manager = multiprocessing.Manager()
             telemetry_queue = manager.Queue()
+
+        exec_ctx = None
+        collector = None
+        if trace is not None:
+            exec_ctx = fork_context(trace)
+            collector = SpanCollector()
+            self._span_collector = collector
+        exec_start = time.time()
 
         init_args = (
             workflow_to_dict(workflow, expressions=self.expressions),
@@ -670,6 +751,7 @@ class MultiprocessEvaluator:
             self.function_factories,
             telemetry_queue,
             kernels.kernels_mode(),
+            exec_ctx.to_wire() if exec_ctx is not None else None,
         )
 
         # Gather: one task per non-empty bucket, with retries,
@@ -717,6 +799,7 @@ class MultiprocessEvaluator:
                     telemetry_queue=telemetry_queue,
                     cancel=cancel,
                     release=release_bucket,
+                    trace_ctx=exec_ctx,
                 )
                 self._drain_telemetry(telemetry_queue)
                 report.workers = self.telemetry.worker_totals()
@@ -738,6 +821,28 @@ class MultiprocessEvaluator:
                     self._record_metrics(report)
                     return result, report
         finally:
+            if exec_ctx is not None:
+                # The run's execution span closes AS the forked context
+                # (id = exec_ctx.span_id), so worker task spans -- its
+                # children -- attach whatever path returned above.
+                report.trace_spans.extend(collector.spans)
+                report.trace_spans.append({
+                    "name": "mp-evaluate",
+                    "trace_id": exec_ctx.trace_id,
+                    "span_id": exec_ctx.span_id,
+                    "parent_id": exec_ctx.parent_id,
+                    "wall_start": exec_start,
+                    "wall_end": time.time(),
+                    "process": f"pid{os.getpid()}",
+                    "links": [list(link) for link in exec_ctx.links],
+                    "attributes": {
+                        "tasks": len(work),
+                        "processes": self.processes,
+                        "retries": report.retries,
+                        "degraded": report.degraded,
+                    },
+                })
+                self._span_collector = None
             if manager is not None:
                 manager.shutdown()
 
@@ -823,6 +928,7 @@ class MultiprocessEvaluator:
         telemetry_queue=None,
         cancel: CancellationToken | None = None,
         release=None,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> Optional[list[list]]:
         """Run every bucket to completion; ``None`` means degrade.
 
@@ -871,12 +977,21 @@ class MultiprocessEvaluator:
                 state.failures, seed, salt=f"mp:{task}"
             )
             report.retries += 1
+            report.retry_wall_seconds += delay
             retry_at[task] = time.monotonic() + delay
             with self.tracer.span(
                 "mp-retry", task=task, failures=state.failures,
                 backoff=delay, error=why,
             ):
                 pass
+            if trace_ctx is not None:
+                now_wall = time.time()
+                report.trace_spans.append(wire_span(
+                    trace_ctx.to_wire(), "mp-retry", now_wall,
+                    now_wall + delay, process=f"pid{os.getpid()}",
+                    task=task, failures=state.failures,
+                    backoff=round(delay, 6), error=why,
+                ))
             logger.warning(
                 "task %d failed (%s); retry %d/%d in %.3fs",
                 task, why, state.failures, policy.max_attempts - 1, delay,
@@ -1043,6 +1158,14 @@ class MultiprocessEvaluator:
                 return
             except Exception:  # manager shutting down
                 return
+            collector = self._span_collector
+            if collector is not None and isinstance(delta, dict):
+                try:
+                    collector.merge(
+                        delta.get("worker", "?"), delta.get("spans", ())
+                    )
+                except (KeyError, TypeError, ValueError):
+                    logger.debug("dropping malformed span delivery")
             try:
                 self.telemetry.merge_worker(delta)
             except (KeyError, TypeError, ValueError):

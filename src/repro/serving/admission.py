@@ -57,6 +57,13 @@ class PendingGroup:
     misses: int = 0
     #: Sum of the members' solo predicted loads (the sharing baseline).
     solo_load: float = 0.0
+    #: Serial id unique within one controller (trace span attribute).
+    group_id: int = 0
+    #: Daemon clock when the group left the window for the ready
+    #: queue; the ledger's queue_wait phase starts here.
+    enqueued_at: Optional[float] = None
+    #: Same instant on the trace wall clock (queued-span start).
+    queued_wall: float = 0.0
 
     def expires_at(self, window: float) -> float:
         return self.opened_at + window
@@ -124,6 +131,7 @@ class AdmissionController:
         self.max_group_size = max(1, max_group_size)
         self.clock = clock
         self.stats = AdmissionStats()
+        self._group_serial = 0
         self._open: list[PendingGroup] = []
         #: Structural-shape -> (plan | None, error) memo for merges.
         self._merge_memo: dict[tuple, tuple[Optional[Plan], str]] = {}
@@ -240,6 +248,7 @@ class AdmissionController:
             return group
         for other in self._open:
             other.misses += 1
+        self._group_serial += 1
         opened = PendingGroup(
             units=[unit],
             workflow=unit.component,
@@ -247,6 +256,7 @@ class AdmissionController:
             opened_at=now,
             members=[member],
             solo_load=solo,
+            group_id=self._group_serial,
         )
         self._open.append(opened)
         self.stats.groups_opened += 1

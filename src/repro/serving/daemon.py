@@ -49,6 +49,7 @@ import asyncio
 import logging
 import signal
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Sequence
 
@@ -56,7 +57,10 @@ from repro.cube.records import Record
 from repro.local.measure_table import MeasureTable, ResultSet
 from repro.local.sortscan import BlockEvaluator, evaluate_centralized
 from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
+from repro.obs.ledger import LedgerBook
 from repro.obs.telemetry import NULL_TELEMETRY
+from repro.obs.tracectx import NULL_QUERY_TRACER, TraceContext
+from repro.obs.tracer import Tracer
 from repro.optimizer.optimizer import Optimizer, Plan, QueryPlan
 from repro.parallel.cancel import CancellationToken, DeadlineExceededError
 from repro.parallel.executor import ExecutionConfig, ParallelEvaluator
@@ -183,6 +187,9 @@ class QueryResponse:
     #: How components were served: subset of
     #: {"cache", "derive", "group", "fallback"}.
     served_by: list[str] = field(default_factory=list)
+    #: Trace id of this submission (``repro trace --query <id>``);
+    #: set for every arrival, shed ones included.
+    trace_id: str = ""
 
     @property
     def ok(self) -> bool:
@@ -278,6 +285,11 @@ class _Member:
     #: Original measure name -> cache key ("" fingerprint disables).
     keys: dict[str, str]
     unit: Optional[BatchUnit] = None
+    #: Daemon clock when the component entered the admission window
+    #: (the ledger's admission_hold phase starts here).
+    offered_at: Optional[float] = None
+    #: Same instant on the trace wall clock (admission-span start).
+    offer_wall: float = 0.0
 
 
 class _PendingRequest:
@@ -291,10 +303,15 @@ class _PendingRequest:
         deadline_at: Optional[float],
     ):
         self.request = request
-        #: Unique internal id; prefixes this request's merged measures.
+        #: Unique internal id; prefixes this request's merged measures
+        #: and doubles as the query's trace id.
         self.internal = f"q{serial}"
         self.submitted_at = submitted_at
         self.deadline_at = deadline_at
+        #: Root trace context (set by submit when tracing is wired).
+        self.ctx: Optional[TraceContext] = None
+        #: Trace wall clock at submission (root-span start).
+        self.trace_started = 0.0
         self.tables: dict[str, MeasureTable] = {}
         self.remaining = 0
         self.served_by: list[str] = []
@@ -387,14 +404,50 @@ class _Worker:
         workflow: Workflow,
         plan: Plan,
         cancel: Optional[CancellationToken],
-    ) -> ResultSet:
+    ) -> tuple[ResultSet, dict[str, float]]:
+        """Run one group; returns the result and the wall seconds of
+        each execution phase (planning/map/shuffle/reduce).
+
+        A fresh per-run :class:`~repro.obs.tracer.Tracer` marks the
+        map/reduce phase boundaries (the engine already emits those
+        spans); the boundaries tile the run's wall time exactly, so
+        the latency ledger attributes execution exhaustively.  Each
+        worker runs one group at a time, so swapping the evaluator's
+        tracer per run is race-free.
+        """
+        tracer = Tracer()
+        self.evaluator.tracer = tracer
+        run_start = time.perf_counter()
         outcome = self.evaluator.evaluate(
             workflow,
             self.input_file,
             plan=QueryPlan([(workflow, plan)]),
             cancel=cancel,
         )
-        return outcome.result
+        run_end = time.perf_counter()
+        return outcome.result, self._phase_walls(tracer, run_start, run_end)
+
+    @staticmethod
+    def _phase_walls(
+        tracer: Tracer, run_start: float, run_end: float
+    ) -> dict[str, float]:
+        maps = tracer.find("map")
+        reduces = tracer.find("reduce")
+        if not maps or not reduces:
+            # No phase spans (should not happen): charge it all to
+            # reduce rather than lose the time.
+            return {"reduce": max(0.0, run_end - run_start)}
+        map_start = min(span.wall_start for span in maps)
+        map_end = max(span.wall_end for span in maps)
+        reduce_start = max(
+            map_end, min(span.wall_start for span in reduces)
+        )
+        return {
+            "planning": max(0.0, map_start - run_start),
+            "map": max(0.0, map_end - map_start),
+            "shuffle": max(0.0, reduce_start - map_end),
+            "reduce": max(0.0, run_end - reduce_start),
+        }
 
 
 class QueryService:
@@ -417,6 +470,9 @@ class QueryService:
         quotas: TenantQuotas | None = None,
         breaker: BreakerConfig | None = None,
         telemetry=None,
+        tracer=None,
+        slo=None,
+        flight=None,
         clock: Callable[[], float] = time.monotonic,
     ):
         if not catalog:
@@ -442,6 +498,14 @@ class QueryService:
         )
         if cache is not None:
             cache.attach_telemetry(self.telemetry)
+        #: Per-query span recorder (opt-in); the ledger is always on.
+        self.tracer = tracer if tracer is not None else NULL_QUERY_TRACER
+        #: Per-tenant SLO burn tracking (None: untracked).
+        self.slo = slo
+        #: Flight recorder for triggered bundle dumps (None: off).
+        self.flight = flight
+        self.ledgers = LedgerBook()
+        self._shed_times: deque = deque(maxlen=64)
         self.clock = clock
         self.breaker = _CircuitBreaker(
             breaker or BreakerConfig(), clock
@@ -538,11 +602,16 @@ class QueryService:
         )
 
     def install_signal_handlers(self) -> None:
-        """SIGTERM/SIGINT trigger a graceful drain (CLI entry point)."""
+        """SIGTERM/SIGINT trigger a graceful drain (CLI entry point);
+        SIGUSR2 dumps the flight recorder when one is attached."""
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGTERM, signal.SIGINT):
             loop.add_signal_handler(
                 signum, lambda: asyncio.ensure_future(self.drain())
+            )
+        if self.flight is not None:
+            loop.add_signal_handler(
+                signal.SIGUSR2, lambda: self.flight.dump("sigusr2")
             )
 
     # -- submission -------------------------------------------------------
@@ -551,13 +620,15 @@ class QueryService:
         """Serve one query; never raises for overload/deadline/faults."""
         await self.start()
         now = self.clock()
+        self._serial += 1
+        serial = self._serial
         self._report.arrivals += 1
         self.telemetry.inc("serve.arrivals")
         self.telemetry.mark("serve.arrival_rate")
 
         shed = self._shed_reason(request)
         if shed is not None:
-            return self._overloaded(request, shed)
+            return self._overloaded(request, shed, trace_id=f"q{serial}")
 
         workflow = request.workflow
         deadline_at = (
@@ -565,12 +636,20 @@ class QueryService:
             if request.deadline_ms is None
             else now + request.deadline_ms / 1000.0
         )
-        self._serial += 1
-        pending = _PendingRequest(request, self._serial, now, deadline_at)
+        pending = _PendingRequest(request, serial, now, deadline_at)
+        pending.ctx = self.tracer.mint(pending.internal)
+        pending.trace_started = self.tracer.now()
+        ledger = self.ledgers.open(
+            pending.internal, request.name, request.tenant, now
+        )
+
+        components = self._components_of(request.name, workflow)
+        classify_start = self.clock()
+        ledger.add("planning", classify_start - now)
 
         fast: list[tuple[_Member, str]] = []
         execute: list[_Member] = []
-        for component, solo_plan in self._components_of(request.name, workflow):
+        for component, solo_plan in components:
             member = _Member(
                 pending,
                 component,
@@ -591,7 +670,13 @@ class QueryService:
 
         for member, disposition in fast:
             self._serve_fast(member, disposition)
+        offer_at = self.clock()
+        # Classification plus the cache fast path: lookups dominate.
+        ledger.add("cache_lookup", offer_at - classify_start)
+        offer_wall = self.tracer.now()
         for member in execute:
+            member.offered_at = offer_at
+            member.offer_wall = offer_wall
             self._idle.clear()
             self.admission.offer(member.unit, member, now=now)
         self.telemetry.set_gauge("serve.held", float(self.admission.held))
@@ -635,18 +720,68 @@ class QueryService:
         return None
 
     def _overloaded(
-        self, request: QueryRequest, overload: Overloaded
+        self,
+        request: QueryRequest,
+        overload: Overloaded,
+        trace_id: str = "",
     ) -> QueryResponse:
         self._report.shed[overload.reason] = (
             self._report.shed.get(overload.reason, 0) + 1
         )
         self.telemetry.inc("serve.shed")
         self.telemetry.inc(f"serve.shed.{overload.reason}")
+        self._slo_record(request.tenant, None, failed=True)
+        self._note_shed(request, overload.reason)
+        if self.tracer.enabled and trace_id:
+            # Shed queries still get a (one-span) trace carrying the
+            # decision, so "what happened to q-42" always has an answer.
+            ctx = self.tracer.mint(trace_id)
+            wall = self.tracer.now()
+            self.tracer.record(
+                ctx, "shed", wall, wall,
+                reason=overload.reason,
+                queue_depth=overload.queue_depth,
+                held=overload.held,
+            )
+            self.tracer.close(
+                ctx, request.name, wall, wall,
+                tenant=request.tenant, status=STATUS_OVERLOADED,
+            )
         return QueryResponse(
             name=request.name,
             tenant=request.tenant,
             status=STATUS_OVERLOADED,
             overload=overload,
+            trace_id=trace_id,
+        )
+
+    def _note_shed(self, request: QueryRequest, reason: str) -> None:
+        """Feed the flight recorder; a burst of sheds dumps a bundle."""
+        if self.flight is None:
+            return
+        self.flight.note(
+            "shed", query=request.name, tenant=request.tenant,
+            reason=reason,
+        )
+        now = self.clock()
+        self._shed_times.append(now)
+        recent = sum(1 for t in self._shed_times if now - t <= 1.0)
+        if recent >= 10:
+            self.flight.dump("shed_storm", sheds_last_second=recent)
+
+    def _slo_record(
+        self, tenant: str, latency_ms: Optional[float], failed: bool
+    ) -> None:
+        if self.slo is None:
+            return
+        good = self.slo.record(tenant, latency_ms, failed=failed)
+        if good is None:
+            return
+        self.telemetry.inc(
+            f"slo.{tenant}.good" if good else f"slo.{tenant}.bad"
+        )
+        self.telemetry.set_gauge(
+            f"slo.{tenant}.burn", self.slo.burn_rate(tenant)
         )
 
     # -- classification ---------------------------------------------------
@@ -747,6 +882,8 @@ class QueryService:
             member.component, pending.internal + QUERY_SEPARATOR
         )
         member.unit = BatchUnit(pending.internal, prefixed, solo)
+        member.offered_at = self.clock()
+        member.offer_wall = self.tracer.now()
         self._idle.clear()
         self.admission.offer(member.unit, member)
 
@@ -802,8 +939,24 @@ class QueryService:
                         held=self.admission.held,
                         retry_after_ms=self.limits.admission_window_ms,
                     ),
+                    stall_phase="admission_hold",
                 )
             return
+        group.enqueued_at = self.clock()
+        group.queued_wall = self.tracer.now()
+        for member in members:
+            ledger = self.ledgers.get(member.pending.internal)
+            if ledger is not None and member.offered_at is not None:
+                ledger.add_window(
+                    "admission_hold", member.offered_at, group.enqueued_at
+                )
+            if self.tracer.enabled and member.pending.ctx is not None:
+                self.tracer.record(
+                    member.pending.ctx, "admission",
+                    member.offer_wall or group.queued_wall,
+                    group.queued_wall,
+                    group=group.group_id, group_size=len(members),
+                )
         self._report.groups_dispatched += 1
         self._report.grouped_queries += len(members)
         self.telemetry.inc("serve.groups_dispatched")
@@ -870,28 +1023,62 @@ class QueryService:
         self, worker: _Worker, group: PendingGroup
     ) -> None:
         members = [m for m in group.members if m is not None]
+        entry = self.clock()
+        queued_end = self.tracer.now()
+        for member in members:
+            ledger = self.ledgers.get(member.pending.internal)
+            if ledger is not None and group.enqueued_at is not None:
+                ledger.add_window("queue_wait", group.enqueued_at, entry)
+            if self.tracer.enabled and member.pending.ctx is not None:
+                self.tracer.record(
+                    member.pending.ctx, "queued",
+                    group.queued_wall or queued_end, queued_end,
+                    group=group.group_id,
+                )
         token = self._group_token(members)
         if token is not None and token.expired:
             # Everyone's deadline passed while queued: don't run at all.
             for member in members:
-                self._fail_member(member, STATUS_DEADLINE)
+                self._fail_member(
+                    member, STATUS_DEADLINE, stall_phase="queue_wait"
+                )
             return
 
         group_names = sorted(
             {m.pending.request.name for m in members}
         )
+        # The group's single execution span: primary trace is the first
+        # member's, every other member's root span rides along as a
+        # link -- one execution subtree reachable from each query tree.
+        exec_ctx: Optional[TraceContext] = None
+        if self.tracer.enabled and members[0].pending.ctx is not None:
+            links = [
+                (m.pending.ctx.trace_id, m.pending.ctx.span_id)
+                for m in members[1:]
+                if m.pending.ctx is not None
+            ]
+            exec_ctx = self.tracer.fork(
+                members[0].pending.ctx, links=links
+            )
+        exec_wall = self.tracer.now()
         use_backend = self.breaker.allow()
         result: Optional[ResultSet] = None
+        phases: dict[str, float] = {}
         error = ""
         if use_backend:
             try:
-                result = await asyncio.to_thread(
+                result, phases = await asyncio.to_thread(
                     worker.run_group, group.workflow, group.plan, token
                 )
                 self.breaker.record_success()
             except DeadlineExceededError:
+                # The deadline cut the job somewhere inside the backend
+                # pipeline; without phase walls for the cancelled run,
+                # charge the truncated execution to its first phase.
                 for member in members:
-                    self._fail_member(member, STATUS_DEADLINE)
+                    self._fail_member(
+                        member, STATUS_DEADLINE, stall_phase="map"
+                    )
                 return
             except Exception as exc:  # noqa: BLE001 - breaker decides
                 error = f"{type(exc).__name__}: {exc}"
@@ -903,6 +1090,15 @@ class QueryService:
                 if self.breaker.trips > self._report.breaker_trips:
                     self._report.breaker_trips = self.breaker.trips
                 self.telemetry.inc("serve.backend_failures")
+                if exec_ctx is not None:
+                    self.tracer.event(
+                        exec_ctx, "backend-failure", error=error
+                    )
+                if self.flight is not None:
+                    self.flight.note(
+                        "backend_failure", error=error,
+                        queries=",".join(group_names),
+                    )
         self.telemetry.set_gauge(
             "serve.breaker_open",
             0.0 if self.breaker.state == "closed" else 1.0,
@@ -914,31 +1110,82 @@ class QueryService:
             # centralized oracle serves the same bit-identical answer.
             if token is not None and token.expired:
                 for member in members:
-                    self._fail_member(member, STATUS_DEADLINE)
+                    self._fail_member(
+                        member, STATUS_DEADLINE, stall_phase="map"
+                    )
                 return
             try:
+                fallback_start = time.perf_counter()
                 result = await asyncio.to_thread(
                     evaluate_centralized, group.workflow, self.records
                 )
+                # The oracle is one centralized fold with no
+                # map/shuffle split; charge it all to reduce.
+                phases = {
+                    "reduce": time.perf_counter() - fallback_start
+                }
             except Exception as exc:  # noqa: BLE001 - answer is lost
                 for member in members:
                     self._fail_member(
                         member, STATUS_ERROR,
                         error=error or f"{type(exc).__name__}: {exc}",
+                        stall_phase="map",
                     )
                 return
             self._report.fallbacks += len(members)
             self.telemetry.inc("serve.fallbacks")
 
+        exec_end = self.tracer.now()
+        if exec_ctx is not None:
+            # Phase children tile the execution interval sequentially
+            # (the durations come from the worker's phase tracer).
+            cursor = exec_wall
+            for phase in ("planning", "map", "shuffle", "reduce"):
+                width = phases.get(phase, 0.0)
+                if width > 0:
+                    self.tracer.record(
+                        exec_ctx, phase, cursor, cursor + width,
+                        process=f"slot{worker.index}",
+                    )
+                    cursor += width
+            if fallback:
+                self.tracer.event(
+                    exec_ctx, "fallback", queries=",".join(group_names)
+                )
+            self.tracer.close(
+                exec_ctx, "execute", exec_wall, exec_end,
+                process=f"slot{worker.index}",
+                queries=",".join(group_names),
+                group=group.group_id,
+                fallback=fallback,
+            )
+
         # Split merged "qN/measure" tables back per member request.
+        split_start = self.clock()
         by_internal: dict[str, dict[str, MeasureTable]] = {}
         for name, table in result.items():
             internal, _, original = name.partition(QUERY_SEPARATOR)
             by_internal.setdefault(internal, {})[original] = table
         for member in members:
+            self._store_member(
+                member, by_internal.get(member.pending.internal, {})
+            )
+        split_seconds = self.clock() - split_start
+        for member in members:
             pending = member.pending
+            ledger = self.ledgers.get(pending.internal)
+            if ledger is not None:
+                # Every member waited out the same shared execution
+                # wall time; each query's ledger carries all of it --
+                # clipped, so two of its components executing
+                # concurrently cannot attribute the same wall second
+                # twice.
+                ledger.add_phases(phases, entry, split_start)
+                ledger.add_window(
+                    "result_split", split_start,
+                    split_start + split_seconds,
+                )
             tables = by_internal.get(pending.internal, {})
-            self._store_member(member, tables)
             pending.served_by.append("fallback" if fallback else "group")
             if len(members) > 1:
                 pending.group_queries = group_names
@@ -957,30 +1204,99 @@ class QueryService:
 
     # -- completion -------------------------------------------------------
 
+    def _close_ledger(self, pending: _PendingRequest, status: str) -> None:
+        """Close the query's ledger and feed the phase telemetry."""
+        ledger = self.ledgers.get(pending.internal)
+        if ledger is None or ledger.closed:
+            return
+        ledger.close(self.clock(), status)
+        tenant = ledger.tenant or "-"
+        for phase, ms in ledger.phases.items():
+            if ms:
+                self.telemetry.observe(f"ledger.{phase}_ms", ms)
+                self.telemetry.inc(f"ledger.sum.{tenant}.{phase}", ms)
+        self.telemetry.observe("ledger.residual_ms", abs(ledger.residual_ms))
+        self.telemetry.inc(f"ledger.sum.{tenant}.total", ledger.total_ms)
+        self.telemetry.inc(f"ledger.n.{tenant}")
+
+    def _close_trace(
+        self, pending: _PendingRequest, status: str, latency_ms: float
+    ) -> None:
+        """Record the query's root span (the whole daemon residence)."""
+        if not self.tracer.enabled or pending.ctx is None:
+            return
+        self.tracer.close(
+            pending.ctx,
+            pending.request.name,
+            pending.trace_started,
+            self.tracer.now(),
+            tenant=pending.request.tenant,
+            status=status,
+            latency_ms=round(latency_ms, 3),
+            served_by=",".join(pending.served_by),
+        )
+
     def _fail_member(
         self,
         member: _Member,
         status: str,
         overload: Optional[Overloaded] = None,
         error: str = "",
+        stall_phase: str = "",
     ) -> None:
-        """One component failed terminally: resolve the whole request."""
+        """One component failed terminally: resolve the whole request.
+
+        *stall_phase* names where the query was stuck when it died
+        (admission hold, queue, execution); the still-unattributed tail
+        of its residence is charged there so failed queries' ledgers
+        tile their latency just like successful ones.
+        """
         pending = member.pending
         if pending.future.done():
             return
-        latency_ms = (self.clock() - pending.submitted_at) * 1000.0
+        now = self.clock()
+        if stall_phase:
+            ledger = self.ledgers.get(pending.internal)
+            if ledger is not None and not ledger.closed:
+                ledger.add_window(stall_phase, ledger.window_until, now)
+        latency_ms = (now - pending.submitted_at) * 1000.0
         if status == STATUS_DEADLINE:
             self._report.deadline_missed += 1
             self.telemetry.inc("serve.deadline_missed")
+            if self.tracer.enabled and pending.ctx is not None:
+                self.tracer.event(
+                    pending.ctx, "deadline-missed",
+                    deadline_ms=pending.request.deadline_ms,
+                )
+            if self.flight is not None:
+                self.flight.dump(
+                    "deadline_miss", query=pending.request.name,
+                    trace_id=pending.internal,
+                )
         elif status == STATUS_ERROR:
             self._report.errors += 1
             self.telemetry.inc("serve.errors")
+            if self.tracer.enabled and pending.ctx is not None:
+                self.tracer.event(pending.ctx, "error", error=error)
+            if self.flight is not None:
+                self.flight.dump(
+                    "error", query=pending.request.name,
+                    trace_id=pending.internal, error=error,
+                )
         elif status == STATUS_OVERLOADED and overload is not None:
             self._report.shed[overload.reason] = (
                 self._report.shed.get(overload.reason, 0) + 1
             )
             self.telemetry.inc("serve.shed")
             self.telemetry.inc(f"serve.shed.{overload.reason}")
+            if self.tracer.enabled and pending.ctx is not None:
+                self.tracer.event(
+                    pending.ctx, "shed", reason=overload.reason
+                )
+            self._note_shed(pending.request, overload.reason)
+        self._close_ledger(pending, status)
+        self._close_trace(pending, status, latency_ms)
+        self._slo_record(pending.request.tenant, None, failed=True)
         pending.future.set_result(
             QueryResponse(
                 name=pending.request.name,
@@ -990,6 +1306,7 @@ class QueryService:
                 overload=overload,
                 error=error,
                 served_by=list(pending.served_by),
+                trace_id=pending.internal,
             )
         )
 
@@ -1016,6 +1333,7 @@ class QueryService:
             group_queries=list(pending.group_queries),
             late=late,
             served_by=list(pending.served_by),
+            trace_id=pending.internal,
         )
         self._report.completed += 1
         if late:
@@ -1024,6 +1342,9 @@ class QueryService:
         self.telemetry.inc("serve.completed")
         self.telemetry.mark("serve.completion_rate")
         self.telemetry.observe("serve.latency_ms", latency_ms)
+        self._close_ledger(pending, STATUS_OK)
+        self._close_trace(pending, STATUS_OK, latency_ms)
+        self._slo_record(pending.request.tenant, latency_ms, failed=late)
         if not pending.future.done():
             pending.future.set_result(response)
         return response

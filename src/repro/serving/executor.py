@@ -40,6 +40,7 @@ from repro.local.sortscan import BlockEvaluator
 from repro.mapreduce.cluster import SimulatedCluster
 from repro.mapreduce.dfs import DistributedFile
 from repro.obs.telemetry import NULL_TELEMETRY
+from repro.obs.tracectx import NULL_QUERY_TRACER
 from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.optimizer import QueryPlan
 from repro.parallel.executor import ExecutionConfig, ParallelEvaluator
@@ -179,6 +180,7 @@ class BatchEvaluator:
         cache: MeasureCache | None = None,
         group_retries: int = 1,
         telemetry=None,
+        query_tracer=None,
     ):
         config = config or ExecutionConfig()
         if config.early_aggregation:
@@ -192,6 +194,11 @@ class BatchEvaluator:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.telemetry = (
             telemetry if telemetry is not None else NULL_TELEMETRY
+        )
+        #: Per-query trace roots + share-group execution spans (the
+        #: batch-mode mirror of the daemon's trace plane).
+        self.query_tracer = (
+            query_tracer if query_tracer is not None else NULL_QUERY_TRACER
         )
         self.inner = ParallelEvaluator(
             cluster, config, tracer=tracer, metrics=metrics,
@@ -228,6 +235,13 @@ class BatchEvaluator:
         attached) if any share group still fails after its retries; all
         other groups run to completion first.
         """
+        contexts: dict = {}
+        trace_started = 0.0
+        if self.query_tracer.enabled:
+            trace_started = self.query_tracer.now()
+            contexts = {
+                name: self.query_tracer.mint(name) for name in queries
+            }
         with self.tracer.span("evaluate-batch", queries=len(queries)):
             input_file = self._resolve_input(data)
             if plan is None:
@@ -264,7 +278,8 @@ class BatchEvaluator:
             for index, group in enumerate(plan.groups):
                 outcomes.append(
                     self._run_group(
-                        index, group, input_file, tables, unit_components
+                        index, group, input_file, tables,
+                        unit_components, contexts,
                     )
                 )
                 self.telemetry.phase(
@@ -289,6 +304,19 @@ class BatchEvaluator:
                 cache_stats=self._stats_delta(stats_before),
                 jobless_queries=jobless,
             )
+            if contexts:
+                failed = {
+                    query
+                    for outcome in failures
+                    for query in outcome.group.queries
+                }
+                end = self.query_tracer.now()
+                for name, ctx in contexts.items():
+                    self.query_tracer.close(
+                        ctx, name, trace_started, end,
+                        status="error" if name in failed else "ok",
+                        jobless=name in jobless,
+                    )
         if failures:
             names = [
                 ", ".join(outcome.group.queries) for outcome in failures
@@ -388,7 +416,27 @@ class BatchEvaluator:
         input_file: DistributedFile,
         tables: dict[str, dict[str, MeasureTable]],
         unit_components: dict[int, ComponentPlan],
+        contexts: dict | None = None,
     ) -> GroupOutcome:
+        # One execution span per share group: it lives in the primary
+        # member's trace and links to the other members' roots, so
+        # every member's reconstructed tree includes the shared job.
+        member_ctxs = [
+            (contexts or {})[query]
+            for query in group.queries
+            if query in (contexts or {})
+        ]
+        exec_ctx = None
+        exec_start = 0.0
+        if member_ctxs:
+            exec_ctx = self.query_tracer.fork(
+                member_ctxs[0],
+                links=[
+                    (ctx.trace_id, ctx.span_id)
+                    for ctx in member_ctxs[1:]
+                ],
+            )
+            exec_start = self.query_tracer.now()
         attempts = 0
         last_error = ""
         while attempts <= self.group_retries:
@@ -409,11 +457,30 @@ class BatchEvaluator:
                     "share group %d attempt %d failed: %s",
                     index, attempts, last_error,
                 )
+                if exec_ctx is not None:
+                    self.query_tracer.event(
+                        exec_ctx, "group-retry",
+                        attempt=attempts, error=last_error,
+                    )
                 continue
             self._split_group_result(
                 group, outcome, tables, unit_components
             )
+            if exec_ctx is not None:
+                self.query_tracer.close(
+                    exec_ctx, "execute", exec_start,
+                    self.query_tracer.now(),
+                    queries=",".join(group.queries),
+                    group=index, attempts=attempts,
+                )
             return GroupOutcome(group, outcome, attempts)
+        if exec_ctx is not None:
+            self.query_tracer.close(
+                exec_ctx, "execute", exec_start,
+                self.query_tracer.now(),
+                queries=",".join(group.queries),
+                group=index, attempts=attempts, error=last_error,
+            )
         return GroupOutcome(group, None, attempts, error=last_error)
 
     def _split_group_result(

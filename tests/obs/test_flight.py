@@ -1,0 +1,120 @@
+"""Tests for the flight recorder ring and its triggered dumps."""
+
+import json
+
+from repro.obs.flight import FlightRecorder
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestRing:
+    def test_bounded_eviction_keeps_recent(self):
+        recorder = FlightRecorder(capacity=3, clock=FakeClock())
+        for index in range(5):
+            recorder.record({"span_id": f"s{index}"})
+        assert len(recorder) == 3
+        recorder.dump("error")
+        assert [s["span_id"] for s in recorder.dumps[0]["spans"]] == [
+            "s2", "s3", "s4"]
+
+    def test_notes_interleave_with_spans(self):
+        clock = FakeClock(7.0)
+        recorder = FlightRecorder(capacity=8, clock=clock)
+        recorder.record({"span_id": "s1"})
+        recorder.note("shed", tenant="alpha")
+        recorder.dump("shed-storm")
+        spans = recorder.dumps[0]["spans"]
+        assert spans[1] == {"event": "shed", "ts": 7.0, "tenant": "alpha"}
+
+    def test_capacity_must_be_positive(self):
+        import pytest
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestDump:
+    def test_in_memory_when_no_directory(self):
+        recorder = FlightRecorder(clock=FakeClock())
+        assert recorder.dump("error", query="q1") is None
+        assert recorder.dump_paths == []
+        bundle = recorder.dumps[0]
+        assert bundle["kind"] == "flight-recorder"
+        assert bundle["reason"] == "error"
+        assert bundle["context"] == {"query": "q1"}
+
+    def test_writes_self_contained_bundle(self, tmp_path):
+        recorder = FlightRecorder(directory=str(tmp_path),
+                                  clock=FakeClock())
+        recorder.record({"span_id": "s1", "trace_id": "q1"})
+        path = recorder.dump("deadline-miss", query="q1")
+        assert path is not None
+        with open(path, encoding="utf-8") as handle:
+            bundle = json.load(handle)
+        assert bundle["reason"] == "deadline-miss"
+        assert bundle["spans"][0]["span_id"] == "s1"
+        assert recorder.dump_paths == [path]
+
+    def test_per_reason_cooldown(self):
+        clock = FakeClock()
+        recorder = FlightRecorder(clock=clock, cooldown_seconds=5.0)
+        recorder.dump("error")
+        assert recorder.dump("error") is None  # same reason, too soon
+        recorder.dump("shed-storm")  # different reason passes
+        assert len(recorder.dumps) == 2
+        assert recorder.suppressed == 1
+        clock.advance(5.0)
+        recorder.dump("error")
+        assert len(recorder.dumps) == 3
+
+    def test_max_dumps_cap(self):
+        clock = FakeClock()
+        recorder = FlightRecorder(clock=clock, max_dumps=2,
+                                  cooldown_seconds=0.0)
+        for index in range(4):
+            clock.advance(1.0)
+            recorder.dump(f"reason{index}")
+        assert len(recorder.dumps) == 2
+        assert recorder.suppressed == 2
+
+    def test_bundle_readable_by_trace_viewer(self, tmp_path):
+        from repro.obs.traceview import iter_spans
+        recorder = FlightRecorder(directory=str(tmp_path),
+                                  clock=FakeClock())
+        recorder.record({"span_id": "s1", "trace_id": "q1",
+                         "name": "query"})
+        recorder.note("shed")  # no span_id: filtered by the reader
+        path = recorder.dump("sigusr2")
+        spans = list(iter_spans(path))
+        assert [s["span_id"] for s in spans] == ["s1"]
+
+
+class TestSignals:
+    def test_install_sigusr2_from_main_thread(self):
+        import signal
+        recorder = FlightRecorder(clock=FakeClock())
+        previous = signal.getsignal(signal.SIGUSR2)
+        try:
+            assert recorder.install_sigusr2()
+            signal.raise_signal(signal.SIGUSR2)
+            assert recorder.dumps[0]["reason"] == "sigusr2"
+        finally:
+            signal.signal(signal.SIGUSR2, previous)
+
+    def test_install_refused_off_main_thread(self):
+        import threading
+        recorder = FlightRecorder(clock=FakeClock())
+        results = []
+        worker = threading.Thread(
+            target=lambda: results.append(recorder.install_sigusr2()))
+        worker.start()
+        worker.join()
+        assert results == [False]

@@ -1,0 +1,156 @@
+"""Tests for the latency attribution ledger.
+
+The central invariant: attributed phases plus residual equal the
+end-to-end latency, and ``complete()`` bounds the residual by
+``max(tolerance * total, floor_ms)``.
+"""
+
+import pytest
+
+from repro.obs.ledger import PHASES, LedgerBook, QueryLedger
+
+
+class TestQueryLedger:
+    def test_phases_tile_the_latency(self):
+        ledger = QueryLedger(query="q1", trace_id="q1", started_at=10.0)
+        ledger.add("queue_wait", 0.05)
+        ledger.add("planning", 0.01)
+        ledger.add("map", 0.30)
+        ledger.add("reduce", 0.14)
+        ledger.close(ended_at=10.5, status="ok")
+        assert ledger.total_ms == pytest.approx(500.0)
+        assert ledger.attributed_ms() == pytest.approx(500.0)
+        assert ledger.residual_ms == pytest.approx(0.0)
+        assert ledger.complete()
+
+    def test_unknown_phase_rejected(self):
+        ledger = QueryLedger(query="q1", trace_id="q1")
+        with pytest.raises(KeyError):
+            ledger.add("warmup", 0.1)
+
+    def test_negative_attribution_ignored(self):
+        ledger = QueryLedger(query="q1", trace_id="q1")
+        ledger.add("map", -0.5)
+        assert ledger.attributed_ms() == 0.0
+
+    def test_complete_relative_tolerance(self):
+        ledger = QueryLedger(query="q1", trace_id="q1", started_at=0.0)
+        ledger.add("map", 0.97)  # 970 of 1000ms attributed: 3% residual
+        ledger.close(ended_at=1.0, status="ok")
+        assert ledger.complete(tolerance=0.05)
+        assert not ledger.complete(tolerance=0.01)
+
+    def test_complete_absolute_floor_for_fast_queries(self):
+        # 0.5ms query, nothing attributed: 100% relative residual, but
+        # under the 1ms floor so still complete.
+        ledger = QueryLedger(query="q1", trace_id="q1", started_at=0.0)
+        ledger.close(ended_at=0.0005, status="ok")
+        assert ledger.complete()
+        assert not ledger.complete(floor_ms=0.0001)
+
+    def test_unclosed_ledger_never_complete(self):
+        assert not QueryLedger(query="q1", trace_id="q1").complete()
+
+    def test_dict_round_trip_drops_zero_phases(self):
+        ledger = QueryLedger(query="q1", trace_id="t1", tenant="alpha",
+                             started_at=0.0)
+        ledger.add("map", 0.2)
+        ledger.close(ended_at=0.25, status="ok")
+        data = ledger.to_dict()
+        assert list(data["phases"]) == ["map"]
+        rebuilt = QueryLedger.from_dict(data)
+        assert rebuilt.tenant == "alpha"
+        assert rebuilt.phases["map"] == pytest.approx(200.0)
+        assert rebuilt.phases["reduce"] == 0.0
+        assert rebuilt.total_ms == pytest.approx(250.0)
+        assert rebuilt.closed
+
+    def test_add_window_clips_against_the_watermark(self):
+        ledger = QueryLedger(query="q1", trace_id="q1", started_at=0.0,
+                             window_until=0.0)
+        ledger.add_window("queue_wait", 0.0, 0.3)
+        # A concurrent component's overlapping wait only counts the
+        # uncovered tail; a fully-covered interval counts nothing.
+        ledger.add_window("queue_wait", 0.1, 0.5)
+        ledger.add_window("admission_hold", 0.2, 0.4)
+        assert ledger.phases["queue_wait"] == pytest.approx(500.0)
+        assert ledger.phases["admission_hold"] == 0.0
+        assert ledger.window_until == pytest.approx(0.5)
+
+    def test_add_phases_tiles_the_uncovered_interval(self):
+        # The widths give the shape (3:1), the interval the total:
+        # scheduling gaps between the daemon-clock endpoints and the
+        # thread-measured widths must not leak into the residual.
+        ledger = QueryLedger(query="q1", trace_id="q1", started_at=0.0,
+                             window_until=0.0)
+        ledger.add_phases({"map": 0.3, "reduce": 0.1}, 0.0, 0.8)
+        assert ledger.phases["map"] == pytest.approx(600.0)
+        assert ledger.phases["reduce"] == pytest.approx(200.0)
+        ledger.close(ended_at=0.8, status="ok")
+        assert ledger.residual_ms == pytest.approx(0.0)
+
+    def test_add_phases_clips_concurrent_components(self):
+        ledger = QueryLedger(query="q1", trace_id="q1", started_at=0.0,
+                             window_until=0.0)
+        ledger.add_window("queue_wait", 0.0, 0.5)
+        # Second component's execution overlapped the first's wait:
+        # only [0.5, 1.0) is uncovered, split 1:1 per the widths.
+        ledger.add_phases({"map": 0.2, "reduce": 0.2}, 0.2, 1.0)
+        assert ledger.phases["map"] == pytest.approx(250.0)
+        assert ledger.phases["reduce"] == pytest.approx(250.0)
+        # Empty or zero widths attribute nothing and hold the watermark.
+        ledger.add_phases({}, 1.0, 2.0)
+        ledger.add_phases({"map": 0.0}, 1.0, 2.0)
+        assert ledger.window_until == pytest.approx(1.0)
+
+    def test_retry_overhead_is_a_phase(self):
+        assert "retry_overhead" in PHASES
+        ledger = QueryLedger(query="q1", trace_id="q1", started_at=0.0)
+        ledger.add("retry_overhead", 0.1)
+        assert ledger.phases["retry_overhead"] == pytest.approx(100.0)
+
+
+class TestLedgerBook:
+    def make_book(self):
+        book = LedgerBook()
+        for index, (tenant, total, map_s) in enumerate(
+                [("alpha", 0.4, 0.39), ("alpha", 0.6, 0.59),
+                 ("beta", 1.0, 0.98)]):
+            ledger = book.open(f"t{index}", f"q{index}", tenant, 0.0)
+            ledger.add("map", map_s)
+            ledger.close(ended_at=total, status="ok")
+        return book
+
+    def test_open_get_closed(self):
+        book = LedgerBook()
+        ledger = book.open("t1", "q1", "alpha", 1.0)
+        assert book.get("t1") is ledger
+        assert book.get("missing") is None
+        assert book.closed() == []
+        ledger.close(ended_at=1.2, status="ok")
+        assert book.closed() == [ledger]
+
+    def test_tenant_breakdown_means(self):
+        breakdown = self.make_book().tenant_breakdown()
+        assert breakdown["alpha"]["queries"] == 2
+        assert breakdown["alpha"]["mean_total_ms"] == pytest.approx(500.0)
+        assert breakdown["alpha"]["mean_phase_ms"]["map"] == pytest.approx(
+            490.0)
+        assert breakdown["beta"]["queries"] == 1
+
+    def test_to_dict_counts_completeness(self):
+        book = self.make_book()
+        # One incomplete ledger: big unattributed gap.
+        bad = book.open("t9", "q9", "beta", 0.0)
+        bad.close(ended_at=2.0, status="ok")
+        data = book.to_dict()
+        assert data["phases"] == list(PHASES)
+        assert data["total"] == 4
+        assert data["complete"] == 3
+        assert set(data["queries"]) == {"t0", "t1", "t2", "t9"}
+        assert data["tenants"]["beta"]["queries"] == 2
+
+    def test_open_ledgers_excluded_from_manifest(self):
+        book = self.make_book()
+        book.open("inflight", "q9", "beta", 0.0)
+        assert "inflight" not in book.to_dict()["queries"]

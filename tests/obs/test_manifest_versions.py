@@ -1,4 +1,4 @@
-"""Every manifest schema version (v1..v5) must keep loading.
+"""Every manifest schema version (v1..v7) must keep loading.
 
 ``repro stats`` and ``repro diff`` read manifests written by older
 builds; these tests freeze a representative document per version and
@@ -143,10 +143,52 @@ def document_for_version(version: int) -> dict:
                            "p99": 120.0, "max": 150.0, "mean": 48.0},
             "drained": True,
         }
+    if version >= 6:
+        data["tracing"] = {
+            "phases": ["queue_wait", "map", "reduce"],
+            "queries": {
+                "q-000001": {
+                    "query": "measure m over a:value = sum(v)",
+                    "trace_id": "q-000001",
+                    "tenant": "tenant-1",
+                    "status": "ok",
+                    "total_ms": 42.0,
+                    "residual_ms": 0.5,
+                    "phases": {"queue_wait": 1.5, "map": 30.0,
+                               "reduce": 10.0},
+                },
+            },
+            "complete": 1,
+            "total": 1,
+            "tenants": {
+                "tenant-1": {
+                    "queries": 1,
+                    "mean_total_ms": 42.0,
+                    "mean_residual_ms": 0.5,
+                    "mean_phase_ms": {"queue_wait": 1.5, "map": 30.0,
+                                      "reduce": 10.0},
+                },
+            },
+        }
+    if version >= 7:
+        data["slo"] = {
+            "window_seconds": 60.0,
+            "tenants": {
+                "tenant-1": {
+                    "objective_ms": 100.0,
+                    "target": 0.95,
+                    "good": 33,
+                    "bad": 2,
+                    "window_total": 20,
+                    "window_bad": 1,
+                    "burn_rate": 1.0,
+                },
+            },
+        }
     return data
 
 
-@pytest.mark.parametrize("version", [1, 2, 3, 4, 5])
+@pytest.mark.parametrize("version", [1, 2, 3, 4, 5, 6, 7])
 class TestVersionRoundTrip:
     def test_from_dict_and_back(self, version):
         manifest = RunManifest.from_dict(document_for_version(version))
@@ -181,6 +223,14 @@ class TestVersionRoundTrip:
             assert "serving: 40 arrivals" in summary
             assert "queue_full=3" in summary
             assert "resumed from cache: 1" in summary
+        if version >= 6:
+            assert "ledger: 1 queries attributed, 1 within tolerance" in (
+                summary)
+            assert "tenant-1: 1 queries, mean 42.0ms" in summary
+            assert "map 30.0ms" in summary
+        if version >= 7:
+            assert "slo tenant-1: 100ms @ 95.00%" in summary
+            assert "33 good / 2 bad, burn 1.00x" in summary
 
     def test_self_diff_is_clean(self, version):
         manifest = RunManifest.from_dict(document_for_version(version))
@@ -197,6 +247,8 @@ class TestVersionGuards:
         assert manifest.workers == {}
         assert manifest.telemetry == {}
         assert manifest.serving == {}
+        assert manifest.tracing == {}
+        assert manifest.slo == {}
 
     def test_unknown_fields_ignored(self):
         data = document_for_version(2)

@@ -1,0 +1,98 @@
+"""Tests for per-tenant SLO policies and burn-rate tracking."""
+
+import pytest
+
+from repro.obs.slo import SloPolicy, SloTracker
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestSloPolicy:
+    def test_budget_is_one_minus_target(self):
+        assert SloPolicy(objective_ms=100.0, target=0.99).budget == (
+            pytest.approx(0.01))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SloPolicy(objective_ms=0.0)
+        with pytest.raises(ValueError):
+            SloPolicy(objective_ms=100.0, target=1.0)
+        with pytest.raises(ValueError):
+            SloPolicy(objective_ms=100.0, target=0.0)
+
+
+class TestSloTracker:
+    def make(self, **kwargs):
+        clock = FakeClock()
+        tracker = SloTracker(
+            default=SloPolicy(objective_ms=100.0, target=0.9),
+            clock=clock, **kwargs)
+        return tracker, clock
+
+    def test_classification(self):
+        tracker, _ = self.make()
+        assert tracker.record("alpha", 50.0) is True
+        assert tracker.record("alpha", 100.0) is True  # boundary: good
+        assert tracker.record("alpha", 150.0) is False
+        assert tracker.record("alpha", 10.0, failed=True) is False
+        assert tracker.record("alpha", None, failed=True) is False
+
+    def test_untracked_tenant_returns_none(self):
+        tracker = SloTracker(clock=FakeClock())  # no default policy
+        assert tracker.record("alpha", 50.0) is None
+        assert tracker.burn_rate("alpha") == 0.0
+        assert tracker.snapshot()["tenants"] == {}
+
+    def test_per_tenant_override_beats_default(self):
+        tracker, _ = self.make(
+            per_tenant={"strict": SloPolicy(objective_ms=10.0)})
+        assert tracker.record("strict", 50.0) is False
+        assert tracker.record("other", 50.0) is True
+
+    def test_burn_rate_of_budget_exactly(self):
+        # target 0.9 -> budget 0.1; 1 bad in 10 burns exactly 1.0x.
+        tracker, clock = self.make()
+        for _ in range(9):
+            tracker.record("alpha", 10.0)
+            clock.advance(1.0)
+        tracker.record("alpha", 500.0)
+        assert tracker.burn_rate("alpha") == pytest.approx(1.0)
+
+    def test_burn_rate_windowed(self):
+        tracker, clock = self.make(window_seconds=60.0)
+        tracker.record("alpha", 500.0)  # bad
+        clock.advance(100.0)  # falls out of the window
+        tracker.record("alpha", 10.0)
+        assert tracker.burn_rate("alpha") == 0.0
+        # Lifetime counts keep the old bad query.
+        snapshot = tracker.snapshot()["tenants"]["alpha"]
+        assert snapshot["bad"] == 1
+        assert snapshot["good"] == 1
+        assert snapshot["window_total"] == 1
+
+    def test_idle_tenant_burns_nothing(self):
+        tracker, _ = self.make()
+        assert tracker.burn_rate("alpha") == 0.0
+
+    def test_snapshot_shape(self):
+        tracker, _ = self.make()
+        tracker.record("alpha", 10.0)
+        tracker.record("alpha", 500.0)
+        data = tracker.snapshot()
+        assert data["window_seconds"] == 60.0
+        entry = data["tenants"]["alpha"]
+        assert entry["objective_ms"] == 100.0
+        assert entry["target"] == 0.9
+        assert entry["good"] == 1
+        assert entry["bad"] == 1
+        assert entry["window_bad"] == 1
+        assert entry["burn_rate"] == pytest.approx(5.0)

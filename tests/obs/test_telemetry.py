@@ -197,6 +197,22 @@ class TestResourceSampling:
         assert rebuilt.resources["cpu_seconds"] == 1.5
         assert rebuilt.counters == {"tasks": 2}
 
+    def test_spans_ride_the_delta(self):
+        span = {"name": "mp-task", "trace_id": "q1", "span_id": "w.3",
+                "parent_id": "d.1", "wall_start": 1.0, "wall_end": 2.0}
+        delta = WorkerDelta(worker="w7", seq=2, spans=[(3, span)])
+        rebuilt = WorkerDelta.from_dict(delta.to_dict())
+        assert rebuilt.spans == [(3, span)]
+        # The wire form is JSON-safe (tuples become lists).
+        import json
+        assert json.loads(json.dumps(delta.to_dict()))["spans"] == [
+            [3, span]]
+
+    def test_spans_default_empty_for_old_deltas(self):
+        rebuilt = WorkerDelta.from_dict(
+            {"worker": "w7", "seq": 1, "counters": {"tasks": 1}})
+        assert rebuilt.spans == []
+
 
 class TestTelemetryRegistry:
     def test_snapshot_is_deterministic_under_fake_clock(self):

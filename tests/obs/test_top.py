@@ -90,6 +90,54 @@ class TestRenderFrame:
         assert text.startswith("=== repro stats --watch")
 
 
+class TestLedgerAndSloSections:
+    def ledger_frame(self) -> dict:
+        registry = TelemetryRegistry(clock=FakeClock())
+        for value in (10.0, 20.0, 30.0):
+            registry.observe("ledger.map_ms", value)
+        registry.inc("ledger.n.alpha", 2)
+        registry.inc("ledger.sum.alpha.total", 100.0)
+        registry.inc("ledger.sum.alpha.map", 60.0)
+        registry.inc("ledger.sum.alpha.queue_wait", 30.0)
+        registry.inc("slo.alpha.good", 9)
+        registry.inc("slo.alpha.bad", 1)
+        registry.set_gauge("slo.alpha.burn", 2.5)
+        return registry.snapshot()
+
+    def test_ledger_phase_percentiles(self):
+        text = render_frame(self.ledger_frame())
+        assert "ledger:" in text
+        assert "map" in text
+        assert "p50=20.0ms" in text
+        assert "(n=3)" in text
+
+    def test_ledger_tenant_means(self):
+        text = render_frame(self.ledger_frame())
+        assert "tenant alpha: 2 queries, mean 50.0ms" in text
+        assert "map 30.0ms" in text
+
+    def test_slo_burn_line_with_alarm(self):
+        text = render_frame(self.ledger_frame())
+        assert "slo:" in text
+        assert "good 9" in text
+        assert "bad 1" in text
+        assert "burn 2.50x  BURNING" in text
+
+    def test_no_alarm_under_budget(self):
+        registry = TelemetryRegistry(clock=FakeClock())
+        registry.inc("slo.alpha.good", 5)
+        registry.set_gauge("slo.alpha.burn", 0.5)
+        text = render_frame(registry.snapshot())
+        assert "burn 0.50x" in text
+        assert "BURNING" not in text
+
+    def test_ledger_names_kept_out_of_raw_sections(self):
+        text = render_frame(self.ledger_frame())
+        assert "ledger.map_ms" not in text
+        assert "ledger.n.alpha" not in text
+        assert "slo.alpha.good" not in text
+
+
 class TestRenderReplay:
     def test_renders_every_frame_in_order(self):
         frames = [

@@ -342,7 +342,7 @@ class TestManifest:
         )
         manifest = RunManifest.from_serve(report)
         data = manifest.to_dict()
-        assert data["schema_version"] == SCHEMA_VERSION == 5
+        assert data["schema_version"] == SCHEMA_VERSION == 7
         assert data["serving"]["arrivals"] == len(batch_queries)
         assert data["serving"]["drained"] is True
 
@@ -360,7 +360,8 @@ class TestGracefulDrain:
         self, tmp_path
     ):
         """SIGTERM during a paced replay: in-flight groups finish, the
-        memory cache spills, and a valid schema-v5 manifest lands."""
+        memory cache spills, and a valid current-schema manifest
+        lands."""
         manifest_path = tmp_path / "serve.manifest.json"
         spill_dir = tmp_path / "spill"
         command = [
@@ -398,7 +399,7 @@ class TestGracefulDrain:
         assert "serve:" in stdout
 
         data = json.loads(manifest_path.read_text())
-        assert data["schema_version"] == 5
+        assert data["schema_version"] == 7
         serving = data["serving"]
         assert serving["drained"] is True
         assert serving["arrivals"] > 0

@@ -598,7 +598,7 @@ class TestBatch:
         assert main(["stats", manifest]) == 0
         out = capsys.readouterr().out
         assert "batch:" in out
-        assert "schema v5" in out
+        assert "schema v7" in out
 
     def test_duplicate_stems_rejected(self, tmp_path):
         nested = tmp_path / "nested"
@@ -770,7 +770,7 @@ class TestTelemetryCli:
         manifest = json.loads(
             (tmp_path / "trace.manifest.json").read_text()
         )
-        assert manifest["schema_version"] == 5
+        assert manifest["schema_version"] == 7
         assert manifest["telemetry"]["final"] is True
         assert manifest["telemetry"]["counters"]["job.completed"] == 1
 

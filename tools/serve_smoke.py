@@ -11,9 +11,16 @@ configuration, both driven by seeded loadgen traces (bit-reproducible):
    keep answering what it admits correctly, and drain cleanly -- all
    in-flight groups finished, a valid final report, no hangs.
 
+With ``--check-traces`` both phases also run the trace plane end to
+end: every query gets a per-query tracer, a latency ledger, and a
+flight recorder, and the smoke asserts the tracing invariants -- one
+causally-connected tree per admitted query (zero orphans), and every
+closed ledger's phases tiling its end-to-end latency within tolerance.
+
 Run from the repo root (CI gives the job a hard timeout)::
 
     PYTHONPATH=src python tools/serve_smoke.py [--records N] [--seed N]
+    PYTHONPATH=src python tools/serve_smoke.py --check-traces
 
 Exit status is non-zero on any violated invariant.
 """
@@ -40,6 +47,10 @@ def parse_args(argv):
     parser.add_argument("--records", type=int, default=1500)
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument("--machines", type=int, default=8)
+    parser.add_argument(
+        "--check-traces", action="store_true",
+        help="also assert the tracing/ledger invariants on both phases",
+    )
     return parser.parse_args(argv)
 
 
@@ -50,7 +61,8 @@ def check(condition: bool, message: str, violations: list[str]) -> None:
         violations.append(message)
 
 
-def build_service(catalog, records, machines: int, tight: bool):
+def build_service(catalog, records, machines: int, tight: bool,
+                  traced: bool = False):
     from repro.mapreduce import ClusterConfig, SimulatedCluster
 
     limits = (
@@ -61,6 +73,14 @@ def build_service(catalog, records, machines: int, tight: bool):
         if tight
         else ServiceLimits(admission_window_ms=25.0, max_inflight=2)
     )
+    extras = {}
+    if traced:
+        from repro.obs import FlightRecorder, QueryTracer
+
+        extras = {
+            "tracer": QueryTracer(),
+            "flight": FlightRecorder(),
+        }
     return QueryService(
         catalog,
         records,
@@ -69,6 +89,74 @@ def build_service(catalog, records, machines: int, tight: bool):
         ),
         limits=limits,
         cache=MeasureCache(),
+        **extras,
+    )
+
+
+def check_traces(service, responses, phase: str,
+                 violations: list[str]) -> None:
+    """The CI tracing invariants, asserted against a finished phase."""
+    from repro.obs import collect_trace, find_orphans
+
+    spans = service.tracer.to_dicts()
+    orphans = find_orphans(spans)
+    check(
+        not orphans,
+        f"{phase}: zero orphaned spans ({len(spans)} spans)", violations,
+    )
+    missing_trees = [
+        r.name for r in responses
+        if not (r.trace_id and collect_trace(spans, r.trace_id))
+    ]
+    check(
+        not missing_trees,
+        f"{phase}: every response has a non-empty trace tree",
+        violations,
+    )
+    # Cache- and derive-served queries never ran a job; only queries
+    # that actually executed (in a group or via fallback) must reach
+    # an execution span.
+    executed = [
+        r for r in responses
+        if r.ok and any(d in ("group", "fallback") for d in r.served_by)
+    ]
+    no_exec_span = [
+        r.name for r in executed
+        if not any(
+            s["name"] == "execute"
+            for s in collect_trace(spans, r.trace_id)
+        )
+    ]
+    check(
+        not no_exec_span,
+        f"{phase}: every executed query's tree reaches an execute span",
+        violations,
+    )
+    # Every admitted (ok) query has a closed ledger; shed-at-admission
+    # queries never opened one.
+    ok_ledgers = [
+        service.ledgers.get(r.trace_id) for r in responses if r.ok
+    ]
+    check(
+        all(lg is not None and lg.closed for lg in ok_ledgers),
+        f"{phase}: every completed query has a closed ledger "
+        f"({len(ok_ledgers)} queries)",
+        violations,
+    )
+    incomplete = [
+        ledger for ledger in service.ledgers.closed()
+        if not ledger.complete(tolerance=0.05, floor_ms=2.0)
+    ]
+    for ledger in incomplete[:5]:
+        print(
+            f"    incomplete ledger {ledger.query}: residual "
+            f"{ledger.residual_ms:+.2f}ms of {ledger.total_ms:.2f}ms"
+        )
+    check(
+        not incomplete,
+        f"{phase}: every ledger's phases tile its latency "
+        f"(residual within 5% or 2ms)",
+        violations,
     )
 
 
@@ -93,7 +181,10 @@ def main(argv=None) -> int:
     gentle = generate_arrivals(
         sorted(catalog), rate=10.0, duration=1.0, seed=args.seed,
     )
-    service = build_service(catalog, records, args.machines, tight=False)
+    service = build_service(
+        catalog, records, args.machines, tight=False,
+        traced=args.check_traces,
+    )
     started = time.perf_counter()
     responses, report = serve_arrivals(service, gentle, speed=1.0)
     elapsed = time.perf_counter() - started
@@ -120,13 +211,18 @@ def main(argv=None) -> int:
         violations,
     )
     check(report.drained, "clean drain after low load", violations)
+    if args.check_traces:
+        check_traces(service, responses, "low-load traces", violations)
 
     # -- phase 2: overload --------------------------------------------------
     print("phase 2: overload (must shed explicitly and drain cleanly)")
     flood = generate_arrivals(
         sorted(catalog), rate=400.0, duration=0.5, seed=args.seed + 1,
     )
-    service = build_service(catalog, records, args.machines, tight=True)
+    service = build_service(
+        catalog, records, args.machines, tight=True,
+        traced=args.check_traces,
+    )
     started = time.perf_counter()
     responses, report = serve_arrivals(service, flood, speed=1.0)
     elapsed = time.perf_counter() - started
@@ -161,6 +257,8 @@ def main(argv=None) -> int:
         violations,
     )
     check(report.drained, "clean drain after overload", violations)
+    if args.check_traces:
+        check_traces(service, responses, "overload traces", violations)
 
     if violations:
         print(f"FAILED: {len(violations)} invariant(s) violated")
