@@ -1,0 +1,196 @@
+"""Incremental maintenance benchmark: patch the answers vs recompute.
+
+A continuous weblog session stream arrives as watermarked partitions
+(:func:`repro.workload.session_stream`); the cache is warmed on a day's
+worth of history (the first ``BASE_PARTITIONS`` slices) and every later
+slice is applied twice -- once through the
+:class:`~repro.serving.IncrementalMaintainer` (delta fold, regional
+sibling-window repair, derived recombination) and once as a cold
+centralized recompute over the grown prefix.  This is the regime the
+maintainer exists for: history dwarfs each append, so patching touches
+``O(delta)`` anchors while the recompute pays for every record again.
+
+Correctness is asserted *before* any timing claim: after every append
+each maintained table must equal the cold recompute bitwise, and at the
+end the whole maintained state must equal a parallel evaluation under
+an injected fault plan (chaos does not change answers, so it must not
+change patched answers either).
+
+Maintenance runs on the driver, not the simulated cluster, so the
+numbers here are host wall-clock seconds (same process, same data for
+both sides); the claim under test is the ratio, asserted at >= 3x in
+favor of patching.  Results land in ``BENCH_incremental.json``.
+
+    pytest benchmarks/test_perf_incremental.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.local import evaluate_centralized
+from repro.mapreduce import ClusterConfig, SimulatedCluster
+from repro.parallel import ParallelEvaluator
+from repro.serving import (
+    IncrementalMaintainer,
+    MeasureCache,
+    cache_key,
+    dataset_fingerprint,
+    partition_digest,
+)
+from repro.workload import session_stream, streaming_query, streaming_schema
+
+from support import print_table, write_bench_json
+
+pytestmark = pytest.mark.perf
+
+PARTITIONS = 12
+BASE_PARTITIONS = 8
+RECORDS_PER_PARTITION = 1_500
+CHAOS_SEED = 11
+MACHINES = 10
+
+
+def _warm(cache, query, records, fingerprint, chain):
+    cold = evaluate_centralized(query, records)
+    for measure in query.measures:
+        cache.put(
+            cache_key(fingerprint, measure),
+            cold[measure.name],
+            measure_name=measure.name,
+            partitions=chain,
+        )
+
+
+def _maintained_tables(cache, query, fingerprint):
+    return {
+        measure.name: cache.get(
+            cache_key(fingerprint, measure), measure.granularity
+        )
+        for measure in query.measures
+    }
+
+
+def test_patching_beats_recompute():
+    schema = streaming_schema(days=1)
+    query = streaming_query(schema)
+    partitions = list(
+        session_stream(schema, PARTITIONS, RECORDS_PER_PARTITION)
+    )
+
+    cache = MeasureCache()
+    records = []
+    chain = []
+    for base in partitions[:BASE_PARTITIONS]:
+        records.extend(base)
+        chain.append({
+            "digest": partition_digest(base, schema),
+            "n_records": len(base),
+        })
+    fingerprint = dataset_fingerprint(records, schema)
+    _warm(cache, query, records, fingerprint, chain)
+    maintainer = IncrementalMaintainer(cache, schema)
+
+    rows = []
+    patch_total = 0.0
+    cold_total = 0.0
+    for index, delta in enumerate(
+        partitions[BASE_PARTITIONS:], start=1
+    ):
+        new_fingerprint = dataset_fingerprint(records + delta, schema)
+
+        start = time.perf_counter()
+        report = maintainer.apply(
+            [query], records, delta, fingerprint, new_fingerprint,
+            history=chain,
+        )
+        patch_seconds = time.perf_counter() - start
+
+        records.extend(delta)
+        chain.append({
+            "digest": report.partition, "n_records": len(delta),
+        })
+        fingerprint = new_fingerprint
+
+        start = time.perf_counter()
+        cold = evaluate_centralized(query, records)
+        cold_seconds = time.perf_counter() - start
+
+        # Correctness before any timing claim: every maintained table
+        # bit-identical to the cold recompute of the grown prefix.
+        maintained = _maintained_tables(cache, query, fingerprint)
+        for name, table in maintained.items():
+            assert table is not None, name
+            assert table.values == cold[name].values, name
+        assert report.patched == len(query.measures)
+
+        patch_total += patch_seconds
+        cold_total += cold_seconds
+        regional = next(
+            o for o in report.outcomes if o.action == "regional"
+        )
+        rows.append([
+            f"append {index}", len(records), patch_seconds, cold_seconds,
+            cold_seconds / patch_seconds,
+            f"{regional.recomputed_regions}/{regional.rows}",
+        ])
+
+    # Chaos must not change answers, patched or not: a parallel run
+    # under an injected fault plan has to match the maintained state.
+    cluster = SimulatedCluster(ClusterConfig(machines=MACHINES))
+    cluster.install_faults(FaultPlan.random(CHAOS_SEED, MACHINES))
+    chaotic = ParallelEvaluator(cluster).evaluate(query, records).result
+    maintained = _maintained_tables(cache, query, fingerprint)
+    for measure in query.measures:
+        assert maintained[measure.name].values == (
+            chaotic[measure.name].values
+        ), measure.name
+
+    speedup = cold_total / patch_total
+    rows.append(["total", len(records), patch_total, cold_total,
+                 speedup, "-"])
+    print_table(
+        f"Incremental maintenance: {BASE_PARTITIONS} warmed + "
+        f"{PARTITIONS - BASE_PARTITIONS} appended watermarked "
+        f"partitions x {RECORDS_PER_PARTITION} sessions",
+        ["append", "records", "patch s", "recompute s", "speedup",
+         "S4 anchors"],
+        rows,
+    )
+
+    assert speedup >= 3.0, (
+        f"patching must beat full recompute by >= 3x, got {speedup:.2f}x"
+    )
+
+    payload = {
+        "workload": {
+            "schema": "streaming weblog (minute base)",
+            "queries": ["S1", "S2", "S3", "S4"],
+            "partitions": PARTITIONS,
+            "base_partitions": BASE_PARTITIONS,
+            "records_per_partition": RECORDS_PER_PARTITION,
+            "chaos_seed": CHAOS_SEED,
+        },
+        "appends": [
+            {
+                "append": row[0],
+                "records_after": row[1],
+                "patch_seconds": row[2],
+                "recompute_seconds": row[3],
+                "speedup": row[4],
+            }
+            for row in rows[:-1]
+        ],
+        "summary": {
+            "patch_seconds_total": patch_total,
+            "recompute_seconds_total": cold_total,
+            "speedup": speedup,
+            "bit_identical": True,
+            "bit_identical_under_chaos": True,
+        },
+    }
+    path = write_bench_json("incremental", payload)
+    print(f"\nwrote {path}")

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine subcommands, most operating on workflow scripts in the textual
+Ten subcommands, most operating on workflow scripts in the textual
 query language (see :mod:`repro.query.parser`):
 
 * ``repro demo`` -- run the paper's weblog example end to end;
@@ -20,6 +20,14 @@ query language (see :mod:`repro.query.parser`):
   ONE map/shuffle/reduce, and ``--cache-dir DIR`` persists materialized
   measures across runs so repeated batches skip already-computed work;
   per-query answers are bit-identical to standalone ``run``s;
+* ``repro append`` -- incremental view maintenance: generate the data
+  as watermarked partitions, warm the measure cache on the first, then
+  *append* the rest one at a time, patching cached answers forward
+  (delta fold for distributive/algebraic measures, bounded regional
+  repair for sibling windows) instead of recomputing; ``--verify``
+  asserts every maintained table is bit-identical to a cold recompute,
+  and ``--manifest`` records the per-measure maintenance report
+  (schema v8 ``incremental`` section);
 * ``repro trace QUERY.cq --out trace.json`` -- evaluate with full
   tracing: writes a Chrome trace-event file (open in Perfetto or
   ``chrome://tracing``), a run manifest (including the cost-model
@@ -29,8 +37,9 @@ query language (see :mod:`repro.query.parser`):
   flight-recorder bundle), rendering one query's causal tree as ASCII
   or exporting it as Chrome trace JSON with ``--chrome``;
 * ``repro stats MANIFEST.json`` -- summarize a previously written run
-  manifest (schemas v1-v7, including batch/cache/worker/serving/
-  tracing/slo sections);
+  manifest (schemas v1-v8, including batch/cache/worker/serving/
+  tracing/slo/incremental sections; manifests newer than the reader
+  degrade to the known fields with a one-line warning);
   ``repro stats --watch TELEMETRY.jsonl`` instead tails a live
   telemetry log and re-renders the dashboard until the final frame;
 * ``repro diff A.json B.json`` -- compare two run manifests field by
@@ -56,7 +65,9 @@ stacks and write collapsed stacks for flame graphs).
 Every subcommand takes ``--verbose``/``-v`` (repeatable) and
 ``--quiet``/``-q`` to control the ``repro.*`` log level.  Built-in
 schemas: ``weblog`` (Keyword/PageCount/AdCount/Time, Table I) and
-``paper`` (the Section VI synthetic schema).  Invoke as
+``paper`` (the Section VI synthetic schema); ``append`` also accepts
+``streaming`` (the weblog schema at minute resolution, paired with the
+built-in S1-S4 maintainable query suite).  Invoke as
 ``python -m repro ...``.
 """
 
@@ -682,6 +693,182 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _append_partitions(args, schema: Schema) -> list:
+    """The append flow's data, as a list of record partitions.
+
+    The ``streaming`` schema uses the watermarked session stream (each
+    partition confined to its own time slice); the batch schemas
+    generate one dataset and cut it into contiguous chunks, which still
+    exercises every maintenance path -- just with unbounded dirty
+    regions.
+    """
+    if args.schema == "streaming":
+        from repro.workload.streaming import session_stream
+
+        per_partition = max(1, args.records // args.partitions)
+        return list(
+            session_stream(
+                schema, args.partitions, per_partition, seed=args.seed
+            )
+        )
+    records = _generate_records(
+        args.schema, schema, args.records, args.seed, args.skew
+    )
+    size = max(1, len(records) // args.partitions)
+    chunks = [
+        records[start:start + size]
+        for start in range(0, len(records), size)
+    ]
+    # Fold a short tail chunk into the last full partition.
+    if len(chunks) > args.partitions:
+        chunks[args.partitions - 1].extend(
+            record for chunk in chunks[args.partitions:] for record in chunk
+        )
+        del chunks[args.partitions:]
+    return chunks
+
+
+def _cmd_append(args) -> int:
+    if args.machines < 1:
+        raise SystemExit("--machines must be at least 1")
+    if args.records < 1:
+        raise SystemExit("--records must be positive")
+    if args.partitions < 2:
+        raise SystemExit(
+            "--partitions must be at least 2 (one base + one append)"
+        )
+    from repro.local.sortscan import evaluate_centralized
+    from repro.serving import (
+        BatchEvaluator,
+        BatchExecutionError,
+        DatasetHasher,
+        IncrementalMaintainer,
+        MeasureCache,
+        cache_key,
+        partition_digest,
+    )
+
+    if args.schema == "streaming":
+        from repro.workload.streaming import streaming_schema
+
+        schema = streaming_schema(days=args.days)
+    else:
+        schema = _build_schema(args.schema, args.days)
+    if args.query:
+        queries = _load_batch_queries(args.query, schema)
+    elif args.schema == "streaming":
+        from repro.workload.streaming import streaming_query
+
+        queries = {"stream": streaming_query(schema)}
+    else:
+        raise SystemExit(
+            "a query file is required unless --schema streaming "
+            "(which has a built-in maintainable query suite)"
+        )
+
+    partitions = _append_partitions(args, schema)
+    base = partitions[0]
+    cache = MeasureCache(args.cache_dir or None)
+    columnar = _COLUMNAR_CHOICES[args.columnar]
+    config = ExecutionConfig(
+        columnar=columnar,
+        kernels=_kernels_mode(args),
+        optimizer=OptimizerConfig(columnar=columnar),
+    )
+    cluster_config = ClusterConfig(machines=args.machines)
+    telemetry, telemetry_writer = _make_telemetry(args)
+
+    if not args.no_warm:
+        cluster = SimulatedCluster(cluster_config)
+        evaluator = BatchEvaluator(
+            cluster, config, cache=cache, telemetry=telemetry
+        )
+        try:
+            evaluator.evaluate(queries, base)
+        except BatchExecutionError as exc:
+            raise SystemExit(f"error warming the cache: {exc}")
+        print(
+            f"warmed cache on partition 0 "
+            f"({len(base)} records, {cache.stats.stores} stores)"
+        )
+
+    maintainer = IncrementalMaintainer(
+        cache, schema, telemetry=telemetry,
+        recompute_full=args.recompute_full,
+    )
+    workflows = list(queries.values())
+    hasher = DatasetHasher(schema)
+    hasher.update(base)
+    fingerprint = hasher.fingerprint()
+    history = [
+        {"digest": partition_digest(base, schema), "n_records": len(base)}
+    ]
+    records = list(base)
+    report = None
+    for index, delta in enumerate(partitions[1:], start=1):
+        old_fingerprint = fingerprint
+        hasher.update(delta)
+        fingerprint = hasher.fingerprint()
+        report = maintainer.apply(
+            workflows, records, delta,
+            old_fingerprint, fingerprint, history=history,
+        )
+        print(f"partition {index}:")
+        print(report.summary())
+        history.append({
+            "digest": report.partition, "n_records": len(delta),
+        })
+        records.extend(delta)
+    _finish_telemetry(args, telemetry, telemetry_writer)
+
+    verified = None
+    if args.verify:
+        verified = True
+        compared = absent = 0
+        for name, workflow in queries.items():
+            cold = evaluate_centralized(workflow, records)
+            for measure in workflow.measures:
+                cached = cache.get(
+                    cache_key(fingerprint, measure), measure.granularity
+                )
+                if cached is None:
+                    absent += 1
+                    continue
+                compared += 1
+                if cached.values != cold[measure.name].values:
+                    verified = False
+                    print(
+                        f"VERIFY FAILED: {name}.{measure.name} diverges "
+                        f"from the cold recompute"
+                    )
+        if verified:
+            print(
+                f"verify: {compared} maintained tables bit-identical to "
+                f"a cold recompute over {len(records)} records"
+                + (f" ({absent} not maintained)" if absent else "")
+            )
+
+    if args.manifest and report is not None:
+        manifest = RunManifest.from_append(
+            report,
+            cluster_config=cluster_config,
+            execution_config=config,
+            partitions=len(history),
+            verified=verified,
+            telemetry=(
+                telemetry.snapshot(final=True)
+                if telemetry is not None
+                else None
+            ),
+        )
+        try:
+            manifest.write(args.manifest)
+        except OSError as exc:
+            raise SystemExit(f"cannot write manifest: {exc}")
+        print(f"wrote run manifest to {args.manifest}")
+    return 1 if verified is False else 0
+
+
 def _cmd_loadgen(args) -> int:
     if args.rate <= 0:
         raise SystemExit("--rate must be positive")
@@ -1302,6 +1489,79 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_arguments(batch, profile=False)
     batch.set_defaults(handler=_cmd_batch)
 
+    append = sub.add_parser(
+        "append",
+        help="incremental view maintenance: warm the cache on one "
+             "partition, append the rest, patch cached answers forward",
+    )
+    _add_logging_arguments(append)
+    append.add_argument(
+        "query", nargs="*",
+        help="workflow script file(s) (.cq); optional with "
+             "--schema streaming (built-in S1-S4 suite)",
+    )
+    append.add_argument(
+        "--schema", default="streaming",
+        choices=("weblog", "paper", "streaming"),
+        help="built-in schema; 'streaming' is the weblog schema at "
+             "minute resolution with watermarked partitions "
+             "(default: streaming)",
+    )
+    append.add_argument(
+        "--days", type=int, default=1,
+        help="temporal range of the schema, in days",
+    )
+    append.add_argument(
+        "--records", type=int, default=20_000,
+        help="total records across all partitions",
+    )
+    append.add_argument(
+        "--partitions", type=int, default=4,
+        help="data partitions: the first warms the cache, the rest "
+             "arrive as appends (default: 4)",
+    )
+    append.add_argument(
+        "--machines", type=int, default=20,
+        help="machines in the simulated cluster (cache warm-up only)",
+    )
+    append.add_argument("--seed", type=int, default=42)
+    append.add_argument(
+        "--skew", action="store_true",
+        help="use the skewed data distribution (paper schema only)",
+    )
+    append.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persist the measure cache here (default: in-memory)",
+    )
+    append.add_argument(
+        "--no-warm", action="store_true",
+        help="skip the warm-up batch run; appends then only report "
+             "classifications (nothing is cached to patch)",
+    )
+    append.add_argument(
+        "--recompute-full", action="store_true",
+        help="re-evaluate holistic (full-class) measures immediately "
+             "instead of leaving their entries to age out",
+    )
+    append.add_argument(
+        "--verify", action="store_true",
+        help="after the last append, recompute every query cold and "
+             "assert the maintained tables are bit-identical "
+             "(exit status 1 on divergence)",
+    )
+    append.add_argument(
+        "--columnar", choices=sorted(_COLUMNAR_CHOICES), default="auto",
+        help="batched map side for the warm-up run",
+    )
+    _add_kernels_argument(append)
+    append.add_argument(
+        "--manifest", metavar="FILE",
+        help="write a run manifest with the last append's maintenance "
+             "report (schema v8 'incremental' section)",
+    )
+    _add_telemetry_arguments(append, profile=False)
+    append.set_defaults(handler=_cmd_append)
+
     loadgen = sub.add_parser(
         "loadgen",
         help="generate a seeded open-loop multi-tenant arrival trace "
@@ -1445,7 +1705,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--manifest", metavar="FILE",
         help="write the drain manifest (serving + tracing + slo "
-             "sections, schema v7)",
+             "sections, schema v8)",
     )
     serve.add_argument(
         "--trace-spans", metavar="FILE",

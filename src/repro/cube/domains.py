@@ -131,6 +131,19 @@ class Hierarchy:
         """Map *value* from one level to a more general one."""
         raise NotImplementedError
 
+    def refine_values(
+        self, value: int, from_level: str, to_level: str
+    ) -> Sequence[int] | None:
+        """All *to_level* values that roll up into *value* at *from_level*.
+
+        The inverse of :meth:`map_value`: child enumeration for
+        bounded-region maintenance (expanding a dirty coarse coordinate
+        into the finer coordinates it covers).  Hierarchies that cannot
+        enumerate children return ``None``; callers then fall back to
+        scanning.
+        """
+        return None
+
     def base_mapper(self, to_level: str):
         """A fast ``base value -> to_level value`` callable.
 
@@ -256,6 +269,23 @@ class UniformHierarchy(Hierarchy):
         # Both units are defined; integer floor division maps a fine
         # coordinate to the coarse bucket containing it.
         return (value * src.unit) // dst.unit
+
+    def refine_values(
+        self, value: int, from_level: str, to_level: str
+    ) -> Sequence[int] | None:
+        src, dst = self.level(from_level), self.level(to_level)
+        if src.depth < dst.depth:
+            raise DomainError(
+                f"cannot refine {self.name}.{from_level} into coarser "
+                f"level {to_level}"
+            )
+        if src.depth == dst.depth:
+            return (value,)
+        if src.is_all:
+            return range(dst.cardinality)
+        ratio = src.unit // dst.unit
+        start = value * ratio
+        return range(start, min(start + ratio, dst.cardinality))
 
     def base_mapper(self, to_level: str):
         level = self.level(to_level)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from itertools import product
 from typing import Mapping, Sequence
 
 from repro.cube.domains import ALL, ALL_VALUE
@@ -116,6 +117,82 @@ class Granularity:
         def mapper(record: Record) -> tuple[int, ...]:
             return tuple(
                 step(record[i]) for i, step in enumerate(steps)
+            )
+
+        return mapper
+
+    def refinements(
+        self,
+        coords: Sequence[int],
+        target: "Granularity",
+        limit: int | None = None,
+    ) -> list[tuple[int, ...]] | None:
+        """All *target*-granularity coordinates rolling up into *coords*.
+
+        The inverse of :meth:`map_coords`: expands one coarse region
+        into the finer regions it covers, for bounded-repair scans that
+        would otherwise map every fine coordinate upward.  Returns
+        ``None`` when a hierarchy cannot enumerate children
+        (:meth:`~repro.cube.domains.Hierarchy.refine_values`) or when
+        the expansion would exceed *limit* coordinates -- callers fall
+        back to scanning in both cases.
+        """
+        if not self.is_generalization_of(target):
+            raise SchemaError(
+                f"{self} is not a generalization of {target}; cannot "
+                "refine coordinates upward"
+            )
+        axes: list[Sequence[int]] = []
+        total = 1
+        for attr, value, src, dst in zip(
+            self.schema.attributes, coords, self.levels, target.levels
+        ):
+            if src == dst:
+                axes.append((value,))
+                continue
+            members = attr.hierarchy.refine_values(value, src, dst)
+            if members is None:
+                return None
+            axes.append(members)
+            total *= len(members)
+            if limit is not None and total > limit:
+                return None
+        return list(product(*axes))
+
+    def coords_mapper(self, target: "Granularity"):
+        """A fast ``coords -> coords`` roll-up with levels pre-resolved.
+
+        :meth:`map_coords` validates the direction and resolves both
+        levels on every call; scans that roll thousands of coordinates
+        up to the same target (incremental maintenance's dirty-anchor
+        tests) build the per-attribute steps once here instead.
+        """
+        if not target.is_generalization_of(self):
+            raise SchemaError(
+                f"{target} is not a generalization of {self}; cannot map "
+                "coordinates downward"
+            )
+        steps: list = []
+        for attr, src, dst in zip(
+            self.schema.attributes, self.levels, target.levels
+        ):
+            if dst == ALL:
+                steps.append(None)
+            elif src == dst:
+                steps.append(False)
+            else:
+                steps.append(
+                    lambda value, h=attr.hierarchy, s=src, d=dst: (
+                        h.map_value(value, s, d)
+                    )
+                )
+
+        def mapper(coords: Sequence[int]) -> tuple[int, ...]:
+            return tuple(
+                ALL_VALUE if step is None
+                else value if step is False
+                else step(value)
+                for value, step in zip(coords, steps)
             )
 
         return mapper

@@ -270,6 +270,81 @@ def _window_kernel(positions, values, window, aggregate_name: str):
     return [(int(pos[i]), int(out[i])) for i in np.flatnonzero(mask)]
 
 
+def sibling_window_patch(
+    source: MeasureTable,
+    window: SiblingWindow,
+    aggregate: AggregateFunction,
+    dirty: set,
+    cached: MeasureTable,
+) -> tuple[MeasureTable, set]:
+    """Regionally repair a cached sliding-window result after an append.
+
+    *source* is the up-to-date source table, *dirty* the set of source
+    coordinates whose values changed (or appeared), and *cached* the
+    window result computed over the pre-append source.  Inverting the
+    window containment test (``t``'s window reaches a dirty coordinate
+    ``c`` exactly when ``t`` lies in ``[c - high, c - low]``) splits the
+    anchors into a recompute set and a copy set -- the paper's
+    Theorem 1-2 extended-range reasoning applied to maintenance instead
+    of partitioning.  Recomputed anchors use the generic per-slice fold,
+    which every fast path in this module is exactness-gated to match
+    bitwise, so the patched table equals :func:`sibling_window` of the
+    full new source.  Returns ``(table, touched)`` where *touched* is
+    the set of anchor coordinates whose window reached a dirty region
+    (re-folded, or dropped when the window came up empty) -- the only
+    coordinates at which the result can differ from *cached*.
+    """
+    granularity = source.granularity
+    axis = granularity.schema.attribute_index(window.attribute)
+
+    dirty_axis: dict[tuple, list[int]] = defaultdict(list)
+    for coords in dirty:
+        key = coords[:axis] + coords[axis + 1 :]
+        dirty_axis[key].append(coords[axis])
+
+    # Start from the cached result: groups with no dirty coordinate are
+    # copied wholesale (one C-speed dict copy), and only the dirty
+    # groups are collected, sorted, and re-folded.  Cached anchors whose
+    # source row vanished are dropped so the result's anchor set always
+    # equals a cold evaluation's.
+    result: dict[tuple, object] = dict(cached.values)
+    for stale in cached.values.keys() - source.values.keys():
+        del result[stale]
+    recomputed: set = set()
+    if not dirty_axis:
+        return MeasureTable(granularity, result), recomputed
+
+    groups: dict[tuple, list[tuple[int, object]]] = defaultdict(list)
+    for coords, value in source.items():
+        key = coords[:axis] + coords[axis + 1 :]
+        if key in dirty_axis:
+            groups[key].append((coords[axis], value))
+    for key, entries in groups.items():
+        entries.sort()
+        positions = [position for position, _ in entries]
+        values = [value for _, value in entries]
+        dirties = sorted(dirty_axis[key])
+        for position in positions:
+            coords = key[:axis] + (position,) + key[axis:]
+            first = bisect_left(dirties, position + window.low)
+            touched = (
+                first < len(dirties)
+                and dirties[first] <= position + window.high
+            )
+            if not touched and coords in cached:
+                continue
+            recomputed.add(coords)
+            start = bisect_left(positions, position + window.low)
+            stop = bisect_right(positions, position + window.high)
+            if start >= stop:
+                # Empty window (offset-0-excluding windows at the data
+                # boundary): no output row, same as a cold evaluation.
+                result.pop(coords, None)
+                continue
+            result[coords] = aggregate.aggregate(values[start:stop])
+    return MeasureTable(granularity, result), recomputed
+
+
 def align_candidates(
     target: Granularity,
     edge_tables: list[tuple[MeasureTable, bool]],

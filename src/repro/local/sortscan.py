@@ -150,6 +150,7 @@ def compute_composite(
     measure: Measure,
     tables: Mapping[str, MeasureTable],
     fallback_coords=None,
+    candidates=None,
 ) -> MeasureTable:
     """Evaluate one composite measure from its sources' tables.
 
@@ -157,6 +158,12 @@ def compute_composite(
     parent alignment or self), intersects the edges' candidate regions,
     and combines the per-edge values with the measure's expression.
     Shared by the block evaluator and by the naive per-measure jobs.
+
+    *fallback_coords* anchors measures whose edges are all ALIGN (no
+    edge constrains the candidate set).  *candidates*, when given,
+    overrides candidate selection entirely: only those coordinates are
+    evaluated.  Incremental maintenance uses it to re-derive just the
+    anchors whose sources changed.
     """
     edge_results: list[tuple[MeasureTable, bool]] = []
     for edge in measure.inputs:
@@ -180,9 +187,10 @@ def compute_composite(
         else:  # ALIGN
             edge_results.append((source_table, True))
 
-    candidates = align_candidates(
-        measure.granularity, edge_results, fallback_coords
-    )
+    if candidates is None:
+        candidates = align_candidates(
+            measure.granularity, edge_results, fallback_coords
+        )
     if candidates is None:
         raise WorkflowError(
             f"measure {measure.name!r} has only parent/child edges and "

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import logging
 import pathlib
 import platform
 import subprocess
@@ -52,9 +53,16 @@ __all__ = [
 #: latency-attribution ledger book: per-query phase breakdowns that sum
 #: to end-to-end latency, per-tenant means, completeness counts); v7
 #: added the ``slo`` section (per-tenant latency objectives with
-#: lifetime good/bad counts and windowed burn rates).  Older manifests
-#: still load, with the newer sections empty.
-SCHEMA_VERSION = 7
+#: lifetime good/bad counts and windowed burn rates); v8 added the
+#: ``incremental`` section (the append flow's maintenance report:
+#: per-measure delta classification and patch/regional/derived/
+#: recomputed outcomes, fingerprints, partition-chain length).  Older
+#: manifests still load, with the newer sections empty; manifests
+#: *newer* than this reader load too, with a one-line warning and any
+#: unknown fields dropped.
+SCHEMA_VERSION = 8
+
+logger = logging.getLogger(__name__)
 
 
 def counters_to_dict(counters: JobCounters) -> dict:
@@ -174,6 +182,14 @@ class RunManifest:
     #: error-budget burn rate.  Empty when no objective was set and for
     #: manifests written before v7.
     slo: dict = field(default_factory=dict)
+    #: Incremental-maintenance section (schema v8):
+    #: :meth:`repro.serving.incremental.AppendReport.to_dict` plus the
+    #: partition-chain length and the verification verdict -- what one
+    #: ``repro append`` did to the measure cache: per-measure delta
+    #: classification (patchable/regional/full) and the action taken
+    #: (patched, regional repair, derived, recomputed, left stale).
+    #: Empty for non-append runs and manifests written before v8.
+    incremental: dict = field(default_factory=dict)
     created_at: str = field(
         default_factory=lambda: time.strftime("%Y-%m-%dT%H:%M:%S%z")
     )
@@ -369,6 +385,59 @@ class RunManifest:
             slo=dict(slo or {}),
         )
 
+    @classmethod
+    def from_append(
+        cls,
+        report,
+        query: str = "",
+        cluster_config=None,
+        execution_config=None,
+        partitions: int = 0,
+        verified: Optional[bool] = None,
+        telemetry=None,
+    ) -> "RunManifest":
+        """Build a manifest from an incremental append's report.
+
+        *report* is a :class:`~repro.serving.incremental.AppendReport`
+        (or its ``to_dict`` form).  An append runs no MapReduce job, so
+        the per-job fields are zero; the story lives in the
+        ``incremental`` section.  *partitions* is the length of the
+        dataset's partition chain after the append and *verified* the
+        outcome of the optional cold-recompute bit-identity check
+        (``None`` when the check was skipped).
+        """
+        section = report if isinstance(report, dict) else report.to_dict()
+        outcomes = section.get("outcomes", [])
+        actions = Counter(o.get("action", "?") for o in outcomes)
+        section = dict(section)
+        section["partitions"] = partitions
+        if verified is not None:
+            section["verified"] = bool(verified)
+        config: dict = {}
+        if cluster_config is not None:
+            config["cluster"] = dataclasses.asdict(cluster_config)
+        if execution_config is not None:
+            config["execution"] = dataclasses.asdict(execution_config)
+        return cls(
+            query=query
+            or f"append({section.get('delta_records', 0)} records)",
+            plan=", ".join(
+                f"{action}={count}"
+                for action, count in sorted(actions.items())
+            )
+            or "no cached measures",
+            response_time=section.get("duration", 0.0),
+            map_makespan=0.0,
+            reduce_makespan=0.0,
+            counters=counters_to_dict(JobCounters()),
+            breakdown=breakdown_to_dict(PhaseBreakdown()),
+            reducer_loads=[],
+            load_imbalance=0.0,
+            config=config,
+            telemetry=dict(telemetry or {}),
+            incremental=section,
+        )
+
     # -- round-trips ------------------------------------------------------------
 
     def job_counters(self) -> JobCounters:
@@ -387,12 +456,16 @@ class RunManifest:
     def from_dict(cls, data: dict) -> "RunManifest":
         """Rebuild a manifest from its JSON document."""
         version = data.get("schema_version", SCHEMA_VERSION)
-        if version > SCHEMA_VERSION:
-            raise ValueError(
-                f"manifest schema v{version} is newer than this "
-                f"reader (v{SCHEMA_VERSION})"
-            )
         known = {f.name for f in dataclasses.fields(cls)}
+        if isinstance(version, int) and version > SCHEMA_VERSION:
+            dropped = sorted(set(data) - known)
+            logger.warning(
+                "manifest schema v%d is newer than this reader (v%d); "
+                "loading the known fields%s",
+                version,
+                SCHEMA_VERSION,
+                f" and ignoring {', '.join(dropped)}" if dropped else "",
+            )
         return cls(**{k: v for k, v in data.items() if k in known})
 
     # -- persistence ------------------------------------------------------------
@@ -577,6 +650,48 @@ class RunManifest:
                     f"{section.get('good', 0)} good / "
                     f"{section.get('bad', 0)} bad, "
                     f"burn {section.get('burn_rate', 0.0):.2f}x"
+                )
+        if self.incremental:
+            inc = self.incremental
+            outcomes = inc.get("outcomes", [])
+            actions = Counter(o.get("action", "?") for o in outcomes)
+            verdict = inc.get("verified")
+            lines.append(
+                f"incremental: {inc.get('delta_records', 0)} appended "
+                f"records, {len(outcomes)} cached measures, "
+                f"partition chain {inc.get('partitions', 0)} long"
+                + (
+                    ""
+                    if verdict is None
+                    else (
+                        ", verified bit-identical"
+                        if verdict
+                        else ", VERIFICATION FAILED"
+                    )
+                )
+            )
+            if actions:
+                lines.append(
+                    "  actions: "
+                    + ", ".join(
+                        f"{action}={count}"
+                        for action, count in sorted(actions.items())
+                    )
+                )
+            for outcome in outcomes:
+                detail = outcome.get("reason", "")
+                regions = outcome.get("recomputed_regions", 0)
+                if regions:
+                    detail = (
+                        f"{detail + '; ' if detail else ''}"
+                        f"{regions} anchors re-evaluated"
+                    )
+                lines.append(
+                    f"  {outcome.get('measure', '?')}: "
+                    f"{outcome.get('classification', '?')} -> "
+                    f"{outcome.get('action', '?')}"
+                    f" ({outcome.get('rows', 0)} rows"
+                    + (f"; {detail})" if detail else ")")
                 )
         if self.workers:
             lines.append(f"workers: {len(self.workers)} processes")

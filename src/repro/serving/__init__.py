@@ -55,6 +55,13 @@ from repro.serving.executor import (
     BatchResult,
     GroupOutcome,
 )
+from repro.serving.incremental import (
+    AppendReport,
+    DeltaClass,
+    IncrementalMaintainer,
+    MeasureOutcome,
+    classify_measure,
+)
 from repro.serving.groups import (
     BatchDecision,
     BatchUnit,
@@ -78,14 +85,18 @@ from repro.serving.planner import (
 from repro.serving.queueing import BoundedPriorityQueue
 from repro.serving.quotas import TenantQuotas, TokenBucket
 from repro.serving.signature import (
+    DatasetHasher,
     cache_key,
     dataset_fingerprint,
     measure_signature,
+    merkle_root,
+    partition_digest,
 )
 
 __all__ = [
     "AdmissionController",
     "AdmissionStats",
+    "AppendReport",
     "Arrival",
     "BatchDecision",
     "BatchEvaluator",
@@ -98,8 +109,12 @@ __all__ = [
     "BreakerConfig",
     "CacheStats",
     "ComponentPlan",
+    "DatasetHasher",
+    "DeltaClass",
     "GroupOutcome",
+    "IncrementalMaintainer",
     "MeasureCache",
+    "MeasureOutcome",
     "MergeDecision",
     "Overloaded",
     "PendingGroup",
@@ -113,10 +128,13 @@ __all__ = [
     "TenantQuotas",
     "TokenBucket",
     "cache_key",
+    "classify_measure",
     "dataset_fingerprint",
     "form_share_groups",
     "generate_arrivals",
     "measure_signature",
+    "merkle_root",
+    "partition_digest",
     "prefix_workflow",
     "read_trace",
     "serve_arrivals",

@@ -191,9 +191,11 @@ class MeasureCache:
             self.telemetry.inc("cache.misses")
             return None
         try:
-            rows = {
-                tuple(coords): value for coords, value in payload["rows"]
-            }
+            raw = payload["rows"]
+            if isinstance(raw, dict):  # memory-mode native form
+                rows = raw
+            else:
+                rows = {tuple(coords): value for coords, value in raw}
         except (KeyError, TypeError, ValueError) as exc:
             logger.warning(
                 "cache: corrupt entry (bad rows) key=%s error=%r; evicting",
@@ -209,9 +211,61 @@ class MeasureCache:
         self._touch(key)
         return MeasureTable(granularity, rows)
 
+    def get_states(self, key: str) -> dict[tuple, list] | None:
+        """The sidecar accumulator states stored with *key*, if any.
+
+        Incremental maintenance stores per-coordinate partial states
+        (``coords -> accumulator``) next to finalized rows for
+        aggregates whose finalize step is lossy (``avg`` keeps
+        ``[sum, count]``).  Entries written by batch/serve flows carry
+        no states; patching then rebuilds them from the base data once.
+        Not a counted lookup -- callers have already established the
+        entry via :meth:`contains`/:meth:`get`.
+        """
+        payload = self._memory.get(key)
+        if payload is None and self.directory is not None:
+            payload = self._read(key)
+        if payload is None:
+            return None
+        states = payload.get("states")
+        if states is None:
+            return None
+        if isinstance(states, dict):  # memory-mode native form
+            return {
+                coords: list(state) for coords, state in states.items()
+            }
+        try:
+            return {tuple(coords): list(state) for coords, state in states}
+        except (TypeError, ValueError):
+            return None
+
+    def get_partitions(self, key: str) -> list[dict] | None:
+        """The append-partition provenance stored with *key*, if any.
+
+        A list of ``{"digest", "n_records"}`` dicts, one per partition
+        the entry's fingerprint was built from (base first).  ``None``
+        for entries written without provenance.  Not a counted lookup.
+        """
+        payload = self._memory.get(key)
+        if payload is None and self.directory is not None:
+            payload = self._read(key)
+        if payload is None:
+            return None
+        partitions = payload.get("partitions")
+        if not isinstance(partitions, list):
+            return None
+        return partitions
+
     # -- store ------------------------------------------------------------
 
-    def put(self, key: str, table: MeasureTable, measure_name: str = "") -> bool:
+    def put(
+        self,
+        key: str,
+        table: MeasureTable,
+        measure_name: str = "",
+        partitions: Optional[list[dict]] = None,
+        states: Optional[dict] = None,
+    ) -> bool:
         """Store *table* under *key*; returns whether it was persisted.
 
         Existing entries are left untouched (content addressing makes
@@ -219,31 +273,62 @@ class MeasureCache:
         cannot serialize the rows are skipped and counted, never
         raised.  A store past *max_bytes* evicts least-recently-used
         entries until the new entry fits.
+
+        *partitions* attaches append provenance (see
+        :meth:`get_partitions`); *states* attaches per-coordinate
+        accumulator states (see :meth:`get_states`).  Both are optional
+        and ignored by readers that do not know about them.
         """
         if self.contains(key):
             return True
-        payload = {
-            "key": key,
-            "measure": measure_name,
-            "granularity": list(table.granularity.levels),
-            "rows": [[list(coords), value] for coords, value in table.items()],
-            "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        }
-        try:
-            text = json.dumps(payload)
-            size = len(text)
-        except (TypeError, ValueError) as exc:
-            if self.directory is not None:
+        created_at = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+        if self.directory is None:
+            # Memory mode keeps native structures -- no row flattening
+            # or JSON round-trip on the hot (append-maintenance) path.
+            # Size is charged from an estimate so byte-bounded eviction
+            # still sees the entry; :meth:`spill_to` converts to the
+            # JSON form if persistence is requested later.
+            payload = {
+                "key": key,
+                "measure": measure_name,
+                "granularity": list(table.granularity.levels),
+                "rows": dict(table.values),
+                "created_at": created_at,
+            }
+            size = 256 + 64 * len(table)
+            if partitions is not None:
+                payload["partitions"] = partitions
+            if states is not None:
+                payload["states"] = {
+                    coords: list(state)
+                    for coords, state in states.items()
+                }
+                size += 64 * len(states)
+            self._memory[key] = payload
+        else:
+            payload = {
+                "key": key,
+                "measure": measure_name,
+                "granularity": list(table.granularity.levels),
+                "rows": [
+                    [list(coords), value] for coords, value in table.items()
+                ],
+                "created_at": created_at,
+            }
+            if partitions is not None:
+                payload["partitions"] = partitions
+            if states is not None:
+                payload["states"] = [
+                    [list(coords), list(state)]
+                    for coords, state in states.items()
+                ]
+            try:
+                text = json.dumps(payload)
+                size = len(text)
+            except (TypeError, ValueError) as exc:
                 logger.warning("cache: cannot serialize %s: %s", key, exc)
                 self.stats.store_errors += 1
                 return False
-            # Memory mode tolerates unserializable rows; charge a rough
-            # size so byte-bounded eviction still sees the entry.
-            text = None
-            size = 256 + 64 * len(payload["rows"])
-        if self.directory is None:
-            self._memory[key] = payload
-        else:
             self.directory.mkdir(parents=True, exist_ok=True)
             self._path(key).write_text(text)
         self._index[key] = _Entry(size=size, created=self._clock())
@@ -253,6 +338,14 @@ class MeasureCache:
         self._shrink_to_fit(spare=key)
         self.telemetry.set_gauge("cache.bytes", float(self.total_bytes))
         return True
+
+    def discard(self, key: str) -> None:
+        """Drop *key* if present (tallied as an eviction when it was).
+
+        Incremental maintenance uses this to retire superseded
+        old-fingerprint entries once their successors are stored.
+        """
+        self._evict(key)
 
     def spill_to(self, directory: str | Path) -> int:
         """Persist in-memory entries as ``<key>.json`` files.
@@ -268,7 +361,7 @@ class MeasureCache:
         written = 0
         for key, payload in self._memory.items():
             try:
-                text = json.dumps(payload)
+                text = json.dumps(self._json_ready(payload))
             except (TypeError, ValueError) as exc:
                 logger.warning(
                     "cache: cannot spill %s: %s", key, exc
@@ -342,6 +435,28 @@ class MeasureCache:
             self._index.move_to_end(key)
 
     # -- internals --------------------------------------------------------
+
+    @staticmethod
+    def _json_ready(payload: dict) -> dict:
+        """A JSON-serializable copy of a memory-mode payload.
+
+        Memory entries keep rows and states as native dicts keyed by
+        coordinate tuples; the JSON file form flattens both to
+        ``[[coords, value], ...]`` lists.
+        """
+        data = dict(payload)
+        rows = data.get("rows")
+        if isinstance(rows, dict):
+            data["rows"] = [
+                [list(coords), value] for coords, value in rows.items()
+            ]
+        states = data.get("states")
+        if isinstance(states, dict):
+            data["states"] = [
+                [list(coords), list(state)]
+                for coords, state in states.items()
+            ]
+        return data
 
     def _path(self, key: str) -> Path:
         assert self.directory is not None

@@ -72,10 +72,15 @@ from repro.serving.groups import (
     BatchUnit,
     prefix_workflow,
 )
+from repro.serving.incremental import AppendReport, IncrementalMaintainer
 from repro.serving.planner import _derivable
 from repro.serving.queueing import BoundedPriorityQueue
 from repro.serving.quotas import TenantQuotas
-from repro.serving.signature import cache_key, dataset_fingerprint
+from repro.serving.signature import (
+    DatasetHasher,
+    cache_key,
+    partition_digest,
+)
 
 __all__ = [
     "BreakerConfig",
@@ -210,6 +215,8 @@ class ServeReport:
     breaker_trips: int = 0
     groups_dispatched: int = 0
     grouped_queries: int = 0
+    appends: int = 0
+    appended_records: int = 0
     admission: dict = field(default_factory=dict)
     queue: dict = field(default_factory=dict)
     quotas: dict = field(default_factory=dict)
@@ -233,6 +240,8 @@ class ServeReport:
             "breaker_trips": self.breaker_trips,
             "groups_dispatched": self.groups_dispatched,
             "grouped_queries": self.grouped_queries,
+            "appends": self.appends,
+            "appended_records": self.appended_records,
             "admission": dict(self.admission),
             "queue": dict(self.queue),
             "quotas": dict(self.quotas),
@@ -528,10 +537,24 @@ class QueryService:
                     "serves one dataset"
                 )
         self.schema = schema
+        #: Incrementally maintained dataset identity: appends extend the
+        #: hasher in O(delta) and the fingerprint stays exactly equal to
+        #: a batch run's ``dataset_fingerprint`` over the same records.
+        self._hasher: Optional[DatasetHasher] = None
+        #: Append provenance: one ``{"digest", "n_records"}`` entry per
+        #: partition applied so far (the base dataset first).
+        self._partitions: list[dict] = []
+        if cache is not None:
+            self._hasher = DatasetHasher(schema)
+            self._hasher.update(self.records)
+            self._partitions.append(
+                {
+                    "digest": partition_digest(self.records, schema),
+                    "n_records": len(self.records),
+                }
+            )
         self.fingerprint = (
-            dataset_fingerprint(self.records, schema)
-            if cache is not None
-            else ""
+            self._hasher.fingerprint() if self._hasher is not None else ""
         )
 
         self._serial = 0
@@ -544,6 +567,11 @@ class QueryService:
         self._dispatcher_task: Optional[asyncio.Task] = None
         self._work_available: Optional[asyncio.Event] = None
         self._idle: Optional[asyncio.Event] = None
+        #: Set (open) except while an append is installing new data;
+        #: submissions wait on it so their cache keys never straddle a
+        #: fingerprint change.
+        self._append_gate: Optional[asyncio.Event] = None
+        self._generation = 0
         self._latencies_ms: list[float] = []
         self._report = ServeReport()
         #: Catalog name -> per-component (workflow, solo plan); plans
@@ -563,6 +591,8 @@ class QueryService:
         self._work_available = asyncio.Event()
         self._idle = asyncio.Event()
         self._idle.set()
+        self._append_gate = asyncio.Event()
+        self._append_gate.set()
         for index in range(self.limits.max_inflight):
             self._workers.append(
                 _Worker(
@@ -619,6 +649,10 @@ class QueryService:
     async def submit(self, request: QueryRequest) -> QueryResponse:
         """Serve one query; never raises for overload/deadline/faults."""
         await self.start()
+        # An in-progress append is swapping the dataset identity; wait
+        # for it so this query's cache keys bind to one fingerprint.
+        while not self._append_gate.is_set():
+            await self._append_gate.wait()
         now = self.clock()
         self._serial += 1
         serial = self._serial
@@ -1350,6 +1384,96 @@ class QueryService:
         return response
 
     # -- drain ------------------------------------------------------------
+
+    # -- appends ----------------------------------------------------------
+
+    async def append(self, delta: Sequence[Record]) -> Optional[AppendReport]:
+        """Install an append partition, patching live cache entries.
+
+        The daemon quiesces first: new submissions wait at the append
+        gate, held groups are force-dispatched, and the queue and
+        workers run dry -- so no job ever runs over mixed data or
+        stores results under a stale fingerprint.  Then the incremental
+        maintainer patches every cached catalog measure forward (old
+        fingerprint to new), the records, worker inputs and priced
+        plans are swapped to the grown dataset, and the gate reopens.
+        Returns the maintenance report, or ``None`` when no cache is
+        attached or the delta is empty (the data still grows; there is
+        just nothing to patch).
+        """
+        await self.start()
+        delta = list(delta)
+        if not delta:
+            return None
+        self._append_gate.clear()
+        try:
+            # Anything already admitted runs over the old data and
+            # stores under old-fingerprint keys -- which is only
+            # correct if it finishes before the data changes.
+            self._dispatch_due(flush=True)
+            while (
+                len(self.queue)
+                or self._inflight
+                or (self.admission is not None and self.admission.held)
+            ):
+                self._work_available.set()
+                self._idle.clear()
+                try:
+                    await asyncio.wait_for(self._idle.wait(), timeout=0.1)
+                except asyncio.TimeoutError:
+                    self._dispatch_due(flush=True)
+
+            report: Optional[AppendReport] = None
+            if self.cache is not None and self._hasher is not None:
+                old_fingerprint = self.fingerprint
+                history = [dict(p) for p in self._partitions]
+                self._hasher.update(delta)
+                new_fingerprint = self._hasher.fingerprint()
+                maintainer = IncrementalMaintainer(
+                    self.cache, self.schema, telemetry=self.telemetry
+                )
+                report = await asyncio.to_thread(
+                    maintainer.apply,
+                    list(self.catalog.values()),
+                    self.records,
+                    delta,
+                    old_fingerprint,
+                    new_fingerprint,
+                    history,
+                )
+                self._partitions.append(
+                    {"digest": report.partition, "n_records": len(delta)}
+                )
+                self.fingerprint = new_fingerprint
+
+            self.records.extend(delta)
+            self._generation += 1
+            for worker in self._workers:
+                worker.input_file = worker.cluster.dfs.write(
+                    f"serve-input-{worker.index}-g{self._generation}",
+                    self.records,
+                )
+            # Solo plans are priced against the record count; reprice.
+            self._solo_plans.clear()
+            if self.admission is not None:
+                self.admission.n_records = len(self.records)
+            self._report.appends += 1
+            self._report.appended_records += len(delta)
+            self.telemetry.inc("serve.appends")
+            self.telemetry.set_gauge(
+                "serve.records", float(len(self.records))
+            )
+            logger.info(
+                "serve: appended %d records (now %d); %s",
+                len(delta),
+                len(self.records),
+                report.summary().replace("\n", " ")
+                if report is not None
+                else "no cache attached",
+            )
+            return report
+        finally:
+            self._append_gate.set()
 
     async def drain(self) -> ServeReport:
         """Graceful shutdown: finish everything in flight, then stop.

@@ -1,0 +1,789 @@
+"""Incremental view maintenance: append data, patch cached answers.
+
+An append used to be a cache massacre: any new record flips
+:func:`~repro.serving.signature.dataset_fingerprint`, every key stops
+matching, and the daemon re-executes full jobs over history it already
+aggregated.  This module turns the measure cache into a maintained view
+instead.  When a delta partition arrives, each cached measure entry is
+classified by how much of it the delta can actually change:
+
+=========  =============================================================
+patchable  distributive/algebraic measures whose arithmetic is exact
+           under reordering (``sum``/``count``/``min``/``max`` over
+           integers, ``avg`` within float64's exact integer range):
+           fold *only the delta records*, op-combine the partial states
+           into the cached result (Gray et al.'s classification, as in
+           the CubeGen / MapReduce-cube literature)
+regional   sibling-window measures: invert the window containment test
+           (the paper's Theorem 1-2 extended-range reasoning) to find
+           the anchors whose windows reach a changed source region, and
+           recompute exactly those
+full       holistic measures (median, quantiles, distinct counts) and
+           anything whose reordered arithmetic could round differently
+           (variance, float sums): the delta can change every region,
+           so the entry is recomputed -- or simply left to age out
+=========  =============================================================
+
+The classification is *structural* (from the measure graph) with a
+*runtime exactness gate* on the actual values, mirroring the fast-path
+gates in :mod:`repro.local.operators`: a structurally patchable ``sum``
+over float values falls back to ``full`` rather than risk a result that
+differs from cold recomputation in the last bit.  Whatever route an
+entry takes, the maintained table must equal what
+:func:`~repro.local.sortscan.evaluate_centralized` computes over the
+concatenated dataset -- bit-identical answers are the contract, speed
+is the reward.
+
+Entries carry Merkle-style append provenance (see
+:func:`~repro.serving.signature.partition_digest`): the chain of
+partition digests an entry was built from.  A maintainer asked to apply
+a delta on top of a history that does not match the entry's recorded
+chain refuses to patch (the entry is recomputed instead), which is what
+makes out-of-order and overlapping appends safe.
+"""
+
+from __future__ import annotations
+
+import enum
+import logging
+import time
+from dataclasses import dataclass, field
+
+from repro.cube.records import Schema
+from repro.local.measure_table import MeasureTable
+from repro.local.operators import sibling_window_patch
+from repro.local.sortscan import BlockEvaluator, compute_composite
+from repro.obs.telemetry import NULL_TELEMETRY
+from repro.query.functions import IDENTITY
+from repro.query.measures import Measure, Relationship
+from repro.query.workflow import Workflow, subworkflow
+from repro.serving.cache import MeasureCache
+from repro.serving.signature import (
+    cache_key,
+    measure_signature,
+    merkle_root,
+    partition_digest,
+)
+
+__all__ = [
+    "AppendReport",
+    "DeltaClass",
+    "IncrementalMaintainer",
+    "MeasureOutcome",
+    "classify_measure",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Aggregates whose fold is exact (hence order-insensitive) on integer
+#: inputs: patching folds the delta separately and merges, which only
+#: preserves bit-identity when the arithmetic cannot round.  ``avg``
+#: qualifies within float64's exact integer range (the same 2**53 bound
+#: the operators module uses for its window fast paths); variance and
+#: stddev do not (Chan's merge rounds differently than a sequential
+#: Welford fold), and holistic functions have no merge at all.
+_EXACT_COMBINE = frozenset({"sum", "count", "min", "max", "avg"})
+
+#: Largest magnitude exactly representable in a float64 mantissa.
+_EXACT_FLOAT_BOUND = 2**53
+
+_MISSING = object()
+
+
+class DeltaClass(enum.Enum):
+    """How much of a cached measure one append partition can change."""
+
+    PATCHABLE = "patchable"
+    REGIONAL = "regional"
+    FULL = "full"
+
+
+def classify_measure(measure: Measure, memo: dict | None = None) -> DeltaClass:
+    """Structurally classify *measure* for incremental maintenance.
+
+    Basic measures classify by their aggregate; composites inherit the
+    worst of their sources, with two graph rules layered on top: any
+    sibling edge makes the measure (at best) regional, and a rollup
+    edge whose aggregate cannot be exactly re-folded makes it full.
+    """
+    if memo is None:
+        memo = {}
+    cached = memo.get(id(measure))
+    if cached is not None:
+        return cached
+    if measure.is_basic:
+        result = (
+            DeltaClass.PATCHABLE
+            if measure.aggregate.name in _EXACT_COMBINE
+            else DeltaClass.FULL
+        )
+    else:
+        result = DeltaClass.PATCHABLE
+        for edge in measure.inputs:
+            source_class = classify_measure(edge.source, memo)
+            if source_class is DeltaClass.FULL:
+                result = DeltaClass.FULL
+                break
+            if edge.relationship is Relationship.ROLLUP and (
+                edge.aggregate.name not in _EXACT_COMBINE
+            ):
+                result = DeltaClass.FULL
+                break
+            if (
+                edge.relationship is Relationship.SIBLING
+                or source_class is DeltaClass.REGIONAL
+            ):
+                result = DeltaClass.REGIONAL
+    memo[id(measure)] = result
+    return result
+
+
+@dataclass
+class MeasureOutcome:
+    """What incremental maintenance did to one cached measure."""
+
+    measure: str
+    signature: str
+    classification: str
+    #: ``patched`` (delta fold + merge), ``regional`` (windowed anchor
+    #: repair), ``derived`` (recombined from patched sources),
+    #: ``recomputed`` (full re-evaluation), ``current`` (a fresh entry
+    #: already existed), ``stale`` (full-class entry left to age out),
+    #: or ``skipped`` (could not be maintained; see ``reason``).
+    action: str
+    reason: str = ""
+    rows: int = 0
+    #: Anchors re-evaluated by the regional path (0 elsewhere).
+    recomputed_regions: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "measure": self.measure,
+            "signature": self.signature,
+            "classification": self.classification,
+            "action": self.action,
+            "reason": self.reason,
+            "rows": self.rows,
+            "recomputed_regions": self.recomputed_regions,
+        }
+
+
+@dataclass
+class AppendReport:
+    """One append's worth of maintenance, for logs and manifests."""
+
+    old_fingerprint: str
+    new_fingerprint: str
+    delta_records: int
+    partition: str
+    outcomes: list[MeasureOutcome] = field(default_factory=list)
+    duration: float = 0.0
+
+    def count(self, action: str) -> int:
+        return sum(1 for o in self.outcomes if o.action == action)
+
+    @property
+    def patched(self) -> int:
+        """Entries maintained without touching historical records."""
+        return sum(
+            1
+            for o in self.outcomes
+            if o.action in ("patched", "regional", "derived")
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "old_fingerprint": self.old_fingerprint,
+            "new_fingerprint": self.new_fingerprint,
+            "delta_records": self.delta_records,
+            "partition": self.partition,
+            "duration": self.duration,
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+    def summary(self) -> str:
+        parts = [
+            f"append: {self.delta_records} records, "
+            f"{len(self.outcomes)} cached measures",
+            f"  patched={self.count('patched')} "
+            f"regional={self.count('regional')} "
+            f"derived={self.count('derived')} "
+            f"recomputed={self.count('recomputed')} "
+            f"stale={self.count('stale')} "
+            f"skipped={self.count('skipped')} "
+            f"current={self.count('current')}",
+            f"  fingerprint {self.old_fingerprint[:12]}.. -> "
+            f"{self.new_fingerprint[:12]}..  ({self.duration * 1e3:.1f} ms)",
+        ]
+        return "\n".join(parts)
+
+
+class IncrementalMaintainer:
+    """Patches cached measure entries forward across one append.
+
+    Construct once per cache/schema pair; :meth:`apply` is called per
+    append with the workflows whose measures may be cached, the base
+    records (only read to rebuild missing ``avg`` states or to recompute
+    full-class entries), and the delta.  *recompute_full* selects the
+    policy for full-class entries: ``False`` (default) leaves the old
+    entry to age out -- the next query recomputes through the normal
+    execution paths -- while ``True`` re-evaluates them immediately so
+    the cache is complete under the new fingerprint.
+    """
+
+    def __init__(
+        self,
+        cache: MeasureCache,
+        schema: Schema,
+        telemetry=None,
+        recompute_full: bool = False,
+    ):
+        self.cache = cache
+        self.schema = schema
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.recompute_full = recompute_full
+
+    # -- the append ---------------------------------------------------------
+
+    def apply(
+        self,
+        workflows: list[Workflow],
+        base_records,
+        delta_records,
+        old_fingerprint: str,
+        new_fingerprint: str,
+        history: list[dict] | None = None,
+    ) -> AppendReport:
+        """Maintain every cached measure of *workflows* across one append.
+
+        *history* is the caller's record of the partitions already
+        applied (base first), as ``{"digest", "n_records"}`` dicts; when
+        given, entries whose stored provenance disagrees are refused
+        (recomputed or left stale) instead of patched -- the defense
+        against out-of-order replays.  Returns the per-measure report;
+        the cache afterwards holds new-fingerprint entries for
+        everything that could be maintained.
+        """
+        started = time.perf_counter()
+        delta = (
+            delta_records
+            if isinstance(delta_records, list)
+            else list(delta_records)
+        )
+        digest = partition_digest(delta, self.schema)
+        report = AppendReport(
+            old_fingerprint=old_fingerprint,
+            new_fingerprint=new_fingerprint,
+            delta_records=len(delta),
+            partition=digest,
+        )
+        chain = list(history) if history is not None else None
+        new_chain = (chain or []) + [
+            {"digest": digest, "n_records": len(delta)}
+        ]
+
+        done: set[str] = set()
+        new_tables: dict[str, MeasureTable] = {}
+        dirty_sets: dict[str, set] = {}
+        memo: dict = {}
+        for workflow in workflows:
+            for measure in workflow.topological_order():
+                signature = measure_signature(measure)
+                if signature in done:
+                    continue
+                done.add(signature)
+                outcome = self._maintain(
+                    measure,
+                    workflow,
+                    signature,
+                    base_records,
+                    delta,
+                    old_fingerprint,
+                    new_fingerprint,
+                    chain,
+                    new_chain,
+                    new_tables,
+                    dirty_sets,
+                    memo,
+                )
+                report.outcomes.append(outcome)
+                self.telemetry.inc(f"cache.append.{outcome.action}")
+        report.duration = time.perf_counter() - started
+        self.telemetry.inc("cache.appends")
+        return report
+
+    # -- per-measure maintenance -------------------------------------------
+
+    def _maintain(
+        self,
+        measure: Measure,
+        workflow: Workflow,
+        signature: str,
+        base_records,
+        delta,
+        old_fingerprint: str,
+        new_fingerprint: str,
+        chain,
+        new_chain,
+        new_tables: dict[str, MeasureTable],
+        dirty_sets: dict[str, set],
+        memo: dict,
+    ) -> MeasureOutcome:
+        classification = classify_measure(measure, memo)
+        old_key = cache_key(old_fingerprint, measure)
+        new_key = cache_key(new_fingerprint, measure)
+
+        def outcome(action, reason="", rows=0, regions=0):
+            return MeasureOutcome(
+                measure=measure.name,
+                signature=signature,
+                classification=classification.value,
+                action=action,
+                reason=reason,
+                rows=rows,
+                recomputed_regions=regions,
+            )
+
+        old_table = self.cache.get(old_key, measure.granularity)
+
+        # Another workflow (or a racing maintainer) already produced the
+        # new-fingerprint entry; adopt it and derive the dirty set so
+        # dependents can still take the regional path.
+        if self.cache.contains(new_key):
+            new_table = self.cache.get(new_key, measure.granularity)
+            if new_table is not None:
+                new_tables[signature] = new_table
+                if old_table is not None:
+                    dirty_sets[signature] = _table_diff(old_table, new_table)
+                return outcome("current", rows=len(new_table))
+
+        if old_table is None:
+            # Nothing cached to maintain.  Full-class measures may still
+            # be recomputed below when asked; everything else is simply
+            # not in the cache's care.
+            if classification is not DeltaClass.FULL:
+                return outcome("skipped", reason="not cached")
+
+        if chain is not None and old_table is not None:
+            stored = self.cache.get_partitions(old_key)
+            if stored is not None and merkle_root(
+                [p.get("digest", "") for p in stored]
+            ) != merkle_root([p.get("digest", "") for p in chain]):
+                logger.warning(
+                    "incremental: provenance mismatch for %s (key=%s); "
+                    "refusing to patch",
+                    measure.name, old_key,
+                )
+                classification = DeltaClass.FULL
+                old_table = None
+
+        if classification is DeltaClass.FULL:
+            return self._handle_full(
+                measure, workflow, outcome, base_records, delta,
+                new_key, new_chain, new_tables, dirty_sets,
+            )
+
+        if measure.is_basic:
+            return self._patch_basic(
+                measure, outcome, base_records, delta,
+                old_key, old_table, new_key, new_chain,
+                new_tables, dirty_sets, signature,
+            )
+        return self._patch_composite(
+            measure, outcome, delta, old_table, new_key, new_chain,
+            new_tables, dirty_sets, signature,
+        )
+
+    # -- patchable basics ---------------------------------------------------
+
+    def _patch_basic(
+        self, measure, outcome, base_records, delta,
+        old_key, old_table, new_key, new_chain,
+        new_tables, dirty_sets, signature,
+    ):
+        aggregate = measure.aggregate
+        mapper = measure.granularity.coordinate_mapper()
+        field_index = self.schema.field_index(measure.field)
+        delta_values: dict[tuple, list] = {}
+        for record in delta:
+            delta_values.setdefault(mapper(record), []).append(
+                record[field_index]
+            )
+
+        states = None
+        if aggregate.name == "avg":
+            states = self.cache.get_states(old_key)
+            if states is None:
+                states = self._rebuild_avg_states(
+                    measure, base_records, mapper, field_index
+                )
+                if states is None:
+                    return self._handle_full_fallback(
+                        measure, outcome,
+                        reason="avg entry has no states and no base "
+                        "records to rebuild them from",
+                    )
+
+        new_values = dict(old_table.values)
+        new_states = (
+            {coords: list(state) for coords, state in states.items()}
+            if states is not None
+            else None
+        )
+        dirty: set = set()
+        for coords, values in delta_values.items():
+            old_value = old_table.get(coords, _MISSING)
+            patched = _fold_exact(
+                aggregate.name,
+                old_value,
+                new_states.get(coords) if new_states is not None else None,
+                values,
+            )
+            if patched is None:
+                return self._handle_full_fallback(
+                    measure, outcome,
+                    reason="delta or cached values outside the exact "
+                    f"range for {aggregate.name}",
+                )
+            value, state = patched
+            new_values[coords] = value
+            if value != old_value:
+                # Untouched coordinates keep their cached value, so the
+                # fold loop is the whole diff -- no full-table scan.
+                dirty.add(coords)
+            if new_states is not None:
+                new_states[coords] = state
+
+        new_table = MeasureTable(measure.granularity, new_values)
+        self.cache.put(
+            new_key, new_table, measure.name,
+            partitions=new_chain, states=new_states,
+        )
+        new_tables[signature] = new_table
+        dirty_sets[signature] = dirty
+        self.telemetry.inc("cache.patched")
+        return outcome("patched", rows=len(new_table))
+
+    def _rebuild_avg_states(self, measure, base_records, mapper, field_index):
+        """Re-fold base records into ``[sum, count]`` states, once.
+
+        Entries written by batch/serve flows carry finalized values
+        only; the first append pays one scan of the base data for this
+        measure and stores the states so every later append is
+        O(delta).
+        """
+        if base_records is None:
+            return None
+        states: dict[tuple, list] = {}
+        for record in base_records:
+            coords = mapper(record)
+            state = states.get(coords)
+            if state is None:
+                state = [0.0, 0]
+                states[coords] = state
+            state[0] += record[field_index]
+            state[1] += 1
+        return states
+
+    # -- patchable/regional composites --------------------------------------
+
+    def _patch_composite(
+        self, measure, outcome, delta, old_table, new_key, new_chain,
+        new_tables, dirty_sets, signature,
+    ):
+        sources = {}
+        for edge in measure.inputs:
+            source_signature = measure_signature(edge.source)
+            table = new_tables.get(source_signature)
+            if table is None:
+                return outcome(
+                    "skipped",
+                    reason=f"source {edge.source.name!r} has no "
+                    "maintained table",
+                )
+            sources[edge.source.name] = (table, source_signature)
+            if edge.relationship is Relationship.ROLLUP and not (
+                _exact_table_values(edge.aggregate.name, table.values)
+            ):
+                return self._handle_full_fallback(
+                    measure, outcome,
+                    reason="rollup source values outside the exact "
+                    f"range for {edge.aggregate.name}",
+                )
+
+        # Single identity sibling window: the regional fast path.
+        # Anchors whose extended range misses every dirty source region
+        # keep their cached value; the rest are re-folded.
+        only = measure.inputs[0]
+        if (
+            len(measure.inputs) == 1
+            and only.relationship is Relationship.SIBLING
+            and measure.effective_combine is IDENTITY
+            and old_table is not None
+        ):
+            table, source_signature = sources[only.source.name]
+            dirty = dirty_sets.get(source_signature)
+            if dirty is not None:
+                new_table, touched = sibling_window_patch(
+                    table, only.window, only.aggregate, dirty, old_table
+                )
+                self.cache.put(
+                    new_key, new_table, measure.name, partitions=new_chain
+                )
+                new_tables[signature] = new_table
+                # Untouched anchors were copied verbatim, so the dirty
+                # set only needs a scan of the touched ones.
+                dirty_sets[signature] = {
+                    coords
+                    for coords in touched
+                    if new_table.get(coords, _MISSING)
+                    != old_table.get(coords, _MISSING)
+                }
+                self.telemetry.inc("cache.regional")
+                return outcome(
+                    "regional", rows=len(new_table), regions=len(touched)
+                )
+
+        anchors = None
+        restricted = None
+        relationships = {edge.relationship for edge in measure.inputs}
+        if relationships <= {Relationship.SELF, Relationship.ALIGN}:
+            if Relationship.SELF in relationships:
+                # SELF edges anchor the candidate set themselves: the
+                # intersection of their (already maintained) tables,
+                # exactly :func:`align_candidates`' choice.
+                for edge in measure.inputs:
+                    if edge.relationship is not Relationship.SELF:
+                        continue
+                    coords = set(sources[edge.source.name][0].coords())
+                    anchors = (
+                        coords if anchors is None else anchors & coords
+                    )
+            elif old_table is None:
+                return outcome(
+                    "skipped", reason="pure-align measure without a "
+                    "cached anchor set",
+                )
+            else:
+                mapper = measure.granularity.coordinate_mapper()
+                anchors = set(old_table.coords())
+                anchors.update(mapper(record) for record in delta)
+            if old_table is not None:
+                restricted = self._dirty_anchors(
+                    measure, sources, dirty_sets, anchors, old_table
+                )
+
+        tables = {name: table for name, (table, _) in sources.items()}
+        if restricted is not None:
+            # Only anchors reading a dirty source coordinate (or new to
+            # the anchor set) can have moved; every other anchor keeps
+            # its cached value verbatim -- its sources are unchanged
+            # there -- so the copy is exact by construction.
+            patched = compute_composite(
+                measure, tables, candidates=restricted
+            )
+            values = dict(old_table.values)
+            for coords in old_table.values.keys() - anchors:
+                del values[coords]  # no longer anchored: vanished
+            for coords in restricted - patched.values.keys():
+                values.pop(coords, None)  # re-derived to no value
+            values.update(patched.values)
+            new_table = MeasureTable(measure.granularity, values)
+            dirty = {
+                coords
+                for coords in restricted
+                if patched.get(coords, _MISSING)
+                != old_table.get(coords, _MISSING)
+            }
+            # Anchor sets only grow under appends, but guard exactness:
+            # a cached coordinate no longer anchored has vanished.
+            dirty.update(old_table.values.keys() - anchors)
+            dirty_sets[signature] = dirty
+        else:
+            new_table = compute_composite(measure, tables, anchors)
+            if old_table is not None:
+                dirty_sets[signature] = _table_diff(old_table, new_table)
+            else:
+                dirty_sets[signature] = set(new_table.coords())
+        self.cache.put(new_key, new_table, measure.name, partitions=new_chain)
+        new_tables[signature] = new_table
+        self.telemetry.inc("cache.derived")
+        return outcome("derived", rows=len(new_table))
+
+    def _dirty_anchors(self, measure, sources, dirty_sets, anchors, old_table):
+        """Anchors whose recombination can differ from the cached value.
+
+        An anchor re-reads each SELF source at its own coordinates and
+        each ALIGN source at the anchor's rolled-up coordinates, so its
+        value can only move when one of those coordinates is in the
+        source's dirty set -- or when the anchor is new to the set.
+        Returns ``None`` (recompute every anchor) when any source's
+        dirty set is unknown.
+        """
+        per_edge = []
+        target = measure.granularity
+        for edge in measure.inputs:
+            table, source_signature = sources[edge.source.name]
+            dirty = dirty_sets.get(source_signature)
+            if dirty is None:
+                return None
+            per_edge.append((edge, table.granularity, dirty))
+        restricted = anchors - old_table.values.keys()
+        for edge, grain, dirty in per_edge:
+            if not dirty:
+                continue
+            if (
+                edge.relationship is Relationship.SELF
+                or grain.levels == target.levels
+            ):
+                restricted |= dirty & anchors
+                continue
+            # Expand each dirty coarse region into the fine coordinates
+            # it covers and intersect with the anchor set -- O(dirty x
+            # fanout) instead of rolling every anchor upward.  Falls
+            # back to the full scan when a hierarchy cannot enumerate
+            # children or the expansion outgrows the anchor set.
+            expanded = self._expand_dirty(grain, target, dirty, anchors)
+            if expanded is not None:
+                restricted |= expanded & anchors
+            else:
+                roll_up = target.coords_mapper(grain)
+                restricted.update(
+                    a for a in anchors if roll_up(a) in dirty
+                )
+        return restricted
+
+    @staticmethod
+    def _expand_dirty(grain, target, dirty, anchors):
+        """Refine dirty *grain*-level coords down to *target* coords.
+
+        Returns ``None`` (scan instead) when children cannot be
+        enumerated or the expansion exceeds twice the anchor count --
+        past that the upward scan is the cheaper direction.
+        """
+        budget = 2 * len(anchors)
+        expanded: set = set()
+        for coords in dirty:
+            fine = grain.refinements(coords, target, limit=budget)
+            if fine is None:
+                return None
+            expanded.update(fine)
+            if len(expanded) > budget:
+                return None
+        return expanded
+
+    # -- full-class measures -------------------------------------------------
+
+    def _handle_full(
+        self, measure, workflow, outcome, base_records, delta,
+        new_key, new_chain, new_tables, dirty_sets,
+    ):
+        if not self.recompute_full or base_records is None:
+            self.telemetry.inc("cache.full")
+            return outcome(
+                "stale",
+                reason="holistic/inexact measure; old entry left to "
+                "age out",
+            )
+        evaluator = BlockEvaluator(subworkflow(workflow, [measure.name]))
+        result = evaluator.evaluate(list(base_records) + list(delta))
+        new_table = result[measure.name]
+        self.cache.put(new_key, new_table, measure.name, partitions=new_chain)
+        new_tables[measure_signature(measure)] = new_table
+        dirty_sets[measure_signature(measure)] = set(new_table.coords())
+        self.telemetry.inc("cache.full")
+        return outcome("recomputed", rows=len(new_table))
+
+    def _handle_full_fallback(self, measure, outcome, reason):
+        """A runtime exactness gate tripped: demote to the full policy."""
+        logger.info(
+            "incremental: %s falls back to full recompute (%s)",
+            measure.name, reason,
+        )
+        self.telemetry.inc("cache.full")
+        if not self.recompute_full:
+            return outcome("stale", reason=reason)
+        return outcome("skipped", reason=reason)
+
+
+# -- exactness gates ---------------------------------------------------------
+
+def _is_exact_int(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _fold_exact(aggregate_name, old_value, state, values):
+    """Fold *values* onto a cached value/state, or ``None`` if inexact.
+
+    Returns ``(new_value, new_state)``.  The gates mirror the operator
+    fast paths: integer arithmetic is exact at any magnitude in Python,
+    ``avg`` additionally keeps its float sum inside the 2**53 mantissa
+    range so the single finalize division sees the same operands a cold
+    fold would.
+    """
+    if aggregate_name == "count":
+        base = old_value if old_value is not _MISSING else 0
+        return base + len(values), None
+    if aggregate_name == "sum":
+        if old_value is not _MISSING and not _is_exact_int(old_value):
+            return None
+        if not all(_is_exact_int(v) for v in values):
+            return None
+        base = old_value if old_value is not _MISSING else 0
+        return base + sum(values), None
+    if aggregate_name in ("min", "max"):
+        pick = min if aggregate_name == "min" else max
+        folded = pick(values)
+        if old_value is _MISSING:
+            return folded, None
+        return pick(old_value, folded), None
+    if aggregate_name == "avg":
+        if state is None:
+            if old_value is not _MISSING:
+                return None
+            state = [0.0, 0]
+        if not all(_is_exact_int(v) for v in values):
+            return None
+        total = abs(state[0]) + sum(abs(v) for v in values)
+        if total > _EXACT_FLOAT_BOUND or not float(state[0]).is_integer():
+            return None
+        new_state = [state[0], state[1]]
+        for value in values:
+            new_state[0] += value
+            new_state[1] += 1
+        return new_state[0] / new_state[1], new_state
+    return None
+
+
+def _exact_table_values(aggregate_name, values: dict) -> bool:
+    """Whether re-folding a table is exact for *aggregate_name*.
+
+    Patched tables iterate in a different order than cold-evaluated
+    ones; a rollup over them is only bit-identical when the fold cannot
+    round (exact integers, or pure selection/counting).
+    """
+    if aggregate_name == "count":
+        return True
+    if aggregate_name in ("min", "max"):
+        return True
+    if aggregate_name == "sum":
+        return all(_is_exact_int(v) for v in values.values())
+    if aggregate_name == "avg":
+        total = 0
+        for value in values.values():
+            if not _is_exact_int(value):
+                return False
+            total += abs(value)
+        return total <= _EXACT_FLOAT_BOUND
+    return False
+
+
+def _table_diff(old: MeasureTable, new: MeasureTable) -> set:
+    """Coordinates whose value changed, appeared, or vanished."""
+    changed = {
+        coords
+        for coords, value in new.items()
+        if old.get(coords, _MISSING) != value
+    }
+    changed.update(coords for coords in old.coords() if coords not in new)
+    return changed

@@ -209,8 +209,16 @@ class BatchPlanner:
         queries: Mapping[str, Workflow],
         data: Sequence[Record] | DistributedFile,
         num_reducers: int,
+        fingerprint: str | None = None,
     ) -> BatchPlan:
-        """Classify components, form share groups, return the plan."""
+        """Classify components, form share groups, return the plan.
+
+        *fingerprint* short-circuits the dataset hash for callers that
+        already maintain it (the daemon's incrementally-updated
+        :class:`~repro.serving.signature.DatasetHasher`, or an append
+        flow that just computed it); it must equal
+        ``dataset_fingerprint(data, schema)`` or cache keys will miss.
+        """
         schema = None
         for name, workflow in queries.items():
             if QUERY_SEPARATOR in name:
@@ -232,9 +240,10 @@ class BatchPlanner:
             data = list(data)
             n_records = len(data)
 
-        fingerprint = ""
-        if self.cache is not None and schema is not None:
-            fingerprint = dataset_fingerprint(data, schema)
+        if fingerprint is None:
+            fingerprint = ""
+            if self.cache is not None and schema is not None:
+                fingerprint = dataset_fingerprint(data, schema)
 
         planned: list[PlannedQuery] = []
         units: list[BatchUnit] = []

@@ -25,6 +25,11 @@ from repro.workload.queries import (
     q5,
     q6,
 )
+from repro.workload.streaming import (
+    session_stream,
+    streaming_query,
+    streaming_schema,
+)
 from repro.workload.retail import (
     generate_sales,
     retail_query,
@@ -65,6 +70,9 @@ __all__ = [
     "q6",
     "retail_query",
     "retail_schema",
+    "session_stream",
+    "streaming_query",
+    "streaming_schema",
     "top_alarms",
     "weblog_query",
     "weblog_schema",

@@ -94,11 +94,13 @@ class TestRunManifest:
         stream.seek(0)
         assert RunManifest.load(stream) == manifest
 
-    def test_rejects_newer_schema(self):
+    def test_newer_schema_loads_with_warning(self, caplog):
         data = RunManifest.from_result(FakeOutcome()).to_dict()
         data["schema_version"] = 99
-        with pytest.raises(ValueError, match="newer"):
-            RunManifest.from_dict(data)
+        with caplog.at_level("WARNING", logger="repro.obs.manifest"):
+            manifest = RunManifest.from_dict(data)
+        assert manifest.schema_version == 99
+        assert any("newer" in r.getMessage() for r in caplog.records)
 
     def test_ignores_unknown_fields(self):
         data = RunManifest.from_result(FakeOutcome()).to_dict()

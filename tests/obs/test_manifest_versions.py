@@ -1,4 +1,4 @@
-"""Every manifest schema version (v1..v7) must keep loading.
+"""Every manifest schema version (v1..v8) must keep loading.
 
 ``repro stats`` and ``repro diff`` read manifests written by older
 builds; these tests freeze a representative document per version and
@@ -170,6 +170,36 @@ def document_for_version(version: int) -> dict:
                 },
             },
         }
+    if version >= 8:
+        data["incremental"] = {
+            "old_fingerprint": "a" * 32,
+            "new_fingerprint": "b" * 32,
+            "delta_records": 500,
+            "partition": "c" * 32,
+            "duration": 0.042,
+            "partitions": 3,
+            "verified": True,
+            "outcomes": [
+                {
+                    "measure": "S1",
+                    "signature": "d" * 32,
+                    "classification": "patchable",
+                    "action": "patched",
+                    "reason": "",
+                    "rows": 120,
+                    "recomputed_regions": 0,
+                },
+                {
+                    "measure": "S4",
+                    "signature": "e" * 32,
+                    "classification": "regional",
+                    "action": "regional",
+                    "reason": "",
+                    "rows": 118,
+                    "recomputed_regions": 14,
+                },
+            ],
+        }
     if version >= 7:
         data["slo"] = {
             "window_seconds": 60.0,
@@ -188,7 +218,7 @@ def document_for_version(version: int) -> dict:
     return data
 
 
-@pytest.mark.parametrize("version", [1, 2, 3, 4, 5, 6, 7])
+@pytest.mark.parametrize("version", [1, 2, 3, 4, 5, 6, 7, 8])
 class TestVersionRoundTrip:
     def test_from_dict_and_back(self, version):
         manifest = RunManifest.from_dict(document_for_version(version))
@@ -231,6 +261,12 @@ class TestVersionRoundTrip:
         if version >= 7:
             assert "slo tenant-1: 100ms @ 95.00%" in summary
             assert "33 good / 2 bad, burn 1.00x" in summary
+        if version >= 8:
+            assert ("incremental: 500 appended records, 2 cached "
+                    "measures, partition chain 3 long, verified "
+                    "bit-identical") in summary
+            assert "S4: regional -> regional" in summary
+            assert "14 anchors re-evaluated" in summary
 
     def test_self_diff_is_clean(self, version):
         manifest = RunManifest.from_dict(document_for_version(version))
@@ -249,6 +285,7 @@ class TestVersionGuards:
         assert manifest.serving == {}
         assert manifest.tracing == {}
         assert manifest.slo == {}
+        assert manifest.incremental == {}
 
     def test_unknown_fields_ignored(self):
         data = document_for_version(2)
@@ -256,11 +293,18 @@ class TestVersionGuards:
         manifest = RunManifest.from_dict(data)
         assert manifest.schema_version == 2
 
-    def test_newer_version_rejected(self):
+    def test_newer_version_degrades_with_warning(self, caplog):
         data = document_for_version(3)
         data["schema_version"] = SCHEMA_VERSION + 1
-        with pytest.raises(ValueError, match="newer"):
-            RunManifest.from_dict(data)
+        data["hologram"] = {"x": 1}
+        with caplog.at_level("WARNING", logger="repro.obs.manifest"):
+            manifest = RunManifest.from_dict(data)
+        assert manifest.schema_version == SCHEMA_VERSION + 1
+        assert not hasattr(manifest, "hologram")
+        assert manifest.summary()
+        warnings = [r for r in caplog.records if "newer" in r.getMessage()]
+        assert len(warnings) == 1
+        assert "hologram" in warnings[0].getMessage()
 
     def test_cross_version_diff_runs(self):
         old = RunManifest.from_dict(document_for_version(1))

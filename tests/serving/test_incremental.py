@@ -1,0 +1,543 @@
+"""Incremental view maintenance: patch cached answers across appends.
+
+The contract under test is absolute: every table the maintainer
+produces must be bit-identical to a cold recompute over the grown
+dataset -- patching is an optimization, never an approximation.  The
+suite covers the delta classifier, the append-friendly fingerprinting,
+the per-aggregate exactness gates, regional sibling-window repair,
+Merkle provenance (out-of-order and duplicate appends), and the
+daemon's live-append path, including an append racing in-flight work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.local import evaluate_centralized
+from repro.local.operators import sibling_window, sibling_window_patch
+from repro.query.builder import WorkflowBuilder
+from repro.serving import (
+    DatasetHasher,
+    DeltaClass,
+    IncrementalMaintainer,
+    MeasureCache,
+    QueryRequest,
+    QueryService,
+    ServiceLimits,
+    cache_key,
+    classify_measure,
+    dataset_fingerprint,
+    merkle_root,
+    partition_digest,
+)
+from repro.workload import session_stream, streaming_query, streaming_schema
+
+from tests.serving.conftest import fresh_cluster
+
+_MISSING = object()
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return streaming_schema(days=1)
+
+
+@pytest.fixture(scope="module")
+def query(schema):
+    return streaming_query(schema)
+
+
+@pytest.fixture(scope="module")
+def partitions(schema):
+    return list(session_stream(schema, 3, 400, seed=11))
+
+
+def _measure(workflow, name):
+    return next(m for m in workflow.measures if m.name == name)
+
+
+def _chain_entry(records, schema):
+    return {
+        "digest": partition_digest(records, schema),
+        "n_records": len(records),
+    }
+
+
+def _warm(cache, workflow, records, fingerprint, chain=None):
+    """Populate the cache the way a batch run would (no states)."""
+    cold = evaluate_centralized(workflow, records)
+    for measure in workflow.measures:
+        cache.put(
+            cache_key(fingerprint, measure),
+            cold[measure.name],
+            measure_name=measure.name,
+            partitions=chain,
+        )
+    return cold
+
+
+def _assert_maintained(cache, workflow, fingerprint, records):
+    """Every measure's cached table equals the cold recompute, bitwise."""
+    cold = evaluate_centralized(workflow, records)
+    for measure in workflow.measures:
+        table = cache.get(
+            cache_key(fingerprint, measure), measure.granularity
+        )
+        assert table is not None, measure.name
+        assert table.values == cold[measure.name].values, measure.name
+
+
+class TestClassification:
+    def test_streaming_suite(self, query):
+        expected = {
+            "S1": DeltaClass.PATCHABLE,
+            "S2": DeltaClass.PATCHABLE,
+            "S3": DeltaClass.PATCHABLE,
+            "S4": DeltaClass.REGIONAL,
+        }
+        for name, want in expected.items():
+            assert classify_measure(_measure(query, name)) is want, name
+
+    def test_exact_basics_are_patchable(self, schema):
+        builder = WorkflowBuilder(schema)
+        for index, aggregate in enumerate(
+            ("sum", "count", "min", "max", "avg")
+        ):
+            builder.basic(
+                f"B{index}", over={"keyword": "word"},
+                field="page_count", aggregate=aggregate,
+            )
+        for measure in builder.build().measures:
+            assert classify_measure(measure) is DeltaClass.PATCHABLE
+
+    def test_holistic_and_welford_are_full(self, schema):
+        builder = WorkflowBuilder(schema)
+        builder.basic(
+            "MED", over={"keyword": "word"},
+            field="page_count", aggregate="median",
+        )
+        builder.basic(
+            "VAR", over={"keyword": "word"},
+            field="page_count", aggregate="variance",
+        )
+        workflow = builder.build()
+        for name in ("MED", "VAR"):
+            assert classify_measure(_measure(workflow, name)) is (
+                DeltaClass.FULL
+            )
+
+    def test_full_source_poisons_composite(self, schema):
+        builder = WorkflowBuilder(schema)
+        builder.basic(
+            "MED", over={"keyword": "word", "time": "minute"},
+            field="page_count", aggregate="median",
+        )
+        (
+            builder.composite(
+                "W", over={"keyword": "word", "time": "minute"}
+            )
+            .window("MED", attribute="time", low=-9, high=0, aggregate="avg")
+        )
+        workflow = builder.build()
+        assert classify_measure(_measure(workflow, "W")) is DeltaClass.FULL
+
+
+class TestFingerprints:
+    def test_incremental_hash_equals_batch_hash(self, schema, partitions):
+        hasher = DatasetHasher(schema)
+        grown = []
+        for partition in partitions:
+            hasher.update(partition)
+            grown.extend(partition)
+            assert hasher.fingerprint() == dataset_fingerprint(
+                grown, schema
+            )
+
+    def test_finalize_does_not_consume_the_hasher(self, schema, partitions):
+        hasher = DatasetHasher(schema)
+        hasher.update(partitions[0])
+        first = hasher.fingerprint()
+        assert hasher.fingerprint() == first
+        hasher.update(partitions[1])
+        assert hasher.fingerprint() != first
+
+    def test_partition_digest_is_content_addressed(self, schema, partitions):
+        assert partition_digest(
+            partitions[0], schema
+        ) != partition_digest(partitions[1], schema)
+        assert partition_digest(partitions[0], schema) == partition_digest(
+            list(partitions[0]), schema
+        )
+
+    def test_merkle_root_is_order_sensitive(self):
+        assert merkle_root(["a", "b"]) != merkle_root(["b", "a"])
+        assert merkle_root([]) == merkle_root([])
+        assert merkle_root(["a"]) != merkle_root([])
+
+
+class TestMaintainer:
+    def test_appends_are_bit_identical_to_cold_recompute(
+        self, schema, query, partitions
+    ):
+        cache = MeasureCache()
+        records = list(partitions[0])
+        fingerprint = dataset_fingerprint(records, schema)
+        _warm(cache, query, records, fingerprint)
+        history = [_chain_entry(partitions[0], schema)]
+        maintainer = IncrementalMaintainer(cache, schema)
+
+        for delta in partitions[1:]:
+            new_fingerprint = dataset_fingerprint(
+                records + delta, schema
+            )
+            report = maintainer.apply(
+                [query], records, delta, fingerprint, new_fingerprint,
+                history=history,
+            )
+            assert report.patched == len(query.measures)
+            assert report.count("patched") == 2
+            assert report.count("derived") == 1
+            assert report.count("regional") == 1
+            records.extend(delta)
+            history.append(_chain_entry(delta, schema))
+            fingerprint = new_fingerprint
+            _assert_maintained(cache, query, fingerprint, records)
+
+    def test_regional_repair_touches_a_bounded_frontier(
+        self, schema, query, partitions
+    ):
+        cache = MeasureCache()
+        base = list(partitions[0])
+        fingerprint = dataset_fingerprint(base, schema)
+        _warm(cache, query, base, fingerprint)
+        new_fingerprint = dataset_fingerprint(
+            base + partitions[1], schema
+        )
+        report = IncrementalMaintainer(cache, schema).apply(
+            [query], base, partitions[1], fingerprint, new_fingerprint,
+        )
+        regional = next(
+            o for o in report.outcomes if o.action == "regional"
+        )
+        assert regional.measure == "S4"
+        # Watermarked partitions only dirty the newest time slice, so
+        # most anchors must keep their cached value.
+        assert 0 < regional.recomputed_regions < regional.rows
+
+    def test_avg_states_rebuilt_from_base_records(self, schema, partitions):
+        builder = WorkflowBuilder(schema)
+        builder.basic(
+            "A", over={"keyword": "word", "time": "hour"},
+            field="page_count", aggregate="avg",
+        )
+        workflow = builder.build()
+        cache = MeasureCache()
+        base = list(partitions[0])
+        fingerprint = dataset_fingerprint(base, schema)
+        # Warmed by a batch run: finalized rows only, no [sum, count]
+        # states -- the maintainer must rebuild them with one base scan.
+        _warm(cache, workflow, base, fingerprint)
+        new_fingerprint = dataset_fingerprint(
+            base + partitions[1], schema
+        )
+        report = IncrementalMaintainer(cache, schema).apply(
+            [workflow], base, partitions[1], fingerprint, new_fingerprint,
+        )
+        assert report.outcomes[0].action == "patched"
+        _assert_maintained(
+            cache, workflow, new_fingerprint, base + partitions[1]
+        )
+
+    def test_float_delta_trips_the_sum_gate(self, schema, query, partitions):
+        cache = MeasureCache()
+        base = list(partitions[0])
+        fingerprint = dataset_fingerprint(base, schema)
+        _warm(cache, query, base, fingerprint)
+        delta = [(0, 1.5, 1, 0), (1, 2.25, 0, 1)]
+        new_fingerprint = dataset_fingerprint(base + delta, schema)
+        report = IncrementalMaintainer(cache, schema).apply(
+            [query], base, delta, fingerprint, new_fingerprint,
+        )
+        s1 = next(o for o in report.outcomes if o.measure == "S1")
+        # Refused, not approximated: no entry appears under the new
+        # fingerprint, so the next query recomputes exactly.
+        assert s1.action == "stale"
+        assert cache.get(
+            cache_key(new_fingerprint, _measure(query, "S1")),
+            _measure(query, "S1").granularity,
+        ) is None
+
+    def test_uncached_measures_are_skipped(self, schema, query, partitions):
+        cache = MeasureCache()
+        base = list(partitions[0])
+        fingerprint = dataset_fingerprint(base, schema)
+        new_fingerprint = dataset_fingerprint(
+            base + partitions[1], schema
+        )
+        report = IncrementalMaintainer(cache, schema).apply(
+            [query], base, partitions[1], fingerprint, new_fingerprint,
+        )
+        assert {o.action for o in report.outcomes} == {"skipped"}
+
+    def test_recompute_full_reevaluates_holistics(self, schema, partitions):
+        builder = WorkflowBuilder(schema)
+        builder.basic(
+            "MED", over={"keyword": "word"},
+            field="page_count", aggregate="median",
+        )
+        workflow = builder.build()
+        cache = MeasureCache()
+        base = list(partitions[0])
+        fingerprint = dataset_fingerprint(base, schema)
+        _warm(cache, workflow, base, fingerprint)
+        new_fingerprint = dataset_fingerprint(
+            base + partitions[1], schema
+        )
+        report = IncrementalMaintainer(
+            cache, schema, recompute_full=True
+        ).apply(
+            [workflow], base, partitions[1], fingerprint, new_fingerprint,
+        )
+        assert report.outcomes[0].action == "recomputed"
+        _assert_maintained(
+            cache, workflow, new_fingerprint, base + partitions[1]
+        )
+
+
+class TestProvenance:
+    """Out-of-order and duplicate appends must never corrupt answers."""
+
+    def test_mismatched_history_refuses_to_patch(
+        self, schema, query, partitions
+    ):
+        cache = MeasureCache()
+        base = list(partitions[0])
+        fingerprint = dataset_fingerprint(base, schema)
+        chain = [_chain_entry(base, schema)]
+        _warm(cache, query, base, fingerprint, chain=chain)
+        # The caller replays with a history that disagrees with the
+        # stored chain (as after a missed intermediate append).
+        wrong = [_chain_entry(partitions[2], schema)]
+        new_fingerprint = dataset_fingerprint(
+            base + partitions[1], schema
+        )
+        report = IncrementalMaintainer(cache, schema).apply(
+            [query], base, partitions[1], fingerprint, new_fingerprint,
+            history=wrong,
+        )
+        assert report.patched == 0
+        for measure in query.measures:
+            assert cache.get(
+                cache_key(new_fingerprint, measure), measure.granularity
+            ) is None
+
+    def test_same_partition_twice_out_of_order_is_refused(
+        self, schema, query, partitions
+    ):
+        cache = MeasureCache()
+        base = list(partitions[0])
+        delta = list(partitions[1])
+        fp0 = dataset_fingerprint(base, schema)
+        chain = [_chain_entry(base, schema)]
+        _warm(cache, query, base, fp0, chain=chain)
+        maintainer = IncrementalMaintainer(cache, schema)
+        fp1 = dataset_fingerprint(base + delta, schema)
+        first = maintainer.apply(
+            [query], base, delta, fp0, fp1, history=chain,
+        )
+        assert first.patched == len(query.measures)
+        # Replaying the same append against the already-patched entry:
+        # the stored chain is [base, delta], the claimed history [base].
+        replay = maintainer.apply(
+            [query], base, delta, fp1, fp1, history=chain,
+        )
+        assert replay.count("current") == 0 or replay.patched == 0
+        assert replay.count("patched") == 0
+
+    def test_duplicate_content_with_correct_history_patches(
+        self, schema, query, partitions
+    ):
+        cache = MeasureCache()
+        base = list(partitions[0])
+        delta = list(partitions[1])
+        fp0 = dataset_fingerprint(base, schema)
+        chain = [_chain_entry(base, schema)]
+        _warm(cache, query, base, fp0, chain=chain)
+        maintainer = IncrementalMaintainer(cache, schema)
+        fp1 = dataset_fingerprint(base + delta, schema)
+        maintainer.apply([query], base, delta, fp0, fp1, history=chain)
+        chain.append(_chain_entry(delta, schema))
+        # The same records arrive again as a legitimate new partition
+        # (overlapping content, honest history): that is just data.
+        fp2 = dataset_fingerprint(base + delta + delta, schema)
+        second = maintainer.apply(
+            [query], base + delta, delta, fp1, fp2, history=chain,
+        )
+        assert second.patched == len(query.measures)
+        _assert_maintained(cache, query, fp2, base + delta + delta)
+
+
+class TestSiblingWindowPatch:
+    def test_matches_full_recompute(self, schema, query, partitions):
+        edge = _measure(query, "S4").inputs[0]
+        old = evaluate_centralized(query, partitions[0])["S3"]
+        new = evaluate_centralized(
+            query, partitions[0] + partitions[1]
+        )["S3"]
+        dirty = {
+            coords
+            for coords, value in new.values.items()
+            if old.values.get(coords, _MISSING) != value
+        }
+        cached = sibling_window(old, edge.window, edge.aggregate)
+        expected = sibling_window(new, edge.window, edge.aggregate)
+        patched, recomputed = sibling_window_patch(
+            new, edge.window, edge.aggregate, dirty, cached
+        )
+        assert patched.values == expected.values
+        assert 0 < len(recomputed) < len(expected.values)
+
+    def test_empty_dirty_set_copies_everything(self, schema, query,
+                                               partitions):
+        edge = _measure(query, "S4").inputs[0]
+        source = evaluate_centralized(query, partitions[0])["S3"]
+        cached = sibling_window(source, edge.window, edge.aggregate)
+        patched, recomputed = sibling_window_patch(
+            source, edge.window, edge.aggregate, set(), cached
+        )
+        assert not recomputed
+        assert patched.values == cached.values
+
+
+class TestCacheSidecars:
+    def test_states_and_partitions_round_trip(self, schema, query,
+                                              partitions):
+        cache = MeasureCache()
+        measure = _measure(query, "S1")
+        cold = evaluate_centralized(query, partitions[0])
+        chain = [_chain_entry(partitions[0], schema)]
+        states = {
+            coords: [float(value), 2]
+            for coords, value in list(cold["S1"].values.items())[:3]
+        }
+        key = cache_key("fp", measure)
+        assert cache.put(
+            key, cold["S1"], measure.name,
+            partitions=chain, states=states,
+        )
+        assert cache.get_partitions(key) == chain
+        assert cache.get_states(key) == states
+        cache.discard(key)
+        assert not cache.contains(key)
+        assert cache.get_partitions(key) is None
+
+    def test_sidecars_absent_for_plain_entries(self, schema, query,
+                                               partitions):
+        cache = MeasureCache()
+        measure = _measure(query, "S1")
+        cold = evaluate_centralized(query, partitions[0])
+        key = cache_key("fp", measure)
+        cache.put(key, cold["S1"], measure.name)
+        assert cache.get_partitions(key) is None
+        assert cache.get_states(key) is None
+
+
+class TestDaemonAppend:
+    def _catalog(self, query):
+        return {"stream": query}
+
+    def test_append_between_queries_is_bit_identical(
+        self, schema, query, partitions
+    ):
+        service = QueryService(
+            self._catalog(query), partitions[0],
+            cluster_factory=fresh_cluster,
+            cache=MeasureCache(),
+            limits=ServiceLimits(admission_window_ms=5.0),
+        )
+
+        async def body():
+            before = await service.submit(QueryRequest("stream", query))
+            report = await service.append(partitions[1])
+            after = await service.submit(QueryRequest("stream", query))
+            await service.drain()
+            return before, report, after
+
+        before, report, after = asyncio.run(body())
+        assert before.status == "ok"
+        assert after.status == "ok"
+        assert report is not None
+        assert report.patched == len(query.measures)
+        assert before.result == evaluate_centralized(query, partitions[0])
+        assert after.result == evaluate_centralized(
+            query, partitions[0] + partitions[1]
+        )
+        assert service.report().appends == 1
+        assert service.report().appended_records == len(partitions[1])
+
+    def test_append_racing_inflight_group_quiesces_first(
+        self, schema, query, partitions
+    ):
+        service = QueryService(
+            self._catalog(query), partitions[0],
+            cluster_factory=fresh_cluster,
+            cache=MeasureCache(),
+            limits=ServiceLimits(admission_window_ms=5.0),
+        )
+
+        async def body():
+            await service.start()
+            racing = [
+                asyncio.create_task(
+                    service.submit(QueryRequest("stream", query))
+                )
+                for _ in range(3)
+            ]
+            # Let the submissions pass the gate and enter the system,
+            # then append while they are still in flight.
+            await asyncio.sleep(0)
+            report = await service.append(partitions[1])
+            responses = await asyncio.gather(*racing)
+            after = await service.submit(QueryRequest("stream", query))
+            await service.drain()
+            return report, responses, after
+
+        report, responses, after = asyncio.run(body())
+        base_cold = evaluate_centralized(query, partitions[0])
+        # Racing queries were admitted before the append, so they must
+        # answer over the old dataset -- never a mixed view.
+        for response in responses:
+            assert response.status == "ok"
+            assert response.result == base_cold
+        assert report is not None
+        assert after.status == "ok"
+        assert after.result == evaluate_centralized(
+            query, partitions[0] + partitions[1]
+        )
+
+    def test_daemon_double_append_keeps_identity(
+        self, schema, query, partitions
+    ):
+        service = QueryService(
+            self._catalog(query), partitions[0],
+            cluster_factory=fresh_cluster,
+            cache=MeasureCache(),
+            limits=ServiceLimits(admission_window_ms=5.0),
+        )
+
+        async def body():
+            first = await service.append(partitions[1])
+            second = await service.append(partitions[1])
+            response = await service.submit(QueryRequest("stream", query))
+            await service.drain()
+            return first, second, response
+
+        first, second, response = asyncio.run(body())
+        assert first is not None and second is not None
+        assert response.status == "ok"
+        assert response.result == evaluate_centralized(
+            query, partitions[0] + partitions[1] + partitions[1]
+        )
+        assert service.report().appends == 2

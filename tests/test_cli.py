@@ -347,6 +347,71 @@ class TestStats:
         with pytest.raises(SystemExit, match="not a run manifest"):
             main(["stats", str(path)])
 
+    def test_stats_future_schema_degrades_gracefully(
+        self, tmp_path, capsys
+    ):
+        manifest = tmp_path / "future.json"
+        main(
+            ["append", "--records", "1500", "--partitions", "2",
+             "--machines", "4", "--manifest", str(manifest)]
+        )
+        capsys.readouterr()
+        data = json.loads(manifest.read_text())
+        data["schema_version"] = 99
+        data["from_the_future"] = {"x": 1}
+        manifest.write_text(json.dumps(data))
+        code = main(["stats", str(manifest)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "schema v99" in out
+        assert "incremental:" in out
+
+
+class TestAppend:
+    def test_streaming_append_verifies_and_writes_manifest(
+        self, tmp_path, capsys
+    ):
+        manifest = tmp_path / "append.json"
+        code = main(
+            ["append", "--records", "2400", "--partitions", "3",
+             "--machines", "4", "--verify", "--manifest", str(manifest)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warmed cache on partition 0" in out
+        assert "patched=2 regional=1 derived=1" in out
+        assert "bit-identical" in out
+        data = json.loads(manifest.read_text())
+        assert data["schema_version"] >= 8
+        assert data["incremental"]["verified"] is True
+        assert data["incremental"]["partitions"] == 3
+        actions = {
+            o["action"] for o in data["incremental"]["outcomes"]
+        }
+        assert actions == {"patched", "regional", "derived"}
+
+    def test_append_holistic_queries_left_stale(
+        self, weblog_query_file, capsys
+    ):
+        code = main(
+            ["append", weblog_query_file, "--schema", "weblog",
+             "--records", "2000", "--partitions", "2", "--days", "1",
+             "--machines", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # Medians are holistic: nothing patchable, entries age out.
+        assert "patched=0" in out
+        assert "stale=" in out
+
+    def test_append_requires_query_for_batch_schemas(self):
+        with pytest.raises(SystemExit, match="query file is required"):
+            main(["append", "--schema", "weblog"])
+
+    def test_append_rejects_single_partition(self):
+        with pytest.raises(SystemExit, match="at least 2"):
+            main(["append", "--partitions", "1"])
+
 
 class TestLoggingFlags:
     def teardown_method(self):
@@ -598,7 +663,7 @@ class TestBatch:
         assert main(["stats", manifest]) == 0
         out = capsys.readouterr().out
         assert "batch:" in out
-        assert "schema v7" in out
+        assert "schema v8" in out
 
     def test_duplicate_stems_rejected(self, tmp_path):
         nested = tmp_path / "nested"
@@ -770,7 +835,7 @@ class TestTelemetryCli:
         manifest = json.loads(
             (tmp_path / "trace.manifest.json").read_text()
         )
-        assert manifest["schema_version"] == 7
+        assert manifest["schema_version"] == 8
         assert manifest["telemetry"]["final"] is True
         assert manifest["telemetry"]["counters"]["job.completed"] == 1
 

@@ -39,7 +39,7 @@ def test_tour_covers_every_subcommand():
     assert commands, "README has no Five-minute tour commands to check"
     assert {argv[0] for argv in commands} >= {
         "run", "explain", "trace", "stats", "diff", "batch",
-        "loadgen", "serve",
+        "loadgen", "serve", "append",
     }
 
 
@@ -79,7 +79,7 @@ def test_tour_commands_run_verbatim(tour_cwd, capsys):
     assert "wrote run manifest to trace.manifest.json" in trace_out
 
     stats_out = output(lambda a: a[0] == "stats")[0]
-    assert "schema v7" in stats_out
+    assert "schema v8" in stats_out
 
     cold, warm = output(lambda a: a[0] == "batch")
     assert "2 queries answered by 1 shared jobs" in cold
@@ -101,3 +101,13 @@ def test_tour_commands_run_verbatim(tour_cwd, capsys):
     assert "serve:" in serve_out
     assert "ok=" in serve_out
     assert "wrote run manifest to serve.manifest.json" in serve_out
+
+    append_out = output(lambda a: a[0] == "append")[0]
+    assert "warmed cache on partition 0 (2000 records, 4 stores)" in (
+        append_out
+    )
+    assert "patched=2 regional=1 derived=1 recomputed=0" in append_out
+    assert (
+        "verify: 4 maintained tables bit-identical to a cold recompute "
+        "over 6000 records"
+    ) in append_out

@@ -17,10 +17,17 @@ flight recorder, and the smoke asserts the tracing invariants -- one
 causally-connected tree per admitted query (zero orphans), and every
 closed ledger's phases tiling its end-to-end latency within tolerance.
 
+With ``--append`` the smoke instead exercises **live appends**: the
+daemon serves the streaming S1-S4 suite while delta partitions are
+installed mid-stream (racing in-flight queries through the quiesce
+gate), and every patched answer must stay bit-identical to a cold
+recompute over the grown prefix with zero corrupt cache entries.
+
 Run from the repo root (CI gives the job a hard timeout)::
 
     PYTHONPATH=src python tools/serve_smoke.py [--records N] [--seed N]
     PYTHONPATH=src python tools/serve_smoke.py --check-traces
+    PYTHONPATH=src python tools/serve_smoke.py --append
 
 Exit status is non-zero on any violated invariant.
 """
@@ -50,6 +57,11 @@ def parse_args(argv):
     parser.add_argument(
         "--check-traces", action="store_true",
         help="also assert the tracing/ledger invariants on both phases",
+    )
+    parser.add_argument(
+        "--append", action="store_true",
+        help="run the append smoke instead: patch the cache mid-stream "
+             "and assert bit-identity against a cold rerun",
     )
     return parser.parse_args(argv)
 
@@ -160,8 +172,132 @@ def check_traces(service, responses, phase: str,
     )
 
 
+def append_smoke(args, violations: list[str]) -> None:
+    """Appends mid-stream must patch the cache, never corrupt it.
+
+    The daemon serves the streaming S1-S4 suite while delta partitions
+    land between (and racing with) live queries.  Every answer after
+    an append must be bit-identical to a cold recompute over the grown
+    prefix, queries admitted before an append must still answer over
+    the old dataset (never a mixed view), and the measure cache must
+    finish with zero corrupt entries.
+    """
+    import asyncio
+
+    from repro.mapreduce import ClusterConfig, SimulatedCluster
+    from repro.serving import QueryRequest, QueryService, ServiceLimits
+    from repro.workload import (
+        session_stream,
+        streaming_query,
+        streaming_schema,
+    )
+
+    schema = streaming_schema(days=1)
+    query = streaming_query(schema)
+    per_partition = max(200, args.records // 4)
+    partitions = list(
+        session_stream(schema, 4, per_partition, seed=args.seed)
+    )
+    cache = MeasureCache()
+    service = QueryService(
+        {"stream": query},
+        partitions[0],
+        cluster_factory=lambda: SimulatedCluster(
+            ClusterConfig(machines=args.machines)
+        ),
+        cache=cache,
+        limits=ServiceLimits(admission_window_ms=10.0),
+    )
+    print(
+        f"append smoke: 1 warmed + {len(partitions) - 1} appended "
+        f"partitions x {per_partition} sessions"
+    )
+
+    async def body():
+        await service.start()
+        baseline = await service.submit(QueryRequest("stream", query))
+        answers = []
+        reports = []
+        racers = []
+        for delta in partitions[1:]:
+            racing = [
+                asyncio.create_task(
+                    service.submit(QueryRequest("stream", query))
+                )
+                for _ in range(2)
+            ]
+            # Let the racers pass admission, then append while they
+            # are in flight -- the quiesce path under test.
+            await asyncio.sleep(0)
+            reports.append(await service.append(delta))
+            racers.append(await asyncio.gather(*racing))
+            answers.append(
+                await service.submit(QueryRequest("stream", query))
+            )
+        report = await service.drain()
+        return baseline, answers, reports, racers, report
+
+    baseline, answers, reports, racers, report = asyncio.run(body())
+
+    prefixes = [partitions[0]]
+    for delta in partitions[1:]:
+        prefixes.append(prefixes[-1] + delta)
+    colds = [evaluate_centralized(query, prefix) for prefix in prefixes]
+
+    check(
+        baseline.ok and baseline.result == colds[0],
+        "pre-append answer matches the cold base", violations,
+    )
+    for index, answer in enumerate(answers, start=1):
+        check(
+            answer.ok and answer.result == colds[index],
+            f"answer after append {index} bit-identical to a cold "
+            f"rerun over {len(prefixes[index])} records",
+            violations,
+        )
+    check(
+        all(
+            r is not None and r.patched == len(query.measures)
+            for r in reports
+        ),
+        "every append patched every cached measure", violations,
+    )
+    # A query admitted before an append answers over the dataset it was
+    # admitted against -- one of the prefixes, never a mix of two.
+    tables = [cold for cold in colds]
+    check(
+        all(
+            response.ok and response.result in tables
+            for generation in racers
+            for response in generation
+        ),
+        "queries racing an append answered over a whole prefix",
+        violations,
+    )
+    check(
+        report.appends == len(partitions) - 1
+        and report.appended_records == sum(
+            len(delta) for delta in partitions[1:]
+        ),
+        "the serve report counted every append", violations,
+    )
+    check(
+        cache.stats.corrupt == 0 and cache.stats.store_errors == 0,
+        "zero corrupt cache entries, zero store errors", violations,
+    )
+    check(report.drained, "clean drain after appends", violations)
+
+
 def main(argv=None) -> int:
     args = parse_args(argv)
+    if args.append:
+        violations: list[str] = []
+        append_smoke(args, violations)
+        if violations:
+            print(f"FAILED: {len(violations)} invariant(s) violated")
+            return 1
+        print("append smoke passed")
+        return 0
     schema = paper_schema(days=1)
     catalog = all_queries(schema)
     records = generate_uniform(schema, args.records, seed=7)
